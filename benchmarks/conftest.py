@@ -1,0 +1,42 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one figure of the paper.  Simulation cells
+are expensive, so each benchmark runs exactly once
+(``benchmark.pedantic(..., rounds=1)``) and the measured quantity is the
+wall-clock cost of regenerating the figure.  The figure's data (the
+rows/series the paper plots) is printed and also written to
+``benchmarks/results/<name>.txt`` so the numbers survive the run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness.experiments import ExperimentDefaults
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Shared timing for all simulation cells: scaled down from the paper's
+#: 15 min warm-up / 30 min measurement (see EXPERIMENTS.md).
+BENCH_DEFAULTS = ExperimentDefaults(warmup=45.0, duration=150.0)
+
+#: Client loads per figure (the paper's x-axes, thinned).
+RUBIS_CLIENTS = [100, 400, 700, 1000]
+TPCW_CLIENTS = [50, 150, 250, 400]
+
+
+@pytest.fixture
+def figure_report():
+    """Callable saving one figure's rendered table."""
+
+    def save(name: str, text: str) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print()
+        print(text)
+
+    return save

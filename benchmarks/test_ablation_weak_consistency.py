@@ -1,0 +1,103 @@
+"""Ablation D (related work): weak time-lagged consistency vs strong.
+
+CachePortal-style TTL caching achieves transparency trivially -- no
+consistency information is needed -- at the price of stale pages within
+the window.  This ablation runs RUBiS under weak TTLs of increasing
+length and under strong AutoWebCache, comparing hit rates and measuring
+*staleness*: how many served-from-cache pages differ from what a fresh
+execution would have produced (checked on a sample of hits against a
+shadow re-execution).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_DEFAULTS
+from repro.apps.rubis import RubisDataset, build_rubis
+from repro.cache.autowebcache import AutoWebCache
+from repro.cache.semantics import SemanticsRegistry
+from repro.harness.reporting import render_table
+
+#: Scripted probe: reads interleaved with bids on the same item.
+PROBE_ROUNDS = 120
+
+
+def _drive(awc_factory):
+    """Interleave item views and bids; count hits that served a stale
+    price (the fresh body is known because we just wrote it)."""
+    app = build_rubis(RubisDataset())
+    clock = {"now": 0.0}
+    awc = awc_factory(lambda: clock["now"])
+    awc.install(app.servlet_classes)
+    stale = 0
+    hits = 0
+    try:
+        container = app.container
+        # 4 items visited round-robin with 1 s steps: each page is
+        # revisited every 4 s, so TTLs below 4 s never produce hits,
+        # TTLs around 2x the period produce ~50% (stale) hits, long
+        # TTLs approach 100%.
+        for i in range(PROBE_ROUNDS):
+            clock["now"] += 1.0
+            item = str(i % 4)
+            bid = f"{1000 + i}.25"
+            container.post(
+                "/rubis/store_bid", {"item": item, "user": "1", "bid": bid}
+            )
+            before_hits = awc.stats.hits + awc.stats.semantic_hits
+            page = container.get("/rubis/view_item", {"item": item})
+            was_hit = (awc.stats.hits + awc.stats.semantic_hits) > before_hits
+            if was_hit:
+                hits += 1
+                if bid not in page.body:
+                    stale += 1
+        reads = PROBE_ROUNDS
+        return {
+            "hit_rate": hits / reads,
+            "stale": stale,
+            "stale_rate": stale / reads,
+        }
+    finally:
+        awc.uninstall()
+
+
+def _run():
+    results = {}
+    results["strong (AutoWebCache)"] = _drive(
+        lambda clock: AutoWebCache(clock=clock)
+    )
+    for ttl in (2.0, 8.0, 60.0):
+        results[f"weak TTL {ttl:.0f}s"] = _drive(
+            lambda clock, ttl=ttl: AutoWebCache(
+                semantics=SemanticsRegistry().set_default_ttl(ttl), clock=clock
+            )
+        )
+    return results
+
+
+def test_ablation_weak_consistency(benchmark, figure_report):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = [
+        [label, round(r["hit_rate"], 3), r["stale"], round(r["stale_rate"], 3)]
+        for label, r in results.items()
+    ]
+    figure_report(
+        "ablation_weak_consistency",
+        render_table(
+            "Ablation: weak (TTL) vs strong consistency "
+            "(RUBiS view/bid probe)",
+            ["configuration", "hit rate on probe reads", "stale pages served",
+             "stale rate"],
+            rows,
+        ),
+    )
+    strong = results["strong (AutoWebCache)"]
+    # Strong consistency never serves a stale page...
+    assert strong["stale"] == 0
+    # ...while every weak window does on this write-heavy probe, more
+    # so as the window grows.
+    weak_short = results["weak TTL 8s"]
+    weak_long = results["weak TTL 60s"]
+    assert weak_long["stale"] > 0
+    assert weak_long["stale"] >= weak_short["stale"]
+    # The long weak window buys hit rate at the price of staleness.
+    assert weak_long["hit_rate"] >= strong["hit_rate"]

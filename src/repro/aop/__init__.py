@@ -1,0 +1,46 @@
+"""Aspect-oriented programming framework (the AspectJ analogue).
+
+Provides the join-point model the paper relies on (Section 2.2):
+
+- :class:`~repro.aop.joinpoint.JoinPoint` -- a method execution with
+  target, arguments, and ``proceed()`` for around advice;
+- :mod:`repro.aop.pointcut` -- the pointcut expression language
+  (``execution(HttpServlet+.do_get(..))`` with ``*`` wildcards, ``+``
+  subtype matching and ``&&``/``||``/``!`` combinators);
+- :mod:`repro.aop.advice` -- before/after/after_returning/after_throwing
+  /around advice declared with decorators on aspect methods;
+- :class:`~repro.aop.weaver.Weaver` -- composes the final system by
+  wrapping matched methods on the target classes, with full
+  unweave/reweave support (the load-time analogue of the ajc compiler).
+"""
+
+from repro.aop.joinpoint import JoinPoint
+from repro.aop.pointcut import Cflowbelow, Pointcut, parse_pointcut
+from repro.aop.weaver import current_cflow
+from repro.aop.advice import (
+    AdviceKind,
+    after,
+    after_returning,
+    after_throwing,
+    around,
+    before,
+)
+from repro.aop.aspect import Aspect
+from repro.aop.weaver import WeaveReport, Weaver
+
+__all__ = [
+    "JoinPoint",
+    "Pointcut",
+    "Cflowbelow",
+    "current_cflow",
+    "parse_pointcut",
+    "AdviceKind",
+    "before",
+    "after",
+    "after_returning",
+    "after_throwing",
+    "around",
+    "Aspect",
+    "Weaver",
+    "WeaveReport",
+]

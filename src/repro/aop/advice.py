@@ -1,0 +1,72 @@
+"""Advice declarations.
+
+Advice methods live on an :class:`~repro.aop.aspect.Aspect` subclass and
+are tagged with one of the decorators below, naming the pointcut they
+attach to::
+
+    class CachingAspect(Aspect):
+        @around("execution(HttpServlet+.do_get(..))")
+        def check_cache(self, joinpoint):
+            ...
+            return joinpoint.proceed()
+
+Every advice method receives the :class:`~repro.aop.joinpoint.JoinPoint`.
+``after_returning`` additionally sees ``joinpoint.result``;
+``after_throwing`` sees ``joinpoint.exception``; plain ``after`` runs in
+all cases (the AspectJ ``after ... finally`` semantics).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.aop.pointcut import Pointcut, parse_pointcut
+
+
+class AdviceKind(enum.Enum):
+    """When an advice runs relative to its join point."""
+
+    BEFORE = "before"
+    AFTER = "after"  # finally: runs on both return and raise
+    AFTER_RETURNING = "after_returning"
+    AFTER_THROWING = "after_throwing"
+    AROUND = "around"
+
+
+@dataclass(frozen=True)
+class AdviceSpec:
+    """Metadata attached to a decorated advice method."""
+
+    kind: AdviceKind
+    pointcut: Pointcut
+    order: int
+
+
+_COUNTER = iter(range(10**9))
+
+
+def _make_decorator(kind: AdviceKind) -> Callable[[str | Pointcut], Callable]:
+    def decorator(pointcut: str | Pointcut) -> Callable:
+        matcher = (
+            parse_pointcut(pointcut) if isinstance(pointcut, str) else pointcut
+        )
+
+        def wrap(function: Callable) -> Callable:
+            spec = AdviceSpec(kind=kind, pointcut=matcher, order=next(_COUNTER))
+            existing = getattr(function, "__advice_specs__", ())
+            function.__advice_specs__ = existing + (spec,)  # type: ignore[attr-defined]
+            return function
+
+        return wrap
+
+    decorator.__name__ = kind.value
+    return decorator
+
+
+before = _make_decorator(AdviceKind.BEFORE)
+after = _make_decorator(AdviceKind.AFTER)
+after_returning = _make_decorator(AdviceKind.AFTER_RETURNING)
+after_throwing = _make_decorator(AdviceKind.AFTER_THROWING)
+around = _make_decorator(AdviceKind.AROUND)

@@ -1,0 +1,54 @@
+"""Aspect base class.
+
+An aspect groups the advice implementing one crosscutting concern.  The
+weaver introspects an aspect *instance* for methods carrying advice
+specs (attached by the decorators in :mod:`repro.aop.advice`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.aop.advice import AdviceSpec
+
+
+@dataclass(frozen=True)
+class BoundAdvice:
+    """One advice method bound to its aspect instance."""
+
+    aspect: "Aspect"
+    method: Callable
+    spec: AdviceSpec
+
+    @property
+    def name(self) -> str:
+        return f"{type(self.aspect).__name__}.{self.method.__name__}"
+
+
+class Aspect:
+    """Base class for aspects.
+
+    Subclasses declare advice with the ``@before``/``@after``/``@around``
+    decorators.  State shared across advice (e.g. the cache object)
+    lives on the aspect instance, exactly like fields of an AspectJ
+    aspect.
+    """
+
+    #: Lower weaves first; among equal precedence, declaration order wins.
+    precedence: int = 0
+
+    def advices(self) -> Iterator[BoundAdvice]:
+        """Yield every bound advice declared on this aspect."""
+        seen: set[str] = set()
+        for klass in type(self).__mro__:
+            for name, attr in vars(klass).items():
+                if name in seen:
+                    continue
+                specs = getattr(attr, "__advice_specs__", None)
+                if specs is None:
+                    continue
+                seen.add(name)
+                bound = getattr(self, name)
+                for spec in specs:
+                    yield BoundAdvice(aspect=self, method=bound, spec=spec)

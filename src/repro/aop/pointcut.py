@@ -1,0 +1,348 @@
+"""Pointcut expression language.
+
+Grammar (a practical subset of AspectJ's)::
+
+    pointcut   := or_expr
+    or_expr    := and_expr ('||' and_expr)*
+    and_expr   := unary ('&&' unary)*
+    unary      := '!' unary | '(' pointcut ')' | primitive
+    primitive  := ('execution' | 'call') '(' type_pat '.' name_pat args ')'
+    type_pat   := NAME_WITH_WILDCARDS ['+']
+    name_pat   := NAME_WITH_WILDCARDS
+    args       := '(..)' | '(' ')' | '(' name (',' name)* ')'
+
+``+`` extends a type pattern to subclasses (matched against the target
+class's MRO).  ``*`` in names matches any run of characters.  Explicit
+argument lists constrain the *positional arity* of the method (parameter
+names/types are not checked -- Python is dynamically typed); ``(..)``
+matches any arity.
+
+In AspectJ, ``execution`` and ``call`` designate the callee-side and
+caller-side join points respectively.  Under load-time method wrapping
+both attach to the method object itself, so this framework treats them
+identically; both spellings are accepted because the paper's weaving
+rules use both (Figures 9 and 12).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import inspect
+import re
+from dataclasses import dataclass
+
+from repro.errors import PointcutSyntaxError
+
+
+@dataclass(frozen=True)
+class MethodTarget:
+    """A candidate join point presented to pointcut matching."""
+
+    cls: type
+    method_name: str
+    function: object
+
+    @property
+    def mro_names(self) -> tuple[str, ...]:
+        return tuple(klass.__name__ for klass in self.cls.__mro__)
+
+
+class Pointcut:
+    """Base class for pointcut matchers.
+
+    Matching has a static part (``matches``: can this advice possibly
+    apply to this method? decided at weave time) and a dynamic part
+    (``dynamic_matches``: does it apply to *this invocation*, given the
+    current control-flow stack of join points?).  Purely static
+    pointcuts ignore the stack; ``cflowbelow`` is the dynamic
+    primitive, mirroring AspectJ (the paper's footnote 2 uses it to
+    capture only the top-level handler when do_get/do_post interleave).
+    """
+
+    #: True when any sub-pointcut depends on the runtime call stack.
+    is_dynamic: bool = False
+
+    def matches(self, target: MethodTarget) -> bool:
+        raise NotImplementedError
+
+    def dynamic_matches(
+        self, target: MethodTarget, stack: tuple[MethodTarget, ...]
+    ) -> bool:
+        """Per-invocation check; ``stack`` holds the woven join points
+        currently executing below this one (innermost last)."""
+        return self.matches(target)
+
+    def __and__(self, other: "Pointcut") -> "Pointcut":
+        return _And(self, other)
+
+    def __or__(self, other: "Pointcut") -> "Pointcut":
+        return _Or(self, other)
+
+    def __invert__(self) -> "Pointcut":
+        return _Not(self)
+
+
+@dataclass(frozen=True)
+class ExecutionPointcut(Pointcut):
+    """``execution(Type[+].name(args))`` primitive."""
+
+    type_pattern: str
+    include_subtypes: bool
+    method_pattern: str
+    arity: int | None  # None means "(..)": any arity
+
+    def matches(self, target: MethodTarget) -> bool:
+        if not fnmatch.fnmatchcase(target.method_name, self.method_pattern):
+            return False
+        if self.include_subtypes:
+            type_ok = any(
+                fnmatch.fnmatchcase(name, self.type_pattern)
+                for name in target.mro_names
+            )
+        else:
+            type_ok = fnmatch.fnmatchcase(target.cls.__name__, self.type_pattern)
+        if not type_ok:
+            return False
+        if self.arity is None:
+            return True
+        return _positional_arity(target.function) == self.arity
+
+    def __str__(self) -> str:
+        plus = "+" if self.include_subtypes else ""
+        args = ".." if self.arity is None else ", ".join(["*"] * self.arity)
+        return f"execution({self.type_pattern}{plus}.{self.method_pattern}({args}))"
+
+
+@dataclass(frozen=True)
+class Cflowbelow(Pointcut):
+    """``cflowbelow(p)``: true when a join point matching ``p`` is
+    currently executing below this one.
+
+    Statically it matches every method (the constraint is purely
+    dynamic); the weaver evaluates :meth:`dynamic_matches` against its
+    control-flow stack on each invocation.
+    """
+
+    inner: Pointcut
+
+    @property
+    def is_dynamic(self) -> bool:  # type: ignore[override]
+        return True
+
+    def matches(self, target: MethodTarget) -> bool:
+        return True
+
+    def dynamic_matches(
+        self, target: MethodTarget, stack: tuple[MethodTarget, ...]
+    ) -> bool:
+        return any(self.inner.matches(frame) for frame in stack)
+
+    def __str__(self) -> str:
+        return f"cflowbelow({self.inner})"
+
+
+@dataclass(frozen=True)
+class _And(Pointcut):
+    left: Pointcut
+    right: Pointcut
+
+    @property
+    def is_dynamic(self) -> bool:  # type: ignore[override]
+        return self.left.is_dynamic or self.right.is_dynamic
+
+    def matches(self, target: MethodTarget) -> bool:
+        return self.left.matches(target) and self.right.matches(target)
+
+    def dynamic_matches(
+        self, target: MethodTarget, stack: tuple[MethodTarget, ...]
+    ) -> bool:
+        return self.left.dynamic_matches(target, stack) and self.right.dynamic_matches(
+            target, stack
+        )
+
+
+@dataclass(frozen=True)
+class _Or(Pointcut):
+    left: Pointcut
+    right: Pointcut
+
+    @property
+    def is_dynamic(self) -> bool:  # type: ignore[override]
+        return self.left.is_dynamic or self.right.is_dynamic
+
+    def matches(self, target: MethodTarget) -> bool:
+        return self.left.matches(target) or self.right.matches(target)
+
+    def dynamic_matches(
+        self, target: MethodTarget, stack: tuple[MethodTarget, ...]
+    ) -> bool:
+        return self.left.dynamic_matches(target, stack) or self.right.dynamic_matches(
+            target, stack
+        )
+
+
+@dataclass(frozen=True)
+class _Not(Pointcut):
+    inner: Pointcut
+
+    @property
+    def is_dynamic(self) -> bool:  # type: ignore[override]
+        return self.inner.is_dynamic
+
+    def matches(self, target: MethodTarget) -> bool:
+        # A negated *dynamic* pointcut cannot be refuted at weave time:
+        # keep the join point and decide per invocation.
+        if self.inner.is_dynamic:
+            return True
+        return not self.inner.matches(target)
+
+    def dynamic_matches(
+        self, target: MethodTarget, stack: tuple[MethodTarget, ...]
+    ) -> bool:
+        return not self.inner.dynamic_matches(target, stack)
+
+
+def _positional_arity(function: object) -> int:
+    """Number of positional parameters excluding ``self``."""
+    try:
+        signature = inspect.signature(function)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return -1
+    count = 0
+    for name, parameter in signature.parameters.items():
+        if name == "self":
+            continue
+        if parameter.kind in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            count += 1
+    return count
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<op>&&|\|\||!|\(|\))|(?P<word>[A-Za-z_*][\w*]*\+?)|(?P<dot>\.)"
+    r"|(?P<dots>\.\.)|(?P<comma>,))"
+)
+
+
+def parse_pointcut(expression: str) -> Pointcut:
+    """Parse a pointcut expression string into a matcher tree."""
+    parser = _PointcutParser(expression)
+    pointcut = parser.parse_or()
+    parser.skip_ws()
+    if parser.pos != len(expression):
+        raise PointcutSyntaxError(
+            f"trailing input in pointcut at offset {parser.pos}: {expression!r}"
+        )
+    return pointcut
+
+
+class _PointcutParser:
+    """Hand-rolled scanner/parser for the grammar above."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self, literal: str) -> bool:
+        self.skip_ws()
+        return self.text.startswith(literal, self.pos)
+
+    def accept(self, literal: str) -> bool:
+        if self.peek(literal):
+            self.pos += len(literal)
+            return True
+        return False
+
+    def expect(self, literal: str) -> None:
+        if not self.accept(literal):
+            raise PointcutSyntaxError(
+                f"expected {literal!r} at offset {self.pos} in {self.text!r}"
+            )
+
+    def parse_or(self) -> Pointcut:
+        left = self.parse_and()
+        while self.accept("||"):
+            left = _Or(left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Pointcut:
+        left = self.parse_unary()
+        while self.accept("&&"):
+            left = _And(left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> Pointcut:
+        if self.accept("!"):
+            return _Not(self.parse_unary())
+        if self.accept("("):
+            inner = self.parse_or()
+            self.expect(")")
+            return inner
+        return self.parse_primitive()
+
+    def parse_primitive(self) -> Pointcut:
+        self.skip_ws()
+        if self.accept("cflowbelow"):
+            self.expect("(")
+            inner = self.parse_or()
+            self.expect(")")
+            return Cflowbelow(inner)
+        for keyword in ("execution", "call"):
+            if self.accept(keyword):
+                self.expect("(")
+                pointcut = self._parse_signature()
+                self.expect(")")
+                return pointcut
+        raise PointcutSyntaxError(
+            f"expected 'execution(', 'call(' or 'cflowbelow(' at offset "
+            f"{self.pos} in {self.text!r}"
+        )
+
+    def _parse_signature(self) -> ExecutionPointcut:
+        type_pattern = self._parse_name("type pattern")
+        include_subtypes = False
+        if self.accept("+"):
+            include_subtypes = True
+        self.expect(".")
+        method_pattern = self._parse_name("method pattern")
+        self.expect("(")
+        arity: int | None
+        if self.accept(".."):
+            arity = None
+            self.expect(")")
+        elif self.accept(")"):
+            arity = 0
+        else:
+            names = 1
+            self._parse_name("argument")
+            while self.accept(","):
+                self._parse_name("argument")
+                names += 1
+            self.expect(")")
+            arity = names
+        return ExecutionPointcut(
+            type_pattern=type_pattern,
+            include_subtypes=include_subtypes,
+            method_pattern=method_pattern,
+            arity=arity,
+        )
+
+    def _parse_name(self, what: str) -> str:
+        self.skip_ws()
+        match = re.match(r"[A-Za-z_*][\w*]*", self.text[self.pos :])
+        if match is None:
+            raise PointcutSyntaxError(
+                f"expected {what} at offset {self.pos} in {self.text!r}"
+            )
+        self.pos += match.end()
+        return match.group(0)

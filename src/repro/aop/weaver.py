@@ -1,0 +1,268 @@
+"""The weaver: composes the cache-enabled system from individual aspects.
+
+Given a set of target classes and a set of aspects, :meth:`Weaver.weave`
+wraps every method matched by some advice's pointcut with a dispatcher
+that runs the advice chain around the original implementation --
+the load-time analogue of the ajc compiler (Figure 2 of the paper).
+
+Advice ordering at one join point follows AspectJ semantics:
+
+- ``around`` advice nests outside-in by (aspect precedence, declaration
+  order); the innermost ``proceed`` runs befores, the original method,
+  then afters;
+- ``before`` advice runs in precedence order, ``after*`` advice in
+  reverse precedence order.
+
+``unweave`` restores every original method, so tests and benchmarks can
+flip the same application between "No cache" and "AutoWebCache"
+configurations.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import functools
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.aop.advice import AdviceKind
+from repro.aop.aspect import Aspect, BoundAdvice
+from repro.aop.joinpoint import JoinPoint, Signature
+from repro.aop.pointcut import MethodTarget
+from repro.errors import WeavingError
+
+_WOVEN_MARKER = "__aw_woven__"
+_ORIGINAL_ATTR = "__aw_original__"
+
+#: Control-flow stack of woven join points currently executing in this
+#: context (outermost first).  Backs ``cflowbelow`` pointcuts.
+_CFLOW_STACK: contextvars.ContextVar[tuple[MethodTarget, ...]] = (
+    contextvars.ContextVar("aop_cflow_stack", default=())
+)
+
+
+def current_cflow() -> tuple[MethodTarget, ...]:
+    """The woven join points currently executing (outermost first)."""
+    return _CFLOW_STACK.get()
+
+
+@dataclass
+class WovenJoinPoint:
+    """Record of one woven method and the advice attached to it."""
+
+    class_name: str
+    method_name: str
+    advice_names: list[str]
+
+
+@dataclass
+class WeaveReport:
+    """Summary of a weave: which join points got which advice.
+
+    The paper's Figure 20 argument -- weaving code is tiny relative to
+    the cache library and the application -- is made quantitative by
+    this report plus :mod:`repro.harness.codesize`.
+    """
+
+    join_points: list[WovenJoinPoint] = field(default_factory=list)
+
+    @property
+    def advised_method_count(self) -> int:
+        return len(self.join_points)
+
+    @property
+    def advice_application_count(self) -> int:
+        return sum(len(jp.advice_names) for jp in self.join_points)
+
+    def describe(self) -> str:
+        lines = []
+        for jp in sorted(
+            self.join_points, key=lambda j: (j.class_name, j.method_name)
+        ):
+            advice = ", ".join(jp.advice_names)
+            lines.append(f"{jp.class_name}.{jp.method_name} <- [{advice}]")
+        return "\n".join(lines)
+
+
+class Weaver:
+    """Weaves aspects into classes and can undo the operation."""
+
+    def __init__(self) -> None:
+        self._aspects: list[Aspect] = []
+        self._woven: list[tuple[type, str, Any]] = []
+
+    def add_aspect(self, aspect: Aspect) -> "Weaver":
+        """Register ``aspect``; returns self for chaining."""
+        self._aspects.append(aspect)
+        return self
+
+    @property
+    def aspects(self) -> list[Aspect]:
+        return list(self._aspects)
+
+    def weave(self, classes: Iterable[type]) -> WeaveReport:
+        """Wrap every matched method of ``classes``; returns a report."""
+        report = WeaveReport()
+        advices = self._sorted_advices()
+        for cls in classes:
+            for method_name, function in list(vars(cls).items()):
+                if not callable(function) or method_name.startswith("__"):
+                    continue
+                if getattr(function, _WOVEN_MARKER, False):
+                    raise WeavingError(
+                        f"{cls.__name__}.{method_name} is already woven"
+                    )
+                target = MethodTarget(
+                    cls=cls, method_name=method_name, function=function
+                )
+                matched = [
+                    advice
+                    for advice in advices
+                    if advice.spec.pointcut.matches(target)
+                ]
+                if not matched:
+                    continue
+                wrapper = _build_dispatcher(cls, method_name, function, matched)
+                setattr(cls, method_name, wrapper)
+                self._woven.append((cls, method_name, function))
+                report.join_points.append(
+                    WovenJoinPoint(
+                        class_name=cls.__name__,
+                        method_name=method_name,
+                        advice_names=[advice.name for advice in matched],
+                    )
+                )
+        return report
+
+    def unweave(self) -> None:
+        """Restore every method this weaver wrapped."""
+        for cls, method_name, original in reversed(self._woven):
+            setattr(cls, method_name, original)
+        self._woven.clear()
+
+    def _sorted_advices(self) -> list[BoundAdvice]:
+        bound: list[BoundAdvice] = []
+        for aspect in self._aspects:
+            bound.extend(aspect.advices())
+        bound.sort(key=lambda advice: (advice.aspect.precedence, advice.spec.order))
+        return bound
+
+    def __enter__(self) -> "Weaver":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.unweave()
+
+
+def _build_dispatcher(
+    cls: type, method_name: str, original: Any, advices: list[BoundAdvice]
+) -> Any:
+    """Build the woven replacement for one method.
+
+    When every matched advice is static, the advice chain is built once
+    at weave time.  If any advice carries a dynamic pointcut
+    (``cflowbelow``), the chain is rebuilt per invocation after
+    filtering against the current control-flow stack.
+    """
+    signature = Signature(class_name=cls.__name__, method_name=method_name)
+    method_target = MethodTarget(
+        cls=cls, method_name=method_name, function=original
+    )
+    has_dynamic = any(advice.spec.pointcut.is_dynamic for advice in advices)
+
+    def run_core(target: object, *args: Any, **kwargs: Any) -> Any:
+        return original(target, *args, **kwargs)
+
+    def build_chain(active: list[BoundAdvice]) -> Any:
+        """Nest around advice outside-in over the original method."""
+        arounds = [a for a in active if a.spec.kind is AdviceKind.AROUND]
+
+        def make_layer(next_invoke: Any, advice: BoundAdvice) -> Any:
+            def layer(target: object, *args: Any, **kwargs: Any) -> Any:
+                joinpoint = JoinPoint(
+                    signature=signature,
+                    target=target,
+                    args=args,
+                    kwargs=kwargs,
+                    invoke=next_invoke,
+                )
+                return advice.method(joinpoint)
+
+            return layer
+
+        innermost = run_core
+        for advice in reversed(arounds):
+            innermost = make_layer(innermost, advice)
+        return innermost
+
+    static_chain = build_chain(advices)
+
+    def run_advised(
+        active: list[BoundAdvice], chain: Any, target: object, args, kwargs
+    ) -> Any:
+        befores = [a for a in active if a.spec.kind is AdviceKind.BEFORE]
+        after_returnings = [
+            a for a in active if a.spec.kind is AdviceKind.AFTER_RETURNING
+        ]
+        after_throwings = [
+            a for a in active if a.spec.kind is AdviceKind.AFTER_THROWING
+        ]
+        afters = [a for a in active if a.spec.kind is AdviceKind.AFTER]
+        joinpoint = JoinPoint(
+            signature=signature,
+            target=target,
+            args=args,
+            kwargs=kwargs,
+            invoke=lambda t, *a, **k: None,
+        )
+        for advice in befores:
+            joinpoint_before = JoinPoint(
+                signature=signature,
+                target=target,
+                args=args,
+                kwargs=kwargs,
+                invoke=lambda t, *a, **k: None,
+            )
+            advice.method(joinpoint_before)
+        try:
+            result = chain(target, *args, **kwargs)
+        except BaseException as exc:
+            joinpoint.exception = exc
+            for advice in reversed(after_throwings):
+                advice.method(joinpoint)
+            for advice in reversed(afters):
+                advice.method(joinpoint)
+            raise
+        joinpoint.result = result
+        for advice in reversed(after_returnings):
+            advice.method(joinpoint)
+        for advice in reversed(afters):
+            advice.method(joinpoint)
+        return result
+
+    @functools.wraps(original)
+    def dispatcher(target: object, *args: Any, **kwargs: Any) -> Any:
+        stack_below = _CFLOW_STACK.get()
+        if has_dynamic:
+            active = [
+                advice
+                for advice in advices
+                if advice.spec.pointcut.dynamic_matches(
+                    method_target, stack_below
+                )
+            ]
+            chain = build_chain(active) if active else run_core
+        else:
+            active = advices
+            chain = static_chain
+        token = _CFLOW_STACK.set(stack_below + (method_target,))
+        try:
+            if not active:
+                return run_core(target, *args, **kwargs)
+            return run_advised(active, chain, target, args, kwargs)
+        finally:
+            _CFLOW_STACK.reset(token)
+
+    setattr(dispatcher, _WOVEN_MARKER, True)
+    setattr(dispatcher, _ORIGINAL_ATTR, original)
+    return dispatcher

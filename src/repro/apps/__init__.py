@@ -1,0 +1,11 @@
+"""Benchmark applications: RUBiS (auction site) and TPC-W (bookstore).
+
+Both are faithful re-implementations of the paper's test-bed
+applications at the fidelity the cache observes: the servlet structure
+(read handlers in ``do_get``, write handlers in ``do_post``), the SQL
+each interaction issues, the parameter flows, and the semantic quirks
+the paper calls out (TPC-W's random ad banners and BestSeller window).
+
+The servlet code contains **no caching logic whatsoever** -- that is
+the point of the paper.  AutoWebCache is woven in from outside.
+"""

@@ -1,0 +1,46 @@
+"""Tiny HTML rendering helpers shared by the benchmark applications.
+
+The benchmarks' pages are plain HTML strings; what matters to the cache
+is that page content is a pure function of the request parameters and
+the database state (except where the paper deliberately introduces
+hidden state, e.g. TPC-W ad banners).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.web.http import HttpResponse
+
+
+def begin_page(response: HttpResponse, title: str) -> None:
+    response.write(f"<html><head><title>{title}</title></head><body>")
+    response.write(f"<h1>{title}</h1>")
+
+
+def end_page(response: HttpResponse) -> None:
+    response.write("</body></html>")
+
+
+def write_table(
+    response: HttpResponse,
+    headers: Iterable[str],
+    rows: Iterable[Iterable[object]],
+) -> None:
+    response.write("<table border=1><tr>")
+    for header in headers:
+        response.write(f"<th>{header}</th>")
+    response.write("</tr>")
+    for row in rows:
+        response.write("<tr>")
+        for cell in row:
+            response.write(f"<td>{cell}</td>")
+        response.write("</tr>")
+    response.write("</table>")
+
+
+def write_list(response: HttpResponse, items: Iterable[object]) -> None:
+    response.write("<ul>")
+    for item in items:
+        response.write(f"<li>{item}</li>")
+    response.write("</ul>")

@@ -1,0 +1,18 @@
+"""RUBiS: the auction-site benchmark (26 interactions).
+
+RUBiS models the core functionality of an auction site like eBay:
+selling, browsing and bidding.  :func:`build_rubis` assembles a
+populated database and a servlet container routing all 26 interactions.
+"""
+
+from repro.apps.rubis.app import RubisApplication, build_rubis
+from repro.apps.rubis.schema import create_rubis_schema
+from repro.apps.rubis.data import RubisDataset, populate_rubis
+
+__all__ = [
+    "RubisApplication",
+    "build_rubis",
+    "create_rubis_schema",
+    "RubisDataset",
+    "populate_rubis",
+]

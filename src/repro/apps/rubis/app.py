@@ -1,0 +1,95 @@
+"""RUBiS application assembly: database + container + servlet routing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.rubis import servlets_browse, servlets_forms, servlets_view
+from repro.apps.rubis import servlets_write
+from repro.apps.rubis.data import RubisDataset, populate_rubis
+from repro.apps.rubis.schema import create_rubis_schema
+from repro.db import Database, connect
+from repro.db.dbapi import Connection
+from repro.web.container import ServletContainer
+
+#: URI -> (servlet class, is_write) for all 26 interactions.
+INTERACTIONS: dict[str, tuple[type, bool]] = {
+    "/rubis/home": (servlets_browse.Home, False),
+    "/rubis/browse": (servlets_browse.Browse, False),
+    "/rubis/browse_categories": (servlets_browse.BrowseCategories, False),
+    "/rubis/browse_regions": (servlets_browse.BrowseRegions, False),
+    "/rubis/browse_categories_in_region": (
+        servlets_browse.BrowseCategoriesInRegion,
+        False,
+    ),
+    "/rubis/search_items_by_category": (
+        servlets_browse.SearchItemsByCategory,
+        False,
+    ),
+    "/rubis/search_items_by_region": (
+        servlets_browse.SearchItemsByRegion,
+        False,
+    ),
+    "/rubis/view_item": (servlets_view.ViewItem, False),
+    "/rubis/view_bid_history": (servlets_view.ViewBidHistory, False),
+    "/rubis/view_user_info": (servlets_view.ViewUserInfo, False),
+    "/rubis/about_me": (servlets_view.AboutMe, False),
+    "/rubis/buy_now_auth": (servlets_forms.BuyNowAuth, False),
+    "/rubis/buy_now": (servlets_forms.BuyNow, False),
+    "/rubis/store_buy_now": (servlets_write.StoreBuyNow, True),
+    "/rubis/put_bid_auth": (servlets_forms.PutBidAuth, False),
+    "/rubis/put_bid": (servlets_forms.PutBid, False),
+    "/rubis/store_bid": (servlets_write.StoreBid, True),
+    "/rubis/put_comment_auth": (servlets_forms.PutCommentAuth, False),
+    "/rubis/put_comment": (servlets_forms.PutComment, False),
+    "/rubis/store_comment": (servlets_write.StoreComment, True),
+    "/rubis/register": (servlets_forms.Register, False),
+    "/rubis/register_user": (servlets_write.RegisterUser, True),
+    "/rubis/sell": (servlets_forms.Sell, False),
+    "/rubis/select_category_to_sell": (
+        servlets_forms.SelectCategoryToSellItem,
+        False,
+    ),
+    "/rubis/sell_item_form": (servlets_forms.SellItemForm, False),
+    "/rubis/register_item": (servlets_write.RegisterItem, True),
+}
+
+
+@dataclass
+class RubisApplication:
+    """A fully assembled RUBiS instance."""
+
+    database: Database
+    connection: Connection
+    container: ServletContainer
+    dataset: RubisDataset
+
+    @property
+    def servlet_classes(self) -> list[type]:
+        return self.container.servlet_classes
+
+    @property
+    def read_uris(self) -> list[str]:
+        return [uri for uri, (_cls, write) in INTERACTIONS.items() if not write]
+
+    @property
+    def write_uris(self) -> list[str]:
+        return [uri for uri, (_cls, write) in INTERACTIONS.items() if write]
+
+
+def build_rubis(dataset: RubisDataset | None = None) -> RubisApplication:
+    """Create, populate and route a RUBiS instance."""
+    dataset = dataset or RubisDataset()
+    database = Database("rubis")
+    create_rubis_schema(database)
+    populate_rubis(database, dataset)
+    connection = connect(database)
+    container = ServletContainer()
+    for uri, (servlet_class, _is_write) in INTERACTIONS.items():
+        container.register(uri, servlet_class(connection))
+    return RubisApplication(
+        database=database,
+        connection=connection,
+        container=container,
+        dataset=dataset,
+    )

@@ -1,0 +1,20 @@
+"""Shared base class for RUBiS servlets."""
+
+from __future__ import annotations
+
+from repro.db.dbapi import Connection, Statement
+from repro.web.servlet import HttpServlet
+
+
+class RubisServlet(HttpServlet):
+    """A servlet holding the shared database connection.
+
+    Note there is no caching code anywhere below: the servlets only
+    render pages from SQL results.  AutoWebCache is woven around them.
+    """
+
+    def __init__(self, connection: Connection) -> None:
+        self._connection = connection
+
+    def statement(self) -> Statement:
+        return self._connection.create_statement()

@@ -1,0 +1,174 @@
+"""Synthetic RUBiS population.
+
+The paper fixes the database size while varying client load.  The
+original RUBiS populator uses ~1M users and ~33k active items; that
+scale is pointless in an in-memory reproduction, so :class:`RubisDataset`
+parameterises the sizes with defaults small enough for fast simulation
+while keeping the *ratios* (items per category, bids per item, comments
+per user) that drive hit rates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.db import Database
+
+_FIRST_NAMES = [
+    "alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi",
+    "ivan", "judy", "ken", "laura", "mallory", "nick", "olivia", "peggy",
+]
+_LAST_NAMES = [
+    "smith", "jones", "brown", "wilson", "taylor", "lopez", "kim", "patel",
+    "mueller", "rossi", "santos", "nguyen", "cohen", "haddad", "novak",
+]
+_CATEGORY_NAMES = [
+    "Antiques", "Books", "Business", "Clothing", "Computers", "Electronics",
+    "Movies", "Music", "Photo", "Sports", "Toys", "Travel", "Jewelry",
+    "Garden", "Collectibles", "Stamps", "Coins", "Art", "Dolls", "Pottery",
+]
+_REGION_NAMES = [
+    "AZ-Phoenix", "CA-Los Angeles", "CA-San Francisco", "CO-Denver",
+    "FL-Miami", "GA-Atlanta", "IL-Chicago", "MA-Boston", "MI-Detroit",
+    "MN-Minneapolis", "MO-St Louis", "NY-New York", "OH-Columbus",
+    "OR-Portland", "PA-Philadelphia", "TX-Dallas", "TX-Houston",
+    "WA-Seattle", "WI-Milwaukee", "DC-Washington",
+]
+
+
+@dataclass
+class RubisDataset:
+    """Population parameters and resulting id ranges."""
+
+    n_users: int = 300
+    n_items: int = 600
+    n_categories: int = len(_CATEGORY_NAMES)
+    n_regions: int = len(_REGION_NAMES)
+    bids_per_item: int = 3
+    comments_per_user: int = 2
+    seed: int = 20060101
+    #: Epoch origin for synthetic dates (all simulated time is relative).
+    base_time: float = 0.0
+    auction_duration: float = 7 * 24 * 3600.0
+
+    # Populated by populate_rubis:
+    n_bids: int = 0
+    n_comments: int = 0
+    n_buy_now: int = 0
+
+
+def populate_rubis(db: Database, dataset: RubisDataset) -> RubisDataset:
+    """Fill ``db`` with a deterministic synthetic population."""
+    rng = random.Random(dataset.seed)
+
+    db.insert_rows(
+        "categories",
+        [
+            {"id": i, "name": _CATEGORY_NAMES[i % len(_CATEGORY_NAMES)]}
+            for i in range(dataset.n_categories)
+        ],
+    )
+    db.insert_rows(
+        "regions",
+        [
+            {"id": i, "name": _REGION_NAMES[i % len(_REGION_NAMES)]}
+            for i in range(dataset.n_regions)
+        ],
+    )
+
+    users = []
+    for i in range(dataset.n_users):
+        first = rng.choice(_FIRST_NAMES)
+        last = rng.choice(_LAST_NAMES)
+        users.append(
+            {
+                "id": i,
+                "firstname": first,
+                "lastname": last,
+                "nickname": f"{first}{last}{i}",
+                "password": f"pw{i}",
+                "email": f"{first}.{last}{i}@example.com",
+                "rating": rng.randint(0, 5),
+                "balance": round(rng.uniform(0, 1000), 2),
+                "creation_date": dataset.base_time,
+                "region": rng.randrange(dataset.n_regions),
+            }
+        )
+    db.insert_rows("users", users)
+
+    items = []
+    for i in range(dataset.n_items):
+        initial = round(rng.uniform(1, 100), 2)
+        items.append(
+            {
+                "id": i,
+                "name": f"item-{i}",
+                "description": f"Description of auction item {i}. " * 3,
+                "initial_price": initial,
+                "quantity": rng.randint(1, 10),
+                "reserve_price": round(initial * 1.1, 2),
+                "buy_now": round(initial * 2.0, 2),
+                "nb_of_bids": 0,
+                "max_bid": 0.0,
+                "start_date": dataset.base_time,
+                "end_date": dataset.base_time + dataset.auction_duration,
+                "seller": rng.randrange(dataset.n_users),
+                "category": rng.randrange(dataset.n_categories),
+            }
+        )
+    db.insert_rows("items", items)
+
+    bid_id = 0
+    bids = []
+    max_bids: dict[int, float] = {}
+    counts: dict[int, int] = {}
+    for item in items:
+        for _ in range(dataset.bids_per_item):
+            amount = round(
+                item["initial_price"] * rng.uniform(1.0, 1.5), 2  # type: ignore[operator]
+            )
+            bids.append(
+                {
+                    "id": bid_id,
+                    "user_id": rng.randrange(dataset.n_users),
+                    "item_id": item["id"],
+                    "qty": 1,
+                    "bid": amount,
+                    "max_bid": amount,
+                    "date": dataset.base_time,
+                }
+            )
+            item_id = int(item["id"])  # type: ignore[arg-type]
+            max_bids[item_id] = max(max_bids.get(item_id, 0.0), amount)
+            counts[item_id] = counts.get(item_id, 0) + 1
+            bid_id += 1
+    db.insert_rows("bids", bids)
+    for item_id, count in counts.items():
+        db.update(
+            "UPDATE items SET nb_of_bids = ?, max_bid = ? WHERE id = ?",
+            (count, max_bids[item_id], item_id),
+        )
+
+    comment_id = 0
+    comments = []
+    for user_id in range(dataset.n_users):
+        for _ in range(dataset.comments_per_user):
+            comments.append(
+                {
+                    "id": comment_id,
+                    "from_user_id": rng.randrange(dataset.n_users),
+                    "to_user_id": user_id,
+                    "item_id": rng.randrange(dataset.n_items),
+                    "rating": rng.randint(-5, 5),
+                    "date": dataset.base_time,
+                    "comment": f"comment {comment_id} text",
+                }
+            )
+            comment_id += 1
+    db.insert_rows("comments", comments)
+
+    dataset.n_bids = bid_id
+    dataset.n_comments = comment_id
+    dataset.n_buy_now = 0
+    return dataset

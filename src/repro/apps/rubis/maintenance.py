@@ -1,0 +1,52 @@
+"""RUBiS maintenance: closing expired auctions.
+
+The original RUBiS moves ended auctions from ``items`` to
+``old_items``.  On the paper's test bed this runs as a database-side
+maintenance job -- i.e. *updates performed directly on the database*,
+the very case Section 8 warns breaks cache transparency and proposes
+database triggers for.  Pair this module with
+:class:`~repro.cache.external.TriggerInvalidationBridge` and the cached
+pages of closed auctions disappear correctly (see
+tests/test_rubis_maintenance.py).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.engine import Database
+
+_ITEM_COLUMNS = (
+    "id", "name", "description", "initial_price", "quantity",
+    "reserve_price", "buy_now", "nb_of_bids", "max_bid", "start_date",
+    "end_date", "seller", "category",
+)
+
+
+@dataclass
+class AuctionCloseReport:
+    """Outcome of one maintenance pass."""
+
+    closed: int
+    remaining_active: int
+
+
+def close_expired_auctions(db: Database, now: float) -> AuctionCloseReport:
+    """Move every item whose auction has ended into ``old_items``.
+
+    Issued directly against the database (no servlet involved),
+    mirroring how RUBiS deployments run this as a cron job.
+    """
+    expired = db.query(
+        "SELECT * FROM items WHERE end_date <= ?", (now,)
+    ).dicts()
+    columns = ", ".join(_ITEM_COLUMNS)
+    placeholders = ", ".join("?" for _ in _ITEM_COLUMNS)
+    for row in expired:
+        db.update(
+            f"INSERT INTO old_items ({columns}) VALUES ({placeholders})",
+            tuple(row[column] for column in _ITEM_COLUMNS),
+        )
+        db.update("DELETE FROM items WHERE id = ?", (row["id"],))
+    remaining = int(db.query("SELECT COUNT(*) FROM items").scalar() or 0)
+    return AuctionCloseReport(closed=len(expired), remaining_active=remaining)

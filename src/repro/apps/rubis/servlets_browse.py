@@ -1,0 +1,157 @@
+"""RUBiS browse/search interactions (read-only).
+
+Home, Browse, BrowseCategories, BrowseRegions, BrowseCategoriesInRegion,
+SearchItemsByCategory, SearchItemsByRegion.
+"""
+
+from __future__ import annotations
+
+from repro.apps.html import begin_page, end_page, write_table
+from repro.apps.rubis.base import RubisServlet
+from repro.web.http import HttpRequest, HttpResponse
+from repro.web.servlet import require_parameter
+
+ITEMS_PER_PAGE = 25
+
+_ITEM_COLUMNS = ["id", "name", "initial_price", "max_bid", "nb_of_bids", "end_date"]
+
+
+class Home(RubisServlet):
+    """Landing page; no database access."""
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        begin_page(response, "RUBiS: Welcome")
+        response.write(
+            "<p>Welcome to RUBiS, an auction site.</p>"
+            "<p><a href='/rubis/browse'>Browse</a> | "
+            "<a href='/rubis/sell'>Sell</a> | "
+            "<a href='/rubis/register'>Register</a></p>"
+        )
+        end_page(response)
+
+
+class Browse(RubisServlet):
+    """Browse hub page; no database access."""
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        begin_page(response, "RUBiS: Browse")
+        response.write(
+            "<p><a href='/rubis/browse_categories'>Browse all categories</a></p>"
+            "<p><a href='/rubis/browse_regions'>Browse all regions</a></p>"
+        )
+        end_page(response)
+
+
+class BrowseCategories(RubisServlet):
+    """List every category (Figure 16's near-100%-hit request)."""
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        statement = self.statement()
+        result = statement.execute_query(
+            "SELECT id, name FROM categories ORDER BY name"
+        )
+        begin_page(response, "RUBiS: All categories")
+        rows = [
+            (
+                f"<a href='/rubis/search_items_by_category?category={row['id']}'>"
+                f"{row['name']}</a>",
+            )
+            for row in result.all_dicts()
+        ]
+        write_table(response, ["Category"], rows)
+        end_page(response)
+
+
+class BrowseRegions(RubisServlet):
+    """List every region."""
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        statement = self.statement()
+        result = statement.execute_query(
+            "SELECT id, name FROM regions ORDER BY name"
+        )
+        begin_page(response, "RUBiS: All regions")
+        rows = [
+            (
+                f"<a href='/rubis/browse_categories_in_region?region={row['id']}'>"
+                f"{row['name']}</a>",
+            )
+            for row in result.all_dicts()
+        ]
+        write_table(response, ["Region"], rows)
+        end_page(response)
+
+
+class BrowseCategoriesInRegion(RubisServlet):
+    """Categories listing scoped to one region."""
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        region_id = int(require_parameter(request, "region"))
+        statement = self.statement()
+        region = statement.execute_query(
+            "SELECT name FROM regions WHERE id = ?", (region_id,)
+        )
+        region_name = region.scalar() or "unknown region"
+        categories = statement.execute_query(
+            "SELECT id, name FROM categories ORDER BY name"
+        )
+        begin_page(response, f"RUBiS: Categories in {region_name}")
+        rows = [
+            (
+                f"<a href='/rubis/search_items_by_region?region={region_id}"
+                f"&category={row['id']}'>{row['name']}</a>",
+            )
+            for row in categories.all_dicts()
+        ]
+        write_table(response, ["Category"], rows)
+        end_page(response)
+
+
+class SearchItemsByCategory(RubisServlet):
+    """Current auctions in one category, paginated."""
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        category = int(require_parameter(request, "category"))
+        page = request.get_int("page", 0) or 0
+        statement = self.statement()
+        result = statement.execute_query(
+            "SELECT id, name, initial_price, max_bid, nb_of_bids, end_date "
+            "FROM items WHERE category = ? "
+            "ORDER BY end_date LIMIT ? OFFSET ?",
+            (category, ITEMS_PER_PAGE, page * ITEMS_PER_PAGE),
+        )
+        begin_page(response, f"RUBiS: Items in category {category}")
+        write_table(
+            response,
+            _ITEM_COLUMNS,
+            [[row[c] for c in _ITEM_COLUMNS] for row in result.all_dicts()],
+        )
+        end_page(response)
+
+
+class SearchItemsByRegion(RubisServlet):
+    """Current auctions in one category sold from one region."""
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        category = int(require_parameter(request, "category"))
+        region = int(require_parameter(request, "region"))
+        page = request.get_int("page", 0) or 0
+        statement = self.statement()
+        result = statement.execute_query(
+            "SELECT items.id, items.name, items.initial_price, items.max_bid, "
+            "items.nb_of_bids, items.end_date "
+            "FROM items, users "
+            "WHERE items.seller = users.id AND users.region = ? "
+            "AND items.category = ? "
+            "ORDER BY items.end_date LIMIT ? OFFSET ?",
+            (region, category, ITEMS_PER_PAGE, page * ITEMS_PER_PAGE),
+        )
+        begin_page(
+            response, f"RUBiS: Items in category {category}, region {region}"
+        )
+        write_table(
+            response,
+            _ITEM_COLUMNS,
+            [[row[c] for c in _ITEM_COLUMNS] for row in result.all_dicts()],
+        )
+        end_page(response)

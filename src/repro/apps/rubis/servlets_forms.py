@@ -1,0 +1,222 @@
+"""RUBiS form interactions (read-only pages preceding writes).
+
+BuyNowAuth, BuyNow, PutBidAuth, PutBid, PutCommentAuth, PutComment,
+Register, Sell, SelectCategoryToSellItem, SellItemForm.
+
+The BuyNow/PutBid/PutComment pages carry both the item *and* the
+authenticated user in their parameters, so cache hits require "the same
+customer and item as a previous request" -- the paper's explanation for
+their low hit rates (Figure 16, footnote 4).
+"""
+
+from __future__ import annotations
+
+from repro.apps.html import begin_page, end_page
+from repro.apps.rubis.base import RubisServlet
+from repro.errors import ServletError
+from repro.web.http import HttpRequest, HttpResponse
+from repro.web.servlet import require_parameter
+
+
+class BuyNowAuth(RubisServlet):
+    """Login form before buying; no database access."""
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        item_id = int(require_parameter(request, "item"))
+        begin_page(response, "RUBiS: Buy now authentication")
+        response.write(
+            f"<form action='/rubis/buy_now'>"
+            f"<input type='hidden' name='item' value='{item_id}'>"
+            "Nickname: <input name='nickname'> Password: "
+            "<input name='password' type='password'>"
+            "<input type='submit'></form>"
+        )
+        end_page(response)
+
+
+class BuyNow(RubisServlet):
+    """Buy-now confirmation page for an (item, user) pair."""
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        item_id = int(require_parameter(request, "item"))
+        user_id = int(require_parameter(request, "user"))
+        statement = self.statement()
+        item = statement.execute_query(
+            "SELECT name, buy_now, quantity, seller FROM items WHERE id = ?",
+            (item_id,),
+        )
+        if not item.next():
+            raise ServletError(f"no item {item_id}")
+        user = statement.execute_query(
+            "SELECT nickname FROM users WHERE id = ?", (user_id,)
+        )
+        begin_page(response, f"RUBiS: Buy {item.get('name')} now")
+        response.write(
+            f"<p>{user.scalar()}, buy it now for {item.get('buy_now')} "
+            f"({item.get('quantity')} available)</p>"
+            f"<form action='/rubis/store_buy_now' method='post'>"
+            f"<input type='hidden' name='item' value='{item_id}'>"
+            f"<input type='hidden' name='user' value='{user_id}'>"
+            "Qty: <input name='qty' value='1'><input type='submit'></form>"
+        )
+        end_page(response)
+
+
+class PutBidAuth(RubisServlet):
+    """Login form before bidding; no database access."""
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        item_id = int(require_parameter(request, "item"))
+        begin_page(response, "RUBiS: Bid authentication")
+        response.write(
+            f"<form action='/rubis/put_bid'>"
+            f"<input type='hidden' name='item' value='{item_id}'>"
+            "Nickname: <input name='nickname'> Password: "
+            "<input name='password' type='password'>"
+            "<input type='submit'></form>"
+        )
+        end_page(response)
+
+
+class PutBid(RubisServlet):
+    """Bid form for an (item, user) pair, showing the current price."""
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        item_id = int(require_parameter(request, "item"))
+        user_id = int(require_parameter(request, "user"))
+        statement = self.statement()
+        item = statement.execute_query(
+            "SELECT name, initial_price, max_bid, nb_of_bids FROM items "
+            "WHERE id = ?",
+            (item_id,),
+        )
+        if not item.next():
+            raise ServletError(f"no item {item_id}")
+        user = statement.execute_query(
+            "SELECT nickname FROM users WHERE id = ?", (user_id,)
+        )
+        minimum = max(
+            float(item.get("initial_price") or 0.0),
+            float(item.get("max_bid") or 0.0),
+        )
+        begin_page(response, f"RUBiS: Bid on {item.get('name')}")
+        response.write(
+            f"<p>{user.scalar()}: current bid {item.get('max_bid')}, "
+            f"{item.get('nb_of_bids')} bids so far; bid at least "
+            f"{minimum + 1.0}</p>"
+            f"<form action='/rubis/store_bid' method='post'>"
+            f"<input type='hidden' name='item' value='{item_id}'>"
+            f"<input type='hidden' name='user' value='{user_id}'>"
+            "Bid: <input name='bid'><input type='submit'></form>"
+        )
+        end_page(response)
+
+
+class PutCommentAuth(RubisServlet):
+    """Login form before commenting; no database access."""
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        item_id = int(require_parameter(request, "item"))
+        to_user = int(require_parameter(request, "to"))
+        begin_page(response, "RUBiS: Comment authentication")
+        response.write(
+            f"<form action='/rubis/put_comment'>"
+            f"<input type='hidden' name='item' value='{item_id}'>"
+            f"<input type='hidden' name='to' value='{to_user}'>"
+            "Nickname: <input name='nickname'> Password: "
+            "<input name='password' type='password'>"
+            "<input type='submit'></form>"
+        )
+        end_page(response)
+
+
+class PutComment(RubisServlet):
+    """Comment form about a user for a transaction on an item."""
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        item_id = int(require_parameter(request, "item"))
+        to_user = int(require_parameter(request, "to"))
+        from_user = int(require_parameter(request, "user"))
+        statement = self.statement()
+        item = statement.execute_query(
+            "SELECT name FROM items WHERE id = ?", (item_id,)
+        )
+        target = statement.execute_query(
+            "SELECT nickname FROM users WHERE id = ?", (to_user,)
+        )
+        begin_page(response, f"RUBiS: Comment on {target.scalar()}")
+        response.write(
+            f"<p>About your transaction on {item.scalar()}</p>"
+            f"<form action='/rubis/store_comment' method='post'>"
+            f"<input type='hidden' name='item' value='{item_id}'>"
+            f"<input type='hidden' name='to' value='{to_user}'>"
+            f"<input type='hidden' name='from' value='{from_user}'>"
+            "Rating: <input name='rating'> Comment: <input name='comment'>"
+            "<input type='submit'></form>"
+        )
+        end_page(response)
+
+
+class Register(RubisServlet):
+    """New-user registration form; no database access."""
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        begin_page(response, "RUBiS: Register")
+        response.write(
+            "<form action='/rubis/register_user' method='post'>"
+            "First name: <input name='firstname'> Last name: "
+            "<input name='lastname'> Nickname: <input name='nickname'>"
+            " Region: <input name='region'><input type='submit'></form>"
+        )
+        end_page(response)
+
+
+class Sell(RubisServlet):
+    """Sell hub page; no database access."""
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        begin_page(response, "RUBiS: Sell your item")
+        response.write(
+            "<p><a href='/rubis/select_category_to_sell'>Choose a category"
+            "</a></p>"
+        )
+        end_page(response)
+
+
+class SelectCategoryToSellItem(RubisServlet):
+    """Category chooser for sellers."""
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        statement = self.statement()
+        result = statement.execute_query(
+            "SELECT id, name FROM categories ORDER BY name"
+        )
+        begin_page(response, "RUBiS: Select a category")
+        response.write("<ul>")
+        for row in result.all_dicts():
+            response.write(
+                f"<li><a href='/rubis/sell_item_form?category={row['id']}'>"
+                f"{row['name']}</a></li>"
+            )
+        response.write("</ul>")
+        end_page(response)
+
+
+class SellItemForm(RubisServlet):
+    """Item entry form for one category."""
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        category = int(require_parameter(request, "category"))
+        statement = self.statement()
+        name = statement.execute_query(
+            "SELECT name FROM categories WHERE id = ?", (category,)
+        )
+        begin_page(response, f"RUBiS: Sell in {name.scalar()}")
+        response.write(
+            f"<form action='/rubis/register_item' method='post'>"
+            f"<input type='hidden' name='category' value='{category}'>"
+            "Name: <input name='name'> Description: <input name='description'>"
+            " Initial price: <input name='initial_price'>"
+            " Seller: <input name='seller'><input type='submit'></form>"
+        )
+        end_page(response)

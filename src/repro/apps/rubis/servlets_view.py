@@ -1,0 +1,207 @@
+"""RUBiS view interactions (read-only).
+
+ViewItem, ViewBidHistory, ViewUserInfo, AboutMe.
+"""
+
+from __future__ import annotations
+
+from repro.apps.html import begin_page, end_page, write_table
+from repro.apps.rubis.base import RubisServlet
+from repro.errors import ServletError
+from repro.web.http import HttpRequest, HttpResponse
+from repro.web.servlet import require_parameter
+
+
+class ViewItem(RubisServlet):
+    """Item detail page (Figure 16: misses mostly from invalidation --
+    every bid updates the item row)."""
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        item_id = int(require_parameter(request, "item"))
+        statement = self.statement()
+        item = statement.execute_query(
+            "SELECT * FROM items WHERE id = ?", (item_id,)
+        )
+        if not item.next():
+            raise ServletError(f"no item {item_id}")
+        seller_id = item.get("seller")
+        seller = statement.execute_query(
+            "SELECT nickname FROM users WHERE id = ?", (seller_id,)
+        )
+        begin_page(response, f"RUBiS: {item.get('name')}")
+        response.write(f"<p>{item.get('description')}</p>")
+        write_table(
+            response,
+            ["Initial price", "Current bid", "Bids", "Quantity", "Seller", "Ends"],
+            [
+                [
+                    item.get("initial_price"),
+                    item.get("max_bid"),
+                    item.get("nb_of_bids"),
+                    item.get("quantity"),
+                    seller.scalar(),
+                    item.get("end_date"),
+                ]
+            ],
+        )
+        response.write(
+            f"<p><a href='/rubis/put_bid?item={item_id}'>Bid</a> | "
+            f"<a href='/rubis/buy_now_auth?item={item_id}'>Buy now</a> | "
+            f"<a href='/rubis/view_bid_history?item={item_id}'>Bid history</a></p>"
+        )
+        end_page(response)
+
+
+class ViewBidHistory(RubisServlet):
+    """Bid history for one item (invalidated by every new bid)."""
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        item_id = int(require_parameter(request, "item"))
+        statement = self.statement()
+        name = statement.execute_query(
+            "SELECT name FROM items WHERE id = ?", (item_id,)
+        )
+        bids = statement.execute_query(
+            "SELECT users.nickname, bids.bid, bids.qty, bids.date "
+            "FROM bids, users "
+            "WHERE bids.item_id = ? AND bids.user_id = users.id "
+            "ORDER BY bids.bid DESC",
+            (item_id,),
+        )
+        begin_page(response, f"RUBiS: Bid history for {name.scalar()}")
+        write_table(
+            response,
+            ["Bidder", "Bid", "Qty", "Date"],
+            [
+                [row["nickname"], row["bid"], row["qty"], row["date"]]
+                for row in bids.all_dicts()
+            ],
+        )
+        end_page(response)
+
+
+class ViewUserInfo(RubisServlet):
+    """User profile with received comments."""
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        user_id = int(require_parameter(request, "user"))
+        statement = self.statement()
+        user = statement.execute_query(
+            "SELECT nickname, rating, creation_date, region FROM users "
+            "WHERE id = ?",
+            (user_id,),
+        )
+        if not user.next():
+            raise ServletError(f"no user {user_id}")
+        comments = statement.execute_query(
+            "SELECT users.nickname, comments.rating, comments.date, "
+            "comments.comment "
+            "FROM comments, users "
+            "WHERE comments.to_user_id = ? AND comments.from_user_id = users.id "
+            "ORDER BY comments.date DESC",
+            (user_id,),
+        )
+        begin_page(response, f"RUBiS: User {user.get('nickname')}")
+        response.write(
+            f"<p>Rating: {user.get('rating')}; member since "
+            f"{user.get('creation_date')}</p>"
+        )
+        write_table(
+            response,
+            ["From", "Rating", "Date", "Comment"],
+            [
+                [row["nickname"], row["rating"], row["date"], row["comment"]]
+                for row in comments.all_dicts()
+            ],
+        )
+        end_page(response)
+
+
+class AboutMe(RubisServlet):
+    """The user's personal summary page.
+
+    The most query-heavy read in RUBiS (items on sale, bids placed,
+    items bought, comments received) -- the paper's Figure 18 shows its
+    high miss penalty compensated by a high hit rate.
+    """
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        user_id = int(require_parameter(request, "user"))
+        statement = self.statement()
+        user = statement.execute_query(
+            "SELECT nickname, rating, balance FROM users WHERE id = ?",
+            (user_id,),
+        )
+        if not user.next():
+            raise ServletError(f"no user {user_id}")
+        selling = statement.execute_query(
+            "SELECT id, name, max_bid, nb_of_bids, end_date FROM items "
+            "WHERE seller = ? ORDER BY end_date",
+            (user_id,),
+        )
+        sold = statement.execute_query(
+            "SELECT name, max_bid, end_date FROM old_items "
+            "WHERE seller = ? ORDER BY end_date DESC",
+            (user_id,),
+        )
+        bidding = statement.execute_query(
+            "SELECT items.id, items.name, bids.bid, items.max_bid "
+            "FROM bids, items "
+            "WHERE bids.user_id = ? AND bids.item_id = items.id "
+            "ORDER BY items.id",
+            (user_id,),
+        )
+        bought = statement.execute_query(
+            "SELECT items.name, buy_now.qty, buy_now.date "
+            "FROM buy_now, items "
+            "WHERE buy_now.buyer_id = ? AND buy_now.item_id = items.id "
+            "ORDER BY buy_now.date DESC",
+            (user_id,),
+        )
+        comments = statement.execute_query(
+            "SELECT rating, comment FROM comments WHERE to_user_id = ? "
+            "ORDER BY date DESC",
+            (user_id,),
+        )
+        begin_page(response, f"RUBiS: About {user.get('nickname')}")
+        response.write(f"<h2>Rating {user.get('rating')}</h2>")
+        response.write("<h2>Items you are selling</h2>")
+        write_table(
+            response,
+            ["Item", "Current bid", "Bids", "Ends"],
+            [
+                [row["name"], row["max_bid"], row["nb_of_bids"], row["end_date"]]
+                for row in selling.all_dicts()
+            ],
+        )
+        response.write("<h2>Items you sold</h2>")
+        write_table(
+            response,
+            ["Item", "Final price", "Ended"],
+            [
+                [row["name"], row["max_bid"], row["end_date"]]
+                for row in sold.all_dicts()
+            ],
+        )
+        response.write("<h2>Items you bid on</h2>")
+        write_table(
+            response,
+            ["Item", "Your bid", "Current bid"],
+            [
+                [row["name"], row["bid"], row["max_bid"]]
+                for row in bidding.all_dicts()
+            ],
+        )
+        response.write("<h2>Items you bought</h2>")
+        write_table(
+            response,
+            ["Item", "Qty", "Date"],
+            [[row["name"], row["qty"], row["date"]] for row in bought.all_dicts()],
+        )
+        response.write("<h2>Comments about you</h2>")
+        write_table(
+            response,
+            ["Rating", "Comment"],
+            [[row["rating"], row["comment"]] for row in comments.all_dicts()],
+        )
+        end_page(response)

@@ -1,0 +1,168 @@
+"""RUBiS write interactions.
+
+StoreBid, StoreBuyNow, StoreComment, RegisterUser, RegisterItem.  All
+are POST handlers: the ``WriteServletAspect`` collects their updates and
+invalidates affected cached pages after they complete.
+
+New rows rely on the engine's AUTO_INCREMENT primary keys (insert with
+the id column omitted, read the assigned key back with
+``Statement.generated_key()``), exactly as the original RUBiS servlets
+use MySQL auto_increment columns through JDBC.
+"""
+
+from __future__ import annotations
+
+from repro.apps.html import begin_page, end_page
+from repro.apps.rubis.base import RubisServlet
+from repro.errors import ServletError
+from repro.web.http import HttpRequest, HttpResponse
+from repro.web.servlet import require_parameter
+
+
+class StoreBid(RubisServlet):
+    """Record a bid: insert into bids, bump the item's bid summary."""
+
+    def do_post(self, request: HttpRequest, response: HttpResponse) -> None:
+        item_id = int(require_parameter(request, "item"))
+        user_id = int(require_parameter(request, "user"))
+        amount = float(require_parameter(request, "bid"))
+        qty = request.get_int("qty", 1) or 1
+        statement = self.statement()
+        item = statement.execute_query(
+            "SELECT nb_of_bids, max_bid FROM items WHERE id = ?", (item_id,)
+        )
+        if not item.next():
+            raise ServletError(f"no item {item_id}")
+        nb_of_bids = int(item.get("nb_of_bids") or 0) + 1
+        max_bid = max(float(item.get("max_bid") or 0.0), amount)
+        statement.execute_update(
+            "INSERT INTO bids (user_id, item_id, qty, bid, max_bid, date) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            (user_id, item_id, qty, amount, amount, 0.0),
+        )
+        statement.execute_update(
+            "UPDATE items SET nb_of_bids = ?, max_bid = ? WHERE id = ?",
+            (nb_of_bids, max_bid, item_id),
+        )
+        begin_page(response, "RUBiS: Bid recorded")
+        response.write(f"<p>Bid {amount} on item {item_id} recorded.</p>")
+        end_page(response)
+
+
+class StoreBuyNow(RubisServlet):
+    """Record a buy-now purchase and decrement the item quantity."""
+
+    def do_post(self, request: HttpRequest, response: HttpResponse) -> None:
+        item_id = int(require_parameter(request, "item"))
+        user_id = int(require_parameter(request, "user"))
+        qty = request.get_int("qty", 1) or 1
+        statement = self.statement()
+        statement.execute_update(
+            "INSERT INTO buy_now (buyer_id, item_id, qty, date) "
+            "VALUES (?, ?, ?, ?)",
+            (user_id, item_id, qty, 0.0),
+        )
+        statement.execute_update(
+            "UPDATE items SET quantity = quantity - ? WHERE id = ?",
+            (qty, item_id),
+        )
+        begin_page(response, "RUBiS: Purchase recorded")
+        response.write(f"<p>Bought {qty} of item {item_id}.</p>")
+        end_page(response)
+
+
+class StoreComment(RubisServlet):
+    """Record a comment and adjust the target user's rating."""
+
+    def do_post(self, request: HttpRequest, response: HttpResponse) -> None:
+        item_id = int(require_parameter(request, "item"))
+        to_user = int(require_parameter(request, "to"))
+        from_user = int(require_parameter(request, "from"))
+        rating = int(require_parameter(request, "rating"))
+        text = request.get_parameter("comment", "") or ""
+        statement = self.statement()
+        statement.execute_update(
+            "INSERT INTO comments (from_user_id, to_user_id, item_id, "
+            "rating, date, comment) VALUES (?, ?, ?, ?, ?, ?)",
+            (from_user, to_user, item_id, rating, 0.0, text),
+        )
+        statement.execute_update(
+            "UPDATE users SET rating = rating + ? WHERE id = ?",
+            (rating, to_user),
+        )
+        begin_page(response, "RUBiS: Comment recorded")
+        response.write(f"<p>Comment on user {to_user} recorded.</p>")
+        end_page(response)
+
+
+class RegisterUser(RubisServlet):
+    """Create a user account."""
+
+    def do_post(self, request: HttpRequest, response: HttpResponse) -> None:
+        firstname = require_parameter(request, "firstname")
+        lastname = require_parameter(request, "lastname")
+        nickname = require_parameter(request, "nickname")
+        region = int(require_parameter(request, "region"))
+        statement = self.statement()
+        existing = statement.execute_query(
+            "SELECT id FROM users WHERE nickname = ?", (nickname,)
+        )
+        if existing.next():
+            raise ServletError(f"nickname {nickname!r} is taken")
+        statement.execute_update(
+            "INSERT INTO users (firstname, lastname, nickname, password, "
+            "email, rating, balance, creation_date, region) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                firstname,
+                lastname,
+                nickname,
+                "secret",
+                f"{nickname}@example.com",
+                0,
+                0.0,
+                0.0,
+                region,
+            ),
+        )
+        user_id = statement.generated_key()
+        begin_page(response, "RUBiS: User registered")
+        response.write(f"<p>Welcome {nickname}, your id is {user_id}.</p>")
+        end_page(response)
+
+
+class RegisterItem(RubisServlet):
+    """Put a new item up for auction."""
+
+    def do_post(self, request: HttpRequest, response: HttpResponse) -> None:
+        name = require_parameter(request, "name")
+        description = request.get_parameter("description", "") or ""
+        initial_price = float(require_parameter(request, "initial_price"))
+        category = int(require_parameter(request, "category"))
+        seller = int(require_parameter(request, "seller"))
+        quantity = request.get_int("quantity", 1) or 1
+        statement = self.statement()
+        statement.execute_update(
+            "INSERT INTO items (name, description, initial_price, "
+            "quantity, reserve_price, buy_now, nb_of_bids, max_bid, "
+            "start_date, end_date, seller, category) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                name,
+                description,
+                initial_price,
+                quantity,
+                initial_price * 1.1,
+                initial_price * 2.0,
+                0,
+                0.0,
+                0.0,
+                7 * 24 * 3600.0,
+                seller,
+                category,
+            ),
+        )
+        item_id = statement.generated_key()
+        begin_page(response, "RUBiS: Item registered")
+        response.write(f"<p>Item {item_id} ({name}) is up for auction.</p>")
+        end_page(response)

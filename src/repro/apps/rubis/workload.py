@@ -1,0 +1,268 @@
+"""RUBiS workload mixes (Section 5: the bidding mix, 85% reads).
+
+Parameter generators keep session locality: a session bids on the item
+it last viewed, comments on the user it last inspected, and visits its
+own AboutMe page -- mirroring the RUBiS client emulator's CBMG, whose
+transitions route through item/user pages before the corresponding
+writes.
+"""
+
+from __future__ import annotations
+
+from repro.apps.rubis.data import RubisDataset
+from repro.workload.mix import Interaction, InteractionMix
+from repro.workload.session import ClientSession
+from repro.workload.zipf import ZipfSampler
+
+
+class RubisParamFactory:
+    """Builds parameter generators bound to one dataset's id ranges."""
+
+    def __init__(self, dataset: RubisDataset) -> None:
+        self.dataset = dataset
+        self.items = ZipfSampler(dataset.n_items, s=1.1)
+        self.users = ZipfSampler(dataset.n_users, s=1.2)
+        self.categories = ZipfSampler(dataset.n_categories, s=1.1)
+        self.regions = ZipfSampler(dataset.n_regions, s=1.1)
+
+    # -- session state helpers ------------------------------------------------
+
+    def own_user(self, session: ClientSession) -> int:
+        user = session.state.get("user")
+        if user is None:
+            user = session.rng.randrange(self.dataset.n_users)
+            session.state["user"] = user
+        return int(user)
+
+    def current_item(self, session: ClientSession) -> int:
+        item = session.state.get("item")
+        if item is None:
+            item = self.items.sample(session.rng)
+            session.state["item"] = item
+        return int(item)
+
+    def pick_item(self, session: ClientSession) -> int:
+        item = self.items.sample(session.rng)
+        session.state["item"] = item
+        return item
+
+    def other_user(self, session: ClientSession) -> int:
+        user = session.state.get("other_user")
+        if user is None:
+            user = self.users.sample(session.rng)
+            session.state["other_user"] = user
+        return int(user)
+
+    # -- parameter generators ------------------------------------------------------
+
+    def none(self, session: ClientSession) -> dict[str, str]:
+        return {}
+
+    def region(self, session: ClientSession) -> dict[str, str]:
+        region = self.regions.sample(session.rng)
+        session.state["region"] = region
+        return {"region": str(region)}
+
+    def category_page(self, session: ClientSession) -> dict[str, str]:
+        category = self.categories.sample(session.rng)
+        session.state["category"] = category
+        page = 0 if session.rng.random() < 0.75 else session.rng.randint(1, 2)
+        return {"category": str(category), "page": str(page)}
+
+    def category_region_page(self, session: ClientSession) -> dict[str, str]:
+        params = self.category_page(session)
+        # Sessions mostly stay in the region they are browsing, which is
+        # what concentrates SearchItemsByRegion onto few pages (the
+        # near-100% hit rates of Figure 16).
+        region = session.state.get("region")
+        if region is None or session.rng.random() < 0.2:
+            region = self.regions.sample(session.rng)
+            session.state["region"] = region
+        params["region"] = str(region)
+        return params
+
+    def view_item(self, session: ClientSession) -> dict[str, str]:
+        return {"item": str(self.pick_item(session))}
+
+    def item_only(self, session: ClientSession) -> dict[str, str]:
+        return {"item": str(self.current_item(session))}
+
+    def item_user(self, session: ClientSession) -> dict[str, str]:
+        return {
+            "item": str(self.current_item(session)),
+            "user": str(self.own_user(session)),
+        }
+
+    def view_user(self, session: ClientSession) -> dict[str, str]:
+        user = self.users.sample(session.rng)
+        session.state["other_user"] = user
+        return {"user": str(user)}
+
+    def about_me(self, session: ClientSession) -> dict[str, str]:
+        return {"user": str(self.own_user(session))}
+
+    def comment_form(self, session: ClientSession) -> dict[str, str]:
+        return {
+            "item": str(self.current_item(session)),
+            "to": str(self.other_user(session)),
+            "user": str(self.own_user(session)),
+        }
+
+    def store_bid(self, session: ClientSession) -> dict[str, str]:
+        return {
+            "item": str(self.current_item(session)),
+            "user": str(self.own_user(session)),
+            "bid": str(round(session.rng.uniform(1, 500), 2)),
+        }
+
+    def store_buy_now(self, session: ClientSession) -> dict[str, str]:
+        return {
+            "item": str(self.current_item(session)),
+            "user": str(self.own_user(session)),
+            "qty": "1",
+        }
+
+    def store_comment(self, session: ClientSession) -> dict[str, str]:
+        return {
+            "item": str(self.current_item(session)),
+            "to": str(self.other_user(session)),
+            "from": str(self.own_user(session)),
+            "rating": str(session.rng.randint(-5, 5)),
+            "comment": "nice transaction",
+        }
+
+    def register_user(self, session: ClientSession) -> dict[str, str]:
+        count = session.state.get("registered", 0)
+        session.state["registered"] = count + 1
+        return {
+            "firstname": "new",
+            "lastname": "user",
+            "nickname": f"nick{session.session_id}x{count}",
+            "region": str(self.regions.sample(session.rng)),
+        }
+
+    def sell_item_form(self, session: ClientSession) -> dict[str, str]:
+        category = self.categories.sample(session.rng)
+        session.state["category"] = category
+        return {"category": str(category)}
+
+    def register_item(self, session: ClientSession) -> dict[str, str]:
+        return {
+            "name": f"fresh-item-{session.session_id}-{session.requests_issued}",
+            "description": "brand new",
+            "initial_price": str(round(session.rng.uniform(1, 100), 2)),
+            "category": str(session.state.get("category", 0)),
+            "seller": str(self.own_user(session)),
+        }
+
+
+def bidding_mix(dataset: RubisDataset) -> InteractionMix:
+    """The paper's primary RUBiS mix: 15% writes (Figure 13/16/18)."""
+    p = RubisParamFactory(dataset)
+    interactions = [
+        Interaction("Home", "GET", "/rubis/home", p.none, 3.0),
+        Interaction("Browse", "GET", "/rubis/browse", p.none, 4.0),
+        Interaction(
+            "BrowseCategories", "GET", "/rubis/browse_categories", p.none, 6.0
+        ),
+        Interaction("BrowseRegions", "GET", "/rubis/browse_regions", p.none, 3.0),
+        Interaction(
+            "BrowseCategoriesInRegion",
+            "GET",
+            "/rubis/browse_categories_in_region",
+            p.region,
+            3.0,
+        ),
+        Interaction(
+            "SearchItemsByCategory",
+            "GET",
+            "/rubis/search_items_by_category",
+            p.category_page,
+            16.0,
+        ),
+        Interaction(
+            "SearchItemsByRegion",
+            "GET",
+            "/rubis/search_items_by_region",
+            p.category_region_page,
+            9.0,
+        ),
+        Interaction("ViewItem", "GET", "/rubis/view_item", p.view_item, 17.0),
+        Interaction(
+            "ViewBidHistory", "GET", "/rubis/view_bid_history", p.item_only, 4.0
+        ),
+        Interaction(
+            "ViewUserInfo", "GET", "/rubis/view_user_info", p.view_user, 4.0
+        ),
+        Interaction("AboutMe", "GET", "/rubis/about_me", p.about_me, 3.0),
+        Interaction("BuyNowAuth", "GET", "/rubis/buy_now_auth", p.item_only, 1.0),
+        Interaction("BuyNow", "GET", "/rubis/buy_now", p.item_user, 1.5),
+        Interaction("PutBidAuth", "GET", "/rubis/put_bid_auth", p.item_only, 2.0),
+        Interaction("PutBid", "GET", "/rubis/put_bid", p.item_user, 5.0),
+        Interaction(
+            "PutCommentAuth",
+            "GET",
+            "/rubis/put_comment_auth",
+            p.comment_form,
+            0.7,
+        ),
+        Interaction(
+            "PutComment", "GET", "/rubis/put_comment", p.comment_form, 0.8
+        ),
+        Interaction("Register", "GET", "/rubis/register", p.none, 0.5),
+        Interaction("Sell", "GET", "/rubis/sell", p.none, 0.5),
+        Interaction(
+            "SelectCategoryToSellItem",
+            "GET",
+            "/rubis/select_category_to_sell",
+            p.none,
+            0.5,
+        ),
+        Interaction(
+            "SellItemForm", "GET", "/rubis/sell_item_form", p.sell_item_form, 0.5
+        ),
+        # -- writes (15%) --
+        Interaction(
+            "StoreBid", "POST", "/rubis/store_bid", p.store_bid, 11.0, True
+        ),
+        Interaction(
+            "StoreBuyNow",
+            "POST",
+            "/rubis/store_buy_now",
+            p.store_buy_now,
+            1.5,
+            True,
+        ),
+        Interaction(
+            "StoreComment",
+            "POST",
+            "/rubis/store_comment",
+            p.store_comment,
+            1.5,
+            True,
+        ),
+        Interaction(
+            "RegisterUser",
+            "POST",
+            "/rubis/register_user",
+            p.register_user,
+            0.5,
+            True,
+        ),
+        Interaction(
+            "RegisterItem",
+            "POST",
+            "/rubis/register_item",
+            p.register_item,
+            0.5,
+            True,
+        ),
+    ]
+    return InteractionMix("rubis-bidding", interactions)
+
+
+def browsing_mix(dataset: RubisDataset) -> InteractionMix:
+    """Read-only RUBiS mix (no writes; the no-invalidation baseline)."""
+    bidding = bidding_mix(dataset)
+    reads = [i for i in bidding.interactions if not i.is_write]
+    return InteractionMix("rubis-browsing", reads)

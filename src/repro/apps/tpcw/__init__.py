@@ -1,0 +1,22 @@
+"""TPC-W: the online-bookstore benchmark (14 web interactions).
+
+Follows the TPC-W v1.8 specification at the fidelity the cache
+observes, including the two semantic quirks the paper leans on:
+
+- Home and SearchRequest embed a *random ad banner* (hidden state), so
+  they must be marked uncacheable (Figure 17);
+- BestSellers may serve data up to 30 seconds stale (spec clauses
+  3.1.4.1 / 6.3.3.1), enabling the TTL-window optimisation (Figure 15).
+"""
+
+from repro.apps.tpcw.app import TpcwApplication, build_tpcw
+from repro.apps.tpcw.schema import create_tpcw_schema
+from repro.apps.tpcw.data import TpcwDataset, populate_tpcw
+
+__all__ = [
+    "TpcwApplication",
+    "build_tpcw",
+    "create_tpcw_schema",
+    "TpcwDataset",
+    "populate_tpcw",
+]

@@ -1,0 +1,98 @@
+"""TPC-W application assembly: database + container + servlet routing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.tpcw import servlets_read, servlets_write
+from repro.apps.tpcw.base import AdRotator
+from repro.apps.tpcw.data import TpcwDataset, populate_tpcw
+from repro.apps.tpcw.schema import create_tpcw_schema
+from repro.cache.semantics import SemanticsRegistry
+from repro.db import Database, connect
+from repro.db.dbapi import Connection
+from repro.web.container import ServletContainer
+
+#: URI -> (servlet class, is_write) for all 14 interactions.
+INTERACTIONS: dict[str, tuple[type, bool]] = {
+    "/tpcw/home": (servlets_read.Home, False),
+    "/tpcw/new_products": (servlets_read.NewProducts, False),
+    "/tpcw/best_sellers": (servlets_read.BestSellers, False),
+    "/tpcw/product_detail": (servlets_read.ProductDetail, False),
+    "/tpcw/search_request": (servlets_read.SearchRequest, False),
+    "/tpcw/search_results": (servlets_read.SearchResults, False),
+    "/tpcw/order_inquiry": (servlets_read.OrderInquiry, False),
+    "/tpcw/order_display": (servlets_read.OrderDisplay, False),
+    "/tpcw/customer_registration": (servlets_read.CustomerRegistration, False),
+    "/tpcw/admin_request": (servlets_read.AdminRequest, False),
+    "/tpcw/shopping_cart": (servlets_write.ShoppingCart, True),
+    "/tpcw/buy_request": (servlets_write.BuyRequest, True),
+    "/tpcw/buy_confirm": (servlets_write.BuyConfirm, True),
+    "/tpcw/admin_confirm": (servlets_write.AdminConfirm, True),
+}
+
+#: Interactions embedding hidden state (random ad banners): the paper
+#: marks these uncacheable (Section 4.3, Figure 17).
+HIDDEN_STATE_URIS = ("/tpcw/home", "/tpcw/search_request")
+
+#: The BestSeller dirty-read window from TPC-W spec 3.1.4.1 / 6.3.3.1.
+BEST_SELLER_WINDOW_SECONDS = 30.0
+
+
+@dataclass
+class TpcwApplication:
+    """A fully assembled TPC-W instance."""
+
+    database: Database
+    connection: Connection
+    container: ServletContainer
+    dataset: TpcwDataset
+    ads: AdRotator
+
+    @property
+    def servlet_classes(self) -> list[type]:
+        return self.container.servlet_classes
+
+    @property
+    def read_uris(self) -> list[str]:
+        return [uri for uri, (_cls, write) in INTERACTIONS.items() if not write]
+
+    @property
+    def write_uris(self) -> list[str]:
+        return [uri for uri, (_cls, write) in INTERACTIONS.items() if write]
+
+
+def build_tpcw(
+    dataset: TpcwDataset | None = None, ad_seed: int | None = None
+) -> TpcwApplication:
+    """Create, populate and route a TPC-W instance."""
+    dataset = dataset or TpcwDataset()
+    database = Database("tpcw")
+    create_tpcw_schema(database)
+    populate_tpcw(database, dataset)
+    connection = connect(database)
+    ads = AdRotator(ad_seed, n_items=dataset.n_items)
+    container = ServletContainer()
+    for uri, (servlet_class, _is_write) in INTERACTIONS.items():
+        container.register(uri, servlet_class(connection, ads))
+    return TpcwApplication(
+        database=database,
+        connection=connection,
+        container=container,
+        dataset=dataset,
+        ads=ads,
+    )
+
+
+def standard_semantics(use_best_seller_window: bool = False) -> SemanticsRegistry:
+    """The paper's TPC-W cache configuration.
+
+    Always marks the hidden-state pages uncacheable; optionally enables
+    the BestSeller 30-second window (the Figure 15 optimisation).
+    """
+    registry = SemanticsRegistry()
+    for uri in HIDDEN_STATE_URIS:
+        registry.mark_uncacheable(uri)
+    if use_best_seller_window:
+        registry.set_ttl_window("/tpcw/best_sellers", BEST_SELLER_WINDOW_SECONDS)
+    return registry

@@ -1,0 +1,54 @@
+"""Shared infrastructure for TPC-W servlets."""
+
+from __future__ import annotations
+
+import random
+
+from repro.db.dbapi import Connection, Statement
+from repro.web.servlet import HttpServlet
+
+
+class AdRotator:
+    """Random advertisement banners: the paper's *hidden state*.
+
+    Pages embedding a banner differ between identical requests, which is
+    why Home and SearchRequest must be marked uncacheable (Section 4.3,
+    "The Hidden State Problem"; Figure 17).  The rotator deliberately
+    lives outside the request: its RNG is application state invisible to
+    the URI+parameters cache key.
+    """
+
+    BANNERS = [
+        "BUY MORE BOOKS!", "FREE SHIPPING TODAY", "JOIN OUR BOOK CLUB",
+        "50% OFF BESTSELLERS", "NEW ARRIVALS WEEKLY", "GIFT CARDS INSIDE",
+    ]
+
+    def __init__(self, seed: int | None = None, n_items: int = 1) -> None:
+        self._rng = random.Random(seed)
+        #: Catalogue size, set by the application assembly; the rotator
+        #: draws promotional item ids from it (TPC-W's I_RELATED role).
+        self.n_items = max(1, n_items)
+
+    def next_banner(self) -> str:
+        index = self._rng.randrange(len(self.BANNERS))
+        return f"<div class='ad' data-n='{self._rng.randrange(10**9)}'>" \
+               f"{self.BANNERS[index]}</div>"
+
+    def promotional_items(self, count: int = 5) -> list[int]:
+        """Random item ids for the Home page's promotions."""
+        return [self._rng.randrange(self.n_items) for _ in range(count)]
+
+
+class TpcwServlet(HttpServlet):
+    """Servlet holding the shared connection and ad rotator.
+
+    As with RUBiS, there is no caching code below: AutoWebCache is
+    woven around these classes.
+    """
+
+    def __init__(self, connection: Connection, ads: AdRotator) -> None:
+        self._connection = connection
+        self._ads = ads
+
+    def statement(self) -> Statement:
+        return self._connection.create_statement()

@@ -1,0 +1,155 @@
+"""Synthetic TPC-W population.
+
+Scaled down from the spec's 10k-item / 288k-customer configuration to
+in-memory-simulation sizes while preserving the ratios that matter to
+caching: ~24 subjects, orders with several lines each (feeding the
+BestSellers aggregation), and customers with order history (feeding
+OrderDisplay).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.db import Database
+
+SUBJECTS = [
+    "ARTS", "BIOGRAPHIES", "BUSINESS", "CHILDREN", "COMPUTERS", "COOKING",
+    "HEALTH", "HISTORY", "HOME", "HUMOR", "LITERATURE", "MYSTERY",
+    "NON-FICTION", "PARENTING", "POLITICS", "REFERENCE", "RELIGION",
+    "ROMANCE", "SCIENCE", "SCIFI", "SELF-HELP", "SPORTS", "TRAVEL", "YOUTH",
+]
+
+_FIRST = ["JOHN", "MARY", "WEI", "ANNA", "LUIS", "SARA", "OMAR", "NINA"]
+_LAST = ["DOE", "SMITH", "CHEN", "GARCIA", "SILVA", "KHAN", "MEYER", "ROSSI"]
+_TITLE_WORDS = [
+    "SECRET", "HISTORY", "NIGHT", "GARDEN", "STONE", "RIVER", "WINTER",
+    "LETTERS", "SHADOW", "CROWN", "JOURNEY", "SILENCE", "FIRE", "MAPS",
+]
+_COUNTRIES = ["United States", "France", "Switzerland", "India", "Japan"]
+
+
+@dataclass
+class TpcwDataset:
+    """Population parameters and resulting counts."""
+
+    n_items: int = 500
+    n_customers: int = 200
+    n_authors: int = 60
+    n_orders: int = 250
+    lines_per_order: int = 3
+    seed: int = 19990101
+    base_time: float = 0.0
+
+    n_subjects: int = len(SUBJECTS)
+    n_order_lines: int = 0
+    n_carts: int = 0
+
+
+def populate_tpcw(db: Database, dataset: TpcwDataset) -> TpcwDataset:
+    """Fill ``db`` with a deterministic synthetic population."""
+    rng = random.Random(dataset.seed)
+
+    db.insert_rows(
+        "country",
+        [{"co_id": i, "co_name": name} for i, name in enumerate(_COUNTRIES)],
+    )
+    db.insert_rows(
+        "address",
+        [
+            {
+                "addr_id": i,
+                "addr_street": f"{i} Main St",
+                "addr_city": f"City{i % 40}",
+                "addr_co_id": i % len(_COUNTRIES),
+            }
+            for i in range(dataset.n_customers)
+        ],
+    )
+    db.insert_rows(
+        "author",
+        [
+            {
+                "a_id": i,
+                "a_fname": rng.choice(_FIRST),
+                "a_lname": f"{rng.choice(_LAST)}{i}",
+            }
+            for i in range(dataset.n_authors)
+        ],
+    )
+    db.insert_rows(
+        "customer",
+        [
+            {
+                "c_id": i,
+                "c_uname": f"user{i}",
+                "c_passwd": f"pw{i}",
+                "c_fname": rng.choice(_FIRST),
+                "c_lname": rng.choice(_LAST),
+                "c_addr_id": i,
+                "c_discount": round(rng.uniform(0.0, 0.5), 2),
+                "c_since": dataset.base_time,
+            }
+            for i in range(dataset.n_customers)
+        ],
+    )
+
+    items = []
+    for i in range(dataset.n_items):
+        srp = round(rng.uniform(5, 80), 2)
+        title = " ".join(rng.sample(_TITLE_WORDS, 3)) + f" {i}"
+        items.append(
+            {
+                "i_id": i,
+                "i_title": title,
+                "i_a_id": rng.randrange(dataset.n_authors),
+                "i_pub_date": dataset.base_time - rng.uniform(0, 3650) * 86400,
+                "i_subject": SUBJECTS[i % len(SUBJECTS)],
+                "i_desc": f"Description of book {i}. " * 4,
+                "i_cost": round(srp * 0.8, 2),
+                "i_srp": srp,
+                "i_stock": rng.randint(10, 30),
+                "i_thumbnail": f"img/{i}.png",
+            }
+        )
+    db.insert_rows("item", items)
+
+    orders = []
+    order_lines = []
+    cc = []
+    line_id = 0
+    for o_id in range(dataset.n_orders):
+        c_id = rng.randrange(dataset.n_customers)
+        total = 0.0
+        for _ in range(dataset.lines_per_order):
+            i_id = rng.randrange(dataset.n_items)
+            qty = rng.randint(1, 4)
+            order_lines.append(
+                {
+                    "ol_id": line_id,
+                    "ol_o_id": o_id,
+                    "ol_i_id": i_id,
+                    "ol_qty": qty,
+                    "ol_discount": 0.0,
+                }
+            )
+            total += qty * float(items[i_id]["i_cost"])  # type: ignore[arg-type]
+            line_id += 1
+        orders.append(
+            {
+                "o_id": o_id,
+                "o_c_id": c_id,
+                "o_date": dataset.base_time - rng.uniform(0, 90) * 86400,
+                "o_total": round(total, 2),
+                "o_status": "SHIPPED",
+            }
+        )
+        cc.append({"cx_o_id": o_id, "cx_type": "VISA", "cx_amount": round(total, 2)})
+    db.insert_rows("orders", orders)
+    db.insert_rows("order_line", order_lines)
+    db.insert_rows("cc_xacts", cc)
+
+    dataset.n_order_lines = line_id
+    dataset.n_carts = 0
+    return dataset

@@ -1,0 +1,146 @@
+"""TPC-W database schema (trimmed to the columns the interactions use)."""
+
+from __future__ import annotations
+
+from repro.db import Column, ColumnType, Database, TableSchema
+
+INT = ColumnType.INT
+FLOAT = ColumnType.FLOAT
+VARCHAR = ColumnType.VARCHAR
+DATETIME = ColumnType.DATETIME
+
+
+def create_tpcw_schema(db: Database) -> None:
+    """Create every TPC-W table in ``db``."""
+    db.create_table(
+        TableSchema(
+            "country",
+            [Column("co_id", INT), Column("co_name", VARCHAR)],
+            primary_key="co_id",
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "address",
+            [
+                Column("addr_id", INT),
+                Column("addr_street", VARCHAR),
+                Column("addr_city", VARCHAR),
+                Column("addr_co_id", INT),
+            ],
+            primary_key="addr_id",
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "author",
+            [
+                Column("a_id", INT),
+                Column("a_fname", VARCHAR),
+                Column("a_lname", VARCHAR),
+            ],
+            primary_key="a_id",
+            indexes=["a_lname"],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "customer",
+            [
+                Column("c_id", INT),
+                Column("c_uname", VARCHAR),
+                Column("c_passwd", VARCHAR),
+                Column("c_fname", VARCHAR),
+                Column("c_lname", VARCHAR),
+                Column("c_addr_id", INT),
+                Column("c_discount", FLOAT),
+                Column("c_since", DATETIME),
+            ],
+            primary_key="c_id",
+            indexes=["c_uname"],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "item",
+            [
+                Column("i_id", INT),
+                Column("i_title", VARCHAR),
+                Column("i_a_id", INT),
+                Column("i_pub_date", DATETIME),
+                Column("i_subject", VARCHAR),
+                Column("i_desc", VARCHAR),
+                Column("i_cost", FLOAT),
+                Column("i_srp", FLOAT),
+                Column("i_stock", INT),
+                Column("i_thumbnail", VARCHAR),
+            ],
+            primary_key="i_id",
+            indexes=["i_subject", "i_a_id", "i_title"],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "orders",
+            [
+                Column("o_id", INT),
+                Column("o_c_id", INT),
+                Column("o_date", DATETIME),
+                Column("o_total", FLOAT),
+                Column("o_status", VARCHAR),
+            ],
+            primary_key="o_id",
+            indexes=["o_c_id"],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "order_line",
+            [
+                Column("ol_id", INT),
+                Column("ol_o_id", INT),
+                Column("ol_i_id", INT),
+                Column("ol_qty", INT),
+                Column("ol_discount", FLOAT),
+            ],
+            primary_key="ol_id",
+            indexes=["ol_o_id", "ol_i_id"],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "cc_xacts",
+            [
+                Column("cx_o_id", INT),
+                Column("cx_type", VARCHAR),
+                Column("cx_amount", FLOAT),
+            ],
+            primary_key="cx_o_id",
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "shopping_cart",
+            [
+                Column("sc_id", INT),
+                Column("sc_c_id", INT),
+                Column("sc_date", DATETIME),
+                Column("sc_sub_total", FLOAT),
+            ],
+            primary_key="sc_id",
+            indexes=["sc_c_id"],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "shopping_cart_line",
+            [
+                Column("scl_id", INT),
+                Column("scl_sc_id", INT),
+                Column("scl_i_id", INT),
+                Column("scl_qty", INT),
+            ],
+            primary_key="scl_id",
+            indexes=["scl_sc_id"],
+        )
+    )

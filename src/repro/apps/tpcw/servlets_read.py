@@ -1,0 +1,329 @@
+"""TPC-W read-only web interactions.
+
+Home, NewProducts, BestSellers, ProductDetail, SearchRequest,
+SearchResults, OrderInquiry, OrderDisplay, CustomerRegistration,
+AdminRequest.
+"""
+
+from __future__ import annotations
+
+from repro.apps.html import begin_page, end_page, write_table
+from repro.apps.tpcw.base import TpcwServlet
+from repro.errors import ServletError
+from repro.web.http import HttpRequest, HttpResponse
+from repro.web.servlet import require_parameter
+
+#: Recency window (in order ids) for the best-seller aggregation; the
+#: spec uses the 3333 most recent orders out of 259,200.
+BESTSELLER_ORDER_WINDOW = 100
+BESTSELLER_TOP_N = 50
+
+
+class Home(TpcwServlet):
+    """Personalised greeting + promotions + *random ad banner*.
+
+    The banner and the randomly drawn promotional items make this page
+    non-reproducible from the request alone: hidden state.  The paper
+    marks HomeInteraction uncacheable for exactly this reason.
+    """
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        c_id = request.get_int("c_id")
+        statement = self.statement()
+        begin_page(response, "TPC-W: Welcome to the online bookstore")
+        response.write(self._ads.next_banner())
+        if c_id is not None:
+            customer = statement.execute_query(
+                "SELECT c_fname, c_lname FROM customer WHERE c_id = ?", (c_id,)
+            )
+            if customer.next():
+                response.write(
+                    f"<p>Hello {customer.get('c_fname')} "
+                    f"{customer.get('c_lname')}!</p>"
+                )
+        response.write("<h2>Today's picks</h2><ul>")
+        for i_id in self._ads.promotional_items():
+            title = statement.execute_query(
+                "SELECT i_title FROM item WHERE i_id = ?", (i_id,)
+            )
+            response.write(
+                f"<li><a href='/tpcw/product_detail?i_id={i_id}'>"
+                f"{title.scalar()}</a></li>"
+            )
+        response.write("</ul>")
+        end_page(response)
+
+
+class NewProducts(TpcwServlet):
+    """Newest items in one subject."""
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        subject = require_parameter(request, "subject")
+        statement = self.statement()
+        result = statement.execute_query(
+            "SELECT item.i_id, item.i_title, item.i_pub_date, item.i_srp, "
+            "author.a_fname, author.a_lname "
+            "FROM item, author "
+            "WHERE item.i_subject = ? AND item.i_a_id = author.a_id "
+            "ORDER BY item.i_pub_date DESC, item.i_title LIMIT 50",
+            (subject,),
+        )
+        begin_page(response, f"TPC-W: New products in {subject}")
+        write_table(
+            response,
+            ["Title", "Author", "Price"],
+            [
+                [
+                    f"<a href='/tpcw/product_detail?i_id={row['i_id']}'>"
+                    f"{row['i_title']}</a>",
+                    f"{row['a_fname']} {row['a_lname']}",
+                    row["i_srp"],
+                ]
+                for row in result.all_dicts()
+            ],
+        )
+        end_page(response)
+
+
+class BestSellers(TpcwServlet):
+    """Top sellers in one subject over the most recent orders.
+
+    The most expensive read in TPC-W (an aggregation over the order_line
+    join).  Per spec clauses 3.1.4.1/6.3.3.1 the response may ignore
+    changes committed within the last 30 seconds -- the semantic window
+    the Figure 15 experiment exploits.
+    """
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        subject = require_parameter(request, "subject")
+        statement = self.statement()
+        newest = statement.execute_query("SELECT MAX(o_id) FROM orders")
+        horizon = int(newest.scalar() or 0) - BESTSELLER_ORDER_WINDOW
+        result = statement.execute_query(
+            "SELECT item.i_id, item.i_title, SUM(order_line.ol_qty) AS sold "
+            "FROM order_line, item "
+            "WHERE order_line.ol_i_id = item.i_id "
+            "AND item.i_subject = ? AND order_line.ol_o_id > ? "
+            "GROUP BY item.i_id, item.i_title "
+            "ORDER BY sold DESC, i_id LIMIT ?",
+            (subject, horizon, BESTSELLER_TOP_N),
+        )
+        begin_page(response, f"TPC-W: Best sellers in {subject}")
+        write_table(
+            response,
+            ["Title", "Copies sold"],
+            [
+                [
+                    f"<a href='/tpcw/product_detail?i_id={row['i_id']}'>"
+                    f"{row['i_title']}</a>",
+                    row["sold"],
+                ]
+                for row in result.all_dicts()
+            ],
+        )
+        end_page(response)
+
+
+class ProductDetail(TpcwServlet):
+    """One book's full detail page."""
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        i_id = int(require_parameter(request, "i_id"))
+        statement = self.statement()
+        item = statement.execute_query(
+            "SELECT * FROM item WHERE i_id = ?", (i_id,)
+        )
+        if not item.next():
+            raise ServletError(f"no item {i_id}")
+        author = statement.execute_query(
+            "SELECT a_fname, a_lname FROM author WHERE a_id = ?",
+            (item.get("i_a_id"),),
+        )
+        author.next()
+        begin_page(response, f"TPC-W: {item.get('i_title')}")
+        response.write(
+            f"<p>by {author.get('a_fname')} {author.get('a_lname')}</p>"
+            f"<p>{item.get('i_desc')}</p>"
+            f"<img src='{item.get('i_thumbnail')}'>"
+        )
+        write_table(
+            response,
+            ["Subject", "List price", "Our price", "In stock", "Published"],
+            [
+                [
+                    item.get("i_subject"),
+                    item.get("i_srp"),
+                    item.get("i_cost"),
+                    item.get("i_stock"),
+                    item.get("i_pub_date"),
+                ]
+            ],
+        )
+        end_page(response)
+
+
+class SearchRequest(TpcwServlet):
+    """Search form with a *random ad banner* (hidden state, uncacheable)."""
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        begin_page(response, "TPC-W: Search")
+        response.write(self._ads.next_banner())
+        response.write(
+            "<form action='/tpcw/search_results'>"
+            "<select name='type'><option>author</option>"
+            "<option>title</option><option>subject</option></select>"
+            "<input name='search'><input type='submit'></form>"
+        )
+        end_page(response)
+
+
+class SearchResults(TpcwServlet):
+    """Execute a search by author, title, or subject."""
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        search_type = require_parameter(request, "type")
+        term = require_parameter(request, "search")
+        statement = self.statement()
+        if search_type == "author":
+            # Authors first: the small table carries the filter, items
+            # join through the i_a_id index.
+            result = statement.execute_query(
+                "SELECT item.i_id, item.i_title, author.a_fname, author.a_lname "
+                "FROM author, item "
+                "WHERE author.a_lname LIKE ? AND item.i_a_id = author.a_id "
+                "ORDER BY item.i_title LIMIT 50",
+                (f"{term}%",),
+            )
+        elif search_type == "title":
+            result = statement.execute_query(
+                "SELECT item.i_id, item.i_title, author.a_fname, author.a_lname "
+                "FROM item, author "
+                "WHERE item.i_a_id = author.a_id AND item.i_title LIKE ? "
+                "ORDER BY item.i_title LIMIT 50",
+                (f"{term}%",),
+            )
+        elif search_type == "subject":
+            result = statement.execute_query(
+                "SELECT item.i_id, item.i_title, author.a_fname, author.a_lname "
+                "FROM item, author "
+                "WHERE item.i_a_id = author.a_id AND item.i_subject = ? "
+                "ORDER BY item.i_title LIMIT 50",
+                (term,),
+            )
+        else:
+            raise ServletError(f"unknown search type {search_type!r}")
+        begin_page(response, f"TPC-W: Search results for {term}")
+        write_table(
+            response,
+            ["Title", "Author"],
+            [
+                [
+                    f"<a href='/tpcw/product_detail?i_id={row['i_id']}'>"
+                    f"{row['i_title']}</a>",
+                    f"{row['a_fname']} {row['a_lname']}",
+                ]
+                for row in result.all_dicts()
+            ],
+        )
+        end_page(response)
+
+
+class OrderInquiry(TpcwServlet):
+    """Order-lookup login form; no database access."""
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        begin_page(response, "TPC-W: Order inquiry")
+        response.write(
+            "<form action='/tpcw/order_display'>"
+            "Username: <input name='uname'> Password: "
+            "<input name='passwd' type='password'><input type='submit'></form>"
+        )
+        end_page(response)
+
+
+class OrderDisplay(TpcwServlet):
+    """Display the customer's most recent order."""
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        uname = require_parameter(request, "uname")
+        statement = self.statement()
+        customer = statement.execute_query(
+            "SELECT c_id, c_fname, c_lname FROM customer WHERE c_uname = ?",
+            (uname,),
+        )
+        if not customer.next():
+            raise ServletError(f"no customer {uname!r}")
+        c_id = customer.get("c_id")
+        order = statement.execute_query(
+            "SELECT o_id, o_date, o_total, o_status FROM orders "
+            "WHERE o_c_id = ? ORDER BY o_date DESC, o_id DESC LIMIT 1",
+            (c_id,),
+        )
+        begin_page(response, f"TPC-W: Most recent order for {uname}")
+        if not order.next():
+            response.write("<p>No orders on file.</p>")
+            end_page(response)
+            return
+        o_id = order.get("o_id")
+        lines = statement.execute_query(
+            "SELECT item.i_title, order_line.ol_qty "
+            "FROM order_line, item "
+            "WHERE order_line.ol_o_id = ? AND order_line.ol_i_id = item.i_id "
+            "ORDER BY item.i_title",
+            (o_id,),
+        )
+        payment = statement.execute_query(
+            "SELECT cx_type, cx_amount FROM cc_xacts WHERE cx_o_id = ?",
+            (o_id,),
+        )
+        response.write(
+            f"<p>Order {o_id}: total {order.get('o_total')}, "
+            f"status {order.get('o_status')}</p>"
+        )
+        write_table(
+            response,
+            ["Title", "Qty"],
+            [[row["i_title"], row["ol_qty"]] for row in lines.all_dicts()],
+        )
+        if payment.next():
+            response.write(
+                f"<p>Paid by {payment.get('cx_type')}: "
+                f"{payment.get('cx_amount')}</p>"
+            )
+        end_page(response)
+
+
+class CustomerRegistration(TpcwServlet):
+    """Registration form; no database access."""
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        begin_page(response, "TPC-W: Customer registration")
+        response.write(
+            "<form action='/tpcw/buy_request' method='post'>"
+            "First: <input name='fname'> Last: <input name='lname'>"
+            "<input type='submit'></form>"
+        )
+        end_page(response)
+
+
+class AdminRequest(TpcwServlet):
+    """Admin item-edit form showing current values."""
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        i_id = int(require_parameter(request, "i_id"))
+        statement = self.statement()
+        item = statement.execute_query(
+            "SELECT i_title, i_cost, i_thumbnail FROM item WHERE i_id = ?",
+            (i_id,),
+        )
+        if not item.next():
+            raise ServletError(f"no item {i_id}")
+        begin_page(response, f"TPC-W: Admin edit {item.get('i_title')}")
+        response.write(
+            f"<form action='/tpcw/admin_confirm' method='post'>"
+            f"<input type='hidden' name='i_id' value='{i_id}'>"
+            f"Cost: <input name='cost' value='{item.get('i_cost')}'>"
+            f" Image: <input name='image' value='{item.get('i_thumbnail')}'>"
+            "<input type='submit'></form>"
+        )
+        end_page(response)

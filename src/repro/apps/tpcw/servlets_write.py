@@ -1,0 +1,189 @@
+"""TPC-W write web interactions.
+
+ShoppingCart, BuyRequest, BuyConfirm, AdminConfirm.
+"""
+
+from __future__ import annotations
+
+from repro.apps.html import begin_page, end_page, write_table
+from repro.apps.tpcw.base import TpcwServlet
+from repro.db.dbapi import Statement
+from repro.errors import ServletError
+from repro.web.http import HttpRequest, HttpResponse
+from repro.web.servlet import require_parameter
+
+
+def _render_cart(
+    statement: Statement, response: HttpResponse, sc_id: int
+) -> float:
+    """Write the cart contents table; returns the subtotal."""
+    lines = statement.execute_query(
+        "SELECT item.i_title, item.i_cost, shopping_cart_line.scl_qty "
+        "FROM shopping_cart_line, item "
+        "WHERE shopping_cart_line.scl_sc_id = ? "
+        "AND shopping_cart_line.scl_i_id = item.i_id "
+        "ORDER BY item.i_title",
+        (sc_id,),
+    )
+    rows = lines.all_dicts()
+    subtotal = sum(
+        float(row["i_cost"]) * int(row["scl_qty"]) for row in rows  # type: ignore[arg-type]
+    )
+    write_table(
+        response,
+        ["Title", "Price", "Qty"],
+        [[row["i_title"], row["i_cost"], row["scl_qty"]] for row in rows],
+    )
+    response.write(f"<p>Subtotal: {round(subtotal, 2)}</p>")
+    return subtotal
+
+
+class ShoppingCart(TpcwServlet):
+    """Create a cart / add an item / update a quantity, then display it."""
+
+    def do_post(self, request: HttpRequest, response: HttpResponse) -> None:
+        statement = self.statement()
+        sc_id = request.get_int("sc_id")
+        if sc_id is None:
+            statement.execute_update(
+                "INSERT INTO shopping_cart (sc_c_id, sc_date, sc_sub_total) "
+                "VALUES (?, ?, ?)",
+                (request.get_int("c_id", -1), 0.0, 0.0),
+            )
+            sc_id = int(statement.generated_key())  # type: ignore[arg-type]
+        i_id = request.get_int("i_id")
+        if i_id is not None:
+            qty = request.get_int("qty", 1) or 1
+            existing = statement.execute_query(
+                "SELECT scl_id, scl_qty FROM shopping_cart_line "
+                "WHERE scl_sc_id = ? AND scl_i_id = ?",
+                (sc_id, i_id),
+            )
+            if existing.next():
+                statement.execute_update(
+                    "UPDATE shopping_cart_line SET scl_qty = ? WHERE scl_id = ?",
+                    (int(existing.get("scl_qty")) + qty, existing.get("scl_id")),
+                )
+            else:
+                statement.execute_update(
+                    "INSERT INTO shopping_cart_line (scl_sc_id, scl_i_id, "
+                    "scl_qty) VALUES (?, ?, ?)",
+                    (sc_id, i_id, qty),
+                )
+        begin_page(response, f"TPC-W: Shopping cart {sc_id}")
+        subtotal = _render_cart(statement, response, sc_id)
+        statement.execute_update(
+            "UPDATE shopping_cart SET sc_sub_total = ? WHERE sc_id = ?",
+            (round(subtotal, 2), sc_id),
+        )
+        response.write(
+            f"<form action='/tpcw/buy_request' method='post'>"
+            f"<input type='hidden' name='sc_id' value='{sc_id}'>"
+            "Customer id: <input name='c_id'><input type='submit' "
+            "value='Checkout'></form>"
+        )
+        end_page(response)
+
+
+class BuyRequest(TpcwServlet):
+    """Associate the cart with a customer and show billing details."""
+
+    def do_post(self, request: HttpRequest, response: HttpResponse) -> None:
+        sc_id = int(require_parameter(request, "sc_id"))
+        c_id = int(require_parameter(request, "c_id"))
+        statement = self.statement()
+        customer = statement.execute_query(
+            "SELECT c_fname, c_lname, c_discount FROM customer WHERE c_id = ?",
+            (c_id,),
+        )
+        if not customer.next():
+            raise ServletError(f"no customer {c_id}")
+        statement.execute_update(
+            "UPDATE shopping_cart SET sc_c_id = ? WHERE sc_id = ?",
+            (c_id, sc_id),
+        )
+        begin_page(response, "TPC-W: Confirm purchase")
+        response.write(
+            f"<p>Billing {customer.get('c_fname')} {customer.get('c_lname')} "
+            f"(discount {customer.get('c_discount')})</p>"
+        )
+        _render_cart(statement, response, sc_id)
+        response.write(
+            f"<form action='/tpcw/buy_confirm' method='post'>"
+            f"<input type='hidden' name='sc_id' value='{sc_id}'>"
+            f"<input type='hidden' name='c_id' value='{c_id}'>"
+            "<input type='submit' value='Buy'></form>"
+        )
+        end_page(response)
+
+
+class BuyConfirm(TpcwServlet):
+    """Turn the cart into an order: the heavyweight TPC-W write."""
+
+    def do_post(self, request: HttpRequest, response: HttpResponse) -> None:
+        sc_id = int(require_parameter(request, "sc_id"))
+        c_id = int(require_parameter(request, "c_id"))
+        statement = self.statement()
+        lines = statement.execute_query(
+            "SELECT shopping_cart_line.scl_i_id, shopping_cart_line.scl_qty, "
+            "item.i_cost "
+            "FROM shopping_cart_line, item "
+            "WHERE shopping_cart_line.scl_sc_id = ? "
+            "AND shopping_cart_line.scl_i_id = item.i_id",
+            (sc_id,),
+        ).all_dicts()
+        if not lines:
+            raise ServletError(f"cart {sc_id} is empty")
+        total = round(
+            sum(float(l["i_cost"]) * int(l["scl_qty"]) for l in lines), 2  # type: ignore[arg-type]
+        )
+        statement.execute_update(
+            "INSERT INTO orders (o_c_id, o_date, o_total, o_status) "
+            "VALUES (?, ?, ?, ?)",
+            (c_id, 0.0, total, "PENDING"),
+        )
+        o_id = int(statement.generated_key())  # type: ignore[arg-type]
+        for line in lines:
+            statement.execute_update(
+                "INSERT INTO order_line (ol_o_id, ol_i_id, ol_qty, "
+                "ol_discount) VALUES (?, ?, ?, ?)",
+                (o_id, line["scl_i_id"], line["scl_qty"], 0.0),
+            )
+            statement.execute_update(
+                "UPDATE item SET i_stock = i_stock - ? WHERE i_id = ?",
+                (line["scl_qty"], line["scl_i_id"]),
+            )
+        statement.execute_update(
+            "INSERT INTO cc_xacts (cx_o_id, cx_type, cx_amount) "
+            "VALUES (?, ?, ?)",
+            (o_id, "VISA", total),
+        )
+        statement.execute_update(
+            "DELETE FROM shopping_cart_line WHERE scl_sc_id = ?", (sc_id,)
+        )
+        statement.execute_update(
+            "DELETE FROM shopping_cart WHERE sc_id = ?", (sc_id,)
+        )
+        begin_page(response, "TPC-W: Order placed")
+        response.write(f"<p>Order {o_id} placed, total {total}.</p>")
+        end_page(response)
+
+
+class AdminConfirm(TpcwServlet):
+    """Apply the admin's item update (cost, image, publication date)."""
+
+    def do_post(self, request: HttpRequest, response: HttpResponse) -> None:
+        i_id = int(require_parameter(request, "i_id"))
+        cost = float(require_parameter(request, "cost"))
+        image = request.get_parameter("image", "img/default.png") or ""
+        statement = self.statement()
+        affected = statement.execute_update(
+            "UPDATE item SET i_cost = ?, i_thumbnail = ?, i_pub_date = ? "
+            "WHERE i_id = ?",
+            (cost, image, 1.0, i_id),
+        )
+        if not affected:
+            raise ServletError(f"no item {i_id}")
+        begin_page(response, "TPC-W: Item updated")
+        response.write(f"<p>Item {i_id} now costs {cost}.</p>")
+        end_page(response)

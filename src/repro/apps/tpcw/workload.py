@@ -1,0 +1,193 @@
+"""TPC-W workload mixes (Section 5: the shopping mix, ~80% reads).
+
+Interaction weights follow the TPC-W v1.8 shopping-mix CBMG's stationary
+distribution (the same one the paper's Figure 17 x-axis reflects:
+SearchRequest ~20%, Home ~16%, ProductDetail ~17%, ...).  Cart flows
+are stateful: a session learns its server-allocated cart id from the
+returned page, checks out through BuyRequest, and completes with
+BuyConfirm.
+"""
+
+from __future__ import annotations
+
+from repro.apps.tpcw.data import SUBJECTS, TpcwDataset, _LAST, _TITLE_WORDS
+from repro.workload.mix import Interaction, InteractionMix
+from repro.workload.session import ClientSession
+from repro.workload.zipf import ZipfSampler
+
+
+class TpcwParamFactory:
+    """Parameter generators bound to one dataset's id ranges."""
+
+    def __init__(self, dataset: TpcwDataset) -> None:
+        self.dataset = dataset
+        self.items = ZipfSampler(dataset.n_items, s=0.9)
+        self.subjects = ZipfSampler(len(SUBJECTS), s=0.5)
+        self.customers = ZipfSampler(dataset.n_customers, s=0.6)
+
+    def own_customer(self, session: ClientSession) -> int:
+        customer = session.state.get("customer")
+        if customer is None:
+            customer = session.rng.randrange(self.dataset.n_customers)
+            session.state["customer"] = customer
+        return int(customer)
+
+    def pick_item(self, session: ClientSession) -> int:
+        item = self.items.sample(session.rng)
+        session.state["item"] = item
+        return item
+
+    def current_item(self, session: ClientSession) -> int:
+        item = session.state.get("item")
+        if item is None:
+            item = self.items.sample(session.rng)
+            session.state["item"] = item
+        return int(item)
+
+    # -- generators ----------------------------------------------------------------
+
+    def none(self, session: ClientSession) -> dict[str, str]:
+        return {}
+
+    def home(self, session: ClientSession) -> dict[str, str]:
+        return {"c_id": str(self.own_customer(session))}
+
+    def subject(self, session: ClientSession) -> dict[str, str]:
+        subject = SUBJECTS[self.subjects.sample(session.rng)]
+        session.state["subject"] = subject
+        return {"subject": subject}
+
+    def product_detail(self, session: ClientSession) -> dict[str, str]:
+        return {"i_id": str(self.pick_item(session))}
+
+    def search(self, session: ClientSession) -> dict[str, str]:
+        kind = session.rng.choice(["author", "title", "subject"])
+        if kind == "author":
+            term = session.rng.choice(_LAST)
+        elif kind == "title":
+            term = session.rng.choice(_TITLE_WORDS)
+        else:
+            term = SUBJECTS[self.subjects.sample(session.rng)]
+        return {"type": kind, "search": term}
+
+    def order_display(self, session: ClientSession) -> dict[str, str]:
+        return {"uname": f"user{self.own_customer(session)}"}
+
+    def admin_item(self, session: ClientSession) -> dict[str, str]:
+        return {"i_id": str(self.current_item(session))}
+
+    def shopping_cart(self, session: ClientSession) -> dict[str, str]:
+        params = {
+            "i_id": str(self.current_item(session)),
+            "qty": str(session.rng.randint(1, 3)),
+            "c_id": str(self.own_customer(session)),
+        }
+        cart = session.state.get("cart")
+        if cart is not None:
+            params["sc_id"] = str(cart)
+        session.state["cart_items"] = session.state.get("cart_items", 0) + 1
+        return params
+
+    def buy_request(self, session: ClientSession) -> dict[str, str] | None:
+        cart = session.state.get("cart")
+        if cart is None or not session.state.get("cart_items"):
+            return None  # nothing to check out; the mix redraws
+        return {"sc_id": str(cart), "c_id": str(self.own_customer(session))}
+
+    def buy_confirm(self, session: ClientSession) -> dict[str, str] | None:
+        cart = session.state.get("cart")
+        if cart is None or not session.state.get("cart_items"):
+            return None
+        params = {"sc_id": str(cart), "c_id": str(self.own_customer(session))}
+        # The order consumes the cart.
+        session.state.pop("cart", None)
+        session.state["cart_items"] = 0
+        return params
+
+    def admin_confirm(self, session: ClientSession) -> dict[str, str]:
+        return {
+            "i_id": str(self.current_item(session)),
+            "cost": str(round(session.rng.uniform(5, 60), 2)),
+            "image": f"img/new{session.requests_issued}.png",
+        }
+
+
+def shopping_mix(dataset: TpcwDataset) -> InteractionMix:
+    """TPC-W's primary reporting mix (Figures 14/15/17/19)."""
+    p = TpcwParamFactory(dataset)
+    interactions = [
+        Interaction("Home", "GET", "/tpcw/home", p.home, 16.2),
+        Interaction(
+            "NewProducts", "GET", "/tpcw/new_products", p.subject, 5.1
+        ),
+        Interaction(
+            "BestSellers", "GET", "/tpcw/best_sellers", p.subject, 5.0
+        ),
+        Interaction(
+            "ProductDetail", "GET", "/tpcw/product_detail", p.product_detail, 17.5
+        ),
+        Interaction(
+            "SearchRequest", "GET", "/tpcw/search_request", p.none, 20.0
+        ),
+        Interaction(
+            "SearchResults", "GET", "/tpcw/search_results", p.search, 17.0
+        ),
+        Interaction("OrderInquiry", "GET", "/tpcw/order_inquiry", p.none, 0.75),
+        Interaction(
+            "OrderDisplay", "GET", "/tpcw/order_display", p.order_display, 0.66
+        ),
+        Interaction(
+            "CustomerRegistration",
+            "GET",
+            "/tpcw/customer_registration",
+            p.none,
+            3.0,
+        ),
+        Interaction(
+            "AdminRequest", "GET", "/tpcw/admin_request", p.admin_item, 0.1
+        ),
+        # -- writes --
+        Interaction(
+            "ShoppingCart",
+            "POST",
+            "/tpcw/shopping_cart",
+            p.shopping_cart,
+            11.6,
+            True,
+        ),
+        Interaction(
+            "BuyRequest", "POST", "/tpcw/buy_request", p.buy_request, 2.6, True
+        ),
+        Interaction(
+            "BuyConfirm", "POST", "/tpcw/buy_confirm", p.buy_confirm, 1.2, True
+        ),
+        Interaction(
+            "AdminConfirm",
+            "POST",
+            "/tpcw/admin_confirm",
+            p.admin_confirm,
+            0.09,
+            True,
+        ),
+    ]
+    return InteractionMix("tpcw-shopping", interactions)
+
+
+def browsing_mix(dataset: TpcwDataset) -> InteractionMix:
+    """TPC-W browsing mix: ~95% reads (writes limited to carts)."""
+    shopping = shopping_mix(dataset)
+    weights = {
+        "Home": 29.0, "NewProducts": 11.0, "BestSellers": 11.0,
+        "ProductDetail": 21.0, "SearchRequest": 12.0, "SearchResults": 11.0,
+        "OrderInquiry": 0.5, "OrderDisplay": 0.25,
+        "CustomerRegistration": 0.8, "AdminRequest": 0.1,
+        "ShoppingCart": 2.0, "BuyRequest": 0.6, "BuyConfirm": 0.7,
+        "AdminConfirm": 0.1,
+    }
+    interactions = [
+        Interaction(
+            i.name, i.method, i.uri, i.params, weights[i.name], i.is_write
+        )
+        for i in shopping.interactions
+    ]
+    return InteractionMix("tpcw-browsing", interactions)

@@ -1,0 +1,311 @@
+"""The query analysis engine (Section 3.2).
+
+Determines whether a write query invalidates the cached pages built from
+a read query.  Analysis has two components, mirroring the paper:
+
+1. **Template-pair analysis** (static, cacheable): do the read and write
+   templates share tables and columns at all?  If not, no instance of
+   the write can ever affect an instance of the read.  The result also
+   records *which* columns carry equality bindings on both sides, which
+   feeds the run-time test.
+
+2. **Instance intersection test** (run-time): given the concrete value
+   vectors, do the specific rows written intersect the specific rows
+   read?  Precision increases across the three policies:
+
+   - :attr:`InvalidationPolicy.COLUMN_ONLY` -- invalidate whenever the
+     templates may depend (policy 1 in the paper; many false positives);
+   - :attr:`InvalidationPolicy.WHERE_MATCH` -- additionally prove
+     non-intersection when both queries pin a common column to different
+     values (policy 2);
+   - :attr:`InvalidationPolicy.EXTRA_QUERY` -- the *AC-extraQuery*
+     strategy: when the write does not mention a column the read pins,
+     consult the affected rows themselves (captured as a pre-image by an
+     extra query against the backend) to decide (policy 3; the policy
+     the paper evaluates).
+
+   Every policy is *sound* (never proves non-intersection wrongly); the
+   refinements only remove false invalidations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cache.entry import QueryInstance
+from repro.sql.analysis_info import EqualityBinding, StatementInfo, extract_info
+from repro.sql.template import QueryTemplate
+
+
+class InvalidationPolicy(enum.Enum):
+    """The three invalidation precision levels of Section 3.2."""
+
+    COLUMN_ONLY = "column-only"
+    WHERE_MATCH = "where-match"
+    EXTRA_QUERY = "extra-query"  # the paper's AC-extraQuery strategy
+
+
+@dataclass(frozen=True)
+class ColumnCheck:
+    """Run-time check on one shared column.
+
+    ``read_binding`` pins the column on the read side.  On the write
+    side the value comes from ``write_binding`` when present, otherwise
+    (EXTRA_QUERY only) from the write instance's pre-image rows.
+    ``column_is_written`` flags UPDATE SET columns, whose value changes
+    make equality pruning unsound except against the SET value itself.
+    """
+
+    table: str
+    column: str
+    read_binding: EqualityBinding
+    write_binding: EqualityBinding | None
+    set_binding: EqualityBinding | None
+    column_is_written: bool
+
+
+@dataclass(frozen=True)
+class PairAnalysis:
+    """Static analysis result for one (read template, write template) pair."""
+
+    possible: bool
+    checks: tuple[ColumnCheck, ...] = ()
+    #: True when the read's WHERE is conjunctive equalities, a
+    #: precondition for any instance-level pruning.
+    read_conjunctive: bool = True
+    write_conjunctive: bool = True
+    write_kind: str = ""
+
+
+class QueryAnalysisEngine:
+    """Performs pair analysis and run-time intersection tests."""
+
+    def __init__(self) -> None:
+        self._info_cache: dict[str, StatementInfo] = {}
+        self.extra_query_lookups = 0
+
+    # -- static info -------------------------------------------------------------
+
+    def info(self, template: QueryTemplate) -> StatementInfo:
+        """StatementInfo for ``template`` (memoised per template text)."""
+        cached = self._info_cache.get(template.text)
+        if cached is None:
+            cached = extract_info(template.statement)
+            self._info_cache[template.text] = cached
+        return cached
+
+    # -- component 1: template-pair analysis ----------------------------------------
+
+    def analyse_pair(
+        self, read: QueryTemplate, write: QueryTemplate
+    ) -> PairAnalysis:
+        """Determine possible dependency between two templates.
+
+        A dependency exists when the write's written columns intersect
+        the read's used columns on a shared table (the paper's policy-1
+        column check).  The returned analysis also pre-computes the
+        per-column run-time checks for policies 2 and 3.
+        """
+        read_info = self.info(read)
+        write_info = self.info(write)
+        shared_tables = read_info.tables & write_info.tables
+        if not shared_tables:
+            return PairAnalysis(possible=False)
+        if not _columns_overlap(read_info, write_info, shared_tables):
+            return PairAnalysis(possible=False)
+
+        checks: list[ColumnCheck] = []
+        write_table = write_info.write_table or ""
+        if write_table in read_info.tables:
+            set_columns = {
+                column
+                for table, column in write_info.columns_written
+                if table == write_table
+            }
+            for binding in read_info.equality_bindings:
+                if binding.table != write_table and binding.table != "?":
+                    continue
+                table = write_table
+                column = binding.column
+                write_binding = _where_binding(write_info, table, column)
+                set_binding = _set_binding(write_info, table, column)
+                checks.append(
+                    ColumnCheck(
+                        table=table,
+                        column=column,
+                        read_binding=binding,
+                        write_binding=write_binding,
+                        set_binding=set_binding,
+                        column_is_written=(
+                            column in set_columns or "*" in set_columns
+                        ),
+                    )
+                )
+        return PairAnalysis(
+            possible=True,
+            checks=tuple(checks),
+            read_conjunctive=read_info.where_is_conjunctive_equality,
+            write_conjunctive=write_info.where_is_conjunctive_equality,
+            write_kind=write_info.kind,
+        )
+
+    # -- component 2: instance intersection test ------------------------------------
+
+    def intersects(
+        self,
+        pair: PairAnalysis,
+        read_values: tuple[object, ...],
+        write: QueryInstance,
+        policy: InvalidationPolicy,
+    ) -> bool:
+        """True when the write instance may affect the read instance.
+
+        Conservative: returns True unless non-intersection is *proved*.
+        """
+        if not pair.possible:
+            return False
+        if policy is InvalidationPolicy.COLUMN_ONLY:
+            return True
+        if not pair.read_conjunctive:
+            return True  # cannot reason about the read's row set
+        for check in pair.checks:
+            if self._check_proves_disjoint(check, pair, read_values, write, policy):
+                return False
+        return True
+
+    def _check_proves_disjoint(
+        self,
+        check: ColumnCheck,
+        pair: PairAnalysis,
+        read_values: tuple[object, ...],
+        write: QueryInstance,
+        policy: InvalidationPolicy,
+    ) -> bool:
+        """Can this column check prove the row sets are disjoint?"""
+        read_value = check.read_binding.resolve(read_values)
+
+        if pair.write_kind == "insert":
+            # The new row's column values are exactly the inserted ones;
+            # an unmentioned column is NULL.  The read needs column ==
+            # read_value on its rows, so a differing inserted value
+            # proves the new row is invisible to the read.
+            if check.set_binding is not None:
+                inserted = check.set_binding.resolve(write.values)
+                return inserted != read_value
+            return True  # column not inserted -> NULL != read_value
+
+        # UPDATE / DELETE from here on.
+        if pair.write_kind == "update" and check.column_is_written:
+            # The write rewrites this column: rows may *enter* the
+            # read's set (new value == read value) or *leave* it (old
+            # value == read value).  Prove disjointness only when both
+            # directions are excluded.
+            enters = True
+            if check.set_binding is not None:
+                new_value = check.set_binding.resolve(write.values)
+                enters = new_value == read_value
+            leaves = self._pre_image_may_contain(check, write, read_value, policy)
+            return not enters and not leaves
+
+        if not pair.write_conjunctive:
+            return False  # cannot bound the written row set
+        if check.write_binding is not None:
+            write_value = check.write_binding.resolve(write.values)
+            return write_value != read_value
+        if policy is InvalidationPolicy.EXTRA_QUERY:
+            # The write does not mention the column: consult the
+            # affected rows themselves (the paper's extra query).
+            contains = self._pre_image_may_contain(check, write, read_value, policy)
+            return not contains
+        return False
+
+    def _pre_image_may_contain(
+        self,
+        check: ColumnCheck,
+        write: QueryInstance,
+        read_value: object,
+        policy: InvalidationPolicy,
+    ) -> bool:
+        """Did any affected row carry ``read_value`` in this column?
+
+        Without a pre-image (policy below EXTRA_QUERY, or capture
+        failed) the answer is conservatively True.
+        """
+        if policy is not InvalidationPolicy.EXTRA_QUERY:
+            return True
+        if write.pre_image is None:
+            return True
+        self.extra_query_lookups += 1
+        for row in write.pre_image:
+            if check.column not in row:
+                return True  # column missing from capture: be safe
+            if row[check.column] == read_value:
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def _columns_overlap(
+    read_info: StatementInfo,
+    write_info: StatementInfo,
+    shared_tables: frozenset[str],
+) -> bool:
+    """Policy-1 column check: written columns vs columns used by the read."""
+    for table in shared_tables:
+        read_columns = {
+            column
+            for t, column in read_info.columns_read
+            if t == table or t == "?"
+        }
+        write_columns = {
+            column for t, column in write_info.columns_written if t == table
+        }
+        if not read_columns or not write_columns:
+            continue
+        if "*" in read_columns or "*" in write_columns:
+            return True
+        if read_columns & write_columns:
+            return True
+    return False
+
+
+def _where_binding(
+    info: StatementInfo, table: str, column: str
+) -> EqualityBinding | None:
+    """The write's WHERE-clause binding on ``table.column``, if any.
+
+    UPDATE statements also register SET bindings in
+    ``equality_bindings``; those are excluded here (they describe the
+    post-state, not the selected rows) and surfaced separately via
+    :func:`_set_binding`.
+    """
+    set_columns = {c for t, c in info.columns_written if t == table}
+    for binding in info.equality_bindings:
+        if binding.table != table or binding.column != column:
+            continue
+        if info.kind == "update" and column in set_columns:
+            # Ambiguous: could be the SET binding.  WHERE bindings on a
+            # column that is also assigned are rare; treat as absent.
+            continue
+        return binding
+    return None
+
+
+def _set_binding(
+    info: StatementInfo, table: str, column: str
+) -> EqualityBinding | None:
+    """The UPDATE SET / INSERT value binding on ``table.column``, if any."""
+    if info.kind not in ("update", "insert"):
+        return None
+    set_columns = {c for t, c in info.columns_written if t == table}
+    if column not in set_columns:
+        return None
+    for binding in info.equality_bindings:
+        if binding.table == table and binding.column == column:
+            return binding
+    return None

@@ -1,0 +1,136 @@
+"""The ``Cache`` facade (Figure 7's jwebcaching.cache.Cache analogue).
+
+Bundles the page store, dependency table, analysis engine + cache,
+invalidator, semantics registry and statistics behind the operations the
+aspects call: ``is_cacheable`` / ``check`` / ``insert`` /
+``process_write_request``.
+
+The cache takes a ``clock`` callable so the discrete-event simulator can
+drive TTL windows in virtual time; real deployments use ``time.time``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.cache.analysis import InvalidationPolicy, QueryAnalysisEngine
+from repro.cache.analysis_cache import AnalysisCache
+from repro.cache.entry import PageEntry, QueryInstance
+from repro.cache.invalidation import Invalidator
+from repro.cache.page_cache import PageCache
+from repro.cache.replacement import make_policy
+from repro.cache.semantics import SemanticsRegistry
+from repro.cache.stats import CacheStats
+from repro.web.http import HttpRequest
+
+
+class Cache:
+    """AutoWebCache's cache object."""
+
+    def __init__(
+        self,
+        invalidation_policy: InvalidationPolicy = InvalidationPolicy.EXTRA_QUERY,
+        replacement: str = "unbounded",
+        capacity: int | None = None,
+        max_bytes: int | None = None,
+        semantics: SemanticsRegistry | None = None,
+        clock: Callable[[], float] = time.time,
+        forced_miss: bool = False,
+    ) -> None:
+        self.semantics = semantics or SemanticsRegistry()
+        self.clock = clock
+        #: When True every lookup misses but all other machinery runs --
+        #: the paper's cache-overhead measurement mode (Section 6).
+        self.forced_miss = forced_miss
+        policy = make_policy(
+            replacement, capacity, order_only=max_bytes is not None
+        )
+        self.pages = PageCache(policy, max_bytes=max_bytes)
+        self.engine = QueryAnalysisEngine()
+        self.analysis_cache = AnalysisCache(self.engine)
+        self.stats = CacheStats()
+        self.invalidator = Invalidator(
+            self.pages, self.analysis_cache, self.stats, invalidation_policy
+        )
+
+    @property
+    def invalidation_policy(self) -> InvalidationPolicy:
+        return self.invalidator.policy
+
+    # -- read path -------------------------------------------------------------------
+
+    def is_cacheable(self, request: HttpRequest) -> bool:
+        """Cacheability per the semantics registry (hidden-state rules)."""
+        return self.semantics.is_cacheable(request)
+
+    def check(self, request: HttpRequest) -> PageEntry | None:
+        """Cache check for a read request; updates statistics.
+
+        Returns the entry on a hit, None on a miss (with the miss reason
+        recorded against the request's URI).
+        """
+        if self.forced_miss:
+            # Overhead-measurement mode: pay the lookup, report a miss,
+            # execute the request normally (Section 6, TPC-W overhead).
+            self.stats.record_miss(request.uri, "cold")
+            return None
+        key = request.cache_key()
+        entry, reason = self.pages.lookup(key, self.clock())
+        if entry is not None:
+            self.stats.record_hit(request.uri, semantic=entry.semantic)
+            return entry
+        self.stats.record_miss(request.uri, reason)
+        return None
+
+    def insert(
+        self,
+        request: HttpRequest,
+        body: str,
+        reads: list[QueryInstance],
+        status: int = 200,
+    ) -> PageEntry:
+        """Cache the page generated for ``request`` (cache insert)."""
+        now = self.clock()
+        ttl = self.semantics.ttl_for(request.uri)
+        entry = PageEntry(
+            key=request.cache_key(),
+            body=body,
+            status=status,
+            dependencies=tuple(reads),
+            created_at=now,
+            expires_at=(now + ttl) if ttl is not None else None,
+            semantic=ttl is not None,
+        )
+        evicted = self.pages.insert(entry)
+        self.stats.inserts += 1
+        self.stats.evictions += len(evicted)
+        return entry
+
+    # -- write path -------------------------------------------------------------------
+
+    def process_write_request(self, uri: str, writes: list[QueryInstance]) -> set[str]:
+        """Run invalidation for a completed write request."""
+        self.stats.record_write(uri)
+        if not writes:
+            return set()
+        return self.invalidator.process_writes(writes)
+
+    # -- management ----------------------------------------------------------------------
+
+    def record_uncacheable(self, request: HttpRequest) -> None:
+        self.stats.record_uncacheable(request.uri)
+
+    def invalidate_key(self, key: str) -> bool:
+        """External invalidation API (the DynamicWeb/Weave-style hook the
+        paper suggests for updates bypassing the application)."""
+        removed = self.pages.invalidate(key)
+        if removed:
+            self.stats.invalidated_pages += 1
+        return removed
+
+    def clear(self) -> None:
+        self.pages.clear()
+
+    def __len__(self) -> int:
+        return len(self.pages)

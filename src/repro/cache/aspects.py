@@ -1,0 +1,208 @@
+"""The weaving rules: caching as a crosscutting aspect (Figures 9-12).
+
+Three aspects implement the paper's weaving rules verbatim:
+
+- :class:`ReadServletAspect` -- ``around execution(HttpServlet+.do_get(..))``:
+  cache check before the servlet body, bypassing it on a hit; cache
+  insert (with collected dependency information) on a miss (Figure 10);
+- :class:`WriteServletAspect` -- ``around execution(HttpServlet+.do_post(..))``:
+  opens a write context and, after the servlet completes, uses the
+  collected invalidation information to evict affected entries
+  (Figure 11; the paper uses an ``after`` advice -- ours is ``around``
+  only because the context must also be *opened*, which the paper
+  renders as a separate before-join-point step in Figure 6);
+- :class:`JdbcConsistencyAspect` -- advice on
+  ``execution(Statement.execute_query(..))`` and ``..execute_update(..)``:
+  collects dependency/invalidation information flowing through the
+  JDBC-level interface (Figure 12), including the pre-image capture
+  ("extra query") for the AC-extraQuery policy.
+
+The application servlets contain no caching logic; weaving these aspects
+over the servlet classes and the driver's ``Statement`` class produces
+the cache-enabled system (Figure 2).
+"""
+
+from __future__ import annotations
+
+from repro.aop import Aspect, around
+from repro.aop.joinpoint import JoinPoint
+from repro.cache.analysis import InvalidationPolicy
+from repro.cache.api import Cache
+from repro.cache.consistency import ConsistencyCollector
+from repro.cache.entry import QueryInstance
+from repro.sql import ast_nodes as ast
+from repro.sql.template import templateize
+from repro.web.http import HttpRequest, HttpResponse
+
+#: Pointcut capturing read-only request handlers (Figure 9/10).  The
+#: ``!cflowbelow`` guard captures only the *top-level* handler when
+#: servlets forward to one another (the paper's footnote 2: interleaved
+#: doGet/doPost must not be captured twice).
+READ_HANDLER_POINTCUT = (
+    "execution(HttpServlet+.do_get(..)) "
+    "&& !cflowbelow(execution(HttpServlet+.do_*(..)))"
+)
+#: Pointcut capturing write request handlers (Figure 11).
+WRITE_HANDLER_POINTCUT = (
+    "execution(HttpServlet+.do_post(..)) "
+    "&& !cflowbelow(execution(HttpServlet+.do_*(..)))"
+)
+#: Pointcuts capturing the JDBC-level calls (Figure 12).
+QUERY_POINTCUT = "call(Statement.execute_query(..))"
+UPDATE_POINTCUT = "call(Statement.execute_update(..))"
+
+
+class ReadServletAspect(Aspect):
+    """Cache checks and inserts around read-only servlets (Figure 10)."""
+
+    precedence = 10
+
+    def __init__(self, cache: Cache, collector: ConsistencyCollector) -> None:
+        self.cache = cache
+        self.collector = collector
+
+    @around(READ_HANDLER_POINTCUT)
+    def cache_check_and_insert(self, joinpoint: JoinPoint) -> None:
+        request, response = _request_response(joinpoint)
+        if not self.cache.is_cacheable(request):
+            # Hidden-state page: execute normally, never cache.
+            self.cache.record_uncacheable(request)
+            joinpoint.proceed()
+            return
+        entry = self.cache.check(request)
+        if entry is not None:
+            # Hit: serve the cached document, bypass the servlet.
+            response.replace_body(entry.body)
+            response.set_status(entry.status)
+            return
+        # Miss: execute the request, collecting dependency information.
+        context = self.collector.begin("read", request.cache_key())
+        try:
+            joinpoint.proceed()
+        finally:
+            self.collector.end()
+        if context.aborted or response.status != 200:
+            return  # aborted read query or error page: do not cache
+        if context.writes:
+            # The handler wrote after all; keep the cache consistent and
+            # treat the page as uncacheable for this round.
+            self.cache.process_write_request(request.uri, context.writes)
+            return
+        self.cache.insert(request, response.body, context.reads, response.status)
+
+
+class WriteServletAspect(Aspect):
+    """Cache invalidations after write servlets (Figure 11)."""
+
+    precedence = 10
+
+    def __init__(self, cache: Cache, collector: ConsistencyCollector) -> None:
+        self.cache = cache
+        self.collector = collector
+
+    @around(WRITE_HANDLER_POINTCUT)
+    def invalidate_after(self, joinpoint: JoinPoint) -> None:
+        request, _response = _request_response(joinpoint)
+        context = self.collector.begin("write", request.cache_key())
+        try:
+            joinpoint.proceed()
+        finally:
+            self.collector.end()
+        # Failed write queries were never recorded; whatever completed
+        # successfully must invalidate affected entries even if the
+        # handler later failed.
+        self.cache.process_write_request(request.uri, context.writes)
+
+
+class JdbcConsistencyAspect(Aspect):
+    """Collects consistency information at the JDBC interface (Figure 12)."""
+
+    precedence = 20
+
+    def __init__(self, cache: Cache, collector: ConsistencyCollector) -> None:
+        self.cache = cache
+        self.collector = collector
+        #: Extra queries issued for pre-image capture (AC-extraQuery).
+        self.extra_queries = 0
+
+    @around(QUERY_POINTCUT)
+    def collect_dependency_info(self, joinpoint: JoinPoint) -> object:
+        sql, params = _sql_and_params(joinpoint)
+        try:
+            result = joinpoint.proceed()
+        except Exception:
+            # An aborted read query poisons the page (Section 4.2).
+            self.collector.mark_aborted()
+            raise
+        if self.collector.current() is not None:
+            template, values = templateize(sql, params)
+            self.collector.record_read(QueryInstance(template, values))
+        return result
+
+    @around(UPDATE_POINTCUT)
+    def collect_invalidation_info(self, joinpoint: JoinPoint) -> object:
+        sql, params = _sql_and_params(joinpoint)
+        instance: QueryInstance | None = None
+        if self.collector.current() is not None:
+            template, values = templateize(sql, params)
+            pre_image = None
+            if self.cache.invalidation_policy is InvalidationPolicy.EXTRA_QUERY:
+                pre_image = self._capture_pre_image(joinpoint, template, values)
+            instance = QueryInstance(template, values, pre_image)
+        try:
+            result = joinpoint.proceed()
+        except Exception:
+            # A failed write is not considered for invalidation.
+            raise
+        if instance is not None:
+            self.collector.record_write(instance)
+        return result
+
+    def _capture_pre_image(
+        self,
+        joinpoint: JoinPoint,
+        template: object,
+        values: tuple[object, ...],
+    ) -> tuple[dict[str, object], ...] | None:
+        """The paper's extra query: fetch the rows an UPDATE/DELETE will
+        touch so missing column values can be tested at invalidation
+        time.  Issued through the same Statement (so it is a real
+        backend query), *before* the write executes -- necessary for
+        DELETE, whose rows are gone afterwards."""
+        statement = template.statement  # type: ignore[attr-defined]
+        if not isinstance(statement, (ast.Update, ast.Delete)):
+            return None
+        select = ast.Select(
+            items=(ast.SelectItem(ast.Star()),),
+            tables=(ast.TableRef(statement.table),),
+            where=statement.where,
+        )
+        # Execute the AST directly: the WHERE placeholders keep their
+        # indices into the *write's* value vector, which re-parsing the
+        # unparsed text would renumber.
+        target = joinpoint.target  # the Statement instance
+        try:
+            database = target.connection.database  # type: ignore[attr-defined]
+            result = database.execute_statement(select, values)
+        except Exception:
+            return None  # conservative: no pre-image -> always intersect
+        self.extra_queries += 1
+        return tuple(result.dicts())  # type: ignore[union-attr]
+
+
+def _request_response(joinpoint: JoinPoint) -> tuple[HttpRequest, HttpResponse]:
+    """Extract the (request, response) arguments of a servlet handler."""
+    args = joinpoint.args
+    if len(args) < 2:  # pragma: no cover - defensive
+        raise TypeError(
+            f"{joinpoint.signature} does not look like a servlet handler"
+        )
+    return args[0], args[1]
+
+
+def _sql_and_params(joinpoint: JoinPoint) -> tuple[str, tuple[object, ...]]:
+    """Extract (sql, params) from an execute_query/execute_update call."""
+    args = joinpoint.args
+    sql = args[0]
+    params = args[1] if len(args) > 1 else joinpoint.kwargs.get("params", ())
+    return sql, tuple(params)

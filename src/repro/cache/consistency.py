@@ -1,0 +1,90 @@
+"""Per-request consistency information collection (Figures 5 and 6).
+
+While a read request executes, every SQL query it issues is recorded as
+*dependency information*; while a write request executes, every update
+is recorded as *invalidation information*.  The JDBC-level aspect feeds
+this module; the servlet-level aspects open/close the contexts.
+
+Aborted queries follow the paper's rules: a failed read query marks the
+context aborted so the page is not inserted; a failed write query is
+simply not recorded for invalidation.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from dataclasses import dataclass, field
+
+from repro.cache.entry import QueryInstance
+from repro.errors import ConsistencyError
+
+
+@dataclass
+class RequestContext:
+    """Consistency bookkeeping for one in-flight request."""
+
+    kind: str  # "read" | "write"
+    page_key: str
+    reads: list[QueryInstance] = field(default_factory=list)
+    writes: list[QueryInstance] = field(default_factory=list)
+    aborted: bool = False
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind == "read"
+
+
+class ConsistencyCollector:
+    """Owns the current request context (contextvar-based, so concurrent
+    request handling in threads or tasks cannot cross-contaminate)."""
+
+    def __init__(self) -> None:
+        self._current: contextvars.ContextVar[RequestContext | None] = (
+            contextvars.ContextVar("autowebcache_context", default=None)
+        )
+
+    def begin(self, kind: str, page_key: str) -> RequestContext:
+        """Open a context for a request; nesting is rejected."""
+        if self._current.get() is not None:
+            raise ConsistencyError("a request context is already open")
+        context = RequestContext(kind=kind, page_key=page_key)
+        self._current.set(context)
+        return context
+
+    def end(self) -> RequestContext:
+        """Close and return the current context."""
+        context = self._current.get()
+        if context is None:
+            raise ConsistencyError("no open request context")
+        self._current.set(None)
+        return context
+
+    def current(self) -> RequestContext | None:
+        return self._current.get()
+
+    def record_read(self, instance: QueryInstance) -> None:
+        """Record dependency information for the current read request.
+
+        Queries issued outside any context (population scripts, the
+        cache's own extra queries) are intentionally ignored.
+        """
+        context = self._current.get()
+        if context is not None and context.is_read:
+            context.reads.append(instance)
+
+    def record_write(self, instance: QueryInstance) -> None:
+        """Record invalidation information for the current request.
+
+        Writes are recorded for *any* open context: the paper's write
+        requests may also render a page, and a read-classified handler
+        that unexpectedly writes must still trigger invalidations for
+        consistency to hold.
+        """
+        context = self._current.get()
+        if context is not None:
+            context.writes.append(instance)
+
+    def mark_aborted(self) -> None:
+        context = self._current.get()
+        if context is not None:
+            context.aborted = True

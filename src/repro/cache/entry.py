@@ -1,0 +1,51 @@
+"""Cache entries and query instances."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sql.template import QueryTemplate
+
+
+@dataclass(frozen=True)
+class QueryInstance:
+    """One executed query: its template plus the concrete value vector.
+
+    For a read request these are the *dependency information*; for a
+    write request the *invalidation information* (Section 3.1).
+    ``pre_image`` is populated for UPDATE/DELETE instances under the
+    AC-extraQuery policy: the affected rows' column values captured by
+    the extra query, used by the run-time intersection test.
+    """
+
+    template: QueryTemplate
+    values: tuple[object, ...]
+    pre_image: tuple[dict[str, object], ...] | None = None
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.template.text} {self.values!r}"
+
+
+@dataclass
+class PageEntry:
+    """One cached web page (row of Figure 3's first table)."""
+
+    key: str
+    body: str
+    status: int = 200
+    headers: dict[str, str] = field(default_factory=dict)
+    #: Read instances the page was generated from (dependency info).
+    dependencies: tuple[QueryInstance, ...] = ()
+    created_at: float = 0.0
+    #: Absolute expiry time for TTL-window pages; None = no expiry.
+    expires_at: float | None = None
+    #: True when cached under an application-semantics TTL window.
+    semantic: bool = False
+    hit_count: int = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.body)
+
+    def expired(self, now: float) -> bool:
+        return self.expires_at is not None and now >= self.expires_at

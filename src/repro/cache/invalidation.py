@@ -1,0 +1,65 @@
+"""Invalidation orchestration (Figure 6, lower half).
+
+When a write request completes, each collected write instance is tested
+against every read template in the dependency table:
+
+1. pair analysis (memoised in the analysis cache) prunes template pairs
+   with no possible dependency;
+2. the run-time intersection test (at the configured policy precision)
+   decides, per registered (value vector, page) instance, whether the
+   page must go.
+"""
+
+from __future__ import annotations
+
+from repro.cache.analysis import InvalidationPolicy, QueryAnalysisEngine
+from repro.cache.analysis_cache import AnalysisCache
+from repro.cache.entry import QueryInstance
+from repro.cache.page_cache import PageCache
+from repro.cache.stats import CacheStats
+
+
+class Invalidator:
+    """Runs the write-side consistency protocol against the page cache."""
+
+    def __init__(
+        self,
+        page_cache: PageCache,
+        analysis_cache: AnalysisCache,
+        stats: CacheStats,
+        policy: InvalidationPolicy = InvalidationPolicy.EXTRA_QUERY,
+    ) -> None:
+        self._pages = page_cache
+        self._analysis = analysis_cache
+        self._stats = stats
+        self.policy = policy
+
+    @property
+    def engine(self) -> QueryAnalysisEngine:
+        return self._analysis.engine
+
+    def process_writes(self, writes: list[QueryInstance]) -> set[str]:
+        """Invalidate every page affected by ``writes``; returns the keys."""
+        doomed: set[str] = set()
+        for write in writes:
+            doomed |= self._affected_pages(write)
+        for key in doomed:
+            if self._pages.invalidate(key):
+                self._stats.invalidated_pages += 1
+        return doomed
+
+    def _affected_pages(self, write: QueryInstance) -> set[str]:
+        affected: set[str] = set()
+        for read_template in self._pages.dependencies.read_templates():
+            pair = self._analysis.analyse(read_template, write.template)
+            if not pair.possible:
+                continue
+            for page_key, values in self._pages.dependencies.instances_for(
+                read_template
+            ):
+                if page_key in affected:
+                    continue
+                self._stats.intersection_tests += 1
+                if self.engine.intersects(pair, values, write, self.policy):
+                    affected.add(page_key)
+        return affected

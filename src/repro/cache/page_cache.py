@@ -1,0 +1,127 @@
+"""The page store: Figure 3's first table plus eviction bookkeeping.
+
+Tracks *why* an absent key is absent (never seen, invalidated, evicted,
+expired) so the statistics layer can reproduce the paper's miss
+taxonomy (Figures 16-17: cold misses vs invalidation misses).
+"""
+
+from __future__ import annotations
+
+from repro.cache.dependency import DependencyTable
+from repro.cache.entry import PageEntry
+from repro.cache.replacement import ReplacementPolicy, UnboundedPolicy
+
+
+class PageCache:
+    """Bounded (or unbounded) store of page entries with dependencies.
+
+    Capacity can be bounded by entry count (via the replacement
+    policy's ``capacity``) and/or by total body bytes (``max_bytes``);
+    either bound evicts in the replacement policy's victim order.
+    """
+
+    def __init__(
+        self,
+        policy: ReplacementPolicy | None = None,
+        max_bytes: int | None = None,
+    ) -> None:
+        self._entries: dict[str, PageEntry] = {}
+        # Note: `policy or ...` would discard an *empty* bounded policy
+        # (they define __len__), so test for None explicitly.
+        self._policy = policy if policy is not None else UnboundedPolicy()
+        self.max_bytes = max_bytes
+        self.total_bytes = 0
+        self.dependencies = DependencyTable()
+        #: key -> reason it is gone ("invalidation"/"capacity"/"expired").
+        self._gone: dict[str, str] = {}
+        self.eviction_count = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    @property
+    def replacement_policy(self) -> ReplacementPolicy:
+        return self._policy
+
+    # -- lookup ---------------------------------------------------------------------
+
+    def lookup(self, key: str, now: float) -> tuple[PageEntry | None, str]:
+        """Return (entry, miss-reason).
+
+        On a hit the reason is ``"hit"``.  On a miss the reason is one
+        of ``"cold"``, ``"invalidation"``, ``"capacity"``, ``"expired"``.
+        Expired TTL entries are removed as a side effect.
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            if entry.expired(now):
+                self._remove(key, reason="expired")
+                return None, "expired"
+            entry.hit_count += 1
+            self._policy.on_access(key)
+            return entry, "hit"
+        return None, self._gone.pop(key, "cold")
+
+    def peek(self, key: str) -> PageEntry | None:
+        """Entry for ``key`` without touching recency or expiry."""
+        return self._entries.get(key)
+
+    def keys(self) -> list[str]:
+        return list(self._entries)
+
+    def entries(self) -> list[PageEntry]:
+        return list(self._entries.values())
+
+    # -- insert / remove --------------------------------------------------------------
+
+    def insert(self, entry: PageEntry) -> list[str]:
+        """Store ``entry`` and return the keys evicted to make room."""
+        if entry.key in self._entries:
+            # Refresh: replace in place (dependencies re-registered).
+            self._remove(entry.key, reason="refresh")
+        self._entries[entry.key] = entry
+        self.total_bytes += entry.size
+        self._gone.pop(entry.key, None)
+        self._policy.on_insert(entry.key)
+        if not entry.semantic:
+            self.dependencies.register(entry.key, entry.dependencies)
+        evicted: list[str] = []
+        while self._over_capacity():
+            victim = self._policy.victim()
+            if victim == entry.key and len(self._entries) == 1:
+                break  # never evict the sole, just-inserted entry
+            self._remove(victim, reason="capacity")
+            self.eviction_count += 1
+            evicted.append(victim)
+        return evicted
+
+    def _over_capacity(self) -> bool:
+        if self._policy.needs_eviction:
+            return True
+        return self.max_bytes is not None and self.total_bytes > self.max_bytes
+
+    def invalidate(self, key: str) -> bool:
+        """Remove ``key`` due to a consistency invalidation."""
+        if key not in self._entries:
+            return False
+        self._remove(key, reason="invalidation")
+        return True
+
+    def clear(self) -> None:
+        for key in list(self._entries):
+            self._remove(key, reason="refresh")
+        self._gone.clear()
+
+    def _remove(self, key: str, reason: str) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return
+        self.total_bytes -= entry.size
+        self._policy.on_remove(key)
+        if not entry.semantic:
+            self.dependencies.unregister(key, entry.dependencies)
+        if reason != "refresh":
+            self._gone[key] = reason

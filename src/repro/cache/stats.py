@@ -1,0 +1,134 @@
+"""Cache statistics: global and per-request-type counters.
+
+Feeds the per-request hit/miss breakdowns of Figures 16 and 17,
+including the paper's miss taxonomy: *cold* misses (never cached),
+*invalidation* misses (previously cached, evicted by a write),
+*capacity* misses (evicted by the replacement policy -- only with a
+bounded cache), *expired* misses (TTL window lapsed), plus uncacheable
+requests and semantic hits (TTL-window hits, Figure 17's third bar).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RequestTypeStats:
+    """Counters for one request type (URI)."""
+
+    uri: str
+    hits: int = 0
+    semantic_hits: int = 0
+    misses_cold: int = 0
+    misses_invalidation: int = 0
+    misses_capacity: int = 0
+    misses_expired: int = 0
+    uncacheable: int = 0
+    writes: int = 0
+
+    @property
+    def misses(self) -> int:
+        return (
+            self.misses_cold
+            + self.misses_invalidation
+            + self.misses_capacity
+            + self.misses_expired
+        )
+
+    @property
+    def reads(self) -> int:
+        return self.hits + self.semantic_hits + self.misses + self.uncacheable
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.reads:
+            return 0.0
+        return (self.hits + self.semantic_hits) / self.reads
+
+
+@dataclass
+class CacheStats:
+    """Global counters plus the per-type breakdown."""
+
+    lookups: int = 0
+    hits: int = 0
+    semantic_hits: int = 0
+    misses_cold: int = 0
+    misses_invalidation: int = 0
+    misses_capacity: int = 0
+    misses_expired: int = 0
+    uncacheable: int = 0
+    inserts: int = 0
+    evictions: int = 0
+    #: Pages removed by consistency invalidation.
+    invalidated_pages: int = 0
+    #: Write requests processed by the invalidator.
+    write_requests: int = 0
+    #: Instance-level intersection tests executed.
+    intersection_tests: int = 0
+    by_type: dict[str, RequestTypeStats] = field(default_factory=dict)
+
+    def type_stats(self, uri: str) -> RequestTypeStats:
+        stats = self.by_type.get(uri)
+        if stats is None:
+            stats = RequestTypeStats(uri=uri)
+            self.by_type[uri] = stats
+        return stats
+
+    @property
+    def misses(self) -> int:
+        return (
+            self.misses_cold
+            + self.misses_invalidation
+            + self.misses_capacity
+            + self.misses_expired
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits (including semantic) over cacheable read lookups."""
+        cacheable = self.hits + self.semantic_hits + self.misses
+        if not cacheable:
+            return 0.0
+        return (self.hits + self.semantic_hits) / cacheable
+
+    def record_hit(self, uri: str, semantic: bool) -> None:
+        self.lookups += 1
+        if semantic:
+            self.semantic_hits += 1
+            self.type_stats(uri).semantic_hits += 1
+        else:
+            self.hits += 1
+            self.type_stats(uri).hits += 1
+
+    def record_miss(self, uri: str, reason: str) -> None:
+        self.lookups += 1
+        stats = self.type_stats(uri)
+        if reason == "cold":
+            self.misses_cold += 1
+            stats.misses_cold += 1
+        elif reason == "invalidation":
+            self.misses_invalidation += 1
+            stats.misses_invalidation += 1
+        elif reason == "capacity":
+            self.misses_capacity += 1
+            stats.misses_capacity += 1
+        elif reason == "expired":
+            self.misses_expired += 1
+            stats.misses_expired += 1
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown miss reason {reason!r}")
+
+    def record_uncacheable(self, uri: str) -> None:
+        self.lookups += 1
+        self.uncacheable += 1
+        self.type_stats(uri).uncacheable += 1
+
+    def record_write(self, uri: str) -> None:
+        self.write_requests += 1
+        self.type_stats(uri).writes += 1

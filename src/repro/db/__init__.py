@@ -1,0 +1,22 @@
+"""In-memory relational database with a DB-API style driver.
+
+This package is the MySQL + JDBC analogue the benchmark applications run
+against.  The driver interface in :mod:`repro.db.dbapi` mirrors the JDBC
+call shape the paper's consistency aspect intercepts:
+``Statement.execute_query`` for reads and ``Statement.execute_update``
+for writes.
+"""
+
+from repro.db.schema import Column, ColumnType, TableSchema
+from repro.db.engine import Database
+from repro.db.dbapi import Connection, ResultSet, connect
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "TableSchema",
+    "Database",
+    "Connection",
+    "ResultSet",
+    "connect",
+]

@@ -1,0 +1,264 @@
+"""The :class:`Database`: schema registry + statement execution.
+
+A :class:`Database` owns the tables and a parse cache (statement text ->
+AST), and exposes ``query``/``update`` entry points taking SQL text plus
+positional parameters -- the same shape the DB-API driver and, above it,
+the JDBC-style interface use.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.db.executor import Executor, QueryResult, UpdateResult
+from repro.db.schema import Column, ColumnType, TableSchema
+from repro.db.storage import Table
+from repro.db.transactions import Transaction
+from repro.db.triggers import TriggerSet, WriteEvent
+from repro.errors import DatabaseError, ExecutionError, SchemaError
+from repro.sql import ast_nodes as ast
+from repro.sql.parser import parse_statement
+
+
+@dataclass
+class DatabaseStats:
+    """Cumulative work counters, consumed by the simulator's cost model."""
+
+    queries: int = 0
+    updates: int = 0
+    rows_examined: int = 0
+    rows_returned: int = 0
+
+    def snapshot(self) -> "DatabaseStats":
+        return DatabaseStats(
+            queries=self.queries,
+            updates=self.updates,
+            rows_examined=self.rows_examined,
+            rows_returned=self.rows_returned,
+        )
+
+
+class Database:
+    """An in-memory multi-table database."""
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        self._executor = Executor(self._tables)
+        self._parse_cache: dict[str, ast.Statement] = {}
+        self._lock = threading.RLock()
+        self.stats = DatabaseStats()
+        #: After-write triggers (Section 8's external-update hook).
+        self.triggers = TriggerSet()
+        self._transaction: Transaction | None = None
+
+    # -- schema -----------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> Table:
+        """Register ``schema`` and return its (empty) table."""
+        with self._lock:
+            if schema.name in self._tables:
+                raise SchemaError(f"table {schema.name!r} already exists")
+            table = Table(schema)
+            self._tables[schema.name] = table
+            return table
+
+    def drop_table(self, name: str) -> None:
+        with self._lock:
+            if name.lower() not in self._tables:
+                raise SchemaError(f"unknown table {name!r}")
+            del self._tables[name.lower()]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise SchemaError(f"unknown table {name!r}") from None
+
+    @property
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    # -- execution ----------------------------------------------------------------
+
+    def execute(
+        self, sql: str, params: tuple[object, ...] = ()
+    ) -> QueryResult | UpdateResult:
+        """Parse (with caching) and execute one statement."""
+        statement = self._parse(sql)
+        return self.execute_statement(statement, params)
+
+    def execute_statement(
+        self, statement: ast.Statement, params: tuple[object, ...] = ()
+    ) -> QueryResult | UpdateResult:
+        with self._lock:
+            if isinstance(statement, ast.Select):
+                result = self._executor.execute_select(statement, params)
+                self.stats.queries += 1
+                self.stats.rows_examined += result.rows_examined
+                self.stats.rows_returned += len(result.rows)
+                return result
+            pre_image = self._pre_image_for_triggers(statement, params)
+            if isinstance(statement, ast.CreateTable):
+                if self._transaction is not None:
+                    raise DatabaseError("DDL inside a transaction")
+                self.create_table(_schema_from_ast(statement))
+                return UpdateResult(affected=0, rows_examined=0)
+            if isinstance(statement, ast.Insert):
+                kind, table = "insert", statement.table.lower()
+            elif isinstance(statement, ast.Update):
+                kind, table = "update", statement.table.lower()
+            elif isinstance(statement, ast.Delete):
+                kind, table = "delete", statement.table.lower()
+            else:
+                raise ExecutionError(
+                    f"cannot execute {type(statement).__name__}"
+                )
+            if self._transaction is not None:
+                self._transaction.snapshot_table(table, self.table(table))
+            if kind == "insert":
+                update = self._executor.execute_insert(statement, params)
+            elif kind == "update":
+                update = self._executor.execute_update(statement, params)
+            else:
+                update = self._executor.execute_delete(statement, params)
+            self.stats.updates += 1
+            self.stats.rows_examined += update.rows_examined
+            if not self.triggers.empty:
+                event = WriteEvent(
+                    table=table,
+                    kind=kind,
+                    sql=statement.unparse(),
+                    params=tuple(params),
+                    affected=update.affected,
+                    pre_image=pre_image,
+                )
+                if self._transaction is not None:
+                    # Deliver only if the transaction commits.
+                    self._transaction.deferred_events.append(event)
+                else:
+                    self.triggers.fire(event)
+            return update
+
+    # -- transactions -----------------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._transaction is not None
+
+    def begin(self) -> None:
+        """Open a transaction (one at a time; see transactions module)."""
+        with self._lock:
+            if self._transaction is not None:
+                raise DatabaseError("a transaction is already open")
+            self._transaction = Transaction()
+
+    def commit(self) -> None:
+        """Commit: keep all changes, deliver deferred trigger events."""
+        with self._lock:
+            if self._transaction is None:
+                raise DatabaseError("no open transaction")
+            events = self._transaction.commit()
+            self._transaction = None
+        for event in events:
+            self.triggers.fire(event)
+
+    def rollback(self) -> None:
+        """Roll back: restore every written table, drop trigger events."""
+        with self._lock:
+            if self._transaction is None:
+                raise DatabaseError("no open transaction")
+            self._transaction.rollback_into(self._tables)
+            self._transaction = None
+
+    def _pre_image_for_triggers(
+        self, statement: ast.Statement, params: tuple[object, ...]
+    ) -> tuple[dict[str, object], ...] | None:
+        """Snapshot the rows an UPDATE/DELETE will touch, for triggers.
+
+        Only taken when triggers are registered (the common no-trigger
+        path pays nothing).  Gives trigger consumers -- e.g. the
+        external invalidation bridge -- the same AC-extraQuery precision
+        the woven driver aspect gets from its pre-image capture.
+        """
+        if self.triggers.empty:
+            return None
+        if not isinstance(statement, (ast.Update, ast.Delete)):
+            return None
+        select = ast.Select(
+            items=(ast.SelectItem(ast.Star()),),
+            tables=(ast.TableRef(statement.table),),
+            where=statement.where,
+        )
+        result = self._executor.execute_select(select, params)
+        return tuple(result.dicts())
+
+    def query(self, sql: str, params: tuple[object, ...] = ()) -> QueryResult:
+        """Execute a read statement; raises if ``sql`` is not a SELECT."""
+        result = self.execute(sql, params)
+        if not isinstance(result, QueryResult):
+            raise ExecutionError("query() requires a SELECT statement")
+        return result
+
+    def update(self, sql: str, params: tuple[object, ...] = ()) -> int:
+        """Execute a write statement; returns the affected row count."""
+        result = self.execute(sql, params)
+        if not isinstance(result, UpdateResult):
+            raise ExecutionError("update() requires a write statement")
+        return result.affected
+
+    def explain(self, sql: str, params: tuple[object, ...] = ()) -> list[str]:
+        """Access-path plan for a SELECT (executes it; reads are pure).
+
+        Each entry is ``"<binding>: <path>"`` with path one of
+        ``primary key <col>``, ``index eq <col>``, ``index join on
+        <col>``, ``INNER/LEFT join ...``, or ``full scan``.
+        """
+        statement = self._parse(sql)
+        if not isinstance(statement, ast.Select):
+            raise ExecutionError("explain() requires a SELECT statement")
+        with self._lock:
+            self._executor.execute_select(statement, params)
+            return list(self._executor.last_plan)
+
+    def _parse(self, sql: str) -> ast.Statement:
+        statement = self._parse_cache.get(sql)
+        if statement is None:
+            statement = parse_statement(sql)
+            self._parse_cache[sql] = statement
+        return statement
+
+    # -- bulk load ------------------------------------------------------------------
+
+    def insert_rows(self, table_name: str, rows: list[dict[str, object]]) -> int:
+        """Bulk-insert dictionaries into ``table_name`` (bypasses SQL)."""
+        table = self.table(table_name)
+        for values in rows:
+            table.insert(table.schema.coerce_row(values))
+        return len(rows)
+
+
+def _schema_from_ast(create: ast.CreateTable) -> TableSchema:
+    """Convert a CREATE TABLE AST into a TableSchema."""
+    type_map = {
+        "INT": ColumnType.INT,
+        "INTEGER": ColumnType.INT,
+        "FLOAT": ColumnType.FLOAT,
+        "VARCHAR": ColumnType.VARCHAR,
+        "DATETIME": ColumnType.DATETIME,
+        "TEXT": ColumnType.TEXT,
+    }
+    columns = []
+    primary_key = None
+    for col in create.columns:
+        columns.append(Column(name=col.name, type=type_map[col.type_name]))
+        if col.primary_key:
+            primary_key = col.name
+    return TableSchema(table_name_or_raise(create.table), columns, primary_key)
+
+
+def table_name_or_raise(name: str) -> str:
+    if not name:
+        raise SchemaError("empty table name")
+    return name

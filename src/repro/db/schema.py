@@ -1,0 +1,105 @@
+"""Table schemas: columns, types, primary keys, secondary indexes."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+
+
+class ColumnType(enum.Enum):
+    """Supported column types."""
+
+    INT = "INT"
+    FLOAT = "FLOAT"
+    VARCHAR = "VARCHAR"
+    DATETIME = "DATETIME"  # stored as float seconds since epoch
+    TEXT = "TEXT"
+
+    def coerce(self, value: object) -> object:
+        """Coerce ``value`` into this column type; None passes through."""
+        if value is None:
+            return None
+        if self in (ColumnType.INT,):
+            return int(value)  # type: ignore[arg-type]
+        if self in (ColumnType.FLOAT, ColumnType.DATETIME):
+            return float(value)  # type: ignore[arg-type]
+        return str(value)
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column definition."""
+
+    name: str
+    type: ColumnType
+    nullable: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", self.name.lower())
+
+
+@dataclass
+class TableSchema:
+    """Schema for one table.
+
+    ``primary_key`` names the unique key column (optional); ``indexes``
+    lists additional columns to maintain hash indexes on.
+    """
+
+    name: str
+    columns: list[Column]
+    primary_key: str | None = None
+    indexes: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.name = self.name.lower()
+        if self.primary_key is not None:
+            self.primary_key = self.primary_key.lower()
+        self.indexes = [index.lower() for index in self.indexes]
+        names = [column.name for column in self.columns]
+        if len(names) != len(set(names)):
+            raise SchemaError(f"duplicate column in table {self.name!r}")
+        self._positions = {name: i for i, name in enumerate(names)}
+        if self.primary_key is not None and self.primary_key not in self._positions:
+            raise SchemaError(
+                f"primary key {self.primary_key!r} is not a column of {self.name!r}"
+            )
+        for index in self.indexes:
+            if index not in self._positions:
+                raise SchemaError(
+                    f"index column {index!r} is not a column of {self.name!r}"
+                )
+
+    @property
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    def position(self, column: str) -> int:
+        """Return the ordinal position of ``column``.
+
+        Raises :class:`~repro.errors.SchemaError` for unknown columns.
+        """
+        try:
+            return self._positions[column.lower()]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r} has no column {column!r}"
+            ) from None
+
+    def has_column(self, column: str) -> bool:
+        return column.lower() in self._positions
+
+    def coerce_row(self, values: dict[str, object]) -> list[object]:
+        """Build a full row (positional) from a column->value mapping."""
+        row: list[object] = [None] * len(self.columns)
+        for name, value in values.items():
+            position = self.position(name)
+            row[position] = self.columns[position].type.coerce(value)
+        for column, value in zip(self.columns, row):
+            if value is None and not column.nullable:
+                raise SchemaError(
+                    f"column {column.name!r} of {self.name!r} is NOT NULL"
+                )
+        return row

@@ -1,0 +1,69 @@
+"""Transactions: snapshot-based BEGIN/COMMIT/ROLLBACK.
+
+The paper's test bed (MySQL/MyISAM) ran autocommit without
+transactions, and this engine defaults to the same.  Explicit
+transactions are provided for the aborted-write semantics of Section
+4.2 ("if a write query does not complete successfully, it is not
+considered for determining the cache entries affected"): a rolled-back
+transaction leaves the database unchanged, and any write-event triggers
+it would have fired are discarded rather than delivered.
+
+Isolation model: one transaction at a time per database (the engine
+serialises execution anyway); per-table snapshots are taken lazily on
+first write and restored wholesale on rollback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.storage import Table
+from repro.db.triggers import WriteEvent
+from repro.errors import DatabaseError
+
+
+@dataclass
+class _TableSnapshot:
+    rows: dict[int, list[object]]
+    next_rowid: int
+    auto_increment: int
+
+
+@dataclass
+class Transaction:
+    """One open transaction: table snapshots + deferred trigger events."""
+
+    snapshots: dict[str, _TableSnapshot] = field(default_factory=dict)
+    deferred_events: list[WriteEvent] = field(default_factory=list)
+    closed: bool = False
+
+    def snapshot_table(self, name: str, table: Table) -> None:
+        """Record ``table``'s state before its first write in this txn."""
+        if name in self.snapshots:
+            return
+        self.snapshots[name] = _TableSnapshot(
+            rows={rowid: list(row) for rowid, row in table._rows.items()},
+            next_rowid=table._next_rowid,
+            auto_increment=table._auto_increment,
+        )
+
+    def rollback_into(self, tables: dict[str, Table]) -> None:
+        """Restore every snapshotted table."""
+        if self.closed:
+            raise DatabaseError("transaction already closed")
+        for name, snapshot in self.snapshots.items():
+            table = tables[name]
+            table.clear()
+            for rowid, row in snapshot.rows.items():
+                table._rows[rowid] = row
+                table._index_add(rowid, row)
+            table._next_rowid = snapshot.next_rowid
+            table._auto_increment = snapshot.auto_increment
+        self.closed = True
+
+    def commit(self) -> list[WriteEvent]:
+        """Close the transaction; returns the trigger events to deliver."""
+        if self.closed:
+            raise DatabaseError("transaction already closed")
+        self.closed = True
+        return list(self.deferred_events)

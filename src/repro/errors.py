@@ -1,0 +1,89 @@
+"""Exception hierarchy shared across the repro packages.
+
+All library errors derive from :class:`ReproError` so applications can
+catch everything raised by this library with one except clause while still
+being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class SqlLexError(SqlError):
+    """Raised when the lexer encounters an invalid character sequence."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class SqlParseError(SqlError):
+    """Raised when the parser encounters an unexpected token."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        suffix = f" (at offset {position})" if position >= 0 else ""
+        super().__init__(f"{message}{suffix}")
+        self.position = position
+
+
+class DatabaseError(ReproError):
+    """Base class for database engine errors."""
+
+
+class SchemaError(DatabaseError):
+    """Raised for unknown tables/columns or schema violations."""
+
+
+class IntegrityError(DatabaseError):
+    """Raised on primary-key or not-null violations."""
+
+
+class ExecutionError(DatabaseError):
+    """Raised when a statement cannot be evaluated."""
+
+
+class WebError(ReproError):
+    """Base class for servlet-engine errors."""
+
+
+class ServletError(WebError):
+    """Raised when a servlet fails while handling a request."""
+
+
+class RoutingError(WebError):
+    """Raised when no servlet is mapped to a request URI."""
+
+
+class AopError(ReproError):
+    """Base class for AOP framework errors."""
+
+
+class PointcutSyntaxError(AopError):
+    """Raised when a pointcut expression cannot be parsed."""
+
+
+class WeavingError(AopError):
+    """Raised when aspect weaving fails (e.g. missing join point)."""
+
+
+class CacheError(ReproError):
+    """Base class for AutoWebCache errors."""
+
+
+class ConsistencyError(CacheError):
+    """Raised when consistency bookkeeping is violated."""
+
+
+class WorkloadError(ReproError):
+    """Raised for invalid workload definitions (bad mixes, etc.)."""
+
+
+class SimulationError(ReproError):
+    """Raised by the discrete-event simulator."""

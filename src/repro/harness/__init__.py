@@ -1,0 +1,27 @@
+"""Experiment harness: regenerates every figure in the paper.
+
+One function per figure/table, shared by the ``benchmarks/`` suite and
+the examples.  Each returns plain data structures plus a
+:func:`~repro.harness.reporting.render_table` text rendering, so the
+benchmark output reads like the paper's figures.
+"""
+
+from repro.harness.experiments import (
+    ExperimentDefaults,
+    run_analysis_cache_experiment,
+    run_code_size_experiment,
+    run_per_request_breakdown,
+    run_response_time_curve,
+)
+from repro.harness.reporting import render_chart, render_series, render_table
+
+__all__ = [
+    "ExperimentDefaults",
+    "run_response_time_curve",
+    "run_per_request_breakdown",
+    "run_analysis_cache_experiment",
+    "run_code_size_experiment",
+    "render_table",
+    "render_series",
+    "render_chart",
+]

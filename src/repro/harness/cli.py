@@ -1,0 +1,249 @@
+"""Command-line interface: run any paper experiment from the shell.
+
+    python -m repro list
+    python -m repro fig13 --clients 100,400 --warmup 30 --duration 90
+    python -m repro fig17
+    python -m repro codesize
+    python -m repro run --app tpcw --clients 250 --policy where-match
+
+Prints the same tables the benchmark suite writes to
+``benchmarks/results/``; timing flags default to quick settings so the
+CLI is interactive-friendly.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cache.analysis import InvalidationPolicy
+from repro.harness.experiments import (
+    ExperimentDefaults,
+    RunSpec,
+    improvement_percent,
+    run_cell,
+    run_response_time_curve,
+)
+from repro.harness.reporting import render_table
+
+_POLICIES = {policy.value: policy for policy in InvalidationPolicy}
+
+
+def _parse_clients(text: str) -> list[int]:
+    return [int(part) for part in text.split(",") if part]
+
+
+def _defaults(args: argparse.Namespace) -> ExperimentDefaults:
+    return ExperimentDefaults(warmup=args.warmup, duration=args.duration)
+
+
+def _cmd_list(_args: argparse.Namespace) -> str:
+    rows = [
+        ["fig13", "RUBiS response time vs clients (bidding mix)"],
+        ["fig14", "TPC-W response time vs clients (shopping mix)"],
+        ["fig15", "TPC-W BestSeller 30s semantic window"],
+        ["fig16", "RUBiS per-request hits/misses"],
+        ["fig17", "TPC-W per-request hits/misses"],
+        ["codesize", "Figure 20 code-size comparison"],
+        ["run", "one custom cell (see --help)"],
+    ]
+    return render_table("Available experiments", ["command", "regenerates"], rows)
+
+
+def _cmd_curve(args: argparse.Namespace, app: str) -> str:
+    defaults = _defaults(args)
+    clients = _parse_clients(args.clients)
+    no_cache = run_response_time_curve(
+        RunSpec(app=app, cached=False, defaults=defaults), clients
+    )
+    cached = run_response_time_curve(
+        RunSpec(
+            app=app,
+            cached=True,
+            best_seller_window=args.window,
+            defaults=defaults,
+        ),
+        clients,
+    )
+    rows = [
+        [
+            nc.n_clients,
+            round(nc.mean_ms, 2),
+            round(cc.mean_ms, 2),
+            round(improvement_percent(nc.mean_ms, cc.mean_ms), 1),
+            round(cc.hit_rate, 3),
+        ]
+        for nc, cc in zip(no_cache, cached)
+    ]
+    title = {
+        "rubis": "Figure 13: RUBiS response time vs clients",
+        "tpcw": "Figure 14/15: TPC-W response time vs clients",
+    }[app]
+    return render_table(
+        title,
+        ["clients", "No cache (ms)", "AutoWebCache (ms)", "improv %", "hit rate"],
+        rows,
+    )
+
+
+def _cmd_breakdown(args: argparse.Namespace, app: str) -> str:
+    defaults = _defaults(args)
+    n_clients = _parse_clients(args.clients)[0]
+    spec = RunSpec(
+        app=app,
+        cached=True,
+        best_seller_window=(app == "tpcw"),
+        defaults=defaults,
+    )
+    outcome = run_cell(spec, n_clients)
+    metrics = outcome.result.metrics
+    total = metrics.overall.count
+    rows = []
+    for uri, series in sorted(metrics.by_uri.items()):
+        detail = metrics.detail.get(uri, {})
+        rows.append(
+            [
+                uri,
+                round(100.0 * series.count / total, 1),
+                detail.get("hit", 0),
+                detail.get("semantic", 0),
+                detail.get("cold", 0),
+                detail.get("invalidation", 0),
+                detail.get("uncacheable", 0),
+                round(series.mean * 1000.0, 2),
+            ]
+        )
+    title = (
+        f"Figure {'16/18' if app == 'rubis' else '17/19'}: "
+        f"{app} per-request breakdown ({n_clients} clients)"
+    )
+    return render_table(
+        title,
+        ["request", "% reqs", "hits", "sem", "cold", "inval", "uncach", "mean ms"],
+        rows,
+    )
+
+
+def _cmd_codesize(_args: argparse.Namespace) -> str:
+    from repro.harness.codesize import measure_components
+
+    rows = [
+        [c.name, c.files, c.lines, c.code_lines] for c in measure_components()
+    ]
+    return render_table(
+        "Figure 20: code size by component",
+        ["component", "files", "total lines", "code lines"],
+        rows,
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> str:
+    defaults = _defaults(args)
+    spec = RunSpec(
+        app=args.app,
+        cached=not args.no_cache,
+        policy=_POLICIES[args.policy],
+        best_seller_window=args.window,
+        replacement=args.replacement,
+        capacity=args.capacity,
+        max_bytes=args.max_bytes,
+        result_cache=args.result_cache,
+        weak_ttl=args.weak_ttl,
+        defaults=defaults,
+    )
+    n_clients = _parse_clients(args.clients)[0]
+    outcome = run_cell(spec, n_clients)
+    rows = [
+        ["configuration", spec.label],
+        ["clients", n_clients],
+        ["requests measured", outcome.result.metrics.request_count],
+        ["mean response (ms)", round(outcome.mean_ms, 2)],
+        ["p90 response (ms)",
+         round(outcome.result.metrics.overall.percentile(90) * 1000, 2)],
+        ["hit rate", round(outcome.hit_rate, 3)],
+        ["app utilisation", round(outcome.result.app_utilization, 3)],
+        ["db utilisation", round(outcome.result.db_utilization, 3)],
+        ["errors", outcome.result.errors],
+    ]
+    if outcome.cache_stats is not None:
+        rows.append(["pages invalidated", outcome.cache_stats.invalidated_pages])
+    if outcome.result_cache_stats is not None:
+        rows.append(
+            ["result-cache hit rate",
+             round(outcome.result_cache_stats.hit_rate, 3)]
+        )
+    return render_table(f"Custom cell: {args.app}", ["metric", "value"], rows)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="AutoWebCache reproduction: experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_timing(p: argparse.ArgumentParser, clients: str) -> None:
+        p.add_argument("--clients", default=clients,
+                       help="comma-separated client counts")
+        p.add_argument("--warmup", type=float, default=30.0)
+        p.add_argument("--duration", type=float, default=90.0)
+
+    sub.add_parser("list", help="list available experiments")
+
+    fig13 = sub.add_parser("fig13", help="RUBiS response-time curve")
+    add_timing(fig13, "100,400,700,1000")
+    fig13.set_defaults(window=False)
+
+    fig14 = sub.add_parser("fig14", help="TPC-W response-time curve")
+    add_timing(fig14, "50,150,250,400")
+    fig14.add_argument("--window", action="store_true",
+                       help="enable the BestSeller 30s window (fig15)")
+
+    fig15 = sub.add_parser("fig15", help="TPC-W curve with semantics window")
+    add_timing(fig15, "50,150,250,400")
+    fig15.set_defaults(window=True)
+
+    fig16 = sub.add_parser("fig16", help="RUBiS per-request breakdown")
+    add_timing(fig16, "1000")
+
+    fig17 = sub.add_parser("fig17", help="TPC-W per-request breakdown")
+    add_timing(fig17, "400")
+
+    sub.add_parser("codesize", help="Figure 20 code sizes")
+
+    run = sub.add_parser("run", help="one custom configuration cell")
+    add_timing(run, "200")
+    run.add_argument("--app", choices=["rubis", "tpcw"], default="rubis")
+    run.add_argument("--no-cache", action="store_true")
+    run.add_argument("--policy", choices=sorted(_POLICIES), default="extra-query")
+    run.add_argument("--window", action="store_true")
+    run.add_argument("--replacement", default="unbounded",
+                     choices=["unbounded", "lru", "lfu", "fifo"])
+    run.add_argument("--capacity", type=int, default=None)
+    run.add_argument("--max-bytes", type=int, default=None)
+    run.add_argument("--result-cache", action="store_true")
+    run.add_argument("--weak-ttl", type=float, default=None)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        output = _cmd_list(args)
+    elif args.command == "fig13":
+        output = _cmd_curve(args, "rubis")
+    elif args.command in ("fig14", "fig15"):
+        output = _cmd_curve(args, "tpcw")
+    elif args.command == "fig16":
+        output = _cmd_breakdown(args, "rubis")
+    elif args.command == "fig17":
+        output = _cmd_breakdown(args, "tpcw")
+    elif args.command == "codesize":
+        output = _cmd_codesize(args)
+    elif args.command == "run":
+        output = _cmd_run(args)
+    else:  # pragma: no cover - argparse guards this
+        parser.error(f"unknown command {args.command!r}")
+        return 2
+    print(output)
+    return 0

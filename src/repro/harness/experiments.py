@@ -1,0 +1,245 @@
+"""Experiment drivers, one per figure in the paper's evaluation.
+
+Every driver builds a *fresh* application instance per cell (load
+point x configuration) so database mutations from one run cannot leak
+into another, installs AutoWebCache when the configuration asks for it,
+runs the load simulator, and always unweaves afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.apps.rubis import RubisDataset, build_rubis
+from repro.apps.rubis.workload import bidding_mix
+from repro.apps.rubis.workload import browsing_mix as rubis_browsing_mix
+from repro.apps.tpcw import TpcwDataset, build_tpcw
+from repro.apps.tpcw.app import standard_semantics
+from repro.apps.tpcw.workload import browsing_mix as tpcw_browsing_mix
+from repro.apps.tpcw.workload import shopping_mix
+from repro.cache.analysis import InvalidationPolicy
+from repro.cache.aspects_result import ResultCacheAspect, ResultCacheInstaller
+from repro.cache.autowebcache import AutoWebCache
+from repro.cache.result_cache import ResultCache
+from repro.cache.semantics import SemanticsRegistry
+from repro.harness.codesize import measure_components
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import CostModel, RUBIS_COST_MODEL, TPCW_COST_MODEL
+from repro.sim.runner import LoadSimulator, SimulationConfig, SimulationResult
+from repro.workload.session import SessionConfig
+
+
+@dataclass(frozen=True)
+class ExperimentDefaults:
+    """Shared timing/sizing knobs; scaled down from the paper's 15 min
+    warm-up / 30 min measurement for benchmark-suite speed."""
+
+    warmup: float = 90.0
+    duration: float = 240.0
+    seed: int = 7
+    think_time_mean: float = 7.0
+    session_duration: float = 900.0
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulated configuration."""
+
+    app: str  # "rubis" | "tpcw"
+    cached: bool = True
+    policy: InvalidationPolicy = InvalidationPolicy.EXTRA_QUERY
+    forced_miss: bool = False
+    best_seller_window: bool = False  # TPC-W Figure 15 optimisation
+    replacement: str = "unbounded"
+    capacity: int | None = None
+    #: Byte budget for the page cache (size-aware eviction); None means
+    #: no byte bound.
+    max_bytes: int | None = None
+    #: Weave the back-end result-set cache (Section 9's complement);
+    #: may be combined with the page cache or used alone.
+    result_cache: bool = False
+    #: Weak (time-lagged) consistency: default TTL in seconds applied
+    #: to every page instead of write-driven invalidation.
+    weak_ttl: float | None = None
+    #: Workload mix: "default" (bidding for RUBiS, shopping for TPC-W)
+    #: or "browsing".
+    mix: str = "default"
+    defaults: ExperimentDefaults = field(default_factory=ExperimentDefaults)
+
+    @property
+    def label(self) -> str:
+        if not self.cached and not self.result_cache:
+            return "No cache"
+        if not self.cached and self.result_cache:
+            return "Result cache only"
+        if self.forced_miss:
+            return "AutoWebCache (forced miss)"
+        if self.weak_ttl is not None:
+            return f"Weak TTL {self.weak_ttl:.0f}s"
+        if self.result_cache:
+            return "AutoWebCache + result cache"
+        if self.best_seller_window:
+            return "Optimization for Semantics"
+        return "AutoWebCache"
+
+
+@dataclass
+class RunOutcome:
+    """One cell's results: simulation metrics + cache-side statistics."""
+
+    spec: RunSpec
+    n_clients: int
+    result: SimulationResult
+    cache_stats: object | None  # CacheStats when cached
+    analysis_growth: list[tuple[int, int]]
+    weave_report: object | None
+    result_cache_stats: object | None = None  # ResultCacheStats when woven
+
+    @property
+    def mean_ms(self) -> float:
+        return self.result.mean_response_time_ms
+
+    @property
+    def hit_rate(self) -> float:
+        return self.result.hit_rate
+
+
+def run_cell(
+    spec: RunSpec, n_clients: int, cost_model: CostModel | None = None
+) -> RunOutcome:
+    """Simulate one (configuration, client count) cell."""
+    defaults = spec.defaults
+    clock = VirtualClock()
+    if spec.app == "rubis":
+        app = build_rubis(RubisDataset())
+        if spec.mix == "browsing":
+            mix = rubis_browsing_mix(app.dataset)
+        else:
+            mix = bidding_mix(app.dataset)
+        model = cost_model or RUBIS_COST_MODEL
+        semantics = None
+    elif spec.app == "tpcw":
+        app = build_tpcw(TpcwDataset(), ad_seed=defaults.seed)
+        if spec.mix == "browsing":
+            mix = tpcw_browsing_mix(app.dataset)
+        else:
+            mix = shopping_mix(app.dataset)
+        model = cost_model or TPCW_COST_MODEL
+        semantics = standard_semantics(spec.best_seller_window)
+    else:
+        raise ValueError(f"unknown app {spec.app!r}")
+
+    awc = None
+    weave_report = None
+    result_installer = None
+    result_cache_obj = None
+    if spec.cached:
+        if spec.weak_ttl is not None:
+            semantics = semantics or SemanticsRegistry()
+            semantics.set_default_ttl(spec.weak_ttl)
+        awc = AutoWebCache(
+            policy=spec.policy,
+            replacement=spec.replacement,
+            capacity=spec.capacity,
+            max_bytes=spec.max_bytes,
+            semantics=semantics,
+            clock=clock.now,
+            forced_miss=spec.forced_miss,
+        )
+        extra = []
+        if spec.result_cache:
+            result_cache_obj = ResultCache(policy=spec.policy)
+            extra.append(ResultCacheAspect(result_cache_obj))
+        weave_report = awc.install(app.servlet_classes, extra_aspects=extra)
+    elif spec.result_cache:
+        result_installer = ResultCacheInstaller(policy=spec.policy)
+        result_installer.install()
+        result_cache_obj = result_installer.cache
+    try:
+        config = SimulationConfig(
+            n_clients=n_clients,
+            warmup=defaults.warmup,
+            duration=defaults.duration,
+            seed=defaults.seed,
+            session=SessionConfig(
+                think_time_mean=defaults.think_time_mean,
+                session_duration=defaults.session_duration,
+            ),
+        )
+        simulator = LoadSimulator(
+            container=app.container,
+            database=app.database,
+            mix=mix,
+            config=config,
+            cost_model=model,
+            clock=clock,
+            awc=awc,
+        )
+        result = simulator.run()
+    finally:
+        if awc is not None:
+            awc.uninstall()
+        if result_installer is not None:
+            result_installer.uninstall()
+    return RunOutcome(
+        spec=spec,
+        n_clients=n_clients,
+        result=result,
+        cache_stats=awc.cache.stats if awc else None,
+        analysis_growth=(
+            list(awc.cache.analysis_cache.stats.growth) if awc else []
+        ),
+        weave_report=weave_report,
+        result_cache_stats=(
+            result_cache_obj.stats if result_cache_obj is not None else None
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure drivers
+# ---------------------------------------------------------------------------
+
+
+def run_response_time_curve(
+    spec: RunSpec, client_counts: list[int]
+) -> list[RunOutcome]:
+    """Figures 13/14/15: mean response time vs. number of clients."""
+    return [run_cell(spec, n) for n in client_counts]
+
+
+def run_per_request_breakdown(spec: RunSpec, n_clients: int) -> RunOutcome:
+    """Figures 16/17/18/19: one loaded run with per-type detail."""
+    return run_cell(spec, n_clients)
+
+
+def run_analysis_cache_experiment(
+    spec: RunSpec, n_clients: int
+) -> list[tuple[int, int]]:
+    """Figure 4: analysis-cache entries vs. lookups processed."""
+    outcome = run_cell(spec, n_clients)
+    return outcome.analysis_growth
+
+
+def run_code_size_experiment() -> list[tuple[str, int, int, int]]:
+    """Figure 20: (component, files, total lines, code lines)."""
+    return [
+        (c.name, c.files, c.lines, c.code_lines) for c in measure_components()
+    ]
+
+
+def improvement_percent(no_cache_ms: float, cached_ms: float) -> float:
+    """Response-time improvement as the paper reports it."""
+    if no_cache_ms <= 0:
+        return 0.0
+    return 100.0 * (no_cache_ms - cached_ms) / no_cache_ms
+
+
+def quick_defaults() -> ExperimentDefaults:
+    """Short windows for tests: a few simulated minutes."""
+    return ExperimentDefaults(warmup=30.0, duration=90.0)
+
+
+def scaled_spec(spec: RunSpec, defaults: ExperimentDefaults) -> RunSpec:
+    """Spec with replaced timing defaults."""
+    return replace(spec, defaults=defaults)

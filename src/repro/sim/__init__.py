@@ -1,0 +1,38 @@
+"""Discrete-event load simulator: the hardware-testbed substitute.
+
+The paper measured wall-clock response times on a cluster (Xeon
+machines running Apache, Tomcat and MySQL over a 1 Gbps LAN).  This
+package replaces the cluster with a calibrated queueing simulation:
+
+- every emulated request is **actually executed** against the real
+  servlet container and in-memory database (so cache contents, hit
+  rates and invalidations are exact, not modelled);
+- only *time* is virtual: the work a request performed (queries issued,
+  rows examined, bytes generated, invalidation tests run) is converted
+  into service demands by a :class:`~repro.sim.costs.CostModel`, and the
+  request flows through finite-capacity app-server and database
+  resources (FCFS multi-worker queues) in virtual time.
+
+Response-time-versus-load *shapes* (who wins, where the knees fall) are
+queueing phenomena this reproduces; absolute milliseconds differ from
+the 2006 testbed, which is expected and documented in EXPERIMENTS.md.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import CostModel, RequestWork, RUBIS_COST_MODEL, TPCW_COST_MODEL
+from repro.sim.resources import Resource
+from repro.sim.meter import WorkMeter
+from repro.sim.runner import LoadSimulator, SimulationConfig, SimulationResult
+
+__all__ = [
+    "VirtualClock",
+    "CostModel",
+    "RequestWork",
+    "RUBIS_COST_MODEL",
+    "TPCW_COST_MODEL",
+    "Resource",
+    "WorkMeter",
+    "LoadSimulator",
+    "SimulationConfig",
+    "SimulationResult",
+]

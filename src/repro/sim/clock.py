@@ -1,0 +1,24 @@
+"""Virtual time."""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A manually advanced clock.
+
+    The simulator sets :attr:`time` as it processes events; everything
+    time-dependent (cache TTL windows, session expiry) reads it through
+    :meth:`now`, so simulated seconds are completely decoupled from
+    wall-clock seconds.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.time = start
+
+    def now(self) -> float:
+        return self.time
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward (never backward)."""
+        if t > self.time:
+            self.time = t

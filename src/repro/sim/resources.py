@@ -1,0 +1,53 @@
+"""FCFS multi-worker resources (app server, database server)."""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.errors import SimulationError
+
+
+class Resource:
+    """A service station with ``workers`` parallel servers and FCFS order.
+
+    ``schedule(arrival, demand)`` assigns the request to the earliest
+    available worker and returns its completion time.  Requests must be
+    scheduled in non-decreasing arrival order (the event loop guarantees
+    this), which makes the earliest-free-worker rule exactly FCFS.
+    """
+
+    def __init__(self, name: str, workers: int) -> None:
+        if workers <= 0:
+            raise SimulationError("a resource needs at least one worker")
+        self.name = name
+        self.workers = workers
+        self._free_at = [0.0] * workers
+        heapq.heapify(self._free_at)
+        self.busy_time = 0.0
+        self.jobs = 0
+
+    def schedule(self, arrival: float, demand: float) -> float:
+        """Serve ``demand`` seconds of work arriving at ``arrival``."""
+        if demand < 0:
+            raise SimulationError("negative service demand")
+        if demand == 0.0:
+            return arrival
+        free_at = heapq.heappop(self._free_at)
+        start = max(arrival, free_at)
+        completion = start + demand
+        heapq.heappush(self._free_at, completion)
+        self.busy_time += demand
+        self.jobs += 1
+        return completion
+
+    def utilization(self, duration: float) -> float:
+        """Fraction of total worker capacity used over ``duration``."""
+        if duration <= 0:
+            return 0.0
+        return self.busy_time / (duration * self.workers)
+
+    def reset(self) -> None:
+        self._free_at = [0.0] * self.workers
+        heapq.heapify(self._free_at)
+        self.busy_time = 0.0
+        self.jobs = 0

@@ -1,0 +1,335 @@
+"""Static read/write set extraction from statement ASTs.
+
+The query analysis engine (Section 3.2) needs, for each statement
+template, the set of tables and columns it touches:
+
+- for a read: the tables read, the columns projected, and the columns
+  referenced by the WHERE clause together with any equality bindings
+  (``column = <placeholder i>`` or ``column = literal``);
+- for a write: the table written, the columns updated (all columns for
+  INSERT/DELETE), and the WHERE columns/bindings.
+
+Equality bindings are the ingredient of invalidation policies 2 and 3:
+knowing that a read selects rows with ``T.b = X`` and a write targets rows
+with ``T.b = Y`` lets the engine prove non-intersection when ``X != Y``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sql import ast_nodes as ast
+
+
+@dataclass(frozen=True)
+class EqualityBinding:
+    """An equality constraint ``table.column = value-slot``.
+
+    ``value_index`` points into the statement's value vector when the
+    compared value is dynamic; ``literal`` carries a structural constant
+    (rare after templateization, e.g. NULL comparisons are excluded).
+    """
+
+    table: str
+    column: str
+    value_index: int | None = None
+    literal: object = None
+
+    def resolve(self, values: tuple[object, ...]) -> object:
+        """Return the concrete value of this binding for an instance."""
+        if self.value_index is not None:
+            return values[self.value_index]
+        return self.literal
+
+
+@dataclass(frozen=True)
+class StatementInfo:
+    """Static analysis facts about one statement template.
+
+    All table and column names are lower-cased.  ``columns_read`` is the
+    union of projected and WHERE-referenced columns per table;
+    ``columns_written`` holds SET/INSERT columns per table.  A ``*``
+    projection is recorded as the special column name ``"*"``.
+    """
+
+    kind: str  # "select" | "insert" | "update" | "delete"
+    tables: frozenset[str]
+    columns_read: frozenset[tuple[str, str]]
+    columns_written: frozenset[tuple[str, str]]
+    where_columns: frozenset[tuple[str, str]]
+    equality_bindings: tuple[EqualityBinding, ...]
+    write_table: str | None = None
+    # True when the WHERE clause is a pure conjunction of equality
+    # predicates; only then can policies 2/3 prove non-intersection.
+    where_is_conjunctive_equality: bool = True
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind == "select"
+
+    @property
+    def is_write(self) -> bool:
+        return not self.is_read
+
+    def reads_table(self, table: str) -> bool:
+        return table.lower() in self.tables
+
+    def binding_for(self, table: str, column: str) -> EqualityBinding | None:
+        """Return the equality binding on ``table.column``, if any."""
+        table = table.lower()
+        column = column.lower()
+        for binding in self.equality_bindings:
+            if binding.table == table and binding.column == column:
+                return binding
+        return None
+
+
+def extract_info(statement: ast.Statement) -> StatementInfo:
+    """Extract a :class:`StatementInfo` from a parsed statement."""
+    if isinstance(statement, ast.Select):
+        return _extract_select(statement)
+    if isinstance(statement, ast.Insert):
+        return _extract_insert(statement)
+    if isinstance(statement, ast.Update):
+        return _extract_update(statement)
+    if isinstance(statement, ast.Delete):
+        return _extract_delete(statement)
+    raise TypeError(f"cannot analyse statement of type {type(statement).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Extraction per statement kind
+# ---------------------------------------------------------------------------
+
+
+def _extract_select(select: ast.Select) -> StatementInfo:
+    bindings = _alias_map(select)
+    tables = frozenset(table.name.lower() for table in select.tables) | frozenset(
+        join.table.name.lower() for join in select.joins
+    )
+    read: set[tuple[str, str]] = set()
+    for item in select.items:
+        read |= _columns_in(item.expression, bindings, tables)
+    for join in select.joins:
+        read |= _columns_in(join.condition, bindings, tables)
+    for expr in select.group_by:
+        read |= _columns_in(expr, bindings, tables)
+    for order in select.order_by:
+        read |= _columns_in(order.expression, bindings, tables)
+    if select.having is not None:
+        read |= _columns_in(select.having, bindings, tables)
+
+    where_cols: set[tuple[str, str]] = set()
+    eq_bindings: list[EqualityBinding] = []
+    conjunctive = True
+    if select.where is not None:
+        where_cols = _columns_in(select.where, bindings, tables)
+        conjunctive = _collect_equalities(select.where, bindings, tables, eq_bindings)
+        read |= where_cols
+    return StatementInfo(
+        kind="select",
+        tables=tables,
+        columns_read=frozenset(read),
+        columns_written=frozenset(),
+        where_columns=frozenset(where_cols),
+        equality_bindings=tuple(eq_bindings),
+        where_is_conjunctive_equality=conjunctive,
+    )
+
+
+def _extract_insert(insert: ast.Insert) -> StatementInfo:
+    table = insert.table.lower()
+    written = frozenset((table, column.lower()) for column in insert.columns)
+    eq_bindings: list[EqualityBinding] = []
+    # An INSERT "binds" the inserted values to their columns: a read whose
+    # selection requires column=X only gains a row if the insert writes X.
+    for column, value in zip(insert.columns, insert.values):
+        if isinstance(value, ast.Placeholder):
+            eq_bindings.append(
+                EqualityBinding(table=table, column=column.lower(), value_index=value.index)
+            )
+        elif isinstance(value, ast.Literal):
+            eq_bindings.append(
+                EqualityBinding(table=table, column=column.lower(), literal=value.value)
+            )
+    return StatementInfo(
+        kind="insert",
+        tables=frozenset({table}),
+        columns_read=frozenset(),
+        columns_written=written,
+        where_columns=frozenset(),
+        equality_bindings=tuple(eq_bindings),
+        write_table=table,
+    )
+
+
+def _extract_update(update: ast.Update) -> StatementInfo:
+    table = update.table.lower()
+    tables = frozenset({table})
+    bindings = {table: table}
+    written = frozenset((table, a.column.lower()) for a in update.assignments)
+    where_cols: set[tuple[str, str]] = set()
+    eq_bindings: list[EqualityBinding] = []
+    conjunctive = True
+    if update.where is not None:
+        where_cols = _columns_in(update.where, bindings, tables)
+        conjunctive = _collect_equalities(update.where, bindings, tables, eq_bindings)
+    # SET column = value also constrains the post-state of those columns.
+    for assignment in update.assignments:
+        if isinstance(assignment.value, ast.Placeholder):
+            eq_bindings.append(
+                EqualityBinding(
+                    table=table,
+                    column=assignment.column.lower(),
+                    value_index=assignment.value.index,
+                )
+            )
+    return StatementInfo(
+        kind="update",
+        tables=tables,
+        columns_read=frozenset(where_cols),
+        columns_written=written,
+        where_columns=frozenset(where_cols),
+        equality_bindings=tuple(eq_bindings),
+        write_table=table,
+        where_is_conjunctive_equality=conjunctive,
+    )
+
+
+def _extract_delete(delete: ast.Delete) -> StatementInfo:
+    table = delete.table.lower()
+    tables = frozenset({table})
+    bindings = {table: table}
+    where_cols: set[tuple[str, str]] = set()
+    eq_bindings: list[EqualityBinding] = []
+    conjunctive = True
+    if delete.where is not None:
+        where_cols = _columns_in(delete.where, bindings, tables)
+        conjunctive = _collect_equalities(delete.where, bindings, tables, eq_bindings)
+    # A DELETE touches every column of the table: any read on the table
+    # may lose rows.
+    written = frozenset({(table, "*")})
+    return StatementInfo(
+        kind="delete",
+        tables=tables,
+        columns_read=frozenset(where_cols),
+        columns_written=written,
+        where_columns=frozenset(where_cols),
+        equality_bindings=tuple(eq_bindings),
+        write_table=table,
+        where_is_conjunctive_equality=conjunctive,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Expression walking
+# ---------------------------------------------------------------------------
+
+
+def _alias_map(select: ast.Select) -> dict[str, str]:
+    """Map binding names (aliases or table names) to real table names."""
+    mapping: dict[str, str] = {}
+    for table in select.tables:
+        mapping[table.binding] = table.name.lower()
+    for join in select.joins:
+        mapping[join.table.binding] = join.table.name.lower()
+    return mapping
+
+
+def _resolve(
+    ref: ast.ColumnRef, bindings: dict[str, str], tables: frozenset[str]
+) -> tuple[str, str]:
+    """Resolve a column reference to a (table, column) pair.
+
+    Unqualified references in single-table statements resolve to that
+    table; in multi-table statements they resolve to the pseudo-table
+    ``"?"`` (unknown), which the analysis treats conservatively.
+    """
+    column = ref.column.lower()
+    if ref.table is not None:
+        return bindings.get(ref.table.lower(), ref.table.lower()), column
+    if len(tables) == 1:
+        return next(iter(tables)), column
+    return "?", column
+
+
+def _columns_in(
+    expr: ast.Expression, bindings: dict[str, str], tables: frozenset[str]
+) -> set[tuple[str, str]]:
+    """Collect every (table, column) referenced by ``expr``."""
+    found: set[tuple[str, str]] = set()
+
+    def walk(node: ast.Expression) -> None:
+        if isinstance(node, ast.ColumnRef):
+            found.add(_resolve(node, bindings, tables))
+        elif isinstance(node, ast.Star):
+            if node.table is not None:
+                found.add((bindings.get(node.table.lower(), node.table.lower()), "*"))
+            else:
+                for table in tables:
+                    found.add((table, "*"))
+        elif isinstance(node, ast.BinaryOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, ast.UnaryOp):
+            walk(node.operand)
+        elif isinstance(node, ast.IsNull):
+            walk(node.operand)
+        elif isinstance(node, ast.InList):
+            walk(node.operand)
+            for item in node.items:
+                walk(item)
+        elif isinstance(node, ast.Between):
+            walk(node.operand)
+            walk(node.low)
+            walk(node.high)
+        elif isinstance(node, ast.FunctionCall):
+            for arg in node.args:
+                walk(arg)
+
+    walk(expr)
+    return found
+
+
+def _collect_equalities(
+    expr: ast.Expression,
+    bindings: dict[str, str],
+    tables: frozenset[str],
+    out: list[EqualityBinding],
+) -> bool:
+    """Collect ``column = value`` bindings from a conjunctive WHERE clause.
+
+    Returns True when ``expr`` is a pure conjunction whose leaves are
+    either equality predicates against a value slot or column-to-column
+    equalities (join conditions, which are ignored but do not break
+    conjunctivity).  OR/NOT/inequality leaves return False, signalling
+    the engine to fall back to conservative table/column intersection.
+    """
+    if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
+        left_ok = _collect_equalities(expr.left, bindings, tables, out)
+        right_ok = _collect_equalities(expr.right, bindings, tables, out)
+        return left_ok and right_ok
+    if isinstance(expr, ast.BinaryOp) and expr.op == "=":
+        column_side = None
+        value_side = None
+        if isinstance(expr.left, ast.ColumnRef):
+            column_side, value_side = expr.left, expr.right
+        elif isinstance(expr.right, ast.ColumnRef):
+            column_side, value_side = expr.right, expr.left
+        if column_side is None:
+            return False
+        if isinstance(value_side, ast.ColumnRef):
+            return True  # join predicate: no binding, still conjunctive
+        table, column = _resolve(column_side, bindings, tables)
+        if isinstance(value_side, ast.Placeholder):
+            out.append(
+                EqualityBinding(table=table, column=column, value_index=value_side.index)
+            )
+            return True
+        if isinstance(value_side, ast.Literal):
+            out.append(
+                EqualityBinding(table=table, column=column, literal=value_side.value)
+            )
+            return True
+        return False
+    return False

@@ -1,0 +1,367 @@
+"""AST node definitions for the SQL subset.
+
+Every node is an immutable dataclass.  ``unparse()`` renders a node back
+to canonical SQL text; the parser/unparser pair is a fixpoint (parsing the
+unparsed text yields an equal AST), which the property tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expression:
+    """Base class for expression nodes."""
+
+    def unparse(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant value: int, float, string, or None (NULL)."""
+
+    value: object
+
+    def unparse(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Placeholder(Expression):
+    """A ``?`` positional parameter; ``index`` is its 0-based position."""
+
+    index: int
+
+    def unparse(self) -> str:
+        return "?"
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """A (possibly qualified) column reference such as ``items.name``."""
+
+    column: str
+    table: str | None = None
+
+    def unparse(self) -> str:
+        if self.table:
+            return f"{self.table}.{self.column}"
+        return self.column
+
+    @property
+    def key(self) -> str:
+        """Lower-cased ``table.column`` or bare ``column`` key."""
+        if self.table:
+            return f"{self.table.lower()}.{self.column.lower()}"
+        return self.column.lower()
+
+
+@dataclass(frozen=True)
+class Star(Expression):
+    """The ``*`` projection (optionally qualified, e.g. ``t.*``)."""
+
+    table: str | None = None
+
+    def unparse(self) -> str:
+        return f"{self.table}.*" if self.table else "*"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """A binary operation: comparison, arithmetic, AND/OR, LIKE, IN."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def unparse(self) -> str:
+        return f"({self.left.unparse()} {self.op} {self.right.unparse()})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """A unary operation: NOT or arithmetic negation."""
+
+    op: str
+    operand: Expression
+
+    def unparse(self) -> str:
+        if self.op.upper() == "NOT":
+            return f"(NOT {self.operand.unparse()})"
+        return f"({self.op}{self.operand.unparse()})"
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expression
+    negated: bool = False
+
+    def unparse(self) -> str:
+        keyword = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand.unparse()} {keyword})"
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    """``expr [NOT] IN (item, item, ...)``."""
+
+    operand: Expression
+    items: tuple[Expression, ...]
+    negated: bool = False
+
+    def unparse(self) -> str:
+        inner = ", ".join(item.unparse() for item in self.items)
+        keyword = "NOT IN" if self.negated else "IN"
+        return f"({self.operand.unparse()} {keyword} ({inner}))"
+
+
+@dataclass(frozen=True)
+class Between(Expression):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    operand: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+    def unparse(self) -> str:
+        keyword = "NOT BETWEEN" if self.negated else "BETWEEN"
+        return (
+            f"({self.operand.unparse()} {keyword} "
+            f"{self.low.unparse()} AND {self.high.unparse()})"
+        )
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """An aggregate or scalar function call, e.g. ``COUNT(*)``."""
+
+    name: str
+    args: tuple[Expression, ...]
+    distinct: bool = False
+
+    def unparse(self) -> str:
+        inner = ", ".join(arg.unparse() for arg in self.args)
+        if self.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{self.name.upper()}({inner})"
+
+
+# ---------------------------------------------------------------------------
+# Clauses
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One projection item: an expression with an optional alias."""
+
+    expression: Expression
+    alias: str | None = None
+
+    def unparse(self) -> str:
+        text = self.expression.unparse()
+        if self.alias:
+            text = f"{text} AS {self.alias}"
+        return text
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A table in the FROM clause with an optional alias."""
+
+    name: str
+    alias: str | None = None
+
+    def unparse(self) -> str:
+        if self.alias:
+            return f"{self.name} AS {self.alias}"
+        return self.name
+
+    @property
+    def binding(self) -> str:
+        """The name this table is referred to by in the query."""
+        return (self.alias or self.name).lower()
+
+
+@dataclass(frozen=True)
+class Join:
+    """An explicit JOIN with an ON condition."""
+
+    kind: str  # "INNER" or "LEFT"
+    table: TableRef
+    condition: Expression
+
+    def unparse(self) -> str:
+        return f"{self.kind} JOIN {self.table.unparse()} ON {self.condition.unparse()}"
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key."""
+
+    expression: Expression
+    descending: bool = False
+
+    def unparse(self) -> str:
+        suffix = " DESC" if self.descending else " ASC"
+        return self.expression.unparse() + suffix
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Statement:
+    """Base class for statement nodes."""
+
+    def unparse(self) -> str:
+        raise NotImplementedError
+
+    @property
+    def is_read(self) -> bool:
+        return isinstance(self, Select)
+
+    @property
+    def is_write(self) -> bool:
+        return isinstance(self, (Insert, Update, Delete))
+
+
+@dataclass(frozen=True)
+class Select(Statement):
+    """A SELECT statement."""
+
+    items: tuple[SelectItem, ...]
+    tables: tuple[TableRef, ...]
+    joins: tuple[Join, ...] = ()
+    where: Expression | None = None
+    group_by: tuple[Expression, ...] = ()
+    having: Expression | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: Expression | None = None
+    offset: Expression | None = None
+    distinct: bool = False
+
+    def unparse(self) -> str:
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(item.unparse() for item in self.items))
+        if self.tables:
+            parts.append("FROM")
+            parts.append(", ".join(table.unparse() for table in self.tables))
+        for join in self.joins:
+            parts.append(join.unparse())
+        if self.where is not None:
+            parts.append(f"WHERE {self.where.unparse()}")
+        if self.group_by:
+            keys = ", ".join(expr.unparse() for expr in self.group_by)
+            parts.append(f"GROUP BY {keys}")
+        if self.having is not None:
+            parts.append(f"HAVING {self.having.unparse()}")
+        if self.order_by:
+            keys = ", ".join(item.unparse() for item in self.order_by)
+            parts.append(f"ORDER BY {keys}")
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit.unparse()}")
+        if self.offset is not None:
+            parts.append(f"OFFSET {self.offset.unparse()}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Insert(Statement):
+    """An INSERT statement with explicit column list."""
+
+    table: str
+    columns: tuple[str, ...]
+    values: tuple[Expression, ...]
+
+    def unparse(self) -> str:
+        cols = ", ".join(self.columns)
+        vals = ", ".join(value.unparse() for value in self.values)
+        return f"INSERT INTO {self.table} ({cols}) VALUES ({vals})"
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One ``column = expression`` pair in an UPDATE SET clause."""
+
+    column: str
+    value: Expression
+
+    def unparse(self) -> str:
+        return f"{self.column} = {self.value.unparse()}"
+
+
+@dataclass(frozen=True)
+class Update(Statement):
+    """An UPDATE statement."""
+
+    table: str
+    assignments: tuple[Assignment, ...]
+    where: Expression | None = None
+
+    def unparse(self) -> str:
+        sets = ", ".join(assignment.unparse() for assignment in self.assignments)
+        text = f"UPDATE {self.table} SET {sets}"
+        if self.where is not None:
+            text += f" WHERE {self.where.unparse()}"
+        return text
+
+
+@dataclass(frozen=True)
+class Delete(Statement):
+    """A DELETE statement."""
+
+    table: str
+    where: Expression | None = None
+
+    def unparse(self) -> str:
+        text = f"DELETE FROM {self.table}"
+        if self.where is not None:
+            text += f" WHERE {self.where.unparse()}"
+        return text
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """One column definition in CREATE TABLE."""
+
+    name: str
+    type_name: str
+    primary_key: bool = False
+
+    def unparse(self) -> str:
+        text = f"{self.name} {self.type_name}"
+        if self.primary_key:
+            text += " PRIMARY KEY"
+        return text
+
+
+@dataclass(frozen=True)
+class CreateTable(Statement):
+    """A CREATE TABLE statement."""
+
+    table: str
+    columns: tuple[ColumnDef, ...] = field(default_factory=tuple)
+
+    def unparse(self) -> str:
+        cols = ", ".join(col.unparse() for col in self.columns)
+        return f"CREATE TABLE {self.table} ({cols})"

@@ -1,0 +1,158 @@
+"""SQL tokenizer.
+
+Splits a SQL string into a flat list of :class:`Token` objects.  The lexer
+is deliberately permissive about keyword casing (SQL keywords are
+case-insensitive) and recognises the ``?`` positional placeholder used by
+parameterised queries, which is central to query templateization.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SqlLexError
+
+# Keywords recognised by the parser.  Anything else that looks like a word
+# is an identifier.
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "INSERT", "INTO",
+        "VALUES", "UPDATE", "SET", "DELETE", "CREATE", "TABLE", "PRIMARY",
+        "KEY", "ORDER", "BY", "GROUP", "HAVING", "ASC", "DESC", "LIMIT",
+        "OFFSET", "JOIN", "INNER", "LEFT", "OUTER", "ON", "AS", "DISTINCT",
+        "NULL", "IS", "IN", "BETWEEN", "LIKE", "COUNT", "SUM", "AVG", "MIN",
+        "MAX", "INT", "INTEGER", "FLOAT", "VARCHAR", "DATETIME", "TEXT",
+    }
+)
+
+
+class TokenType(enum.Enum):
+    """Lexical category of a token."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    PLACEHOLDER = "placeholder"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``value`` holds the canonical text: upper-cased for keywords, verbatim
+    for identifiers and operators, the decoded text for strings, and the
+    literal digits for numbers.
+    """
+
+    type: TokenType
+    value: str
+    position: int
+
+    def matches(self, token_type: TokenType, value: str | None = None) -> bool:
+        """Return True when this token has the given type (and value)."""
+        if self.type is not token_type:
+            return False
+        return value is None or self.value == value
+
+
+_OPERATOR_STARTS = "<>=!+-*/%"
+_TWO_CHAR_OPERATORS = ("<=", ">=", "<>", "!=")
+_PUNCT = "(),.;"
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql`` into a list of tokens terminated by an EOF token.
+
+    Raises :class:`~repro.errors.SqlLexError` on unterminated strings or
+    characters outside the supported alphabet.
+    """
+    tokens: list[Token] = []
+    i = 0
+    length = len(sql)
+    while i < length:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "?":
+            tokens.append(Token(TokenType.PLACEHOLDER, "?", i))
+            i += 1
+            continue
+        if ch == "'" or ch == '"':
+            text, i = _read_string(sql, i, ch)
+            tokens.append(Token(TokenType.STRING, text, i))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < length and sql[i + 1].isdigit()):
+            text, i = _read_number(sql, i)
+            tokens.append(Token(TokenType.NUMBER, text, i))
+            continue
+        if ch.isalpha() or ch == "_":
+            text, i = _read_word(sql, i)
+            upper = text.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, i))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, text, i))
+            continue
+        if ch in _OPERATOR_STARTS:
+            pair = sql[i : i + 2]
+            if pair in _TWO_CHAR_OPERATORS:
+                tokens.append(Token(TokenType.OPERATOR, pair, i))
+                i += 2
+            else:
+                tokens.append(Token(TokenType.OPERATOR, ch, i))
+                i += 1
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, ch, i))
+            i += 1
+            continue
+        raise SqlLexError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, "", length))
+    return tokens
+
+
+def _read_string(sql: str, start: int, quote: str) -> tuple[str, int]:
+    """Read a quoted string starting at ``start``; '' escapes a quote."""
+    i = start + 1
+    parts: list[str] = []
+    while i < len(sql):
+        ch = sql[i]
+        if ch == quote:
+            if i + 1 < len(sql) and sql[i + 1] == quote:
+                parts.append(quote)
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise SqlLexError("unterminated string literal", start)
+
+
+def _read_number(sql: str, start: int) -> tuple[str, int]:
+    """Read an integer or decimal literal starting at ``start``."""
+    i = start
+    seen_dot = False
+    while i < len(sql):
+        ch = sql[i]
+        if ch.isdigit():
+            i += 1
+        elif ch == "." and not seen_dot:
+            seen_dot = True
+            i += 1
+        else:
+            break
+    return sql[start:i], i
+
+
+def _read_word(sql: str, start: int) -> tuple[str, int]:
+    """Read an identifier/keyword starting at ``start``."""
+    i = start
+    while i < len(sql) and (sql[i].isalnum() or sql[i] == "_"):
+        i += 1
+    return sql[start:i], i

@@ -1,0 +1,437 @@
+"""Recursive-descent parser for the SQL subset.
+
+The grammar covers everything the RUBiS and TPC-W applications issue:
+SELECT (projections with aliases and aggregates, multiple FROM tables,
+INNER/LEFT joins, WHERE with AND/OR/NOT, comparisons, LIKE, IN, BETWEEN,
+IS NULL, GROUP BY/HAVING, ORDER BY, LIMIT/OFFSET), INSERT, UPDATE, DELETE
+and CREATE TABLE.
+
+Entry point: :func:`parse_statement`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlParseError
+from repro.sql import ast_nodes as ast
+from repro.sql.lexer import Token, TokenType, tokenize
+
+_AGGREGATES = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+_COMPARISONS = {"=", "<", ">", "<=", ">=", "<>", "!="}
+_TYPE_KEYWORDS = {"INT", "INTEGER", "FLOAT", "VARCHAR", "DATETIME", "TEXT"}
+
+
+def parse_statement(sql: str) -> ast.Statement:
+    """Parse ``sql`` into a single statement AST.
+
+    A trailing semicolon is permitted; anything after it is rejected.
+    """
+    parser = _Parser(tokenize(sql))
+    statement = parser.parse()
+    return statement
+
+
+class _Parser:
+    """Token-stream parser.  One instance parses one statement."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._placeholder_count = 0
+
+    # -- token-stream helpers ------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._current
+        self._pos += 1
+        return token
+
+    def _check(self, token_type: TokenType, value: str | None = None) -> bool:
+        return self._current.matches(token_type, value)
+
+    def _accept(self, token_type: TokenType, value: str | None = None) -> Token | None:
+        if self._check(token_type, value):
+            return self._advance()
+        return None
+
+    def _expect(self, token_type: TokenType, value: str | None = None) -> Token:
+        if self._check(token_type, value):
+            return self._advance()
+        want = value or token_type.value
+        got = self._current.value or self._current.type.value
+        raise SqlParseError(f"expected {want}, got {got!r}", self._current.position)
+
+    def _expect_name(self) -> str:
+        """Accept an identifier (or a non-reserved keyword used as a name)."""
+        token = self._accept(TokenType.IDENTIFIER)
+        if token is not None:
+            return token.value
+        raise SqlParseError(
+            f"expected identifier, got {self._current.value!r}",
+            self._current.position,
+        )
+
+    # -- statements ----------------------------------------------------------
+
+    def parse(self) -> ast.Statement:
+        if self._check(TokenType.KEYWORD, "SELECT"):
+            statement: ast.Statement = self._parse_select()
+        elif self._check(TokenType.KEYWORD, "INSERT"):
+            statement = self._parse_insert()
+        elif self._check(TokenType.KEYWORD, "UPDATE"):
+            statement = self._parse_update()
+        elif self._check(TokenType.KEYWORD, "DELETE"):
+            statement = self._parse_delete()
+        elif self._check(TokenType.KEYWORD, "CREATE"):
+            statement = self._parse_create_table()
+        else:
+            raise SqlParseError(
+                f"expected a statement, got {self._current.value!r}",
+                self._current.position,
+            )
+        self._accept(TokenType.PUNCT, ";")
+        self._expect(TokenType.EOF)
+        return statement
+
+    def _parse_select(self) -> ast.Select:
+        self._expect(TokenType.KEYWORD, "SELECT")
+        distinct = self._accept(TokenType.KEYWORD, "DISTINCT") is not None
+        items = [self._parse_select_item()]
+        while self._accept(TokenType.PUNCT, ","):
+            items.append(self._parse_select_item())
+
+        tables: list[ast.TableRef] = []
+        joins: list[ast.Join] = []
+        if self._accept(TokenType.KEYWORD, "FROM"):
+            tables.append(self._parse_table_ref())
+            while True:
+                if self._accept(TokenType.PUNCT, ","):
+                    tables.append(self._parse_table_ref())
+                    continue
+                join = self._parse_join()
+                if join is None:
+                    break
+                joins.append(join)
+
+        where = None
+        if self._accept(TokenType.KEYWORD, "WHERE"):
+            where = self._parse_expression()
+
+        group_by: list[ast.Expression] = []
+        if self._accept(TokenType.KEYWORD, "GROUP"):
+            self._expect(TokenType.KEYWORD, "BY")
+            group_by.append(self._parse_expression())
+            while self._accept(TokenType.PUNCT, ","):
+                group_by.append(self._parse_expression())
+
+        having = None
+        if self._accept(TokenType.KEYWORD, "HAVING"):
+            having = self._parse_expression()
+
+        order_by: list[ast.OrderItem] = []
+        if self._accept(TokenType.KEYWORD, "ORDER"):
+            self._expect(TokenType.KEYWORD, "BY")
+            order_by.append(self._parse_order_item())
+            while self._accept(TokenType.PUNCT, ","):
+                order_by.append(self._parse_order_item())
+
+        limit = None
+        offset = None
+        if self._accept(TokenType.KEYWORD, "LIMIT"):
+            limit = self._parse_primary()
+            if self._accept(TokenType.KEYWORD, "OFFSET"):
+                offset = self._parse_primary()
+
+        return ast.Select(
+            items=tuple(items),
+            tables=tuple(tables),
+            joins=tuple(joins),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+        )
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        expression = self._parse_expression()
+        alias = None
+        if self._accept(TokenType.KEYWORD, "AS"):
+            alias = self._expect_name()
+        elif self._check(TokenType.IDENTIFIER):
+            alias = self._advance().value
+        return ast.SelectItem(expression=expression, alias=alias)
+
+    def _parse_table_ref(self) -> ast.TableRef:
+        name = self._expect_name()
+        alias = None
+        if self._accept(TokenType.KEYWORD, "AS"):
+            alias = self._expect_name()
+        elif self._check(TokenType.IDENTIFIER):
+            alias = self._advance().value
+        return ast.TableRef(name=name, alias=alias)
+
+    def _parse_join(self) -> ast.Join | None:
+        kind: str | None = None
+        if self._accept(TokenType.KEYWORD, "INNER"):
+            kind = "INNER"
+            self._expect(TokenType.KEYWORD, "JOIN")
+        elif self._accept(TokenType.KEYWORD, "LEFT"):
+            self._accept(TokenType.KEYWORD, "OUTER")
+            kind = "LEFT"
+            self._expect(TokenType.KEYWORD, "JOIN")
+        elif self._accept(TokenType.KEYWORD, "JOIN"):
+            kind = "INNER"
+        if kind is None:
+            return None
+        table = self._parse_table_ref()
+        self._expect(TokenType.KEYWORD, "ON")
+        condition = self._parse_expression()
+        return ast.Join(kind=kind, table=table, condition=condition)
+
+    def _parse_order_item(self) -> ast.OrderItem:
+        expression = self._parse_expression()
+        descending = False
+        if self._accept(TokenType.KEYWORD, "DESC"):
+            descending = True
+        else:
+            self._accept(TokenType.KEYWORD, "ASC")
+        return ast.OrderItem(expression=expression, descending=descending)
+
+    def _parse_insert(self) -> ast.Insert:
+        self._expect(TokenType.KEYWORD, "INSERT")
+        self._expect(TokenType.KEYWORD, "INTO")
+        table = self._expect_name()
+        self._expect(TokenType.PUNCT, "(")
+        columns = [self._expect_name()]
+        while self._accept(TokenType.PUNCT, ","):
+            columns.append(self._expect_name())
+        self._expect(TokenType.PUNCT, ")")
+        self._expect(TokenType.KEYWORD, "VALUES")
+        self._expect(TokenType.PUNCT, "(")
+        values = [self._parse_expression()]
+        while self._accept(TokenType.PUNCT, ","):
+            values.append(self._parse_expression())
+        self._expect(TokenType.PUNCT, ")")
+        if len(columns) != len(values):
+            raise SqlParseError(
+                f"INSERT has {len(columns)} columns but {len(values)} values"
+            )
+        return ast.Insert(table=table, columns=tuple(columns), values=tuple(values))
+
+    def _parse_update(self) -> ast.Update:
+        self._expect(TokenType.KEYWORD, "UPDATE")
+        table = self._expect_name()
+        self._expect(TokenType.KEYWORD, "SET")
+        assignments = [self._parse_assignment()]
+        while self._accept(TokenType.PUNCT, ","):
+            assignments.append(self._parse_assignment())
+        where = None
+        if self._accept(TokenType.KEYWORD, "WHERE"):
+            where = self._parse_expression()
+        return ast.Update(table=table, assignments=tuple(assignments), where=where)
+
+    def _parse_assignment(self) -> ast.Assignment:
+        column = self._expect_name()
+        self._expect(TokenType.OPERATOR, "=")
+        value = self._parse_expression()
+        return ast.Assignment(column=column, value=value)
+
+    def _parse_delete(self) -> ast.Delete:
+        self._expect(TokenType.KEYWORD, "DELETE")
+        self._expect(TokenType.KEYWORD, "FROM")
+        table = self._expect_name()
+        where = None
+        if self._accept(TokenType.KEYWORD, "WHERE"):
+            where = self._parse_expression()
+        return ast.Delete(table=table, where=where)
+
+    def _parse_create_table(self) -> ast.CreateTable:
+        self._expect(TokenType.KEYWORD, "CREATE")
+        self._expect(TokenType.KEYWORD, "TABLE")
+        table = self._expect_name()
+        self._expect(TokenType.PUNCT, "(")
+        columns = [self._parse_column_def()]
+        while self._accept(TokenType.PUNCT, ","):
+            columns.append(self._parse_column_def())
+        self._expect(TokenType.PUNCT, ")")
+        return ast.CreateTable(table=table, columns=tuple(columns))
+
+    def _parse_column_def(self) -> ast.ColumnDef:
+        name = self._expect_name()
+        token = self._current
+        if token.type is TokenType.KEYWORD and token.value in _TYPE_KEYWORDS:
+            type_name = self._advance().value
+        else:
+            raise SqlParseError(
+                f"expected a column type, got {token.value!r}", token.position
+            )
+        if type_name == "VARCHAR" and self._accept(TokenType.PUNCT, "("):
+            self._expect(TokenType.NUMBER)
+            self._expect(TokenType.PUNCT, ")")
+        primary = False
+        if self._accept(TokenType.KEYWORD, "PRIMARY"):
+            self._expect(TokenType.KEYWORD, "KEY")
+            primary = True
+        return ast.ColumnDef(name=name, type_name=type_name, primary_key=primary)
+
+    # -- expressions (precedence climbing) ------------------------------------
+
+    def _parse_expression(self) -> ast.Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expression:
+        left = self._parse_and()
+        while self._accept(TokenType.KEYWORD, "OR"):
+            right = self._parse_and()
+            left = ast.BinaryOp(op="OR", left=left, right=right)
+        return left
+
+    def _parse_and(self) -> ast.Expression:
+        left = self._parse_not()
+        while self._accept(TokenType.KEYWORD, "AND"):
+            right = self._parse_not()
+            left = ast.BinaryOp(op="AND", left=left, right=right)
+        return left
+
+    def _parse_not(self) -> ast.Expression:
+        if self._accept(TokenType.KEYWORD, "NOT"):
+            return ast.UnaryOp(op="NOT", operand=self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> ast.Expression:
+        left = self._parse_additive()
+        token = self._current
+        if token.type is TokenType.OPERATOR and token.value in _COMPARISONS:
+            self._advance()
+            op = "<>" if token.value == "!=" else token.value
+            right = self._parse_additive()
+            return ast.BinaryOp(op=op, left=left, right=right)
+        if self._accept(TokenType.KEYWORD, "IS"):
+            negated = self._accept(TokenType.KEYWORD, "NOT") is not None
+            self._expect(TokenType.KEYWORD, "NULL")
+            return ast.IsNull(operand=left, negated=negated)
+        negated = False
+        if self._check(TokenType.KEYWORD, "NOT"):
+            lookahead = self._tokens[self._pos + 1]
+            if lookahead.matches(TokenType.KEYWORD, "IN") or lookahead.matches(
+                TokenType.KEYWORD, "BETWEEN"
+            ) or lookahead.matches(TokenType.KEYWORD, "LIKE"):
+                self._advance()
+                negated = True
+        if self._accept(TokenType.KEYWORD, "IN"):
+            self._expect(TokenType.PUNCT, "(")
+            items = [self._parse_expression()]
+            while self._accept(TokenType.PUNCT, ","):
+                items.append(self._parse_expression())
+            self._expect(TokenType.PUNCT, ")")
+            return ast.InList(operand=left, items=tuple(items), negated=negated)
+        if self._accept(TokenType.KEYWORD, "BETWEEN"):
+            low = self._parse_additive()
+            self._expect(TokenType.KEYWORD, "AND")
+            high = self._parse_additive()
+            return ast.Between(operand=left, low=low, high=high, negated=negated)
+        if self._accept(TokenType.KEYWORD, "LIKE"):
+            pattern = self._parse_additive()
+            op = "NOT LIKE" if negated else "LIKE"
+            return ast.BinaryOp(op=op, left=left, right=pattern)
+        if negated:
+            raise SqlParseError(
+                "dangling NOT in predicate", self._current.position
+            )
+        return left
+
+    def _parse_additive(self) -> ast.Expression:
+        left = self._parse_multiplicative()
+        while self._check(TokenType.OPERATOR, "+") or self._check(
+            TokenType.OPERATOR, "-"
+        ):
+            op = self._advance().value
+            right = self._parse_multiplicative()
+            left = ast.BinaryOp(op=op, left=left, right=right)
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expression:
+        left = self._parse_unary()
+        while (
+            self._check(TokenType.OPERATOR, "*")
+            or self._check(TokenType.OPERATOR, "/")
+            or self._check(TokenType.OPERATOR, "%")
+        ):
+            op = self._advance().value
+            right = self._parse_unary()
+            left = ast.BinaryOp(op=op, left=left, right=right)
+        return left
+
+    def _parse_unary(self) -> ast.Expression:
+        if self._accept(TokenType.OPERATOR, "-"):
+            operand = self._parse_unary()
+            # Fold "-<number>" into a negative literal so that
+            # unparse/parse is a fixpoint.
+            if isinstance(operand, ast.Literal) and isinstance(
+                operand.value, (int, float)
+            ):
+                return ast.Literal(value=-operand.value)
+            return ast.UnaryOp(op="-", operand=operand)
+        if self._accept(TokenType.OPERATOR, "+"):
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expression:
+        token = self._current
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            value: object = float(token.value) if "." in token.value else int(token.value)
+            return ast.Literal(value=value)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.Literal(value=token.value)
+        if token.type is TokenType.PLACEHOLDER:
+            self._advance()
+            index = self._placeholder_count
+            self._placeholder_count += 1
+            return ast.Placeholder(index=index)
+        if token.matches(TokenType.KEYWORD, "NULL"):
+            self._advance()
+            return ast.Literal(value=None)
+        if token.type is TokenType.KEYWORD and token.value in _AGGREGATES:
+            self._advance()
+            return self._parse_function_call(token.value)
+        if token.type is TokenType.OPERATOR and token.value == "*":
+            self._advance()
+            return ast.Star()
+        if token.type is TokenType.PUNCT and token.value == "(":
+            self._advance()
+            inner = self._parse_expression()
+            self._expect(TokenType.PUNCT, ")")
+            return inner
+        if token.type is TokenType.IDENTIFIER:
+            self._advance()
+            if self._check(TokenType.PUNCT, "("):
+                return self._parse_function_call(token.value)
+            if self._accept(TokenType.PUNCT, "."):
+                if self._accept(TokenType.OPERATOR, "*"):
+                    return ast.Star(table=token.value)
+                column = self._expect_name()
+                return ast.ColumnRef(column=column, table=token.value)
+            return ast.ColumnRef(column=token.value)
+        raise SqlParseError(
+            f"unexpected token {token.value!r} in expression", token.position
+        )
+
+    def _parse_function_call(self, name: str) -> ast.FunctionCall:
+        self._expect(TokenType.PUNCT, "(")
+        distinct = self._accept(TokenType.KEYWORD, "DISTINCT") is not None
+        if self._accept(TokenType.OPERATOR, "*"):
+            args: list[ast.Expression] = [ast.Star()]
+        else:
+            args = [self._parse_expression()]
+            while self._accept(TokenType.PUNCT, ","):
+                args.append(self._parse_expression())
+        self._expect(TokenType.PUNCT, ")")
+        return ast.FunctionCall(name=name.upper(), args=tuple(args), distinct=distinct)

@@ -1,0 +1,206 @@
+"""Query templateization.
+
+The paper's consistency analysis works on *query templates*: the static
+skeleton of a SQL statement with its dynamic values abstracted into ``?``
+placeholders, plus the *value vector* holding the concrete values of a
+particular instance (Section 3.1, Figure 3).
+
+:func:`templateize` converts any statement -- whether issued with inline
+literals or already parameterised -- into a canonical
+:class:`QueryTemplate` plus value vector.  Two textually different query
+strings that differ only in their literal values map to the *same*
+template, which is what lets the analysis-result cache (Figure 4)
+stabilise to a small fixed set of entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sql import ast_nodes as ast
+from repro.sql.parser import parse_statement
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """A canonical parameterised statement.
+
+    ``text`` is the canonical SQL with ``?`` placeholders; ``statement``
+    is the corresponding AST (containing :class:`~repro.sql.ast_nodes.
+    Placeholder` nodes).  Templates hash and compare by ``text`` so they
+    can key dictionaries such as the dependency table and the analysis
+    cache.
+    """
+
+    text: str
+    statement: ast.Statement = field(compare=False, hash=False)
+
+    def __hash__(self) -> int:  # pragma: no cover - trivial
+        return hash(self.text)
+
+    @property
+    def is_read(self) -> bool:
+        return self.statement.is_read
+
+    @property
+    def is_write(self) -> bool:
+        return self.statement.is_write
+
+    def bind(self, values: tuple[object, ...]) -> ast.Statement:
+        """Return a literal AST with ``values`` substituted for placeholders."""
+        return _substitute(self.statement, values)
+
+
+def templateize(
+    sql: str, params: tuple[object, ...] | list[object] | None = None
+) -> tuple[QueryTemplate, tuple[object, ...]]:
+    """Normalise ``sql`` (+ optional ``params``) to (template, value vector).
+
+    Literals embedded in the statement text are lifted into the value
+    vector in left-to-right order, merged with any explicitly supplied
+    parameters at their placeholder positions.
+    """
+    statement = parse_statement(sql)
+    supplied = tuple(params or ())
+    extractor = _LiteralLifter(supplied)
+    lifted = extractor.transform_statement(statement)
+    template = QueryTemplate(text=lifted.unparse(), statement=lifted)
+    return template, tuple(extractor.values)
+
+
+class _LiteralLifter:
+    """AST transformer replacing literals with placeholders.
+
+    Existing placeholders keep their position and pull their value from
+    the supplied parameter vector; literals are appended in visit order.
+    The resulting placeholder indices are renumbered left-to-right so the
+    canonical template is independent of how the query was written.
+    """
+
+    def __init__(self, supplied: tuple[object, ...]) -> None:
+        self._supplied = supplied
+        self.values: list[object] = []
+
+    def transform_statement(self, node: ast.Statement) -> ast.Statement:
+        if isinstance(node, ast.Select):
+            return ast.Select(
+                items=tuple(
+                    ast.SelectItem(self._expr(i.expression), i.alias)
+                    for i in node.items
+                ),
+                tables=node.tables,
+                joins=tuple(
+                    ast.Join(j.kind, j.table, self._expr(j.condition))
+                    for j in node.joins
+                ),
+                where=self._opt(node.where),
+                group_by=tuple(self._expr(e) for e in node.group_by),
+                having=self._opt(node.having),
+                order_by=tuple(
+                    ast.OrderItem(self._expr(o.expression), o.descending)
+                    for o in node.order_by
+                ),
+                limit=self._opt(node.limit),
+                offset=self._opt(node.offset),
+                distinct=node.distinct,
+            )
+        if isinstance(node, ast.Insert):
+            return ast.Insert(
+                table=node.table,
+                columns=node.columns,
+                values=tuple(self._expr(v) for v in node.values),
+            )
+        if isinstance(node, ast.Update):
+            return ast.Update(
+                table=node.table,
+                assignments=tuple(
+                    ast.Assignment(a.column, self._expr(a.value))
+                    for a in node.assignments
+                ),
+                where=self._opt(node.where),
+            )
+        if isinstance(node, ast.Delete):
+            return ast.Delete(table=node.table, where=self._opt(node.where))
+        return node
+
+    def _opt(self, node: ast.Expression | None) -> ast.Expression | None:
+        return None if node is None else self._expr(node)
+
+    def _expr(self, node: ast.Expression) -> ast.Expression:
+        if isinstance(node, ast.Literal):
+            if node.value is None:
+                return node  # NULL is structural, not a dynamic value
+            return self._new_placeholder(node.value)
+        if isinstance(node, ast.Placeholder):
+            try:
+                value = self._supplied[node.index]
+            except IndexError:
+                raise ValueError(
+                    f"statement references parameter {node.index} but only "
+                    f"{len(self._supplied)} parameters were supplied"
+                ) from None
+            return self._new_placeholder(value)
+        if isinstance(node, ast.BinaryOp):
+            return ast.BinaryOp(node.op, self._expr(node.left), self._expr(node.right))
+        if isinstance(node, ast.UnaryOp):
+            return ast.UnaryOp(node.op, self._expr(node.operand))
+        if isinstance(node, ast.IsNull):
+            return ast.IsNull(self._expr(node.operand), node.negated)
+        if isinstance(node, ast.InList):
+            return ast.InList(
+                self._expr(node.operand),
+                tuple(self._expr(item) for item in node.items),
+                node.negated,
+            )
+        if isinstance(node, ast.Between):
+            return ast.Between(
+                self._expr(node.operand),
+                self._expr(node.low),
+                self._expr(node.high),
+                node.negated,
+            )
+        if isinstance(node, ast.FunctionCall):
+            return ast.FunctionCall(
+                node.name,
+                tuple(self._expr(arg) for arg in node.args),
+                node.distinct,
+            )
+        return node
+
+    def _new_placeholder(self, value: object) -> ast.Placeholder:
+        index = len(self.values)
+        self.values.append(value)
+        return ast.Placeholder(index=index)
+
+
+def _substitute(node: ast.Statement, values: tuple[object, ...]) -> ast.Statement:
+    """Replace placeholders in ``node`` with literal values."""
+    binder = _Binder(values)
+    return binder.transform(node)
+
+
+class _Binder(_LiteralLifter):
+    """Transformer substituting values back into a template.
+
+    Reuses the traversal of :class:`_LiteralLifter` but turns placeholders
+    into literals and leaves literals untouched.
+    """
+
+    def __init__(self, values: tuple[object, ...]) -> None:
+        super().__init__(supplied=values)
+
+    def transform(self, node: ast.Statement) -> ast.Statement:
+        return self.transform_statement(node)
+
+    def _expr(self, node: ast.Expression) -> ast.Expression:
+        if isinstance(node, ast.Placeholder):
+            try:
+                return ast.Literal(value=self._supplied[node.index])
+            except IndexError:
+                raise ValueError(
+                    f"template references value {node.index} but vector has "
+                    f"{len(self._supplied)} values"
+                ) from None
+        if isinstance(node, ast.Literal):
+            return node
+        return super()._expr(node)

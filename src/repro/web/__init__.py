@@ -1,0 +1,24 @@
+"""Servlet engine: the Tomcat analogue.
+
+Provides the front-end well-known join points the paper's weaving rules
+target (Section 4.1): servlet classes derive from
+:class:`~repro.web.servlet.HttpServlet` and implement ``do_get`` /
+``do_post`` taking an :class:`~repro.web.http.HttpRequest` and an
+:class:`~repro.web.http.HttpResponse` -- exactly the signature the
+``execution(HttpServlet+.do_get(..))`` pointcut captures.
+"""
+
+from repro.web.http import HttpRequest, HttpResponse, parse_query_string
+from repro.web.servlet import HttpServlet
+from repro.web.session import HttpSession, SessionManager
+from repro.web.container import ServletContainer
+
+__all__ = [
+    "HttpRequest",
+    "HttpResponse",
+    "parse_query_string",
+    "HttpServlet",
+    "HttpSession",
+    "SessionManager",
+    "ServletContainer",
+]

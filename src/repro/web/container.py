@@ -1,0 +1,84 @@
+"""The servlet container: URI routing and request dispatch."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import RoutingError, WebError
+from repro.web.http import HttpRequest, HttpResponse
+from repro.web.servlet import HttpServlet
+from repro.web.session import SessionManager
+
+
+class ServletContainer:
+    """Routes requests to servlets by URI (the Tomcat analogue).
+
+    ``handle`` builds the response object, resolves the session when
+    enabled, dispatches through ``HttpServlet.service`` and converts
+    servlet failures into 500 pages.  It is deliberately thin: all
+    caching behaviour is woven into the servlet classes, not the
+    container, preserving the paper's architecture where the cache sits
+    "on (in front of) the application server".
+    """
+
+    def __init__(self, use_sessions: bool = False) -> None:
+        self._routes: dict[str, HttpServlet] = {}
+        self._sessions = SessionManager() if use_sessions else None
+        self.request_count = 0
+        self.error_count = 0
+        #: Optional observer invoked as (request, response) after dispatch.
+        self.observer: Callable[[HttpRequest, HttpResponse], None] | None = None
+
+    def register(self, uri: str, servlet: HttpServlet) -> None:
+        """Map ``uri`` to ``servlet`` and run its init lifecycle hook."""
+        if uri in self._routes:
+            raise WebError(f"URI {uri!r} is already mapped")
+        self._routes[uri] = servlet
+        servlet.init()
+
+    def servlet_for(self, uri: str) -> HttpServlet:
+        try:
+            return self._routes[uri]
+        except KeyError:
+            raise RoutingError(f"no servlet mapped to {uri!r}") from None
+
+    @property
+    def uris(self) -> list[str]:
+        return sorted(self._routes)
+
+    @property
+    def servlet_classes(self) -> list[type]:
+        """The distinct servlet classes registered (weaving targets)."""
+        seen: dict[type, None] = {}
+        for servlet in self._routes.values():
+            seen.setdefault(type(servlet))
+        return list(seen)
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        """Dispatch one request and return the completed response."""
+        response = HttpResponse()
+        self.request_count += 1
+        servlet = self.servlet_for(request.uri)
+        if self._sessions is not None:
+            request.session = self._sessions.resolve(request, response)
+        try:
+            servlet.service(request, response)
+        except Exception as exc:  # servlet bug -> 500, container survives
+            self.error_count += 1
+            response.send_error(500, f"{type(exc).__name__}: {exc}")
+        if self.observer is not None:
+            self.observer(request, response)
+        return response
+
+    def get(self, uri: str, params: dict[str, str] | None = None) -> HttpResponse:
+        """Convenience: dispatch a GET request."""
+        return self.handle(HttpRequest("GET", uri, dict(params or {})))
+
+    def post(self, uri: str, params: dict[str, str] | None = None) -> HttpResponse:
+        """Convenience: dispatch a POST request."""
+        return self.handle(HttpRequest("POST", uri, dict(params or {})))
+
+    def shutdown(self) -> None:
+        """Run the destroy lifecycle hook on every servlet."""
+        for servlet in self._routes.values():
+            servlet.destroy()

@@ -1,0 +1,62 @@
+"""Cookie-based HTTP sessions.
+
+Sessions exist mainly to reproduce the paper's transparency analysis:
+state that flows through cookies (e.g. a logged-in user id) bypasses the
+URI+parameters cache key and must be handled explicitly (Section 4.3,
+"Cookies").  The benchmark applications pass identity in parameters, as
+the paper's do, but the machinery is here for the transparency tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro.web.http import HttpRequest, HttpResponse
+
+SESSION_COOKIE = "JSESSIONID"
+
+
+class HttpSession:
+    """A per-client attribute bag."""
+
+    def __init__(self, session_id: str) -> None:
+        self.session_id = session_id
+        self._attributes: dict[str, Any] = {}
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self._attributes.get(name, default)
+
+    def set(self, name: str, value: Any) -> None:
+        self._attributes[name] = value
+
+    def remove(self, name: str) -> None:
+        self._attributes.pop(name, None)
+
+    def invalidate(self) -> None:
+        self._attributes.clear()
+
+
+class SessionManager:
+    """Creates and resolves sessions from the session cookie."""
+
+    def __init__(self) -> None:
+        self._sessions: dict[str, HttpSession] = {}
+        self._ids = itertools.count(1)
+
+    def resolve(self, request: HttpRequest, response: HttpResponse) -> HttpSession:
+        """Return the request's session, creating one if necessary.
+
+        New sessions set the session cookie on the response.
+        """
+        session_id = request.get_cookie(SESSION_COOKIE)
+        if session_id is not None and session_id in self._sessions:
+            return self._sessions[session_id]
+        session_id = f"s{next(self._ids):08d}"
+        session = HttpSession(session_id)
+        self._sessions[session_id] = session
+        response.add_cookie(SESSION_COOKIE, session_id)
+        return session
+
+    def __len__(self) -> int:
+        return len(self._sessions)

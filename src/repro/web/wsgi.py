@@ -1,0 +1,105 @@
+"""WSGI adapter: serve a ServletContainer over real HTTP.
+
+The evaluation drives the container directly (the client emulator plays
+the role of Apache + the network), but a downstream user wants to mount
+the cached application behind a real server.  :class:`WsgiAdapter`
+turns a container into a standard WSGI callable, and :func:`serve` runs
+it on ``wsgiref``'s reference server:
+
+    app = build_rubis()
+    awc = AutoWebCache()
+    awc.install(app.container.servlet_classes)
+    serve(app.container, port=8080)
+
+Cookies (including the session cookie) and form-encoded POST bodies are
+mapped onto :class:`~repro.web.http.HttpRequest` exactly as the
+container's direct API does, so woven caching behaves identically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.errors import RoutingError
+from repro.web.container import ServletContainer
+from repro.web.http import HttpRequest, parse_query_string
+
+_STATUS_PHRASES = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+}
+
+
+def _status_line(code: int) -> str:
+    return f"{code} {_STATUS_PHRASES.get(code, 'Unknown')}"
+
+
+def _parse_cookies(header: str) -> dict[str, str]:
+    cookies: dict[str, str] = {}
+    for part in header.split(";"):
+        name, _, value = part.strip().partition("=")
+        if name:
+            cookies[name] = value
+    return cookies
+
+
+class WsgiAdapter:
+    """Wrap a :class:`ServletContainer` as a WSGI application."""
+
+    def __init__(self, container: ServletContainer) -> None:
+        self._container = container
+
+    def __call__(
+        self,
+        environ: dict,
+        start_response: Callable[[str, list[tuple[str, str]]], object],
+    ) -> Iterable[bytes]:
+        request = self._build_request(environ)
+        try:
+            response = self._container.handle(request)
+        except RoutingError:
+            start_response("404 Not Found", [("Content-Type", "text/html")])
+            return [b"<html><body><h1>404</h1></body></html>"]
+        headers = list(response.headers.items())
+        for name, value in response.cookies.items():
+            headers.append(("Set-Cookie", f"{name}={value}; Path=/"))
+        body = response.body.encode("utf-8")
+        headers.append(("Content-Length", str(len(body))))
+        start_response(_status_line(response.status), headers)
+        return [body]
+
+    def _build_request(self, environ: dict) -> HttpRequest:
+        method = environ.get("REQUEST_METHOD", "GET")
+        uri = environ.get("PATH_INFO", "/")
+        params = parse_query_string(environ.get("QUERY_STRING", ""))
+        if method == "POST":
+            try:
+                length = int(environ.get("CONTENT_LENGTH") or 0)
+            except ValueError:
+                length = 0
+            if length:
+                body = environ["wsgi.input"].read(length).decode("utf-8")
+                content_type = environ.get("CONTENT_TYPE", "")
+                if "application/x-www-form-urlencoded" in content_type:
+                    params.update(parse_query_string(body))
+        cookies = _parse_cookies(environ.get("HTTP_COOKIE", ""))
+        headers = {
+            key[5:].replace("_", "-").title(): value
+            for key, value in environ.items()
+            if key.startswith("HTTP_")
+        }
+        return HttpRequest(
+            method, uri, params, cookies=cookies, headers=headers
+        )
+
+
+def serve(container: ServletContainer, host: str = "127.0.0.1", port: int = 8080):
+    """Run the container on wsgiref's reference server (blocking)."""
+    from wsgiref.simple_server import make_server
+
+    with make_server(host, port, WsgiAdapter(container)) as server:
+        print(f"Serving on http://{host}:{port}/ ...")
+        server.serve_forever()

@@ -1,0 +1,39 @@
+"""Client-browser emulation: workload mixes, sessions, metrics.
+
+Mirrors the paper's evaluation setup (Section 5): a client emulator
+drives sessions of interactions against the web application; the
+average think time between requests is 7 seconds and sessions last 15
+minutes (TPC-W v1.8 clauses 5.3.1.1 and 6.2.1.2); statistics are
+collected after a warm-up phase.
+
+A workload is an :class:`~repro.workload.mix.InteractionMix` (the
+probability each interaction is issued next -- the stationary
+distribution of the benchmark's CBMG) plus per-interaction parameter
+generators that maintain session locality (the item just viewed is the
+item bid on, the session's customer appears in its own requests).
+"""
+
+from repro.workload.mix import InteractionMix, Interaction
+from repro.workload.session import ClientSession, SessionConfig
+from repro.workload.metrics import MetricsCollector, RequestSample
+from repro.workload.trace import (
+    ReplayReport,
+    RequestTrace,
+    TraceRecorder,
+    replay,
+)
+from repro.workload.zipf import ZipfSampler
+
+__all__ = [
+    "Interaction",
+    "InteractionMix",
+    "ClientSession",
+    "SessionConfig",
+    "MetricsCollector",
+    "RequestSample",
+    "TraceRecorder",
+    "RequestTrace",
+    "ReplayReport",
+    "replay",
+    "ZipfSampler",
+]

@@ -1,0 +1,65 @@
+"""Interaction mixes: weighted distributions over interactions."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import WorkloadError
+
+#: A parameter generator: (session) -> params dict, or None to signal
+#: that the interaction is not currently possible for this session (the
+#: mix then redraws; e.g. BuyConfirm with an empty cart).
+ParamGenerator = Callable[["object"], "dict[str, str] | None"]
+
+
+@dataclass(frozen=True)
+class Interaction:
+    """One interaction the emulator can issue."""
+
+    name: str
+    method: str
+    uri: str
+    params: ParamGenerator
+    weight: float
+    is_write: bool = False
+
+
+class InteractionMix:
+    """A weighted set of interactions (the CBMG's stationary view)."""
+
+    def __init__(self, name: str, interactions: list[Interaction]) -> None:
+        if not interactions:
+            raise WorkloadError("a mix needs at least one interaction")
+        total = sum(i.weight for i in interactions)
+        if total <= 0:
+            raise WorkloadError("mix weights must sum to a positive value")
+        self.name = name
+        self.interactions = list(interactions)
+        self._cumulative: list[float] = []
+        acc = 0.0
+        for interaction in interactions:
+            acc += interaction.weight / total
+            self._cumulative.append(acc)
+        self._cumulative[-1] = 1.0
+
+    @property
+    def read_fraction(self) -> float:
+        total = sum(i.weight for i in self.interactions)
+        reads = sum(i.weight for i in self.interactions if not i.is_write)
+        return reads / total
+
+    def draw(self, rng: random.Random) -> Interaction:
+        """Sample one interaction by weight."""
+        x = rng.random()
+        for interaction, bound in zip(self.interactions, self._cumulative):
+            if x <= bound:
+                return interaction
+        return self.interactions[-1]  # pragma: no cover - float edge
+
+    def by_name(self, name: str) -> Interaction:
+        for interaction in self.interactions:
+            if interaction.name == name:
+                return interaction
+        raise WorkloadError(f"no interaction named {name!r} in mix {self.name!r}")

@@ -1,0 +1,103 @@
+"""Client sessions: the browser-emulator state machine.
+
+A session belongs to one emulated user.  Each step draws an interaction
+from the mix, generates parameters from the session state (locality:
+bids go to the item just viewed), and later observes the response (to
+learn server-allocated identifiers such as TPC-W cart ids).
+
+Think times are exponential with the configured mean (7 s per TPC-W
+clause 5.3.1.1); sessions last ``session_duration`` of virtual time and
+are then replaced by a fresh session for a newly drawn user.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.workload.mix import Interaction, InteractionMix
+
+_CART_RE = re.compile(r"cart (\d+)")
+
+
+@dataclass
+class SessionConfig:
+    """Timing parameters (defaults follow the paper / TPC-W spec)."""
+
+    think_time_mean: float = 7.0
+    session_duration: float = 900.0  # 15 minutes
+
+    def think_time(self, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self.think_time_mean)
+
+
+@dataclass
+class PlannedRequest:
+    """One request the session wants to issue."""
+
+    interaction: Interaction
+    method: str
+    uri: str
+    params: dict[str, str]
+
+    @property
+    def is_write(self) -> bool:
+        return self.interaction.is_write
+
+
+@dataclass
+class ClientSession:
+    """One emulated client session."""
+
+    session_id: int
+    mix: InteractionMix
+    rng: random.Random
+    config: SessionConfig = field(default_factory=SessionConfig)
+    started_at: float = 0.0
+    #: Free-form state shared with the parameter generators.
+    state: dict[str, Any] = field(default_factory=dict)
+    requests_issued: int = 0
+
+    MAX_REDRAWS = 32
+
+    def expired(self, now: float) -> bool:
+        return now - self.started_at >= self.config.session_duration
+
+    def next_request(self) -> PlannedRequest:
+        """Draw the next feasible interaction and build its request."""
+        for _ in range(self.MAX_REDRAWS):
+            interaction = self.mix.draw(self.rng)
+            params = interaction.params(self)
+            if params is None:
+                continue  # infeasible right now (e.g. empty cart)
+            self.requests_issued += 1
+            return PlannedRequest(
+                interaction=interaction,
+                method=interaction.method,
+                uri=interaction.uri,
+                params={k: str(v) for k, v in params.items()},
+            )
+        # Mixes always contain parameterless interactions, so hitting
+        # this means a broken generator set.
+        raise RuntimeError(
+            f"session {self.session_id}: no feasible interaction after "
+            f"{self.MAX_REDRAWS} draws"
+        )
+
+    def observe_response(self, planned: PlannedRequest, body: str) -> None:
+        """Let the session learn from the response.
+
+        Currently used for TPC-W's server-allocated cart ids, which the
+        real benchmark's emulated browser reads out of the returned
+        page in the same way.
+        """
+        if planned.uri.endswith("shopping_cart"):
+            match = _CART_RE.search(body)
+            if match is not None:
+                self.state["cart"] = int(match.group(1))
+                self.state.setdefault("cart_items", 0)
+
+    def think_time(self) -> float:
+        return self.config.think_time(self.rng)

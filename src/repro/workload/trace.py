@@ -1,0 +1,161 @@
+"""Request traces: record, persist, and replay.
+
+A trace captures the exact request sequence of a run plus a digest of
+every response body.  Replaying a trace against another configuration
+of the same application gives a direct, end-to-end consistency audit:
+
+    trace = TraceRecorder.attach(container_without_cache)
+    ...drive traffic...
+    report = replay(trace.trace, cached_container)
+    assert report.mismatches == []   # the cache changed nothing
+
+This is how the repository's integration tests check the paper's
+central claim on the full benchmark applications, and it doubles as a
+debugging tool: a mismatch pinpoints the first request whose cached
+response diverged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.web.container import ServletContainer
+from repro.web.http import HttpRequest, HttpResponse
+
+
+def body_digest(body: str) -> str:
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded request/response pair."""
+
+    method: str
+    uri: str
+    params: dict[str, str]
+    status: int
+    digest: str
+
+    def to_json(self) -> dict:
+        return {
+            "method": self.method,
+            "uri": self.uri,
+            "params": self.params,
+            "status": self.status,
+            "digest": self.digest,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "TraceEntry":
+        return cls(
+            method=data["method"],
+            uri=data["uri"],
+            params=dict(data["params"]),
+            status=int(data["status"]),
+            digest=data["digest"],
+        )
+
+
+@dataclass
+class RequestTrace:
+    """An ordered list of trace entries."""
+
+    entries: list[TraceEntry] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump([entry.to_json() for entry in self.entries], handle)
+
+    @classmethod
+    def load(cls, path: str) -> "RequestTrace":
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+        return cls(entries=[TraceEntry.from_json(item) for item in data])
+
+
+class TraceRecorder:
+    """Records every request a container serves (via its observer)."""
+
+    def __init__(self, container: ServletContainer) -> None:
+        self.trace = RequestTrace()
+        self._container = container
+        self._previous_observer = container.observer
+        container.observer = self._observe
+
+    @classmethod
+    def attach(cls, container: ServletContainer) -> "TraceRecorder":
+        return cls(container)
+
+    def detach(self) -> RequestTrace:
+        """Stop recording; returns the trace."""
+        self._container.observer = self._previous_observer
+        return self.trace
+
+    def _observe(self, request: HttpRequest, response: HttpResponse) -> None:
+        self.trace.entries.append(
+            TraceEntry(
+                method=request.method,
+                uri=request.uri,
+                params=dict(request.params),
+                status=response.status,
+                digest=body_digest(response.body),
+            )
+        )
+        if self._previous_observer is not None:
+            self._previous_observer(request, response)
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One replayed request whose response diverged from the trace."""
+
+    index: int
+    entry: TraceEntry
+    got_status: int
+    got_digest: str
+
+    def __str__(self) -> str:
+        return (
+            f"#{self.index} {self.entry.method} {self.entry.uri} "
+            f"{self.entry.params}: expected status={self.entry.status} "
+            f"digest={self.entry.digest}, got status={self.got_status} "
+            f"digest={self.got_digest}"
+        )
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of replaying a trace."""
+
+    total: int
+    mismatches: list[Mismatch]
+
+    @property
+    def consistent(self) -> bool:
+        return not self.mismatches
+
+
+def replay(trace: RequestTrace, container: ServletContainer) -> ReplayReport:
+    """Re-issue every traced request against ``container`` and compare."""
+    mismatches: list[Mismatch] = []
+    for index, entry in enumerate(trace.entries):
+        response = container.handle(
+            HttpRequest(entry.method, entry.uri, dict(entry.params))
+        )
+        digest = body_digest(response.body)
+        if response.status != entry.status or digest != entry.digest:
+            mismatches.append(
+                Mismatch(
+                    index=index,
+                    entry=entry,
+                    got_status=response.status,
+                    got_digest=digest,
+                )
+            )
+    return ReplayReport(total=len(trace.entries), mismatches=mismatches)

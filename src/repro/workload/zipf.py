@@ -1,0 +1,38 @@
+"""Zipf-distributed sampling for item/user popularity.
+
+Web-object popularity is classically Zipf-like; the hit rates the paper
+reports depend on request concentration, so the emulator draws item and
+user identifiers from a Zipf distribution rather than uniformly.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+
+class ZipfSampler:
+    """Draws integers in [0, n) with P(k) proportional to 1/(k+1)^s.
+
+    Uses an inverse-CDF table, so draws are O(log n).  The identity
+    permutation maps rank to id (rank 0 = most popular = id 0), keeping
+    populations deterministic.
+    """
+
+    def __init__(self, n: int, s: float = 1.0) -> None:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        self.n = n
+        self.s = s
+        weights = [1.0 / (k + 1) ** s for k in range(n)]
+        total = sum(weights)
+        cumulative = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            cumulative.append(acc)
+        cumulative[-1] = 1.0
+        self._cdf = cumulative
+
+    def sample(self, rng: random.Random) -> int:
+        return bisect.bisect_left(self._cdf, rng.random())

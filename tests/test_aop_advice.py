@@ -1,0 +1,135 @@
+"""Advice declaration and aspect introspection tests."""
+
+from repro.aop import Aspect, Weaver, after_returning, around, before
+from repro.aop.advice import AdviceKind
+
+
+class Target:
+    def alpha(self):
+        return "a"
+
+    def beta(self):
+        return "b"
+
+
+def test_one_method_many_pointcuts():
+    class Multi(Aspect):
+        def __init__(self):
+            self.count = 0
+
+        @before("execution(Target.alpha(..))")
+        @before("execution(Target.beta(..))")
+        def bump(self, jp):
+            self.count += 1
+
+    aspect = Multi()
+    specs = [advice.spec for advice in aspect.advices()]
+    assert len(specs) == 2
+    weaver = Weaver().add_aspect(aspect)
+    weaver.weave([Target])
+    try:
+        target = Target()
+        target.alpha()
+        target.beta()
+        assert aspect.count == 2
+    finally:
+        weaver.unweave()
+
+
+def test_mixed_kinds_on_one_method():
+    events = []
+
+    class Mixed(Aspect):
+        @around("execution(Target.alpha(..))")
+        def wrap(self, jp):
+            events.append("around")
+            return jp.proceed() + "!"
+
+        @after_returning("execution(Target.alpha(..))")
+        def done(self, jp):
+            events.append(("after", jp.result))
+
+    weaver = Weaver().add_aspect(Mixed())
+    weaver.weave([Target])
+    try:
+        assert Target().alpha() == "a!"
+        assert events == ["around", ("after", "a!")]
+    finally:
+        weaver.unweave()
+
+
+def test_aspect_inheritance_collects_base_advice():
+    class BaseAspect(Aspect):
+        def __init__(self):
+            self.seen = []
+
+        @before("execution(Target.alpha(..))")
+        def base_advice(self, jp):
+            self.seen.append("base")
+
+    class DerivedAspect(BaseAspect):
+        @before("execution(Target.alpha(..))")
+        def derived_advice(self, jp):
+            self.seen.append("derived")
+
+    aspect = DerivedAspect()
+    names = {advice.method.__name__ for advice in aspect.advices()}
+    assert names == {"base_advice", "derived_advice"}
+    weaver = Weaver().add_aspect(aspect)
+    weaver.weave([Target])
+    try:
+        Target().alpha()
+        assert sorted(aspect.seen) == ["base", "derived"]
+    finally:
+        weaver.unweave()
+
+
+def test_override_shadows_base_advice():
+    class BaseAspect(Aspect):
+        def __init__(self):
+            self.calls = []
+
+        @before("execution(Target.alpha(..))")
+        def advice(self, jp):
+            self.calls.append("base")
+
+    class DerivedAspect(BaseAspect):
+        @before("execution(Target.alpha(..))")
+        def advice(self, jp):  # overrides, does not duplicate
+            self.calls.append("derived")
+
+    aspect = DerivedAspect()
+    assert len(list(aspect.advices())) == 1
+    weaver = Weaver().add_aspect(aspect)
+    weaver.weave([Target])
+    try:
+        Target().alpha()
+        assert aspect.calls == ["derived"]
+    finally:
+        weaver.unweave()
+
+
+def test_advice_kind_values():
+    assert AdviceKind.BEFORE.value == "before"
+    assert AdviceKind.AROUND.value == "around"
+
+
+def test_declaration_order_preserved_within_precedence():
+    order = []
+
+    class Ordered(Aspect):
+        @before("execution(Target.alpha(..))")
+        def first(self, jp):
+            order.append(1)
+
+        @before("execution(Target.alpha(..))")
+        def second(self, jp):
+            order.append(2)
+
+    weaver = Weaver().add_aspect(Ordered())
+    weaver.weave([Target])
+    try:
+        Target().alpha()
+        assert order == [1, 2]
+    finally:
+        weaver.unweave()

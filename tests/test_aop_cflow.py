@@ -1,0 +1,210 @@
+"""cflowbelow pointcut tests (the paper's footnote 2 mechanism)."""
+
+import pytest
+
+from repro.aop import Aspect, Weaver, around, current_cflow, parse_pointcut
+from repro.aop.pointcut import Cflowbelow, MethodTarget
+from repro.errors import PointcutSyntaxError
+
+
+def make_forwarding_service():
+    """outer() calls inner() internally -- interleaved handlers."""
+
+    class Service:
+        def __init__(self):
+            self.log = []
+
+        def outer(self, x):
+            self.log.append("outer")
+            return self.inner(x) + 1
+
+        def inner(self, x):
+            self.log.append("inner")
+            return x * 2
+
+    return Service
+
+
+class TopLevelOnly(Aspect):
+    """Advises every method execution NOT already below one."""
+
+    def __init__(self):
+        self.advised = []
+
+    @around("execution(Service.*(..)) && !cflowbelow(execution(Service.*(..)))")
+    def record(self, jp):
+        self.advised.append(jp.signature.method_name)
+        return jp.proceed()
+
+
+class EveryLevel(Aspect):
+    def __init__(self):
+        self.advised = []
+
+    @around("execution(Service.*(..))")
+    def record(self, jp):
+        self.advised.append(jp.signature.method_name)
+        return jp.proceed()
+
+
+def test_parse_cflowbelow():
+    pc = parse_pointcut("cflowbelow(execution(Foo.bar(..)))")
+    assert isinstance(pc, Cflowbelow)
+    assert pc.is_dynamic
+
+
+def test_negated_dynamic_still_weaves_statically():
+    pc = parse_pointcut(
+        "execution(Service.outer(..)) && !cflowbelow(execution(Service.*(..)))"
+    )
+    Service = make_forwarding_service()
+    target = MethodTarget(Service, "outer", vars(Service)["outer"])
+    assert pc.matches(target)  # static: cannot be refuted at weave time
+    assert pc.is_dynamic
+
+
+def test_cflowbelow_suppresses_nested_advice():
+    Service = make_forwarding_service()
+    aspect = TopLevelOnly()
+    weaver = Weaver().add_aspect(aspect)
+    weaver.weave([Service])
+    try:
+        service = Service()
+        assert service.outer(3) == 7
+        # Only the top-level call was advised; inner ran unadvised.
+        assert aspect.advised == ["outer"]
+        # Both methods still executed.
+        assert service.log == ["outer", "inner"]
+    finally:
+        weaver.unweave()
+
+
+def test_without_guard_both_levels_advised():
+    Service = make_forwarding_service()
+    aspect = EveryLevel()
+    weaver = Weaver().add_aspect(aspect)
+    weaver.weave([Service])
+    try:
+        Service().outer(3)
+        assert aspect.advised == ["outer", "inner"]
+    finally:
+        weaver.unweave()
+
+
+def test_direct_inner_call_is_top_level():
+    Service = make_forwarding_service()
+    aspect = TopLevelOnly()
+    weaver = Weaver().add_aspect(aspect)
+    weaver.weave([Service])
+    try:
+        Service().inner(1)
+        assert aspect.advised == ["inner"]
+    finally:
+        weaver.unweave()
+
+
+def test_cflow_stack_visible_during_execution():
+    Service = make_forwarding_service()
+    seen = []
+
+    class Peek(Aspect):
+        @around("execution(Service.*(..))")
+        def look(self, jp):
+            if jp.signature.method_name == "inner":
+                seen.append([frame.method_name for frame in current_cflow()])
+            return jp.proceed()
+
+    weaver = Weaver().add_aspect(Peek())
+    weaver.weave([Service])
+    try:
+        Service().outer(1)
+        # During inner's advice, outer and inner are both on the stack.
+        assert seen == [["outer", "inner"]]
+    finally:
+        weaver.unweave()
+
+
+def test_only_woven_methods_appear_on_stack():
+    Service = make_forwarding_service()
+    seen = []
+
+    class PeekInnerOnly(Aspect):
+        @around("execution(Service.inner(..))")
+        def look(self, jp):
+            seen.append([frame.method_name for frame in current_cflow()])
+            return jp.proceed()
+
+    weaver = Weaver().add_aspect(PeekInnerOnly())
+    weaver.weave([Service])
+    try:
+        Service().outer(1)
+        # outer carries no advice, so it was never woven and does not
+        # appear in the control flow -- cflow sees *join points*, and
+        # unadvised methods are not join points after weaving.
+        assert seen == [["inner"]]
+    finally:
+        weaver.unweave()
+
+
+def test_stack_unwinds_after_exception():
+    class Service:
+        def boom(self):
+            raise ValueError("x")
+
+    class Noop(Aspect):
+        @around("execution(Service.boom(..))")
+        def passthrough(self, jp):
+            return jp.proceed()
+
+    weaver = Weaver().add_aspect(Noop())
+    weaver.weave([Service])
+    try:
+        with pytest.raises(ValueError):
+            Service().boom()
+        assert current_cflow() == ()
+    finally:
+        weaver.unweave()
+
+
+def test_unclosed_cflowbelow_rejected():
+    with pytest.raises(PointcutSyntaxError):
+        parse_pointcut("cflowbelow(execution(Foo.bar(..))")
+
+
+def test_forwarding_servlets_cached_once():
+    """A servlet that forwards to another servlet's do_get is handled
+    as one request: one cache entry, one lookup."""
+    from repro.cache.autowebcache import AutoWebCache
+    from repro.db import connect
+    from repro.web.container import ServletContainer
+    from repro.web.servlet import HttpServlet
+
+    from tests.conftest import ViewTopicServlet, make_notes_db
+
+    db = make_notes_db()
+    connection = connect(db)
+    inner = ViewTopicServlet(connection)
+
+    class FrontPage(HttpServlet):
+        def do_get(self, request, response):
+            response.write("<header>")
+            inner.do_get(request, response)  # internal forward
+            response.write("<footer>")
+
+    container = ServletContainer()
+    container.register("/front", FrontPage())
+    awc = AutoWebCache()
+    awc.install([FrontPage, ViewTopicServlet])
+    try:
+        db.update(
+            "INSERT INTO notes (id, topic, body, score) VALUES (1, 'a', 'x', 0)"
+        )
+        first = container.get("/front", {"topic": "a"})
+        assert "<header>" in first.body and "<footer>" in first.body
+        assert awc.stats.lookups == 1  # inner do_get not captured
+        assert len(awc.cache) == 1
+        second = container.get("/front", {"topic": "a"})
+        assert second.body == first.body
+        assert awc.stats.hits == 1
+    finally:
+        awc.uninstall()

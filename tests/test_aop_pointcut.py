@@ -1,0 +1,122 @@
+"""Pointcut language tests."""
+
+import pytest
+
+from repro.aop.pointcut import MethodTarget, parse_pointcut
+from repro.errors import PointcutSyntaxError
+
+
+class Base:
+    def do_get(self, request, response):
+        pass
+
+
+class Child(Base):
+    def do_get(self, request, response):
+        pass
+
+    def do_post(self, request, response):
+        pass
+
+    def helper(self):
+        pass
+
+
+class Unrelated:
+    def do_get(self, request, response):
+        pass
+
+
+def target(cls, name):
+    return MethodTarget(cls=cls, method_name=name, function=vars(cls)[name])
+
+
+def test_exact_type_and_method():
+    pc = parse_pointcut("execution(Child.do_get(..))")
+    assert pc.matches(target(Child, "do_get"))
+    assert not pc.matches(target(Base, "do_get"))
+    assert not pc.matches(target(Child, "do_post"))
+
+
+def test_subtype_matching_with_plus():
+    pc = parse_pointcut("execution(Base+.do_get(..))")
+    assert pc.matches(target(Base, "do_get"))
+    assert pc.matches(target(Child, "do_get"))
+    assert not pc.matches(target(Unrelated, "do_get"))
+
+
+def test_wildcard_type():
+    pc = parse_pointcut("execution(*.do_get(..))")
+    assert pc.matches(target(Child, "do_get"))
+    assert pc.matches(target(Unrelated, "do_get"))
+
+
+def test_wildcard_method():
+    pc = parse_pointcut("execution(Child.do_*(..))")
+    assert pc.matches(target(Child, "do_get"))
+    assert pc.matches(target(Child, "do_post"))
+    assert not pc.matches(target(Child, "helper"))
+
+
+def test_arity_constraint():
+    two_args = parse_pointcut("execution(Child.do_get(a, b))")
+    assert two_args.matches(target(Child, "do_get"))
+    zero_args = parse_pointcut("execution(Child.helper())")
+    assert zero_args.matches(target(Child, "helper"))
+    wrong = parse_pointcut("execution(Child.do_get(a))")
+    assert not wrong.matches(target(Child, "do_get"))
+
+
+def test_call_keyword_is_accepted():
+    pc = parse_pointcut("call(Child.do_get(..))")
+    assert pc.matches(target(Child, "do_get"))
+
+
+def test_and_combinator():
+    pc = parse_pointcut("execution(Base+.do_*(..)) && !execution(*.do_post(..))")
+    assert pc.matches(target(Child, "do_get"))
+    assert not pc.matches(target(Child, "do_post"))
+
+
+def test_or_combinator():
+    pc = parse_pointcut("execution(*.do_get(..)) || execution(*.helper(..))")
+    assert pc.matches(target(Child, "helper"))
+    assert pc.matches(target(Child, "do_get"))
+    assert not pc.matches(target(Child, "do_post"))
+
+
+def test_parenthesised_expression():
+    pc = parse_pointcut(
+        "!(execution(*.do_get(..)) || execution(*.do_post(..)))"
+    )
+    assert pc.matches(target(Child, "helper"))
+    assert not pc.matches(target(Child, "do_get"))
+
+
+def test_operator_overloads():
+    a = parse_pointcut("execution(*.do_get(..))")
+    b = parse_pointcut("execution(*.do_post(..))")
+    assert (a | b).matches(target(Child, "do_post"))
+    assert not (a & b).matches(target(Child, "do_get"))
+    assert (~a).matches(target(Child, "helper"))
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",
+        "execution(",
+        "execution(Foo)",
+        "execution(Foo.bar(..)) &&",
+        "perform(Foo.bar(..))",
+        "execution(Foo.bar(..)) trailing",
+    ],
+)
+def test_syntax_errors(bad):
+    with pytest.raises(PointcutSyntaxError):
+        parse_pointcut(bad)
+
+
+def test_str_rendering():
+    pc = parse_pointcut("execution(Base+.do_get(..))")
+    assert "Base+" in str(pc)

@@ -1,0 +1,227 @@
+"""Weaver and advice-chain tests."""
+
+import pytest
+
+from repro.aop import (
+    Aspect,
+    Weaver,
+    after,
+    after_returning,
+    after_throwing,
+    around,
+    before,
+)
+from repro.errors import WeavingError
+
+
+def make_service():
+    """Fresh class per test: weaving mutates the class object."""
+
+    class Service:
+        def __init__(self):
+            self.calls = []
+
+        def compute(self, x):
+            self.calls.append(x)
+            return x * 2
+
+        def failing(self, x):
+            raise ValueError("boom")
+
+    return Service
+
+
+class Recorder(Aspect):
+    def __init__(self):
+        self.events = []
+
+    @before("execution(Service.compute(..))")
+    def log_before(self, jp):
+        self.events.append(("before", jp.args))
+
+    @after_returning("execution(Service.compute(..))")
+    def log_return(self, jp):
+        self.events.append(("after_returning", jp.result))
+
+    @after("execution(Service.*(..))")
+    def log_finally(self, jp):
+        self.events.append(("after", jp.signature.method_name))
+
+    @after_throwing("execution(Service.failing(..))")
+    def log_throw(self, jp):
+        self.events.append(("after_throwing", type(jp.exception).__name__))
+
+
+class Doubler(Aspect):
+    @around("execution(Service.compute(..))")
+    def double(self, jp):
+        return jp.proceed() * 2
+
+
+class Bypass(Aspect):
+    @around("execution(Service.compute(..))")
+    def skip(self, jp):
+        return -1  # never proceeds
+
+
+def test_before_and_after_returning_order():
+    Service = make_service()
+    recorder = Recorder()
+    weaver = Weaver().add_aspect(recorder)
+    weaver.weave([Service])
+    try:
+        service = Service()
+        assert service.compute(3) == 6
+        kinds = [e[0] for e in recorder.events]
+        assert kinds == ["before", "after_returning", "after"]
+        assert recorder.events[1] == ("after_returning", 6)
+    finally:
+        weaver.unweave()
+
+
+def test_after_throwing_and_after_run_on_exception():
+    Service = make_service()
+    recorder = Recorder()
+    weaver = Weaver().add_aspect(recorder)
+    weaver.weave([Service])
+    try:
+        with pytest.raises(ValueError):
+            Service().failing(1)
+        assert ("after_throwing", "ValueError") in recorder.events
+        assert ("after", "failing") in recorder.events
+        assert not any(e[0] == "after_returning" for e in recorder.events)
+    finally:
+        weaver.unweave()
+
+
+def test_around_advises_result():
+    Service = make_service()
+    weaver = Weaver().add_aspect(Doubler())
+    weaver.weave([Service])
+    try:
+        assert Service().compute(3) == 12
+    finally:
+        weaver.unweave()
+
+
+def test_around_can_bypass_entirely():
+    Service = make_service()
+    weaver = Weaver().add_aspect(Bypass())
+    weaver.weave([Service])
+    try:
+        service = Service()
+        assert service.compute(3) == -1
+        assert service.calls == []  # original body never ran
+    finally:
+        weaver.unweave()
+
+
+def test_around_nesting_by_precedence():
+    Service = make_service()
+
+    class AddTen(Aspect):
+        precedence = 1
+
+        @around("execution(Service.compute(..))")
+        def add(self, jp):
+            return jp.proceed() + 10
+
+    class Triple(Aspect):
+        precedence = 2
+
+        @around("execution(Service.compute(..))")
+        def triple(self, jp):
+            return jp.proceed() * 3
+
+    # AddTen (lower precedence value) is outermost: (x*2 * 3) + 10.
+    weaver = Weaver().add_aspect(Triple()).add_aspect(AddTen())
+    weaver.weave([Service])
+    try:
+        assert Service().compute(1) == 16
+    finally:
+        weaver.unweave()
+
+
+def test_unweave_restores_original():
+    Service = make_service()
+    original = Service.compute
+    weaver = Weaver().add_aspect(Doubler())
+    weaver.weave([Service])
+    weaver.unweave()
+    assert Service.compute is original
+    assert Service().compute(3) == 6
+
+
+def test_double_weaving_rejected():
+    Service = make_service()
+    weaver = Weaver().add_aspect(Doubler())
+    weaver.weave([Service])
+    try:
+        with pytest.raises(WeavingError):
+            Weaver().add_aspect(Doubler()).weave([Service])
+    finally:
+        weaver.unweave()
+
+
+def test_weave_report_contents():
+    Service = make_service()
+    weaver = Weaver().add_aspect(Recorder())
+    report = weaver.weave([Service])
+    try:
+        names = {(jp.class_name, jp.method_name) for jp in report.join_points}
+        assert ("Service", "compute") in names
+        assert ("Service", "failing") in names
+        assert report.advised_method_count == 2
+        assert report.advice_application_count >= 3
+        assert "Service.compute" in report.describe()
+    finally:
+        weaver.unweave()
+
+
+def test_unmatched_class_untouched():
+    Service = make_service()
+
+    class Other:
+        def unrelated(self):
+            return 1
+
+    weaver = Weaver().add_aspect(Doubler())
+    report = weaver.weave([Service, Other])
+    try:
+        assert all(jp.class_name != "Other" for jp in report.join_points)
+        assert Other().unrelated() == 1
+    finally:
+        weaver.unweave()
+
+
+def test_weaver_as_context_manager():
+    Service = make_service()
+    original = Service.compute
+    with Weaver().add_aspect(Doubler()) as weaver:
+        weaver.weave([Service])
+        assert Service().compute(1) == 4
+    assert Service.compute is original
+
+
+def test_joinpoint_args_passed_through():
+    Service = make_service()
+
+    class Inspect(Aspect):
+        def __init__(self):
+            self.seen = None
+
+        @around("execution(Service.compute(..))")
+        def look(self, jp):
+            self.seen = (jp.target, jp.args)
+            return jp.proceed()
+
+    aspect = Inspect()
+    weaver = Weaver().add_aspect(aspect)
+    weaver.weave([Service])
+    try:
+        service = Service()
+        service.compute(42)
+        assert aspect.seen[0] is service
+        assert aspect.seen[1] == (42,)
+    finally:
+        weaver.unweave()

@@ -1,0 +1,36 @@
+"""HTML helper tests."""
+
+from repro.apps.html import begin_page, end_page, write_list, write_table
+from repro.web.http import HttpResponse
+
+
+def test_begin_end_page():
+    response = HttpResponse()
+    begin_page(response, "My Title")
+    end_page(response)
+    body = response.body
+    assert body.startswith("<html>")
+    assert "<title>My Title</title>" in body
+    assert "<h1>My Title</h1>" in body
+    assert body.endswith("</body></html>")
+
+
+def test_write_table():
+    response = HttpResponse()
+    write_table(response, ["a", "b"], [[1, 2], ["x", "y"]])
+    body = response.body
+    assert "<th>a</th>" in body and "<th>b</th>" in body
+    assert "<td>1</td>" in body and "<td>y</td>" in body
+    assert body.count("<tr>") == 3
+
+
+def test_write_table_empty_rows():
+    response = HttpResponse()
+    write_table(response, ["only"], [])
+    assert response.body.count("<tr>") == 1
+
+
+def test_write_list():
+    response = HttpResponse()
+    write_list(response, ["one", 2])
+    assert response.body == "<ul><li>one</li><li>2</li></ul>"

@@ -1,0 +1,170 @@
+"""RUBiS application tests: all 26 interactions, with and without cache."""
+
+import pytest
+
+from repro.apps.rubis import RubisDataset, build_rubis
+from repro.apps.rubis.app import INTERACTIONS
+from repro.cache.autowebcache import AutoWebCache
+
+
+@pytest.fixture(scope="module")
+def app():
+    return build_rubis(RubisDataset(n_users=40, n_items=80, seed=5))
+
+
+READ_CASES = [
+    ("/rubis/home", {}),
+    ("/rubis/browse", {}),
+    ("/rubis/browse_categories", {}),
+    ("/rubis/browse_regions", {}),
+    ("/rubis/browse_categories_in_region", {"region": "2"}),
+    ("/rubis/search_items_by_category", {"category": "1"}),
+    ("/rubis/search_items_by_region", {"category": "1", "region": "2"}),
+    ("/rubis/view_item", {"item": "3"}),
+    ("/rubis/view_bid_history", {"item": "3"}),
+    ("/rubis/view_user_info", {"user": "4"}),
+    ("/rubis/about_me", {"user": "4"}),
+    ("/rubis/buy_now_auth", {"item": "3"}),
+    ("/rubis/buy_now", {"item": "3", "user": "4"}),
+    ("/rubis/put_bid_auth", {"item": "3"}),
+    ("/rubis/put_bid", {"item": "3", "user": "4"}),
+    ("/rubis/put_comment_auth", {"item": "3", "to": "5"}),
+    ("/rubis/put_comment", {"item": "3", "to": "5", "user": "4"}),
+    ("/rubis/register", {}),
+    ("/rubis/sell", {}),
+    ("/rubis/select_category_to_sell", {}),
+    ("/rubis/sell_item_form", {"category": "1"}),
+]
+
+
+def test_has_26_interactions():
+    assert len(INTERACTIONS) == 26
+    writes = [uri for uri, (_c, w) in INTERACTIONS.items() if w]
+    assert len(writes) == 5
+
+
+@pytest.mark.parametrize("uri,params", READ_CASES)
+def test_read_interactions_render(app, uri, params):
+    response = app.container.get(uri, params)
+    assert response.status == 200
+    assert response.body.startswith("<html>")
+    assert response.body.endswith("</html>")
+
+
+def test_view_item_shows_item_fields(app):
+    body = app.container.get("/rubis/view_item", {"item": "7"}).body
+    assert "item-7" in body
+
+
+def test_view_missing_item_is_error(app):
+    assert app.container.get("/rubis/view_item", {"item": "99999"}).status == 500
+
+
+def test_store_bid_updates_item():
+    app = build_rubis(RubisDataset(n_users=20, n_items=30, seed=6))
+    before = app.database.query(
+        "SELECT nb_of_bids FROM items WHERE id = 3"
+    ).scalar()
+    response = app.container.post(
+        "/rubis/store_bid", {"item": "3", "user": "2", "bid": "5000"}
+    )
+    assert response.status == 200
+    after = app.database.query(
+        "SELECT nb_of_bids, max_bid FROM items WHERE id = 3"
+    ).rows[0]
+    assert after[0] == before + 1
+    assert after[1] == 5000.0
+
+
+def test_store_buy_now_decrements_quantity():
+    app = build_rubis(RubisDataset(n_users=20, n_items=30, seed=6))
+    before = app.database.query("SELECT quantity FROM items WHERE id = 4").scalar()
+    app.container.post(
+        "/rubis/store_buy_now", {"item": "4", "user": "2", "qty": "1"}
+    )
+    after = app.database.query("SELECT quantity FROM items WHERE id = 4").scalar()
+    assert after == before - 1
+
+
+def test_store_comment_adjusts_rating():
+    app = build_rubis(RubisDataset(n_users=20, n_items=30, seed=6))
+    before = app.database.query("SELECT rating FROM users WHERE id = 5").scalar()
+    app.container.post(
+        "/rubis/store_comment",
+        {"item": "1", "to": "5", "from": "2", "rating": "3", "comment": "ok"},
+    )
+    after = app.database.query("SELECT rating FROM users WHERE id = 5").scalar()
+    assert after == before + 3
+
+
+def test_register_user_and_duplicate_nickname():
+    app = build_rubis(RubisDataset(n_users=20, n_items=30, seed=6))
+    params = {
+        "firstname": "x",
+        "lastname": "y",
+        "nickname": "brand_new",
+        "region": "1",
+    }
+    assert app.container.post("/rubis/register_user", params).status == 200
+    assert app.container.post("/rubis/register_user", params).status == 500
+
+
+def test_register_item_appears_in_category_search():
+    app = build_rubis(RubisDataset(n_users=20, n_items=30, seed=6))
+    app.container.post(
+        "/rubis/register_item",
+        {
+            "name": "very-unique-item",
+            "initial_price": "10",
+            "category": "2",
+            "seller": "1",
+        },
+    )
+    body = app.container.get(
+        "/rubis/search_items_by_category", {"category": "2", "page": "0"}
+    ).body
+    assert "very-unique-item" in body
+
+
+def test_cached_rubis_end_to_end_consistency():
+    """A bid through the cached app must be visible on the next view."""
+    app = build_rubis(RubisDataset(n_users=20, n_items=30, seed=7))
+    awc = AutoWebCache()
+    awc.install(app.servlet_classes)
+    try:
+        container = app.container
+        container.get("/rubis/view_item", {"item": "3"})
+        container.get("/rubis/view_item", {"item": "3"})
+        assert awc.stats.hits == 1
+        container.post(
+            "/rubis/store_bid", {"item": "3", "user": "2", "bid": "7777"}
+        )
+        body = container.get("/rubis/view_item", {"item": "3"}).body
+        assert "7777" in body
+        # A bid on another item must not invalidate item 3's fresh page.
+        container.post(
+            "/rubis/store_bid", {"item": "4", "user": "2", "bid": "88"}
+        )
+        hits_before = awc.stats.hits
+        container.get("/rubis/view_item", {"item": "3"})
+        assert awc.stats.hits == hits_before + 1
+    finally:
+        awc.uninstall()
+
+
+def test_read_uris_and_write_uris_partition(app):
+    assert set(app.read_uris) | set(app.write_uris) == set(INTERACTIONS)
+    assert not set(app.read_uris) & set(app.write_uris)
+
+
+def test_population_counts():
+    dataset = RubisDataset(n_users=15, n_items=25, bids_per_item=2, seed=1)
+    app = build_rubis(dataset)
+    db = app.database
+    assert db.query("SELECT COUNT(*) FROM users").scalar() == 15
+    assert db.query("SELECT COUNT(*) FROM items").scalar() == 25
+    assert db.query("SELECT COUNT(*) FROM bids").scalar() == 50
+    assert dataset.n_bids == 50
+    # nb_of_bids is consistent with the bids table.
+    count = db.query("SELECT COUNT(*) FROM bids WHERE item_id = 0").scalar()
+    assert db.query("SELECT nb_of_bids FROM items WHERE id = 0").scalar() == count

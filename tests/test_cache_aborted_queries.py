@@ -1,0 +1,136 @@
+"""Aborted-query handling (Section 4.2).
+
+"If a read query is aborted during the formation of response for a
+client request, the corresponding web page is not stored in the cache.
+Further, if a write query does not complete successfully, it is not
+considered for determining the cache entries affected."
+"""
+
+from repro.cache.autowebcache import AutoWebCache
+from repro.db import connect
+from repro.web.container import ServletContainer
+from repro.web.servlet import HttpServlet
+
+from tests.conftest import make_notes_db
+
+
+class FlakyReadServlet(HttpServlet):
+    """Issues a good query, then (optionally) a failing one."""
+
+    fail = True
+
+    def __init__(self, connection):
+        self._connection = connection
+
+    def do_get(self, request, response):
+        statement = self._connection.create_statement()
+        result = statement.execute_query("SELECT COUNT(*) FROM notes")
+        response.write(f"count={result.scalar()}")
+        if type(self).fail:
+            try:
+                statement.execute_query("SELECT ghost_column FROM notes")
+            except Exception:
+                response.write(";query failed, degraded page")
+
+
+class FlakyWriteServlet(HttpServlet):
+    """First write succeeds, second write fails."""
+
+    def __init__(self, connection):
+        self._connection = connection
+
+    def do_post(self, request, response):
+        statement = self._connection.create_statement()
+        statement.execute_update(
+            "UPDATE notes SET score = score + 1 WHERE topic = 'a'"
+        )
+        try:
+            statement.execute_update("UPDATE no_such_table SET x = 1")
+        except Exception:
+            response.write("second write failed;")
+        response.write("done")
+
+
+def build_flaky_app():
+    db = make_notes_db()
+    db.update(
+        "INSERT INTO notes (id, topic, body, score) VALUES (1, 'a', 'x', 0)"
+    )
+    connection = connect(db)
+    container = ServletContainer()
+    container.register("/flaky_read", FlakyReadServlet(connection))
+    container.register("/flaky_write", FlakyWriteServlet(connection))
+    return db, container
+
+
+def test_aborted_read_query_prevents_caching():
+    db, container = build_flaky_app()
+    FlakyReadServlet.fail = True
+    awc = AutoWebCache()
+    awc.install(container.servlet_classes)
+    try:
+        response = container.get("/flaky_read")
+        assert response.status == 200  # servlet degraded gracefully
+        assert "degraded" in response.body
+        # ...but the page must NOT have been cached.
+        assert len(awc.cache) == 0
+        container.get("/flaky_read")
+        assert awc.stats.hits == 0
+    finally:
+        awc.uninstall()
+
+
+def test_healthy_read_still_cached():
+    db, container = build_flaky_app()
+    FlakyReadServlet.fail = False
+    awc = AutoWebCache()
+    awc.install(container.servlet_classes)
+    try:
+        container.get("/flaky_read")
+        container.get("/flaky_read")
+        assert awc.stats.hits == 1
+    finally:
+        awc.uninstall()
+
+
+def test_failed_write_not_considered_for_invalidation():
+    """The failed second write must not poison the invalidation pass,
+    and the successful first write must still invalidate."""
+    db, container = build_flaky_app()
+    FlakyReadServlet.fail = False
+    awc = AutoWebCache()
+    awc.install(container.servlet_classes)
+    try:
+        container.get("/flaky_read")  # caches count=1 page
+        response = container.post("/flaky_write")
+        assert "second write failed" in response.body
+        # The successful score update touches notes: the cached page
+        # reading COUNT(*) FROM notes depends on the notes table, but
+        # only columns score were written and COUNT(*) reads '*': the
+        # conservative reader means invalidation is expected.
+        page = container.get("/flaky_read")
+        assert page.status == 200
+        # The run completed without consistency errors and the write
+        # request processed exactly one write instance.
+        assert awc.stats.write_requests == 1
+    finally:
+        awc.uninstall()
+
+
+def test_error_status_pages_never_cached():
+    class Exploding(HttpServlet):
+        def do_get(self, request, response):
+            raise RuntimeError("boom")
+
+    db, container = build_flaky_app()
+    container.register("/explode", Exploding())
+    awc = AutoWebCache()
+    awc.install(container.servlet_classes)
+    try:
+        response = container.get("/explode")
+        assert response.status == 500
+        assert len(awc.cache) == 0
+        # And the failure did not leak a dangling request context.
+        assert awc.collector.current() is None
+    finally:
+        awc.uninstall()

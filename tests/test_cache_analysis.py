@@ -1,0 +1,247 @@
+"""Query analysis engine tests.
+
+The example pairs from Section 3.2 of the paper are encoded verbatim:
+each of the three policies must accept/reject exactly as the paper
+describes.
+"""
+
+import pytest
+
+from repro.cache.analysis import InvalidationPolicy, QueryAnalysisEngine
+from repro.cache.entry import QueryInstance
+from repro.sql.template import templateize
+
+COL = InvalidationPolicy.COLUMN_ONLY
+WHERE = InvalidationPolicy.WHERE_MATCH
+EXTRA = InvalidationPolicy.EXTRA_QUERY
+
+
+@pytest.fixture
+def engine():
+    return QueryAnalysisEngine()
+
+
+def pair_of(engine, read_sql, write_sql):
+    read, _ = templateize(read_sql, (0,) * read_sql.count("?"))
+    write, _ = templateize(write_sql, (0,) * write_sql.count("?"))
+    return engine.analyse_pair(read, write), read, write
+
+
+def instance(sql, params=None, pre_image=None):
+    template, values = templateize(sql, params)
+    return QueryInstance(template, values, pre_image)
+
+
+class TestPairAnalysis:
+    def test_disjoint_tables_no_dependency(self, engine):
+        pair, *_ = pair_of(
+            engine, "SELECT a FROM t WHERE b = 1", "UPDATE u SET a = 2"
+        )
+        assert not pair.possible
+
+    def test_paper_policy1_intersecting_columns(self, engine):
+        # "SELECT a FROM T WHERE b=X" vs "UPDATE T SET a=new_val" may
+        # intersect (paper example 1a).
+        pair, *_ = pair_of(
+            engine, "SELECT a FROM t WHERE b = 1", "UPDATE t SET a = 9 "
+        )
+        assert pair.possible
+
+    def test_paper_policy1_disjoint_columns(self, engine):
+        # "SELECT a FROM T WHERE b=X" vs "UPDATE T SET c=new_val" does
+        # not intersect (paper example 1b).
+        pair, *_ = pair_of(
+            engine, "SELECT a FROM t WHERE b = 1", "UPDATE t SET c = 9"
+        )
+        assert not pair.possible
+
+    def test_update_on_where_column_is_dependency(self, engine):
+        pair, *_ = pair_of(
+            engine, "SELECT a FROM t WHERE b = 1", "UPDATE t SET b = 9"
+        )
+        assert pair.possible
+
+    def test_delete_always_possible_on_shared_table(self, engine):
+        pair, *_ = pair_of(engine, "SELECT a FROM t WHERE b = 1", "DELETE FROM t")
+        assert pair.possible
+
+    def test_star_read_depends_on_any_column(self, engine):
+        pair, *_ = pair_of(
+            engine, "SELECT * FROM t WHERE id = 1", "UPDATE t SET zz = 1"
+        )
+        assert pair.possible
+
+    def test_insert_into_read_table(self, engine):
+        pair, *_ = pair_of(
+            engine,
+            "SELECT a FROM t WHERE b = 1",
+            "INSERT INTO t (a, b) VALUES (1, 2)",
+        )
+        assert pair.possible
+
+
+class TestPolicy2WhereMatch:
+    def test_paper_example_2a_different_values_prune(self, engine):
+        # "SELECT a FROM T WHERE b=X" vs "UPDATE T SET a=v WHERE b=Y"
+        # does not intersect when X != Y (paper example 2a).
+        pair, read, write = pair_of(
+            engine,
+            "SELECT a FROM t WHERE b = ?",
+            "UPDATE t SET a = ? WHERE b = ?",
+        )
+        w = QueryInstance(write, (9, 200))
+        assert engine.intersects(pair, (100,), w, COL)  # policy 1: false positive
+        assert not engine.intersects(pair, (100,), w, WHERE)
+        assert not engine.intersects(pair, (100,), w, EXTRA)
+
+    def test_same_values_intersect(self, engine):
+        pair, read, write = pair_of(
+            engine,
+            "SELECT a FROM t WHERE b = ?",
+            "UPDATE t SET a = ? WHERE b = ?",
+        )
+        w = QueryInstance(write, (9, 100))
+        assert engine.intersects(pair, (100,), w, WHERE)
+
+    def test_insert_binding_prunes(self, engine):
+        pair, read, write = pair_of(
+            engine,
+            "SELECT a FROM t WHERE b = ?",
+            "INSERT INTO t (a, b) VALUES (?, ?)",
+        )
+        assert not engine.intersects(
+            pair, (1,), QueryInstance(write, (5, 2)), WHERE
+        )
+        assert engine.intersects(
+            pair, (1,), QueryInstance(write, (5, 1)), WHERE
+        )
+
+    def test_insert_missing_column_prunes(self, engine):
+        # The inserted row has NULL in the read's bound column.
+        pair, read, write = pair_of(
+            engine,
+            "SELECT a FROM t WHERE b = ?",
+            "INSERT INTO t (a) VALUES (?)",
+        )
+        assert not engine.intersects(pair, (1,), QueryInstance(write, (5,)), WHERE)
+
+    def test_update_rewriting_bound_column_not_pruned_by_where(self, engine):
+        # UPDATE t SET b=v WHERE c=w can move rows INTO or OUT of the
+        # read's b=X set; without a pre-image nothing can be proved.
+        pair, read, write = pair_of(
+            engine,
+            "SELECT a FROM t WHERE b = ?",
+            "UPDATE t SET b = ? WHERE c = ?",
+        )
+        w = QueryInstance(write, (5, 7))
+        assert engine.intersects(pair, (1,), w, WHERE)
+
+    def test_non_conjunctive_read_never_pruned(self, engine):
+        pair, read, write = pair_of(
+            engine,
+            "SELECT a FROM t WHERE b > ?",
+            "UPDATE t SET a = ? WHERE b = ?",
+        )
+        w = QueryInstance(write, (9, 5))
+        assert engine.intersects(pair, (100,), w, WHERE)
+        assert engine.intersects(pair, (100,), w, EXTRA)
+
+    def test_non_conjunctive_write_never_pruned(self, engine):
+        pair, read, write = pair_of(
+            engine,
+            "SELECT a FROM t WHERE b = ?",
+            "UPDATE t SET a = ? WHERE b > ?",
+        )
+        w = QueryInstance(write, (9, 5))
+        assert engine.intersects(pair, (100,), w, WHERE)
+
+
+class TestPolicy3ExtraQuery:
+    def test_paper_example_3_pre_image_decides(self, engine):
+        # "SELECT a FROM T WHERE b=X" vs "UPDATE T SET a=v WHERE d=W":
+        # the write does not mention b, so the extra query fetches b of
+        # the updated rows; intersect iff it returns X (paper example 3).
+        pair, read, write = pair_of(
+            engine,
+            "SELECT a FROM t WHERE b = ?",
+            "UPDATE t SET a = ? WHERE d = ?",
+        )
+        hit = QueryInstance(write, (9, 7), pre_image=({"b": 100, "d": 7},))
+        miss = QueryInstance(write, (9, 7), pre_image=({"b": 55, "d": 7},))
+        assert engine.intersects(pair, (100,), hit, EXTRA)
+        assert not engine.intersects(pair, (100,), miss, EXTRA)
+        # WHERE_MATCH cannot decide without the pre-image: conservative.
+        assert engine.intersects(pair, (100,), miss, WHERE)
+
+    def test_missing_pre_image_is_conservative(self, engine):
+        pair, read, write = pair_of(
+            engine,
+            "SELECT a FROM t WHERE b = ?",
+            "UPDATE t SET a = ? WHERE d = ?",
+        )
+        w = QueryInstance(write, (9, 7), pre_image=None)
+        assert engine.intersects(pair, (100,), w, EXTRA)
+
+    def test_empty_pre_image_prunes(self, engine):
+        # The write matched no rows at all.
+        pair, read, write = pair_of(
+            engine,
+            "SELECT a FROM t WHERE b = ?",
+            "UPDATE t SET a = ? WHERE d = ?",
+        )
+        w = QueryInstance(write, (9, 7), pre_image=())
+        assert not engine.intersects(pair, (100,), w, EXTRA)
+
+    def test_delete_pre_image(self, engine):
+        pair, read, write = pair_of(
+            engine,
+            "SELECT a FROM t WHERE b = ?",
+            "DELETE FROM t WHERE d = ?",
+        )
+        gone = QueryInstance(write, (7,), pre_image=({"b": 100, "d": 7},))
+        unrelated = QueryInstance(write, (7,), pre_image=({"b": 1, "d": 7},))
+        assert engine.intersects(pair, (100,), gone, EXTRA)
+        assert not engine.intersects(pair, (100,), unrelated, EXTRA)
+
+    def test_update_rewrite_with_pre_image_checks_both_directions(self, engine):
+        pair, read, write = pair_of(
+            engine,
+            "SELECT a FROM t WHERE b = ?",
+            "UPDATE t SET b = ? WHERE c = ?",
+        )
+        # Rows enter the read's set: new value == X.
+        entering = QueryInstance(write, (100, 7), pre_image=({"b": 3, "c": 7},))
+        assert engine.intersects(pair, (100,), entering, EXTRA)
+        # Rows leave the read's set: old value == X.
+        leaving = QueryInstance(write, (3, 7), pre_image=({"b": 100, "c": 7},))
+        assert engine.intersects(pair, (100,), leaving, EXTRA)
+        # Neither: prune.
+        unrelated = QueryInstance(write, (3, 7), pre_image=({"b": 4, "c": 7},))
+        assert not engine.intersects(pair, (100,), unrelated, EXTRA)
+
+
+class TestPolicyOrdering:
+    """EXTRA ⊆ WHERE ⊆ COLUMN_ONLY on a grid of instances."""
+
+    def test_monotone_precision(self, engine):
+        pair, read, write = pair_of(
+            engine,
+            "SELECT a FROM t WHERE b = ?",
+            "UPDATE t SET a = ? WHERE b = ?",
+        )
+        for read_value in (1, 2, 3):
+            for write_value in (1, 2, 3):
+                w = QueryInstance(
+                    write, (0, write_value), pre_image=({"b": write_value},)
+                )
+                col = engine.intersects(pair, (read_value,), w, COL)
+                where = engine.intersects(pair, (read_value,), w, WHERE)
+                extra = engine.intersects(pair, (read_value,), w, EXTRA)
+                assert (not where) or col  # WHERE ⊆ COL
+                assert (not extra) or where  # EXTRA ⊆ WHERE
+
+    def test_info_memoised(self, engine):
+        template, _ = templateize("SELECT a FROM t WHERE b = 1")
+        first = engine.info(template)
+        second = engine.info(template)
+        assert first is second

@@ -1,0 +1,132 @@
+"""Replacement policy tests (the paper's future-work extension)."""
+
+import pytest
+
+from repro.cache.replacement import (
+    FifoPolicy,
+    LfuPolicy,
+    LruPolicy,
+    UnboundedPolicy,
+    make_policy,
+)
+from repro.errors import CacheError
+
+
+class TestUnbounded:
+    def test_never_needs_eviction(self):
+        policy = UnboundedPolicy()
+        for i in range(100):
+            policy.on_insert(f"k{i}")
+        assert not policy.needs_eviction
+        assert len(policy) == 100
+
+    def test_victim_raises(self):
+        policy = UnboundedPolicy()
+        policy.on_insert("k")
+        with pytest.raises(CacheError):
+            policy.victim()
+
+    def test_remove(self):
+        policy = UnboundedPolicy()
+        policy.on_insert("k")
+        policy.on_remove("k")
+        assert len(policy) == 0
+
+
+class TestLru:
+    def test_victim_is_least_recently_used(self):
+        policy = LruPolicy(capacity=2)
+        policy.on_insert("a")
+        policy.on_insert("b")
+        assert policy.victim() == "a"
+
+    def test_access_refreshes_recency(self):
+        policy = LruPolicy(capacity=2)
+        policy.on_insert("a")
+        policy.on_insert("b")
+        policy.on_access("a")
+        assert policy.victim() == "b"
+
+    def test_needs_eviction_over_capacity(self):
+        policy = LruPolicy(capacity=2)
+        for k in "abc":
+            policy.on_insert(k)
+        assert policy.needs_eviction
+        policy.on_remove(policy.victim())
+        assert not policy.needs_eviction
+
+    def test_invalid_capacity(self):
+        with pytest.raises(CacheError):
+            LruPolicy(capacity=0)
+
+    def test_access_unknown_key_is_noop(self):
+        policy = LruPolicy(capacity=2)
+        policy.on_access("ghost")
+        assert len(policy) == 0
+
+
+class TestFifo:
+    def test_victim_ignores_access(self):
+        policy = FifoPolicy(capacity=2)
+        policy.on_insert("a")
+        policy.on_insert("b")
+        policy.on_access("a")
+        assert policy.victim() == "a"
+
+    def test_reinsert_keeps_original_position(self):
+        policy = FifoPolicy(capacity=2)
+        policy.on_insert("a")
+        policy.on_insert("b")
+        policy.on_insert("a")  # refresh does not move a to the back
+        assert policy.victim() == "a"
+
+    def test_empty_victim_raises(self):
+        with pytest.raises(CacheError):
+            FifoPolicy(capacity=1).victim()
+
+
+class TestLfu:
+    def test_victim_is_least_frequent(self):
+        policy = LfuPolicy(capacity=3)
+        for k in "abc":
+            policy.on_insert(k)
+        policy.on_access("a")
+        policy.on_access("a")
+        policy.on_access("b")
+        assert policy.victim() == "c"
+
+    def test_tie_broken_by_insertion_order(self):
+        policy = LfuPolicy(capacity=3)
+        policy.on_insert("x")
+        policy.on_insert("y")
+        assert policy.victim() == "x"
+
+    def test_reinsert_resets_count(self):
+        policy = LfuPolicy(capacity=3)
+        policy.on_insert("a")
+        policy.on_access("a")
+        policy.on_access("a")
+        policy.on_insert("b")
+        policy.on_insert("a")  # refresh: count back to 1, newer than b
+        assert policy.victim() == "b"
+
+    def test_remove_clears_count(self):
+        policy = LfuPolicy(capacity=2)
+        policy.on_insert("a")
+        policy.on_remove("a")
+        assert len(policy) == 0
+
+
+class TestFactory:
+    def test_by_name(self):
+        assert isinstance(make_policy("lru", 5), LruPolicy)
+        assert isinstance(make_policy("LFU", 5), LfuPolicy)
+        assert isinstance(make_policy("fifo", 5), FifoPolicy)
+        assert isinstance(make_policy("unbounded", None), UnboundedPolicy)
+
+    def test_none_capacity_is_unbounded(self):
+        assert isinstance(make_policy("lru", None), UnboundedPolicy)
+
+    def test_unknown_name(self):
+        with pytest.raises(CacheError):
+            make_policy("magic", 5)

@@ -1,0 +1,212 @@
+"""Back-end result-set cache tests (Section 9's complementary cache)."""
+
+import pytest
+
+from repro.cache.analysis import InvalidationPolicy
+from repro.cache.aspects_result import ResultCacheAspect, ResultCacheInstaller
+from repro.cache.autowebcache import AutoWebCache
+from repro.cache.result_cache import ResultCache
+from repro.cache.semantics import SemanticsRegistry
+from repro.db import connect
+from repro.errors import CacheError
+
+from tests.conftest import build_notes_app, make_notes_db
+
+
+def add_note(db, note_id, topic, body, score=0):
+    db.update(
+        "INSERT INTO notes (id, topic, body, score) VALUES (?, ?, ?, ?)",
+        (note_id, topic, body, score),
+    )
+
+
+class TestResultCacheUnit:
+    def test_lookup_insert_cycle(self):
+        from repro.db.executor import QueryResult
+        from repro.sql.template import templateize
+
+        cache = ResultCache()
+        template, values = templateize("SELECT a FROM t WHERE b = ?", (1,))
+        assert cache.lookup(template, values) is None
+        result = QueryResult(columns=["a"], rows=[(10,)])
+        cache.insert(template, values, result)
+        assert cache.lookup(template, values) is result
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert len(cache) == 1
+
+    def test_invalidation_by_write(self):
+        from repro.db.executor import QueryResult
+        from repro.sql.template import templateize
+        from repro.cache.entry import QueryInstance
+
+        cache = ResultCache(policy=InvalidationPolicy.WHERE_MATCH)
+        t1, v1 = templateize("SELECT a FROM t WHERE b = ?", (1,))
+        t2, v2 = templateize("SELECT a FROM t WHERE b = ?", (2,))
+        cache.insert(t1, v1, QueryResult(columns=["a"], rows=[]))
+        cache.insert(t2, v2, QueryResult(columns=["a"], rows=[]))
+        write, wv = templateize("UPDATE t SET a = ? WHERE b = ?", (9, 1))
+        removed = cache.process_write(QueryInstance(write, wv))
+        assert removed == 1  # only the b=1 entry
+        assert cache.lookup(t1, v1) is None
+        assert cache.lookup(t2, v2) is not None
+
+
+class TestWovenResultCache:
+    def test_second_query_served_from_cache(self):
+        db = make_notes_db()
+        add_note(db, 1, "a", "x")
+        connection = connect(db)
+        installer = ResultCacheInstaller()
+        installer.install()
+        try:
+            statement = connection.create_statement()
+            sql = "SELECT body FROM notes WHERE topic = ? ORDER BY id"
+            first = statement.execute_query(sql, ("a",))
+            queries_before = db.stats.queries
+            second = statement.execute_query(sql, ("a",))
+            assert db.stats.queries == queries_before  # no DB work
+            assert first.all_dicts() == second.all_dicts()
+            assert installer.stats.hits == 1
+        finally:
+            installer.uninstall()
+
+    def test_hits_get_fresh_cursors(self):
+        db = make_notes_db()
+        add_note(db, 1, "a", "x")
+        add_note(db, 2, "a", "y")
+        connection = connect(db)
+        installer = ResultCacheInstaller()
+        installer.install()
+        try:
+            statement = connection.create_statement()
+            sql = "SELECT body FROM notes WHERE topic = ? ORDER BY id"
+            first = statement.execute_query(sql, ("a",))
+            assert first.next() and first.next() and not first.next()
+            second = statement.execute_query(sql, ("a",))
+            assert second.next()  # cursor starts fresh
+            assert second.get("body") == "x"
+        finally:
+            installer.uninstall()
+
+    def test_write_invalidates_affected_results_only(self):
+        db = make_notes_db()
+        add_note(db, 1, "a", "x")
+        add_note(db, 2, "b", "y")
+        connection = connect(db)
+        installer = ResultCacheInstaller()
+        installer.install()
+        try:
+            statement = connection.create_statement()
+            sql = "SELECT body FROM notes WHERE topic = ? ORDER BY id"
+            statement.execute_query(sql, ("a",))
+            statement.execute_query(sql, ("b",))
+            statement.execute_update(
+                "INSERT INTO notes (id, topic, body, score) "
+                "VALUES (3, 'a', 'new', 0)"
+            )
+            fresh = statement.execute_query(sql, ("a",))
+            assert [r["body"] for r in fresh.all_dicts()] == ["x", "new"]
+            # Topic b survived the write.
+            assert installer.stats.hits >= 0
+            queries_before = db.stats.queries
+            statement.execute_query(sql, ("b",))
+            assert db.stats.queries == queries_before
+        finally:
+            installer.uninstall()
+
+    def test_update_with_pre_image_precision(self):
+        db = make_notes_db()
+        add_note(db, 1, "a", "x", score=1)
+        add_note(db, 2, "b", "y", score=2)
+        connection = connect(db)
+        installer = ResultCacheInstaller(policy=InvalidationPolicy.EXTRA_QUERY)
+        installer.install()
+        try:
+            statement = connection.create_statement()
+            sql = "SELECT score FROM notes WHERE topic = ? ORDER BY id"
+            statement.execute_query(sql, ("a",))
+            # Update note 2 (topic b): the pre-image proves topic a's
+            # result is unaffected.
+            statement.execute_update(
+                "UPDATE notes SET score = ? WHERE id = ?", (9, 2)
+            )
+            queries_before = db.stats.queries
+            statement.execute_query(sql, ("a",))
+            assert db.stats.queries == queries_before
+            # And topic a's own update invalidates it.
+            statement.execute_update(
+                "UPDATE notes SET score = ? WHERE id = ?", (5, 1)
+            )
+            fresh = statement.execute_query(sql, ("a",))
+            assert fresh.all_dicts() == [{"score": 5}]
+        finally:
+            installer.uninstall()
+
+    def test_double_install_rejected(self):
+        installer = ResultCacheInstaller()
+        installer.install()
+        try:
+            with pytest.raises(CacheError):
+                installer.install()
+        finally:
+            installer.uninstall()
+
+    def test_context_manager_uninstalls(self):
+        from repro.db.dbapi import Statement
+
+        with ResultCacheInstaller() as installer:
+            installer.install()
+        method = vars(Statement)["execute_query"]
+        assert not getattr(method, "__aw_woven__", False)
+
+
+class TestCombinedWithPageCache:
+    def test_result_cache_layered_under_page_cache(self):
+        db, container = build_notes_app()
+        result_cache = ResultCache()
+        awc = AutoWebCache(semantics=SemanticsRegistry().mark_uncacheable("/view_topic"))
+        awc.install(
+            container.servlet_classes,
+            extra_aspects=[ResultCacheAspect(result_cache)],
+        )
+        try:
+            container.post(
+                "/add", {"id": "1", "topic": "a", "body": "x", "score": "0"}
+            )
+            # /view_topic pages are uncacheable at the front end, but
+            # the backend result cache still absorbs the repeat query.
+            container.get("/view_topic", {"topic": "a"})
+            queries_before = db.stats.queries
+            page = container.get("/view_topic", {"topic": "a"})
+            assert db.stats.queries == queries_before
+            assert "x" in page.body
+            assert awc.stats.uncacheable == 2
+            assert result_cache.stats.hits >= 1
+            # Consistency still holds through the result cache.
+            container.post(
+                "/add", {"id": "2", "topic": "a", "body": "fresh", "score": "0"}
+            )
+            page = container.get("/view_topic", {"topic": "a"})
+            assert "fresh" in page.body
+        finally:
+            awc.uninstall()
+
+    def test_page_hit_bypasses_result_cache(self):
+        db, container = build_notes_app()
+        result_cache = ResultCache()
+        awc = AutoWebCache()
+        awc.install(
+            container.servlet_classes,
+            extra_aspects=[ResultCacheAspect(result_cache)],
+        )
+        try:
+            container.post(
+                "/add", {"id": "1", "topic": "a", "body": "x", "score": "0"}
+            )
+            container.get("/view_topic", {"topic": "a"})
+            lookups_before = result_cache.stats.lookups
+            container.get("/view_topic", {"topic": "a"})  # page hit
+            assert result_cache.stats.lookups == lookups_before
+        finally:
+            awc.uninstall()

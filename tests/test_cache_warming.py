@@ -1,0 +1,87 @@
+"""Cache warming tests."""
+
+from repro.apps.rubis import RubisDataset, build_rubis
+from repro.apps.rubis.workload import bidding_mix
+from repro.cache.autowebcache import AutoWebCache
+from repro.cache.warming import warm_from_mix, warm_from_trace
+from repro.workload.trace import RequestTrace, TraceEntry, TraceRecorder
+
+
+def build_cached_rubis():
+    app = build_rubis(RubisDataset(n_users=30, n_items=50, seed=21))
+    awc = AutoWebCache()
+    awc.install(app.servlet_classes)
+    return app, awc
+
+
+def test_warm_from_mix_fills_cache():
+    app, awc = build_cached_rubis()
+    try:
+        report = warm_from_mix(
+            app.container, awc.cache, bidding_mix(app.dataset),
+            target_pages=40, seed=5,
+        )
+        assert report.pages_cached >= 40
+        assert report.errors == 0
+        assert report.requests_issued >= 40
+        # Warming issued no writes: nothing was ever invalidated.
+        assert awc.stats.write_requests == 0
+    finally:
+        awc.uninstall()
+
+
+def test_warm_respects_request_budget():
+    app, awc = build_cached_rubis()
+    try:
+        report = warm_from_mix(
+            app.container, awc.cache, bidding_mix(app.dataset),
+            target_pages=10_000, max_requests=25, seed=5,
+        )
+        assert report.requests_issued == 25
+    finally:
+        awc.uninstall()
+
+
+def test_warmed_pages_hit_afterwards():
+    app, awc = build_cached_rubis()
+    try:
+        warm_from_mix(
+            app.container, awc.cache, bidding_mix(app.dataset),
+            target_pages=20, seed=5,
+        )
+        hits_before = awc.stats.hits
+        app.container.get("/rubis/browse_categories")
+        assert awc.stats.hits == hits_before + 1
+    finally:
+        awc.uninstall()
+
+
+def test_warm_from_trace_replays_gets_only():
+    # Record organic traffic on an uncached instance.
+    source = build_rubis(RubisDataset(n_users=30, n_items=50, seed=21))
+    recorder = TraceRecorder.attach(source.container)
+    source.container.get("/rubis/view_item", {"item": "3"})
+    source.container.post(
+        "/rubis/store_bid", {"item": "3", "user": "1", "bid": "50"}
+    )
+    source.container.get("/rubis/browse_categories")
+    trace = recorder.detach()
+
+    app, awc = build_cached_rubis()
+    try:
+        report = warm_from_trace(app.container, awc.cache, trace)
+        assert report.requests_issued == 2  # POST skipped
+        assert report.pages_cached == 2
+        assert awc.stats.write_requests == 0
+    finally:
+        awc.uninstall()
+
+
+def test_warm_from_empty_trace():
+    app, awc = build_cached_rubis()
+    try:
+        report = warm_from_trace(app.container, awc.cache, RequestTrace())
+        assert report.requests_issued == 0
+        assert report.pages_cached == 0
+    finally:
+        awc.uninstall()

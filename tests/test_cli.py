@@ -1,0 +1,72 @@
+"""CLI tests (quick settings only)."""
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_list(capsys):
+    code, out = run_cli(capsys, "list")
+    assert code == 0
+    assert "fig13" in out and "codesize" in out
+
+
+def test_codesize(capsys):
+    code, out = run_cli(capsys, "codesize")
+    assert code == 0
+    assert "cache-library" in out
+    assert "weaving-rules" in out
+
+
+def test_run_cell_no_cache(capsys):
+    code, out = run_cli(
+        capsys, "run", "--app", "rubis", "--clients", "20",
+        "--warmup", "5", "--duration", "15", "--no-cache",
+    )
+    assert code == 0
+    assert "No cache" in out
+    assert "mean response" in out
+
+
+def test_run_cell_with_options(capsys):
+    code, out = run_cli(
+        capsys, "run", "--app", "rubis", "--clients", "20",
+        "--warmup", "5", "--duration", "15",
+        "--policy", "where-match", "--replacement", "lru",
+        "--capacity", "50",
+    )
+    assert code == 0
+    assert "AutoWebCache" in out
+
+
+def test_run_weak_ttl(capsys):
+    code, out = run_cli(
+        capsys, "run", "--app", "rubis", "--clients", "10",
+        "--warmup", "5", "--duration", "10", "--weak-ttl", "30",
+    )
+    assert code == 0
+    assert "Weak TTL 30s" in out
+
+
+def test_fig13_small(capsys):
+    code, out = run_cli(
+        capsys, "fig13", "--clients", "20", "--warmup", "5", "--duration", "15"
+    )
+    assert code == 0
+    assert "RUBiS" in out and "hit rate" in out
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_parser_rejects_bad_policy():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--policy", "psychic"])

@@ -1,0 +1,104 @@
+"""Concurrency: contextvar isolation of request contexts across threads.
+
+The paper's Tomcat served requests on a thread pool; the consistency
+collector therefore must not cross-contaminate concurrent requests.
+Our collector is contextvar-based, so each thread (and each asyncio
+task) gets its own request context.
+"""
+
+import threading
+
+from repro.cache.autowebcache import AutoWebCache
+
+from tests.conftest import build_notes_app
+
+
+def test_parallel_requests_keep_contexts_separate():
+    db, container = build_notes_app()
+    awc = AutoWebCache()
+    awc.install(container.servlet_classes)
+    try:
+        for i in range(8):
+            db.update(
+                "INSERT INTO notes (id, topic, body, score) "
+                "VALUES (?, ?, ?, ?)",
+                (i, f"t{i % 4}", f"body{i}", 0),
+            )
+        errors: list[Exception] = []
+        barrier = threading.Barrier(4)
+
+        def worker(topic: str) -> None:
+            try:
+                barrier.wait(timeout=5)
+                for _ in range(50):
+                    response = container.get("/view_topic", {"topic": topic})
+                    assert f">{topic}<" in response.body or topic in response.body
+                    assert response.status == 200
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == []
+        # Every topic page is cached exactly once; contexts never mixed.
+        assert len(awc.cache) == 4
+        assert awc.stats.misses_cold == 4
+        assert awc.stats.hits == 4 * 50 - 4
+    finally:
+        awc.uninstall()
+
+
+def test_interleaved_read_write_threads_stay_consistent():
+    db, container = build_notes_app()
+    awc = AutoWebCache()
+    awc.install(container.servlet_classes)
+    try:
+        db.update(
+            "INSERT INTO notes (id, topic, body, score) VALUES (0, 'a', 'x', 0)"
+        )
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def reader() -> None:
+            try:
+                while not stop.is_set():
+                    response = container.get("/view_note", {"id": "0"})
+                    assert response.status == 200
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def writer() -> None:
+            try:
+                for score in range(40):
+                    response = container.post(
+                        "/score", {"id": "0", "score": str(score)}
+                    )
+                    assert response.status == 200
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        threads.append(threading.Thread(target=writer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == []
+        # Quiescent check (readers stopped): one final write then read
+        # must surface the new value.  (During the concurrent phase a
+        # read that overlaps a write may legitimately cache the
+        # pre-write page an instant before invalidation -- the classic
+        # check-then-insert race the paper's single-node deployment
+        # shares -- so the in-flight phase only asserts liveness.)
+        container.post("/score", {"id": "0", "score": "99"})
+        response = container.get("/view_note", {"id": "0"})
+        assert "|99" in response.body
+    finally:
+        awc.uninstall()

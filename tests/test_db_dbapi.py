@@ -1,0 +1,95 @@
+"""DB-API (JDBC analogue) driver tests."""
+
+import pytest
+
+from repro.db import Column, ColumnType, Database, TableSchema, connect
+from repro.errors import DatabaseError
+
+
+@pytest.fixture
+def conn():
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "t",
+            [Column("id", ColumnType.INT), Column("v", ColumnType.VARCHAR)],
+            primary_key="id",
+        )
+    )
+    connection = connect(db)
+    statement = connection.create_statement()
+    statement.execute_update("INSERT INTO t (id, v) VALUES (1, 'a')")
+    statement.execute_update("INSERT INTO t (id, v) VALUES (2, 'b')")
+    return connection
+
+
+def test_result_set_iteration(conn):
+    rs = conn.create_statement().execute_query("SELECT id, v FROM t ORDER BY id")
+    assert len(rs) == 2
+    assert rs.next()
+    assert rs.get("id") == 1
+    assert rs.get_at(1) == "a"
+    assert rs.next()
+    assert rs.get("v") == "b"
+    assert not rs.next()
+
+
+def test_get_before_next_raises(conn):
+    rs = conn.create_statement().execute_query("SELECT id FROM t")
+    with pytest.raises(DatabaseError):
+        rs.get("id")
+
+
+def test_get_unknown_column_raises(conn):
+    rs = conn.create_statement().execute_query("SELECT id FROM t")
+    rs.next()
+    with pytest.raises(DatabaseError):
+        rs.get("ghost")
+
+
+def test_scalar_and_all_dicts(conn):
+    statement = conn.create_statement()
+    assert statement.execute_query("SELECT COUNT(*) FROM t").scalar() == 2
+    dicts = statement.execute_query("SELECT id, v FROM t ORDER BY id").all_dicts()
+    assert dicts == [{"id": 1, "v": "a"}, {"id": 2, "v": "b"}]
+
+
+def test_scalar_empty_result(conn):
+    rs = conn.create_statement().execute_query("SELECT id FROM t WHERE id = 99")
+    assert rs.scalar() is None
+
+
+def test_execute_update_returns_affected(conn):
+    statement = conn.create_statement()
+    assert statement.execute_update("UPDATE t SET v = 'z' WHERE id = 1") == 1
+    assert statement.execute_update("DELETE FROM t") == 2
+
+
+def test_generated_key(conn):
+    statement = conn.create_statement()
+    statement.execute_update("INSERT INTO t (v) VALUES ('auto')")
+    assert statement.generated_key() == 3
+
+
+def test_execute_update_rejects_select(conn):
+    with pytest.raises(DatabaseError):
+        conn.create_statement().execute_update("SELECT id FROM t")
+
+
+def test_closed_connection_rejects_statements(conn):
+    conn.close()
+    assert conn.closed
+    with pytest.raises(DatabaseError):
+        conn.create_statement()
+
+
+def test_connection_context_manager():
+    db = Database()
+    with connect(db) as connection:
+        assert not connection.closed
+    assert connection.closed
+
+
+def test_columns_exposed(conn):
+    rs = conn.create_statement().execute_query("SELECT id AS k, v FROM t")
+    assert rs.columns == ["k", "v"]

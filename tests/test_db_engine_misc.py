@@ -1,0 +1,76 @@
+"""Database engine odds and ends."""
+
+import pytest
+
+from repro.db import Column, ColumnType, Database, TableSchema
+from repro.errors import DatabaseError, SchemaError
+
+
+@pytest.fixture
+def db():
+    database = Database("misc")
+    database.create_table(
+        TableSchema(
+            "t",
+            [Column("id", ColumnType.INT), Column("v", ColumnType.INT)],
+            primary_key="id",
+        )
+    )
+    return database
+
+
+def test_stats_snapshot_is_independent(db):
+    db.update("INSERT INTO t (id, v) VALUES (1, 1)")
+    snapshot = db.stats.snapshot()
+    db.query("SELECT * FROM t")
+    assert db.stats.queries == snapshot.queries + 1
+    assert snapshot.queries != db.stats.queries
+
+
+def test_insert_rows_bulk_load(db):
+    count = db.insert_rows("t", [{"id": i, "v": i * 2} for i in range(5)])
+    assert count == 5
+    assert db.query("SELECT COUNT(*) FROM t").scalar() == 5
+
+
+def test_insert_rows_updates_auto_increment(db):
+    db.insert_rows("t", [{"id": 10, "v": 0}])
+    result = db.execute("INSERT INTO t (v) VALUES (1)")
+    assert result.last_insert_id == 11
+
+
+def test_duplicate_create_table_rejected(db):
+    with pytest.raises(SchemaError):
+        db.create_table(
+            TableSchema("t", [Column("id", ColumnType.INT)], primary_key="id")
+        )
+
+
+def test_drop_unknown_table_rejected(db):
+    with pytest.raises(SchemaError):
+        db.drop_table("ghost")
+
+
+def test_table_names_sorted(db):
+    db.create_table(TableSchema("a_first", [Column("x", ColumnType.INT)]))
+    assert db.table_names == ["a_first", "t"]
+
+
+def test_ddl_inside_transaction_rejected(db):
+    db.begin()
+    try:
+        with pytest.raises(DatabaseError):
+            db.execute("CREATE TABLE fresh (id INT PRIMARY KEY)")
+    finally:
+        db.rollback()
+
+
+def test_named_database():
+    assert Database("mydb").name == "mydb"
+
+
+def test_explain_uses_parse_cache(db):
+    sql = "SELECT v FROM t WHERE id = 1"
+    db.explain(sql)
+    cached = db._parse(sql)
+    assert db._parse(sql) is cached

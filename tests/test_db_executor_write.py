@@ -1,0 +1,117 @@
+"""INSERT/UPDATE/DELETE execution tests."""
+
+import pytest
+
+from repro.db import Column, ColumnType, Database, TableSchema
+from repro.errors import ExecutionError, IntegrityError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table(
+        TableSchema(
+            "t",
+            [
+                Column("id", ColumnType.INT),
+                Column("kind", ColumnType.VARCHAR),
+                Column("n", ColumnType.INT),
+            ],
+            primary_key="id",
+            indexes=["kind"],
+        )
+    )
+    for i in range(6):
+        database.update(
+            "INSERT INTO t (id, kind, n) VALUES (?, ?, ?)",
+            (i, "even" if i % 2 == 0 else "odd", i * 10),
+        )
+    return database
+
+
+class TestInsert:
+    def test_affected_count(self, db):
+        assert db.update("INSERT INTO t (id, kind, n) VALUES (100, 'x', 1)") == 1
+
+    def test_auto_increment_via_sql(self, db):
+        result = db.execute("INSERT INTO t (kind, n) VALUES ('auto', 0)")
+        assert result.last_insert_id == 6
+        assert db.query("SELECT kind FROM t WHERE id = 6").scalar() == "auto"
+
+    def test_duplicate_pk(self, db):
+        with pytest.raises(IntegrityError):
+            db.update("INSERT INTO t (id, kind, n) VALUES (0, 'dup', 0)")
+
+    def test_types_coerced(self, db):
+        db.update("INSERT INTO t (id, kind, n) VALUES (?, ?, ?)", ("7", 5, "3"))
+        row = db.query("SELECT kind, n FROM t WHERE id = 7").rows[0]
+        assert row == ("5", 3)
+
+
+class TestUpdate:
+    def test_update_by_pk(self, db):
+        assert db.update("UPDATE t SET n = 999 WHERE id = 2") == 1
+        assert db.query("SELECT n FROM t WHERE id = 2").scalar() == 999
+
+    def test_update_by_index(self, db):
+        assert db.update("UPDATE t SET n = 0 WHERE kind = 'odd'") == 3
+
+    def test_update_all(self, db):
+        assert db.update("UPDATE t SET n = 1") == 6
+
+    def test_update_expression_self_reference(self, db):
+        db.update("UPDATE t SET n = n + 5 WHERE id = 1")
+        assert db.query("SELECT n FROM t WHERE id = 1").scalar() == 15
+
+    def test_update_no_match(self, db):
+        assert db.update("UPDATE t SET n = 1 WHERE id = 12345") == 0
+
+    def test_update_moves_index_bucket(self, db):
+        db.update("UPDATE t SET kind = 'even' WHERE id = 1")
+        result = db.query("SELECT COUNT(*) FROM t WHERE kind = 'even'")
+        assert result.scalar() == 4
+
+
+class TestDelete:
+    def test_delete_by_pk(self, db):
+        assert db.update("DELETE FROM t WHERE id = 3") == 1
+        assert len(db.query("SELECT id FROM t").rows) == 5
+
+    def test_delete_by_index(self, db):
+        assert db.update("DELETE FROM t WHERE kind = 'even'") == 3
+
+    def test_delete_all(self, db):
+        assert db.update("DELETE FROM t") == 6
+        assert db.query("SELECT COUNT(*) FROM t").scalar() == 0
+
+    def test_delete_no_match(self, db):
+        assert db.update("DELETE FROM t WHERE id = 999") == 0
+
+
+class TestDatabaseApi:
+    def test_update_requires_write(self, db):
+        with pytest.raises(ExecutionError):
+            db.update("SELECT id FROM t")
+
+    def test_stats_accumulate(self, db):
+        before = db.stats.queries
+        db.query("SELECT COUNT(*) FROM t")
+        assert db.stats.queries == before + 1
+        before_updates = db.stats.updates
+        db.update("DELETE FROM t WHERE id = 0")
+        assert db.stats.updates == before_updates + 1
+
+    def test_create_table_via_sql(self, db):
+        db.execute("CREATE TABLE fresh (id INT PRIMARY KEY, label VARCHAR(10))")
+        db.update("INSERT INTO fresh (id, label) VALUES (1, 'a')")
+        assert db.query("SELECT label FROM fresh WHERE id = 1").scalar() == "a"
+
+    def test_drop_table(self, db):
+        db.drop_table("t")
+        assert "t" not in db.table_names
+
+    def test_parse_cache_reuses_ast(self, db):
+        sql = "SELECT COUNT(*) FROM t"
+        first = db._parse(sql)
+        second = db._parse(sql)
+        assert first is second

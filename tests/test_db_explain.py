@@ -1,0 +1,103 @@
+"""EXPLAIN tests: the engine picks the expected access paths."""
+
+import pytest
+
+from repro.db import Column, ColumnType, Database, TableSchema
+from repro.errors import ExecutionError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table(
+        TableSchema(
+            "orders",
+            [
+                Column("id", ColumnType.INT),
+                Column("customer", ColumnType.INT),
+                Column("total", ColumnType.FLOAT),
+            ],
+            primary_key="id",
+            indexes=["customer"],
+        )
+    )
+    database.create_table(
+        TableSchema(
+            "customers",
+            [Column("id", ColumnType.INT), Column("name", ColumnType.VARCHAR)],
+            primary_key="id",
+        )
+    )
+    database.insert_rows(
+        "orders",
+        [{"id": i, "customer": i % 3, "total": float(i)} for i in range(9)],
+    )
+    database.insert_rows(
+        "customers", [{"id": i, "name": f"c{i}"} for i in range(3)]
+    )
+    return database
+
+
+def test_primary_key_lookup(db):
+    plan = db.explain("SELECT total FROM orders WHERE id = 4")
+    assert plan == ["orders: primary key id"]
+
+
+def test_secondary_index_lookup(db):
+    plan = db.explain("SELECT total FROM orders WHERE customer = ?", (1,))
+    assert plan == ["orders: index eq customer"]
+
+
+def test_full_scan_for_range(db):
+    plan = db.explain("SELECT id FROM orders WHERE total > 3")
+    assert plan == ["orders: full scan"]
+
+
+def test_unindexed_equality_scans(db):
+    plan = db.explain("SELECT id FROM orders WHERE total = 3")
+    assert plan == ["orders: full scan"]
+
+
+def test_index_join_via_where(db):
+    plan = db.explain(
+        "SELECT customers.name FROM orders, customers "
+        "WHERE orders.customer = customers.id AND orders.id = 5"
+    )
+    assert plan == ["orders: primary key id", "customers: index join on id"]
+
+
+def test_explicit_join_uses_index(db):
+    plan = db.explain(
+        "SELECT customers.name FROM orders "
+        "JOIN customers ON orders.customer = customers.id"
+    )
+    assert plan == ["orders: full scan", "customers: INNER join index on id"]
+
+
+def test_left_join_without_index_scans(db):
+    db.create_table(
+        TableSchema("tags", [Column("label", ColumnType.VARCHAR)])
+    )
+    plan = db.explain(
+        "SELECT orders.id FROM orders LEFT JOIN tags ON tags.label = 'x'"
+    )
+    assert plan == ["orders: full scan", "tags: LEFT join full scan"]
+
+
+def test_disjunction_disables_index(db):
+    plan = db.explain(
+        "SELECT id FROM orders WHERE customer = 1 OR total = 2"
+    )
+    assert plan == ["orders: full scan"]
+
+
+def test_explain_rejects_writes(db):
+    with pytest.raises(ExecutionError):
+        db.explain("DELETE FROM orders")
+
+
+def test_or_under_and_still_uses_required_conjunct(db):
+    plan = db.explain(
+        "SELECT id FROM orders WHERE customer = 1 AND (total = 2 OR total = 3)"
+    )
+    assert plan == ["orders: index eq customer"]

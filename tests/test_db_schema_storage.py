@@ -1,0 +1,129 @@
+"""Schema and storage unit tests."""
+
+import pytest
+
+from repro.db.schema import Column, ColumnType, TableSchema
+from repro.db.storage import Table
+from repro.errors import IntegrityError, SchemaError
+
+
+def make_schema(**kwargs):
+    return TableSchema(
+        "t",
+        [
+            Column("id", ColumnType.INT),
+            Column("name", ColumnType.VARCHAR),
+            Column("score", ColumnType.FLOAT),
+        ],
+        **kwargs,
+    )
+
+
+class TestSchema:
+    def test_column_names_lowercased(self):
+        schema = TableSchema("T", [Column("Id", ColumnType.INT)], primary_key="ID")
+        assert schema.name == "t"
+        assert schema.primary_key == "id"
+        assert schema.has_column("iD")
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", ColumnType.INT), Column("A", ColumnType.INT)])
+
+    def test_unknown_primary_key_rejected(self):
+        with pytest.raises(SchemaError):
+            make_schema(primary_key="nope")
+
+    def test_unknown_index_rejected(self):
+        with pytest.raises(SchemaError):
+            make_schema(indexes=["nope"])
+
+    def test_position_and_unknown_column(self):
+        schema = make_schema()
+        assert schema.position("name") == 1
+        with pytest.raises(SchemaError):
+            schema.position("ghost")
+
+    def test_coerce_row_types(self):
+        schema = make_schema()
+        row = schema.coerce_row({"id": "3", "name": 7, "score": "1.5"})
+        assert row == [3, "7", 1.5]
+
+    def test_coerce_row_not_null(self):
+        schema = TableSchema("t", [Column("a", ColumnType.INT, nullable=False)])
+        with pytest.raises(SchemaError):
+            schema.coerce_row({})
+
+    def test_type_coercions(self):
+        assert ColumnType.INT.coerce("5") == 5
+        assert ColumnType.FLOAT.coerce(2) == 2.0
+        assert ColumnType.VARCHAR.coerce(5) == "5"
+        assert ColumnType.DATETIME.coerce(1) == 1.0
+        assert ColumnType.INT.coerce(None) is None
+
+
+class TestTable:
+    def test_insert_and_pk_lookup(self):
+        table = Table(make_schema(primary_key="id"))
+        table.insert([1, "a", 0.5])
+        hit = table.lookup_pk(1)
+        assert hit is not None and hit[1][1] == "a"
+        assert table.lookup_pk(99) is None
+
+    def test_duplicate_pk_rejected(self):
+        table = Table(make_schema(primary_key="id"))
+        table.insert([1, "a", 0.0])
+        with pytest.raises(IntegrityError):
+            table.insert([1, "b", 0.0])
+
+    def test_auto_increment_assigns_and_tracks(self):
+        table = Table(make_schema(primary_key="id"))
+        table.insert([None, "a", 0.0])
+        assert table.last_insert_id == 0
+        table.insert([5, "b", 0.0])
+        table.insert([None, "c", 0.0])
+        assert table.last_insert_id == 6
+
+    def test_secondary_index_lookup(self):
+        table = Table(make_schema(primary_key="id", indexes=["name"]))
+        table.insert([1, "x", 0.0])
+        table.insert([2, "x", 1.0])
+        table.insert([3, "y", 2.0])
+        assert len(table.lookup_index("name", "x")) == 2
+        assert table.lookup_index("name", "zzz") == []
+
+    def test_update_maintains_indexes(self):
+        table = Table(make_schema(primary_key="id", indexes=["name"]))
+        rowid = table.insert([1, "x", 0.0])
+        table.update_row(rowid, [1, "y", 0.0])
+        assert table.lookup_index("name", "x") == []
+        assert len(table.lookup_index("name", "y")) == 1
+
+    def test_update_pk_conflict_rejected(self):
+        table = Table(make_schema(primary_key="id"))
+        r1 = table.insert([1, "a", 0.0])
+        table.insert([2, "b", 0.0])
+        with pytest.raises(IntegrityError):
+            table.update_row(r1, [2, "a", 0.0])
+
+    def test_delete_maintains_indexes(self):
+        table = Table(make_schema(primary_key="id", indexes=["name"]))
+        rowid = table.insert([1, "x", 0.0])
+        table.delete_row(rowid)
+        assert len(table) == 0
+        assert table.lookup_pk(1) is None
+        assert table.lookup_index("name", "x") == []
+
+    def test_rows_iteration_counts_scan(self):
+        table = Table(make_schema())
+        table.insert([1, "a", 0.0])
+        before = table.scan_count
+        list(table.rows())
+        assert table.scan_count == before + 1
+
+    def test_clear(self):
+        table = Table(make_schema(primary_key="id", indexes=["name"]))
+        table.insert([1, "a", 0.0])
+        table.clear()
+        assert len(table) == 0
+        assert table.lookup_pk(1) is None

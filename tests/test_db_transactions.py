@@ -1,0 +1,159 @@
+"""Transaction tests: commit, rollback, trigger deferral, cache safety."""
+
+import pytest
+
+from repro.db import Column, ColumnType, Database, TableSchema, connect
+from repro.errors import DatabaseError
+
+from tests.conftest import build_notes_app
+from repro.cache.autowebcache import AutoWebCache
+from repro.cache.external import TriggerInvalidationBridge
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table(
+        TableSchema(
+            "t",
+            [Column("id", ColumnType.INT), Column("v", ColumnType.INT)],
+            primary_key="id",
+            indexes=["v"],
+        )
+    )
+    database.update("INSERT INTO t (id, v) VALUES (1, 10)")
+    database.update("INSERT INTO t (id, v) VALUES (2, 20)")
+    return database
+
+
+class TestBasics:
+    def test_commit_keeps_changes(self, db):
+        db.begin()
+        db.update("INSERT INTO t (id, v) VALUES (3, 30)")
+        db.update("UPDATE t SET v = 11 WHERE id = 1")
+        db.commit()
+        assert db.query("SELECT COUNT(*) FROM t").scalar() == 3
+        assert db.query("SELECT v FROM t WHERE id = 1").scalar() == 11
+
+    def test_rollback_restores_everything(self, db):
+        db.begin()
+        db.update("INSERT INTO t (id, v) VALUES (3, 30)")
+        db.update("UPDATE t SET v = 99 WHERE id = 1")
+        db.update("DELETE FROM t WHERE id = 2")
+        db.rollback()
+        assert db.query("SELECT COUNT(*) FROM t").scalar() == 2
+        assert db.query("SELECT v FROM t WHERE id = 1").scalar() == 10
+        assert db.query("SELECT v FROM t WHERE id = 2").scalar() == 20
+
+    def test_rollback_restores_indexes(self, db):
+        db.begin()
+        db.update("UPDATE t SET v = 99 WHERE id = 1")
+        db.rollback()
+        # Both the secondary index and the pk index are intact.
+        assert db.query("SELECT id FROM t WHERE v = 10").rows == [(1,)]
+        assert db.query("SELECT id FROM t WHERE v = 99").rows == []
+        assert db.query("SELECT v FROM t WHERE id = 1").scalar() == 10
+
+    def test_rollback_restores_auto_increment(self, db):
+        db.begin()
+        result = db.execute("INSERT INTO t (v) VALUES (5)")
+        first_id = result.last_insert_id
+        db.rollback()
+        result = db.execute("INSERT INTO t (v) VALUES (6)")
+        assert result.last_insert_id == first_id  # id was reclaimed
+
+    def test_reads_inside_transaction_see_own_writes(self, db):
+        db.begin()
+        db.update("UPDATE t SET v = 77 WHERE id = 1")
+        assert db.query("SELECT v FROM t WHERE id = 1").scalar() == 77
+        db.rollback()
+
+    def test_nested_begin_rejected(self, db):
+        db.begin()
+        with pytest.raises(DatabaseError):
+            db.begin()
+        db.rollback()
+
+    def test_commit_without_begin_rejected(self, db):
+        with pytest.raises(DatabaseError):
+            db.commit()
+        with pytest.raises(DatabaseError):
+            db.rollback()
+
+    def test_untouched_tables_not_snapshotted(self, db):
+        db.create_table(
+            TableSchema("u", [Column("id", ColumnType.INT)], primary_key="id")
+        )
+        db.begin()
+        db.update("INSERT INTO t (id, v) VALUES (9, 90)")
+        assert "u" not in db._transaction.snapshots
+        db.rollback()
+
+    def test_connection_level_api(self, db):
+        connection = connect(db)
+        connection.begin()
+        assert connection.in_transaction
+        statement = connection.create_statement()
+        statement.execute_update("DELETE FROM t")
+        connection.rollback()
+        assert not connection.in_transaction
+        assert db.query("SELECT COUNT(*) FROM t").scalar() == 2
+
+
+class TestTriggersAndTransactions:
+    def test_trigger_events_deferred_until_commit(self, db):
+        events = []
+        db.triggers.on_any(events.append)
+        db.begin()
+        db.update("UPDATE t SET v = 1 WHERE id = 1")
+        assert events == []  # not yet delivered
+        db.commit()
+        assert len(events) == 1
+
+    def test_rolled_back_events_dropped(self, db):
+        events = []
+        db.triggers.on_any(events.append)
+        db.begin()
+        db.update("UPDATE t SET v = 1 WHERE id = 1")
+        db.rollback()
+        assert events == []
+
+    def test_bridge_ignores_rolled_back_external_writes(self):
+        """A rolled-back direct-DB transaction must not invalidate
+        cached pages (the write never happened)."""
+        db, container = build_notes_app()
+        awc = AutoWebCache()
+        TriggerInvalidationBridge(awc.cache, awc.collector).attach(db)
+        awc.install(container.servlet_classes)
+        try:
+            container.post(
+                "/add", {"id": "1", "topic": "a", "body": "x", "score": "0"}
+            )
+            container.get("/view_topic", {"topic": "a"})
+            db.begin()
+            db.update("UPDATE notes SET body = ? WHERE id = ?", ("junk", 1))
+            db.rollback()
+            hits_before = awc.stats.hits
+            page = container.get("/view_topic", {"topic": "a"})
+            assert awc.stats.hits == hits_before + 1  # still cached
+            assert "x" in page.body
+        finally:
+            awc.uninstall()
+
+    def test_committed_external_transaction_invalidates(self):
+        db, container = build_notes_app()
+        awc = AutoWebCache()
+        TriggerInvalidationBridge(awc.cache, awc.collector).attach(db)
+        awc.install(container.servlet_classes)
+        try:
+            container.post(
+                "/add", {"id": "1", "topic": "a", "body": "x", "score": "0"}
+            )
+            container.get("/view_topic", {"topic": "a"})
+            db.begin()
+            db.update("UPDATE notes SET body = ? WHERE id = ?", ("patched", 1))
+            db.commit()
+            page = container.get("/view_topic", {"topic": "a"})
+            assert "patched" in page.body
+        finally:
+            awc.uninstall()

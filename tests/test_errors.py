@@ -1,0 +1,62 @@
+"""Exception hierarchy tests: everything derives from ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.SqlError,
+    errors.SqlLexError,
+    errors.SqlParseError,
+    errors.DatabaseError,
+    errors.SchemaError,
+    errors.IntegrityError,
+    errors.ExecutionError,
+    errors.WebError,
+    errors.ServletError,
+    errors.RoutingError,
+    errors.AopError,
+    errors.PointcutSyntaxError,
+    errors.WeavingError,
+    errors.CacheError,
+    errors.ConsistencyError,
+    errors.WorkloadError,
+    errors.SimulationError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+
+
+def test_lex_error_carries_position():
+    error = errors.SqlLexError("bad char", 17)
+    assert error.position == 17
+    assert "17" in str(error)
+
+
+def test_parse_error_position_optional():
+    with_pos = errors.SqlParseError("oops", 4)
+    without = errors.SqlParseError("oops")
+    assert "offset 4" in str(with_pos)
+    assert "offset" not in str(without)
+
+
+def test_subsystem_grouping():
+    assert issubclass(errors.SqlLexError, errors.SqlError)
+    assert issubclass(errors.IntegrityError, errors.DatabaseError)
+    assert issubclass(errors.RoutingError, errors.WebError)
+    assert issubclass(errors.WeavingError, errors.AopError)
+    assert issubclass(errors.ConsistencyError, errors.CacheError)
+
+
+def test_catching_base_catches_everything():
+    for exc in ALL_ERRORS:
+        try:
+            if exc is errors.SqlLexError:
+                raise exc("x", 0)
+            raise exc("x")
+        except errors.ReproError:
+            pass

@@ -1,0 +1,98 @@
+"""Harness tests: experiment drivers, code size, reporting."""
+
+import pytest
+
+from repro.harness.codesize import measure_components
+from repro.harness.experiments import (
+    ExperimentDefaults,
+    RunSpec,
+    improvement_percent,
+    run_cell,
+    run_code_size_experiment,
+    run_response_time_curve,
+)
+from repro.harness.reporting import render_series, render_table
+
+FAST = ExperimentDefaults(warmup=10.0, duration=30.0)
+
+
+class TestRunCell:
+    def test_uncached_cell(self):
+        outcome = run_cell(RunSpec(app="rubis", cached=False, defaults=FAST), 30)
+        assert outcome.cache_stats is None
+        assert outcome.result.total_requests > 50
+        assert outcome.result.errors == 0
+
+    def test_cached_cell_unweaves(self):
+        from repro.db.dbapi import Statement
+
+        outcome = run_cell(RunSpec(app="rubis", cached=True, defaults=FAST), 30)
+        assert outcome.cache_stats is not None
+        assert outcome.weave_report is not None
+        method = vars(Statement)["execute_query"]
+        assert not getattr(method, "__aw_woven__", False)
+
+    def test_tpcw_cell(self):
+        outcome = run_cell(RunSpec(app="tpcw", cached=True, defaults=FAST), 30)
+        assert outcome.result.errors == 0
+        assert outcome.cache_stats.uncacheable > 0  # hidden-state pages
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError):
+            run_cell(RunSpec(app="wiki", defaults=FAST), 10)
+
+    def test_labels(self):
+        assert RunSpec(app="rubis", cached=False).label == "No cache"
+        assert RunSpec(app="rubis").label == "AutoWebCache"
+        assert "forced miss" in RunSpec(app="rubis", forced_miss=True).label
+        assert "Semantics" in RunSpec(app="tpcw", best_seller_window=True).label
+
+
+class TestCurves:
+    def test_curve_shapes(self):
+        spec = RunSpec(app="rubis", cached=False, defaults=FAST)
+        outcomes = run_response_time_curve(spec, [20, 60])
+        assert [o.n_clients for o in outcomes] == [20, 60]
+        assert all(o.mean_ms > 0 for o in outcomes)
+
+    def test_improvement_percent(self):
+        assert improvement_percent(100.0, 40.0) == pytest.approx(60.0)
+        assert improvement_percent(0.0, 10.0) == 0.0
+
+
+class TestCodeSize:
+    def test_components_measured(self):
+        sizes = {c.name: c for c in measure_components()}
+        assert sizes["cache-library"].code_lines > 0
+        assert sizes["weaving-rules"].code_lines > 0
+        # The paper's Figure 20 claim: the weaving code is much smaller
+        # than the reusable cache library and the applications.
+        assert (
+            sizes["weaving-rules"].code_lines
+            < sizes["cache-library"].code_lines
+        )
+        assert (
+            sizes["weaving-rules"].code_lines
+            < sizes["rubis-app"].code_lines + sizes["tpcw-app"].code_lines
+        )
+
+    def test_experiment_wrapper(self):
+        rows = run_code_size_experiment()
+        names = [row[0] for row in rows]
+        assert "cache-library" in names
+        assert all(len(row) == 4 for row in rows)
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(
+            "Title", ["a", "bb"], [[1, 2.5], ["xxx", "y"]]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "2.50" in text
+        assert "xxx" in text
+
+    def test_render_series(self):
+        text = render_series("S", [(1, 2), (3, 4)])
+        assert "S" in text and "3" in text

@@ -1,0 +1,152 @@
+"""Property-based tests for the database engine.
+
+The executor (with its index fast paths) must agree with a naive
+reference evaluation over randomly generated tables and conjunctive
+predicates, for SELECT filtering, UPDATE and DELETE affected counts.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.db import Column, ColumnType, Database, TableSchema
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 9),  # k: indexed column
+        st.integers(0, 5),  # g: unindexed column
+        st.integers(-100, 100),  # v: value column
+    ),
+    min_size=0,
+    max_size=30,
+)
+
+
+def build_db(rows):
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "t",
+            [
+                Column("id", ColumnType.INT),
+                Column("k", ColumnType.INT),
+                Column("g", ColumnType.INT),
+                Column("v", ColumnType.INT),
+            ],
+            primary_key="id",
+            indexes=["k"],
+        )
+    )
+    db.insert_rows(
+        "t",
+        [
+            {"id": i, "k": k, "g": g, "v": v}
+            for i, (k, g, v) in enumerate(rows)
+        ],
+    )
+    return db
+
+
+@settings(max_examples=150)
+@given(rows=rows_strategy, k=st.integers(0, 9), g=st.integers(0, 5))
+def test_select_with_index_matches_reference(rows, k, g):
+    db = build_db(rows)
+    result = db.query("SELECT id FROM t WHERE k = ? AND g = ? ORDER BY id", (k, g))
+    expected = sorted(
+        i for i, (rk, rg, _v) in enumerate(rows) if rk == k and rg == g
+    )
+    assert [r[0] for r in result.rows] == expected
+
+
+@settings(max_examples=150)
+@given(rows=rows_strategy, threshold=st.integers(-100, 100))
+def test_scan_predicate_matches_reference(rows, threshold):
+    db = build_db(rows)
+    result = db.query("SELECT COUNT(*) FROM t WHERE v > ?", (threshold,))
+    expected = sum(1 for (_k, _g, v) in rows if v > threshold)
+    assert result.scalar() == expected
+
+
+@settings(max_examples=150)
+@given(rows=rows_strategy, k=st.integers(0, 9), delta=st.integers(-5, 5))
+def test_update_affected_count_and_effect(rows, k, delta):
+    db = build_db(rows)
+    affected = db.update("UPDATE t SET v = v + ? WHERE k = ?", (delta, k))
+    expected_rows = [i for i, (rk, _g, _v) in enumerate(rows) if rk == k]
+    assert affected == len(expected_rows)
+    for i in expected_rows:
+        value = db.query("SELECT v FROM t WHERE id = ?", (i,)).scalar()
+        assert value == rows[i][2] + delta
+
+
+@settings(max_examples=150)
+@given(rows=rows_strategy, k=st.integers(0, 9))
+def test_delete_affected_count(rows, k):
+    db = build_db(rows)
+    affected = db.update("DELETE FROM t WHERE k = ?", (k,))
+    assert affected == sum(1 for (rk, _g, _v) in rows if rk == k)
+    assert db.query("SELECT COUNT(*) FROM t").scalar() == len(rows) - affected
+    # The index is clean: no phantom rows remain for k.
+    assert db.query("SELECT COUNT(*) FROM t WHERE k = ?", (k,)).scalar() == 0
+
+
+@settings(max_examples=100)
+@given(rows=rows_strategy)
+def test_aggregates_match_reference(rows):
+    db = build_db(rows)
+    result = db.query("SELECT SUM(v), MIN(v), MAX(v), COUNT(*) FROM t")
+    row = result.rows[0]
+    if rows:
+        values = [v for (_k, _g, v) in rows]
+        assert row == (sum(values), min(values), max(values), len(values))
+    else:
+        assert row == (None, None, None, 0)
+
+
+@settings(max_examples=100)
+@given(rows=rows_strategy)
+def test_group_by_matches_reference(rows):
+    db = build_db(rows)
+    result = db.query("SELECT k, COUNT(*) FROM t GROUP BY k ORDER BY k")
+    expected: dict[int, int] = {}
+    for (k, _g, _v) in rows:
+        expected[k] = expected.get(k, 0) + 1
+    assert result.rows == [(k, n) for k, n in sorted(expected.items())]
+
+
+@settings(max_examples=100)
+@given(rows=rows_strategy, limit=st.integers(0, 10), offset=st.integers(0, 10))
+def test_order_limit_offset_matches_reference(rows, limit, offset):
+    db = build_db(rows)
+    result = db.query(
+        "SELECT id FROM t ORDER BY v DESC, id LIMIT ? OFFSET ?", (limit, offset)
+    )
+    expected = [
+        i
+        for i, _ in sorted(
+            enumerate(rows), key=lambda pair: (-pair[1][2], pair[0])
+        )
+    ][offset : offset + limit]
+    assert [r[0] for r in result.rows] == expected
+
+
+@settings(max_examples=100)
+@given(rows=rows_strategy, k=st.integers(0, 9))
+def test_join_via_index_matches_reference(rows, k):
+    db = build_db(rows)
+    db.create_table(
+        TableSchema(
+            "names",
+            [Column("k", ColumnType.INT), Column("label", ColumnType.VARCHAR)],
+            primary_key="k",
+        )
+    )
+    db.insert_rows("names", [{"k": i, "label": f"L{i}"} for i in range(10)])
+    result = db.query(
+        "SELECT t.id, names.label FROM t, names "
+        "WHERE t.k = names.k AND t.k = ? ORDER BY t.id",
+        (k,),
+    )
+    expected = [(i, f"L{k}") for i, (rk, _g, _v) in enumerate(rows) if rk == k]
+    assert result.rows == expected

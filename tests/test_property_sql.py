@@ -1,0 +1,123 @@
+"""Property-based tests for the SQL front end.
+
+- parse(unparse(ast)) is a fixpoint over generated SELECT/UPDATE/
+  INSERT/DELETE statements;
+- templateize is stable (template of a template is itself) and value
+  vectors round-trip through bind().
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.sql import ast_nodes as ast
+from repro.sql.parser import parse_statement
+from repro.sql.template import templateize
+
+names = st.sampled_from(["t", "u", "items", "users", "orders"])
+columns = st.sampled_from(["a", "b", "c", "price", "qty", "name"])
+literals = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    # The alphabet deliberately includes the quote character (exercising
+    # '' escaping) and the LIKE metacharacters.
+    st.text(
+        alphabet="abcxyz '%_0123456789", min_size=0, max_size=8
+    ).map(lambda s: s),
+)
+
+
+def literal_expr(value):
+    return ast.Literal(value=value)
+
+
+comparisons = st.sampled_from(["=", "<", ">", "<=", ">=", "<>"])
+
+
+@st.composite
+def predicates(draw, depth=0):
+    if depth >= 2 or draw(st.booleans()):
+        column = ast.ColumnRef(column=draw(columns))
+        op = draw(comparisons)
+        value = literal_expr(draw(literals))
+        return ast.BinaryOp(op=op, left=column, right=value)
+    op = draw(st.sampled_from(["AND", "OR"]))
+    left = draw(predicates(depth=depth + 1))
+    right = draw(predicates(depth=depth + 1))
+    return ast.BinaryOp(op=op, left=left, right=right)
+
+
+@st.composite
+def selects(draw):
+    items = tuple(
+        ast.SelectItem(ast.ColumnRef(column=c))
+        for c in draw(st.lists(columns, min_size=1, max_size=3, unique=True))
+    )
+    table = ast.TableRef(name=draw(names))
+    where = draw(st.none() | predicates())
+    order = tuple(
+        ast.OrderItem(ast.ColumnRef(column=c), descending=draw(st.booleans()))
+        for c in draw(st.lists(columns, max_size=2, unique=True))
+    )
+    limit = draw(st.none() | st.integers(0, 50).map(literal_expr))
+    return ast.Select(
+        items=items,
+        tables=(table,),
+        where=where,
+        order_by=order,
+        limit=limit,
+        distinct=draw(st.booleans()),
+    )
+
+
+@st.composite
+def updates(draw):
+    table = draw(names)
+    assignments = tuple(
+        ast.Assignment(c, literal_expr(draw(literals)))
+        for c in draw(st.lists(columns, min_size=1, max_size=3, unique=True))
+    )
+    where = draw(st.none() | predicates())
+    return ast.Update(table=table, assignments=assignments, where=where)
+
+
+@st.composite
+def inserts(draw):
+    cols = draw(st.lists(columns, min_size=1, max_size=4, unique=True))
+    values = tuple(literal_expr(draw(literals)) for _ in cols)
+    return ast.Insert(table=draw(names), columns=tuple(cols), values=values)
+
+
+@st.composite
+def deletes(draw):
+    return ast.Delete(table=draw(names), where=draw(st.none() | predicates()))
+
+
+statements = st.one_of(selects(), updates(), inserts(), deletes())
+
+
+@settings(max_examples=200)
+@given(statements)
+def test_parse_unparse_fixpoint(statement):
+    text = statement.unparse()
+    reparsed = parse_statement(text)
+    assert reparsed.unparse() == text
+
+
+@settings(max_examples=200)
+@given(statements)
+def test_templateize_stability(statement):
+    template, values = templateize(statement.unparse())
+    again, values2 = templateize(template.text, values)
+    assert again == template
+    assert values2 == values
+
+
+@settings(max_examples=200)
+@given(statements)
+def test_bind_roundtrip(statement):
+    template, values = templateize(statement.unparse())
+    bound_text = template.bind(values).unparse()
+    template2, values2 = templateize(bound_text)
+    assert template2 == template
+    assert values2 == values

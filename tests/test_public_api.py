@@ -1,0 +1,67 @@
+"""Public-API sanity: every advertised name imports and is distinct."""
+
+import importlib
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro.aop",
+    "repro.sql",
+    "repro.db",
+    "repro.web",
+    "repro.cache",
+    "repro.workload",
+    "repro.sim",
+    "repro.harness",
+]
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    exported = getattr(module, "__all__", [])
+    assert exported, f"{package} should define __all__"
+    for name in exported:
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+def test_no_duplicate_exports_within_package():
+    for package in PACKAGES:
+        module = importlib.import_module(package)
+        exported = getattr(module, "__all__", [])
+        assert len(exported) == len(set(exported)), package
+
+
+def test_top_level_convenience_imports():
+    from repro.cache import AutoWebCache, InvalidationPolicy
+    from repro.db import Database, connect
+    from repro.web import HttpServlet, ServletContainer
+
+    assert callable(connect)
+    assert InvalidationPolicy.EXTRA_QUERY.value == "extra-query"
+    del AutoWebCache, Database, HttpServlet, ServletContainer
+
+
+def test_every_module_has_docstring():
+    import os
+
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    missing = []
+    for dirpath, _dirs, filenames in os.walk(root):
+        for filename in filenames:
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            relative = os.path.relpath(path, root)
+            module = "repro." + relative[:-3].replace(os.sep, ".")
+            module = module.replace(".__init__", "")
+            loaded = importlib.import_module(module)
+            if not (loaded.__doc__ or "").strip():
+                missing.append(module)
+    assert missing == [], f"modules without docstrings: {missing}"

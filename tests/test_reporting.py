@@ -1,0 +1,60 @@
+"""Reporting helpers: tables and ASCII charts."""
+
+from repro.harness.reporting import render_chart, render_series, render_table
+
+
+class TestTable:
+    def test_column_alignment(self):
+        text = render_table("T", ["col", "x"], [["long value", 1], ["a", 22]])
+        lines = text.splitlines()
+        # Header and body columns line up.
+        header_idx = lines[2].index("x")
+        assert lines[4][header_idx - 1] == " "
+
+    def test_floats_formatted(self):
+        assert "3.14" in render_table("T", ["v"], [[3.14159]])
+
+    def test_series(self):
+        assert "42" in render_series("S", [(1, 42)])
+
+
+class TestChart:
+    def series(self):
+        return {
+            "a": [(0.0, 1.0), (10.0, 5.0)],
+            "b": [(0.0, 2.0), (10.0, 3.0)],
+        }
+
+    def test_contains_markers_and_legend(self):
+        text = render_chart("C", self.series())
+        assert "o=a" in text and "x=b" in text
+        assert text.count("o") >= 2
+
+    def test_extremes_on_border_rows(self):
+        text = render_chart("C", self.series(), height=8)
+        lines = text.splitlines()
+        # y max labelled at the top row, y min at the bottom data row.
+        assert "5" in lines[2]
+        assert any("1" in line for line in lines[-4:])
+
+    def test_log_scale_marker(self):
+        text = render_chart("C", self.series(), log_y=True)
+        assert "(log y)" in text
+
+    def test_empty_series(self):
+        assert "(no data)" in render_chart("C", {"a": []})
+
+    def test_single_point(self):
+        text = render_chart("C", {"a": [(5.0, 5.0)]})
+        assert "o" in text
+
+    def test_log_scale_orders_points(self):
+        text = render_chart(
+            "C", {"a": [(0, 1.0), (1, 10.0), (2, 100.0)]}, log_y=True, height=9
+        )
+        lines = [line for line in text.splitlines() if "|" in line]
+        rows_with_marker = [i for i, line in enumerate(lines) if "o" in line]
+        # Log scale spaces decades evenly: three distinct rows.
+        assert len(rows_with_marker) == 3
+        gaps = [b - a for a, b in zip(rows_with_marker, rows_with_marker[1:])]
+        assert gaps[0] == gaps[1]

@@ -1,0 +1,114 @@
+"""RUBiS auction-close maintenance + trigger-bridge integration."""
+
+from repro.apps.rubis import RubisDataset, build_rubis
+from repro.apps.rubis.maintenance import close_expired_auctions
+from repro.cache.autowebcache import AutoWebCache
+from repro.cache.external import TriggerInvalidationBridge
+
+
+def build_app():
+    # Auctions last 100 virtual seconds so they can expire in-test.
+    dataset = RubisDataset(
+        n_users=20, n_items=30, seed=31, auction_duration=100.0
+    )
+    return build_rubis(dataset)
+
+
+def test_close_moves_expired_items():
+    app = build_app()
+    report = close_expired_auctions(app.database, now=150.0)
+    assert report.closed == 30
+    assert report.remaining_active == 0
+    assert app.database.query("SELECT COUNT(*) FROM old_items").scalar() == 30
+
+
+def test_close_is_a_noop_before_expiry():
+    app = build_app()
+    report = close_expired_auctions(app.database, now=50.0)
+    assert report.closed == 0
+    assert report.remaining_active == 30
+
+
+def test_close_preserves_item_fields():
+    app = build_app()
+    before = app.database.query(
+        "SELECT name, max_bid, seller FROM items WHERE id = 7"
+    ).rows[0]
+    close_expired_auctions(app.database, now=150.0)
+    after = app.database.query(
+        "SELECT name, max_bid, seller FROM old_items WHERE id = 7"
+    ).rows[0]
+    assert after == before
+
+
+def test_about_me_shows_sold_items():
+    app = build_app()
+    seller = int(
+        app.database.query("SELECT seller FROM items WHERE id = 0").scalar()
+    )
+    close_expired_auctions(app.database, now=150.0)
+    body = app.container.get("/rubis/about_me", {"user": str(seller)}).body
+    assert "Items you sold" in body
+    assert "item-0" in body
+
+
+def test_maintenance_with_bridge_invalidates_stale_pages():
+    """The Section 8 scenario end-to-end: a direct-database maintenance
+    job closes auctions; the trigger bridge evicts the affected cached
+    pages, so browsers never see a closed auction as live."""
+    app = build_app()
+    awc = AutoWebCache()
+    TriggerInvalidationBridge(awc.cache, awc.collector).attach(app.database)
+    awc.install(app.servlet_classes)
+    try:
+        container = app.container
+        category = int(
+            app.database.query(
+                "SELECT category FROM items WHERE id = 3"
+            ).scalar()
+        )
+        live = container.get(
+            "/rubis/search_items_by_category",
+            {"category": str(category), "page": "0"},
+        )
+        assert "item-3" in live.body
+        container.get("/rubis/view_item", {"item": "3"})
+
+        close_expired_auctions(app.database, now=150.0)
+
+        after = container.get(
+            "/rubis/search_items_by_category",
+            {"category": str(category), "page": "0"},
+        )
+        assert "item-3" not in after.body  # page was invalidated
+        gone = container.get("/rubis/view_item", {"item": "3"})
+        assert gone.status == 500  # the auction is genuinely closed
+    finally:
+        awc.uninstall()
+
+
+def test_maintenance_without_bridge_leaves_stale_pages():
+    """Counterfactual: without the bridge, the stale page survives --
+    the transparency failure Section 8 describes."""
+    app = build_app()
+    awc = AutoWebCache()
+    awc.install(app.servlet_classes)
+    try:
+        container = app.container
+        category = int(
+            app.database.query(
+                "SELECT category FROM items WHERE id = 3"
+            ).scalar()
+        )
+        container.get(
+            "/rubis/search_items_by_category",
+            {"category": str(category), "page": "0"},
+        )
+        close_expired_auctions(app.database, now=150.0)
+        stale = container.get(
+            "/rubis/search_items_by_category",
+            {"category": str(category), "page": "0"},
+        )
+        assert "item-3" in stale.body  # stale: hazard realised
+    finally:
+        awc.uninstall()

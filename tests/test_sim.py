@@ -1,0 +1,200 @@
+"""Simulator tests: clock, resources, cost model, meter, runner."""
+
+import pytest
+
+from repro.apps.rubis import RubisDataset, build_rubis
+from repro.apps.rubis.workload import bidding_mix
+from repro.cache.autowebcache import AutoWebCache
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import CostModel, RequestWork, RUBIS_COST_MODEL
+from repro.sim.meter import WorkMeter
+from repro.sim.resources import Resource
+from repro.sim.runner import LoadSimulator, SimulationConfig
+from repro.web.http import HttpRequest, HttpResponse
+from repro.workload.session import SessionConfig
+
+
+class TestClock:
+    def test_advance_forward_only(self):
+        clock = VirtualClock()
+        clock.advance_to(5.0)
+        clock.advance_to(3.0)
+        assert clock.now() == 5.0
+
+
+class TestResource:
+    def test_idle_server_serves_immediately(self):
+        resource = Resource("r", workers=1)
+        assert resource.schedule(10.0, 2.0) == 12.0
+
+    def test_busy_server_queues(self):
+        resource = Resource("r", workers=1)
+        resource.schedule(0.0, 5.0)
+        assert resource.schedule(1.0, 1.0) == 6.0  # waits until 5.0
+
+    def test_multiple_workers_parallel(self):
+        resource = Resource("r", workers=2)
+        assert resource.schedule(0.0, 5.0) == 5.0
+        assert resource.schedule(0.0, 5.0) == 5.0
+        assert resource.schedule(0.0, 5.0) == 10.0
+
+    def test_zero_demand_passthrough(self):
+        resource = Resource("r", workers=1)
+        resource.schedule(0.0, 100.0)
+        assert resource.schedule(1.0, 0.0) == 1.0
+        assert resource.jobs == 1  # zero-demand jobs not counted
+
+    def test_utilization(self):
+        resource = Resource("r", workers=2)
+        resource.schedule(0.0, 5.0)
+        assert resource.utilization(10.0) == pytest.approx(0.25)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(SimulationError):
+            Resource("r", workers=1).schedule(0.0, -1.0)
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(SimulationError):
+            Resource("r", workers=0)
+
+    def test_reset(self):
+        resource = Resource("r", workers=1)
+        resource.schedule(0.0, 5.0)
+        resource.reset()
+        assert resource.busy_time == 0.0
+        assert resource.schedule(0.0, 1.0) == 1.0
+
+
+class TestCostModel:
+    def test_hit_is_cheap(self):
+        model = CostModel()
+        hit = RequestWork(cache_hit=True, cache_enabled=True)
+        miss = RequestWork(queries=3, rows_examined=50, bytes_out=4096,
+                           cache_enabled=True)
+        app_hit, db_hit = model.demands(hit)
+        app_miss, db_miss = model.demands(miss)
+        assert app_hit < app_miss
+        assert db_hit == 0.0
+        assert db_miss > 0.0
+
+    def test_demand_scales_with_work(self):
+        model = CostModel()
+        small = RequestWork(queries=1, rows_examined=10, bytes_out=100)
+        large = RequestWork(queries=10, rows_examined=1000, bytes_out=10000)
+        assert model.demands(small)[0] < model.demands(large)[0]
+        assert model.demands(small)[1] < model.demands(large)[1]
+
+    def test_cache_enabled_adds_lookup_cost(self):
+        model = CostModel()
+        plain = RequestWork(queries=1, bytes_out=100)
+        cached = RequestWork(queries=1, bytes_out=100, cache_enabled=True)
+        assert model.demands(cached)[0] > model.demands(plain)[0]
+
+    def test_invalidation_tests_charged(self):
+        model = CostModel()
+        write = RequestWork(updates=1, cache_enabled=True, is_write=True,
+                            intersection_tests=100)
+        calm = RequestWork(updates=1, cache_enabled=True, is_write=True)
+        assert model.demands(write)[0] > model.demands(calm)[0]
+
+
+class TestWorkMeter:
+    def test_measures_query_and_hit_deltas(self):
+        app = build_rubis(RubisDataset(n_users=10, n_items=10, seed=2))
+        awc = AutoWebCache()
+        awc.install(app.servlet_classes)
+        try:
+            meter = WorkMeter(app.database, awc)
+            before = meter.snapshot()
+            response = app.container.get("/rubis/view_item", {"item": "1"})
+            work = meter.work_since(before, response, is_write=False)
+            assert work.queries >= 2
+            assert not work.cache_hit
+            assert work.miss_reason == "cold"
+            assert work.bytes_out == len(response.body)
+
+            before = meter.snapshot()
+            response = app.container.get("/rubis/view_item", {"item": "1"})
+            work = meter.work_since(before, response, is_write=False)
+            assert work.cache_hit
+            assert work.queries == 0
+        finally:
+            awc.uninstall()
+
+    def test_uncached_meter(self):
+        app = build_rubis(RubisDataset(n_users=10, n_items=10, seed=2))
+        meter = WorkMeter(app.database)
+        assert not meter.cache_enabled
+        before = meter.snapshot()
+        response = app.container.get("/rubis/browse_categories")
+        work = meter.work_since(before, response, is_write=False)
+        assert not work.cache_enabled
+        assert work.queries == 1
+
+
+class TestLoadSimulator:
+    def run_small(self, cached, seed=9):
+        app = build_rubis(RubisDataset(n_users=30, n_items=50, seed=3))
+        mix = bidding_mix(app.dataset)
+        clock = VirtualClock()
+        awc = None
+        if cached:
+            awc = AutoWebCache(clock=clock.now)
+            awc.install(app.servlet_classes)
+        try:
+            config = SimulationConfig(
+                n_clients=20,
+                warmup=10.0,
+                duration=40.0,
+                seed=seed,
+                session=SessionConfig(think_time_mean=2.0, session_duration=60.0),
+            )
+            simulator = LoadSimulator(
+                app.container, app.database, mix, config, RUBIS_COST_MODEL,
+                clock=clock, awc=awc,
+            )
+            return simulator.run()
+        finally:
+            if awc is not None:
+                awc.uninstall()
+
+    def test_runs_and_collects_metrics(self):
+        result = self.run_small(cached=False)
+        assert result.total_requests > 100
+        assert result.errors == 0
+        assert result.metrics.request_count > 0
+        assert result.metrics.dropped_warmup > 0
+        assert result.mean_response_time_ms > 0
+
+    def test_cached_run_observes_hits(self):
+        result = self.run_small(cached=True)
+        assert result.hit_rate > 0.2
+
+    def test_deterministic_given_seed(self):
+        first = self.run_small(cached=False, seed=4)
+        second = self.run_small(cached=False, seed=4)
+        assert first.total_requests == second.total_requests
+        assert first.mean_response_time_ms == pytest.approx(
+            second.mean_response_time_ms
+        )
+
+    def test_different_seeds_differ(self):
+        first = self.run_small(cached=False, seed=4)
+        second = self.run_small(cached=False, seed=5)
+        assert first.total_requests != second.total_requests
+
+    def test_more_clients_more_requests(self):
+        app = build_rubis(RubisDataset(n_users=30, n_items=50, seed=3))
+        mix = bidding_mix(app.dataset)
+
+        def run(n):
+            config = SimulationConfig(
+                n_clients=n, warmup=5.0, duration=20.0, seed=1,
+                session=SessionConfig(think_time_mean=2.0),
+            )
+            return LoadSimulator(
+                app.container, app.database, mix, config, RUBIS_COST_MODEL
+            ).run()
+
+        assert run(40).total_requests > run(10).total_requests

@@ -1,0 +1,57 @@
+"""Cost-model calibration tests: the published constants make sense."""
+
+from repro.sim.costs import CostModel, RequestWork, RUBIS_COST_MODEL, TPCW_COST_MODEL
+
+
+def typical_read(cache_enabled=False):
+    return RequestWork(
+        queries=3, rows_examined=40, bytes_out=3000, cache_enabled=cache_enabled
+    )
+
+
+def test_tpcw_charges_more_per_row_than_rubis():
+    # The TPC-W dataset is scaled down far more aggressively, so each
+    # synthetic row must stand for more work (see EXPERIMENTS.md).
+    assert TPCW_COST_MODEL.db_per_row > RUBIS_COST_MODEL.db_per_row
+
+
+def test_hit_demand_is_order_of_magnitude_below_miss():
+    for model in (RUBIS_COST_MODEL, TPCW_COST_MODEL):
+        hit = RequestWork(cache_hit=True, cache_enabled=True)
+        app_hit, db_hit = model.demands(hit)
+        app_miss, db_miss = model.demands(typical_read(cache_enabled=True))
+        assert app_hit * 5 < app_miss
+        assert db_hit == 0.0 and db_miss > 0.0
+
+
+def test_lookup_overhead_small_relative_to_generation():
+    # The paper: forced-miss is indistinguishable from no-cache at the
+    # millisecond scale.  The model must agree: lookup cost under 5%
+    # of a typical page generation.
+    for model in (RUBIS_COST_MODEL, TPCW_COST_MODEL):
+        plain, _ = model.demands(typical_read(cache_enabled=False))
+        with_cache, _ = model.demands(typical_read(cache_enabled=True))
+        overhead = with_cache - plain
+        assert overhead < 0.05 * plain
+
+
+def test_write_invalidation_work_scales_with_tests():
+    model = CostModel()
+    few = RequestWork(updates=2, intersection_tests=10, cache_enabled=True,
+                      is_write=True)
+    many = RequestWork(updates=2, intersection_tests=1000, cache_enabled=True,
+                       is_write=True)
+    assert model.demands(many)[0] > model.demands(few)[0]
+
+
+def test_demands_are_nonnegative_and_finite():
+    for model in (RUBIS_COST_MODEL, TPCW_COST_MODEL, CostModel()):
+        for work in (
+            RequestWork(),
+            RequestWork(cache_hit=True, cache_enabled=True),
+            typical_read(),
+            RequestWork(updates=5, rows_examined=10_000, bytes_out=100_000),
+        ):
+            app, db = model.demands(work)
+            assert app >= 0.0 and db >= 0.0
+            assert app < 10.0 and db < 10.0  # sane bounds, in seconds

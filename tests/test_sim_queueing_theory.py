@@ -1,0 +1,98 @@
+"""Validate the simulator's queueing core against queueing theory.
+
+The response-time curves of Figures 13-15 are produced by the
+:class:`~repro.sim.resources.Resource` FCFS multi-server station.  If
+that station is wrong, every curve is wrong, so we check it against
+closed-form results:
+
+- M/M/1: mean sojourn time  E[T] = 1 / (mu - lambda);
+- M/M/c: Erlang-C waiting probability gives
+  E[T] = 1/mu + C(c, lambda/mu) / (c*mu - lambda);
+- M/D/1 (deterministic service): mean wait is *half* the M/M/1 wait,
+  checking that the station does not inject spurious variability.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.sim.resources import Resource
+
+
+def simulate(workers, arrival_rate, service_fn, n_jobs, seed):
+    rng = random.Random(seed)
+    resource = Resource("station", workers)
+    clock = 0.0
+    total_sojourn = 0.0
+    for _ in range(n_jobs):
+        clock += rng.expovariate(arrival_rate)
+        completion = resource.schedule(clock, service_fn(rng))
+        total_sojourn += completion - clock
+    return total_sojourn / n_jobs
+
+
+def erlang_c(c: int, offered: float) -> float:
+    """Probability of waiting in an M/M/c queue (offered = lambda/mu)."""
+    inverse = sum(offered**k / math.factorial(k) for k in range(c))
+    top = offered**c / (math.factorial(c) * (1 - offered / c))
+    return top / (inverse + top)
+
+
+@pytest.mark.parametrize("rho", [0.3, 0.6, 0.8])
+def test_mm1_sojourn_time(rho):
+    mu = 1.0  # service rate; E[S] = 1
+    lam = rho * mu
+    measured = simulate(
+        workers=1,
+        arrival_rate=lam,
+        service_fn=lambda rng: rng.expovariate(mu),
+        n_jobs=60000,
+        seed=1,
+    )
+    expected = 1.0 / (mu - lam)
+    assert measured == pytest.approx(expected, rel=0.08)
+
+
+@pytest.mark.parametrize("workers,rho", [(2, 0.6), (4, 0.7)])
+def test_mmc_sojourn_time(workers, rho):
+    mu = 1.0
+    lam = rho * workers * mu
+    measured = simulate(
+        workers=workers,
+        arrival_rate=lam,
+        service_fn=lambda rng: rng.expovariate(mu),
+        n_jobs=60000,
+        seed=2,
+    )
+    offered = lam / mu
+    wait = erlang_c(workers, offered) / (workers * mu - lam)
+    expected = 1.0 / mu + wait
+    assert measured == pytest.approx(expected, rel=0.10)
+
+
+def test_md1_wait_is_half_of_mm1():
+    lam, service = 0.7, 1.0  # rho = 0.7, deterministic service
+    measured = simulate(
+        workers=1,
+        arrival_rate=lam,
+        service_fn=lambda rng: service,
+        n_jobs=60000,
+        seed=3,
+    )
+    rho = lam * service
+    expected = service + rho * service / (2 * (1 - rho))  # Pollaczek-Khinchine
+    assert measured == pytest.approx(expected, rel=0.08)
+
+
+def test_underload_approaches_pure_service_time():
+    measured = simulate(
+        workers=1,
+        arrival_rate=0.01,
+        service_fn=lambda rng: 1.0,
+        n_jobs=2000,
+        seed=4,
+    )
+    assert measured == pytest.approx(1.0, rel=0.02)

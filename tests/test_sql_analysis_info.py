@@ -1,0 +1,104 @@
+"""StatementInfo extraction tests: read/write sets and bindings."""
+
+from repro.sql.analysis_info import extract_info
+from repro.sql.parser import parse_statement
+from repro.sql.template import templateize
+
+
+def info_of(sql, params=None):
+    template, _values = templateize(sql, params)
+    return extract_info(template.statement)
+
+
+class TestSelectInfo:
+    def test_tables_and_columns(self):
+        info = info_of("SELECT a, b FROM t WHERE c = 1")
+        assert info.tables == {"t"}
+        assert ("t", "a") in info.columns_read
+        assert ("t", "c") in info.columns_read
+        assert info.is_read
+
+    def test_star_projection(self):
+        info = info_of("SELECT * FROM t")
+        assert ("t", "*") in info.columns_read
+
+    def test_where_equality_bindings(self):
+        info = info_of("SELECT a FROM t WHERE b = 5 AND c = 'x'")
+        bindings = {(b.table, b.column, b.value_index) for b in info.equality_bindings}
+        assert ("t", "b", 0) in bindings
+        assert ("t", "c", 1) in bindings
+        assert info.where_is_conjunctive_equality
+
+    def test_or_breaks_conjunctivity(self):
+        info = info_of("SELECT a FROM t WHERE b = 1 OR c = 2")
+        assert not info.where_is_conjunctive_equality
+
+    def test_inequality_breaks_conjunctivity(self):
+        info = info_of("SELECT a FROM t WHERE b > 1")
+        assert not info.where_is_conjunctive_equality
+
+    def test_join_predicate_keeps_conjunctivity(self):
+        info = info_of(
+            "SELECT t.a FROM t, u WHERE t.id = u.tid AND t.b = 4"
+        )
+        assert info.where_is_conjunctive_equality
+        assert info.binding_for("t", "b") is not None
+
+    def test_multi_table_unqualified_column_is_unknown(self):
+        info = info_of("SELECT a FROM t, u WHERE t.id = u.id")
+        assert ("?", "a") in info.columns_read
+
+    def test_alias_resolution(self):
+        info = info_of("SELECT x.a FROM t AS x WHERE x.b = 1")
+        assert info.tables == {"t"}
+        assert ("t", "a") in info.columns_read
+        assert info.binding_for("t", "b") is not None
+
+    def test_order_group_columns_counted_as_read(self):
+        info = info_of("SELECT a FROM t GROUP BY b ORDER BY a")
+        assert ("t", "b") in info.columns_read
+
+
+class TestWriteInfo:
+    def test_update_written_columns(self):
+        info = info_of("UPDATE t SET a = 1, b = 2 WHERE id = 3")
+        assert info.columns_written == {("t", "a"), ("t", "b")}
+        assert info.write_table == "t"
+        assert info.is_write
+
+    def test_update_where_binding(self):
+        info = info_of("UPDATE t SET a = 1 WHERE id = 3")
+        binding = info.binding_for("t", "id")
+        assert binding is not None
+        # values = (1, 3): the WHERE value is index 1
+        assert binding.value_index == 1
+
+    def test_update_set_binding_also_recorded(self):
+        info = info_of("UPDATE t SET a = 1 WHERE id = 3")
+        assert info.binding_for("t", "a") is not None
+
+    def test_insert_bindings(self):
+        info = info_of("INSERT INTO t (a, b) VALUES (1, 'x')")
+        assert info.columns_written == {("t", "a"), ("t", "b")}
+        assert info.binding_for("t", "a").value_index == 0
+        assert info.binding_for("t", "b").value_index == 1
+
+    def test_delete_writes_star(self):
+        info = info_of("DELETE FROM t WHERE id = 9")
+        assert info.columns_written == {("t", "*")}
+        assert info.binding_for("t", "id") is not None
+
+    def test_delete_without_where(self):
+        info = info_of("DELETE FROM t")
+        assert info.where_columns == frozenset()
+        assert info.where_is_conjunctive_equality
+
+    def test_binding_resolve_literal(self):
+        info = extract_info(parse_statement("UPDATE t SET a = 2 WHERE b = 7"))
+        binding = info.binding_for("t", "b")
+        assert binding.resolve(()) == 7
+
+    def test_binding_resolve_placeholder(self):
+        info = info_of("UPDATE t SET a = ? WHERE b = ?", (2, 7))
+        binding = info.binding_for("t", "b")
+        assert binding.resolve((2, 7)) == 7

@@ -1,0 +1,93 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import SqlLexError
+from repro.sql.lexer import Token, TokenType, tokenize
+
+
+def kinds(sql):
+    return [t.type for t in tokenize(sql)[:-1]]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)[:-1]]
+
+
+def test_empty_input_yields_only_eof():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].type is TokenType.EOF
+
+
+def test_keywords_are_case_insensitive():
+    assert values("select FROM Where") == ["SELECT", "FROM", "WHERE"]
+    assert kinds("select") == [TokenType.KEYWORD]
+
+
+def test_identifiers_preserve_case():
+    tokens = tokenize("myTable_1")
+    assert tokens[0].type is TokenType.IDENTIFIER
+    assert tokens[0].value == "myTable_1"
+
+
+def test_integer_and_decimal_numbers():
+    assert values("42 3.14 .5") == ["42", "3.14", ".5"]
+    assert kinds("42") == [TokenType.NUMBER]
+
+
+def test_single_quoted_string():
+    tokens = tokenize("'hello world'")
+    assert tokens[0].type is TokenType.STRING
+    assert tokens[0].value == "hello world"
+
+
+def test_doubled_quote_escapes():
+    tokens = tokenize("'it''s'")
+    assert tokens[0].value == "it's"
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(SqlLexError):
+        tokenize("'oops")
+
+
+def test_placeholder():
+    tokens = tokenize("x = ?")
+    assert tokens[2].type is TokenType.PLACEHOLDER
+
+
+def test_two_char_operators():
+    assert values("<= >= <> !=") == ["<=", ">=", "<>", "!="]
+
+
+def test_single_char_operators_and_punct():
+    assert values("a = (b, c.d);") == ["a", "=", "(", "b", ",", "c", ".", "d", ")", ";"]
+
+
+def test_unexpected_character_raises_with_position():
+    with pytest.raises(SqlLexError) as excinfo:
+        tokenize("a @ b")
+    assert excinfo.value.position == 2
+
+
+def test_aggregate_names_are_keywords():
+    assert kinds("COUNT") == [TokenType.KEYWORD]
+    assert kinds("sum") == [TokenType.KEYWORD]
+
+
+def test_token_matches_helper():
+    token = Token(TokenType.KEYWORD, "SELECT", 0)
+    assert token.matches(TokenType.KEYWORD)
+    assert token.matches(TokenType.KEYWORD, "SELECT")
+    assert not token.matches(TokenType.KEYWORD, "FROM")
+    assert not token.matches(TokenType.IDENTIFIER)
+
+
+def test_whitespace_and_newlines_ignored():
+    assert values("a\n\t b") == ["a", "b"]
+
+
+def test_underscore_identifier():
+    tokens = tokenize("_private")
+    assert tokens[0].type is TokenType.IDENTIFIER

@@ -1,0 +1,228 @@
+"""Parser unit tests: statement structure and error handling."""
+
+import pytest
+
+from repro.errors import SqlParseError
+from repro.sql import ast_nodes as ast
+from repro.sql.parser import parse_statement
+
+
+class TestSelect:
+    def test_simple_select(self):
+        stmt = parse_statement("SELECT a, b FROM t")
+        assert isinstance(stmt, ast.Select)
+        assert [i.expression.column for i in stmt.items] == ["a", "b"]
+        assert stmt.tables[0].name == "t"
+
+    def test_select_star(self):
+        stmt = parse_statement("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expression, ast.Star)
+
+    def test_qualified_star(self):
+        stmt = parse_statement("SELECT t.* FROM t")
+        star = stmt.items[0].expression
+        assert isinstance(star, ast.Star) and star.table == "t"
+
+    def test_aliases(self):
+        stmt = parse_statement("SELECT a AS x, b y FROM t AS u")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.tables[0].alias == "u"
+
+    def test_where_precedence_or_under_and(self):
+        stmt = parse_statement("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3")
+        # AND binds tighter: OR(x=1, AND(y=2, z=3))
+        assert stmt.where.op == "OR"
+        assert stmt.where.right.op == "AND"
+
+    def test_not_operator(self):
+        stmt = parse_statement("SELECT a FROM t WHERE NOT x = 1")
+        assert isinstance(stmt.where, ast.UnaryOp)
+        assert stmt.where.op == "NOT"
+
+    def test_comparison_operators(self):
+        for op in ("=", "<", ">", "<=", ">=", "<>"):
+            stmt = parse_statement(f"SELECT a FROM t WHERE x {op} 1")
+            assert stmt.where.op == op
+
+    def test_bang_equals_normalised(self):
+        stmt = parse_statement("SELECT a FROM t WHERE x != 1")
+        assert stmt.where.op == "<>"
+
+    def test_like(self):
+        stmt = parse_statement("SELECT a FROM t WHERE name LIKE 'ab%'")
+        assert stmt.where.op == "LIKE"
+
+    def test_not_like(self):
+        stmt = parse_statement("SELECT a FROM t WHERE name NOT LIKE 'ab%'")
+        assert stmt.where.op == "NOT LIKE"
+
+    def test_in_list(self):
+        stmt = parse_statement("SELECT a FROM t WHERE x IN (1, 2, 3)")
+        assert isinstance(stmt.where, ast.InList)
+        assert len(stmt.where.items) == 3
+
+    def test_not_in(self):
+        stmt = parse_statement("SELECT a FROM t WHERE x NOT IN (1)")
+        assert stmt.where.negated
+
+    def test_between(self):
+        stmt = parse_statement("SELECT a FROM t WHERE x BETWEEN 1 AND 5")
+        assert isinstance(stmt.where, ast.Between)
+
+    def test_is_null_and_is_not_null(self):
+        stmt = parse_statement("SELECT a FROM t WHERE x IS NULL")
+        assert isinstance(stmt.where, ast.IsNull) and not stmt.where.negated
+        stmt = parse_statement("SELECT a FROM t WHERE x IS NOT NULL")
+        assert stmt.where.negated
+
+    def test_group_by_having(self):
+        stmt = parse_statement(
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+
+    def test_order_by_asc_desc(self):
+        stmt = parse_statement("SELECT a, b FROM t ORDER BY a DESC, b")
+        assert stmt.order_by[0].descending
+        assert not stmt.order_by[1].descending
+
+    def test_limit_offset(self):
+        stmt = parse_statement("SELECT a FROM t LIMIT 10 OFFSET 5")
+        assert stmt.limit.value == 10
+        assert stmt.offset.value == 5
+
+    def test_limit_placeholder(self):
+        stmt = parse_statement("SELECT a FROM t LIMIT ?")
+        assert isinstance(stmt.limit, ast.Placeholder)
+
+    def test_distinct(self):
+        stmt = parse_statement("SELECT DISTINCT a FROM t")
+        assert stmt.distinct
+
+    def test_multiple_tables(self):
+        stmt = parse_statement("SELECT a FROM t, u WHERE t.id = u.id")
+        assert len(stmt.tables) == 2
+
+    def test_inner_join(self):
+        stmt = parse_statement("SELECT a FROM t JOIN u ON t.id = u.id")
+        assert stmt.joins[0].kind == "INNER"
+
+    def test_left_join(self):
+        stmt = parse_statement("SELECT a FROM t LEFT JOIN u ON t.id = u.id")
+        assert stmt.joins[0].kind == "LEFT"
+
+    def test_left_outer_join(self):
+        stmt = parse_statement("SELECT a FROM t LEFT OUTER JOIN u ON t.id = u.id")
+        assert stmt.joins[0].kind == "LEFT"
+
+    def test_aggregates(self):
+        stmt = parse_statement("SELECT COUNT(*), SUM(x), AVG(x), MIN(x), MAX(x) FROM t")
+        names = [i.expression.name for i in stmt.items]
+        assert names == ["COUNT", "SUM", "AVG", "MIN", "MAX"]
+
+    def test_count_distinct(self):
+        stmt = parse_statement("SELECT COUNT(DISTINCT x) FROM t")
+        assert stmt.items[0].expression.distinct
+
+    def test_arithmetic_precedence(self):
+        stmt = parse_statement("SELECT a FROM t WHERE x = 1 + 2 * 3")
+        plus = stmt.where.right
+        assert plus.op == "+"
+        assert plus.right.op == "*"
+
+    def test_parenthesised_expression(self):
+        stmt = parse_statement("SELECT a FROM t WHERE (x = 1 OR y = 2) AND z = 3")
+        assert stmt.where.op == "AND"
+        assert stmt.where.left.op == "OR"
+
+    def test_unary_minus_folds_numeric_literal(self):
+        stmt = parse_statement("SELECT a FROM t WHERE x = -5")
+        assert stmt.where.right == ast.Literal(value=-5)
+
+    def test_unary_minus_on_column_stays_unary(self):
+        stmt = parse_statement("SELECT a FROM t WHERE x = -y")
+        assert isinstance(stmt.where.right, ast.UnaryOp)
+
+    def test_qualified_columns(self):
+        stmt = parse_statement("SELECT t.a FROM t WHERE t.b = 1")
+        assert stmt.items[0].expression.table == "t"
+
+
+class TestWriteStatements:
+    def test_insert(self):
+        stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x')")
+        assert isinstance(stmt, ast.Insert)
+        assert stmt.columns == ("a", "b")
+        assert stmt.values[0].value == 1
+
+    def test_insert_arity_mismatch(self):
+        with pytest.raises(SqlParseError):
+            parse_statement("INSERT INTO t (a, b) VALUES (1)")
+
+    def test_update(self):
+        stmt = parse_statement("UPDATE t SET a = 1, b = 'x' WHERE id = 3")
+        assert isinstance(stmt, ast.Update)
+        assert len(stmt.assignments) == 2
+        assert stmt.where is not None
+
+    def test_update_without_where(self):
+        stmt = parse_statement("UPDATE t SET a = 1")
+        assert stmt.where is None
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM t WHERE id = 3")
+        assert isinstance(stmt, ast.Delete)
+
+    def test_delete_all(self):
+        stmt = parse_statement("DELETE FROM t")
+        assert stmt.where is None
+
+    def test_create_table(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(20), x FLOAT)"
+        )
+        assert isinstance(stmt, ast.CreateTable)
+        assert stmt.columns[0].primary_key
+        assert stmt.columns[1].type_name == "VARCHAR"
+
+    def test_read_write_classification(self):
+        assert parse_statement("SELECT a FROM t").is_read
+        assert parse_statement("INSERT INTO t (a) VALUES (1)").is_write
+        assert parse_statement("UPDATE t SET a = 1").is_write
+        assert parse_statement("DELETE FROM t").is_write
+
+
+class TestPlaceholders:
+    def test_placeholder_indices_assigned_in_order(self):
+        stmt = parse_statement("SELECT a FROM t WHERE x = ? AND y = ?")
+        assert stmt.where.left.right.index == 0
+        assert stmt.where.right.right.index == 1
+
+    def test_placeholders_span_clauses(self):
+        stmt = parse_statement("UPDATE t SET a = ? WHERE b = ?")
+        assert stmt.assignments[0].value.index == 0
+        assert stmt.where.right.index == 1
+
+
+class TestErrors:
+    def test_garbage_statement(self):
+        with pytest.raises(SqlParseError):
+            parse_statement("FROB THE WIDGET")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse_statement("SELECT a FROM t extra junk ;;")
+
+    def test_missing_from_table(self):
+        with pytest.raises(SqlParseError):
+            parse_statement("SELECT a FROM WHERE x = 1")
+
+    def test_dangling_not(self):
+        with pytest.raises(SqlParseError):
+            parse_statement("SELECT a FROM t WHERE x NOT")
+
+    def test_trailing_semicolon_allowed(self):
+        stmt = parse_statement("SELECT a FROM t;")
+        assert isinstance(stmt, ast.Select)

@@ -1,0 +1,111 @@
+"""Templateization unit tests (the unit of the paper's query analysis)."""
+
+import pytest
+
+from repro.sql import ast_nodes as ast
+from repro.sql.template import QueryTemplate, templateize
+
+
+def test_literals_lifted_left_to_right():
+    template, values = templateize("SELECT a FROM t WHERE b = 5 AND c = 'x'")
+    assert values == (5, "x")
+    assert "?" in template.text
+    assert "5" not in template.text
+
+
+def test_literal_and_parameterised_forms_share_template():
+    t1, v1 = templateize("SELECT a FROM t WHERE b = 5 AND c = 'x'")
+    t2, v2 = templateize("SELECT a FROM t WHERE b = ? AND c = ?", (9, "y"))
+    assert t1 == t2
+    assert hash(t1) == hash(t2)
+    assert v2 == (9, "y")
+
+
+def test_mixed_literals_and_placeholders():
+    template, values = templateize(
+        "SELECT a FROM t WHERE b = 5 AND c = ? AND d = 7", ("mid",)
+    )
+    assert values == (5, "mid", 7)
+
+
+def test_insert_values_lifted():
+    template, values = templateize("INSERT INTO t (a, b) VALUES (1, 'z')")
+    assert values == (1, "z")
+    assert template.is_write
+
+
+def test_update_set_and_where_lifted():
+    template, values = templateize("UPDATE t SET a = 10 WHERE b = 20")
+    assert values == (10, 20)
+
+
+def test_delete_where_lifted():
+    template, values = templateize("DELETE FROM t WHERE b = 3")
+    assert values == (3,)
+
+
+def test_null_is_structural_not_lifted():
+    template, values = templateize("SELECT a FROM t WHERE b IS NULL AND c = 1")
+    assert values == (1,)
+    assert "NULL" in template.text
+
+
+def test_limit_offset_lifted():
+    template, values = templateize("SELECT a FROM t LIMIT 10 OFFSET 20")
+    assert values == (10, 20)
+
+
+def test_template_of_template_is_fixpoint():
+    t1, v1 = templateize("SELECT a FROM t WHERE b = 5")
+    t2, v2 = templateize(t1.text, v1)
+    assert t1 == t2
+    assert v1 == v2
+
+
+def test_bind_roundtrips_values():
+    template, values = templateize("SELECT a FROM t WHERE b = 5 AND c = 'x'")
+    bound = template.bind(values)
+    rebound_template, rebound_values = templateize(bound.unparse())
+    assert rebound_template == template
+    assert rebound_values == values
+
+
+def test_bind_with_short_vector_raises():
+    template, _values = templateize("SELECT a FROM t WHERE b = 5")
+    with pytest.raises(ValueError):
+        template.bind(())
+
+
+def test_missing_parameter_raises():
+    with pytest.raises(ValueError):
+        templateize("SELECT a FROM t WHERE b = ?", ())
+
+
+def test_in_list_values_lifted():
+    template, values = templateize("SELECT a FROM t WHERE b IN (1, 2, 3)")
+    assert values == (1, 2, 3)
+
+
+def test_between_values_lifted():
+    template, values = templateize("SELECT a FROM t WHERE b BETWEEN 2 AND 9")
+    assert values == (2, 9)
+
+
+def test_read_write_flags():
+    read, _ = templateize("SELECT a FROM t")
+    write, _ = templateize("DELETE FROM t")
+    assert read.is_read and not read.is_write
+    assert write.is_write and not write.is_read
+
+
+def test_templates_usable_as_dict_keys():
+    t1, _ = templateize("SELECT a FROM t WHERE b = 1")
+    t2, _ = templateize("SELECT a FROM t WHERE b = 2")
+    d = {t1: "x"}
+    assert d[t2] == "x"  # same template text
+
+
+def test_different_shapes_have_different_templates():
+    t1, _ = templateize("SELECT a FROM t WHERE b = 1")
+    t2, _ = templateize("SELECT a FROM t WHERE c = 1")
+    assert t1 != t2

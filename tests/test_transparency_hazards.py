@@ -1,0 +1,159 @@
+"""Transparency hazards of Section 4.3, encoded as executable tests.
+
+The paper argues complete transparency + strong consistency is not
+achievable in general because essential data can flow through
+interfaces the consistency logic does not see.  Each hazard below is
+demonstrated (the naive cache breaks the application) together with the
+paper's mitigation (developer marks the page uncacheable, or routes the
+hidden input through the request).
+"""
+
+from repro.cache.autowebcache import AutoWebCache
+from repro.cache.semantics import SemanticsRegistry
+from repro.db import connect
+from repro.web.container import ServletContainer
+from repro.web.http import HttpRequest
+from repro.web.servlet import HttpServlet
+
+from tests.conftest import make_notes_db
+
+
+class CookieGreeting(HttpServlet):
+    """Renders the user name carried in a cookie: the 'Cookies' hazard.
+
+    Two requests with identical URI+parameters but different cookies
+    must produce different pages -- which the URI-keyed cache cannot
+    know.
+    """
+
+    def do_get(self, request, response):
+        response.write(f"hello {request.get_cookie('user', 'guest')}")
+
+
+class CounterPage(HttpServlet):
+    """Embeds a static counter: the 'Hidden State' hazard."""
+
+    hits = 0
+
+    def do_get(self, request, response):
+        type(self).hits += 1
+        response.write(f"you are visitor number {type(self).hits}")
+
+
+def fresh_container(servlet, uri="/page"):
+    container = ServletContainer()
+    container.register(uri, servlet)
+    return container
+
+
+class TestCookieHazard:
+    def request(self, user):
+        return HttpRequest("GET", "/page", cookies={"user": user})
+
+    def test_naive_cache_serves_wrong_identity(self):
+        container = fresh_container(CookieGreeting())
+        awc = AutoWebCache()
+        awc.install([CookieGreeting])
+        try:
+            alice = container.handle(self.request("alice"))
+            bob = container.handle(self.request("bob"))
+            # The cache key is URI+params only: bob gets alice's page.
+            assert alice.body == "hello alice"
+            assert bob.body == "hello alice"  # broken, as the paper warns
+        finally:
+            awc.uninstall()
+
+    def test_mitigation_mark_uncacheable(self):
+        container = fresh_container(CookieGreeting())
+        semantics = SemanticsRegistry().mark_uncacheable("/page")
+        awc = AutoWebCache(semantics=semantics)
+        awc.install([CookieGreeting])
+        try:
+            alice = container.handle(self.request("alice"))
+            bob = container.handle(self.request("bob"))
+            assert alice.body == "hello alice"
+            assert bob.body == "hello bob"
+        finally:
+            awc.uninstall()
+
+    def test_mitigation_predicate_on_cookie(self):
+        container = fresh_container(CookieGreeting())
+        semantics = SemanticsRegistry().mark_uncacheable_when(
+            lambda request: bool(request.cookies)
+        )
+        awc = AutoWebCache(semantics=semantics)
+        awc.install([CookieGreeting])
+        try:
+            bob = container.handle(self.request("bob"))
+            assert bob.body == "hello bob"
+            # Cookie-less requests remain cacheable.
+            guest1 = container.handle(HttpRequest("GET", "/page"))
+            guest2 = container.handle(HttpRequest("GET", "/page"))
+            assert guest1.body == guest2.body == "hello guest"
+            assert awc.stats.hits == 1
+        finally:
+            awc.uninstall()
+
+
+class TestHiddenStateHazard:
+    def test_naive_cache_freezes_counter(self):
+        CounterPage.hits = 0
+        container = fresh_container(CounterPage())
+        awc = AutoWebCache()
+        awc.install([CounterPage])
+        try:
+            first = container.get("/page")
+            second = container.get("/page")
+            assert first.body == second.body  # frozen: hazard realised
+            assert CounterPage.hits == 1  # servlet ran only once
+        finally:
+            awc.uninstall()
+
+    def test_mitigation_mark_uncacheable(self):
+        CounterPage.hits = 0
+        container = fresh_container(CounterPage())
+        semantics = SemanticsRegistry().mark_uncacheable("/page")
+        awc = AutoWebCache(semantics=semantics)
+        awc.install([CounterPage])
+        try:
+            first = container.get("/page")
+            second = container.get("/page")
+            assert first.body != second.body
+            assert awc.stats.uncacheable == 2
+        finally:
+            awc.uninstall()
+
+
+class TestMultipleSourcesHazard:
+    """'Multiple Sources of Dynamism': a page aggregating the database
+    with a non-database source (a file-like store the JDBC aspect never
+    sees) goes stale on the unseen source -- and stays fresh once the
+    extra source is also routed through a captured interface."""
+
+    def test_unseen_source_goes_stale(self):
+        db = make_notes_db()
+        connection = connect(db)
+        sidecar = {"motd": "welcome"}
+
+        class Mixed(HttpServlet):
+            def do_get(self, request, response):
+                statement = connection.create_statement()
+                count = statement.execute_query(
+                    "SELECT COUNT(*) FROM notes"
+                ).scalar()
+                response.write(f"{sidecar['motd']}|{count} notes")
+
+        container = fresh_container(Mixed())
+        awc = AutoWebCache()
+        awc.install([Mixed])
+        try:
+            container.get("/page")
+            sidecar["motd"] = "changed"  # flows through no interface
+            page = container.get("/page")
+            assert "welcome" in page.body  # stale: hazard realised
+            # The documented remedy: the external-entity API.
+            awc.cache.invalidate_key("/page")
+            page = container.get("/page")
+            assert "changed" in page.body
+        finally:
+            awc.uninstall()

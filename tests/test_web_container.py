@@ -1,0 +1,166 @@
+"""Servlet container and session tests."""
+
+import pytest
+
+from repro.errors import RoutingError, WebError
+from repro.web.container import ServletContainer
+from repro.web.http import HttpRequest, HttpResponse
+from repro.web.servlet import HttpServlet, require_parameter
+from repro.web.session import SESSION_COOKIE, SessionManager
+
+
+class Echo(HttpServlet):
+    def __init__(self):
+        self.initialised = False
+        self.destroyed = False
+
+    def init(self):
+        self.initialised = True
+
+    def destroy(self):
+        self.destroyed = True
+
+    def do_get(self, request, response):
+        response.write(f"echo:{request.get_parameter('msg', '')}")
+
+    def do_post(self, request, response):
+        response.write("posted")
+
+
+class Boom(HttpServlet):
+    def do_get(self, request, response):
+        raise RuntimeError("kaput")
+
+
+class GetOnly(HttpServlet):
+    def do_get(self, request, response):
+        response.write("ok")
+
+
+def test_register_and_dispatch():
+    container = ServletContainer()
+    servlet = Echo()
+    container.register("/echo", servlet)
+    assert servlet.initialised
+    response = container.get("/echo", {"msg": "hi"})
+    assert response.body == "echo:hi"
+    assert container.request_count == 1
+
+
+def test_post_dispatch():
+    container = ServletContainer()
+    container.register("/echo", Echo())
+    assert container.post("/echo").body == "posted"
+
+
+def test_unknown_uri_raises():
+    container = ServletContainer()
+    with pytest.raises(RoutingError):
+        container.get("/ghost")
+
+
+def test_duplicate_mapping_rejected():
+    container = ServletContainer()
+    container.register("/echo", Echo())
+    with pytest.raises(WebError):
+        container.register("/echo", Echo())
+
+
+def test_servlet_exception_becomes_500():
+    container = ServletContainer()
+    container.register("/boom", Boom())
+    response = container.get("/boom")
+    assert response.status == 500
+    assert "kaput" in response.body
+    assert container.error_count == 1
+
+
+def test_unsupported_method_is_405():
+    container = ServletContainer()
+    container.register("/get_only", GetOnly())
+    assert container.post("/get_only").status == 405
+    response = container.handle(HttpRequest("PUT", "/get_only"))
+    assert response.status == 405
+
+
+def test_servlet_classes_deduplicated():
+    container = ServletContainer()
+    container.register("/a", Echo())
+    container.register("/b", Echo())
+    container.register("/c", Boom())
+    assert sorted(c.__name__ for c in container.servlet_classes) == ["Boom", "Echo"]
+
+
+def test_observer_invoked():
+    container = ServletContainer()
+    container.register("/echo", Echo())
+    seen = []
+    container.observer = lambda req, resp: seen.append((req.uri, resp.status))
+    container.get("/echo")
+    assert seen == [("/echo", 200)]
+
+
+def test_shutdown_runs_destroy():
+    container = ServletContainer()
+    servlet = Echo()
+    container.register("/echo", servlet)
+    container.shutdown()
+    assert servlet.destroyed
+
+
+def test_require_parameter():
+    request = HttpRequest("GET", "/x", {"a": "1"})
+    assert require_parameter(request, "a") == "1"
+    from repro.errors import ServletError
+
+    with pytest.raises(ServletError):
+        require_parameter(request, "missing")
+
+
+class TestSessions:
+    def test_new_session_sets_cookie(self):
+        manager = SessionManager()
+        request = HttpRequest("GET", "/x")
+        response = HttpResponse()
+        session = manager.resolve(request, response)
+        assert SESSION_COOKIE in response.cookies
+        assert response.cookies[SESSION_COOKIE] == session.session_id
+
+    def test_existing_session_resolved(self):
+        manager = SessionManager()
+        first = manager.resolve(HttpRequest("GET", "/x"), HttpResponse())
+        first.set("user", 42)
+        request = HttpRequest(
+            "GET", "/x", cookies={SESSION_COOKIE: first.session_id}
+        )
+        again = manager.resolve(request, HttpResponse())
+        assert again is first
+        assert again.get("user") == 42
+
+    def test_unknown_cookie_creates_fresh_session(self):
+        manager = SessionManager()
+        request = HttpRequest("GET", "/x", cookies={SESSION_COOKIE: "bogus"})
+        session = manager.resolve(request, HttpResponse())
+        assert session.session_id != "bogus"
+
+    def test_session_attributes(self):
+        manager = SessionManager()
+        session = manager.resolve(HttpRequest("GET", "/x"), HttpResponse())
+        session.set("k", "v")
+        assert session.get("k") == "v"
+        session.remove("k")
+        assert session.get("k") is None
+        session.set("k2", 1)
+        session.invalidate()
+        assert session.get("k2") is None
+
+    def test_container_with_sessions(self):
+        container = ServletContainer(use_sessions=True)
+
+        class WhoAmI(HttpServlet):
+            def do_get(self, request, response):
+                response.write(request.session.session_id)
+
+        container.register("/who", WhoAmI())
+        response = container.get("/who")
+        assert response.body in response.cookies.values()

@@ -1,0 +1,107 @@
+"""WSGI adapter tests."""
+
+import io
+
+from repro.web.container import ServletContainer
+from repro.web.servlet import HttpServlet
+from repro.web.wsgi import WsgiAdapter
+
+from tests.conftest import build_notes_app
+from repro.cache.autowebcache import AutoWebCache
+
+
+class Echo(HttpServlet):
+    def do_get(self, request, response):
+        response.write(f"q={request.get_parameter('q', '')}"
+                       f";c={request.get_cookie('sid', '-')}")
+
+    def do_post(self, request, response):
+        response.write(f"posted:{request.get_parameter('v', '')}")
+
+
+def call(adapter, method="GET", path="/", query="", body="", cookies=""):
+    environ = {
+        "REQUEST_METHOD": method,
+        "PATH_INFO": path,
+        "QUERY_STRING": query,
+        "wsgi.input": io.BytesIO(body.encode()),
+    }
+    if body:
+        environ["CONTENT_LENGTH"] = str(len(body))
+        environ["CONTENT_TYPE"] = "application/x-www-form-urlencoded"
+    if cookies:
+        environ["HTTP_COOKIE"] = cookies
+    captured = {}
+
+    def start_response(status, headers):
+        captured["status"] = status
+        captured["headers"] = headers
+
+    chunks = adapter(environ, start_response)
+    captured["body"] = b"".join(chunks).decode()
+    return captured
+
+
+def make_adapter():
+    container = ServletContainer()
+    container.register("/echo", Echo())
+    return WsgiAdapter(container)
+
+
+def test_get_with_query_string():
+    result = call(make_adapter(), path="/echo", query="q=hello")
+    assert result["status"].startswith("200")
+    assert "q=hello" in result["body"]
+
+
+def test_post_form_body():
+    result = call(make_adapter(), method="POST", path="/echo", body="v=42")
+    assert result["body"] == "posted:42"
+
+
+def test_cookies_passed_through():
+    result = call(make_adapter(), path="/echo", cookies="sid=abc; other=1")
+    assert "c=abc" in result["body"]
+
+
+def test_unknown_path_is_404():
+    result = call(make_adapter(), path="/ghost")
+    assert result["status"].startswith("404")
+
+
+def test_content_length_header_set():
+    result = call(make_adapter(), path="/echo", query="q=x")
+    headers = dict(result["headers"])
+    assert headers["Content-Length"] == str(len(result["body"]))
+
+
+def test_error_becomes_500():
+    class Boom(HttpServlet):
+        def do_get(self, request, response):
+            raise RuntimeError("nope")
+
+    container = ServletContainer()
+    container.register("/boom", Boom())
+    result = call(WsgiAdapter(container), path="/boom")
+    assert result["status"].startswith("500")
+
+
+def test_cached_app_served_over_wsgi():
+    db, container = build_notes_app()
+    awc = AutoWebCache()
+    awc.install(container.servlet_classes)
+    try:
+        adapter = WsgiAdapter(container)
+        call(
+            adapter,
+            method="POST",
+            path="/add",
+            body="id=1&topic=a&body=hello&score=0",
+        )
+        first = call(adapter, path="/view_topic", query="topic=a")
+        second = call(adapter, path="/view_topic", query="topic=a")
+        assert first["body"] == second["body"]
+        assert "hello" in first["body"]
+        assert awc.stats.hits == 1
+    finally:
+        awc.uninstall()

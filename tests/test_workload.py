@@ -1,0 +1,210 @@
+"""Workload layer tests: mixes, sessions, Zipf sampling, metrics."""
+
+import random
+
+import pytest
+
+from repro.apps.rubis import RubisDataset
+from repro.apps.rubis.workload import bidding_mix, browsing_mix
+from repro.apps.tpcw import TpcwDataset
+from repro.apps.tpcw.workload import shopping_mix
+from repro.errors import WorkloadError
+from repro.workload.metrics import MetricsCollector, RequestSample, SeriesStats
+from repro.workload.mix import Interaction, InteractionMix
+from repro.workload.session import ClientSession, SessionConfig
+from repro.workload.zipf import ZipfSampler
+
+
+def constant_params(session):
+    return {}
+
+
+class TestInteractionMix:
+    def make_mix(self):
+        return InteractionMix(
+            "m",
+            [
+                Interaction("r", "GET", "/r", constant_params, 80.0),
+                Interaction("w", "POST", "/w", constant_params, 20.0, True),
+            ],
+        )
+
+    def test_read_fraction(self):
+        assert self.make_mix().read_fraction == pytest.approx(0.8)
+
+    def test_draw_distribution(self):
+        mix = self.make_mix()
+        rng = random.Random(0)
+        draws = [mix.draw(rng).name for _ in range(5000)]
+        assert 0.75 < draws.count("r") / len(draws) < 0.85
+
+    def test_by_name(self):
+        mix = self.make_mix()
+        assert mix.by_name("w").is_write
+        with pytest.raises(WorkloadError):
+            mix.by_name("ghost")
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(WorkloadError):
+            InteractionMix("m", [])
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(WorkloadError):
+            InteractionMix(
+                "m", [Interaction("r", "GET", "/r", constant_params, 0.0)]
+            )
+
+
+class TestBenchmarkMixes:
+    def test_rubis_bidding_mix_is_85_percent_reads(self):
+        mix = bidding_mix(RubisDataset())
+        assert mix.read_fraction == pytest.approx(0.85, abs=0.01)
+
+    def test_rubis_browsing_mix_is_read_only(self):
+        assert browsing_mix(RubisDataset()).read_fraction == 1.0
+
+    def test_tpcw_shopping_mix_read_fraction(self):
+        mix = shopping_mix(TpcwDataset())
+        # The paper quotes ~80% reads for the shopping mix.
+        assert 0.78 <= mix.read_fraction <= 0.88
+
+    def test_rubis_mix_covers_all_interactions(self):
+        mix = bidding_mix(RubisDataset())
+        assert len(mix.interactions) == 26
+
+    def test_tpcw_mix_covers_all_interactions(self):
+        assert len(shopping_mix(TpcwDataset()).interactions) == 14
+
+
+class TestClientSession:
+    def make_session(self, mix=None):
+        mix = mix or bidding_mix(RubisDataset(n_users=10, n_items=10))
+        return ClientSession(
+            session_id=1,
+            mix=mix,
+            rng=random.Random(3),
+            config=SessionConfig(think_time_mean=7.0, session_duration=100.0),
+            started_at=0.0,
+        )
+
+    def test_next_request_has_string_params(self):
+        session = self.make_session()
+        for _ in range(50):
+            planned = session.next_request()
+            assert planned.uri.startswith("/rubis/")
+            assert all(isinstance(v, str) for v in planned.params.values())
+
+    def test_expiry(self):
+        session = self.make_session()
+        assert not session.expired(99.0)
+        assert session.expired(100.0)
+
+    def test_think_time_positive_and_mean_close(self):
+        session = self.make_session()
+        times = [session.think_time() for _ in range(4000)]
+        assert all(t >= 0 for t in times)
+        assert 6.0 < sum(times) / len(times) < 8.0
+
+    def test_infeasible_interactions_redrawn(self):
+        mix = shopping_mix(TpcwDataset(n_items=10, n_customers=5))
+        session = ClientSession(1, mix, random.Random(5))
+        # Without a cart, buy_request/buy_confirm are infeasible and the
+        # session must still always produce a request.
+        for _ in range(100):
+            planned = session.next_request()
+            assert planned.uri not in (
+                "/tpcw/buy_request",
+                "/tpcw/buy_confirm",
+            ) or session.state.get("cart") is not None
+
+    def test_observe_response_learns_cart_id(self):
+        mix = shopping_mix(TpcwDataset(n_items=10, n_customers=5))
+        session = ClientSession(1, mix, random.Random(5))
+        planned = type("P", (), {"uri": "/tpcw/shopping_cart"})()
+        session.observe_response(planned, "<h1>TPC-W: Shopping cart 17</h1>")
+        assert session.state["cart"] == 17
+
+
+class TestZipf:
+    def test_range(self):
+        sampler = ZipfSampler(10, s=1.0)
+        rng = random.Random(1)
+        draws = [sampler.sample(rng) for _ in range(1000)]
+        assert all(0 <= d < 10 for d in draws)
+
+    def test_rank_zero_most_popular(self):
+        sampler = ZipfSampler(50, s=1.1)
+        rng = random.Random(1)
+        draws = [sampler.sample(rng) for _ in range(5000)]
+        assert draws.count(0) > draws.count(25)
+        assert draws.count(0) > len(draws) * 0.1
+
+    def test_s_zero_is_uniformish(self):
+        sampler = ZipfSampler(4, s=0.0)
+        rng = random.Random(1)
+        draws = [sampler.sample(rng) for _ in range(8000)]
+        for k in range(4):
+            assert 0.2 < draws.count(k) / len(draws) < 0.3
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+
+
+class TestMetrics:
+    def sample(self, uri="/r", rt=0.1, hit=False, write=False, **kwargs):
+        return RequestSample(
+            uri=uri,
+            issued_at=0.0,
+            response_time=rt,
+            cache_hit=hit,
+            is_write=write,
+            **kwargs,
+        )
+
+    def test_overall_aggregation(self):
+        metrics = MetricsCollector()
+        metrics.record(self.sample(rt=0.1, hit=True))
+        metrics.record(self.sample(rt=0.3))
+        assert metrics.overall.count == 2
+        assert metrics.overall.mean == pytest.approx(0.2)
+        assert metrics.overall.hit_rate == 0.5
+
+    def test_reads_writes_split(self):
+        metrics = MetricsCollector()
+        metrics.record(self.sample(write=False))
+        metrics.record(self.sample(uri="/w", write=True))
+        assert metrics.reads.count == 1
+        assert metrics.writes.count == 1
+
+    def test_hit_miss_series_split(self):
+        metrics = MetricsCollector()
+        metrics.record(self.sample(rt=0.01, hit=True))
+        metrics.record(self.sample(rt=0.5, hit=False, miss_reason="cold"))
+        assert metrics.by_uri_hits["/r"].count == 1
+        assert metrics.by_uri_misses["/r"].count == 1
+        assert metrics.detail["/r"] == {"hit": 1, "cold": 1}
+
+    def test_semantic_hits_in_detail(self):
+        metrics = MetricsCollector()
+        metrics.record(self.sample(hit=True, semantic_hit=True))
+        assert metrics.detail["/r"] == {"semantic": 1}
+
+    def test_percentiles(self):
+        stats = SeriesStats()
+        for i in range(1, 101):
+            stats.add(i / 100.0, False)
+        assert stats.percentile(50) == pytest.approx(0.5, abs=0.02)
+        assert stats.percentile(100) == 1.0
+        assert stats.percentile(0) == 0.01
+
+    def test_empty_series(self):
+        stats = SeriesStats()
+        assert stats.mean == 0.0
+        assert stats.percentile(50) == 0.0
+
+    def test_warmup_counter(self):
+        metrics = MetricsCollector()
+        metrics.record_warmup()
+        assert metrics.dropped_warmup == 1
+        assert metrics.request_count == 0

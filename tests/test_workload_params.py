@@ -1,0 +1,144 @@
+"""Parameter-generator tests for the benchmark workloads.
+
+Every generator must produce parameters the servlets accept (valid id
+ranges, mandatory fields present) and maintain the session locality the
+mixes rely on.
+"""
+
+import random
+
+import pytest
+
+from repro.apps.rubis import RubisDataset
+from repro.apps.rubis.workload import RubisParamFactory, bidding_mix
+from repro.apps.tpcw import TpcwDataset
+from repro.apps.tpcw.data import SUBJECTS
+from repro.apps.tpcw.workload import TpcwParamFactory, shopping_mix
+from repro.workload.session import ClientSession
+
+
+def rubis_session(seed=1):
+    dataset = RubisDataset(n_users=25, n_items=40)
+    factory = RubisParamFactory(dataset)
+    session = ClientSession(0, bidding_mix(dataset), random.Random(seed))
+    return dataset, factory, session
+
+
+def tpcw_session(seed=1):
+    dataset = TpcwDataset(n_items=30, n_customers=15)
+    factory = TpcwParamFactory(dataset)
+    session = ClientSession(0, shopping_mix(dataset), random.Random(seed))
+    return dataset, factory, session
+
+
+class TestRubisParams:
+    def test_own_user_is_stable_within_session(self):
+        _d, factory, session = rubis_session()
+        first = factory.own_user(session)
+        assert all(factory.own_user(session) == first for _ in range(10))
+
+    def test_item_ids_in_range(self):
+        dataset, factory, session = rubis_session()
+        for _ in range(200):
+            assert 0 <= factory.pick_item(session) < dataset.n_items
+
+    def test_view_item_updates_session_state(self):
+        _d, factory, session = rubis_session()
+        params = factory.view_item(session)
+        assert session.state["item"] == int(params["item"])
+
+    def test_bid_targets_current_item(self):
+        _d, factory, session = rubis_session()
+        factory.view_item(session)
+        bid = factory.store_bid(session)
+        assert int(bid["item"]) == session.state["item"]
+        assert float(bid["bid"]) > 0
+
+    def test_comment_has_all_parties(self):
+        _d, factory, session = rubis_session()
+        params = factory.store_comment(session)
+        assert {"item", "to", "from", "rating", "comment"} <= set(params)
+
+    def test_register_user_nicknames_unique_within_session(self):
+        _d, factory, session = rubis_session()
+        nicknames = {factory.register_user(session)["nickname"] for _ in range(20)}
+        assert len(nicknames) == 20
+
+    def test_register_user_nicknames_unique_across_sessions(self):
+        dataset = RubisDataset(n_users=25, n_items=40)
+        factory = RubisParamFactory(dataset)
+        mix = bidding_mix(dataset)
+        s1 = ClientSession(1, mix, random.Random(1))
+        s2 = ClientSession(2, mix, random.Random(1))
+        n1 = factory.register_user(s1)["nickname"]
+        n2 = factory.register_user(s2)["nickname"]
+        assert n1 != n2
+
+    def test_category_page_mostly_first_page(self):
+        _d, factory, session = rubis_session()
+        pages = [int(factory.category_page(session)["page"]) for _ in range(300)]
+        assert pages.count(0) > len(pages) * 0.6
+        assert max(pages) <= 2
+
+    def test_region_reuse_locality(self):
+        _d, factory, session = rubis_session(seed=3)
+        regions = [
+            factory.category_region_page(session)["region"] for _ in range(200)
+        ]
+        consecutive_repeats = sum(
+            a == b for a, b in zip(regions, regions[1:])
+        )
+        # Sessions mostly stay in the region they are browsing (~80%).
+        assert consecutive_repeats > len(regions) * 0.6
+
+
+class TestTpcwParams:
+    def test_subjects_are_valid(self):
+        _d, factory, session = tpcw_session()
+        for _ in range(100):
+            assert factory.subject(session)["subject"] in SUBJECTS
+
+    def test_search_types_cover_all_three(self):
+        _d, factory, session = tpcw_session()
+        kinds = {factory.search(session)["type"] for _ in range(100)}
+        assert kinds == {"author", "title", "subject"}
+
+    def test_order_display_uses_own_customer(self):
+        _d, factory, session = tpcw_session()
+        customer = factory.own_customer(session)
+        assert factory.order_display(session)["uname"] == f"user{customer}"
+
+    def test_cart_requires_prior_shopping(self):
+        _d, factory, session = tpcw_session()
+        assert factory.buy_request(session) is None
+        assert factory.buy_confirm(session) is None
+
+    def test_buy_confirm_consumes_cart(self):
+        _d, factory, session = tpcw_session()
+        factory.shopping_cart(session)
+        session.state["cart"] = 0  # learned from the response page
+        assert factory.buy_request(session) is not None
+        assert factory.buy_confirm(session) is not None
+        # The cart is consumed: a second confirm is infeasible.
+        assert factory.buy_confirm(session) is None
+
+    def test_shopping_cart_reuses_known_cart_id(self):
+        _d, factory, session = tpcw_session()
+        session.state["cart"] = 7
+        params = factory.shopping_cart(session)
+        assert params["sc_id"] == "7"
+
+    def test_admin_confirm_cost_in_range(self):
+        _d, factory, session = tpcw_session()
+        for _ in range(50):
+            cost = float(factory.admin_confirm(session)["cost"])
+            assert 5.0 <= cost <= 60.0
+
+
+class TestZipfConcentration:
+    @pytest.mark.parametrize("builder", [rubis_session, tpcw_session])
+    def test_item_popularity_is_skewed(self, builder):
+        _d, factory, session = builder()
+        draws = [factory.pick_item(session) for _ in range(2000)]
+        top_share = sum(1 for d in draws if d < 5) / len(draws)
+        assert top_share > 0.3  # the head dominates

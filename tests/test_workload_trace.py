@@ -1,0 +1,130 @@
+"""Trace record/replay tests, including the full-application
+consistency audit (the paper's central claim, end-to-end on RUBiS)."""
+
+import random
+
+from repro.apps.rubis import RubisDataset, build_rubis
+from repro.apps.rubis.workload import bidding_mix
+from repro.apps.tpcw import TpcwDataset, build_tpcw
+from repro.cache.autowebcache import AutoWebCache
+from repro.workload.session import ClientSession
+from repro.workload.trace import (
+    RequestTrace,
+    TraceEntry,
+    TraceRecorder,
+    body_digest,
+    replay,
+)
+
+from tests.conftest import build_notes_app
+
+
+class TestRecorder:
+    def test_records_requests_in_order(self, notes_app):
+        db, container = notes_app
+        recorder = TraceRecorder.attach(container)
+        container.post("/add", {"id": "1", "topic": "a", "body": "x"})
+        container.get("/view_topic", {"topic": "a"})
+        trace = recorder.detach()
+        assert len(trace) == 2
+        assert trace.entries[0].method == "POST"
+        assert trace.entries[1].uri == "/view_topic"
+        # Detached: further traffic not recorded.
+        container.get("/view_topic", {"topic": "a"})
+        assert len(trace) == 2
+
+    def test_chains_previous_observer(self, notes_app):
+        _db, container = notes_app
+        seen = []
+        container.observer = lambda req, resp: seen.append(req.uri)
+        recorder = TraceRecorder.attach(container)
+        container.get("/view_topic", {"topic": "a"})
+        recorder.detach()
+        assert seen == ["/view_topic"]
+
+    def test_save_and_load_roundtrip(self, tmp_path, notes_app):
+        _db, container = notes_app
+        recorder = TraceRecorder.attach(container)
+        container.post("/add", {"id": "1", "topic": "a", "body": "x"})
+        trace = recorder.detach()
+        path = str(tmp_path / "trace.json")
+        trace.save(path)
+        loaded = RequestTrace.load(path)
+        assert loaded.entries == trace.entries
+
+
+class TestReplay:
+    def test_identical_app_is_consistent(self):
+        db1, container1 = build_notes_app()
+        recorder = TraceRecorder.attach(container1)
+        container1.post("/add", {"id": "1", "topic": "a", "body": "x"})
+        container1.get("/view_topic", {"topic": "a"})
+        container1.post("/score", {"id": "1", "score": "4"})
+        container1.get("/view_note", {"id": "1"})
+        trace = recorder.detach()
+
+        db2, container2 = build_notes_app()
+        report = replay(trace, container2)
+        assert report.consistent
+        assert report.total == 4
+
+    def test_divergence_detected_and_located(self):
+        trace = RequestTrace(
+            entries=[
+                TraceEntry("GET", "/view_topic", {"topic": "a"}, 200,
+                           body_digest("a page that was never served")),
+            ]
+        )
+        _db, container = build_notes_app()
+        report = replay(trace, container)
+        assert not report.consistent
+        assert report.mismatches[0].index == 0
+        assert "view_topic" in str(report.mismatches[0])
+
+
+class TestFullApplicationAudit:
+    def run_workload(self, container, dataset, rounds=250, seed=99):
+        mix = bidding_mix(dataset)
+        session = ClientSession(0, mix, random.Random(seed))
+        for _ in range(rounds):
+            planned = session.next_request()
+            if planned.method == "GET":
+                response = container.get(planned.uri, planned.params)
+            else:
+                response = container.post(planned.uri, planned.params)
+            session.observe_response(planned, response.body)
+            assert response.status == 200
+
+    def test_rubis_cached_replay_matches_uncached(self):
+        """The paper's core claim at application scale: a cached RUBiS
+        serves byte-identical pages to an uncached one for the same
+        request sequence."""
+        dataset = RubisDataset(n_users=40, n_items=60, seed=12)
+        baseline = build_rubis(dataset)
+        recorder = TraceRecorder.attach(baseline.container)
+        self.run_workload(baseline.container, baseline.dataset)
+        trace = recorder.detach()
+        assert len(trace) == 250
+
+        mirror = build_rubis(RubisDataset(n_users=40, n_items=60, seed=12))
+        awc = AutoWebCache()
+        awc.install(mirror.servlet_classes)
+        try:
+            report = replay(trace, mirror.container)
+            assert report.consistent, "\n".join(
+                str(m) for m in report.mismatches[:5]
+            )
+            assert awc.stats.hits > 0  # the cache actually participated
+        finally:
+            awc.uninstall()
+
+    def test_tpcw_hidden_state_detected_by_audit(self):
+        """The audit is sensitive: TPC-W's random ad banner makes the
+        Home page non-replayable, exactly the hidden-state hazard."""
+        app = build_tpcw(TpcwDataset(n_items=40, n_customers=20), ad_seed=1)
+        recorder = TraceRecorder.attach(app.container)
+        app.container.get("/tpcw/home", {"c_id": "1"})
+        trace = recorder.detach()
+        # Replaying against the SAME app re-rolls the banner.
+        report = replay(trace, app.container)
+        assert not report.consistent
