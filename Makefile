@@ -1,0 +1,22 @@
+ENV := PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
+
+.PHONY: test stress bench results
+
+# Tier-1: the full unit/integration/property suite (what CI gates on).
+test:
+	$(ENV) python -m pytest -x -q
+
+# Threaded stress: every @pytest.mark.concurrency test plus the
+# 16-thread RUBiS stress benchmarks (dogpile coalescing + mixed
+# read/write consistency oracle).  `timeout` is a hang backstop —
+# pytest-timeout is not a dependency of this repo.
+stress:
+	$(ENV) timeout 600 python -m pytest -q -m concurrency \
+		tests benchmarks/test_concurrency_stress.py
+
+# Regenerate every paper figure + ablation (writes benchmarks/results/).
+bench:
+	$(ENV) python -m pytest benchmarks --benchmark-only -q
+
+results:
+	@cat benchmarks/results/*.txt

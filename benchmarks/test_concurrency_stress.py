@@ -1,0 +1,253 @@
+"""Concurrency stress: 16 real threads against the woven RUBiS app.
+
+Two barrages, mirroring how the paper's Tomcat deployment actually gets
+hurt:
+
+1. **Hot-key dogpile** -- every thread hammers one item page while a
+   background writer keeps invalidating it.  Single-flight coalescing
+   must collapse each post-invalidation stampede into one servlet
+   execution (>= 1 coalesced miss demonstrated), with zero errors.
+
+2. **Mixed read/write consistency** -- readers assert a monotonic
+   freshness floor: once a bid's write request completes, no later read
+   may serve a page showing fewer bids.  Zero violations allowed, and
+   the cache's byte/dependency accounting must be exact afterwards.
+
+Results land in ``benchmarks/results/concurrency_stress_dogpile.txt``
+and ``benchmarks/results/concurrency_stress_mixed.txt``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.apps.rubis import RubisDataset, build_rubis
+from repro.cache.autowebcache import AutoWebCache
+from repro.harness.loadgen import ThreadedLoadDriver, hot_key_factory
+from repro.web.http import HttpRequest
+
+N_THREADS = 16
+_CELL = re.compile(r"<td>([^<]*)</td>")
+
+
+def _nb_of_bids(body: str) -> int:
+    """Third data cell of the ViewItem table (the bid count)."""
+    cells = _CELL.findall(body)
+    assert len(cells) >= 3, f"unexpected item page: {body[:200]}"
+    return int(cells[2])
+
+
+def assert_cache_accounting_exact(awc: AutoWebCache) -> None:
+    pages = awc.cache.pages
+    entries = pages.entries()
+    assert pages.total_bytes == sum(entry.size for entry in entries)
+    live = set(pages.keys())
+    registered = {
+        page_key
+        for template in pages.dependencies.read_templates()
+        for page_key, _vector in pages.dependencies.instances_for(template)
+    }
+    assert registered <= live
+    expected = {e.key for e in entries if not e.semantic and e.dependencies}
+    assert registered == expected
+    stats = awc.stats
+    assert stats.lookups == (
+        stats.hits + stats.semantic_hits + stats.misses + stats.uncacheable
+    )
+    assert awc.cache.open_flights == 0
+
+
+@pytest.mark.concurrency
+def test_hot_key_dogpile_coalesces(figure_report):
+    app = build_rubis(RubisDataset(n_users=50, n_items=60))
+    awc = AutoWebCache()
+    awc.install(app.servlet_classes)
+    # The in-memory servlet is fast enough to finish inside one GIL
+    # slice, which would serialise the "concurrent" misses and hide the
+    # dogpile.  A tight switch interval forces real preemption -- the
+    # adversarial schedule a loaded production interpreter exhibits.
+    old_interval = sys.getswitchinterval()
+    sys.setswitchinterval(0.0002)
+    try:
+        hot_uri, hot_params = "/rubis/view_item", {"item": "1"}
+        stop = threading.Event()
+        writer_errors: list[str] = []
+
+        def invalidator() -> None:
+            """Keep re-invalidating the hot page: each write restarts
+            the stampede the flight must absorb."""
+            bid = 1000.0
+            while not stop.is_set():
+                bid += 1.0
+                response = app.container.post(
+                    "/rubis/store_bid",
+                    {"item": "1", "user": "2", "bid": str(bid)},
+                )
+                if response.status != 200:
+                    writer_errors.append(f"bid -> {response.status}")
+                time.sleep(0.001)
+
+        writer = threading.Thread(target=invalidator, daemon=True)
+        writer.start()
+        driver = ThreadedLoadDriver(
+            app.container,
+            hot_key_factory(hot_uri, hot_params),
+            n_threads=N_THREADS,
+            iterations=50,
+        )
+        result = driver.run(timeout=120.0)
+        stop.set()
+        writer.join(timeout=10)
+
+        assert result.errors == []
+        assert writer_errors == []
+        assert result.server_errors == 0
+        assert result.requests == N_THREADS * 50
+        stats = awc.stats
+        # The acceptance bar: at least one stampede was coalesced.
+        assert stats.coalesced_hits >= 1
+        # Coalescing + caching means far fewer servlet executions than
+        # requests: every request was a hit, a coalesced serve, or one
+        # of the (bounded) real computations.
+        computed = stats.inserts + stats.stale_inserts
+        assert computed + stats.hits + stats.coalesced_hits >= result.requests
+        assert_cache_accounting_exact(awc)
+        figure_report(
+            "concurrency_stress_dogpile",
+            "\n".join(
+                [
+                    "Hot-key dogpile: 16 threads x 50 reqs on /rubis/view_item?item=1",
+                    "with a background writer invalidating via store_bid",
+                    f"  requests          {result.requests}",
+                    f"  throughput        {result.throughput_rps:.0f} req/s",
+                    f"  mean latency      {result.mean_latency_ms:.2f} ms",
+                    f"  p95 latency       {result.percentile_ms(95):.2f} ms",
+                    f"  hits              {stats.hits}",
+                    f"  coalesced misses  {stats.coalesced_hits}",
+                    f"  servlet computes  {stats.inserts + stats.stale_inserts}",
+                    f"  stale inserts     {stats.stale_inserts}",
+                    f"  invalidations     {stats.invalidated_pages}",
+                    f"  errors            {len(result.errors)} "
+                    f"(server 5xx: {result.server_errors})",
+                ]
+            ),
+        )
+    finally:
+        sys.setswitchinterval(old_interval)
+        awc.uninstall()
+
+
+@pytest.mark.concurrency
+def test_mixed_read_write_zero_consistency_violations(figure_report):
+    app = build_rubis(RubisDataset(n_users=50, n_items=60))
+    awc = AutoWebCache()
+    awc.install(app.servlet_classes)
+    try:
+        n_writers = 4
+        n_readers = N_THREADS - n_writers
+        hot_items = list(range(1, n_writers + 1))
+        # Freshness floor: bids *committed* (write request completed)
+        # per item.  One writer per item keeps the app's own
+        # read-modify-write on nb_of_bids single-writer, so the floor
+        # is exact.
+        floor_lock = threading.Lock()
+        committed: dict[int, int] = {}
+        for item in hot_items:
+            result = app.database.query(
+                "SELECT nb_of_bids FROM items WHERE id = ?", (item,)
+            )
+            committed[item] = int(result.scalar() or 0)
+        violations: list[str] = []
+        errors: list[str] = []
+        barrier = threading.Barrier(N_THREADS)
+        bids_per_writer = 40
+        reads_per_reader = 80
+
+        def writer(item: int) -> None:
+            try:
+                barrier.wait(timeout=10)
+                for i in range(bids_per_writer):
+                    response = app.container.post(
+                        "/rubis/store_bid",
+                        {
+                            "item": str(item),
+                            "user": str(item + 10),
+                            "bid": str(2000.0 + i),
+                        },
+                    )
+                    if response.status != 200:
+                        errors.append(f"writer {item}: {response.status}")
+                        return
+                    with floor_lock:
+                        committed[item] += 1
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(f"writer {item}: {type(exc).__name__}: {exc}")
+
+        def reader(index: int) -> None:
+            try:
+                barrier.wait(timeout=10)
+                for i in range(reads_per_reader):
+                    item = hot_items[(index + i) % len(hot_items)]
+                    with floor_lock:
+                        floor = committed[item]
+                    response = app.container.handle(
+                        HttpRequest("GET", "/rubis/view_item", {"item": str(item)})
+                    )
+                    if response.status != 200:
+                        errors.append(f"reader {index}: {response.status}")
+                        return
+                    seen = _nb_of_bids(response.body)
+                    if seen < floor:
+                        violations.append(
+                            f"item {item}: served {seen} bids after "
+                            f"{floor} were committed"
+                        )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(f"reader {index}: {type(exc).__name__}: {exc}")
+
+        threads = [
+            threading.Thread(target=writer, args=(item,)) for item in hot_items
+        ] + [
+            threading.Thread(target=reader, args=(i,)) for i in range(n_readers)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        wall = time.perf_counter() - started
+
+        assert not any(t.is_alive() for t in threads), "stress run hung"
+        assert errors == []
+        assert violations == [], violations[:5]
+        assert_cache_accounting_exact(awc)
+        stats = awc.stats
+        total_requests = (
+            n_writers * bids_per_writer + n_readers * reads_per_reader
+        )
+        figure_report(
+            "concurrency_stress_mixed",
+            "\n".join(
+                [
+                    "Mixed read/write: 12 readers + 4 writers (16 threads), "
+                    "RUBiS view_item/store_bid",
+                    f"  requests          {total_requests}"
+                    f" ({n_writers * bids_per_writer} writes)",
+                    f"  wall time         {wall:.2f} s",
+                    f"  hits              {stats.hits}",
+                    f"  coalesced misses  {stats.coalesced_hits}",
+                    f"  invalidations     {stats.invalidated_pages}",
+                    f"  stale inserts     {stats.stale_inserts}",
+                    f"  consistency violations  {len(violations)}",
+                    f"  errors            {len(errors)}",
+                    "  accounting        exact (bytes + dependency table)",
+                ]
+            ),
+        )
+    finally:
+        awc.uninstall()

@@ -13,6 +13,7 @@ Figure 4 benchmark replays.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.cache.analysis import PairAnalysis, QueryAnalysisEngine
@@ -46,23 +47,29 @@ class AnalysisCache:
         self.engine = engine
         self._pairs: dict[tuple[str, str], PairAnalysis] = {}
         self.stats = AnalysisCacheStats()
+        # One lock covers memo + stats so concurrent invalidators never
+        # double-analyse a pair or tear the Figure 4 growth series.
+        self._lock = threading.RLock()
 
     def analyse(self, read: QueryTemplate, write: QueryTemplate) -> PairAnalysis:
         """Pair analysis with memoisation and statistics."""
         key = (read.text, write.text)
-        cached = self._pairs.get(key)
-        if cached is not None:
-            self.stats.hits += 1
-            return cached
-        self.stats.misses += 1
-        analysis = self.engine.analyse_pair(read, write)
-        self._pairs[key] = analysis
-        self.stats.growth.append((self.stats.lookups, len(self._pairs)))
-        return analysis
+        with self._lock:
+            cached = self._pairs.get(key)
+            if cached is not None:
+                self.stats.hits += 1
+                return cached
+            self.stats.misses += 1
+            analysis = self.engine.analyse_pair(read, write)
+            self._pairs[key] = analysis
+            self.stats.growth.append((self.stats.lookups, len(self._pairs)))
+            return analysis
 
     @property
     def entry_count(self) -> int:
-        return len(self._pairs)
+        with self._lock:
+            return len(self._pairs)
 
     def clear(self) -> None:
-        self._pairs.clear()
+        with self._lock:
+            self._pairs.clear()

@@ -7,16 +7,26 @@ aspects call: ``is_cacheable`` / ``check`` / ``insert`` /
 
 The cache takes a ``clock`` callable so the discrete-event simulator can
 drive TTL windows in virtual time; real deployments use ``time.time``.
+
+Thread model: every substructure (page store, dependency table,
+analysis cache, statistics) is individually thread-safe; the facade
+adds one coordination lock for the cross-structure state -- the
+single-flight table (``repro.cache.flight``), the write sequence
+number, and the buffer of writes that overlap open computations.  Lock
+order is facade -> substructure; no substructure ever calls back into
+the facade, so the ordering cannot invert.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable
 
 from repro.cache.analysis import InvalidationPolicy, QueryAnalysisEngine
 from repro.cache.analysis_cache import AnalysisCache
 from repro.cache.entry import PageEntry, QueryInstance
+from repro.cache.flight import Flight
 from repro.cache.invalidation import Invalidator
 from repro.cache.page_cache import PageCache
 from repro.cache.replacement import make_policy
@@ -37,12 +47,21 @@ class Cache:
         semantics: SemanticsRegistry | None = None,
         clock: Callable[[], float] = time.time,
         forced_miss: bool = False,
+        coalesce: bool = True,
+        flight_timeout: float = 30.0,
     ) -> None:
         self.semantics = semantics or SemanticsRegistry()
         self.clock = clock
         #: When True every lookup misses but all other machinery runs --
         #: the paper's cache-overhead measurement mode (Section 6).
         self.forced_miss = forced_miss
+        #: Coalesce concurrent misses on one key into a single servlet
+        #: execution (disabled in forced-miss mode, where every request
+        #: must execute to measure overhead).
+        self.coalesce = coalesce and not forced_miss
+        #: How long a waiter blocks on a leader before giving up and
+        #: computing the page itself (leader crash/beachball insurance).
+        self.flight_timeout = flight_timeout
         policy = make_policy(
             replacement, capacity, order_only=max_bytes is not None
         )
@@ -53,6 +72,14 @@ class Cache:
         self.invalidator = Invalidator(
             self.pages, self.analysis_cache, self.stats, invalidation_policy
         )
+        # -- cross-structure coordination (single-flight + staleness window)
+        self._lock = threading.RLock()
+        self._flights: dict[str, Flight] = {}
+        #: Monotonic counter bumped per invalidation event; flights
+        #: snapshot it to detect writes overlapping their computation.
+        self._write_seq = 0
+        #: (seq, write instance) buffer, kept only while flights exist.
+        self._recent_writes: list[tuple[int, QueryInstance]] = []
 
     @property
     def invalidation_policy(self) -> InvalidationPolicy:
@@ -90,7 +117,15 @@ class Cache:
         reads: list[QueryInstance],
         status: int = 200,
     ) -> PageEntry:
-        """Cache the page generated for ``request`` (cache insert)."""
+        """Cache the page generated for ``request`` (cache insert).
+
+        When a single-flight computation is open for the key, the
+        insert is first checked against the writes that were processed
+        while the page was being computed: if any would invalidate it,
+        the entry is *not* stored (the caller still serves the body it
+        computed -- equivalent to a request finishing just before the
+        write) and the flight is marked stale so waiters recompute.
+        """
         now = self.clock()
         ttl = self.semantics.ttl_for(request.uri)
         entry = PageEntry(
@@ -102,10 +137,97 @@ class Cache:
             expires_at=(now + ttl) if ttl is not None else None,
             semantic=ttl is not None,
         )
-        evicted = self.pages.insert(entry)
-        self.stats.inserts += 1
-        self.stats.evictions += len(evicted)
+        with self._lock:
+            flight = self._flights.get(entry.key)
+            if flight is not None:
+                if not flight.stale and self._overlapping_write(
+                    flight, list(reads)
+                ):
+                    flight.stale = True
+                if flight.stale:
+                    self.stats.record_stale_insert()
+                    return entry
+            evicted = self.pages.insert(entry)
+            self.stats.record_insert(evictions=len(evicted))
+            if flight is not None:
+                flight.entry = entry
         return entry
+
+    def _overlapping_write(
+        self, flight: Flight, reads: list[QueryInstance]
+    ) -> bool:
+        """Did a write that invalidates ``reads`` land mid-computation?
+
+        Caller holds the facade lock.  The buffered invalidation
+        information carries pre-images, so this is the exact same
+        precision as the normal invalidation protocol.
+        """
+        intervening = [
+            write
+            for seq, write in self._recent_writes
+            if seq > flight.start_seq
+        ]
+        if not intervening:
+            return False
+        return self.invalidator.intersects_any(reads, intervening)
+
+    # -- single-flight coalescing ------------------------------------------------------
+
+    def join_flight(self, key: str) -> tuple[Flight, bool]:
+        """Join (or open) the in-flight computation for ``key``.
+
+        Returns ``(flight, is_leader)``.  The leader must eventually
+        call :meth:`finish_flight` (on every exit path); waiters call
+        :meth:`wait_flight`.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is not None:
+                flight.waiters += 1
+                return flight, False
+            flight = Flight(key, self._write_seq)
+            self._flights[key] = flight
+            return flight, True
+
+    def wait_flight(self, flight: Flight) -> PageEntry | None:
+        """Block until the leader finishes; return the page to serve.
+
+        ``None`` means the waiter must recompute: the leader failed,
+        produced an uncacheable page, or an invalidation arrived during
+        the computation (the stale-body rule).
+        """
+        flight.done.wait(self.flight_timeout)
+        with self._lock:
+            if flight.stale or flight.entry is None:
+                return None
+            return flight.entry
+
+    def finish_flight(self, flight: Flight) -> None:
+        """Close the flight and wake waiters (leader's finally-block)."""
+        with self._lock:
+            if self._flights.get(flight.key) is flight:
+                del self._flights[flight.key]
+            if not self._flights:
+                # No open computations: the staleness window is empty.
+                self._recent_writes.clear()
+        flight.done.set()
+
+    @property
+    def open_flights(self) -> int:
+        with self._lock:
+            return len(self._flights)
+
+    def flight_for(self, key: str) -> Flight | None:
+        """The open computation for ``key``, if any (observability)."""
+        with self._lock:
+            return self._flights.get(key)
+
+    def _mark_flights_stale(self, keys: set[str]) -> None:
+        with self._lock:
+            for key in keys:
+                flight = self._flights.get(key)
+                if flight is not None:
+                    flight.stale = True
 
     # -- write path -------------------------------------------------------------------
 
@@ -114,7 +236,19 @@ class Cache:
         self.stats.record_write(uri)
         if not writes:
             return set()
-        return self.invalidator.process_writes(writes)
+        with self._lock:
+            if self._flights:
+                # Buffer the invalidation info for open computations'
+                # insert-time staleness check.
+                self._write_seq += 1
+                seq = self._write_seq
+                self._recent_writes.extend((seq, write) for write in writes)
+        doomed = self.invalidator.process_writes(writes)
+        if doomed:
+            # A doomed key with an open flight: the invalidation must
+            # win over the in-flight computation's eventual insert.
+            self._mark_flights_stale(doomed)
+        return doomed
 
     # -- management ----------------------------------------------------------------------
 
@@ -124,9 +258,14 @@ class Cache:
     def invalidate_key(self, key: str) -> bool:
         """External invalidation API (the DynamicWeb/Weave-style hook the
         paper suggests for updates bypassing the application)."""
+        with self._lock:
+            self._write_seq += 1
+            flight = self._flights.get(key)
+            if flight is not None:
+                flight.stale = True
         removed = self.pages.invalidate(key)
         if removed:
-            self.stats.invalidated_pages += 1
+            self.stats.record_invalidated()
         return removed
 
     def clear(self) -> None:

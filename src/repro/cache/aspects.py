@@ -53,9 +53,21 @@ UPDATE_POINTCUT = "call(Statement.execute_update(..))"
 
 
 class ReadServletAspect(Aspect):
-    """Cache checks and inserts around read-only servlets (Figure 10)."""
+    """Cache checks and inserts around read-only servlets (Figure 10).
+
+    On a miss the computation runs under single-flight coalescing:
+    concurrent misses on the same key join the first thread's
+    :class:`~repro.cache.flight.Flight` and serve the page it inserts,
+    so a hot key executes its servlet (and SQL) once per invalidation
+    instead of once per blocked client.  Waiters that wake to a failed
+    or stale flight retry; after a few failed rounds they compute the
+    page themselves so one crashing leader cannot starve the queue.
+    """
 
     precedence = 10
+
+    #: How many failed flights a waiter rides before computing solo.
+    max_flight_attempts = 3
 
     def __init__(self, cache: Cache, collector: ConsistencyCollector) -> None:
         self.cache = cache
@@ -75,7 +87,35 @@ class ReadServletAspect(Aspect):
             response.replace_body(entry.body)
             response.set_status(entry.status)
             return
-        # Miss: execute the request, collecting dependency information.
+        if not self.cache.coalesce:
+            self._execute_and_insert(joinpoint, request, response)
+            return
+        for _attempt in range(self.max_flight_attempts):
+            flight, is_leader = self.cache.join_flight(request.cache_key())
+            if is_leader:
+                try:
+                    self._execute_and_insert(joinpoint, request, response)
+                finally:
+                    self.cache.finish_flight(flight)
+                return
+            entry = self.cache.wait_flight(flight)
+            if entry is not None:
+                # Coalesced: serve the page the leader just inserted.
+                response.replace_body(entry.body)
+                response.set_status(entry.status)
+                self.cache.stats.record_coalesced(request.uri)
+                return
+            # Leader failed, page uncacheable, or invalidated while in
+            # flight: loop -- re-join (a new leader may already exist).
+        self._execute_and_insert(joinpoint, request, response)
+
+    def _execute_and_insert(
+        self,
+        joinpoint: JoinPoint,
+        request: HttpRequest,
+        response: HttpResponse,
+    ) -> None:
+        """Miss path: execute the servlet, collect dependencies, insert."""
         context = self.collector.begin("read", request.cache_key())
         try:
             joinpoint.proceed()

@@ -46,6 +46,8 @@ class AutoWebCache:
         semantics: SemanticsRegistry | None = None,
         clock: Callable[[], float] = time.time,
         forced_miss: bool = False,
+        coalesce: bool = True,
+        flight_timeout: float = 30.0,
     ) -> None:
         self.cache = Cache(
             invalidation_policy=policy,
@@ -55,6 +57,8 @@ class AutoWebCache:
             semantics=semantics,
             clock=clock,
             forced_miss=forced_miss,
+            coalesce=coalesce,
+            flight_timeout=flight_timeout,
         )
         self.collector = ConsistencyCollector()
         self.read_aspect = ReadServletAspect(self.cache, self.collector)

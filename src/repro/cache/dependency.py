@@ -5,10 +5,17 @@ pairs recorded when cached pages were generated.  When a write arrives,
 the invalidator walks the read templates that *may* depend on the write
 template (per the analysis engine) and runs the run-time intersection
 test against each registered instance.
+
+The table carries its own lock: the page cache mutates it while holding
+the page-store lock, but the invalidator also reads it directly from
+writer threads, so every method snapshots or mutates under the table
+lock.  Lock order is always page-store -> dependency table, never the
+reverse (the table calls back into nothing).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 
 from repro.cache.entry import QueryInstance
@@ -22,50 +29,58 @@ class DependencyTable:
         self._by_template: dict[
             QueryTemplate, dict[str, set[tuple[object, ...]]]
         ] = defaultdict(dict)
+        self._lock = threading.RLock()
 
     def register(self, page_key: str, instances: tuple[QueryInstance, ...]) -> None:
         """Record that ``page_key`` depends on each read instance."""
-        for instance in instances:
-            pages = self._by_template[instance.template]
-            vectors = pages.setdefault(page_key, set())
-            vectors.add(tuple(instance.values))
+        with self._lock:
+            for instance in instances:
+                pages = self._by_template[instance.template]
+                vectors = pages.setdefault(page_key, set())
+                vectors.add(tuple(instance.values))
 
     def unregister(self, page_key: str, instances: tuple[QueryInstance, ...]) -> None:
         """Remove ``page_key``'s registrations (on eviction/invalidation)."""
-        for instance in instances:
-            pages = self._by_template.get(instance.template)
-            if pages is None:
-                continue
-            pages.pop(page_key, None)
-            if not pages:
-                del self._by_template[instance.template]
+        with self._lock:
+            for instance in instances:
+                pages = self._by_template.get(instance.template)
+                if pages is None:
+                    continue
+                pages.pop(page_key, None)
+                if not pages:
+                    del self._by_template[instance.template]
 
     def read_templates(self) -> list[QueryTemplate]:
         """Every read template currently backing at least one page."""
-        return list(self._by_template)
+        with self._lock:
+            return list(self._by_template)
 
     def instances_for(
         self, template: QueryTemplate
     ) -> list[tuple[str, tuple[object, ...]]]:
         """(page key, value vector) pairs registered under ``template``."""
-        pages = self._by_template.get(template, {})
-        return [
-            (page_key, vector)
-            for page_key, vectors in pages.items()
-            for vector in vectors
-        ]
+        with self._lock:
+            pages = self._by_template.get(template, {})
+            return [
+                (page_key, vector)
+                for page_key, vectors in pages.items()
+                for vector in vectors
+            ]
 
     def clear(self) -> None:
-        self._by_template.clear()
+        with self._lock:
+            self._by_template.clear()
 
     @property
     def template_count(self) -> int:
-        return len(self._by_template)
+        with self._lock:
+            return len(self._by_template)
 
     @property
     def registration_count(self) -> int:
-        return sum(
-            len(vectors)
-            for pages in self._by_template.values()
-            for vectors in pages.values()
-        )
+        with self._lock:
+            return sum(
+                len(vectors)
+                for pages in self._by_template.values()
+                for vectors in pages.values()
+            )

@@ -1,0 +1,51 @@
+"""Single-flight request coalescing (dogpile suppression).
+
+The paper's AutoWebCache runs inside a multi-threaded Tomcat: when a
+popular page is invalidated, every concurrent client misses at once and
+-- without coalescing -- each executes the servlet and its SQL,
+stampeding the database exactly when it is busiest.  A *single-flight*
+discipline executes the computation once: the first miss becomes the
+leader, later misses on the same key become waiters that block on the
+leader's :class:`Flight` and serve the freshly inserted page.
+
+Consistency rule (the part naive coalescing gets wrong): a page is
+computed from database reads, and a write may land *between* those
+reads and the insert.  The in-flight page has no dependency-table
+registrations yet, so the normal invalidation protocol cannot doom it.
+:class:`~repro.cache.api.Cache` therefore stamps each flight with the
+write sequence number at start, buffers the invalidation information of
+writes processed while any flight is open, and re-runs the intersection
+test at insert time; an overlapping, intersecting write marks the
+flight ``stale`` -- the page is not inserted, waiters wake empty and
+recompute instead of serving a stale body.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class Flight:
+    """One in-flight page computation, shared by leader and waiters."""
+
+    __slots__ = ("key", "start_seq", "entry", "stale", "waiters", "done")
+
+    def __init__(self, key: str, start_seq: int) -> None:
+        self.key = key
+        #: Cache-wide write sequence number when the computation began;
+        #: writes processed after this point overlap the computation.
+        self.start_seq = start_seq
+        #: The inserted PageEntry, published by the leader on success.
+        self.entry = None
+        #: Set when an invalidation lands during the computation.
+        self.stale = False
+        #: Number of requests that joined instead of computing.
+        self.waiters = 0
+        self.done = threading.Event()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.done.is_set() else "flying"
+        return (
+            f"<Flight {self.key!r} {state} waiters={self.waiters}"
+            f"{' stale' if self.stale else ''}>"
+        )

@@ -45,7 +45,7 @@ class Invalidator:
             doomed |= self._affected_pages(write)
         for key in doomed:
             if self._pages.invalidate(key):
-                self._stats.invalidated_pages += 1
+                self._stats.record_invalidated()
         return doomed
 
     def _affected_pages(self, write: QueryInstance) -> set[str]:
@@ -59,7 +59,33 @@ class Invalidator:
             ):
                 if page_key in affected:
                     continue
-                self._stats.intersection_tests += 1
+                self._stats.record_intersection_test()
                 if self.engine.intersects(pair, values, write, self.policy):
                     affected.add(page_key)
         return affected
+
+    def intersects_any(
+        self,
+        reads: list[QueryInstance],
+        writes: list[QueryInstance],
+    ) -> bool:
+        """Would any of ``writes`` invalidate a page with ``reads``?
+
+        The same template-pair analysis + run-time intersection test as
+        :meth:`process_writes`, but against a *prospective* dependency
+        set -- used to reject inserting a page whose computation window
+        overlapped an invalidating write (single-flight staleness
+        check), since an in-flight page has no dependency-table
+        registrations for the normal protocol to hit.
+        """
+        for write in writes:
+            for read in reads:
+                pair = self._analysis.analyse(read.template, write.template)
+                if not pair.possible:
+                    continue
+                self._stats.record_intersection_test()
+                if self.engine.intersects(
+                    pair, tuple(read.values), write, self.policy
+                ):
+                    return True
+        return False

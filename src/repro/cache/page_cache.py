@@ -3,9 +3,17 @@
 Tracks *why* an absent key is absent (never seen, invalidated, evicted,
 expired) so the statistics layer can reproduce the paper's miss
 taxonomy (Figures 16-17: cold misses vs invalidation misses).
+
+Every public operation is atomic under one store lock, so concurrent
+lookup/insert/invalidate from serving threads cannot tear the
+``total_bytes`` accounting, the replacement policy's ordering, or the
+dependency registrations (which are updated while the store lock is
+held; lock order is store -> dependency table, never the reverse).
 """
 
 from __future__ import annotations
+
+import threading
 
 from repro.cache.dependency import DependencyTable
 from repro.cache.entry import PageEntry
@@ -35,12 +43,15 @@ class PageCache:
         #: key -> reason it is gone ("invalidation"/"capacity"/"expired").
         self._gone: dict[str, str] = {}
         self.eviction_count = 0
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     @property
     def replacement_policy(self) -> ReplacementPolicy:
@@ -55,48 +66,53 @@ class PageCache:
         of ``"cold"``, ``"invalidation"``, ``"capacity"``, ``"expired"``.
         Expired TTL entries are removed as a side effect.
         """
-        entry = self._entries.get(key)
-        if entry is not None:
-            if entry.expired(now):
-                self._remove(key, reason="expired")
-                return None, "expired"
-            entry.hit_count += 1
-            self._policy.on_access(key)
-            return entry, "hit"
-        return None, self._gone.pop(key, "cold")
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                if entry.expired(now):
+                    self._remove(key, reason="expired")
+                    return None, "expired"
+                entry.hit_count += 1
+                self._policy.on_access(key)
+                return entry, "hit"
+            return None, self._gone.pop(key, "cold")
 
     def peek(self, key: str) -> PageEntry | None:
         """Entry for ``key`` without touching recency or expiry."""
-        return self._entries.get(key)
+        with self._lock:
+            return self._entries.get(key)
 
     def keys(self) -> list[str]:
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     def entries(self) -> list[PageEntry]:
-        return list(self._entries.values())
+        with self._lock:
+            return list(self._entries.values())
 
     # -- insert / remove --------------------------------------------------------------
 
     def insert(self, entry: PageEntry) -> list[str]:
         """Store ``entry`` and return the keys evicted to make room."""
-        if entry.key in self._entries:
-            # Refresh: replace in place (dependencies re-registered).
-            self._remove(entry.key, reason="refresh")
-        self._entries[entry.key] = entry
-        self.total_bytes += entry.size
-        self._gone.pop(entry.key, None)
-        self._policy.on_insert(entry.key)
-        if not entry.semantic:
-            self.dependencies.register(entry.key, entry.dependencies)
-        evicted: list[str] = []
-        while self._over_capacity():
-            victim = self._policy.victim()
-            if victim == entry.key and len(self._entries) == 1:
-                break  # never evict the sole, just-inserted entry
-            self._remove(victim, reason="capacity")
-            self.eviction_count += 1
-            evicted.append(victim)
-        return evicted
+        with self._lock:
+            if entry.key in self._entries:
+                # Refresh: replace in place (dependencies re-registered).
+                self._remove(entry.key, reason="refresh")
+            self._entries[entry.key] = entry
+            self.total_bytes += entry.size
+            self._gone.pop(entry.key, None)
+            self._policy.on_insert(entry.key)
+            if not entry.semantic:
+                self.dependencies.register(entry.key, entry.dependencies)
+            evicted: list[str] = []
+            while self._over_capacity():
+                victim = self._policy.victim()
+                if victim == entry.key and len(self._entries) == 1:
+                    break  # never evict the sole, just-inserted entry
+                self._remove(victim, reason="capacity")
+                self.eviction_count += 1
+                evicted.append(victim)
+            return evicted
 
     def _over_capacity(self) -> bool:
         if self._policy.needs_eviction:
@@ -105,15 +121,17 @@ class PageCache:
 
     def invalidate(self, key: str) -> bool:
         """Remove ``key`` due to a consistency invalidation."""
-        if key not in self._entries:
-            return False
-        self._remove(key, reason="invalidation")
-        return True
+        with self._lock:
+            if key not in self._entries:
+                return False
+            self._remove(key, reason="invalidation")
+            return True
 
     def clear(self) -> None:
-        for key in list(self._entries):
-            self._remove(key, reason="refresh")
-        self._gone.clear()
+        with self._lock:
+            for key in list(self._entries):
+                self._remove(key, reason="refresh")
+            self._gone.clear()
 
     def _remove(self, key: str, reason: str) -> None:
         entry = self._entries.pop(key, None)

@@ -22,6 +22,8 @@ whose pages are uncacheable still enjoy result-set hits).
 
 from __future__ import annotations
 
+import threading
+
 from repro.cache.analysis import InvalidationPolicy, QueryAnalysisEngine
 from repro.cache.analysis_cache import AnalysisCache
 from repro.cache.entry import QueryInstance
@@ -69,9 +71,14 @@ class ResultCache:
             QueryTemplate, dict[tuple[object, ...], QueryResult]
         ] = {}
         self.stats = ResultCacheStats()
+        # Serialises lookup/insert against write-driven invalidation so
+        # concurrent serving threads cannot resurrect a doomed entry or
+        # tear the per-template vector maps.
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return sum(len(vectors) for vectors in self._entries.values())
+        with self._lock:
+            return sum(len(vectors) for vectors in self._entries.values())
 
     # -- read path -----------------------------------------------------------------
 
@@ -79,12 +86,13 @@ class ResultCache:
         self, template: QueryTemplate, values: tuple[object, ...]
     ) -> QueryResult | None:
         """Cached result for this query instance, if present."""
-        entry = self._entries.get(template, {}).get(values)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(template, {}).get(values)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            return entry
 
     def insert(
         self,
@@ -93,28 +101,31 @@ class ResultCache:
         result: QueryResult,
     ) -> None:
         """Cache ``result`` for this query instance."""
-        self._entries.setdefault(template, {})[values] = result
-        self.stats.inserts += 1
+        with self._lock:
+            self._entries.setdefault(template, {})[values] = result
+            self.stats.inserts += 1
 
     # -- write path -----------------------------------------------------------------
 
     def process_write(self, write: QueryInstance) -> int:
         """Invalidate every cached result the write may affect."""
-        removed = 0
-        for template in list(self._entries):
-            pair = self.analysis_cache.analyse(template, write.template)
-            if not pair.possible:
-                continue
-            vectors = self._entries[template]
-            for values in list(vectors):
-                self.stats.intersection_tests += 1
-                if self.engine.intersects(pair, values, write, self.policy):
-                    del vectors[values]
-                    removed += 1
-            if not vectors:
-                del self._entries[template]
-        self.stats.invalidated_entries += removed
-        return removed
+        with self._lock:
+            removed = 0
+            for template in list(self._entries):
+                pair = self.analysis_cache.analyse(template, write.template)
+                if not pair.possible:
+                    continue
+                vectors = self._entries[template]
+                for values in list(vectors):
+                    self.stats.intersection_tests += 1
+                    if self.engine.intersects(pair, values, write, self.policy):
+                        del vectors[values]
+                        removed += 1
+                if not vectors:
+                    del self._entries[template]
+            self.stats.invalidated_entries += removed
+            return removed
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

@@ -6,10 +6,19 @@ including the paper's miss taxonomy: *cold* misses (never cached),
 *capacity* misses (evicted by the replacement policy -- only with a
 bounded cache), *expired* misses (TTL window lapsed), plus uncacheable
 requests and semantic hits (TTL-window hits, Figure 17's third bar).
+
+All mutation goes through ``record_*`` methods guarded by one lock, so
+counters stay exact when the container serves requests from a thread
+pool (the paper's Tomcat deployment).  Coalesced serves -- waiters of a
+single-flight computation handed the freshly inserted page -- are
+tracked separately from hits because the waiter already recorded its
+miss at lookup time; ``coalesced_hits`` explains the gap between
+misses and servlet executions.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 
@@ -26,6 +35,8 @@ class RequestTypeStats:
     misses_expired: int = 0
     uncacheable: int = 0
     writes: int = 0
+    #: Misses served from another request's in-flight computation.
+    coalesced: int = 0
 
     @property
     def misses(self) -> int:
@@ -71,14 +82,24 @@ class CacheStats:
     write_requests: int = 0
     #: Instance-level intersection tests executed.
     intersection_tests: int = 0
+    #: Misses served from a concurrent single-flight computation
+    #: (dogpile suppression): N concurrent misses, one execution.
+    coalesced_hits: int = 0
+    #: Inserts skipped because an invalidating write landed while the
+    #: page was being computed (the check-then-insert race, detected).
+    stale_inserts: int = 0
     by_type: dict[str, RequestTypeStats] = field(default_factory=dict)
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, init=False, repr=False, compare=False
+    )
 
     def type_stats(self, uri: str) -> RequestTypeStats:
-        stats = self.by_type.get(uri)
-        if stats is None:
-            stats = RequestTypeStats(uri=uri)
-            self.by_type[uri] = stats
-        return stats
+        with self._lock:
+            stats = self.by_type.get(uri)
+            if stats is None:
+                stats = RequestTypeStats(uri=uri)
+                self.by_type[uri] = stats
+            return stats
 
     @property
     def misses(self) -> int:
@@ -98,37 +119,63 @@ class CacheStats:
         return (self.hits + self.semantic_hits) / cacheable
 
     def record_hit(self, uri: str, semantic: bool) -> None:
-        self.lookups += 1
-        if semantic:
-            self.semantic_hits += 1
-            self.type_stats(uri).semantic_hits += 1
-        else:
-            self.hits += 1
-            self.type_stats(uri).hits += 1
+        with self._lock:
+            self.lookups += 1
+            if semantic:
+                self.semantic_hits += 1
+                self.type_stats(uri).semantic_hits += 1
+            else:
+                self.hits += 1
+                self.type_stats(uri).hits += 1
 
     def record_miss(self, uri: str, reason: str) -> None:
-        self.lookups += 1
-        stats = self.type_stats(uri)
-        if reason == "cold":
-            self.misses_cold += 1
-            stats.misses_cold += 1
-        elif reason == "invalidation":
-            self.misses_invalidation += 1
-            stats.misses_invalidation += 1
-        elif reason == "capacity":
-            self.misses_capacity += 1
-            stats.misses_capacity += 1
-        elif reason == "expired":
-            self.misses_expired += 1
-            stats.misses_expired += 1
-        else:  # pragma: no cover - defensive
-            raise ValueError(f"unknown miss reason {reason!r}")
+        with self._lock:
+            self.lookups += 1
+            stats = self.type_stats(uri)
+            if reason == "cold":
+                self.misses_cold += 1
+                stats.misses_cold += 1
+            elif reason == "invalidation":
+                self.misses_invalidation += 1
+                stats.misses_invalidation += 1
+            elif reason == "capacity":
+                self.misses_capacity += 1
+                stats.misses_capacity += 1
+            elif reason == "expired":
+                self.misses_expired += 1
+                stats.misses_expired += 1
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown miss reason {reason!r}")
 
     def record_uncacheable(self, uri: str) -> None:
-        self.lookups += 1
-        self.uncacheable += 1
-        self.type_stats(uri).uncacheable += 1
+        with self._lock:
+            self.lookups += 1
+            self.uncacheable += 1
+            self.type_stats(uri).uncacheable += 1
 
     def record_write(self, uri: str) -> None:
-        self.write_requests += 1
-        self.type_stats(uri).writes += 1
+        with self._lock:
+            self.write_requests += 1
+            self.type_stats(uri).writes += 1
+
+    def record_insert(self, evictions: int = 0) -> None:
+        with self._lock:
+            self.inserts += 1
+            self.evictions += evictions
+
+    def record_invalidated(self, pages: int = 1) -> None:
+        with self._lock:
+            self.invalidated_pages += pages
+
+    def record_intersection_test(self) -> None:
+        with self._lock:
+            self.intersection_tests += 1
+
+    def record_coalesced(self, uri: str) -> None:
+        with self._lock:
+            self.coalesced_hits += 1
+            self.type_stats(uri).coalesced += 1
+
+    def record_stale_insert(self) -> None:
+        with self._lock:
+            self.stale_inserts += 1

@@ -13,6 +13,11 @@ from repro.harness.experiments import (
     run_per_request_breakdown,
     run_response_time_curve,
 )
+from repro.harness.loadgen import (
+    LoadResult,
+    ThreadedLoadDriver,
+    hot_key_factory,
+)
 from repro.harness.reporting import render_chart, render_series, render_table
 
 __all__ = [
@@ -24,4 +29,7 @@ __all__ = [
     "render_table",
     "render_series",
     "render_chart",
+    "ThreadedLoadDriver",
+    "LoadResult",
+    "hot_key_factory",
 ]

@@ -1,0 +1,158 @@
+"""Threaded closed-loop load driver: real threads against the container.
+
+The simulator (`repro.sim`) models clients in virtual time on one
+thread -- ideal for the paper's response-time figures, useless for
+finding data races.  This driver is its concurrency counterpart: N
+OS threads in a closed loop (issue, wait for completion, think, issue
+again) against a live :class:`~repro.web.container.ServletContainer`,
+exactly the shape of the paper's RUBiS/TPC-W client emulators driving
+Tomcat's thread pool.
+
+Each thread gets a ``request_factory(thread_index, iteration, rng)``
+callback so workloads can script anything from a single hot key (the
+dogpile test) to a mixed read/write barrage.  Failures are collected,
+never swallowed: the result object reports every exception and every
+non-2xx/404 response so stress tests can assert *zero*.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.web.container import ServletContainer
+from repro.web.http import HttpRequest
+
+RequestFactory = Callable[[int, int, random.Random], HttpRequest]
+
+
+@dataclass
+class LoadResult:
+    """Outcome of one threaded closed-loop run."""
+
+    threads: int
+    requests: int = 0
+    errors: list[str] = field(default_factory=list)
+    #: Responses whose status was >= 500 (the container converts
+    #: servlet bugs into 500 pages rather than raising).
+    server_errors: int = 0
+    statuses: dict[int, int] = field(default_factory=dict)
+    latencies_ms: list[float] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors and not self.server_errors
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.requests / self.wall_seconds
+
+    @property
+    def mean_latency_ms(self) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        return sum(self.latencies_ms) / len(self.latencies_ms)
+
+    def percentile_ms(self, p: float) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        index = min(len(ordered) - 1, int(p / 100.0 * len(ordered)))
+        return ordered[index]
+
+
+class ThreadedLoadDriver:
+    """Closed-loop load from ``n_threads`` real threads.
+
+    Every thread performs ``iterations`` rounds: build a request via
+    ``request_factory``, dispatch it synchronously through the
+    container, validate, repeat.  A barrier aligns thread start so the
+    first iteration genuinely contends (the dogpile moment); an
+    optional ``think_time`` sleeps between rounds.
+    """
+
+    def __init__(
+        self,
+        container: ServletContainer,
+        request_factory: RequestFactory,
+        n_threads: int = 16,
+        iterations: int = 50,
+        think_time: float = 0.0,
+        seed: int = 7,
+    ) -> None:
+        self.container = container
+        self.request_factory = request_factory
+        self.n_threads = n_threads
+        self.iterations = iterations
+        self.think_time = think_time
+        self.seed = seed
+
+    def run(self, timeout: float = 60.0) -> LoadResult:
+        """Run the barrage; returns the merged result."""
+        result = LoadResult(threads=self.n_threads)
+        lock = threading.Lock()
+        barrier = threading.Barrier(self.n_threads)
+
+        def worker(index: int) -> None:
+            rng = random.Random((self.seed << 16) ^ index)
+            local_latencies: list[float] = []
+            local_statuses: dict[int, int] = {}
+            local_errors: list[str] = []
+            count = 0
+            try:
+                barrier.wait(timeout=10.0)
+                for iteration in range(self.iterations):
+                    request = self.request_factory(index, iteration, rng)
+                    started = time.perf_counter()
+                    response = self.container.handle(request)
+                    elapsed = (time.perf_counter() - started) * 1000.0
+                    count += 1
+                    local_latencies.append(elapsed)
+                    local_statuses[response.status] = (
+                        local_statuses.get(response.status, 0) + 1
+                    )
+                    if self.think_time:
+                        time.sleep(self.think_time)
+            except Exception as exc:
+                local_errors.append(f"thread {index}: {type(exc).__name__}: {exc}")
+            with lock:
+                result.requests += count
+                result.latencies_ms.extend(local_latencies)
+                result.errors.extend(local_errors)
+                for status, n in local_statuses.items():
+                    result.statuses[status] = result.statuses.get(status, 0) + n
+                    if status >= 500:
+                        result.server_errors += n
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), daemon=True)
+            for i in range(self.n_threads)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        deadline = started + timeout
+        for thread in threads:
+            thread.join(timeout=max(0.0, deadline - time.perf_counter()))
+        alive = [t for t in threads if t.is_alive()]
+        if alive:
+            result.errors.append(
+                f"{len(alive)} worker thread(s) still running after {timeout}s"
+            )
+        result.wall_seconds = time.perf_counter() - started
+        return result
+
+
+def hot_key_factory(uri: str, params: dict[str, str]) -> RequestFactory:
+    """Every thread, every iteration: the same GET (the dogpile shape)."""
+
+    def factory(_index: int, _iteration: int, _rng: random.Random) -> HttpRequest:
+        return HttpRequest("GET", uri, dict(params))
+
+    return factory

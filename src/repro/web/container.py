@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from typing import Callable
 
 from repro.errors import RoutingError, WebError
@@ -21,19 +22,34 @@ class ServletContainer:
     "on (in front of) the application server".
     """
 
-    def __init__(self, use_sessions: bool = False) -> None:
+    def __init__(
+        self,
+        use_sessions: bool = False,
+        session_manager: SessionManager | None = None,
+    ) -> None:
         self._routes: dict[str, HttpServlet] = {}
-        self._sessions = SessionManager() if use_sessions else None
+        if session_manager is not None:
+            self._sessions: SessionManager | None = session_manager
+        else:
+            self._sessions = SessionManager() if use_sessions else None
         self.request_count = 0
         self.error_count = 0
         #: Optional observer invoked as (request, response) after dispatch.
         self.observer: Callable[[HttpRequest, HttpResponse], None] | None = None
+        # Guards routing mutations and the request/error counters so a
+        # threaded server never loses counts or half-registers a route.
+        self._lock = threading.Lock()
+
+    @property
+    def sessions(self) -> SessionManager | None:
+        return self._sessions
 
     def register(self, uri: str, servlet: HttpServlet) -> None:
         """Map ``uri`` to ``servlet`` and run its init lifecycle hook."""
-        if uri in self._routes:
-            raise WebError(f"URI {uri!r} is already mapped")
-        self._routes[uri] = servlet
+        with self._lock:
+            if uri in self._routes:
+                raise WebError(f"URI {uri!r} is already mapped")
+            self._routes[uri] = servlet
         servlet.init()
 
     def servlet_for(self, uri: str) -> HttpServlet:
@@ -57,14 +73,16 @@ class ServletContainer:
     def handle(self, request: HttpRequest) -> HttpResponse:
         """Dispatch one request and return the completed response."""
         response = HttpResponse()
-        self.request_count += 1
+        with self._lock:
+            self.request_count += 1
         servlet = self.servlet_for(request.uri)
         if self._sessions is not None:
             request.session = self._sessions.resolve(request, response)
         try:
             servlet.service(request, response)
         except Exception as exc:  # servlet bug -> 500, container survives
-            self.error_count += 1
+            with self._lock:
+                self.error_count += 1
             response.send_error(500, f"{type(exc).__name__}: {exc}")
         if self.observer is not None:
             self.observer(request, response)

@@ -5,16 +5,32 @@ state that flows through cookies (e.g. a logged-in user id) bypasses the
 URI+parameters cache key and must be handled explicitly (Section 4.3,
 "Cookies").  The benchmark applications pass identity in parameters, as
 the paper's do, but the machinery is here for the transparency tests.
+
+The manager is thread-safe and bounded: Tomcat-style containers serve
+cookieless clients (bots, first visits) at arbitrary rates, and a
+manager that allocates a session per such request forever is a memory
+leak.  Sessions idle past ``idle_timeout`` are reclaimed lazily, and
+when ``max_sessions`` is reached the least-recently-used session is
+evicted -- both under the manager lock, so concurrent resolves never
+hand two clients the same new id or corrupt the LRU order.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Any
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable
 
 from repro.web.http import HttpRequest, HttpResponse
 
 SESSION_COOKIE = "JSESSIONID"
+
+#: Default bound on live sessions (Tomcat's maxActiveSessions analogue).
+DEFAULT_MAX_SESSIONS = 10_000
+#: Default idle expiry, seconds (Tomcat's 30-minute default).
+DEFAULT_IDLE_TIMEOUT = 1800.0
 
 
 class HttpSession:
@@ -23,40 +39,99 @@ class HttpSession:
     def __init__(self, session_id: str) -> None:
         self.session_id = session_id
         self._attributes: dict[str, Any] = {}
+        self._lock = threading.RLock()
+        #: Last resolve time, maintained by the manager.
+        self.last_access = 0.0
 
     def get(self, name: str, default: Any = None) -> Any:
-        return self._attributes.get(name, default)
+        with self._lock:
+            return self._attributes.get(name, default)
 
     def set(self, name: str, value: Any) -> None:
-        self._attributes[name] = value
+        with self._lock:
+            self._attributes[name] = value
 
     def remove(self, name: str) -> None:
-        self._attributes.pop(name, None)
+        with self._lock:
+            self._attributes.pop(name, None)
 
     def invalidate(self) -> None:
-        self._attributes.clear()
+        with self._lock:
+            self._attributes.clear()
 
 
 class SessionManager:
-    """Creates and resolves sessions from the session cookie."""
+    """Creates and resolves sessions from the session cookie.
 
-    def __init__(self) -> None:
-        self._sessions: dict[str, HttpSession] = {}
+    ``max_sessions`` bounds the number of live sessions (LRU eviction);
+    ``idle_timeout`` expires sessions not resolved for that many
+    seconds.  Either may be None to disable that bound.  ``clock`` is
+    injectable for tests and the virtual-time simulator.
+    """
+
+    def __init__(
+        self,
+        max_sessions: int | None = DEFAULT_MAX_SESSIONS,
+        idle_timeout: float | None = DEFAULT_IDLE_TIMEOUT,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        #: LRU order: oldest-resolved session first.
+        self._sessions: OrderedDict[str, HttpSession] = OrderedDict()
         self._ids = itertools.count(1)
+        self._lock = threading.RLock()
+        self.max_sessions = max_sessions
+        self.idle_timeout = idle_timeout
+        self._clock = clock
+        #: Sessions reclaimed so far (idle expiry + LRU eviction).
+        self.expired_count = 0
+        self.evicted_count = 0
 
     def resolve(self, request: HttpRequest, response: HttpResponse) -> HttpSession:
         """Return the request's session, creating one if necessary.
 
         New sessions set the session cookie on the response.
         """
-        session_id = request.get_cookie(SESSION_COOKIE)
-        if session_id is not None and session_id in self._sessions:
-            return self._sessions[session_id]
-        session_id = f"s{next(self._ids):08d}"
-        session = HttpSession(session_id)
-        self._sessions[session_id] = session
-        response.add_cookie(SESSION_COOKIE, session_id)
-        return session
+        now = self._clock()
+        with self._lock:
+            self._expire_idle(now)
+            session_id = request.get_cookie(SESSION_COOKIE)
+            if session_id is not None:
+                session = self._sessions.get(session_id)
+                if session is not None:
+                    session.last_access = now
+                    self._sessions.move_to_end(session_id)
+                    return session
+            session_id = f"s{next(self._ids):08d}"
+            session = HttpSession(session_id)
+            session.last_access = now
+            self._sessions[session_id] = session
+            self._evict_over_cap()
+            response.add_cookie(SESSION_COOKIE, session_id)
+            return session
+
+    def _expire_idle(self, now: float) -> None:
+        """Drop sessions idle past the timeout (caller holds the lock).
+
+        The LRU order means idle sessions cluster at the front, so the
+        scan stops at the first live one.
+        """
+        if self.idle_timeout is None:
+            return
+        while self._sessions:
+            session_id, session = next(iter(self._sessions.items()))
+            if now - session.last_access < self.idle_timeout:
+                break
+            del self._sessions[session_id]
+            self.expired_count += 1
+
+    def _evict_over_cap(self) -> None:
+        """Evict least-recently-used sessions (caller holds the lock)."""
+        if self.max_sessions is None:
+            return
+        while len(self._sessions) > self.max_sessions:
+            self._sessions.popitem(last=False)
+            self.evicted_count += 1
 
     def __len__(self) -> int:
-        return len(self._sessions)
+        with self._lock:
+            return len(self._sessions)

@@ -4,7 +4,10 @@ The evaluation drives the container directly (the client emulator plays
 the role of Apache + the network), but a downstream user wants to mount
 the cached application behind a real server.  :class:`WsgiAdapter`
 turns a container into a standard WSGI callable, and :func:`serve` runs
-it on ``wsgiref``'s reference server:
+it on a **multi-threaded** server (``ThreadingMixIn`` over wsgiref's
+reference server) -- the paper's deployment shape, where Tomcat's
+thread pool serves concurrent RUBiS/TPC-W clients through one woven
+cache:
 
     app = build_rubis()
     awc = AutoWebCache()
@@ -14,11 +17,17 @@ it on ``wsgiref``'s reference server:
 Cookies (including the session cookie) and form-encoded POST bodies are
 mapped onto :class:`~repro.web.http.HttpRequest` exactly as the
 container's direct API does, so woven caching behaves identically.
+Unexpected failures anywhere in the dispatch path (session resolution,
+observers, adapter bugs) are converted into a 500 page instead of
+leaking into the WSGI server and dropping the connection.
 """
 
 from __future__ import annotations
 
+import threading
+from socketserver import ThreadingMixIn
 from typing import Callable, Iterable
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
 
 from repro.errors import RoutingError
 from repro.web.container import ServletContainer
@@ -30,6 +39,13 @@ _STATUS_PHRASES = {
     404: "Not Found",
     405: "Method Not Allowed",
     500: "Internal Server Error",
+}
+
+#: CGI meta-variables that are HTTP headers without the ``HTTP_`` prefix
+#: (RFC 3875 section 4.1): they must be mapped back into the header dict.
+_UNPREFIXED_HEADERS = {
+    "CONTENT_TYPE": "Content-Type",
+    "CONTENT_LENGTH": "Content-Length",
 }
 
 
@@ -57,12 +73,28 @@ class WsgiAdapter:
         environ: dict,
         start_response: Callable[[str, list[tuple[str, str]]], object],
     ) -> Iterable[bytes]:
-        request = self._build_request(environ)
         try:
+            request = self._build_request(environ)
             response = self._container.handle(request)
         except RoutingError:
             start_response("404 Not Found", [("Content-Type", "text/html")])
             return [b"<html><body><h1>404</h1></body></html>"]
+        except Exception as exc:
+            # Anything else (session layer, observer, adapter bug): the
+            # connection must get a well-formed 500, not a dropped
+            # socket and a wsgiref traceback.
+            body = (
+                f"<html><body><h1>500</h1>"
+                f"<p>{type(exc).__name__}</p></body></html>"
+            ).encode("utf-8")
+            start_response(
+                "500 Internal Server Error",
+                [
+                    ("Content-Type", "text/html"),
+                    ("Content-Length", str(len(body))),
+                ],
+            )
+            return [body]
         headers = list(response.headers.items())
         for name, value in response.cookies.items():
             headers.append(("Set-Cookie", f"{name}={value}; Path=/"))
@@ -86,20 +118,100 @@ class WsgiAdapter:
                 if "application/x-www-form-urlencoded" in content_type:
                     params.update(parse_query_string(body))
         cookies = _parse_cookies(environ.get("HTTP_COOKIE", ""))
+        # HTTP_* CGI variables back to header names -- except the cookie
+        # header, which is already parsed into the cookies dict (a raw
+        # duplicate would leak through cache keys and transparency
+        # checks that only consult ``cookies``).
         headers = {
             key[5:].replace("_", "-").title(): value
             for key, value in environ.items()
-            if key.startswith("HTTP_")
+            if key.startswith("HTTP_") and key != "HTTP_COOKIE"
         }
+        # Content-Type/Content-Length arrive unprefixed (RFC 3875).
+        for variable, header in _UNPREFIXED_HEADERS.items():
+            if environ.get(variable):
+                headers[header] = environ[variable]
         return HttpRequest(
             method, uri, params, cookies=cookies, headers=headers
         )
 
 
-def serve(container: ServletContainer, host: str = "127.0.0.1", port: int = 8080):
-    """Run the container on wsgiref's reference server (blocking)."""
-    from wsgiref.simple_server import make_server
+class ThreadingWsgiServer(ThreadingMixIn, WSGIServer):
+    """wsgiref's reference server with a thread per connection.
 
-    with make_server(host, port, WsgiAdapter(container)) as server:
+    ``daemon_threads`` keeps worker threads from blocking interpreter
+    shutdown; ``block_on_close=False`` lets ``shutdown()`` return
+    without joining stragglers (they are daemons).
+    """
+
+    daemon_threads = True
+    block_on_close = False
+
+
+class QuietRequestHandler(WSGIRequestHandler):
+    """Request handler that does not log every request to stderr."""
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass
+
+
+def make_threaded_server(
+    container: ServletContainer,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    quiet: bool = True,
+) -> WSGIServer:
+    """A multi-threaded WSGI server for ``container`` (not yet serving).
+
+    Callers drive it with ``serve_forever()`` / ``shutdown()``; pass
+    ``port=0`` to bind an ephemeral port (``server.server_port`` has
+    the real one) -- the shape the stress harness uses.
+    """
+    return make_server(
+        host,
+        port,
+        WsgiAdapter(container),
+        server_class=ThreadingWsgiServer,
+        handler_class=QuietRequestHandler if quiet else WSGIRequestHandler,
+    )
+
+
+def start_threaded_server(
+    container: ServletContainer,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> tuple[WSGIServer, threading.Thread]:
+    """Bind + serve ``container`` on a background thread.
+
+    Returns ``(server, thread)``; stop with ``server.shutdown()`` then
+    ``server.server_close()`` and join the thread.
+    """
+    server = make_threaded_server(container, host, port)
+    thread = threading.Thread(
+        target=server.serve_forever,
+        name="repro-wsgi-server",
+        daemon=True,
+    )
+    thread.start()
+    return server, thread
+
+
+def serve(
+    container: ServletContainer,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    threaded: bool = True,
+):
+    """Run the container over HTTP (blocking).
+
+    ``threaded=True`` (default) serves each connection on its own
+    thread, matching the paper's multi-threaded Tomcat; pass False for
+    the old single-threaded reference behaviour.
+    """
+    if threaded:
+        server = make_threaded_server(container, host, port, quiet=False)
+    else:
+        server = make_server(host, port, WsgiAdapter(container))
+    with server:
         print(f"Serving on http://{host}:{port}/ ...")
         server.serve_forever()

@@ -1,0 +1,197 @@
+"""Cache-core accounting under concurrent mutation.
+
+The satellite bugfix contract: concurrent ``invalidate()`` during
+``lookup()``/``insert()`` must never corrupt ``total_bytes`` or the
+dependency table.  These tests hammer the structures from real threads
+and then assert the accounting invariants exactly.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.cache.api import Cache
+from repro.cache.entry import PageEntry, QueryInstance
+from repro.cache.page_cache import PageCache
+from repro.cache.replacement import make_policy
+from repro.cache.stats import CacheStats
+from repro.sql.template import templateize
+from repro.web.http import HttpRequest
+
+
+def _instance(note_id: int) -> QueryInstance:
+    template, values = templateize(
+        "SELECT body FROM notes WHERE id = ?", (note_id,)
+    )
+    return QueryInstance(template, values)
+
+
+def _entry(key: str, note_id: int, body: str) -> PageEntry:
+    return PageEntry(
+        key=key, body=body, dependencies=(_instance(note_id),)
+    )
+
+
+def assert_accounting_exact(pages: PageCache) -> None:
+    """total_bytes and the dependency table match the entries exactly."""
+    entries = pages.entries()
+    assert pages.total_bytes == sum(entry.size for entry in entries)
+    live_keys = set(pages.keys())
+    registered_keys = {
+        page_key
+        for template in pages.dependencies.read_templates()
+        for page_key, _vector in pages.dependencies.instances_for(template)
+    }
+    # No orphan registrations (evicted/invalidated pages linger) and no
+    # missing registrations (live non-semantic pages untracked).
+    assert registered_keys <= live_keys
+    expected = {e.key for e in entries if not e.semantic and e.dependencies}
+    assert registered_keys == expected
+
+
+@pytest.mark.concurrency
+def test_invalidate_racing_lookup_and_insert_keeps_bytes_exact():
+    pages = PageCache()
+    n_threads = 8
+    rounds = 300
+    keys = [f"/page?id={i}" for i in range(16)]
+    barrier = threading.Barrier(n_threads)
+    errors: list[Exception] = []
+
+    def worker(index: int) -> None:
+        rng = random.Random(index)
+        try:
+            barrier.wait(timeout=5)
+            for round_no in range(rounds):
+                key = rng.choice(keys)
+                action = rng.random()
+                if action < 0.45:
+                    note_id = int(key.split("=")[1])
+                    body = "x" * rng.randint(1, 64)
+                    pages.insert(_entry(key, note_id, body))
+                elif action < 0.8:
+                    pages.lookup(key, now=0.0)
+                else:
+                    pages.invalidate(key)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert errors == []
+    assert_accounting_exact(pages)
+
+
+@pytest.mark.concurrency
+def test_cache_facade_threaded_insert_invalidate_consistent():
+    cache = Cache()
+    n_threads = 8
+    rounds = 150
+    barrier = threading.Barrier(n_threads)
+    errors: list[Exception] = []
+
+    def worker(index: int) -> None:
+        rng = random.Random(1000 + index)
+        try:
+            barrier.wait(timeout=5)
+            for _ in range(rounds):
+                note_id = rng.randrange(8)
+                request = HttpRequest("GET", "/view", {"id": str(note_id)})
+                action = rng.random()
+                if action < 0.5:
+                    cache.check(request)
+                elif action < 0.85:
+                    cache.insert(
+                        request,
+                        "b" * rng.randint(1, 40),
+                        [_instance(note_id)],
+                    )
+                else:
+                    cache.invalidate_key(request.cache_key())
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert errors == []
+    assert_accounting_exact(cache.pages)
+    # Read-lookup arithmetic is exact even under the barrage.
+    stats = cache.stats
+    assert stats.lookups == (
+        stats.hits + stats.semantic_hits + stats.misses + stats.uncacheable
+    )
+
+
+@pytest.mark.concurrency
+def test_stats_counters_exact_under_threads():
+    stats = CacheStats()
+    n_threads = 8
+    per_thread = 500
+    barrier = threading.Barrier(n_threads)
+
+    def worker(index: int) -> None:
+        barrier.wait(timeout=5)
+        uri = f"/u{index % 3}"
+        for i in range(per_thread):
+            if i % 3 == 0:
+                stats.record_hit(uri, semantic=False)
+            elif i % 3 == 1:
+                stats.record_miss(uri, "cold")
+            else:
+                stats.record_uncacheable(uri)
+            stats.record_insert(evictions=1)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    total = n_threads * per_thread
+    assert stats.lookups == total
+    assert stats.inserts == total
+    assert stats.evictions == total
+    assert stats.hits + stats.misses_cold + stats.uncacheable == total
+    per_type_total = sum(t.reads for t in stats.by_type.values())
+    assert per_type_total == total
+
+
+def test_bounded_cache_eviction_accounting_threaded():
+    """Byte-bounded cache under threads: bound respected, bytes exact."""
+    pages = PageCache(
+        make_policy("lru", None, order_only=True), max_bytes=500
+    )
+    errors: list[Exception] = []
+
+    def worker(index: int) -> None:
+        rng = random.Random(index)
+        try:
+            for i in range(200):
+                key = f"/p{rng.randrange(32)}"
+                pages.insert(_entry(key, index, "y" * rng.randint(10, 50)))
+                pages.lookup(key, now=0.0)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert errors == []
+    assert pages.total_bytes <= 500
+    assert_accounting_exact(pages)

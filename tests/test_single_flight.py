@@ -1,0 +1,341 @@
+"""Single-flight (dogpile suppression) semantics.
+
+N concurrent misses on one key must execute the servlet once, with the
+consistency rule that an invalidation arriving during the computation
+forces waiters to recompute instead of serving the stale body.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.cache.autowebcache import AutoWebCache
+from repro.db import connect
+from repro.web.container import ServletContainer
+from repro.web.http import HttpRequest, HttpResponse
+from repro.web.servlet import HttpServlet
+
+from tests.conftest import make_notes_db
+
+
+class GatedViewServlet(HttpServlet):
+    """Reads a note, then blocks on a gate so tests control timing.
+
+    ``executions`` counts real servlet runs -- the quantity coalescing
+    must keep at one while N threads miss concurrently.
+    """
+
+    def __init__(self, connection) -> None:
+        self._connection = connection
+        self.gate = threading.Event()
+        self.entered = threading.Event()
+        self.executions = 0
+        self._lock = threading.Lock()
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        note_id = int(request.get_parameter("id"))
+        statement = self._connection.create_statement()
+        result = statement.execute_query(
+            "SELECT body, score FROM notes WHERE id = ?", (note_id,)
+        )
+        with self._lock:
+            self.executions += 1
+        self.entered.set()
+        self.gate.wait(timeout=10)
+        if result.next():
+            response.write(f"<p>{result.get('body')}|{result.get('score')}</p>")
+        else:
+            response.write("<p>gone</p>")
+
+
+class ScoreServlet(HttpServlet):
+    """Write handler: updates one note's score."""
+
+    def __init__(self, connection) -> None:
+        self._connection = connection
+
+    def do_post(self, request: HttpRequest, response: HttpResponse) -> None:
+        statement = self._connection.create_statement()
+        statement.execute_update(
+            "UPDATE notes SET score = ? WHERE id = ?",
+            (
+                int(request.get_parameter("score")),
+                int(request.get_parameter("id")),
+            ),
+        )
+        response.write("scored")
+
+
+def build_gated_app():
+    db = make_notes_db()
+    db.update(
+        "INSERT INTO notes (id, topic, body, score) VALUES (0, 'a', 'x', 5)"
+    )
+    connection = connect(db)
+    container = ServletContainer()
+    view = GatedViewServlet(connection)
+    container.register("/view", view)
+    container.register("/score", ScoreServlet(connection))
+    return db, container, view
+
+
+def _spin_until(predicate, timeout=5.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.002)
+    return predicate()
+
+
+def test_concurrent_misses_execute_servlet_once():
+    _db, container, view = build_gated_app()
+    awc = AutoWebCache()
+    awc.install(container.servlet_classes)
+    try:
+        n = 8
+        bodies: list[str] = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(n)
+
+        def worker() -> None:
+            barrier.wait(timeout=5)
+            response = container.get("/view", {"id": "0"})
+            with lock:
+                bodies.append(response.body)
+
+        threads = [threading.Thread(target=worker) for _ in range(n)]
+        for thread in threads:
+            thread.start()
+        # One leader enters the servlet; the rest must pile onto its
+        # flight.  Release the gate only once all 7 are waiting, so the
+        # coalescing is forced, not lucky.
+        assert view.entered.wait(timeout=5)
+        flight = awc.cache.flight_for("/view?id=0")
+        assert flight is not None
+        assert _spin_until(lambda: flight.waiters == n - 1)
+        view.gate.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert bodies == ["<p>x|5</p>"] * n
+        assert view.executions == 1
+        assert awc.stats.coalesced_hits == n - 1
+        assert awc.stats.inserts == 1
+        # Every thread recorded its miss before coalescing.
+        assert awc.stats.misses_cold == n
+        assert len(awc.cache) == 1
+    finally:
+        awc.uninstall()
+
+
+def test_invalidation_during_computation_forces_recompute():
+    _db, container, view = build_gated_app()
+    awc = AutoWebCache()
+    awc.install(container.servlet_classes)
+    try:
+        results: dict[str, str] = {}
+
+        def leader() -> None:
+            results["leader"] = container.get("/view", {"id": "0"}).body
+
+        def waiter() -> None:
+            results["waiter"] = container.get("/view", {"id": "0"}).body
+
+        leader_thread = threading.Thread(target=leader)
+        leader_thread.start()
+        assert view.entered.wait(timeout=5)  # leader read score=5, parked
+        flight = awc.cache.flight_for("/view?id=0")
+        assert flight is not None
+        waiter_thread = threading.Thread(target=waiter)
+        waiter_thread.start()
+        assert _spin_until(lambda: flight.waiters == 1)
+        # The write lands while the computation is in flight: the
+        # leader's page (score=5) is stale the moment it is inserted.
+        response = container.post("/score", {"id": "0", "score": "6"})
+        assert response.status == 200
+        view.gate.set()
+        leader_thread.join(timeout=10)
+        waiter_thread.join(timeout=10)
+        # Leader serves what it computed (equivalent to finishing just
+        # before the write) but must NOT cache it...
+        assert results["leader"] == "<p>x|5</p>"
+        assert awc.stats.stale_inserts == 1
+        # ...and the waiter recomputed instead of serving the stale body.
+        assert results["waiter"] == "<p>x|6</p>"
+        assert awc.stats.coalesced_hits == 0
+        assert view.executions == 2
+        # The recomputed (fresh) page is what the cache holds now.
+        cached = awc.cache.pages.peek("/view?id=0")
+        assert cached is not None and "|6" in cached.body
+    finally:
+        awc.uninstall()
+
+
+def test_forced_miss_mode_disables_coalescing():
+    _db, container, view = build_gated_app()
+    view.gate.set()  # no parking needed here
+    awc = AutoWebCache(forced_miss=True)
+    awc.install(container.servlet_classes)
+    try:
+        assert awc.cache.coalesce is False
+        for _ in range(3):
+            response = container.get("/view", {"id": "0"})
+            assert response.status == 200
+        assert view.executions == 3
+        assert awc.stats.coalesced_hits == 0
+        assert len(awc.cache) == 0 or awc.stats.hits == 0
+    finally:
+        awc.uninstall()
+
+
+def test_failed_leader_does_not_strand_waiters():
+    """A leader whose page errors leaves waiters free to recompute."""
+    db = make_notes_db()
+    connection = connect(db)
+
+    class FlakyServlet(HttpServlet):
+        calls = 0
+        entered = threading.Event()
+        gate = threading.Event()
+        _lock = threading.Lock()
+
+        def __init__(self, conn) -> None:
+            self._connection = conn
+
+        def do_get(self, request, response):
+            statement = self._connection.create_statement()
+            statement.execute_query("SELECT id FROM notes WHERE id = ?", (1,))
+            with FlakyServlet._lock:
+                FlakyServlet.calls += 1
+                first = FlakyServlet.calls == 1
+            if first:
+                FlakyServlet.entered.set()
+                FlakyServlet.gate.wait(timeout=10)
+                raise RuntimeError("leader crashed")
+            response.write("ok")
+
+    container = ServletContainer()
+    container.register("/flaky", FlakyServlet(connection))
+    awc = AutoWebCache()
+    awc.install(container.servlet_classes)
+    try:
+        statuses: list[int] = []
+        bodies: list[str] = []
+        lock = threading.Lock()
+
+        def worker() -> None:
+            response = container.get("/flaky")
+            with lock:
+                statuses.append(response.status)
+                bodies.append(response.body)
+
+        leader_thread = threading.Thread(target=worker)
+        leader_thread.start()
+        assert FlakyServlet.entered.wait(timeout=5)
+        flight = awc.cache.flight_for("/flaky")
+        assert flight is not None
+        waiter_thread = threading.Thread(target=worker)
+        waiter_thread.start()
+        assert _spin_until(lambda: flight.waiters == 1)
+        FlakyServlet.gate.set()
+        leader_thread.join(timeout=10)
+        waiter_thread.join(timeout=10)
+        # Leader's crash became a 500 page; the waiter recomputed and
+        # got the real page.  Nobody hung on the dead flight.
+        assert sorted(statuses) == [200, 500]
+        assert "ok" in bodies[statuses.index(200)] or "ok" in "".join(bodies)
+        assert awc.cache.open_flights == 0
+    finally:
+        awc.uninstall()
+
+
+def test_flight_api_leader_and_waiter_lifecycle():
+    """Cache-level single-flight API, single-threaded sanity."""
+    from repro.cache.api import Cache
+
+    cache = Cache()
+    flight, is_leader = cache.join_flight("/k")
+    assert is_leader
+    again, second_leader = cache.join_flight("/k")
+    assert again is flight and not second_leader
+    assert flight.waiters == 1
+    entry = cache.insert(HttpRequest("GET", "/k"), "body", [])
+    cache.finish_flight(flight)
+    assert cache.wait_flight(flight) is entry
+    assert cache.open_flights == 0
+    # A finished flight's key can be recomputed afresh.
+    flight2, is_leader2 = cache.join_flight("/k")
+    assert is_leader2 and flight2 is not flight
+    cache.finish_flight(flight2)
+
+
+def test_external_invalidate_key_marks_flight_stale():
+    from repro.cache.api import Cache
+
+    cache = Cache()
+    flight, _ = cache.join_flight("/k")
+    cache.invalidate_key("/k")
+    assert flight.stale
+    entry = cache.insert(HttpRequest("GET", "/k"), "body", [])
+    assert entry is not None
+    assert len(cache) == 0  # stale: not stored
+    assert cache.stats.stale_inserts == 1
+    cache.finish_flight(flight)
+    assert cache.wait_flight(flight) is None
+
+
+def test_waiter_timeout_returns_none():
+    from repro.cache.api import Cache
+
+    cache = Cache(flight_timeout=0.05)
+    flight, _ = cache.join_flight("/k")
+    other, is_leader = cache.join_flight("/k")
+    assert not is_leader
+    started = time.monotonic()
+    assert cache.wait_flight(other) is None  # leader never finishes
+    assert time.monotonic() - started < 5.0
+    cache.finish_flight(flight)
+
+
+@pytest.mark.concurrency
+def test_dogpile_after_invalidation_coalesces_again():
+    """The paper's worst case: hot page invalidated under load."""
+    _db, container, view = build_gated_app()
+    view.gate.set()
+    awc = AutoWebCache()
+    awc.install(container.servlet_classes)
+    try:
+        # Warm the page, then invalidate it while readers hammer it.
+        container.get("/view", {"id": "0"})
+        assert len(awc.cache) == 1
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def reader() -> None:
+            try:
+                while not stop.is_set():
+                    response = container.get("/view", {"id": "0"})
+                    assert response.status == 200
+                    assert "|" in response.body
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for score in range(10, 20):
+            container.post("/score", {"id": "0", "score": str(score)})
+            time.sleep(0.005)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert errors == []
+        assert awc.cache.open_flights == 0
+        # Quiescent consistency: the cache serves the last written score.
+        response = container.get("/view", {"id": "0"})
+        assert "|19" in response.body
+    finally:
+        awc.uninstall()

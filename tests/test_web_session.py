@@ -1,0 +1,150 @@
+"""SessionManager bounds: idle expiry, LRU cap, thread safety.
+
+Regression tests for the unbounded-growth bug: every cookieless
+request used to allocate a session forever.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.web.http import HttpRequest, HttpResponse
+from repro.web.session import SESSION_COOKIE, SessionManager
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def cookieless() -> HttpRequest:
+    return HttpRequest("GET", "/x")
+
+
+def with_cookie(session_id: str) -> HttpRequest:
+    return HttpRequest("GET", "/x", cookies={SESSION_COOKIE: session_id})
+
+
+def test_max_sessions_cap_evicts_lru():
+    manager = SessionManager(max_sessions=3, idle_timeout=None)
+    sessions = [
+        manager.resolve(cookieless(), HttpResponse()) for _ in range(3)
+    ]
+    # Touch the first so the second becomes the LRU victim.
+    manager.resolve(with_cookie(sessions[0].session_id), HttpResponse())
+    manager.resolve(cookieless(), HttpResponse())  # 4th -> evicts LRU
+    assert len(manager) == 3
+    assert manager.evicted_count == 1
+    # The touched session survived; the stale one was reclaimed.
+    survivor = manager.resolve(
+        with_cookie(sessions[0].session_id), HttpResponse()
+    )
+    assert survivor is sessions[0]
+    replaced = manager.resolve(
+        with_cookie(sessions[1].session_id), HttpResponse()
+    )
+    assert replaced is not sessions[1]
+
+
+def test_idle_sessions_expire():
+    clock = FakeClock()
+    manager = SessionManager(max_sessions=None, idle_timeout=60.0, clock=clock)
+    old = manager.resolve(cookieless(), HttpResponse())
+    clock.now += 30
+    fresh = manager.resolve(cookieless(), HttpResponse())
+    clock.now += 45  # old idle 75s (> 60), fresh idle 45s (< 60)
+    manager.resolve(cookieless(), HttpResponse())
+    assert manager.expired_count == 1
+    assert manager.resolve(
+        with_cookie(fresh.session_id), HttpResponse()
+    ) is fresh
+    assert manager.resolve(
+        with_cookie(old.session_id), HttpResponse()
+    ) is not old
+
+
+def test_touch_refreshes_idle_clock():
+    clock = FakeClock()
+    manager = SessionManager(idle_timeout=60.0, clock=clock)
+    session = manager.resolve(cookieless(), HttpResponse())
+    for _ in range(5):
+        clock.now += 50  # always under the timeout between touches
+        resolved = manager.resolve(
+            with_cookie(session.session_id), HttpResponse()
+        )
+        assert resolved is session
+    assert manager.expired_count == 0
+
+
+def test_cookieless_barrage_stays_bounded():
+    """The original leak: unbounded growth from cookieless clients."""
+    manager = SessionManager(max_sessions=50, idle_timeout=None)
+    for _ in range(1000):
+        manager.resolve(cookieless(), HttpResponse())
+    assert len(manager) == 50
+    assert manager.evicted_count == 950
+
+
+def test_unbounded_configuration_still_available():
+    manager = SessionManager(max_sessions=None, idle_timeout=None)
+    for _ in range(100):
+        manager.resolve(cookieless(), HttpResponse())
+    assert len(manager) == 100
+
+
+@pytest.mark.concurrency
+def test_concurrent_resolves_unique_ids_and_capped():
+    manager = SessionManager(max_sessions=64, idle_timeout=None)
+    n_threads = 8
+    per_thread = 100
+    barrier = threading.Barrier(n_threads)
+    ids: list[str] = []
+    lock = threading.Lock()
+    errors: list[Exception] = []
+
+    def worker() -> None:
+        local: list[str] = []
+        try:
+            barrier.wait(timeout=5)
+            for _ in range(per_thread):
+                session = manager.resolve(cookieless(), HttpResponse())
+                local.append(session.session_id)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+        with lock:
+            ids.extend(local)
+
+    threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert errors == []
+    assert len(ids) == n_threads * per_thread
+    assert len(set(ids)) == len(ids)  # no two clients share a new id
+    assert len(manager) == 64
+
+
+@pytest.mark.concurrency
+def test_concurrent_shared_session_attribute_updates():
+    manager = SessionManager()
+    session = manager.resolve(cookieless(), HttpResponse())
+    session.set("counter", 0)
+    lock = threading.Lock()
+
+    def worker() -> None:
+        for _ in range(200):
+            with lock:  # app-level atomicity; manager-level safety below
+                session.set("counter", session.get("counter") + 1)
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert session.get("counter") == 800

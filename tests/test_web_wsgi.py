@@ -1,10 +1,14 @@
 """WSGI adapter tests."""
 
 import io
+import threading
+import urllib.request
+
+import pytest
 
 from repro.web.container import ServletContainer
 from repro.web.servlet import HttpServlet
-from repro.web.wsgi import WsgiAdapter
+from repro.web.wsgi import WsgiAdapter, start_threaded_server
 
 from tests.conftest import build_notes_app
 from repro.cache.autowebcache import AutoWebCache
@@ -84,6 +88,157 @@ def test_error_becomes_500():
     container.register("/boom", Boom())
     result = call(WsgiAdapter(container), path="/boom")
     assert result["status"].startswith("500")
+
+
+def test_container_level_failure_becomes_500_not_dropped_connection():
+    """Failures outside servlet dispatch (observer, session layer) used
+    to propagate raw into wsgiref and kill the connection."""
+    container = ServletContainer()
+    container.register("/echo", Echo())
+
+    def bad_observer(request, response):
+        raise ValueError("observer bug")
+
+    container.observer = bad_observer
+    result = call(WsgiAdapter(container), path="/echo", query="q=x")
+    assert result["status"].startswith("500")
+    assert "500" in result["body"]
+    headers = dict(result["headers"])
+    assert headers["Content-Length"] == str(len(result["body"]))
+
+
+def test_adapter_500_path_leaves_consistency_context_closed():
+    """After an adapter-level 500 the read aspect's context must be
+    closed: the next request through the same thread must not trip
+    'a request context is already open'."""
+    db, container = build_notes_app()
+    awc = AutoWebCache()
+    awc.install(container.servlet_classes)
+    try:
+        db.update(
+            "INSERT INTO notes (id, topic, body, score) VALUES (1, 'a', 'x', 0)"
+        )
+        calls = {"n": 0}
+
+        def flaky_observer(request, response):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("observer bug")
+
+        container.observer = flaky_observer
+        adapter = WsgiAdapter(container)
+        first = call(adapter, path="/view_note", query="id=1")
+        assert first["status"].startswith("500")
+        # Same thread, fresh request: context was closed by the aspect's
+        # finally even though the adapter errored after dispatch.
+        second = call(adapter, path="/view_note", query="id=1")
+        assert second["status"].startswith("200")
+        assert "x|0" in second["body"]
+        assert awc.cache.open_flights == 0
+    finally:
+        awc.uninstall()
+
+
+class HeaderEcho(HttpServlet):
+    def do_get(self, request, response):
+        response.write(";".join(
+            f"{name}={value}" for name, value in sorted(request.headers.items())
+        ))
+
+    def do_post(self, request, response):
+        self.do_get(request, response)
+
+
+def test_content_type_and_length_mapped_into_headers():
+    """CGI's unprefixed CONTENT_TYPE/CONTENT_LENGTH must surface as
+    Content-Type/Content-Length request headers."""
+    container = ServletContainer()
+    container.register("/headers", HeaderEcho())
+    result = call(
+        WsgiAdapter(container),
+        method="POST",
+        path="/headers",
+        body="v=1",
+    )
+    assert "Content-Type=application/x-www-form-urlencoded" in result["body"]
+    assert "Content-Length=3" in result["body"]
+
+
+def test_cookie_header_not_duplicated_into_headers():
+    """HTTP_COOKIE is parsed into the cookies dict; the raw Cookie
+    header must not leak into request.headers as a duplicate."""
+    container = ServletContainer()
+    container.register("/headers", HeaderEcho())
+    result = call(
+        WsgiAdapter(container), path="/headers", cookies="sid=abc; other=1"
+    )
+    assert "Cookie=" not in result["body"]
+    # Other HTTP_* headers still map through.
+    environ = {
+        "REQUEST_METHOD": "GET",
+        "PATH_INFO": "/headers",
+        "QUERY_STRING": "",
+        "wsgi.input": io.BytesIO(b""),
+        "HTTP_COOKIE": "sid=abc",
+        "HTTP_USER_AGENT": "pytest",
+    }
+    captured = {}
+    chunks = WsgiAdapter(container)(
+        environ, lambda s, h: captured.update(status=s)
+    )
+    body = b"".join(chunks).decode()
+    assert "User-Agent=pytest" in body
+    assert "Cookie=" not in body
+
+
+@pytest.mark.concurrency
+def test_threaded_http_server_serves_concurrent_clients():
+    """End to end: ThreadingMixIn server + woven cache over real sockets."""
+    db, container = build_notes_app()
+    awc = AutoWebCache()
+    awc.install(container.servlet_classes)
+    server = None
+    try:
+        for i in range(4):
+            db.update(
+                "INSERT INTO notes (id, topic, body, score) "
+                "VALUES (?, ?, ?, ?)",
+                (i, f"t{i}", f"body{i}", 0),
+            )
+        server, server_thread = start_threaded_server(container)
+        port = server.server_port
+        errors: list[Exception] = []
+        barrier = threading.Barrier(8)
+
+        def client(topic: str) -> None:
+            try:
+                barrier.wait(timeout=5)
+                for _ in range(5):
+                    with urllib.request.urlopen(
+                        f"http://127.0.0.1:{port}/view_topic?topic={topic}",
+                        timeout=10,
+                    ) as response:
+                        assert response.status == 200
+                        assert topic in response.read().decode()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(f"t{i % 4}",))
+            for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == []
+        assert len(awc.cache) == 4  # one page per topic, no duplication
+        assert awc.stats.lookups == 40
+    finally:
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        awc.uninstall()
 
 
 def test_cached_app_served_over_wsgi():
