@@ -1,6 +1,6 @@
 ENV := PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: test stress bench results
+.PHONY: test stress bench bench-cluster results
 
 # Tier-1: the full unit/integration/property suite (what CI gates on).
 test:
@@ -8,15 +8,22 @@ test:
 
 # Threaded stress: every @pytest.mark.concurrency test plus the
 # 16-thread RUBiS stress benchmarks (dogpile coalescing + mixed
-# read/write consistency oracle).  `timeout` is a hang backstop —
-# pytest-timeout is not a dependency of this repo.
+# read/write consistency oracle, single-node and 4-node cluster).
+# `timeout` is a hang backstop — pytest-timeout is not a dependency
+# of this repo.
 stress:
 	$(ENV) timeout 600 python -m pytest -q -m concurrency \
-		tests benchmarks/test_concurrency_stress.py
+		tests benchmarks/test_concurrency_stress.py \
+		benchmarks/test_cluster_stress.py
 
 # Regenerate every paper figure + ablation (writes benchmarks/results/).
 bench:
 	$(ENV) python -m pytest benchmarks --benchmark-only -q
+
+# Cluster tier: 4-node consistency stress + the 1/2/4/8-node scaling
+# curve (writes benchmarks/results/cluster_scaling.txt).
+bench-cluster:
+	$(ENV) timeout 600 python -m pytest -q benchmarks/test_cluster_stress.py
 
 results:
 	@cat benchmarks/results/*.txt

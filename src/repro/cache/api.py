@@ -222,6 +222,18 @@ class Cache:
         with self._lock:
             return self._flights.get(key)
 
+    def open_flight_keys(self) -> list[str]:
+        """Keys with an open computation (cluster rebalancing reads
+        these to poison flights whose key is moving to another node)."""
+        with self._lock:
+            return list(self._flights)
+
+    def poison_flights(self, keys: set[str]) -> None:
+        """Mark the given open flights stale so their eventual inserts
+        are discarded (waiters recompute).  Used when ring membership
+        changes re-home a key out from under an in-flight computation."""
+        self._mark_flights_stale(keys)
+
     def _mark_flights_stale(self, keys: set[str]) -> None:
         with self._lock:
             for key in keys:
@@ -234,6 +246,20 @@ class Cache:
     def process_write_request(self, uri: str, writes: list[QueryInstance]) -> set[str]:
         """Run invalidation for a completed write request."""
         self.stats.record_write(uri)
+        return self.apply_writes(writes)
+
+    def apply_writes(self, writes: list[QueryInstance]) -> set[str]:
+        """Invalidate everything ``writes`` affects, without recording a
+        write request.
+
+        This is the consistency half of :meth:`process_write_request`:
+        buffer the invalidation information for open flights (so the
+        staleness window covers computations overlapping the write),
+        doom affected pages, and mark doomed in-flight computations
+        stale.  The cluster invalidation bus calls this on every node --
+        the write *request* happened once, but its invalidation pass
+        must run everywhere.
+        """
         if not writes:
             return set()
         with self._lock:

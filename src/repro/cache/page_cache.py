@@ -119,6 +119,22 @@ class PageCache:
             return True
         return self.max_bytes is not None and self.total_bytes > self.max_bytes
 
+    def release(self, key: str) -> PageEntry | None:
+        """Remove and return ``key`` without recording a miss reason.
+
+        Used by the cluster tier when rebalancing moves an entry to
+        another node: the page is not invalidated or evicted -- it
+        simply lives elsewhere now -- so a later local lookup must read
+        as a plain cold miss and the byte/dependency accounting must
+        shrink exactly as if the entry had never been here.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            self._remove(key, reason="refresh")
+            return entry
+
     def invalidate(self, key: str) -> bool:
         """Remove ``key`` due to a consistency invalidation."""
         with self._lock:

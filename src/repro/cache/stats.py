@@ -179,3 +179,44 @@ class CacheStats:
     def record_stale_insert(self) -> None:
         with self._lock:
             self.stale_inserts += 1
+
+    def snapshot(self) -> dict:
+        """One atomic read of every counter (plus derived rates).
+
+        Consumers that need a consistent view across counters (the
+        cluster aggregator, reporting, the CLI) must use this instead
+        of reading fields one by one: under concurrent serving,
+        field-by-field reads can observe a lookup whose hit/miss
+        classification has not landed yet.
+        """
+        with self._lock:
+            return {
+                "lookups": self.lookups,
+                "hits": self.hits,
+                "semantic_hits": self.semantic_hits,
+                "misses": self.misses,
+                "misses_cold": self.misses_cold,
+                "misses_invalidation": self.misses_invalidation,
+                "misses_capacity": self.misses_capacity,
+                "misses_expired": self.misses_expired,
+                "uncacheable": self.uncacheable,
+                "inserts": self.inserts,
+                "evictions": self.evictions,
+                "invalidated_pages": self.invalidated_pages,
+                "write_requests": self.write_requests,
+                "intersection_tests": self.intersection_tests,
+                "coalesced_hits": self.coalesced_hits,
+                "stale_inserts": self.stale_inserts,
+                "hit_rate": self.hit_rate,
+                "by_type": {
+                    uri: {
+                        "hits": ts.hits,
+                        "semantic_hits": ts.semantic_hits,
+                        "misses": ts.misses,
+                        "uncacheable": ts.uncacheable,
+                        "writes": ts.writes,
+                        "coalesced": ts.coalesced,
+                    }
+                    for uri, ts in self.by_type.items()
+                },
+            }

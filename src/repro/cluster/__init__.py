@@ -1,0 +1,39 @@
+"""``repro.cluster``: the sharded multi-node cache tier.
+
+AutoWebCache (the paper) proves page/database consistency on a single
+woven server.  This package scales that guarantee to N nodes:
+
+- :mod:`repro.cluster.ring` -- consistent-hash placement of page keys
+  onto nodes (virtual nodes, minimal remapping on join/leave);
+- :mod:`repro.cluster.bus` -- sequence-numbered invalidation broadcast,
+  totally ordered and delivered before the write request completes;
+- :mod:`repro.cluster.node` -- per-node cache shard with ordered replay
+  and join/drain/leave lifecycle;
+- :mod:`repro.cluster.router` -- the Cache-shaped front-end the caching
+  aspects are woven against;
+- :mod:`repro.cluster.awc` -- the ``ClusterAutoWebCache`` facade.
+
+See ``docs/cluster.md`` for the consistency argument (how PR-1's
+write-sequence staleness window extends across nodes).
+"""
+
+from repro.cluster.awc import ClusterAutoWebCache, default_node_names
+from repro.cluster.bus import BusMessage, BusStats, InvalidationBus
+from repro.cluster.node import CacheNode
+from repro.cluster.ring import DEFAULT_VNODES, HashRing, stable_hash
+from repro.cluster.router import ClusterRouter, ClusterStats, make_cache_factory
+
+__all__ = [
+    "BusMessage",
+    "BusStats",
+    "CacheNode",
+    "ClusterAutoWebCache",
+    "ClusterRouter",
+    "ClusterStats",
+    "DEFAULT_VNODES",
+    "HashRing",
+    "InvalidationBus",
+    "default_node_names",
+    "make_cache_factory",
+    "stable_hash",
+]

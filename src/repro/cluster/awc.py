@@ -1,0 +1,140 @@
+"""The cluster facade: AutoWebCache over N sharded nodes.
+
+Mirrors :class:`~repro.cache.autowebcache.AutoWebCache` exactly -- same
+constructor knobs, same ``install``/``uninstall`` weaving lifecycle --
+but the aspects are bound to a :class:`~repro.cluster.router.
+ClusterRouter` instead of a single :class:`~repro.cache.api.Cache`.
+The woven application is unchanged either way: sharding, like caching
+itself, stays a crosscutting concern.
+
+Typical use::
+
+    awc = ClusterAutoWebCache(n_nodes=4)
+    awc.install(container.servlet_classes)
+    ...  # serve traffic; awc.stats aggregates across nodes
+    print(awc.cluster_snapshot())
+    awc.uninstall()
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable
+
+from repro.aop.weaver import WeaveReport, Weaver
+from repro.cache.analysis import InvalidationPolicy
+from repro.cache.aspects import (
+    JdbcConsistencyAspect,
+    ReadServletAspect,
+    WriteServletAspect,
+)
+from repro.cache.consistency import ConsistencyCollector
+from repro.cache.semantics import SemanticsRegistry
+from repro.cluster.ring import DEFAULT_VNODES
+from repro.cluster.router import ClusterRouter, make_cache_factory
+from repro.db.dbapi import Statement
+from repro.errors import CacheError
+
+
+def default_node_names(n_nodes: int) -> list[str]:
+    return [f"node-{i}" for i in range(n_nodes)]
+
+
+class ClusterAutoWebCache:
+    """Bundles router, collector, aspects and weaver for a cluster."""
+
+    def __init__(
+        self,
+        n_nodes: int = 4,
+        node_names: list[str] | None = None,
+        policy: InvalidationPolicy = InvalidationPolicy.EXTRA_QUERY,
+        replacement: str = "unbounded",
+        capacity: int | None = None,
+        max_bytes: int | None = None,
+        semantics: SemanticsRegistry | None = None,
+        clock: Callable[[], float] = time.time,
+        forced_miss: bool = False,
+        coalesce: bool = True,
+        flight_timeout: float = 30.0,
+        vnodes: int = DEFAULT_VNODES,
+    ) -> None:
+        names = node_names if node_names is not None else default_node_names(n_nodes)
+        # One shared registry: cacheability and TTL windows are
+        # cluster-wide policy, identical on every shard.
+        shared_semantics = semantics or SemanticsRegistry()
+        factory = make_cache_factory(
+            invalidation_policy=policy,
+            replacement=replacement,
+            capacity=capacity,
+            max_bytes=max_bytes,
+            semantics=shared_semantics,
+            clock=clock,
+            forced_miss=forced_miss,
+            coalesce=coalesce,
+            flight_timeout=flight_timeout,
+        )
+        self.router = ClusterRouter(names, factory, vnodes=vnodes)
+        self.collector = ConsistencyCollector()
+        self.read_aspect = ReadServletAspect(self.router, self.collector)
+        self.write_aspect = WriteServletAspect(self.router, self.collector)
+        self.jdbc_aspect = JdbcConsistencyAspect(self.router, self.collector)
+        self._weaver: Weaver | None = None
+        self.weave_report: WeaveReport | None = None
+
+    @property
+    def cache(self) -> ClusterRouter:
+        """The facade the aspects (and work meters) talk to."""
+        return self.router
+
+    @property
+    def semantics(self) -> SemanticsRegistry:
+        return self.router.semantics
+
+    @property
+    def stats(self):
+        return self.router.stats
+
+    @property
+    def bus(self):
+        return self.router.bus
+
+    @property
+    def installed(self) -> bool:
+        return self._weaver is not None
+
+    def cluster_snapshot(self) -> dict:
+        """Aggregate + per-node + bus accounting, one consistent read
+        per node (see :meth:`repro.cache.stats.CacheStats.snapshot`)."""
+        return self.router.snapshot()
+
+    def install(
+        self,
+        servlet_classes: Iterable[type],
+        driver_classes: Iterable[type] = (Statement,),
+        extra_aspects: Iterable[object] = (),
+    ) -> WeaveReport:
+        """Weave the caching aspects, bound to the cluster router."""
+        if self._weaver is not None:
+            raise CacheError("ClusterAutoWebCache is already installed")
+        weaver = Weaver()
+        weaver.add_aspect(self.read_aspect)
+        weaver.add_aspect(self.write_aspect)
+        weaver.add_aspect(self.jdbc_aspect)
+        for aspect in extra_aspects:
+            weaver.add_aspect(aspect)
+        targets = list(servlet_classes) + list(driver_classes)
+        self.weave_report = weaver.weave(targets)
+        self._weaver = weaver
+        return self.weave_report
+
+    def uninstall(self) -> None:
+        if self._weaver is None:
+            return
+        self._weaver.unweave()
+        self._weaver = None
+
+    def __enter__(self) -> "ClusterAutoWebCache":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.uninstall()

@@ -1,0 +1,150 @@
+"""The invalidation bus: totally ordered write broadcast.
+
+One woven node observes a write request and knows exactly which
+``QueryInstance`` set it executed (PR-1's invalidation information).
+Every *other* node, however, may hold pages computed from the rows that
+write just changed -- the sharded router places a page on exactly one
+node, but the underlying database is shared.  The bus closes that gap:
+every write's invalidation information is broadcast to all nodes, each
+message carrying a monotonically increasing **cluster sequence number**
+assigned under the bus lock, and subscribers receive messages in
+sequence order.
+
+Two properties matter for the consistency argument (docs/cluster.md):
+
+1. **Total order** -- sequence assignment and delivery happen under one
+   lock, so every node observes the same write order, and a node's
+   ``last_applied_seq`` is a complete summary of what it has seen.
+2. **Synchronous delivery** -- ``publish`` returns only after every
+   subscriber has run its invalidation pass.  The write request
+   therefore does not complete (and its response is not sent) until the
+   whole cluster is consistent, which is exactly the paper's
+   invalidation-before-response rule extended to N nodes.  In-flight
+   computations overlapping the write are handled by each node's own
+   staleness window (``Cache.apply_writes`` buffers the message for its
+   open flights).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.cache.entry import QueryInstance
+from repro.errors import ClusterError
+
+#: A subscriber: called with each message, returns the page keys it
+#: invalidated locally.
+Subscriber = Callable[["BusMessage"], set]
+
+
+@dataclass(frozen=True)
+class BusMessage:
+    """One broadcast invalidation event."""
+
+    #: Cluster-wide sequence number (1-based, gap-free).
+    seq: int
+    #: Node (or front-end) that observed the write request.
+    origin: str
+    #: Request URI the write arrived under (statistics only).
+    uri: str
+    #: The write's invalidation information.
+    writes: tuple[QueryInstance, ...]
+
+
+@dataclass
+class BusStats:
+    """Counters for one bus (all mutated under the bus lock)."""
+
+    published: int = 0
+    #: Individual deliveries (published x subscribers at publish time).
+    delivered: int = 0
+    #: Union-size of page keys doomed per publish, accumulated.
+    pages_invalidated: int = 0
+
+
+class InvalidationBus:
+    """Sequence-numbered broadcast channel between cache nodes."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._seq = 0
+        #: name -> subscriber, in subscription order (dicts preserve it).
+        self._subscribers: dict[str, Subscriber] = {}
+        self.stats = BusStats()
+        #: Bounded tail of recent messages (observability/tests).
+        self._recent: list[BusMessage] = []
+        self._recent_limit = 64
+
+    @property
+    def seq(self) -> int:
+        """The sequence number of the last published message."""
+        with self._lock:
+            return self._seq
+
+    @property
+    def subscriber_names(self) -> list[str]:
+        with self._lock:
+            return list(self._subscribers)
+
+    def subscribe(self, name: str, subscriber: Subscriber) -> int:
+        """Register ``subscriber``; returns the current sequence number.
+
+        The returned value is the join point: the subscriber has, by
+        definition, seen nothing up to and including it, and will see
+        every message after it.
+        """
+        with self._lock:
+            if name in self._subscribers:
+                raise ClusterError(f"{name!r} is already subscribed to the bus")
+            self._subscribers[name] = subscriber
+            return self._seq
+
+    def unsubscribe(self, name: str) -> None:
+        with self._lock:
+            if name not in self._subscribers:
+                raise ClusterError(f"{name!r} is not subscribed to the bus")
+            del self._subscribers[name]
+
+    def publish(
+        self, origin: str, uri: str, writes: list[QueryInstance]
+    ) -> tuple[BusMessage, set]:
+        """Broadcast one write's invalidation information.
+
+        Returns the stamped message and the **union** of page keys
+        invalidated across all subscribers.  Delivery runs under the
+        bus lock: sequence order equals delivery order on every node.
+        """
+        with self._lock:
+            self._seq += 1
+            message = BusMessage(
+                seq=self._seq, origin=origin, uri=uri, writes=tuple(writes)
+            )
+            self._recent.append(message)
+            del self._recent[: -self._recent_limit]
+            doomed: set = set()
+            self.stats.published += 1
+            for subscriber in self._subscribers.values():
+                self.stats.delivered += 1
+                doomed |= subscriber(message)
+            self.stats.pages_invalidated += len(doomed)
+            return message, doomed
+
+    def recent(self) -> list[BusMessage]:
+        with self._lock:
+            return list(self._recent)
+
+    @contextlib.contextmanager
+    def quiesced(self) -> Iterator[None]:
+        """Hold the bus silent while the body runs.
+
+        Ring membership changes move entries between nodes; a publish
+        interleaving with the move could invalidate an entry on the old
+        node after it was released but before it landed on the new one,
+        missing it entirely.  Running the migration under ``quiesced``
+        (the publish lock) closes that window.
+        """
+        with self._lock:
+            yield

@@ -1,0 +1,101 @@
+"""One cluster member: a per-node ``Cache`` plus bus replay state.
+
+A :class:`CacheNode` owns a full PR-1 cache stack -- page store,
+dependency table, analysis cache, invalidator, single-flight table,
+statistics -- for the slice of the key space the ring assigns to it.
+The node subscribes to the invalidation bus and replays every message
+in sequence order through :meth:`apply`, which funnels into
+``Cache.apply_writes`` so the node-local staleness window (open flights
+buffer the writes they overlap) extends to writes that arrived via
+*other* nodes.
+
+Lifecycle: ``joined -> draining -> left``.  The router drives the
+transitions; ``draining`` exists so a leave can move (rather than drop)
+its entries while lookups still route elsewhere.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.cache.api import Cache
+from repro.cluster.bus import BusMessage
+from repro.errors import ClusterError
+
+JOINED = "joined"
+DRAINING = "draining"
+LEFT = "left"
+
+
+class CacheNode:
+    """A named cache shard with ordered invalidation replay."""
+
+    def __init__(self, name: str, cache: Cache) -> None:
+        self.name = name
+        self.cache = cache
+        self.state = JOINED
+        #: Sequence number of the last bus message applied; messages
+        #: must arrive strictly ascending (the bus guarantees it).
+        self.last_applied_seq = 0
+        #: Entries drained into this node when it joined the ring.
+        self.moved_in = 0
+        self._lock = threading.RLock()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<CacheNode {self.name} {self.state} pages={len(self.cache)}"
+            f" seq={self.last_applied_seq}>"
+        )
+
+    # -- bus replay --------------------------------------------------------------------
+
+    def apply(self, message: BusMessage) -> set:
+        """Replay one invalidation message; returns doomed page keys.
+
+        Rejecting out-of-order or replayed sequence numbers turns any
+        bus-ordering bug into a loud error instead of silent staleness.
+        """
+        with self._lock:
+            if message.seq <= self.last_applied_seq:
+                raise ClusterError(
+                    f"node {self.name}: bus message {message.seq} arrived "
+                    f"after {self.last_applied_seq} was already applied"
+                )
+            self.last_applied_seq = message.seq
+            if self.state == LEFT:
+                return set()
+            return self.cache.apply_writes(list(message.writes))
+
+    def rebase(self, seq: int) -> None:
+        """Adopt the bus position at (re-)subscription time."""
+        with self._lock:
+            self.last_applied_seq = seq
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def mark_draining(self) -> None:
+        with self._lock:
+            if self.state != JOINED:
+                raise ClusterError(
+                    f"node {self.name} cannot drain from state {self.state!r}"
+                )
+            self.state = DRAINING
+
+    def mark_left(self) -> None:
+        with self._lock:
+            self.state = LEFT
+
+    # -- observability -----------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Per-node accounting for the cluster-level aggregate."""
+        with self._lock:
+            return {
+                "name": self.name,
+                "state": self.state,
+                "last_applied_seq": self.last_applied_seq,
+                "pages": len(self.cache.pages),
+                "bytes": self.cache.pages.total_bytes,
+                "open_flights": self.cache.open_flights,
+                "stats": self.cache.stats.snapshot(),
+            }

@@ -1,0 +1,362 @@
+"""The cluster front-end: a ``Cache``-shaped router over N shards.
+
+:class:`ClusterRouter` implements the exact operation set the caching
+aspects call on a single-node :class:`~repro.cache.api.Cache` --
+``is_cacheable`` / ``check`` / ``insert`` / ``join_flight`` /
+``wait_flight`` / ``finish_flight`` / ``process_write_request`` -- so
+the woven application cannot tell whether it is talking to one cache or
+a cluster.  Reads route by consistent hash to the owning node's cache
+(reusing that node's single-flight machinery untouched); writes are
+broadcast to *every* node through the sequence-numbered invalidation
+bus, which is what extends PR-1's write-sequence staleness window
+cluster-wide: a page computed on node A while a write lands via node B
+is discarded at insert, exactly as intra-node overlapping flights are.
+
+Flight pinning: a single-flight computation must ``insert`` and
+``finish`` on the node where it was opened, even if ring membership
+changes mid-flight.  The router therefore pins ``key -> node`` for the
+duration of each flight; membership changes additionally poison flights
+whose key is re-homed, so their inserts are discarded rather than
+orphaned on a node that no longer owns the key.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.cache.api import Cache
+from repro.cache.entry import PageEntry, QueryInstance
+from repro.cache.flight import Flight
+from repro.cache.stats import CacheStats
+from repro.cluster.bus import InvalidationBus
+from repro.cluster.node import CacheNode
+from repro.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.errors import ClusterError
+from repro.web.http import HttpRequest
+
+CacheFactory = Callable[[], Cache]
+
+
+class ClusterStats:
+    """Cluster-wide view over per-node :class:`CacheStats`.
+
+    Per-node counters stay the source of truth (each node's accounting
+    must be exact on its own); this object sums them on read and adds a
+    front-end ledger for events that belong to the router rather than
+    any shard: write requests (processed once, broadcast everywhere)
+    and coalesced serves (recorded by the aspect against the facade).
+    """
+
+    def __init__(self, router: "ClusterRouter") -> None:
+        self._router = router
+        #: Front-end events: write requests and coalesced serves.
+        self.frontend = CacheStats()
+
+    def _sum(self, attribute: str) -> int:
+        total = getattr(self.frontend, attribute)
+        for node in self._router.nodes():
+            total += getattr(node.cache.stats, attribute)
+        return total
+
+    # -- aggregated counters (the CacheStats read interface) -------------------------
+
+    lookups = property(lambda self: self._sum("lookups"))
+    hits = property(lambda self: self._sum("hits"))
+    semantic_hits = property(lambda self: self._sum("semantic_hits"))
+    misses_cold = property(lambda self: self._sum("misses_cold"))
+    misses_invalidation = property(
+        lambda self: self._sum("misses_invalidation")
+    )
+    misses_capacity = property(lambda self: self._sum("misses_capacity"))
+    misses_expired = property(lambda self: self._sum("misses_expired"))
+    uncacheable = property(lambda self: self._sum("uncacheable"))
+    inserts = property(lambda self: self._sum("inserts"))
+    evictions = property(lambda self: self._sum("evictions"))
+    invalidated_pages = property(lambda self: self._sum("invalidated_pages"))
+    write_requests = property(lambda self: self._sum("write_requests"))
+    intersection_tests = property(lambda self: self._sum("intersection_tests"))
+    coalesced_hits = property(lambda self: self._sum("coalesced_hits"))
+    stale_inserts = property(lambda self: self._sum("stale_inserts"))
+
+    @property
+    def misses(self) -> int:
+        return (
+            self.misses_cold
+            + self.misses_invalidation
+            + self.misses_capacity
+            + self.misses_expired
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        cacheable = self.hits + self.semantic_hits + self.misses
+        if not cacheable:
+            return 0.0
+        return (self.hits + self.semantic_hits) / cacheable
+
+    # -- recording (aspect-facing) ----------------------------------------------------
+
+    def record_coalesced(self, uri: str) -> None:
+        self.frontend.record_coalesced(uri)
+
+    def record_write(self, uri: str) -> None:
+        self.frontend.record_write(uri)
+
+    def snapshot(self) -> dict:
+        """Cluster aggregate plus the per-node snapshots it sums."""
+        nodes = [node.snapshot() for node in self._router.nodes()]
+        aggregate = self.frontend.snapshot()
+        aggregate.pop("by_type")
+        for node_snapshot in nodes:
+            stats = node_snapshot["stats"]
+            for key, value in stats.items():
+                if key in ("by_type", "hit_rate"):
+                    continue
+                aggregate[key] += value
+        cacheable = (
+            aggregate["hits"] + aggregate["semantic_hits"] + aggregate["misses"]
+        )
+        aggregate["hit_rate"] = (
+            (aggregate["hits"] + aggregate["semantic_hits"]) / cacheable
+            if cacheable
+            else 0.0
+        )
+        return {
+            "cluster": aggregate,
+            "nodes": nodes,
+            "bus": {
+                "seq": self._router.bus.seq,
+                "published": self._router.bus.stats.published,
+                "delivered": self._router.bus.stats.delivered,
+            },
+        }
+
+
+class ClusterRouter:
+    """Routes the cache facade operations across the ring."""
+
+    def __init__(
+        self,
+        node_names: list[str],
+        cache_factory: CacheFactory,
+        vnodes: int = DEFAULT_VNODES,
+    ) -> None:
+        if not node_names:
+            raise ClusterError("a cluster needs at least one node")
+        if len(set(node_names)) != len(node_names):
+            raise ClusterError("duplicate node names")
+        self._cache_factory = cache_factory
+        self._lock = threading.RLock()
+        self.ring = HashRing(vnodes=vnodes)
+        self.bus = InvalidationBus()
+        self._nodes: dict[str, CacheNode] = {}
+        #: key -> node pinned for the duration of an open flight.
+        self._flight_nodes: dict[str, CacheNode] = {}
+        self.stats = ClusterStats(self)
+        self._template = cache_factory()  # config donor, never serves
+        self.semantics = self._template.semantics
+        for name in node_names:
+            self.add_node(name)
+
+    # -- facade attributes the aspects read --------------------------------------------
+
+    @property
+    def coalesce(self) -> bool:
+        return self._template.coalesce
+
+    @property
+    def invalidation_policy(self):
+        return self._template.invalidation_policy
+
+    @property
+    def clock(self) -> Callable[[], float]:
+        return self._template.clock
+
+    # -- membership --------------------------------------------------------------------
+
+    def nodes(self) -> list[CacheNode]:
+        with self._lock:
+            return list(self._nodes.values())
+
+    def node(self, name: str) -> CacheNode:
+        with self._lock:
+            try:
+                return self._nodes[name]
+            except KeyError:
+                raise ClusterError(f"no node named {name!r}") from None
+
+    @property
+    def node_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._nodes)
+
+    def add_node(self, name: str, drain: bool = True) -> CacheNode:
+        """Join ``name``: remap its key arc, move or drop the entries.
+
+        With ``drain`` (default) pages whose key now hashes to the new
+        node are *moved* there, dependencies intact; with ``drain=False``
+        they are simply dropped (re-fetched on next miss).  Flights
+        whose key is re-homed are poisoned either way: their insert no
+        longer has a legitimate home.
+        """
+        node = CacheNode(name, self._cache_factory())
+        with self._lock, self.bus.quiesced():
+            if name in self._nodes:
+                raise ClusterError(f"node {name!r} already joined")
+            self.ring.add_node(name)
+            node.rebase(self.bus.subscribe(name, node.apply))
+            moved = 0
+            for other in self._nodes.values():
+                remapped = [
+                    key
+                    for key in other.cache.pages.keys()
+                    if self.ring.node_for(key) == name
+                ]
+                for key in remapped:
+                    entry = other.cache.pages.release(key)
+                    if entry is None:
+                        continue
+                    if drain:
+                        node.cache.pages.insert(entry)
+                        moved += 1
+                poisoned = {
+                    key
+                    for key in other.cache.open_flight_keys()
+                    if self.ring.node_for(key) == name
+                }
+                other.cache.poison_flights(poisoned)
+            self._nodes[name] = node
+            node.moved_in = moved
+        return node
+
+    def remove_node(self, name: str, drain: bool = True) -> CacheNode:
+        """Leave ``name``: drain (or drop) its entries to the new owners.
+
+        Open flights on the leaving node are poisoned but stay pinned to
+        it, so their inserts land in the dead cache's staleness check
+        (and are discarded) instead of polluting a live node.  Removing
+        the last node empties the ring; subsequent routed operations
+        raise :class:`ClusterError`.
+        """
+        with self._lock, self.bus.quiesced():
+            node = self.node(name)
+            node.mark_draining()
+            self.bus.unsubscribe(name)
+            self.ring.remove_node(name)
+            node.cache.poison_flights(set(node.cache.open_flight_keys()))
+            for key in node.cache.pages.keys():
+                entry = node.cache.pages.release(key)
+                if entry is None or not drain or not len(self.ring):
+                    continue
+                self._nodes[self.ring.node_for(key)].cache.pages.insert(entry)
+            node.mark_left()
+            del self._nodes[name]
+        return node
+
+    def _owner(self, key: str) -> CacheNode:
+        with self._lock:
+            return self._nodes[self.ring.node_for(key)]
+
+    def owner_name(self, key: str) -> str:
+        """Which node a key routes to (diagnostics, sim, tests)."""
+        with self._lock:
+            return self.ring.node_for(key)
+
+    # -- read path ---------------------------------------------------------------------
+
+    def is_cacheable(self, request: HttpRequest) -> bool:
+        return self.semantics.is_cacheable(request)
+
+    def check(self, request: HttpRequest) -> PageEntry | None:
+        return self._owner(request.cache_key()).cache.check(request)
+
+    def insert(
+        self,
+        request: HttpRequest,
+        body: str,
+        reads: list[QueryInstance],
+        status: int = 200,
+    ) -> PageEntry:
+        key = request.cache_key()
+        with self._lock:
+            node = self._flight_nodes.get(key) or self._owner(key)
+        return node.cache.insert(request, body, reads, status)
+
+    def record_uncacheable(self, request: HttpRequest) -> None:
+        self._owner(request.cache_key()).cache.record_uncacheable(request)
+
+    # -- single-flight (per owning node) ----------------------------------------------
+
+    def join_flight(self, key: str) -> tuple[Flight, bool]:
+        with self._lock:
+            node = self._flight_nodes.get(key) or self._owner(key)
+            flight, is_leader = node.cache.join_flight(key)
+            if is_leader:
+                self._flight_nodes[key] = node
+            return flight, is_leader
+
+    def wait_flight(self, flight: Flight) -> PageEntry | None:
+        with self._lock:
+            node = self._flight_nodes.get(flight.key) or self._owner(flight.key)
+        # Block outside the router lock: waiting must not stall routing.
+        return node.cache.wait_flight(flight)
+
+    def finish_flight(self, flight: Flight) -> None:
+        with self._lock:
+            node = self._flight_nodes.pop(flight.key, None) or self._owner(
+                flight.key
+            )
+        node.cache.finish_flight(flight)
+
+    @property
+    def open_flights(self) -> int:
+        return sum(node.cache.open_flights for node in self.nodes())
+
+    # -- write path --------------------------------------------------------------------
+
+    def process_write_request(
+        self, uri: str, writes: list[QueryInstance]
+    ) -> set[str]:
+        """Broadcast one write's invalidation information cluster-wide.
+
+        Returns the **union** of page keys invalidated across all
+        nodes -- a page for the same logical query can only live on its
+        owning node, but callers (and the consistency argument) care
+        about every casualty, not just the local shard's.
+        """
+        self.stats.record_write(uri)
+        if not writes:
+            return set()
+        if not len(self.ring):
+            raise ClusterError("cannot process a write on an empty cluster")
+        _message, doomed = self.bus.publish("router", uri, writes)
+        return doomed
+
+    def invalidate_key(self, key: str) -> bool:
+        """External single-key invalidation, routed to the owner."""
+        return self._owner(key).cache.invalidate_key(key)
+
+    # -- management --------------------------------------------------------------------
+
+    def clear(self) -> None:
+        for node in self.nodes():
+            node.cache.clear()
+
+    def __len__(self) -> int:
+        return sum(len(node.cache) for node in self.nodes())
+
+    def snapshot(self) -> dict:
+        return self.stats.snapshot()
+
+
+def make_cache_factory(**cache_kwargs) -> CacheFactory:
+    """A factory of identically configured per-node caches.
+
+    The semantics registry (if given) is shared by reference: TTL
+    windows and cacheability rules are cluster-wide policy, not
+    per-shard state.
+    """
+    cache_kwargs.setdefault("clock", time.time)
+    return lambda: Cache(**cache_kwargs)

@@ -81,6 +81,10 @@ class ConsistencyError(CacheError):
     """Raised when consistency bookkeeping is violated."""
 
 
+class ClusterError(ReproError):
+    """Raised by the multi-node cache tier (ring, bus, router)."""
+
+
 class WorkloadError(ReproError):
     """Raised for invalid workload definitions (bad mixes, etc.)."""
 

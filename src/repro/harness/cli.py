@@ -21,6 +21,7 @@ from repro.harness.experiments import (
     RunSpec,
     improvement_percent,
     run_cell,
+    run_cluster_cell,
     run_response_time_curve,
 )
 from repro.harness.reporting import render_table
@@ -44,6 +45,7 @@ def _cmd_list(_args: argparse.Namespace) -> str:
         ["fig16", "RUBiS per-request hits/misses"],
         ["fig17", "TPC-W per-request hits/misses"],
         ["codesize", "Figure 20 code-size comparison"],
+        ["cluster", "sharded-tier scaling curve (throughput vs nodes)"],
         ["run", "one custom cell (see --help)"],
     ]
     return render_table("Available experiments", ["command", "regenerates"], rows)
@@ -136,6 +138,44 @@ def _cmd_codesize(_args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_cluster(args: argparse.Namespace) -> str:
+    from repro.sim.cluster import CLUSTER_SCALING_COST_MODEL
+
+    defaults = _defaults(args)
+    node_counts = _parse_clients(args.nodes)
+    n_clients = _parse_clients(args.clients)[0]
+    cost_model = None if args.stock_costs else CLUSTER_SCALING_COST_MODEL
+    rows = []
+    for n_nodes in node_counts:
+        outcome = run_cluster_cell(
+            n_nodes,
+            n_clients,
+            app=args.app,
+            defaults=defaults,
+            cost_model=cost_model,
+        )
+        result = outcome.result
+        rows.append(
+            [
+                n_nodes,
+                round(outcome.throughput, 1),
+                round(outcome.mean_ms, 1),
+                round(result.metrics.overall.percentile(95) * 1000, 1),
+                round(outcome.hit_rate, 3),
+                round(result.app_utilization, 3),
+                round(result.db_utilization, 3),
+                result.bus_messages,
+                result.cluster_snapshot["cluster"]["invalidated_pages"],
+            ]
+        )
+    return render_table(
+        f"Cluster scaling: {args.app}, {n_clients} clients",
+        ["nodes", "thr (r/s)", "mean ms", "p95 ms", "hit rate",
+         "node util", "db util", "bus msgs", "invalidated"],
+        rows,
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> str:
     defaults = _defaults(args)
     spec = RunSpec(
@@ -157,15 +197,25 @@ def _cmd_run(args: argparse.Namespace) -> str:
         ["clients", n_clients],
         ["requests measured", outcome.result.metrics.request_count],
         ["mean response (ms)", round(outcome.mean_ms, 2)],
+        ["p50 response (ms)",
+         round(outcome.result.metrics.overall.percentile(50) * 1000, 2)],
         ["p90 response (ms)",
          round(outcome.result.metrics.overall.percentile(90) * 1000, 2)],
+        ["p95 response (ms)",
+         round(outcome.result.metrics.overall.percentile(95) * 1000, 2)],
+        ["p99 response (ms)",
+         round(outcome.result.metrics.overall.percentile(99) * 1000, 2)],
         ["hit rate", round(outcome.hit_rate, 3)],
         ["app utilisation", round(outcome.result.app_utilization, 3)],
         ["db utilisation", round(outcome.result.db_utilization, 3)],
         ["errors", outcome.result.errors],
     ]
     if outcome.cache_stats is not None:
-        rows.append(["pages invalidated", outcome.cache_stats.invalidated_pages])
+        # One lock-consistent read of the cache counters, not a field
+        # walk over a live object.
+        cache_snapshot = outcome.cache_stats.snapshot()
+        rows.append(["pages invalidated", cache_snapshot["invalidated_pages"]])
+        rows.append(["stale inserts", cache_snapshot["stale_inserts"]])
     if outcome.result_cache_stats is not None:
         rows.append(
             ["result-cache hit rate",
@@ -210,6 +260,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("codesize", help="Figure 20 code sizes")
 
+    cluster = sub.add_parser(
+        "cluster", help="sharded cache tier: throughput vs node count"
+    )
+    cluster.add_argument("--nodes", default="1,2,4,8",
+                         help="comma-separated node counts")
+    cluster.add_argument("--clients", default="700",
+                         help="client load (first value used)")
+    cluster.add_argument("--warmup", type=float, default=20.0)
+    cluster.add_argument("--duration", type=float, default=60.0)
+    cluster.add_argument("--app", choices=["rubis", "tpcw"], default="rubis")
+    cluster.add_argument(
+        "--stock-costs", action="store_true",
+        help="use the stock per-app cost model instead of the "
+             "saturation-calibrated scaling model",
+    )
+
     run = sub.add_parser("run", help="one custom configuration cell")
     add_timing(run, "200")
     run.add_argument("--app", choices=["rubis", "tpcw"], default="rubis")
@@ -240,6 +306,8 @@ def main(argv: list[str] | None = None) -> int:
         output = _cmd_breakdown(args, "tpcw")
     elif args.command == "codesize":
         output = _cmd_codesize(args)
+    elif args.command == "cluster":
+        output = _cmd_cluster(args)
     elif args.command == "run":
         output = _cmd_run(args)
     else:  # pragma: no cover - argparse guards this

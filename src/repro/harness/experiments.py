@@ -22,8 +22,14 @@ from repro.cache.aspects_result import ResultCacheAspect, ResultCacheInstaller
 from repro.cache.autowebcache import AutoWebCache
 from repro.cache.result_cache import ResultCache
 from repro.cache.semantics import SemanticsRegistry
+from repro.cluster.awc import ClusterAutoWebCache
 from repro.harness.codesize import measure_components
 from repro.sim.clock import VirtualClock
+from repro.sim.cluster import (
+    ClusterCostModel,
+    ClusterLoadSimulator,
+    ClusterSimulationResult,
+)
 from repro.sim.costs import CostModel, RUBIS_COST_MODEL, TPCW_COST_MODEL
 from repro.sim.runner import LoadSimulator, SimulationConfig, SimulationResult
 from repro.workload.session import SessionConfig
@@ -194,6 +200,113 @@ def run_cell(
             result_cache_obj.stats if result_cache_obj is not None else None
         ),
     )
+
+
+@dataclass
+class ClusterOutcome:
+    """One cluster cell: the sim result plus cluster accounting."""
+
+    n_nodes: int
+    n_clients: int
+    result: ClusterSimulationResult
+
+    @property
+    def mean_ms(self) -> float:
+        return self.result.mean_response_time_ms
+
+    @property
+    def hit_rate(self) -> float:
+        return self.result.hit_rate
+
+    @property
+    def throughput(self) -> float:
+        return self.result.throughput
+
+
+def run_cluster_cell(
+    n_nodes: int,
+    n_clients: int,
+    app: str = "rubis",
+    mix_name: str = "default",
+    defaults: ExperimentDefaults | None = None,
+    cost_model: ClusterCostModel | None = None,
+    vnodes: int | None = None,
+) -> ClusterOutcome:
+    """Simulate one (node count, client count) cluster cell.
+
+    Builds a fresh application, weaves :class:`ClusterAutoWebCache`
+    over it, and drives the cluster simulator (per-node app resources,
+    shared database, synchronous invalidation bus).
+    """
+    defaults = defaults or ExperimentDefaults()
+    clock = VirtualClock()
+    if app == "rubis":
+        application = build_rubis(RubisDataset())
+        if mix_name == "browsing":
+            mix = rubis_browsing_mix(application.dataset)
+        else:
+            mix = bidding_mix(application.dataset)
+        base_model = RUBIS_COST_MODEL
+        semantics = None
+    elif app == "tpcw":
+        application = build_tpcw(TpcwDataset(), ad_seed=defaults.seed)
+        mix = (
+            tpcw_browsing_mix(application.dataset)
+            if mix_name == "browsing"
+            else shopping_mix(application.dataset)
+        )
+        base_model = TPCW_COST_MODEL
+        semantics = standard_semantics(False)
+    else:
+        raise ValueError(f"unknown app {app!r}")
+    model = cost_model or ClusterCostModel(base=base_model)
+    awc_kwargs = dict(
+        n_nodes=n_nodes, semantics=semantics, clock=clock.now
+    )
+    if vnodes is not None:
+        awc_kwargs["vnodes"] = vnodes
+    awc = ClusterAutoWebCache(**awc_kwargs)
+    awc.install(application.servlet_classes)
+    try:
+        config = SimulationConfig(
+            n_clients=n_clients,
+            warmup=defaults.warmup,
+            duration=defaults.duration,
+            seed=defaults.seed,
+            session=SessionConfig(
+                think_time_mean=defaults.think_time_mean,
+                session_duration=defaults.session_duration,
+            ),
+        )
+        simulator = ClusterLoadSimulator(
+            container=application.container,
+            database=application.database,
+            mix=mix,
+            config=config,
+            cost_model=model,
+            awc=awc,
+            clock=clock,
+        )
+        result = simulator.run()
+    finally:
+        awc.uninstall()
+    return ClusterOutcome(n_nodes=n_nodes, n_clients=n_clients, result=result)
+
+
+def run_cluster_scaling_curve(
+    node_counts: list[int],
+    n_clients: int,
+    app: str = "rubis",
+    defaults: ExperimentDefaults | None = None,
+    cost_model: ClusterCostModel | None = None,
+) -> list[ClusterOutcome]:
+    """Throughput / hit-rate vs node count at a fixed client load."""
+    return [
+        run_cluster_cell(
+            n, n_clients, app=app, defaults=defaults, cost_model=cost_model
+        )
+        for n in node_counts
+    ]
 
 
 # ---------------------------------------------------------------------------

@@ -21,12 +21,44 @@ import random
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Protocol
 
-from repro.web.container import ServletContainer
-from repro.web.http import HttpRequest
+from repro.web.http import HttpRequest, HttpResponse
 
 RequestFactory = Callable[[int, int, random.Random], HttpRequest]
+
+
+class RequestTarget(Protocol):
+    """Anything the driver can throw requests at.
+
+    A plain :class:`~repro.web.container.ServletContainer` qualifies,
+    and so does :class:`ClusterTarget` -- the driver only dispatches
+    and validates, it does not care how many cache nodes sit behind
+    ``handle``.
+    """
+
+    def handle(self, request: HttpRequest) -> HttpResponse: ...
+
+
+@dataclass
+class ClusterTarget:
+    """A woven N-node cluster as a load-driver target.
+
+    Bundles the servlet container with its installed
+    :class:`~repro.cluster.awc.ClusterAutoWebCache` so stress tests
+    can drive the cluster and then audit per-node accounting from one
+    handle.
+    """
+
+    container: "object"
+    awc: "object"
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        return self.container.handle(request)
+
+    def snapshot(self) -> dict:
+        """The cluster-wide + per-node accounting snapshot."""
+        return self.awc.cluster_snapshot()
 
 
 @dataclass
@@ -66,20 +98,52 @@ class LoadResult:
         index = min(len(ordered) - 1, int(p / 100.0 * len(ordered)))
         return ordered[index]
 
+    @property
+    def p50_ms(self) -> float:
+        return self.percentile_ms(50)
+
+    @property
+    def p95_ms(self) -> float:
+        return self.percentile_ms(95)
+
+    @property
+    def p99_ms(self) -> float:
+        return self.percentile_ms(99)
+
+    def latency_summary(self) -> dict[str, float]:
+        """Mean plus the standard tail percentiles, one sorted pass."""
+        if not self.latencies_ms:
+            return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        ordered = sorted(self.latencies_ms)
+
+        def at(p: float) -> float:
+            return ordered[min(len(ordered) - 1, int(p / 100.0 * len(ordered)))]
+
+        return {
+            "mean": sum(ordered) / len(ordered),
+            "p50": at(50),
+            "p95": at(95),
+            "p99": at(99),
+        }
+
 
 class ThreadedLoadDriver:
     """Closed-loop load from ``n_threads`` real threads.
 
     Every thread performs ``iterations`` rounds: build a request via
     ``request_factory``, dispatch it synchronously through the
-    container, validate, repeat.  A barrier aligns thread start so the
+    target, validate, repeat.  A barrier aligns thread start so the
     first iteration genuinely contends (the dogpile moment); an
     optional ``think_time`` sleeps between rounds.
+
+    The target is anything with ``handle(request)``: a bare
+    :class:`~repro.web.container.ServletContainer` or a
+    :class:`ClusterTarget` wrapping an N-node woven cluster.
     """
 
     def __init__(
         self,
-        container: ServletContainer,
+        container: RequestTarget,
         request_factory: RequestFactory,
         n_threads: int = 16,
         iterations: int = 50,

@@ -19,6 +19,11 @@ the 2006 testbed, which is expected and documented in EXPERIMENTS.md.
 """
 
 from repro.sim.clock import VirtualClock
+from repro.sim.cluster import (
+    ClusterCostModel,
+    ClusterLoadSimulator,
+    ClusterSimulationResult,
+)
 from repro.sim.costs import CostModel, RequestWork, RUBIS_COST_MODEL, TPCW_COST_MODEL
 from repro.sim.resources import Resource
 from repro.sim.meter import WorkMeter
@@ -26,6 +31,9 @@ from repro.sim.runner import LoadSimulator, SimulationConfig, SimulationResult
 
 __all__ = [
     "VirtualClock",
+    "ClusterCostModel",
+    "ClusterLoadSimulator",
+    "ClusterSimulationResult",
     "CostModel",
     "RequestWork",
     "RUBIS_COST_MODEL",

@@ -1,0 +1,117 @@
+"""Consistent-hash ring: placement, balance, minimal remapping."""
+
+import pytest
+
+from repro.cluster.ring import DEFAULT_VNODES, HashRing, stable_hash
+from repro.errors import ClusterError
+
+KEYS = [f"GET /rubis/view_item?item={i}" for i in range(500)]
+
+
+class TestStableHash:
+    def test_deterministic_across_instances(self):
+        assert stable_hash("abc") == stable_hash("abc")
+        assert stable_hash("abc") != stable_hash("abd")
+
+    def test_32_bit_range(self):
+        for key in KEYS[:50]:
+            assert 0 <= stable_hash(key) < 2**32
+
+
+class TestPlacement:
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["a"])
+        assert all(ring.node_for(key) == "a" for key in KEYS)
+
+    def test_placement_is_deterministic(self):
+        one = HashRing(["a", "b", "c"])
+        two = HashRing(["c", "a", "b"])  # insertion order must not matter
+        assert [one.node_for(k) for k in KEYS] == [two.node_for(k) for k in KEYS]
+
+    def test_every_node_gets_a_share(self):
+        ring = HashRing(["a", "b", "c", "d"])
+        spread = ring.spread(KEYS)
+        assert set(spread) == {"a", "b", "c", "d"}
+        assert all(count > 0 for count in spread.values())
+
+    def test_balance_within_reason(self):
+        ring = HashRing(["a", "b", "c", "d"])
+        spread = ring.spread(KEYS)
+        mean = len(KEYS) / 4
+        for count in spread.values():
+            assert count > 0.4 * mean, spread
+            assert count < 2.0 * mean, spread
+
+    def test_more_vnodes_smooths_balance(self):
+        coarse = HashRing(["a", "b", "c", "d"], vnodes=2)
+        fine = HashRing(["a", "b", "c", "d"], vnodes=256)
+
+        def skew(ring):
+            spread = ring.spread(KEYS)
+            return max(spread.values()) - min(spread.values())
+
+        assert skew(fine) <= skew(coarse)
+
+
+class TestRemapping:
+    def test_add_node_remaps_only_to_new_node(self):
+        ring = HashRing(["a", "b", "c"])
+        before = {key: ring.node_for(key) for key in KEYS}
+        ring.add_node("d")
+        moved = 0
+        for key in KEYS:
+            after = ring.node_for(key)
+            if after != before[key]:
+                moved += 1
+                assert after == "d"  # keys only move to the newcomer
+        assert 0 < moved < len(KEYS) / 2  # ~1/4 expected, never a reshuffle
+
+    def test_remove_node_remaps_only_its_keys(self):
+        ring = HashRing(["a", "b", "c", "d"])
+        before = {key: ring.node_for(key) for key in KEYS}
+        ring.remove_node("d")
+        for key in KEYS:
+            if before[key] != "d":
+                assert ring.node_for(key) == before[key]
+            else:
+                assert ring.node_for(key) != "d"
+
+    def test_add_then_remove_restores_placement(self):
+        ring = HashRing(["a", "b"])
+        before = {key: ring.node_for(key) for key in KEYS}
+        ring.add_node("c")
+        ring.remove_node("c")
+        assert {key: ring.node_for(key) for key in KEYS} == before
+
+
+class TestErrors:
+    def test_empty_ring_raises_cluster_error(self):
+        ring = HashRing()
+        with pytest.raises(ClusterError, match="empty"):
+            ring.node_for("anything")
+
+    def test_fully_drained_ring_raises_cluster_error(self):
+        ring = HashRing(["only"])
+        ring.remove_node("only")
+        with pytest.raises(ClusterError):
+            ring.node_for("anything")
+
+    def test_duplicate_node_rejected(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ClusterError, match="already"):
+            ring.add_node("a")
+
+    def test_removing_unknown_node_rejected(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ClusterError, match="not on the ring"):
+            ring.remove_node("b")
+
+    def test_nonpositive_vnodes_rejected(self):
+        with pytest.raises(ClusterError):
+            HashRing(["a"], vnodes=0)
+
+    def test_membership_introspection(self):
+        ring = HashRing(["b", "a"], vnodes=DEFAULT_VNODES)
+        assert ring.nodes == ["a", "b"]
+        assert len(ring) == 2
+        assert "a" in ring and "z" not in ring

@@ -1,0 +1,115 @@
+"""Cluster simulator: per-node resources, bus costs, scaling cells."""
+
+import pytest
+
+from repro.harness.experiments import (
+    ExperimentDefaults,
+    run_cluster_cell,
+    run_cluster_scaling_curve,
+)
+from repro.sim.cluster import (
+    CLUSTER_SCALING_COST_MODEL,
+    ClusterCostModel,
+    ClusterSimulationResult,
+)
+from repro.sim.costs import CostModel, RequestWork
+
+QUICK = ExperimentDefaults(warmup=5.0, duration=20.0)
+
+
+class TestClusterCostModel:
+    def test_router_hop_charged_to_app_only(self):
+        base = CostModel(app_base=0.01, db_per_query=0.002)
+        model = ClusterCostModel(base=base, router_cost=0.003)
+        work = RequestWork(queries=2)
+        app, db = model.demands(work)
+        base_app, base_db = base.demands(work)
+        assert app == pytest.approx(base_app + 0.003)
+        assert db == pytest.approx(base_db)
+
+    def test_scaling_calibration_is_heavier_than_stock(self):
+        from repro.sim.costs import RUBIS_COST_MODEL
+
+        heavy = CLUSTER_SCALING_COST_MODEL.base
+        assert heavy.app_base > RUBIS_COST_MODEL.app_base
+        assert heavy.app_per_kb > RUBIS_COST_MODEL.app_per_kb
+        # Database pricing untouched: the shared tier is the eventual cap.
+        assert heavy.db_per_query == RUBIS_COST_MODEL.db_per_query
+
+
+class TestClusterCell:
+    def test_cell_runs_clean_and_accounts_per_node(self):
+        outcome = run_cluster_cell(3, n_clients=30, defaults=QUICK)
+        result = outcome.result
+        assert isinstance(result, ClusterSimulationResult)
+        assert outcome.n_nodes == 3 and result.n_nodes == 3
+        assert result.errors == 0
+        assert result.total_requests > 0
+        assert set(result.node_utilizations) == {"node-0", "node-1", "node-2"}
+        assert all(0.0 <= u <= 1.0 for u in result.node_utilizations.values())
+        assert result.app_utilization == pytest.approx(
+            sum(result.node_utilizations.values()) / 3
+        )
+        # The bidding mix writes, and every write rides the bus.
+        assert result.bus_messages > 0
+        snapshot = result.cluster_snapshot
+        assert snapshot["bus"]["published"] == result.bus_messages
+        assert len(snapshot["nodes"]) == 3
+
+    def test_sharding_preserves_hit_rate(self):
+        one = run_cluster_cell(1, n_clients=30, defaults=QUICK)
+        four = run_cluster_cell(4, n_clients=30, defaults=QUICK)
+        # Placement is deterministic: splitting the key space must not
+        # duplicate or lose entries, so the hit rate barely moves.
+        assert one.hit_rate > 0.3
+        assert abs(one.hit_rate - four.hit_rate) < 0.1
+
+    def test_single_node_cluster_pays_no_bus(self):
+        outcome = run_cluster_cell(1, n_clients=20, defaults=QUICK)
+        # Messages are still published (the router broadcasts), but no
+        # remote replay is scheduled: one node, nothing to propagate to.
+        assert outcome.result.n_nodes == 1
+        assert outcome.result.errors == 0
+
+    def test_scaling_curve_returns_one_outcome_per_count(self):
+        outcomes = run_cluster_scaling_curve([1, 2], n_clients=25, defaults=QUICK)
+        assert [o.n_nodes for o in outcomes] == [1, 2]
+        assert all(o.result.errors == 0 for o in outcomes)
+
+    def test_tpcw_cell_runs(self):
+        outcome = run_cluster_cell(
+            2, n_clients=20, app="tpcw", defaults=QUICK
+        )
+        assert outcome.result.errors == 0
+        assert outcome.result.total_requests > 0
+
+
+class TestClusterCli:
+    def test_cluster_subcommand_renders_table(self, capsys):
+        from repro.harness.cli import main
+
+        code = main(
+            [
+                "cluster",
+                "--nodes", "1,2",
+                "--clients", "30",
+                "--warmup", "5",
+                "--duration", "15",
+                "--stock-costs",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Cluster scaling: rubis, 30 clients" in out
+        assert "nodes" in out and "thr (r/s)" in out and "bus msgs" in out
+        # One data row per node count.
+        data_rows = [
+            line for line in out.splitlines() if line.strip().startswith(("1 ", "2 "))
+        ]
+        assert len(data_rows) == 2
+
+    def test_cluster_listed(self, capsys):
+        from repro.harness.cli import main
+
+        assert main(["list"]) == 0
+        assert "cluster" in capsys.readouterr().out
