@@ -1,6 +1,6 @@
 ENV := PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: test stress bench bench-cluster results
+.PHONY: test stress bench bench-cluster bench-invalidation differential results
 
 # Tier-1: the full unit/integration/property suite (what CI gates on).
 test:
@@ -24,6 +24,16 @@ bench:
 # curve (writes benchmarks/results/cluster_scaling.txt).
 bench-cluster:
 	$(ENV) timeout 600 python -m pytest -q benchmarks/test_cluster_stress.py
+
+# Indexed vs brute-force invalidation cost at 100/1k/10k registered
+# templates (writes benchmarks/results/invalidation_scaling.txt).
+bench-invalidation:
+	$(ENV) timeout 600 python -m pytest -q benchmarks/test_invalidation_scaling.py
+
+# Equivalence check: indexed and brute-force invalidators must produce
+# identical doomed sets over randomized workloads (exit 1 on mismatch).
+differential:
+	$(ENV) python -m repro differential
 
 results:
 	@cat benchmarks/results/*.txt

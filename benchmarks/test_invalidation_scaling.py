@@ -1,0 +1,170 @@
+"""Invalidation scaling: indexed vs brute-force protocol cost.
+
+The paper's write-side protocol consults every read template (and every
+registered instance of each possible pair) per write, so its cost grows
+linearly with the number of distinct cached page classes.  This
+benchmark registers 100 / 1 000 / 10 000 read templates (4 instances
+each, spread over 20 tables) and replays the same 60-write batch --
+UPDATEs, DELETEs and INSERTs with equality WHERE clauses -- through the
+brute-force and the indexed invalidator, counting *protocol operations*
+(pair analyses + instance intersection tests) per write.
+
+Acceptance: identical doomed sets at every scale, and >= 5x fewer
+operations per write at 1 000 registered templates (the issue's
+threshold; the reduction grows with scale since the indexed cost is
+O(templates sharing a table), not O(all templates)).
+"""
+
+from __future__ import annotations
+
+from repro.cache.analysis import InvalidationPolicy, QueryAnalysisEngine
+from repro.cache.analysis_cache import AnalysisCache
+from repro.cache.entry import PageEntry, QueryInstance
+from repro.cache.invalidation import Invalidator
+from repro.cache.page_cache import PageCache
+from repro.cache.replacement import make_policy
+from repro.cache.stats import CacheStats
+from repro.harness.reporting import render_table
+from repro.sql.template import templateize
+
+N_TABLES = 20
+INSTANCES_PER_TEMPLATE = 4
+N_WRITES = 60
+SCALES = [100, 1_000, 10_000]
+
+
+def _populate(n_templates: int) -> PageCache:
+    """Register ``n_templates`` read templates x 4 instances.
+
+    Template i selects variant column ``v{i // N_TABLES}`` of table
+    ``t{i % N_TABLES}`` pinned by ``k = ?`` -- the shape of per-entity
+    pages (view-item, view-user, ...) that dominates RUBiS/TPC-W.
+    """
+    pages = PageCache(make_policy("unbounded", None))
+    for i in range(n_templates):
+        table = f"t{i % N_TABLES}"
+        variant = i // N_TABLES
+        for k in range(INSTANCES_PER_TEMPLATE):
+            template, values = templateize(
+                f"SELECT v{variant} FROM {table} WHERE k = ?", (k,)
+            )
+            pages.insert(
+                PageEntry(
+                    key=f"page-{i}-{k}",
+                    body="x",
+                    dependencies=(QueryInstance(template, values),),
+                )
+            )
+    return pages
+
+
+def _write_batch(n_templates: int) -> list[QueryInstance]:
+    """The same write workload at every scale: equality-pinned
+    UPDATE/DELETE/INSERT round-robining over tables and variants."""
+    n_variants = max(1, n_templates // N_TABLES)
+    writes = []
+    for w in range(N_WRITES):
+        table = f"t{w % N_TABLES}"
+        variant = w % n_variants
+        k = w % INSTANCES_PER_TEMPLATE
+        if w % 3 == 0:
+            sql = f"UPDATE {table} SET v{variant} = ? WHERE k = ?"
+            params: tuple = (999, k)
+        elif w % 3 == 1:
+            sql = f"DELETE FROM {table} WHERE k = ?"
+            params = (k,)
+        else:
+            sql = f"INSERT INTO {table} (k, v{variant}) VALUES (?, ?)"
+            params = (k, 999)
+        template, values = templateize(sql, params)
+        writes.append(QueryInstance(template, values))
+    return writes
+
+
+def _protocol_ops(stats: CacheStats) -> int:
+    snapshot = stats.snapshot()
+    return snapshot["pair_analyses"] + snapshot["intersection_tests"]
+
+
+def _run() -> list[dict]:
+    results = []
+    for n_templates in SCALES:
+        pages = _populate(n_templates)
+        writes = _write_batch(n_templates)
+        stats_brute = CacheStats()
+        stats_indexed = CacheStats()
+        brute = Invalidator(
+            pages,
+            AnalysisCache(QueryAnalysisEngine()),
+            stats_brute,
+            InvalidationPolicy.EXTRA_QUERY,
+            indexed=False,
+        )
+        indexed = Invalidator(
+            pages,
+            AnalysisCache(QueryAnalysisEngine()),
+            stats_indexed,
+            InvalidationPolicy.EXTRA_QUERY,
+            indexed=True,
+        )
+        # affected_pages is pure: both protocols see identical state.
+        doomed_brute = brute.affected_pages(writes)
+        doomed_indexed = indexed.affected_pages(writes)
+        assert doomed_indexed == doomed_brute, (
+            f"{n_templates} templates: doomed sets diverged"
+        )
+        snapshot = stats_indexed.snapshot()
+        results.append(
+            {
+                "templates": n_templates,
+                "doomed": len(doomed_brute),
+                "brute_ops": _protocol_ops(stats_brute),
+                "indexed_ops": _protocol_ops(stats_indexed),
+                "templates_skipped": snapshot["templates_skipped_by_index"],
+                "instances_skipped": snapshot["instances_skipped_by_index"],
+            }
+        )
+    return results
+
+
+def test_invalidation_scaling(benchmark, figure_report):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = []
+    for cell in results:
+        brute_per_write = cell["brute_ops"] / N_WRITES
+        indexed_per_write = cell["indexed_ops"] / N_WRITES
+        reduction = cell["brute_ops"] / max(1, cell["indexed_ops"])
+        rows.append(
+            [
+                cell["templates"],
+                cell["doomed"],
+                round(brute_per_write, 1),
+                round(indexed_per_write, 1),
+                f"{reduction:.1f}x",
+                cell["templates_skipped"],
+                cell["instances_skipped"],
+            ]
+        )
+        if cell["templates"] >= 1_000:
+            # The issue's acceptance threshold.
+            assert reduction >= 5.0, (
+                f"{cell['templates']} templates: only {reduction:.1f}x "
+                f"reduction in protocol operations"
+            )
+    figure_report(
+        "invalidation_scaling",
+        render_table(
+            "Invalidation scaling: protocol operations "
+            "(pair analyses + intersection tests) per write",
+            [
+                "templates",
+                "doomed",
+                "brute ops/write",
+                "indexed ops/write",
+                "reduction",
+                "tmpl skipped",
+                "inst skipped",
+            ],
+            rows,
+        ),
+    )

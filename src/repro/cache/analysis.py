@@ -246,6 +246,209 @@ class QueryAnalysisEngine:
 
 
 # ---------------------------------------------------------------------------
+# Index pruning plans
+# ---------------------------------------------------------------------------
+#
+# The indexed invalidator wants to skip registered read instances
+# *without* running :meth:`QueryAnalysisEngine.intersects` on each one.
+# That is sound exactly when, for some column check, the set of read
+# values the write could possibly intersect is computable up front: an
+# instance whose bound value falls outside that set is one
+# ``_check_proves_disjoint`` would have rejected, so ``intersects``
+# would have returned False for it.  A :class:`PruneRule` captures one
+# such check; its :meth:`~PruneRule.allowed_values` mirrors the
+# corresponding ``_check_proves_disjoint`` branch value-for-value:
+#
+# ==============  =======================================================
+# source          allowed read values (read_value must be in this set)
+# ==============  =======================================================
+# ``none``        INSERT without a binding on the column: the new row
+#                 carries NULL there, so *no* read value intersects
+#                 (empty set -- every instance prunes).
+# ``set``         INSERT binding the column: exactly {inserted value}.
+# ``write``       conjunctive UPDATE/DELETE pinning the column in its
+#                 WHERE: exactly {write value}.
+# ``set+preimage``  UPDATE assigning the column (EXTRA_QUERY only):
+#                 rows may *enter* (new value) or *leave* (old values
+#                 from the pre-image) the read's set -- the union of
+#                 both.  No/incomplete pre-image -> no pruning.
+# ``preimage``    conjunctive UPDATE/DELETE not mentioning the column
+#                 (EXTRA_QUERY only): the captured old values.
+#                 No/incomplete pre-image -> no pruning.
+# ==============  =======================================================
+#
+# Anything `_check_proves_disjoint` answers conservatively (COLUMN_ONLY,
+# non-conjunctive reads, pre-image gaps, unhashable values) yields *no*
+# rule or a per-write ``None``, so the invalidator falls back to the
+# full instance scan and behaves exactly like the brute-force protocol.
+
+
+@dataclass(frozen=True)
+class PruneRule:
+    """One index-usable column check of a pair analysis.
+
+    ``read_binding`` locates the read-side value (a value-vector
+    position, or a literal baked into the template); ``source`` selects
+    which ``_check_proves_disjoint`` branch computes the allowed set.
+    """
+
+    read_binding: EqualityBinding
+    source: str  # "none" | "set" | "write" | "set+preimage" | "preimage"
+    column: str
+    set_binding: EqualityBinding | None = None
+    write_binding: EqualityBinding | None = None
+
+    def allowed_values(self, write: QueryInstance) -> frozenset | None:
+        """Read values ``write`` could intersect, or None for "no pruning".
+
+        ``None`` means this rule cannot bound the write (missing or
+        incomplete pre-image, unresolvable or unhashable values) and the
+        caller must try the next rule or fall back to the full scan.
+        """
+        try:
+            if self.source == "none":
+                return frozenset()
+            if self.source == "set":
+                assert self.set_binding is not None
+                return frozenset((self.set_binding.resolve(write.values),))
+            if self.source == "write":
+                assert self.write_binding is not None
+                return frozenset((self.write_binding.resolve(write.values),))
+            if self.source == "set+preimage":
+                assert self.set_binding is not None
+                old = _pre_image_values(self.column, write)
+                if old is None:
+                    return None
+                return old | frozenset(
+                    (self.set_binding.resolve(write.values),)
+                )
+            if self.source == "preimage":
+                return _pre_image_values(self.column, write)
+        except (IndexError, TypeError):
+            return None
+        raise AssertionError(f"unknown prune source {self.source!r}")
+
+
+def _pre_image_values(column: str, write: QueryInstance) -> frozenset | None:
+    """Values of ``column`` across the write's pre-image rows.
+
+    ``None`` when no pre-image was captured or any row lacks the column
+    -- the exact cases ``_pre_image_may_contain`` treats as "may
+    contain anything", where pruning would be unsound.
+    """
+    if write.pre_image is None:
+        return None
+    values = []
+    for row in write.pre_image:
+        if column not in row:
+            return None
+        values.append(row[column])
+    return frozenset(values)
+
+
+def build_pruning_plan(
+    pair: PairAnalysis, policy: InvalidationPolicy
+) -> tuple[PruneRule, ...]:
+    """Derive the index-usable rules for one pair analysis.
+
+    Empty when instance-level pruning can never apply: impossible pairs
+    (nothing to prune), COLUMN_ONLY (every instance invalidates), or
+    non-conjunctive reads (``intersects`` returns True before reaching
+    the checks).
+    """
+    if not pair.possible:
+        return ()
+    if policy is InvalidationPolicy.COLUMN_ONLY:
+        return ()
+    if not pair.read_conjunctive:
+        return ()
+    rules: list[PruneRule] = []
+    for check in pair.checks:
+        if pair.write_kind == "insert":
+            if check.set_binding is None:
+                rules.append(
+                    PruneRule(check.read_binding, "none", check.column)
+                )
+            else:
+                rules.append(
+                    PruneRule(
+                        check.read_binding,
+                        "set",
+                        check.column,
+                        set_binding=check.set_binding,
+                    )
+                )
+            continue
+        if pair.write_kind == "update" and check.column_is_written:
+            # Only EXTRA_QUERY can exclude the "leaves the read set"
+            # direction; and without a SET binding the new value is
+            # unknown, so rows may always enter.
+            if (
+                policy is InvalidationPolicy.EXTRA_QUERY
+                and check.set_binding is not None
+            ):
+                rules.append(
+                    PruneRule(
+                        check.read_binding,
+                        "set+preimage",
+                        check.column,
+                        set_binding=check.set_binding,
+                    )
+                )
+            continue
+        if not pair.write_conjunctive:
+            continue  # cannot bound the written row set
+        if check.write_binding is not None:
+            rules.append(
+                PruneRule(
+                    check.read_binding,
+                    "write",
+                    check.column,
+                    write_binding=check.write_binding,
+                )
+            )
+        elif policy is InvalidationPolicy.EXTRA_QUERY:
+            rules.append(
+                PruneRule(check.read_binding, "preimage", check.column)
+            )
+    return tuple(rules)
+
+
+def instance_filter(
+    plan: tuple[PruneRule, ...], write: QueryInstance
+) -> tuple[int | None, frozenset] | None:
+    """Resolve ``plan`` against one write into an instance filter.
+
+    Returns:
+
+    - ``None`` -- no rule applies to this write; scan every instance;
+    - ``(position, allowed)`` -- only instances whose value-vector entry
+      at ``position`` is in ``allowed`` can intersect; the rest are
+      provably disjoint and may be skipped unexamined;
+    - ``(None, frozenset())`` -- the read side pins the column to a
+      *literal* outside the allowed set, so every instance of the
+      template is disjoint: skip the template wholesale.
+    """
+    for rule in plan:
+        allowed = rule.allowed_values(write)
+        if allowed is None:
+            continue
+        position = rule.read_binding.value_index
+        if position is None:
+            # Literal read binding: one in/out decision for the whole
+            # template rather than a per-instance discrimination.
+            try:
+                pinned = rule.read_binding.literal in allowed
+            except TypeError:
+                continue
+            if pinned:
+                continue  # this rule cannot prune; maybe the next can
+            return None, frozenset()
+        return position, allowed
+    return None
+
+
+# ---------------------------------------------------------------------------
 # Helpers
 # ---------------------------------------------------------------------------
 

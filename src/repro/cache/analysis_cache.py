@@ -16,7 +16,13 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
-from repro.cache.analysis import PairAnalysis, QueryAnalysisEngine
+from repro.cache.analysis import (
+    InvalidationPolicy,
+    PairAnalysis,
+    PruneRule,
+    QueryAnalysisEngine,
+    build_pruning_plan,
+)
 from repro.sql.template import QueryTemplate
 
 
@@ -46,6 +52,11 @@ class AnalysisCache:
     def __init__(self, engine: QueryAnalysisEngine) -> None:
         self.engine = engine
         self._pairs: dict[tuple[str, str], PairAnalysis] = {}
+        # Pruning plans derived from pair analyses, keyed by (read text,
+        # write text, policy).  Plans are pure functions of the pair
+        # analysis, so they are memoised alongside it rather than
+        # recomputed by every write.
+        self._plans: dict[tuple[str, str, str], tuple[PruneRule, ...]] = {}
         self.stats = AnalysisCacheStats()
         # One lock covers memo + stats so concurrent invalidators never
         # double-analyse a pair or tear the Figure 4 growth series.
@@ -65,6 +76,27 @@ class AnalysisCache:
             self.stats.growth.append((self.stats.lookups, len(self._pairs)))
             return analysis
 
+    def plan_for(
+        self,
+        read: QueryTemplate,
+        write: QueryTemplate,
+        pair: PairAnalysis,
+        policy: InvalidationPolicy,
+    ) -> tuple[PruneRule, ...]:
+        """Memoised pruning plan for an already-analysed pair.
+
+        Takes the pair analysis as an argument (rather than calling
+        :meth:`analyse` itself) so plan lookups never inflate the
+        Figure 4 hit/miss counters.
+        """
+        key = (read.text, write.text, policy.value)
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                plan = build_pruning_plan(pair, policy)
+                self._plans[key] = plan
+            return plan
+
     @property
     def entry_count(self) -> int:
         with self._lock:
@@ -73,3 +105,4 @@ class AnalysisCache:
     def clear(self) -> None:
         with self._lock:
             self._pairs.clear()
+            self._plans.clear()

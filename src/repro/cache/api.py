@@ -49,6 +49,7 @@ class Cache:
         forced_miss: bool = False,
         coalesce: bool = True,
         flight_timeout: float = 30.0,
+        indexed_invalidation: bool = True,
     ) -> None:
         self.semantics = semantics or SemanticsRegistry()
         self.clock = clock
@@ -70,7 +71,11 @@ class Cache:
         self.analysis_cache = AnalysisCache(self.engine)
         self.stats = CacheStats()
         self.invalidator = Invalidator(
-            self.pages, self.analysis_cache, self.stats, invalidation_policy
+            self.pages,
+            self.analysis_cache,
+            self.stats,
+            invalidation_policy,
+            indexed=indexed_invalidation,
         )
         # -- cross-structure coordination (single-flight + staleness window)
         self._lock = threading.RLock()

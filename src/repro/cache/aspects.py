@@ -50,6 +50,11 @@ WRITE_HANDLER_POINTCUT = (
 #: Pointcuts capturing the JDBC-level calls (Figure 12).
 QUERY_POINTCUT = "call(Statement.execute_query(..))"
 UPDATE_POINTCUT = "call(Statement.execute_update(..))"
+#: Transaction boundary pointcuts: invalidation information collected
+#: inside an explicit transaction is staged until the outcome is known
+#: (commit promotes, rollback discards).
+COMMIT_POINTCUT = "call(Connection.commit(..))"
+ROLLBACK_POINTCUT = "call(Connection.rollback(..))"
 
 
 class ReadServletAspect(Aspect):
@@ -155,15 +160,33 @@ class WriteServletAspect(Aspect):
 
 
 class JdbcConsistencyAspect(Aspect):
-    """Collects consistency information at the JDBC interface (Figure 12)."""
+    """Collects consistency information at the JDBC interface (Figure 12).
+
+    Also watches the transaction boundary (``Connection.commit`` /
+    ``rollback``): a write executed inside an explicit transaction is
+    staged on the collector and only becomes invalidation information
+    when the transaction commits.  A rolled-back write never changed the
+    database, so it must invalidate nothing -- recording it at execute
+    time (the pre-fix behaviour) both over-invalidates and, worse,
+    leaks uncommitted state into the consistency protocol.
+    """
 
     precedence = 20
 
     def __init__(self, cache: Cache, collector: ConsistencyCollector) -> None:
         self.cache = cache
         self.collector = collector
-        #: Extra queries issued for pre-image capture (AC-extraQuery).
-        self.extra_queries = 0
+
+    @property
+    def extra_queries(self) -> int:
+        """Pre-image capture queries issued (AC-extraQuery).
+
+        Kept for observability; the counter itself lives in the
+        lock-protected :class:`~repro.cache.stats.CacheStats`, since an
+        unsynchronized attribute on the shared aspect instance lost
+        increments under the threaded container.
+        """
+        return self.cache.stats.extra_queries
 
     @around(QUERY_POINTCUT)
     def collect_dependency_info(self, joinpoint: JoinPoint) -> object:
@@ -195,8 +218,30 @@ class JdbcConsistencyAspect(Aspect):
             # A failed write is not considered for invalidation.
             raise
         if instance is not None:
-            self.collector.record_write(instance)
+            connection = getattr(joinpoint.target, "connection", None)
+            if connection is not None and connection.in_transaction:
+                # Outcome unknown until commit/rollback: stage it.
+                self.collector.stage_write(connection, instance)
+            else:
+                self.collector.record_write(instance)
         return result
+
+    @around(COMMIT_POINTCUT)
+    def promote_staged_writes(self, joinpoint: JoinPoint) -> object:
+        result = joinpoint.proceed()
+        # Only after the database accepted the commit do the staged
+        # writes become real invalidation information.
+        self.collector.commit_staged(joinpoint.target)
+        return result
+
+    @around(ROLLBACK_POINTCUT)
+    def discard_staged_writes(self, joinpoint: JoinPoint) -> object:
+        try:
+            return joinpoint.proceed()
+        finally:
+            # Rolled back (even if rollback itself raised, the writes
+            # did not commit): they must not invalidate anything.
+            self.collector.rollback_staged(joinpoint.target)
 
     def _capture_pre_image(
         self,
@@ -226,7 +271,7 @@ class JdbcConsistencyAspect(Aspect):
             result = database.execute_statement(select, values)
         except Exception:
             return None  # conservative: no pre-image -> always intersect
-        self.extra_queries += 1
+        self.cache.stats.record_extra_query()
         return tuple(result.dicts())  # type: ignore[union-attr]
 
 

@@ -30,7 +30,7 @@ from repro.cache.aspects import (
 )
 from repro.cache.consistency import ConsistencyCollector
 from repro.cache.semantics import SemanticsRegistry
-from repro.db.dbapi import Statement
+from repro.db.dbapi import Connection, Statement
 from repro.errors import CacheError
 
 
@@ -48,6 +48,7 @@ class AutoWebCache:
         forced_miss: bool = False,
         coalesce: bool = True,
         flight_timeout: float = 30.0,
+        indexed_invalidation: bool = True,
     ) -> None:
         self.cache = Cache(
             invalidation_policy=policy,
@@ -59,6 +60,7 @@ class AutoWebCache:
             forced_miss=forced_miss,
             coalesce=coalesce,
             flight_timeout=flight_timeout,
+            indexed_invalidation=indexed_invalidation,
         )
         self.collector = ConsistencyCollector()
         self.read_aspect = ReadServletAspect(self.cache, self.collector)
@@ -82,15 +84,17 @@ class AutoWebCache:
     def install(
         self,
         servlet_classes: Iterable[type],
-        driver_classes: Iterable[type] = (Statement,),
+        driver_classes: Iterable[type] = (Statement, Connection),
         extra_aspects: Iterable[object] = (),
     ) -> WeaveReport:
         """Weave the caching aspects into the application.
 
         ``servlet_classes`` are the application's servlet classes;
         ``driver_classes`` the database-driver classes carrying
-        ``execute_query``/``execute_update`` (defaults to the bundled
-        DB-API :class:`~repro.db.dbapi.Statement`).  ``extra_aspects``
+        ``execute_query``/``execute_update`` plus the transaction
+        boundary ``commit``/``rollback`` (defaults to the bundled
+        DB-API :class:`~repro.db.dbapi.Statement` and
+        :class:`~repro.db.dbapi.Connection`).  ``extra_aspects``
         are woven by the same weaver -- e.g. a
         :class:`~repro.cache.aspects_result.ResultCacheAspect` layered
         beneath the page cache (Section 9's complementary back-end

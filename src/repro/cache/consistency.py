@@ -8,6 +8,15 @@ this module; the servlet-level aspects open/close the contexts.
 Aborted queries follow the paper's rules: a failed read query marks the
 context aborted so the page is not inserted; a failed write query is
 simply not recorded for invalidation.
+
+Writes executed inside an explicit transaction are *staged* per
+connection rather than recorded immediately (mirroring the deferred
+trigger events in :mod:`repro.db.transactions`): ``commit`` promotes
+them into the context's invalidation information, ``rollback`` discards
+them -- a rolled-back write never happened, so it must invalidate
+nothing.  A rollback observed while a *read* context has staged writes
+additionally aborts the context: the page body may have been rendered
+from uncommitted state.
 """
 
 from __future__ import annotations
@@ -27,6 +36,12 @@ class RequestContext:
     page_key: str
     reads: list[QueryInstance] = field(default_factory=list)
     writes: list[QueryInstance] = field(default_factory=list)
+    #: Writes executed inside a still-open transaction, keyed by the
+    #: connection that owns it; promoted to ``writes`` on commit,
+    #: dropped on rollback.
+    staged_writes: dict[object, list[QueryInstance]] = field(
+        default_factory=dict
+    )
     aborted: bool = False
 
     @property
@@ -52,10 +67,20 @@ class ConsistencyCollector:
         return context
 
     def end(self) -> RequestContext:
-        """Close and return the current context."""
+        """Close and return the current context.
+
+        Writes still staged under an open transaction are promoted
+        conservatively: a handler that returns without committing may
+        hold a connection whose autocommit semantics land the writes
+        later, and over-invalidating is safe while under-invalidating
+        is not.
+        """
         context = self._current.get()
         if context is None:
             raise ConsistencyError("no open request context")
+        for staged in context.staged_writes.values():
+            context.writes.extend(staged)
+        context.staged_writes.clear()
         self._current.set(None)
         return context
 
@@ -83,6 +108,34 @@ class ConsistencyCollector:
         context = self._current.get()
         if context is not None:
             context.writes.append(instance)
+
+    def stage_write(self, connection: object, instance: QueryInstance) -> None:
+        """Record invalidation information pending ``connection``'s commit."""
+        context = self._current.get()
+        if context is not None:
+            context.staged_writes.setdefault(connection, []).append(instance)
+
+    def commit_staged(self, connection: object) -> None:
+        """Promote ``connection``'s staged writes: the transaction committed."""
+        context = self._current.get()
+        if context is None:
+            return
+        staged = context.staged_writes.pop(connection, None)
+        if staged:
+            context.writes.extend(staged)
+
+    def rollback_staged(self, connection: object) -> None:
+        """Discard ``connection``'s staged writes: they never happened.
+
+        In a read context a rollback after staged writes also aborts the
+        page: its body may reflect the uncommitted (now undone) state.
+        """
+        context = self._current.get()
+        if context is None:
+            return
+        staged = context.staged_writes.pop(connection, None)
+        if staged and context.is_read:
+            context.aborted = True
 
     def mark_aborted(self) -> None:
         context = self._current.get()

@@ -1,10 +1,34 @@
-"""The dependency table: Figure 3's second structure.
+"""The dependency table: Figure 3's second structure, now indexed.
 
 Maps each read-query template to the set of (value vector, page key)
 pairs recorded when cached pages were generated.  When a write arrives,
 the invalidator walks the read templates that *may* depend on the write
 template (per the analysis engine) and runs the run-time intersection
 test against each registered instance.
+
+The paper's protocol consults *every* read template per write.  To make
+the write path sub-linear, the table additionally maintains two indexes
+under the same lock discipline as the primary map:
+
+1. an inverted **table index** (``table -> read templates``): a write
+   can only affect templates sharing a table with it (the pair
+   analysis's ``shared_tables`` precondition), so
+   :meth:`candidate_templates` prunes every disjoint-table template
+   without analysing the pair;
+2. a per-template **value index** (``value-vector position -> value ->
+   registrations``), one bucket per equality-bound position of the read
+   template (:attr:`~repro.sql.template.QueryTemplate.
+   indexable_positions`).  When the write pins the same column to a
+   concrete value set, :meth:`instances_for_values` returns only the
+   registrations whose bound value could possibly intersect -- every
+   skipped instance is one the run-time intersection test would have
+   rejected anyway, so pruning cannot change protocol outcomes.
+
+Registrations whose indexed values are unhashable (never the case for
+SQL scalars, but the table does not get to choose its callers) demote
+the whole template to unindexed: :meth:`instances_for_values` then
+answers ``None`` and the invalidator falls back to the full scan,
+trading speed for the exact brute-force behaviour.
 
 The table carries its own lock: the page cache mutates it while holding
 the page-store lock, but the invalidator also reads it directly from
@@ -17,43 +41,140 @@ from __future__ import annotations
 
 import threading
 from collections import defaultdict
+from typing import Iterable
 
 from repro.cache.entry import QueryInstance
 from repro.sql.template import QueryTemplate
 
+#: One registration as the indexes see it: (page key, value vector).
+Registration = tuple[str, tuple[object, ...]]
+
 
 class DependencyTable:
-    """template -> page key -> set of value vectors."""
+    """template -> page key -> set of value vectors (plus two indexes)."""
 
     def __init__(self) -> None:
+        #: Vectors per (template, page) live in a *list*, deduplicated by
+        #: equality: vectors holding unhashable values (legal for the
+        #: caller, impossible to index) must still be storable, and the
+        #: per-page vector count is tiny so linear membership is fine.
         self._by_template: dict[
-            QueryTemplate, dict[str, set[tuple[object, ...]]]
+            QueryTemplate, dict[str, list[tuple[object, ...]]]
         ] = defaultdict(dict)
+        #: Inverted index: table name -> templates referencing it.
+        self._templates_by_table: dict[str, set[QueryTemplate]] = defaultdict(set)
+        #: template -> position -> value -> {(page key, vector)}.
+        self._value_index: dict[
+            QueryTemplate, dict[int, dict[object, set[Registration]]]
+        ] = {}
+        #: Template texts whose value index was abandoned (unhashable
+        #: values); lookups on them fall back to the full scan.
+        self._unindexable: set[str] = set()
         self._lock = threading.RLock()
 
     def register(self, page_key: str, instances: tuple[QueryInstance, ...]) -> None:
         """Record that ``page_key`` depends on each read instance."""
         with self._lock:
             for instance in instances:
-                pages = self._by_template[instance.template]
-                vectors = pages.setdefault(page_key, set())
-                vectors.add(tuple(instance.values))
+                template = instance.template
+                new_template = template not in self._by_template
+                pages = self._by_template[template]
+                vectors = pages.setdefault(page_key, [])
+                vector = tuple(instance.values)
+                if vector in vectors:
+                    continue
+                vectors.append(vector)
+                if new_template:
+                    for table in template.tables:
+                        self._templates_by_table[table].add(template)
+                self._index_registration(template, page_key, vector)
 
     def unregister(self, page_key: str, instances: tuple[QueryInstance, ...]) -> None:
         """Remove ``page_key``'s registrations (on eviction/invalidation)."""
         with self._lock:
             for instance in instances:
-                pages = self._by_template.get(instance.template)
+                template = instance.template
+                pages = self._by_template.get(template)
                 if pages is None:
                     continue
-                pages.pop(page_key, None)
+                vectors = pages.pop(page_key, None)
+                if vectors:
+                    self._unindex_registrations(template, page_key, vectors)
                 if not pages:
-                    del self._by_template[instance.template]
+                    del self._by_template[template]
+                    self._value_index.pop(template, None)
+                    for table in template.tables:
+                        remaining = self._templates_by_table.get(table)
+                        if remaining is not None:
+                            remaining.discard(template)
+                            if not remaining:
+                                del self._templates_by_table[table]
+
+    # -- index maintenance (caller holds the lock) ---------------------------------
+
+    def _index_registration(
+        self, template: QueryTemplate, page_key: str, vector: tuple[object, ...]
+    ) -> None:
+        if template.text in self._unindexable:
+            return
+        positions = template.indexable_positions
+        if not positions:
+            return
+        index = self._value_index.setdefault(template, {})
+        try:
+            for position in positions:
+                bucket = index.setdefault(position, {})
+                bucket.setdefault(vector[position], set()).add((page_key, vector))
+        except (IndexError, TypeError):
+            # Short or unhashable vector: demote the template for good
+            # (a partially indexed template would answer lookups
+            # unsoundly).  The invalidator falls back to full scans.
+            self._unindexable.add(template.text)
+            self._value_index.pop(template, None)
+
+    def _unindex_registrations(
+        self,
+        template: QueryTemplate,
+        page_key: str,
+        vectors: list[tuple[object, ...]],
+    ) -> None:
+        index = self._value_index.get(template)
+        if index is None:
+            return
+        for position, bucket in index.items():
+            for vector in vectors:
+                try:
+                    entries = bucket.get(vector[position])
+                except TypeError:  # unhashable value: was never indexed
+                    continue
+                if entries is None:
+                    continue
+                entries.discard((page_key, vector))
+                if not entries:
+                    del bucket[vector[position]]
+
+    # -- reads ---------------------------------------------------------------------
 
     def read_templates(self) -> list[QueryTemplate]:
         """Every read template currently backing at least one page."""
         with self._lock:
             return list(self._by_template)
+
+    def candidate_templates(
+        self, tables: Iterable[str]
+    ) -> tuple[list[QueryTemplate], int]:
+        """Templates sharing a table with ``tables``, plus the skipped count.
+
+        The skipped count is how many registered templates the inverted
+        table index proved irrelevant without a pair analysis.
+        """
+        with self._lock:
+            candidates: set[QueryTemplate] = set()
+            for table in tables:
+                found = self._templates_by_table.get(table)
+                if found:
+                    candidates |= found
+            return list(candidates), len(self._by_template) - len(candidates)
 
     def instances_for(
         self, template: QueryTemplate
@@ -67,9 +188,49 @@ class DependencyTable:
                 for vector in vectors
             ]
 
+    def instances_for_values(
+        self,
+        template: QueryTemplate,
+        position: int,
+        values: Iterable[object],
+    ) -> tuple[list[Registration], int] | None:
+        """Registrations whose vector[``position``] is in ``values``.
+
+        Returns ``(candidates, skipped)`` where ``skipped`` counts the
+        registrations the value index pruned, or ``None`` when the index
+        cannot answer (unindexed template or position, unhashable probe
+        value) and the caller must fall back to :meth:`instances_for`.
+        """
+        with self._lock:
+            if template.text in self._unindexable:
+                return None
+            pages = self._by_template.get(template)
+            if not pages:
+                return [], 0
+            index = self._value_index.get(template)
+            if index is None or position not in index:
+                return None
+            bucket = index[position]
+            candidates: list[Registration] = []
+            try:
+                for value in values:
+                    candidates.extend(bucket.get(value, ()))
+            except TypeError:
+                return None
+            total = sum(len(vectors) for vectors in pages.values())
+            return candidates, total - len(candidates)
+
+    def instance_count(self, template: QueryTemplate) -> int:
+        """Number of registrations currently held under ``template``."""
+        with self._lock:
+            pages = self._by_template.get(template, {})
+            return sum(len(vectors) for vectors in pages.values())
+
     def clear(self) -> None:
         with self._lock:
             self._by_template.clear()
+            self._templates_by_table.clear()
+            self._value_index.clear()
 
     @property
     def template_count(self) -> int:

@@ -1,22 +1,75 @@
 """Invalidation orchestration (Figure 6, lower half).
 
 When a write request completes, each collected write instance is tested
-against every read template in the dependency table:
+against the read templates in the dependency table:
 
 1. pair analysis (memoised in the analysis cache) prunes template pairs
    with no possible dependency;
 2. the run-time intersection test (at the configured policy precision)
    decides, per registered (value vector, page) instance, whether the
    page must go.
+
+The paper runs both steps against *every* template and instance per
+write.  The default **indexed** path keeps identical outcomes while
+doing sub-linear work:
+
+- identical write instances in a batch are deduplicated before
+  analysis (a batch of N copies of the same UPDATE dooms the same
+  pages N times over);
+- the dependency table's inverted table index supplies only the read
+  templates sharing a table with the write -- every skipped template is
+  one whose pair analysis would have answered ``possible=False``;
+- a pruning plan (:func:`~repro.cache.analysis.build_pruning_plan`)
+  derived from the pair analysis converts the write's bound values into
+  the set of read-side values it could intersect, and the per-template
+  value index returns only the registrations carrying such a value --
+  every skipped instance is one ``intersects`` would have rejected.
+
+Pruned work is surfaced in :class:`~repro.cache.stats.CacheStats`
+(``templates_skipped_by_index`` / ``instances_skipped_by_index``); the
+brute-force path is kept (``indexed=False``) as the differential-test
+oracle.
 """
 
 from __future__ import annotations
 
-from repro.cache.analysis import InvalidationPolicy, QueryAnalysisEngine
+from repro.cache.analysis import (
+    InvalidationPolicy,
+    QueryAnalysisEngine,
+    instance_filter,
+)
 from repro.cache.analysis_cache import AnalysisCache
 from repro.cache.entry import QueryInstance
 from repro.cache.page_cache import PageCache
 from repro.cache.stats import CacheStats
+
+
+def dedupe_writes(writes: list[QueryInstance]) -> list[QueryInstance]:
+    """Drop repeated identical write instances, preserving order.
+
+    Two writes are identical when template text, value vector and
+    pre-image coincide -- the exact inputs of the intersection test, so
+    duplicates provably doom the same pages.  Unhashable values keep the
+    instance as unique (no dedup, no behaviour change).
+    """
+    unique: list[QueryInstance] = []
+    seen: set = set()
+    for write in writes:
+        try:
+            pre = write.pre_image
+            frozen_pre = (
+                None
+                if pre is None
+                else tuple(tuple(sorted(row.items())) for row in pre)
+            )
+            key = (write.template.text, tuple(write.values), frozen_pre)
+            if key in seen:
+                continue
+            seen.add(key)
+        except TypeError:
+            pass
+        unique.append(write)
+    return unique
 
 
 class Invalidator:
@@ -28,11 +81,15 @@ class Invalidator:
         analysis_cache: AnalysisCache,
         stats: CacheStats,
         policy: InvalidationPolicy = InvalidationPolicy.EXTRA_QUERY,
+        indexed: bool = True,
     ) -> None:
         self._pages = page_cache
         self._analysis = analysis_cache
         self._stats = stats
         self.policy = policy
+        #: Use the dependency-table indexes; False restores the paper's
+        #: full-scan protocol (the differential-test oracle).
+        self.indexed = indexed
 
     @property
     def engine(self) -> QueryAnalysisEngine:
@@ -40,23 +97,93 @@ class Invalidator:
 
     def process_writes(self, writes: list[QueryInstance]) -> set[str]:
         """Invalidate every page affected by ``writes``; returns the keys."""
-        doomed: set[str] = set()
-        for write in writes:
-            doomed |= self._affected_pages(write)
+        doomed = self.affected_pages(writes)
         for key in doomed:
             if self._pages.invalidate(key):
                 self._stats.record_invalidated()
         return doomed
 
+    def affected_pages(
+        self, writes: list[QueryInstance], indexed: bool | None = None
+    ) -> set[str]:
+        """The page keys ``writes`` would doom (no invalidation performed).
+
+        Pure with respect to the page cache, so the differential harness
+        can run the indexed and brute-force protocols against the same
+        registered population and compare the doomed sets.
+        """
+        use_index = self.indexed if indexed is None else indexed
+        affected: set[str] = set()
+        for write in dedupe_writes(writes):
+            if use_index:
+                affected |= self._affected_pages_indexed(write)
+            else:
+                affected |= self._affected_pages(write)
+        return affected
+
     def _affected_pages(self, write: QueryInstance) -> set[str]:
+        """Brute force: every template, every instance (the paper's loop)."""
         affected: set[str] = set()
         for read_template in self._pages.dependencies.read_templates():
+            self._stats.record_pair_analysis()
             pair = self._analysis.analyse(read_template, write.template)
             if not pair.possible:
                 continue
             for page_key, values in self._pages.dependencies.instances_for(
                 read_template
             ):
+                if page_key in affected:
+                    continue
+                self._stats.record_intersection_test()
+                if self.engine.intersects(pair, values, write, self.policy):
+                    affected.add(page_key)
+        return affected
+
+    def _affected_pages_indexed(self, write: QueryInstance) -> set[str]:
+        """Index-pruned protocol: candidate templates, candidate instances."""
+        affected: set[str] = set()
+        dependencies = self._pages.dependencies
+        candidates, skipped = dependencies.candidate_templates(
+            write.template.tables
+        )
+        if skipped:
+            self._stats.record_index_pruning(templates_skipped=skipped)
+        for read_template in candidates:
+            self._stats.record_pair_analysis()
+            pair = self._analysis.analyse(read_template, write.template)
+            if not pair.possible:
+                continue
+            plan = self._analysis.plan_for(
+                read_template, write.template, pair, self.policy
+            )
+            instances = None
+            if plan:
+                selected = instance_filter(plan, write)
+                if selected is not None:
+                    position, allowed = selected
+                    if position is None:
+                        # Literal read binding outside the allowed set:
+                        # the whole template is disjoint from this write.
+                        count = dependencies.instance_count(read_template)
+                        if count:
+                            self._stats.record_index_pruning(
+                                instances_skipped=count
+                            )
+                        continue
+                    found = dependencies.instances_for_values(
+                        read_template, position, allowed
+                    )
+                    if found is not None:
+                        instances, pruned = found
+                        if pruned:
+                            self._stats.record_index_pruning(
+                                instances_skipped=pruned
+                            )
+            if instances is None:
+                # No usable rule (or unindexable template): full scan,
+                # identical to the brute-force inner loop.
+                instances = dependencies.instances_for(read_template)
+            for page_key, values in instances:
                 if page_key in affected:
                     continue
                 self._stats.record_intersection_test()
@@ -76,12 +203,22 @@ class Invalidator:
         set -- used to reject inserting a page whose computation window
         overlapped an invalidating write (single-flight staleness
         check), since an in-flight page has no dependency-table
-        registrations for the normal protocol to hit.
+        registrations for the normal protocol to hit.  The indexed path
+        applies the same pruning (table disjointness, per-pair value
+        filter) directly to the prospective read instances.
         """
-        for write in writes:
+        use_index = self.indexed
+        for write in dedupe_writes(writes) if use_index else writes:
+            write_tables = write.template.tables if use_index else None
             for read in reads:
+                if use_index and not (read.template.tables & write_tables):
+                    self._stats.record_index_pruning(templates_skipped=1)
+                    continue
+                self._stats.record_pair_analysis()
                 pair = self._analysis.analyse(read.template, write.template)
                 if not pair.possible:
+                    continue
+                if use_index and self._value_filtered(pair, read, write):
                     continue
                 self._stats.record_intersection_test()
                 if self.engine.intersects(
@@ -89,3 +226,27 @@ class Invalidator:
                 ):
                     return True
         return False
+
+    def _value_filtered(
+        self, pair, read: QueryInstance, write: QueryInstance
+    ) -> bool:
+        """True when the pruning plan proves ``read`` disjoint from ``write``."""
+        plan = self._analysis.plan_for(
+            read.template, write.template, pair, self.policy
+        )
+        if not plan:
+            return False
+        selected = instance_filter(plan, write)
+        if selected is None:
+            return False
+        position, allowed = selected
+        if position is None:
+            self._stats.record_index_pruning(instances_skipped=1)
+            return True
+        try:
+            if read.values[position] in allowed:
+                return False
+        except (IndexError, TypeError):
+            return False
+        self._stats.record_index_pruning(instances_skipped=1)
+        return True

@@ -80,8 +80,20 @@ class CacheStats:
     invalidated_pages: int = 0
     #: Write requests processed by the invalidator.
     write_requests: int = 0
+    #: Template-pair analyses consulted by the invalidator (cached or
+    #: not): the per-write template work the table index prunes.
+    pair_analyses: int = 0
     #: Instance-level intersection tests executed.
     intersection_tests: int = 0
+    #: Read templates skipped by the inverted table index (disjoint
+    #: table sets -- no pair analysis performed).
+    templates_skipped_by_index: int = 0
+    #: Registered instances skipped by the per-template value index
+    #: (provably disjoint -- no intersection test performed).
+    instances_skipped_by_index: int = 0
+    #: Pre-image capture queries issued by the JDBC aspect (the
+    #: EXTRA_QUERY policy's extra round-trip to the backend).
+    extra_queries: int = 0
     #: Misses served from a concurrent single-flight computation
     #: (dogpile suppression): N concurrent misses, one execution.
     coalesced_hits: int = 0
@@ -171,6 +183,21 @@ class CacheStats:
         with self._lock:
             self.intersection_tests += 1
 
+    def record_pair_analysis(self, count: int = 1) -> None:
+        with self._lock:
+            self.pair_analyses += count
+
+    def record_index_pruning(
+        self, templates_skipped: int = 0, instances_skipped: int = 0
+    ) -> None:
+        with self._lock:
+            self.templates_skipped_by_index += templates_skipped
+            self.instances_skipped_by_index += instances_skipped
+
+    def record_extra_query(self) -> None:
+        with self._lock:
+            self.extra_queries += 1
+
     def record_coalesced(self, uri: str) -> None:
         with self._lock:
             self.coalesced_hits += 1
@@ -204,7 +231,11 @@ class CacheStats:
                 "evictions": self.evictions,
                 "invalidated_pages": self.invalidated_pages,
                 "write_requests": self.write_requests,
+                "pair_analyses": self.pair_analyses,
                 "intersection_tests": self.intersection_tests,
+                "templates_skipped_by_index": self.templates_skipped_by_index,
+                "instances_skipped_by_index": self.instances_skipped_by_index,
+                "extra_queries": self.extra_queries,
                 "coalesced_hits": self.coalesced_hits,
                 "stale_inserts": self.stale_inserts,
                 "hit_rate": self.hit_rate,

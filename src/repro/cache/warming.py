@@ -33,6 +33,9 @@ class WarmupReport:
     requests_issued: int
     pages_cached: int
     errors: int
+    #: Write draws skipped (warming never mutates state); they count
+    #: against the request budget so a write-heavy mix terminates.
+    writes_skipped: int = 0
 
 
 def warm_from_mix(
@@ -49,11 +52,15 @@ def warm_from_mix(
         session_id=-1, mix=mix, rng=random.Random(seed)
     )
     issued = 0
+    skipped = 0
     errors = 0
-    while len(cache) < target_pages and issued < max_requests:
+    # Skipped write draws spend budget too: otherwise a write-heavy (or
+    # write-only) mix draws forever without ever incrementing ``issued``.
+    while len(cache) < target_pages and issued + skipped < max_requests:
         planned = session.next_request()
         if planned.is_write:
-            continue  # warming must not mutate state
+            skipped += 1  # warming must not mutate state
+            continue
         response = container.handle(
             HttpRequest(planned.method, planned.uri, dict(planned.params))
         )
@@ -62,7 +69,10 @@ def warm_from_mix(
         if response.status != 200:
             errors += 1
     return WarmupReport(
-        requests_issued=issued, pages_cached=len(cache), errors=errors
+        requests_issued=issued,
+        pages_cached=len(cache),
+        errors=errors,
+        writes_skipped=skipped,
     )
 
 

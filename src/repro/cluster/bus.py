@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterator
 
 from repro.cache.entry import QueryInstance
+from repro.cache.invalidation import dedupe_writes
 from repro.errors import ClusterError
 
 #: A subscriber: called with each message, returns the page keys it
@@ -63,6 +64,9 @@ class BusStats:
     delivered: int = 0
     #: Union-size of page keys doomed per publish, accumulated.
     pages_invalidated: int = 0
+    #: Duplicate write instances dropped before broadcast (each would
+    #: have been re-analysed by every subscriber under the bus lock).
+    writes_deduped: int = 0
 
 
 class InvalidationBus:
@@ -116,11 +120,17 @@ class InvalidationBus:
         Returns the stamped message and the **union** of page keys
         invalidated across all subscribers.  Delivery runs under the
         bus lock: sequence order equals delivery order on every node.
+        Duplicate write instances are dropped before delivery -- the
+        publish lock serialises every write in the cluster, so each
+        duplicate would add a full per-node invalidation pass to the
+        bus hold time for provably identical doomed sets.
         """
+        unique = dedupe_writes(writes)
         with self._lock:
             self._seq += 1
+            self.stats.writes_deduped += len(writes) - len(unique)
             message = BusMessage(
-                seq=self._seq, origin=origin, uri=uri, writes=tuple(writes)
+                seq=self._seq, origin=origin, uri=uri, writes=tuple(unique)
             )
             self._recent.append(message)
             del self._recent[: -self._recent_limit]

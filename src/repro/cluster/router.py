@@ -29,6 +29,7 @@ from typing import Callable
 from repro.cache.api import Cache
 from repro.cache.entry import PageEntry, QueryInstance
 from repro.cache.flight import Flight
+from repro.cache.invalidation import dedupe_writes
 from repro.cache.stats import CacheStats
 from repro.cluster.bus import InvalidationBus
 from repro.cluster.node import CacheNode
@@ -76,7 +77,15 @@ class ClusterStats:
     evictions = property(lambda self: self._sum("evictions"))
     invalidated_pages = property(lambda self: self._sum("invalidated_pages"))
     write_requests = property(lambda self: self._sum("write_requests"))
+    pair_analyses = property(lambda self: self._sum("pair_analyses"))
     intersection_tests = property(lambda self: self._sum("intersection_tests"))
+    templates_skipped_by_index = property(
+        lambda self: self._sum("templates_skipped_by_index")
+    )
+    instances_skipped_by_index = property(
+        lambda self: self._sum("instances_skipped_by_index")
+    )
+    extra_queries = property(lambda self: self._sum("extra_queries"))
     coalesced_hits = property(lambda self: self._sum("coalesced_hits"))
     stale_inserts = property(lambda self: self._sum("stale_inserts"))
 
@@ -103,6 +112,11 @@ class ClusterStats:
 
     def record_write(self, uri: str) -> None:
         self.frontend.record_write(uri)
+
+    def record_extra_query(self) -> None:
+        # Pre-image capture happens in the aspect, before any shard is
+        # involved: a front-end event like write requests.
+        self.frontend.record_extra_query()
 
     def snapshot(self) -> dict:
         """Cluster aggregate plus the per-node snapshots it sums."""
@@ -331,7 +345,10 @@ class ClusterRouter:
             return set()
         if not len(self.ring):
             raise ClusterError("cannot process a write on an empty cluster")
-        _message, doomed = self.bus.publish("router", uri, writes)
+        # Dedupe once at the front-end: every node would otherwise
+        # re-analyse each duplicate while the bus publish lock is held,
+        # multiplying the redundant work by node count.
+        _message, doomed = self.bus.publish("router", uri, dedupe_writes(writes))
         return doomed
 
     def invalidate_key(self, key: str) -> bool:

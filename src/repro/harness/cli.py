@@ -46,6 +46,7 @@ def _cmd_list(_args: argparse.Namespace) -> str:
         ["fig17", "TPC-W per-request hits/misses"],
         ["codesize", "Figure 20 code-size comparison"],
         ["cluster", "sharded-tier scaling curve (throughput vs nodes)"],
+        ["differential", "indexed vs brute-force invalidation equivalence"],
         ["run", "one custom cell (see --help)"],
     ]
     return render_table("Available experiments", ["command", "regenerates"], rows)
@@ -123,6 +124,46 @@ def _cmd_breakdown(args: argparse.Namespace, app: str) -> str:
         ["request", "% reqs", "hits", "sem", "cold", "inval", "uncach", "mean ms"],
         rows,
     )
+
+
+def _cmd_differential(args: argparse.Namespace) -> tuple[str, int]:
+    from repro.harness.differential import run_differential
+
+    rows = []
+    failures = 0
+    policies = (
+        [_POLICIES[args.policy]] if args.policy else list(InvalidationPolicy)
+    )
+    for policy in policies:
+        for seed in range(args.seed, args.seed + args.seeds):
+            result = run_differential(
+                seed=seed,
+                rounds=args.rounds,
+                n_pages=args.pages,
+                policy=policy,
+            )
+            if not result.ok:
+                failures += 1
+            rows.append(
+                [
+                    policy.value,
+                    seed,
+                    "ok" if result.ok else "MISMATCH",
+                    result.writes_tested,
+                    result.pages_doomed,
+                    result.templates_skipped,
+                    result.instances_skipped,
+                    f"{result.pair_analyses_brute}"
+                    f"/{result.pair_analyses_indexed}",
+                ]
+            )
+    table = render_table(
+        "Differential: indexed vs brute-force invalidation",
+        ["policy", "seed", "verdict", "writes", "doomed",
+         "tmpl skipped", "inst skipped", "pair analyses (brute/indexed)"],
+        rows,
+    )
+    return table, (1 if failures else 0)
 
 
 def _cmd_codesize(_args: argparse.Namespace) -> str:
@@ -260,6 +301,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("codesize", help="Figure 20 code sizes")
 
+    differential = sub.add_parser(
+        "differential",
+        help="indexed vs brute-force invalidation equivalence check",
+    )
+    differential.add_argument("--seed", type=int, default=0)
+    differential.add_argument("--seeds", type=int, default=3,
+                              help="number of consecutive seeds to run")
+    differential.add_argument("--rounds", type=int, default=60)
+    differential.add_argument("--pages", type=int, default=80)
+    differential.add_argument("--policy", choices=sorted(_POLICIES),
+                              default=None,
+                              help="one policy (default: all three)")
+
     cluster = sub.add_parser(
         "cluster", help="sharded cache tier: throughput vs node count"
     )
@@ -294,8 +348,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    status = 0
     if args.command == "list":
         output = _cmd_list(args)
+    elif args.command == "differential":
+        output, status = _cmd_differential(args)
     elif args.command == "fig13":
         output = _cmd_curve(args, "rubis")
     elif args.command in ("fig14", "fig15"):
@@ -314,4 +371,4 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"unknown command {args.command!r}")
         return 2
     print(output)
-    return 0
+    return status

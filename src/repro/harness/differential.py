@@ -1,0 +1,280 @@
+"""Differential correctness harness: indexed vs. brute-force invalidation.
+
+The indexed invalidation engine is only admissible if it is *invisible*:
+for any population of registered read instances and any write batch, the
+set of doomed page keys (and the single-flight ``intersects_any``
+verdict) must equal the paper's brute-force protocol exactly.  This
+module generates randomized RUBiS/TPC-W-flavoured workloads -- read
+templates with conjunctive, disjunctive, missing and multi-column WHERE
+clauses; INSERT/UPDATE/DELETE writes with complete, incomplete and
+missing pre-images -- and runs both protocols side by side over many
+rounds, invalidating and re-registering pages between rounds so the
+population churns.
+
+Any divergence is a bug in the indexes or pruning plans, never
+acceptable drift: pruning is supposed to skip only work whose outcome
+is already decided.  ``python -m repro differential`` runs this from
+the shell; the property-style tests in
+``tests/test_invalidation_differential.py`` run it across seeds and
+policies in CI.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.cache.analysis import InvalidationPolicy, QueryAnalysisEngine
+from repro.cache.analysis_cache import AnalysisCache
+from repro.cache.entry import PageEntry, QueryInstance
+from repro.cache.invalidation import Invalidator
+from repro.cache.page_cache import PageCache
+from repro.cache.replacement import make_policy
+from repro.cache.stats import CacheStats
+from repro.sql.template import templateize
+
+#: Auction/bookstore flavoured schema the random workloads draw from.
+SCHEMA: dict[str, list[str]] = {
+    "users": ["id", "name", "rating", "region"],
+    "items": ["id", "seller", "category", "price", "qty"],
+    "bids": ["item_id", "user_id", "amount"],
+    "comments": ["item_id", "from_user", "rating"],
+    "orders": ["id", "customer_id", "status", "total"],
+    "order_line": ["order_id", "item_id", "qty"],
+}
+
+#: Small value domain so reads and writes collide often enough to
+#: exercise both the "prune" and the "must test" paths.
+VALUE_DOMAIN = range(6)
+
+
+@dataclass
+class DifferentialResult:
+    """Outcome of one differential run."""
+
+    seed: int
+    rounds: int
+    policy: str
+    writes_tested: int = 0
+    pages_doomed: int = 0
+    intersects_checks: int = 0
+    #: Index effectiveness on the indexed side (for reporting and to
+    #: prove the run exercised pruning at all, not just full scans).
+    templates_skipped: int = 0
+    instances_skipped: int = 0
+    pair_analyses_indexed: int = 0
+    pair_analyses_brute: int = 0
+    intersection_tests_indexed: int = 0
+    intersection_tests_brute: int = 0
+    mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def _random_read(rng: random.Random) -> QueryInstance:
+    table = rng.choice(sorted(SCHEMA))
+    columns = SCHEMA[table]
+    projection = rng.choice(columns + ["*"])
+    roll = rng.random()
+    if roll < 0.35:
+        column = rng.choice(columns)
+        sql = f"SELECT {projection} FROM {table} WHERE {column} = ?"
+        params: tuple = (rng.choice(VALUE_DOMAIN),)
+    elif roll < 0.60:
+        first, second = rng.sample(columns, 2) if len(columns) > 1 else (
+            columns[0], columns[0]
+        )
+        sql = (
+            f"SELECT {projection} FROM {table} "
+            f"WHERE {first} = ? AND {second} = ?"
+        )
+        params = (rng.choice(VALUE_DOMAIN), rng.choice(VALUE_DOMAIN))
+    elif roll < 0.75:
+        # Disjunctive: non-conjunctive reads must never be pruned.
+        first, second = rng.choice(columns), rng.choice(columns)
+        sql = (
+            f"SELECT {projection} FROM {table} "
+            f"WHERE {first} = ? OR {second} = ?"
+        )
+        params = (rng.choice(VALUE_DOMAIN), rng.choice(VALUE_DOMAIN))
+    elif roll < 0.85:
+        column = rng.choice(columns)
+        sql = f"SELECT {projection} FROM {table} WHERE {column} > ?"
+        params = (rng.choice(VALUE_DOMAIN),)
+    else:
+        sql = f"SELECT {projection} FROM {table}"
+        params = ()
+    template, values = templateize(sql, params)
+    return QueryInstance(template, values)
+
+
+def _random_pre_image(
+    rng: random.Random, table: str
+) -> tuple[dict[str, object], ...] | None:
+    """None / complete / incomplete pre-images, all of which must agree
+    with the brute protocol's conservative handling."""
+    roll = rng.random()
+    if roll < 0.30:
+        return None
+    columns = SCHEMA[table]
+    rows = []
+    for _ in range(rng.randrange(0, 4)):
+        row = {column: rng.choice(VALUE_DOMAIN) for column in columns}
+        if roll >= 0.80 and len(row) > 1:
+            del row[rng.choice(sorted(row))]  # incomplete capture
+        rows.append(row)
+    return tuple(rows)
+
+
+def _random_write(rng: random.Random) -> QueryInstance:
+    table = rng.choice(sorted(SCHEMA))
+    columns = SCHEMA[table]
+    kind = rng.random()
+    if kind < 0.30:
+        chosen = rng.sample(columns, rng.randrange(1, len(columns) + 1))
+        placeholders = ", ".join("?" for _ in chosen)
+        sql = (
+            f"INSERT INTO {table} ({', '.join(chosen)}) "
+            f"VALUES ({placeholders})"
+        )
+        params = tuple(rng.choice(VALUE_DOMAIN) for _ in chosen)
+        template, values = templateize(sql, params)
+        return QueryInstance(template, values)
+    if kind < 0.70:
+        n_set = rng.randrange(1, min(3, len(columns)) + 1)
+        set_columns = rng.sample(columns, n_set)
+        set_sql = ", ".join(f"{column} = ?" for column in set_columns)
+        params_list = [rng.choice(VALUE_DOMAIN) for _ in set_columns]
+        where_roll = rng.random()
+        if where_roll < 0.6:
+            where_column = rng.choice(columns)
+            where_sql = f" WHERE {where_column} = ?"
+            params_list.append(rng.choice(VALUE_DOMAIN))
+        elif where_roll < 0.8:
+            first, second = rng.choice(columns), rng.choice(columns)
+            where_sql = f" WHERE {first} = ? OR {second} = ?"
+            params_list.extend(
+                (rng.choice(VALUE_DOMAIN), rng.choice(VALUE_DOMAIN))
+            )
+        else:
+            where_sql = ""
+        sql = f"UPDATE {table} SET {set_sql}{where_sql}"
+        template, values = templateize(sql, tuple(params_list))
+        return QueryInstance(template, values, _random_pre_image(rng, table))
+    if rng.random() < 0.8:
+        column = rng.choice(columns)
+        sql = f"DELETE FROM {table} WHERE {column} = ?"
+        params = (rng.choice(VALUE_DOMAIN),)
+    else:
+        sql = f"DELETE FROM {table}"
+        params = ()
+    template, values = templateize(sql, params)
+    return QueryInstance(template, values, _random_pre_image(rng, table))
+
+
+#: Public names for the workload generators so the property-style and
+#: cluster differential tests can drive identical random workloads.
+def random_read(rng: random.Random) -> QueryInstance:
+    return _random_read(rng)
+
+
+def random_write(rng: random.Random) -> QueryInstance:
+    return _random_write(rng)
+
+
+def _register_page(
+    pages: PageCache, rng: random.Random, key: str
+) -> PageEntry:
+    dependencies = tuple(
+        _random_read(rng) for _ in range(rng.randrange(1, 4))
+    )
+    entry = PageEntry(key=key, body=f"body of {key}", dependencies=dependencies)
+    pages.insert(entry)
+    return entry
+
+
+def run_differential(
+    seed: int = 0,
+    rounds: int = 60,
+    n_pages: int = 80,
+    policy: InvalidationPolicy = InvalidationPolicy.EXTRA_QUERY,
+    max_mismatches: int = 5,
+) -> DifferentialResult:
+    """Run indexed and brute-force invalidation side by side.
+
+    Both invalidators share one page cache (and therefore one dependency
+    table with its indexes); :meth:`Invalidator.affected_pages` is pure,
+    so each round compares the two doomed sets on identical state before
+    applying the batch for real and re-registering replacement pages.
+    """
+    rng = random.Random(seed)
+    pages = PageCache(make_policy("unbounded", None))
+    indexed = Invalidator(
+        pages,
+        AnalysisCache(QueryAnalysisEngine()),
+        CacheStats(),
+        policy,
+        indexed=True,
+    )
+    brute = Invalidator(
+        pages,
+        AnalysisCache(QueryAnalysisEngine()),
+        CacheStats(),
+        policy,
+        indexed=False,
+    )
+    result = DifferentialResult(
+        seed=seed, rounds=rounds, policy=policy.value
+    )
+    serial = 0
+    for serial in range(n_pages):
+        _register_page(pages, rng, f"page-{serial}")
+
+    for round_no in range(rounds):
+        batch = [_random_write(rng) for _ in range(rng.randrange(1, 4))]
+        if len(batch) > 1 and rng.random() < 0.4:
+            batch.append(rng.choice(batch))  # duplicate write in batch
+        result.writes_tested += len(batch)
+
+        doomed_indexed = indexed.affected_pages(batch)
+        doomed_brute = brute.affected_pages(batch)
+        if doomed_indexed != doomed_brute:
+            result.mismatches.append(
+                f"round {round_no}: doomed sets differ; "
+                f"indexed-only={sorted(doomed_indexed - doomed_brute)}, "
+                f"brute-only={sorted(doomed_brute - doomed_indexed)}, "
+                f"writes={[str(w.template.text) for w in batch]}"
+            )
+            if len(result.mismatches) >= max_mismatches:
+                break
+
+        # The single-flight staleness check must agree too.
+        prospective = [_random_read(rng) for _ in range(rng.randrange(1, 4))]
+        verdict_indexed = indexed.intersects_any(prospective, batch)
+        verdict_brute = brute.intersects_any(prospective, batch)
+        result.intersects_checks += 1
+        if verdict_indexed != verdict_brute:
+            result.mismatches.append(
+                f"round {round_no}: intersects_any diverged "
+                f"(indexed={verdict_indexed}, brute={verdict_brute})"
+            )
+            if len(result.mismatches) >= max_mismatches:
+                break
+
+        doomed = indexed.process_writes(batch)
+        result.pages_doomed += len(doomed)
+        for _ in range(len(doomed)):
+            serial += 1
+            _register_page(pages, rng, f"page-{serial}")
+
+    snapshot_indexed = indexed._stats.snapshot()
+    snapshot_brute = brute._stats.snapshot()
+    result.templates_skipped = snapshot_indexed["templates_skipped_by_index"]
+    result.instances_skipped = snapshot_indexed["instances_skipped_by_index"]
+    result.pair_analyses_indexed = snapshot_indexed["pair_analyses"]
+    result.pair_analyses_brute = snapshot_brute["pair_analyses"]
+    result.intersection_tests_indexed = snapshot_indexed["intersection_tests"]
+    result.intersection_tests_brute = snapshot_brute["intersection_tests"]
+    return result

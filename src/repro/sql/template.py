@@ -18,7 +18,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.sql import ast_nodes as ast
+from repro.sql.analysis_info import StatementInfo, extract_info
 from repro.sql.parser import parse_statement
+
+#: Shared static-analysis memo keyed by canonical template text.  Equal
+#: templates are minted afresh on every request (templateize builds a
+#: new object per statement), so per-object caching would re-extract the
+#: same info over and over; keying by text makes ``QueryTemplate.info``
+#: O(1) after the first instance of each template.  Benign data race
+#: under threads: two extractions of the same text produce equal values.
+_INFO_CACHE: dict[str, StatementInfo] = {}
 
 
 @dataclass(frozen=True)
@@ -45,6 +54,56 @@ class QueryTemplate:
     @property
     def is_write(self) -> bool:
         return self.statement.is_write
+
+    @property
+    def info(self) -> StatementInfo:
+        """Static read/write-set facts for this template (memoised by text)."""
+        cached = _INFO_CACHE.get(self.text)
+        if cached is None:
+            cached = extract_info(self.statement)
+            _INFO_CACHE[self.text] = cached
+        return cached
+
+    @property
+    def tables(self) -> frozenset[str]:
+        """Tables this template references (lower-cased).
+
+        The write-side candidate pruning of the indexed invalidation
+        engine keys its inverted table index on exactly this set: two
+        templates with disjoint ``tables`` can never depend on one
+        another (the pair analysis's ``shared_tables`` precondition).
+        """
+        return self.info.tables
+
+    @property
+    def equality_columns(self) -> frozenset[tuple[str, str]]:
+        """(table, column) pairs this template pins with ``column = value``.
+
+        These are the columns the dependency table's per-template value
+        index can discriminate instances by.
+        """
+        return frozenset(
+            (binding.table, binding.column)
+            for binding in self.info.equality_bindings
+        )
+
+    @property
+    def indexable_positions(self) -> tuple[int, ...]:
+        """Value-vector positions carrying an equality binding, sorted.
+
+        Each position is a slot of the instance value vector that an
+        equality predicate compares against; the dependency table builds
+        one value-index bucket per position.
+        """
+        return tuple(
+            sorted(
+                {
+                    binding.value_index
+                    for binding in self.info.equality_bindings
+                    if binding.value_index is not None
+                }
+            )
+        )
 
     def bind(self, values: tuple[object, ...]) -> ast.Statement:
         """Return a literal AST with ``values`` substituted for placeholders."""

@@ -11,7 +11,7 @@ import pytest
 
 from repro.cache.autowebcache import AutoWebCache
 from repro.db import Column, ColumnType, Database, TableSchema, connect
-from repro.db.dbapi import Statement
+from repro.db.dbapi import Connection, Statement
 from repro.web.container import ServletContainer
 from repro.web.http import HttpRequest, HttpResponse
 from repro.web.servlet import HttpServlet
@@ -25,6 +25,11 @@ def no_woven_leaks():
         method = vars(Statement).get(name)
         assert not getattr(method, "__aw_woven__", False), (
             f"Statement.{name} left woven by a test"
+        )
+    for name in ("commit", "rollback"):
+        method = vars(Connection).get(name)
+        assert not getattr(method, "__aw_woven__", False), (
+            f"Connection.{name} left woven by a test"
         )
 
 

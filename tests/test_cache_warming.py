@@ -4,6 +4,7 @@ from repro.apps.rubis import RubisDataset, build_rubis
 from repro.apps.rubis.workload import bidding_mix
 from repro.cache.autowebcache import AutoWebCache
 from repro.cache.warming import warm_from_mix, warm_from_trace
+from repro.workload.mix import Interaction, InteractionMix
 from repro.workload.trace import RequestTrace, TraceEntry, TraceRecorder
 
 
@@ -37,7 +38,47 @@ def test_warm_respects_request_budget():
             app.container, awc.cache, bidding_mix(app.dataset),
             target_pages=10_000, max_requests=25, seed=5,
         )
-        assert report.requests_issued == 25
+        # Skipped write draws spend budget too (they are draws from the
+        # mix), so issued + skipped exactly exhausts the budget.
+        assert report.requests_issued + report.writes_skipped == 25
+        assert report.requests_issued > 0
+    finally:
+        awc.uninstall()
+
+
+def test_warm_write_only_mix_terminates():
+    """Regression: a mix with no read interactions must not spin forever.
+
+    The pre-fix loop `continue`d on write draws without spending budget,
+    so a write-heavy mix never incremented ``issued`` and looped
+    indefinitely.
+    """
+    app, awc = build_cached_rubis()
+    try:
+        write_only = InteractionMix(
+            name="write-only",
+            interactions=[
+                Interaction(
+                    name="store_bid",
+                    method="POST",
+                    uri="/rubis/store_bid",
+                    params=lambda session: {
+                        "item": "1", "user": "1", "bid": "10"
+                    },
+                    weight=1.0,
+                    is_write=True,
+                )
+            ],
+        )
+        report = warm_from_mix(
+            app.container, awc.cache, write_only,
+            target_pages=10, max_requests=50, seed=5,
+        )
+        assert report.requests_issued == 0
+        assert report.writes_skipped == 50
+        assert report.pages_cached == 0
+        # Warming never mutated state or touched the container.
+        assert awc.stats.write_requests == 0
     finally:
         awc.uninstall()
 

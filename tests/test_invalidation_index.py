@@ -1,0 +1,237 @@
+"""Unit tests for the dependency-table indexes and write dedupe.
+
+The table index and value index are pure accelerators: every answer
+they give must be a subset-with-accounting of what the full scan would
+return, and anything they cannot answer soundly must degrade to the
+full scan (``None``), never to a wrong subset.
+"""
+
+from __future__ import annotations
+
+from repro.cache.analysis import InvalidationPolicy, QueryAnalysisEngine
+from repro.cache.analysis_cache import AnalysisCache
+from repro.cache.dependency import DependencyTable
+from repro.cache.entry import PageEntry, QueryInstance
+from repro.cache.invalidation import Invalidator, dedupe_writes
+from repro.cache.page_cache import PageCache
+from repro.cache.replacement import make_policy
+from repro.cache.stats import CacheStats
+from repro.sql.parser import parse_statement
+from repro.sql.template import QueryTemplate, templateize
+
+
+def _read(sql: str, params: tuple = ()) -> QueryInstance:
+    template, values = templateize(sql, params)
+    return QueryInstance(template, values)
+
+
+def _write(sql: str, params: tuple = (), pre_image=None) -> QueryInstance:
+    template, values = templateize(sql, params)
+    return QueryInstance(template, values, pre_image)
+
+
+def _indexed_invalidator(pages: PageCache) -> Invalidator:
+    return Invalidator(
+        pages,
+        AnalysisCache(QueryAnalysisEngine()),
+        CacheStats(),
+        InvalidationPolicy.EXTRA_QUERY,
+        indexed=True,
+    )
+
+
+class TestTableIndex:
+    def test_candidates_limited_to_shared_tables(self):
+        table = DependencyTable()
+        users = _read("SELECT name FROM users WHERE id = ?", (1,))
+        items = _read("SELECT price FROM items WHERE id = ?", (2,))
+        table.register("p-users", (users,))
+        table.register("p-items", (items,))
+
+        candidates, skipped = table.candidate_templates(["users"])
+        assert [t.text for t in candidates] == [users.template.text]
+        assert skipped == 1
+
+        candidates, skipped = table.candidate_templates(["bids"])
+        assert candidates == []
+        assert skipped == 2
+
+    def test_unregister_cleans_both_indexes(self):
+        table = DependencyTable()
+        read = _read("SELECT name FROM users WHERE id = ?", (1,))
+        table.register("p1", (read,))
+        table.register("p2", (read,))
+
+        table.unregister("p1", (read,))
+        candidates, _ = table.candidate_templates(["users"])
+        assert len(candidates) == 1  # p2 still registered
+
+        table.unregister("p2", (read,))
+        assert table.template_count == 0
+        candidates, skipped = table.candidate_templates(["users"])
+        assert candidates == [] and skipped == 0
+        # The value index must not leak the dead template either.
+        assert table._value_index == {}
+        assert table._templates_by_table == {}
+
+    def test_duplicate_registration_is_idempotent(self):
+        table = DependencyTable()
+        read = _read("SELECT name FROM users WHERE id = ?", (1,))
+        table.register("p1", (read, read))
+        table.register("p1", (read,))
+        assert table.registration_count == 1
+        result = table.instances_for_values(read.template, 0, [1])
+        assert result is not None
+        candidates, skipped = result
+        assert candidates == [("p1", (1,))] and skipped == 0
+
+
+class TestValueIndex:
+    def test_lookup_returns_only_matching_values(self):
+        table = DependencyTable()
+        template, _ = templateize("SELECT name FROM users WHERE id = ?", (0,))
+        for k in range(4):
+            table.register(f"p{k}", (QueryInstance(template, (k,)),))
+
+        result = table.instances_for_values(template, 0, [2])
+        assert result == ([("p2", (2,))], 3)
+
+        result = table.instances_for_values(template, 0, [1, 3])
+        assert result is not None
+        candidates, skipped = result
+        assert sorted(candidates) == [("p1", (1,)), ("p3", (3,))]
+        assert skipped == 2
+
+    def test_missing_position_falls_back(self):
+        table = DependencyTable()
+        # No equality binding -> no indexable positions -> no value index.
+        read = _read("SELECT name FROM users WHERE id > ?", (1,))
+        table.register("p1", (read,))
+        assert table.instances_for_values(read.template, 0, [1]) is None
+
+    def test_absent_template_answers_empty(self):
+        table = DependencyTable()
+        read = _read("SELECT name FROM users WHERE id = ?", (1,))
+        assert table.instances_for_values(read.template, 0, [1]) == ([], 0)
+
+    def test_unhashable_value_demotes_template_permanently(self):
+        table = DependencyTable()
+        template, _ = templateize("SELECT name FROM users WHERE id = ?", (0,))
+        table.register("p0", (QueryInstance(template, (0,)),))
+        # A registration with an unhashable bound value poisons the
+        # whole template's value index...
+        table.register("bad", (QueryInstance(template, ([1, 2],)),))
+        assert table.instances_for_values(template, 0, [0]) is None
+        # ...and the demotion sticks even after the bad page goes away
+        # (a partially rebuilt index would answer unsoundly).
+        table.unregister("bad", (QueryInstance(template, ([1, 2],)),))
+        assert table.instances_for_values(template, 0, [0]) is None
+        # The full scan still sees everything.
+        assert ("p0", (0,)) in table.instances_for(template)
+
+    def test_unhashable_probe_value_falls_back(self):
+        table = DependencyTable()
+        template, _ = templateize("SELECT name FROM users WHERE id = ?", (0,))
+        table.register("p0", (QueryInstance(template, (0,)),))
+        assert table.instances_for_values(template, 0, [[1, 2]]) is None
+
+
+class TestIndexedInvalidatorFallbacks:
+    """The invalidator must produce brute-force results even when the
+    indexes degrade."""
+
+    def test_unindexable_template_still_invalidated_correctly(self):
+        pages = PageCache(make_policy("unbounded", None))
+        template, _ = templateize("SELECT name FROM users WHERE id = ?", (0,))
+        pages.insert(
+            PageEntry(
+                key="good",
+                body="x",
+                dependencies=(QueryInstance(template, (1,)),),
+            )
+        )
+        pages.insert(
+            PageEntry(
+                key="bad",
+                body="x",
+                dependencies=(QueryInstance(template, ([9],)),),
+            )
+        )
+        invalidator = _indexed_invalidator(pages)
+        writes = [_write("UPDATE users SET name = ? WHERE id = ?", ("n", 1))]
+        assert invalidator.affected_pages(writes) == {"good"}
+
+    def test_literal_read_binding_prunes_whole_template(self):
+        """Reads with literal equality bindings (no placeholder) decide
+        in/out per template, not per instance."""
+        pages = PageCache(make_policy("unbounded", None))
+        statement = parse_statement("SELECT name FROM users WHERE id = 5")
+        template = QueryTemplate(text=statement.unparse(), statement=statement)
+        pages.insert(
+            PageEntry(
+                key="pinned",
+                body="x",
+                dependencies=(QueryInstance(template, ()),),
+            )
+        )
+        invalidator = _indexed_invalidator(pages)
+
+        miss = [_write("UPDATE users SET name = ? WHERE id = ?", ("n", 3))]
+        assert invalidator.affected_pages(miss) == set()
+
+        hit = [_write("UPDATE users SET name = ? WHERE id = ?", ("n", 5))]
+        assert invalidator.affected_pages(hit) == {"pinned"}
+
+    def test_pruning_counters_recorded(self):
+        pages = PageCache(make_policy("unbounded", None))
+        read_tpl, _ = templateize("SELECT name FROM users WHERE id = ?", (0,))
+        for k in range(4):
+            pages.insert(
+                PageEntry(
+                    key=f"u{k}",
+                    body="x",
+                    dependencies=(QueryInstance(read_tpl, (k,)),),
+                )
+            )
+        pages.insert(
+            PageEntry(
+                key="item",
+                body="x",
+                dependencies=(
+                    _read("SELECT price FROM items WHERE id = ?", (1,)),
+                ),
+            )
+        )
+        invalidator = _indexed_invalidator(pages)
+        writes = [_write("UPDATE users SET name = ? WHERE id = ?", ("n", 2))]
+        assert invalidator.affected_pages(writes) == {"u2"}
+        snapshot = invalidator._stats.snapshot()
+        # The items template never shares a table with the write; three
+        # of the four user registrations are value-pruned.
+        assert snapshot["templates_skipped_by_index"] == 1
+        assert snapshot["instances_skipped_by_index"] == 3
+        assert snapshot["pair_analyses"] == 1
+        assert snapshot["intersection_tests"] == 1
+
+
+class TestDedupeWrites:
+    def test_identical_instances_collapse(self):
+        a = _write("DELETE FROM users WHERE id = ?", (1,))
+        b = _write("DELETE FROM users WHERE id = ?", (1,))
+        c = _write("DELETE FROM users WHERE id = ?", (2,))
+        assert len(dedupe_writes([a, b, c, a])) == 2
+
+    def test_distinct_pre_images_do_not_collapse(self):
+        a = _write(
+            "DELETE FROM users WHERE id = ?", (1,), ({"id": 1, "name": "x"},)
+        )
+        b = _write(
+            "DELETE FROM users WHERE id = ?", (1,), ({"id": 1, "name": "y"},)
+        )
+        assert len(dedupe_writes([a, b])) == 2
+        assert len(dedupe_writes([a, a, b])) == 2
+
+    def test_unhashable_values_kept_conservatively(self):
+        a = _write("DELETE FROM users WHERE id = ?", ([1],))
+        b = _write("DELETE FROM users WHERE id = ?", ([1],))
+        assert len(dedupe_writes([a, b])) == 2
