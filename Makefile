@@ -1,6 +1,6 @@
 ENV := PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: test stress bench bench-cluster bench-invalidation differential results
+.PHONY: test stress bench bench-cluster bench-invalidation bench-obs differential results
 
 # Tier-1: the full unit/integration/property suite (what CI gates on).
 test:
@@ -29,6 +29,12 @@ bench-cluster:
 # templates (writes benchmarks/results/invalidation_scaling.txt).
 bench-invalidation:
 	$(ENV) timeout 600 python -m pytest -q benchmarks/test_invalidation_scaling.py
+
+# Observability overhead: baseline vs woven-disabled vs woven-enabled
+# on the hot cache-hit path (writes benchmarks/results/obs_overhead.txt).
+# Scale with OBS_BENCH_REQUESTS / OBS_BENCH_TRIALS for CI smoke runs.
+bench-obs:
+	$(ENV) timeout 600 python -m pytest -q benchmarks/test_obs_overhead.py
 
 # Equivalence check: indexed and brute-force invalidators must produce
 # identical doomed sets over randomized workloads (exit 1 on mismatch).

@@ -72,6 +72,14 @@ class Pointcut:
         currently executing below this one (innermost last)."""
         return self.matches(target)
 
+    def cflow_observed(self) -> tuple["Pointcut", ...]:
+        """The sub-pointcuts whose join points some ``cflowbelow`` in
+        this expression inspects on the control-flow stack.
+
+        The weaver uses this to decide which woven methods must push a
+        stack frame even when none of their own advice is active."""
+        return ()
+
     def __and__(self, other: "Pointcut") -> "Pointcut":
         return _And(self, other)
 
@@ -137,6 +145,9 @@ class Cflowbelow(Pointcut):
     ) -> bool:
         return any(self.inner.matches(frame) for frame in stack)
 
+    def cflow_observed(self) -> tuple[Pointcut, ...]:
+        return (self.inner,) + self.inner.cflow_observed()
+
     def __str__(self) -> str:
         return f"cflowbelow({self.inner})"
 
@@ -160,6 +171,9 @@ class _And(Pointcut):
             target, stack
         )
 
+    def cflow_observed(self) -> tuple[Pointcut, ...]:
+        return self.left.cflow_observed() + self.right.cflow_observed()
+
 
 @dataclass(frozen=True)
 class _Or(Pointcut):
@@ -179,6 +193,9 @@ class _Or(Pointcut):
         return self.left.dynamic_matches(target, stack) or self.right.dynamic_matches(
             target, stack
         )
+
+    def cflow_observed(self) -> tuple[Pointcut, ...]:
+        return self.left.cflow_observed() + self.right.cflow_observed()
 
 
 @dataclass(frozen=True)
@@ -200,6 +217,9 @@ class _Not(Pointcut):
         self, target: MethodTarget, stack: tuple[MethodTarget, ...]
     ) -> bool:
         return not self.inner.dynamic_matches(target, stack)
+
+    def cflow_observed(self) -> tuple[Pointcut, ...]:
+        return self.inner.cflow_observed()
 
 
 def _positional_arity(function: object) -> int:

@@ -28,7 +28,7 @@ from typing import Any, Iterable
 from repro.aop.advice import AdviceKind
 from repro.aop.aspect import Aspect, BoundAdvice
 from repro.aop.joinpoint import JoinPoint, Signature
-from repro.aop.pointcut import MethodTarget
+from repro.aop.pointcut import MethodTarget, Pointcut
 from repro.errors import WeavingError
 
 _WOVEN_MARKER = "__aw_woven__"
@@ -44,6 +44,61 @@ _CFLOW_STACK: contextvars.ContextVar[tuple[MethodTarget, ...]] = (
 def current_cflow() -> tuple[MethodTarget, ...]:
     """The woven join points currently executing (outermost first)."""
     return _CFLOW_STACK.get()
+
+
+#: Global reconfiguration epoch.  Dispatchers cache their per-call plan
+#: (which advice is enabled, which chain to run, whether the frame can
+#: be bypassed entirely) and recompute it only when this moves -- so a
+#: woven-but-disabled aspect costs one integer comparison per call.
+_RECONFIG_EPOCH = [0]
+
+
+def notify_aspect_switch() -> None:
+    """Invalidate every dispatcher's cached plan.
+
+    Must be called after toggling an aspect's ``enabled`` flag while it
+    is woven (the observability aspects do so from their ``enabled``
+    property setter).  Weaving and unweaving bump the epoch themselves.
+    """
+    _RECONFIG_EPOCH[0] += 1
+
+
+class _CflowObserverRegistry:
+    """Every pointcut inspected by a woven ``cflowbelow``, across all
+    live weavers.
+
+    A dispatcher whose advice is entirely inactive for an invocation may
+    skip the control-flow stack push -- and with it nearly all of its
+    overhead -- but only if no woven ``cflowbelow`` anywhere could
+    observe that frame.  Weavers register their observed pointcuts at
+    weave time and withdraw them on unweave; dispatchers cache the
+    "is my frame observed?" answer keyed by :attr:`version`.
+    """
+
+    def __init__(self) -> None:
+        self._by_weaver: dict[int, tuple[Pointcut, ...]] = {}
+        self.version = 0
+
+    def register(self, weaver_id: int, pointcuts: tuple[Pointcut, ...]) -> None:
+        if self._by_weaver.get(weaver_id) != pointcuts:
+            self._by_weaver[weaver_id] = pointcuts
+            self.version += 1
+            notify_aspect_switch()
+
+    def unregister(self, weaver_id: int) -> None:
+        if self._by_weaver.pop(weaver_id, None) is not None:
+            self.version += 1
+            notify_aspect_switch()
+
+    def observes(self, target: MethodTarget) -> bool:
+        return any(
+            pointcut.matches(target)
+            for pointcuts in self._by_weaver.values()
+            for pointcut in pointcuts
+        )
+
+
+_CFLOW_OBSERVERS = _CflowObserverRegistry()
 
 
 @dataclass
@@ -104,11 +159,29 @@ class Weaver:
         """Wrap every matched method of ``classes``; returns a report."""
         report = WeaveReport()
         advices = self._sorted_advices()
+        _CFLOW_OBSERVERS.register(
+            id(self),
+            tuple(
+                observed
+                for advice in advices
+                for observed in advice.spec.pointcut.cflow_observed()
+            ),
+        )
         for cls in classes:
             for method_name, function in list(vars(cls).items()):
                 if not callable(function) or method_name.startswith("__"):
                     continue
                 if getattr(function, _WOVEN_MARKER, False):
+                    # Re-weaving a method *this* weaver already wrapped
+                    # is idempotent (the wrapper stays in place); a
+                    # method wrapped by a different weaver is a
+                    # composition error -- two independent unweaves
+                    # could not both restore the original.
+                    if any(
+                        cls is woven_cls and method_name == woven_name
+                        for woven_cls, woven_name, _ in self._woven
+                    ):
+                        continue
                     raise WeavingError(
                         f"{cls.__name__}.{method_name} is already woven"
                     )
@@ -139,6 +212,7 @@ class Weaver:
         for cls, method_name, original in reversed(self._woven):
             setattr(cls, method_name, original)
         self._woven.clear()
+        _CFLOW_OBSERVERS.unregister(id(self))
 
     def _sorted_advices(self) -> list[BoundAdvice]:
         bound: list[BoundAdvice] = []
@@ -169,6 +243,19 @@ def _build_dispatcher(
         cls=cls, method_name=method_name, function=original
     )
     has_dynamic = any(advice.spec.pointcut.is_dynamic for advice in advices)
+    #: Advice whose aspect carries a runtime ``enabled`` switch (the
+    #: observability aspects).  When such an aspect is disabled its
+    #: advice is dropped *before* dynamic pointcut evaluation and chain
+    #: building, so a woven-but-disabled aspect costs one flag read per
+    #: call instead of a JoinPoint allocation per layer.  Aspects
+    #: without the attribute (the caching aspects) are always active
+    #: and add no per-call cost here.
+    switchable = [
+        advice for advice in advices if hasattr(advice.aspect, "enabled")
+    ]
+    #: Pre-built chains per enabled-advice combination (at most
+    #: 2^len(switchable) entries, in practice two: all-on / obs-off).
+    chain_cache: dict[tuple[int, ...], Any] = {}
 
     def run_core(target: object, *args: Any, **kwargs: Any) -> Any:
         return original(target, *args, **kwargs)
@@ -240,21 +327,68 @@ def _build_dispatcher(
             advice.method(joinpoint)
         return result
 
+    #: Cached per-call plan, recomputed when :data:`_RECONFIG_EPOCH`
+    #: moves: [epoch, candidate advice, static chain or None, frame is
+    #: observed by some woven ``cflowbelow``, fully bypassed].  "Fully
+    #: bypassed" means no candidate advice AND an unobserved frame: the
+    #: dispatcher may tail-call the original directly.  A list (not a
+    #: tuple) so one slice assignment swaps the whole plan atomically
+    #: under the GIL.
+    plan: list[Any] = [-1, advices, None, True, False]
+
+    def refresh_plan() -> None:
+        epoch = _RECONFIG_EPOCH[0]
+        if switchable and not all(a.aspect.enabled for a in switchable):
+            candidates = [
+                advice
+                for advice in advices
+                if getattr(advice.aspect, "enabled", True)
+            ]
+        else:
+            candidates = advices
+        chain = None
+        if not has_dynamic:
+            if candidates is advices:
+                chain = static_chain
+            else:
+                key = tuple(id(advice) for advice in candidates)
+                chain = chain_cache.get(key)
+                if chain is None:
+                    chain = build_chain(candidates)
+                    chain_cache[key] = chain
+        observed = _CFLOW_OBSERVERS.observes(method_target)
+        plan[:] = [
+            epoch,
+            candidates,
+            chain,
+            observed,
+            not candidates and not observed,
+        ]
+
     @functools.wraps(original)
     def dispatcher(target: object, *args: Any, **kwargs: Any) -> Any:
+        if plan[0] != _RECONFIG_EPOCH[0]:
+            refresh_plan()
+        if plan[4]:
+            # No enabled advice and no woven ``cflowbelow`` observes
+            # this frame: a woven-but-inactive method is nearly free.
+            return original(target, *args, **kwargs)
+        candidates = plan[1]
         stack_below = _CFLOW_STACK.get()
         if has_dynamic:
             active = [
                 advice
-                for advice in advices
+                for advice in candidates
                 if advice.spec.pointcut.dynamic_matches(
                     method_target, stack_below
                 )
             ]
+            if not active and not plan[3]:
+                return original(target, *args, **kwargs)
             chain = build_chain(active) if active else run_core
         else:
-            active = advices
-            chain = static_chain
+            active = candidates
+            chain = plan[2]
         token = _CFLOW_STACK.set(stack_below + (method_target,))
         try:
             if not active:

@@ -53,6 +53,12 @@ class BusMessage:
     uri: str
     #: The write's invalidation information.
     writes: tuple[QueryInstance, ...]
+    #: Opaque trace propagation ids ``(trace_id, span_id)`` stamped by
+    #: the publisher's observability advice, if any is woven.  The bus
+    #: carries but never interprets them: subscribers on other nodes
+    #: use the pair to stitch their invalidation work into the
+    #: originating request's trace.
+    trace: tuple[str, str] | None = None
 
 
 @dataclass
@@ -113,7 +119,11 @@ class InvalidationBus:
             del self._subscribers[name]
 
     def publish(
-        self, origin: str, uri: str, writes: list[QueryInstance]
+        self,
+        origin: str,
+        uri: str,
+        writes: list[QueryInstance],
+        trace: tuple[str, str] | None = None,
     ) -> tuple[BusMessage, set]:
         """Broadcast one write's invalidation information.
 
@@ -130,7 +140,11 @@ class InvalidationBus:
             self._seq += 1
             self.stats.writes_deduped += len(writes) - len(unique)
             message = BusMessage(
-                seq=self._seq, origin=origin, uri=uri, writes=tuple(unique)
+                seq=self._seq,
+                origin=origin,
+                uri=uri,
+                writes=tuple(unique),
+                trace=trace,
             )
             self._recent.append(message)
             del self._recent[: -self._recent_limit]

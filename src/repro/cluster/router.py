@@ -144,6 +144,8 @@ class ClusterStats:
                 "seq": self._router.bus.seq,
                 "published": self._router.bus.stats.published,
                 "delivered": self._router.bus.stats.delivered,
+                "writes_deduped": self._router.bus.stats.writes_deduped,
+                "pages_invalidated": self._router.bus.stats.pages_invalidated,
             },
         }
 
@@ -220,7 +222,15 @@ class ClusterRouter:
             if name in self._nodes:
                 raise ClusterError(f"node {name!r} already joined")
             self.ring.add_node(name)
-            node.rebase(self.bus.subscribe(name, node.apply))
+            # Subscribe through a late-binding callable, not the bound
+            # method: a bound method freezes the function at subscribe
+            # time, which would bypass any advice woven onto
+            # ``CacheNode.apply`` afterwards (delivery is a join point).
+            node.rebase(
+                self.bus.subscribe(
+                    name, lambda message, _node=node: _node.apply(message)
+                )
+            )
             moved = 0
             for other in self._nodes.values():
                 remapped = [

@@ -47,6 +47,7 @@ def _cmd_list(_args: argparse.Namespace) -> str:
         ["codesize", "Figure 20 code-size comparison"],
         ["cluster", "sharded-tier scaling curve (throughput vs nodes)"],
         ["differential", "indexed vs brute-force invalidation equivalence"],
+        ["obs", "observability-woven scripted run (metrics + traces)"],
         ["run", "one custom cell (see --help)"],
     ]
     return render_table("Available experiments", ["command", "regenerates"], rows)
@@ -217,6 +218,64 @@ def _cmd_cluster(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_obs(args: argparse.Namespace) -> str:
+    """A scripted, observability-woven RUBiS run; prints the exposition.
+
+    Drives a small deterministic request mix (item views, bid history,
+    a bid every few rounds) through a cache with the tracing and
+    metrics aspects woven alongside, then renders whichever view was
+    asked for: the latency-histogram summary plus protocol counters,
+    the Prometheus text exposition, or the buffered traces.
+    """
+    from repro.apps.rubis.app import build_rubis
+    from repro.cache.autowebcache import AutoWebCache
+    from repro.harness.reporting import (
+        render_histogram_summary,
+        render_protocol_counters,
+    )
+    from repro.obs import Observability, render_metrics, render_traces
+
+    app = build_rubis()
+    obs = Observability(capacity=args.traces)
+    if args.nodes > 1:
+        from repro.cluster.awc import ClusterAutoWebCache
+
+        awc = ClusterAutoWebCache(n_nodes=args.nodes)
+    else:
+        awc = AutoWebCache()
+    awc.install(app.container.servlet_classes, extra_aspects=obs.aspects)
+    obs.weave_infrastructure(awc)
+    try:
+        for i in range(args.requests):
+            item = str(i % 5 + 1)
+            app.container.get("/rubis/view_item", {"item": item})
+            app.container.get("/rubis/view_bid_history", {"item": item})
+            if i % 4 == 3:
+                app.container.post(
+                    "/rubis/store_bid",
+                    {"item": item, "user": "1", "bid": str(100.0 + i)},
+                )
+    finally:
+        obs.unweave_infrastructure()
+        awc.uninstall()
+    snapshot = (
+        awc.cluster_snapshot() if args.nodes > 1 else awc.stats.snapshot()
+    )
+    sections: list[str] = []
+    if args.view in ("summary", "all"):
+        sections.append(
+            render_histogram_summary("Woven phase latency (derived)", obs.hub)
+        )
+        sections.append(
+            render_protocol_counters("Invalidation protocol work", snapshot)
+        )
+    if args.view in ("metrics", "all"):
+        sections.append(render_metrics(obs.hub, obs.tracer).rstrip("\n"))
+    if args.view in ("traces", "all"):
+        sections.append(render_traces(obs.tracer, limit=args.traces).rstrip("\n"))
+    return "\n\n".join(sections)
+
+
 def _cmd_run(args: argparse.Namespace) -> str:
     defaults = _defaults(args)
     spec = RunSpec(
@@ -257,6 +316,11 @@ def _cmd_run(args: argparse.Namespace) -> str:
         cache_snapshot = outcome.cache_stats.snapshot()
         rows.append(["pages invalidated", cache_snapshot["invalidated_pages"]])
         rows.append(["stale inserts", cache_snapshot["stale_inserts"]])
+        from repro.harness.reporting import PROTOCOL_COUNTERS
+
+        for counter in PROTOCOL_COUNTERS:
+            if counter in cache_snapshot:
+                rows.append([counter, cache_snapshot[counter]])
     if outcome.result_cache_stats is not None:
         rows.append(
             ["result-cache hit rate",
@@ -330,6 +394,18 @@ def build_parser() -> argparse.ArgumentParser:
              "saturation-calibrated scaling model",
     )
 
+    obs = sub.add_parser(
+        "obs", help="observability-woven scripted run (metrics + traces)"
+    )
+    obs.add_argument("--requests", type=int, default=24,
+                     help="scripted request rounds to drive")
+    obs.add_argument("--nodes", type=int, default=1,
+                     help="cache nodes; >1 uses the sharded cluster tier")
+    obs.add_argument("--traces", type=int, default=8,
+                     help="trace ring-buffer capacity / display limit")
+    obs.add_argument("--view", choices=["summary", "metrics", "traces", "all"],
+                     default="summary")
+
     run = sub.add_parser("run", help="one custom configuration cell")
     add_timing(run, "200")
     run.add_argument("--app", choices=["rubis", "tpcw"], default="rubis")
@@ -365,6 +441,8 @@ def main(argv: list[str] | None = None) -> int:
         output = _cmd_codesize(args)
     elif args.command == "cluster":
         output = _cmd_cluster(args)
+    elif args.command == "obs":
+        output = _cmd_obs(args)
     elif args.command == "run":
         output = _cmd_run(args)
     else:  # pragma: no cover - argparse guards this

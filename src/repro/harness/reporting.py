@@ -91,6 +91,52 @@ def render_cluster_snapshot(title: str, snapshot: dict) -> str:
     )
 
 
+#: The invalidation-protocol work counters folded into experiment
+#: reports: how much pair analysis the dependency index avoided, how
+#: many pre-image extra queries ran, and how many duplicate writes the
+#: bus dropped before broadcast.
+PROTOCOL_COUNTERS = (
+    "pair_analyses",
+    "templates_skipped_by_index",
+    "instances_skipped_by_index",
+    "extra_queries",
+    "writes_deduped",
+)
+
+
+def render_protocol_counters(title: str, snapshot: dict) -> str:
+    """Render the invalidation-protocol work counters as a table.
+
+    Accepts either a :meth:`CacheStats.snapshot` dict or a cluster
+    snapshot (``{"cluster": ..., "nodes": ..., "bus": ...}``);
+    ``writes_deduped`` is a bus-level counter, so for a single-node
+    snapshot (no bus) it renders as 0.
+    """
+    counters = snapshot.get("cluster", snapshot)
+    bus = snapshot.get("bus", {})
+    rows = []
+    for name in PROTOCOL_COUNTERS:
+        value = counters.get(name, bus.get(name, 0))
+        rows.append([name, value])
+    return render_table(title, ["counter", "value"], rows)
+
+
+def render_histogram_summary(title: str, hub) -> str:
+    """Render a :class:`~repro.obs.histogram.MetricsHub` as a table.
+
+    One row per ``(phase, request type)`` with derived percentiles in
+    milliseconds -- the latency companion to the counter tables.
+    """
+    rows = hub.summary_rows()
+    if not rows:
+        return f"{title}\n(no samples)"
+    return render_table(
+        title,
+        ["phase", "request", "count", "p50 ms", "p95 ms", "p99 ms", "max ms"],
+        rows,
+    )
+
+
 def render_chart(
     title: str,
     series: dict[str, list[tuple[float, float]]],

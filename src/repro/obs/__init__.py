@@ -1,0 +1,67 @@
+"""repro.obs -- aspect-woven observability for the caching system.
+
+The paper's argument is that caching can be added to an unmodified web
+application by weaving; this package makes the same argument for
+*observability*.  Distributed tracing (:mod:`repro.obs.trace`,
+:mod:`repro.obs.tracer`), fixed-bucket latency histograms
+(:mod:`repro.obs.histogram`), the two woven aspects
+(:mod:`repro.obs.aspects`), text exposition (:mod:`repro.obs.exposition`
+served by :mod:`repro.obs.servlets`) and the install facade
+(:mod:`repro.obs.install`) together instrument servlets, cache, driver
+and cluster bus without a single line changing in ``repro.apps``.
+"""
+
+from repro.obs.aspects import MetricsAspect, TracingAspect, current_request_type
+from repro.obs.exposition import render_metrics, render_trace, render_traces
+from repro.obs.histogram import (
+    DEFAULT_BOUNDS,
+    NO_REQUEST,
+    LatencyHistogram,
+    MetricsHub,
+)
+from repro.obs.install import Observability, infrastructure_classes
+from repro.obs.servlets import (
+    METRICS_URI,
+    TRACES_URI,
+    MetricsServlet,
+    TracesServlet,
+    mount_observability,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    SpanContext,
+    current_context,
+    new_span_id,
+    new_trace_id,
+    open_root,
+)
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "DEFAULT_BOUNDS",
+    "LatencyHistogram",
+    "METRICS_URI",
+    "MetricsAspect",
+    "MetricsHub",
+    "MetricsServlet",
+    "NO_REQUEST",
+    "NULL_SPAN",
+    "Observability",
+    "Span",
+    "SpanContext",
+    "TRACES_URI",
+    "Tracer",
+    "TracesServlet",
+    "TracingAspect",
+    "current_context",
+    "current_request_type",
+    "infrastructure_classes",
+    "mount_observability",
+    "new_span_id",
+    "new_trace_id",
+    "open_root",
+    "render_metrics",
+    "render_trace",
+    "render_traces",
+]

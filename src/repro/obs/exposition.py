@@ -1,0 +1,117 @@
+"""Text exposition: Prometheus-style metrics and human-readable traces.
+
+Two render targets, both plain text so they can be served by a tiny
+container servlet, printed by the CLI, or diffed in tests:
+
+- :func:`render_metrics` emits the classic Prometheus histogram shape
+  (``_bucket`` series with cumulative counts and ``le`` labels, plus
+  ``_sum``/``_count``) for every ``(phase, request)`` histogram in a
+  :class:`~repro.obs.histogram.MetricsHub`, and gauge/counter lines for
+  the tracer's buffer accounting.
+- :func:`render_traces` reassembles each buffered trace into its span
+  tree (parent links -> indentation) with per-span durations, status
+  and tags -- the diagnosis view.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs.histogram import MetricsHub
+from repro.obs.trace import Span
+from repro.obs.tracer import Tracer
+
+HISTOGRAM_METRIC = "repro_phase_latency_seconds"
+
+
+def _format_bound(bound: float) -> str:
+    if math.isinf(bound):
+        return "+Inf"
+    text = f"{bound:.6f}".rstrip("0").rstrip(".")
+    return text or "0"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def render_metrics(hub: MetricsHub, tracer: Tracer | None = None) -> str:
+    """The ``/_metrics`` document: Prometheus text exposition format."""
+    lines = [
+        f"# HELP {HISTOGRAM_METRIC} Latency of woven phases by request type.",
+        f"# TYPE {HISTOGRAM_METRIC} histogram",
+    ]
+    for (phase, request_type), histogram in hub.items():
+        labels = (
+            f'phase="{_escape_label(phase)}",'
+            f'request="{_escape_label(request_type)}"'
+        )
+        snapshot = histogram.snapshot()
+        for bound, cumulative in histogram.buckets():
+            lines.append(
+                f"{HISTOGRAM_METRIC}_bucket{{{labels},"
+                f'le="{_format_bound(bound)}"}} {cumulative}'
+            )
+        lines.append(f"{HISTOGRAM_METRIC}_sum{{{labels}}} {snapshot['sum']:.9f}")
+        lines.append(f"{HISTOGRAM_METRIC}_count{{{labels}}} {snapshot['count']}")
+    if tracer is not None:
+        lines += [
+            "# HELP repro_tracer_spans_recorded_total Spans recorded since start.",
+            "# TYPE repro_tracer_spans_recorded_total counter",
+            f"repro_tracer_spans_recorded_total {tracer.spans_recorded}",
+            "# HELP repro_tracer_traces_buffered Traces currently in the ring buffer.",
+            "# TYPE repro_tracer_traces_buffered gauge",
+            f"repro_tracer_traces_buffered {len(tracer)}",
+            "# HELP repro_tracer_traces_evicted_total Traces dropped by the ring buffer.",
+            "# TYPE repro_tracer_traces_evicted_total counter",
+            f"repro_tracer_traces_evicted_total {tracer.traces_evicted}",
+        ]
+    return "\n".join(lines) + "\n"
+
+
+def _span_line(span: Span, depth: int) -> str:
+    duration = f"{span.duration * 1000:9.3f}ms" if span.finished else "     open"
+    tags = " ".join(f"{k}={v}" for k, v in sorted(span.tags.items()))
+    line = f"{duration}  {'  ' * depth}{span.name} [{span.status}]"
+    if tags:
+        line += f" {tags}"
+    if span.error:
+        line += f" !{span.error}"
+    return line
+
+
+def render_trace(trace_id: str, spans: list[Span]) -> str:
+    """One trace as an indented span tree (orphans render at the root).
+
+    A span whose parent is not in the buffer -- the parent ran on
+    another node, or the trace was started by a bare correlation
+    context (:func:`~repro.obs.trace.open_root`) -- still belongs to
+    the trace; it is shown at depth zero rather than dropped.
+    """
+    by_parent: dict[str | None, list[Span]] = {}
+    span_ids = {span.span_id for span in spans}
+    for span in sorted(spans, key=lambda s: s.start):
+        parent = span.parent_id if span.parent_id in span_ids else None
+        by_parent.setdefault(parent, []).append(span)
+
+    total = sum(span.duration or 0.0 for span in by_parent.get(None, []))
+    lines = [f"trace {trace_id}  spans={len(spans)}  roots={total * 1000:.3f}ms"]
+
+    def walk(parent_id: str | None, depth: int) -> None:
+        for span in by_parent.get(parent_id, []):
+            lines.append(_span_line(span, depth))
+            walk(span.span_id, depth + 1)
+
+    walk(None, 0)
+    return "\n".join(lines)
+
+
+def render_traces(tracer: Tracer, limit: int | None = None) -> str:
+    """The ``/_traces`` document: most recent traces first."""
+    traces = list(reversed(tracer.traces()))
+    if limit is not None:
+        traces = traces[:limit]
+    if not traces:
+        return "no traces recorded\n"
+    blocks = [render_trace(trace_id, spans) for trace_id, spans in traces]
+    return "\n\n".join(blocks) + "\n"

@@ -1,0 +1,227 @@
+"""Fixed-bucket latency histograms and the metrics hub.
+
+The paper's evaluation reports mean response times; a production system
+needs distributions, and storing raw samples is unbounded.  A
+:class:`LatencyHistogram` keeps one counter per fixed bucket bound (the
+Prometheus classic-histogram shape), so memory is O(buckets) forever and
+p50/p95/p99 are *derivable* -- reconstructed from the cumulative counts
+by linear interpolation inside the target bucket -- without any sample
+retention.  Exact ``count``/``sum``/``min``/``max`` ride along so means
+stay precise.
+
+The :class:`MetricsHub` keys histograms by ``(phase, request type)``:
+``phase`` is where time went (servlet, cache.lookup, sql.query, ...),
+request type is the URI class the woven request belonged to -- together
+they answer "where do slow /view_item requests spend their time".
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+#: Default bucket upper bounds, in seconds: log-spaced from 50 us to 10 s,
+#: dense where woven phases actually land (sub-millisecond to tens of ms).
+DEFAULT_BOUNDS = (
+    0.00005,
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+#: Request-type label used when a phase runs outside any woven request
+#: (warm-up scripts, external invalidation, tests).
+NO_REQUEST = "-"
+
+
+class LatencyHistogram:
+    """Counts per fixed bucket; quantiles derived, never sampled."""
+
+    __slots__ = (
+        "bounds",
+        "_counts",
+        "count",
+        "sum",
+        "min",
+        "max",
+        "_lock",
+    )
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BOUNDS) -> None:
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.bounds = tuple(bounds)
+        #: One counter per bound plus the +Inf overflow bucket.
+        self._counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency sample."""
+        index = self._bucket_index(seconds)
+        with self._lock:
+            self._counts[index] += 1
+            self.count += 1
+            self.sum += seconds
+            if seconds < self.min:
+                self.min = seconds
+            if seconds > self.max:
+                self.max = seconds
+
+    def _bucket_index(self, seconds: float) -> int:
+        for i, bound in enumerate(self.bounds):
+            if seconds <= bound:
+                return i
+        return len(self.bounds)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, +Inf last."""
+        with self._lock:
+            cumulative = 0
+            out: list[tuple[float, int]] = []
+            for bound, bucket_count in zip(self.bounds, self._counts):
+                cumulative += bucket_count
+                out.append((bound, cumulative))
+            out.append((math.inf, cumulative + self._counts[-1]))
+            return out
+
+    def percentile(self, p: float) -> float:
+        """Approximate the ``p``-th percentile (0 < p <= 100).
+
+        Walks the cumulative counts to the target bucket and linearly
+        interpolates between the bucket's bounds; the overflow bucket
+        interpolates toward the exact observed maximum, and the result
+        is clamped to the exact observed min/max so the approximation
+        can never leave the data's range.
+        """
+        if not 0.0 < p <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {p}")
+        with self._lock:
+            if not self.count:
+                return 0.0
+            target = p / 100.0 * self.count
+            cumulative = 0
+            lower = 0.0
+            for i, bound in enumerate(self.bounds):
+                in_bucket = self._counts[i]
+                if cumulative + in_bucket >= target:
+                    fraction = (target - cumulative) / in_bucket
+                    value = lower + fraction * (bound - lower)
+                    return min(max(value, self.min), self.max)
+                cumulative += in_bucket
+                lower = bound
+            # Overflow bucket: interpolate toward the observed maximum.
+            in_bucket = self._counts[-1]
+            fraction = (target - cumulative) / in_bucket if in_bucket else 1.0
+            value = lower + fraction * (self.max - lower)
+            return min(max(value, self.min), self.max)
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other`` into this histogram (bounds must match)."""
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        with other._lock:
+            counts = list(other._counts)
+            count, total = other.count, other.sum
+            low, high = other.min, other.max
+        with self._lock:
+            for i, c in enumerate(counts):
+                self._counts[i] += c
+            self.count += count
+            self.sum += total
+            self.min = min(self.min, low)
+            self.max = max(self.max, high)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum": self.sum,
+                "min": self.min if self.count else 0.0,
+                "max": self.max,
+                "mean": self.mean,
+            }
+
+
+class MetricsHub:
+    """Registry of latency histograms keyed by (phase, request type)."""
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BOUNDS) -> None:
+        self.bounds = tuple(bounds)
+        self._lock = threading.Lock()
+        self._histograms: dict[tuple[str, str], LatencyHistogram] = {}
+
+    def observe(self, phase: str, request_type: str, seconds: float) -> None:
+        self.histogram(phase, request_type).observe(seconds)
+
+    def histogram(self, phase: str, request_type: str) -> LatencyHistogram:
+        key = (phase, request_type)
+        with self._lock:
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = LatencyHistogram(self.bounds)
+                self._histograms[key] = histogram
+            return histogram
+
+    def items(self) -> list[tuple[tuple[str, str], LatencyHistogram]]:
+        with self._lock:
+            return sorted(self._histograms.items())
+
+    def phases(self) -> list[str]:
+        with self._lock:
+            return sorted({phase for phase, _key in self._histograms})
+
+    def aggregate(self, phase: str) -> LatencyHistogram:
+        """All request types of one phase merged into a fresh histogram."""
+        merged = LatencyHistogram(self.bounds)
+        for (hist_phase, _key), histogram in self.items():
+            if hist_phase == phase:
+                merged.merge(histogram)
+        return merged
+
+    def summary_rows(self) -> list[list[object]]:
+        """Table rows: phase, request, count, p50/p95/p99/max in ms."""
+        rows: list[list[object]] = []
+        for (phase, request_type), histogram in self.items():
+            if not histogram.count:
+                continue
+            rows.append(
+                [
+                    phase,
+                    request_type,
+                    histogram.count,
+                    round(histogram.percentile(50) * 1000, 3),
+                    round(histogram.percentile(95) * 1000, 3),
+                    round(histogram.percentile(99) * 1000, 3),
+                    round(histogram.max * 1000, 3),
+                ]
+            )
+        return rows
+
+    def reset(self) -> None:
+        with self._lock:
+            self._histograms.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._histograms)

@@ -1,0 +1,161 @@
+"""The observability facade: one object that wires the whole subsystem.
+
+Weaving happens in **two weaves** because one method may only be woven
+by one weaver:
+
+1. The application-facing join points (servlet handlers, the DB-API
+   driver) are *shared* with the caching aspects, so the observability
+   aspects must ride the same :class:`~repro.aop.weaver.Weaver` -- pass
+   :attr:`Observability.aspects` as ``extra_aspects`` to
+   ``AutoWebCache.install`` / ``ClusterAutoWebCache.install``.  Aspect
+   precedence (-10/-5 vs the cache aspects' 10/20) then makes tracing
+   the outermost layer regardless of registration order.
+2. The cache infrastructure classes (``Cache`` facade, or the cluster's
+   router/bus/nodes) are never touched by the caching weaver, so
+   :meth:`Observability.weave_infrastructure` wraps them with a second,
+   private weaver.
+
+Typical use::
+
+    obs = Observability()
+    awc = AutoWebCache()
+    awc.install(container.servlet_classes, extra_aspects=obs.aspects)
+    obs.weave_infrastructure(awc)
+    obs.mount(container, semantics=awc.semantics)
+    ...  # serve traffic
+    obs.unweave_infrastructure()
+    awc.uninstall()
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.aop.weaver import WeaveReport, Weaver
+from repro.errors import WeavingError
+from repro.obs.aspects import MetricsAspect, TracingAspect
+from repro.obs.histogram import DEFAULT_BOUNDS, MetricsHub
+from repro.obs.tracer import Tracer
+
+
+def infrastructure_classes(facade) -> tuple[type, ...]:
+    """The cache-infrastructure classes behind ``facade``.
+
+    ``facade`` is an ``AutoWebCache`` or ``ClusterAutoWebCache`` (or
+    anything exposing ``.cache``).  A cluster facade contributes the
+    router, the bus and the node class -- so publish/deliver join
+    points are observable -- while a single-node facade contributes the
+    ``Cache`` class alone.
+    """
+    from repro.cache.api import Cache
+    from repro.cluster.bus import InvalidationBus
+    from repro.cluster.node import CacheNode
+    from repro.cluster.router import ClusterRouter
+
+    core = getattr(facade, "cache", facade)
+    if isinstance(core, ClusterRouter):
+        return (ClusterRouter, InvalidationBus, CacheNode)
+    if isinstance(core, Cache):
+        return (Cache,)
+    raise WeavingError(
+        f"cannot derive infrastructure classes from {type(core).__name__}"
+    )
+
+
+class Observability:
+    """Tracer + metrics hub + the two aspects that feed them."""
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        enabled: bool = True,
+        bounds: tuple[float, ...] = DEFAULT_BOUNDS,
+    ) -> None:
+        self.tracer = Tracer(capacity=capacity, enabled=enabled)
+        self.hub = MetricsHub(bounds)
+        self.tracing_aspect = TracingAspect(self.tracer, enabled=enabled)
+        self.metrics_aspect = MetricsAspect(self.hub, enabled=enabled)
+        self._infra_weaver: Weaver | None = None
+        self.infra_report: WeaveReport | None = None
+
+    @property
+    def aspects(self) -> tuple[TracingAspect, MetricsAspect]:
+        """Pass these as ``extra_aspects`` to the cache facade's install."""
+        return (self.tracing_aspect, self.metrics_aspect)
+
+    # -- runtime switch ----------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracing_aspect.enabled
+
+    def enable(self) -> None:
+        """Turn span recording and histogram feeding on (weave stays)."""
+        self.tracer.enabled = True
+        self.tracing_aspect.enabled = True
+        self.metrics_aspect.enabled = True
+
+    def disable(self) -> None:
+        """Leave the weave in place but make every advice a pass-through.
+
+        This is the configuration the overhead benchmark measures: the
+        dispatcher layers still run, the observability bodies do not.
+        """
+        self.tracer.enabled = False
+        self.tracing_aspect.enabled = False
+        self.metrics_aspect.enabled = False
+
+    # -- infrastructure weaving --------------------------------------------------------
+
+    @property
+    def infrastructure_woven(self) -> bool:
+        return self._infra_weaver is not None
+
+    def weave_infrastructure(
+        self, facade=None, classes: Iterable[type] | None = None
+    ) -> WeaveReport:
+        """Weave the aspects over the cache infrastructure classes.
+
+        Give either a cache ``facade`` (classes are derived via
+        :func:`infrastructure_classes`) or an explicit ``classes``
+        iterable.
+        """
+        if self._infra_weaver is not None:
+            raise WeavingError("observability infrastructure is already woven")
+        if classes is None:
+            if facade is None:
+                raise WeavingError("weave_infrastructure needs a facade or classes")
+            classes = infrastructure_classes(facade)
+        weaver = Weaver()
+        weaver.add_aspect(self.tracing_aspect)
+        weaver.add_aspect(self.metrics_aspect)
+        self.infra_report = weaver.weave(list(classes))
+        self._infra_weaver = weaver
+        return self.infra_report
+
+    def unweave_infrastructure(self) -> None:
+        if self._infra_weaver is None:
+            return
+        self._infra_weaver.unweave()
+        self._infra_weaver = None
+
+    # -- exposition --------------------------------------------------------------------
+
+    def mount(self, container, semantics=None) -> dict[str, object]:
+        """Register ``/_metrics`` and ``/_traces`` on ``container``."""
+        from repro.obs.servlets import mount_observability
+
+        return mount_observability(
+            container, self.hub, self.tracer, semantics=semantics
+        )
+
+    def reset(self) -> None:
+        """Drop recorded traces and histograms (weaves untouched)."""
+        self.tracer.reset()
+        self.hub.reset()
+
+    def __enter__(self) -> "Observability":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.unweave_infrastructure()

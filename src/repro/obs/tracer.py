@@ -1,0 +1,138 @@
+"""The tracer: records finished spans into a ring buffer of traces.
+
+One :class:`Tracer` instance is shared by every woven observability
+advice (exactly like the cache object is shared by the caching advice).
+``span(...)`` is the only entry point: it creates the span, makes it the
+ambient context, times it with the monotonic clock, tags failures, and
+files the finished span under its trace id.
+
+The buffer holds the **most recent N traces** (not spans): diagnosing a
+production incident needs whole requests, and a per-span bound would
+truncate exactly the large, slow traces that matter.  Trace eviction is
+insertion-ordered -- the oldest trace goes first, whatever its size.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from collections import OrderedDict
+from typing import Iterator
+
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    SpanContext,
+    activate,
+    current_context,
+    deactivate,
+    make_span,
+)
+
+
+class Tracer:
+    """Span factory plus a bounded buffer of recent traces."""
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        enabled: bool = True,
+        clock=time.perf_counter,
+        wall=time.time,
+    ) -> None:
+        self.capacity = capacity
+        self.enabled = enabled
+        self.clock = clock
+        self.wall = wall
+        self._lock = threading.Lock()
+        #: trace id -> finished spans, oldest trace first.
+        self._traces: "OrderedDict[str, list[Span]]" = OrderedDict()
+        #: Total spans recorded over the tracer's lifetime (not bounded).
+        self.spans_recorded = 0
+        #: Traces dropped by the ring buffer.
+        self.traces_evicted = 0
+
+    @contextlib.contextmanager
+    def span(
+        self,
+        name: str,
+        tags: dict[str, str] | None = None,
+        parent: SpanContext | None = None,
+    ) -> Iterator[Span]:
+        """Run the body under a new span.
+
+        Without ``parent`` the span adopts the ambient context (or
+        starts a new trace at top level).  With ``parent`` -- the
+        explicit-propagation path used when a bus message carries ids
+        from another node -- the span joins *that* trace regardless of
+        what is ambient on this thread.  Exceptions mark the span as an
+        error and propagate.
+        """
+        if not self.enabled:
+            yield NULL_SPAN  # type: ignore[misc]
+            return
+        effective_parent = parent if parent is not None else current_context()
+        span = make_span(
+            name, effective_parent, tags, clock=self.clock, wall=self.wall
+        )
+        token = activate(span.context)
+        try:
+            yield span
+        except BaseException as exc:
+            span.mark_error(f"{type(exc).__name__}: {exc}")
+            raise
+        finally:
+            deactivate(token)
+            span.duration = self.clock() - span.start
+            self._record(span)
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self.spans_recorded += 1
+            spans = self._traces.get(span.trace_id)
+            if spans is None:
+                self._traces[span.trace_id] = [span]
+                while len(self._traces) > self.capacity:
+                    self._traces.popitem(last=False)
+                    self.traces_evicted += 1
+            else:
+                spans.append(span)
+                # Keep the trace fresh: new spans arriving for an old
+                # trace (a straggler flight, a late bus delivery) move
+                # it to the young end of the ring.
+                self._traces.move_to_end(span.trace_id)
+
+    # -- read side ---------------------------------------------------------------------
+
+    def traces(self) -> list[tuple[str, list[Span]]]:
+        """Recent traces, oldest first; spans sorted by start time."""
+        with self._lock:
+            return [
+                (trace_id, sorted(spans, key=lambda s: s.start))
+                for trace_id, spans in self._traces.items()
+            ]
+
+    def trace(self, trace_id: str) -> list[Span]:
+        """Spans of one trace (empty when unknown/evicted)."""
+        with self._lock:
+            spans = self._traces.get(trace_id, [])
+            return sorted(spans, key=lambda s: s.start)
+
+    def last_trace(self) -> tuple[str, list[Span]] | None:
+        """The most recently touched trace, if any."""
+        with self._lock:
+            if not self._traces:
+                return None
+            trace_id, spans = next(reversed(self._traces.items()))
+            return trace_id, sorted(spans, key=lambda s: s.start)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._traces.clear()
+            self.spans_recorded = 0
+            self.traces_evicted = 0

@@ -25,11 +25,13 @@ leaking into the WSGI server and dropping the connection.
 from __future__ import annotations
 
 import threading
+import time
 from socketserver import ThreadingMixIn
 from typing import Callable, Iterable
 from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
 
 from repro.errors import RoutingError
+from repro.obs.trace import deactivate, open_root
 from repro.web.container import ServletContainer
 from repro.web.http import HttpRequest, parse_query_string
 
@@ -63,22 +65,65 @@ def _parse_cookies(header: str) -> dict[str, str]:
 
 
 class WsgiAdapter:
-    """Wrap a :class:`ServletContainer` as a WSGI application."""
+    """Wrap a :class:`ServletContainer` as a WSGI application.
 
-    def __init__(self, container: ServletContainer) -> None:
+    With ``access_log=True`` (off by default) the adapter emits one
+    structured line per request -- method, path, status, body bytes,
+    wall duration and the request's trace id -- through ``log``
+    (default: ``print``).  The trace id comes from a correlation root
+    context opened around the dispatch, so when the observability
+    aspects are woven every span of the request carries the same id the
+    access line prints; without them the id is still a usable
+    per-request correlation token.
+    """
+
+    def __init__(
+        self,
+        container: ServletContainer,
+        access_log: bool = False,
+        log: Callable[[str], None] | None = None,
+    ) -> None:
         self._container = container
+        self._access_log = access_log
+        self._log = log if log is not None else print
 
     def __call__(
         self,
         environ: dict,
         start_response: Callable[[str, list[tuple[str, str]]], object],
     ) -> Iterable[bytes]:
+        if not self._access_log:
+            _status, chunks = self._respond(environ, start_response)
+            return chunks
+        start = time.perf_counter()
+        context, token = open_root()
+        try:
+            status, chunks = self._respond(environ, start_response)
+        finally:
+            deactivate(token)
+        duration_ms = (time.perf_counter() - start) * 1000
+        self._log(
+            f"method={environ.get('REQUEST_METHOD', 'GET')}"
+            f" path={environ.get('PATH_INFO', '/')}"
+            f" status={status}"
+            f" bytes={sum(len(chunk) for chunk in chunks)}"
+            f" duration_ms={duration_ms:.3f}"
+            f" trace={context.trace_id}"
+        )
+        return chunks
+
+    def _respond(
+        self,
+        environ: dict,
+        start_response: Callable[[str, list[tuple[str, str]]], object],
+    ) -> tuple[int, list[bytes]]:
+        """Dispatch one request; returns ``(status, body chunks)``."""
         try:
             request = self._build_request(environ)
             response = self._container.handle(request)
         except RoutingError:
             start_response("404 Not Found", [("Content-Type", "text/html")])
-            return [b"<html><body><h1>404</h1></body></html>"]
+            return 404, [b"<html><body><h1>404</h1></body></html>"]
         except Exception as exc:
             # Anything else (session layer, observer, adapter bug): the
             # connection must get a well-formed 500, not a dropped
@@ -94,14 +139,14 @@ class WsgiAdapter:
                     ("Content-Length", str(len(body))),
                 ],
             )
-            return [body]
+            return 500, [body]
         headers = list(response.headers.items())
         for name, value in response.cookies.items():
             headers.append(("Set-Cookie", f"{name}={value}; Path=/"))
         body = response.body.encode("utf-8")
         headers.append(("Content-Length", str(len(body))))
         start_response(_status_line(response.status), headers)
-        return [body]
+        return response.status, [body]
 
     def _build_request(self, environ: dict) -> HttpRequest:
         method = environ.get("REQUEST_METHOD", "GET")

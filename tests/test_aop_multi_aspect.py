@@ -1,0 +1,114 @@
+"""Multi-aspect composition at one join point.
+
+The observability aspects rely on three weaver properties: two aspects
+sharing a join point nest by precedence (lower = outermost), unweaving
+restores the original method exactly, and re-weaving by the *same*
+weaver is idempotent while a *different* weaver is still rejected.
+"""
+
+import pytest
+
+from repro.aop import Aspect, around
+from repro.aop.weaver import Weaver
+from repro.errors import WeavingError
+
+
+class Greeter:
+    def greet(self, name: str) -> str:
+        return f"hello {name}"
+
+
+def make_aspect(label: str, precedence_value: int, log: list):
+    class Recorder(Aspect):
+        precedence = precedence_value
+
+        @around("execution(Greeter.greet(..))")
+        def record(self, joinpoint):
+            log.append(f"{label}:before")
+            result = joinpoint.proceed()
+            log.append(f"{label}:after")
+            return f"[{label} {result}]"
+
+    return Recorder()
+
+
+class TestPrecedenceOrder:
+    def test_lower_precedence_is_outermost(self):
+        log = []
+        outer = make_aspect("outer", -10, log)
+        inner = make_aspect("inner", 5, log)
+        weaver = Weaver()
+        # Registration order is the *opposite* of precedence order on
+        # purpose: precedence, not add_aspect order, decides nesting.
+        weaver.add_aspect(inner)
+        weaver.add_aspect(outer)
+        weaver.weave([Greeter])
+        try:
+            result = Greeter().greet("ada")
+        finally:
+            weaver.unweave()
+        assert log == [
+            "outer:before",
+            "inner:before",
+            "inner:after",
+            "outer:after",
+        ]
+        assert result == "[outer [inner hello ada]]"
+
+    def test_equal_precedence_falls_back_to_declaration_order(self):
+        log = []
+        first = make_aspect("first", 0, log)
+        second = make_aspect("second", 0, log)
+        weaver = Weaver()
+        weaver.add_aspect(first)
+        weaver.add_aspect(second)
+        weaver.weave([Greeter])
+        try:
+            Greeter().greet("x")
+        finally:
+            weaver.unweave()
+        assert log[0] == "first:before"
+        assert log[-1] == "first:after"
+
+
+class TestUnweaveRestores:
+    def test_original_function_identity_restored(self):
+        original = vars(Greeter)["greet"]
+        weaver = Weaver()
+        weaver.add_aspect(make_aspect("a", 0, []))
+        weaver.weave([Greeter])
+        assert vars(Greeter)["greet"] is not original
+        weaver.unweave()
+        assert vars(Greeter)["greet"] is original
+        assert Greeter().greet("eve") == "hello eve"
+
+
+class TestReweaving:
+    def test_same_weaver_reweave_is_idempotent(self):
+        log = []
+        weaver = Weaver()
+        weaver.add_aspect(make_aspect("a", 0, log))
+        weaver.weave([Greeter])
+        try:
+            # Weaving the same classes again neither raises nor stacks
+            # a second advice layer.
+            report = weaver.weave([Greeter])
+            assert report.advised_method_count == 0
+            Greeter().greet("bob")
+            assert log == ["a:before", "a:after"]
+        finally:
+            weaver.unweave()
+        assert vars(Greeter)["greet"].__name__ == "greet"
+        assert not getattr(vars(Greeter)["greet"], "__aw_woven__", False)
+
+    def test_foreign_weaver_still_rejected(self):
+        weaver = Weaver()
+        weaver.add_aspect(make_aspect("a", 0, []))
+        weaver.weave([Greeter])
+        try:
+            other = Weaver()
+            other.add_aspect(make_aspect("b", 0, []))
+            with pytest.raises(WeavingError):
+                other.weave([Greeter])
+        finally:
+            weaver.unweave()

@@ -70,3 +70,35 @@ def test_parser_rejects_unknown_command():
 def test_parser_rejects_bad_policy():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "--policy", "psychic"])
+
+
+def test_obs_summary(capsys):
+    code, out = run_cli(capsys, "obs", "--requests", "8")
+    assert code == 0
+    assert "Woven phase latency" in out
+    assert "servlet" in out and "sql.query" in out
+    assert "Invalidation protocol work" in out
+    assert "pair_analyses" in out
+
+
+def test_obs_metrics_view(capsys):
+    code, out = run_cli(capsys, "obs", "--requests", "4", "--view", "metrics")
+    assert code == 0
+    assert "repro_phase_latency_seconds_bucket" in out
+    assert 'le="+Inf"' in out
+
+
+def test_obs_traces_view_cluster(capsys):
+    code, out = run_cli(
+        capsys, "obs", "--requests", "4", "--nodes", "3",
+        "--view", "traces", "--traces", "20",
+    )
+    assert code == 0
+    assert "servlet POST /rubis/store_bid" in out
+    assert "bus.publish" in out
+    assert out.count("bus.deliver") >= 3
+
+
+def test_obs_rejects_bad_view(capsys):
+    with pytest.raises(SystemExit):
+        main(["obs", "--view", "bogus"])

@@ -1,0 +1,132 @@
+"""Exposition: Prometheus text format, trace rendering, the servlets."""
+
+import pytest
+
+from repro.cache.semantics import SemanticsRegistry
+from repro.obs import (
+    METRICS_URI,
+    TRACES_URI,
+    MetricsHub,
+    Tracer,
+    mount_observability,
+    render_metrics,
+    render_trace,
+    render_traces,
+)
+from repro.web.container import ServletContainer
+
+
+@pytest.fixture
+def populated():
+    hub = MetricsHub(bounds=(0.001, 0.01))
+    tracer = Tracer()
+    hub.observe("servlet", "/view_item", 0.005)
+    hub.observe("servlet", "/view_item", 0.05)
+    with tracer.span("servlet GET /view_item", tags={"status": "200"}):
+        with tracer.span("cache.lookup") as inner:
+            inner.set_tag("outcome", "miss")
+    return hub, tracer
+
+
+class TestMetricsExposition:
+    def test_histogram_series_shape(self, populated):
+        hub, tracer = populated
+        text = render_metrics(hub, tracer)
+        assert "# TYPE repro_phase_latency_seconds histogram" in text
+        assert (
+            'repro_phase_latency_seconds_bucket{phase="servlet",'
+            'request="/view_item",le="0.001"} 0' in text
+        )
+        assert (
+            'repro_phase_latency_seconds_bucket{phase="servlet",'
+            'request="/view_item",le="0.01"} 1' in text
+        )
+        # +Inf bucket equals the total count, and _count matches.
+        assert 'le="+Inf"} 2' in text
+        assert (
+            'repro_phase_latency_seconds_count{phase="servlet",'
+            'request="/view_item"} 2' in text
+        )
+
+    def test_tracer_gauges(self, populated):
+        hub, tracer = populated
+        text = render_metrics(hub, tracer)
+        assert "repro_tracer_spans_recorded_total 2" in text
+        assert "repro_tracer_traces_buffered 1" in text
+
+    def test_label_escaping(self):
+        hub = MetricsHub(bounds=(1.0,))
+        hub.observe("servlet", 'with"quote', 0.1)
+        text = render_metrics(hub)
+        assert 'request="with\\"quote"' in text
+
+
+class TestTraceRendering:
+    def test_tree_indentation_follows_parent_links(self, populated):
+        _hub, tracer = populated
+        trace_id, spans = tracer.last_trace()
+        text = render_trace(trace_id, spans)
+        lines = text.splitlines()
+        assert lines[0].startswith(f"trace {trace_id}")
+        assert "servlet GET /view_item" in lines[1]
+        # Child is indented one level deeper than the root.
+        assert lines[2].index("cache.lookup") > lines[1].index("servlet")
+        assert "outcome=miss" in lines[2]
+
+    def test_orphan_span_renders_at_root(self):
+        tracer = Tracer()
+        from repro.obs import SpanContext
+
+        remote = SpanContext("feedfacefeedface", "deadbeef")
+        with tracer.span("bus.deliver", parent=remote):
+            pass
+        text = render_trace(*tracer.last_trace())
+        assert "bus.deliver" in text
+
+    def test_render_traces_most_recent_first_with_limit(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        text = render_traces(tracer, limit=1)
+        assert "second" in text and "first" not in text
+
+    def test_empty_tracer(self):
+        assert "no traces" in render_traces(Tracer())
+
+
+class TestExpositionServlets:
+    def make_container(self, populated):
+        hub, tracer = populated
+        container = ServletContainer()
+        semantics = SemanticsRegistry()
+        mount_observability(container, hub, tracer, semantics=semantics)
+        return container, semantics
+
+    def test_metrics_endpoint(self, populated):
+        container, _sem = self.make_container(populated)
+        response = container.get(METRICS_URI)
+        assert response.status == 200
+        assert response.headers["Content-Type"].startswith("text/plain")
+        assert "repro_phase_latency_seconds_bucket" in response.body
+
+    def test_traces_endpoint(self, populated):
+        container, _sem = self.make_container(populated)
+        response = container.get(TRACES_URI)
+        assert response.status == 200
+        assert "servlet GET /view_item" in response.body
+
+    def test_traces_endpoint_single_trace_lookup(self, populated):
+        _hub, tracer = populated
+        container, _sem = self.make_container(populated)
+        trace_id, _spans = tracer.last_trace()
+        response = container.get(TRACES_URI, {"trace": trace_id})
+        assert trace_id in response.body
+        missing = container.get(TRACES_URI, {"trace": "nope"})
+        assert missing.status == 404
+
+    def test_mount_marks_uris_uncacheable(self, populated):
+        _container, semantics = self.make_container(populated)
+        assert METRICS_URI in semantics.uncacheable_uris
+        assert TRACES_URI in semantics.uncacheable_uris

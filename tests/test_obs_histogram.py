@@ -1,0 +1,132 @@
+"""Fixed-bucket latency histograms: derived percentiles, merge, hub."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.histogram import NO_REQUEST, LatencyHistogram, MetricsHub
+
+
+class TestLatencyHistogram:
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram((0.1, 0.1))
+        with pytest.raises(ValueError):
+            LatencyHistogram((0.2, 0.1))
+
+    def test_exact_count_sum_min_max(self):
+        h = LatencyHistogram((0.01, 0.1, 1.0))
+        for v in (0.005, 0.05, 0.5, 2.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(2.555)
+        assert h.min == pytest.approx(0.005)
+        assert h.max == pytest.approx(2.0)
+        assert h.mean == pytest.approx(2.555 / 4)
+
+    def test_buckets_are_cumulative_with_inf_tail(self):
+        h = LatencyHistogram((0.01, 0.1))
+        for v in (0.005, 0.007, 0.05, 5.0):
+            h.observe(v)
+        assert h.buckets() == [(0.01, 2), (0.1, 3), (math.inf, 4)]
+
+    def test_percentiles_derived_without_samples(self):
+        h = LatencyHistogram((0.001, 0.01, 0.1, 1.0))
+        # 90 fast observations, 10 slow ones: p50 sits in the first
+        # bucket, p95 in the slow bucket.
+        for _ in range(90):
+            h.observe(0.0005)
+        for _ in range(10):
+            h.observe(0.05)
+        assert h.percentile(50) <= 0.001
+        assert 0.01 <= h.percentile(95) <= 0.1
+        # Clamped to the observed range at the extremes.
+        assert h.percentile(100) == pytest.approx(0.05)
+
+    def test_percentile_overflow_bucket_uses_observed_max(self):
+        h = LatencyHistogram((0.001,))
+        h.observe(0.5)
+        h.observe(3.0)
+        assert h.percentile(99) <= 3.0
+
+    def test_percentile_validates_range(self):
+        h = LatencyHistogram()
+        with pytest.raises(ValueError):
+            h.percentile(0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_empty_percentile_is_zero(self):
+        assert LatencyHistogram().percentile(99) == 0.0
+
+    def test_merge_folds_counts(self):
+        a = LatencyHistogram((0.01, 0.1))
+        b = LatencyHistogram((0.01, 0.1))
+        a.observe(0.005)
+        b.observe(0.05)
+        b.observe(4.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.max == pytest.approx(4.0)
+        assert a.min == pytest.approx(0.005)
+        assert a.buckets()[-1][1] == 3
+
+    def test_merge_rejects_mismatched_bounds(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram((0.1,)).merge(LatencyHistogram((0.2,)))
+
+    def test_concurrent_observes_lose_nothing(self):
+        h = LatencyHistogram((0.01,))
+        threads = [
+            threading.Thread(
+                target=lambda: [h.observe(0.001) for _ in range(500)]
+            )
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.count == 2000
+        assert h.buckets()[0][1] == 2000
+
+
+class TestMetricsHub:
+    def test_keyed_by_phase_and_request(self):
+        hub = MetricsHub()
+        hub.observe("sql.query", "/view_item", 0.002)
+        hub.observe("sql.query", "/home", 0.001)
+        hub.observe("servlet", "/view_item", 0.01)
+        assert len(hub) == 3
+        assert hub.phases() == ["servlet", "sql.query"]
+        assert hub.histogram("sql.query", "/view_item").count == 1
+
+    def test_aggregate_merges_request_types(self):
+        hub = MetricsHub()
+        hub.observe("sql.query", "/a", 0.001)
+        hub.observe("sql.query", "/b", 0.002)
+        hub.observe("servlet", "/a", 0.1)
+        merged = hub.aggregate("sql.query")
+        assert merged.count == 2
+        assert merged.sum == pytest.approx(0.003)
+
+    def test_summary_rows_skip_empty_and_convert_to_ms(self):
+        hub = MetricsHub()
+        hub.histogram("servlet", "/idle")  # created but never observed
+        hub.observe("servlet", "/busy", 0.010)
+        rows = hub.summary_rows()
+        assert len(rows) == 1
+        phase, request, count, p50, _p95, _p99, max_ms = rows[0]
+        assert (phase, request, count) == ("servlet", "/busy", 1)
+        assert max_ms == pytest.approx(10.0)
+        assert p50 <= 10.0
+
+    def test_no_request_label(self):
+        assert NO_REQUEST == "-"
+
+    def test_reset(self):
+        hub = MetricsHub()
+        hub.observe("servlet", "/x", 0.1)
+        hub.reset()
+        assert len(hub) == 0

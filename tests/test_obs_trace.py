@@ -1,0 +1,162 @@
+"""Span/trace model and tracer ring buffer."""
+
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_SPAN,
+    SpanContext,
+    activate,
+    current_context,
+    deactivate,
+    make_span,
+    new_span_id,
+    new_trace_id,
+    open_root,
+)
+from repro.obs.tracer import Tracer
+
+
+class TestSpanModel:
+    def test_root_span_starts_a_new_trace(self):
+        span = make_span("root", parent=None)
+        assert span.parent_id is None
+        assert len(span.trace_id) == 16
+        assert len(span.span_id) == 8
+
+    def test_child_joins_parent_trace(self):
+        parent = SpanContext(new_trace_id(), new_span_id())
+        child = make_span("child", parent=parent)
+        assert child.trace_id == parent.trace_id
+        assert child.parent_id == parent.span_id
+        assert child.span_id != parent.span_id
+
+    def test_tags_and_error_marking(self):
+        span = make_span("op", parent=None, tags={"k": "v"})
+        span.set_tag("n", 7)
+        assert span.tags == {"k": "v", "n": "7"}
+        assert span.status == "ok"
+        span.mark_error("boom")
+        assert span.status == "error"
+        assert span.error == "boom"
+
+    def test_null_span_absorbs_everything(self):
+        assert NULL_SPAN.set_tag("a", 1) is NULL_SPAN
+        NULL_SPAN.mark_error("ignored")
+        assert NULL_SPAN.status == "ok"
+
+
+class TestAmbientContext:
+    def test_activate_deactivate_restores(self):
+        assert current_context() is None
+        ctx = SpanContext(new_trace_id(), new_span_id())
+        token = activate(ctx)
+        assert current_context() is ctx
+        deactivate(token)
+        assert current_context() is None
+
+    def test_open_root_gives_correlation_context(self):
+        ctx, token = open_root()
+        try:
+            assert current_context() is ctx
+        finally:
+            deactivate(token)
+
+
+class TestTracer:
+    def test_nested_spans_share_trace_and_link_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+        trace_id, spans = tracer.last_trace()
+        assert trace_id == outer.trace_id
+        assert [s.name for s in spans] == ["outer", "inner"]
+        assert all(s.finished and s.duration >= 0 for s in spans)
+
+    def test_sibling_top_level_spans_get_distinct_traces(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert len(tracer) == 2
+
+    def test_explicit_parent_overrides_ambient(self):
+        tracer = Tracer()
+        remote = SpanContext(new_trace_id(), new_span_id())
+        with tracer.span("local"):
+            with tracer.span("stitched", parent=remote) as span:
+                assert span.trace_id == remote.trace_id
+                assert span.parent_id == remote.span_id
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("nope")
+        _id, (span,) = tracer.last_trace()
+        assert span.status == "error"
+        assert "ValueError: nope" in span.error
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("invisible") as span:
+            span.set_tag("a", 1)
+        assert len(tracer) == 0
+        assert tracer.spans_recorded == 0
+
+    def test_ring_buffer_evicts_oldest_trace(self):
+        tracer = Tracer(capacity=2)
+        ids = []
+        for name in ("t1", "t2", "t3"):
+            with tracer.span(name) as span:
+                ids.append(span.trace_id)
+        assert len(tracer) == 2
+        assert tracer.traces_evicted == 1
+        assert tracer.trace(ids[0]) == []
+        assert [s.name for s in tracer.trace(ids[2])] == ["t3"]
+
+    def test_straggler_span_refreshes_trace(self):
+        tracer = Tracer(capacity=2)
+        with tracer.span("old") as old:
+            pass
+        with tracer.span("mid"):
+            pass
+        # A late span for the oldest trace moves it to the young end...
+        with tracer.span("late", parent=old.context):
+            pass
+        # ...so the next new trace evicts "mid" instead.
+        with tracer.span("new"):
+            pass
+        names = {s.name for _id, spans in tracer.traces() for s in spans}
+        assert names == {"old", "late", "new"}
+
+    def test_context_isolated_per_thread(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker():
+            # No ambient context leaks across threads: this span roots
+            # a brand-new trace.
+            with tracer.span("threaded") as span:
+                seen["trace"] = span.trace_id
+                seen["parent"] = span.parent_id
+
+        with tracer.span("main") as main_span:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["parent"] is None
+        assert seen["trace"] != main_span.trace_id
+
+    def test_reset_clears_buffer_and_counters(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.reset()
+        assert len(tracer) == 0
+        assert tracer.spans_recorded == 0
+        assert tracer.last_trace() is None

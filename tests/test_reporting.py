@@ -58,3 +58,60 @@ class TestChart:
         assert len(rows_with_marker) == 3
         gaps = [b - a for a, b in zip(rows_with_marker, rows_with_marker[1:])]
         assert gaps[0] == gaps[1]
+
+
+class TestProtocolCounters:
+    def snapshot(self):
+        return {
+            "pair_analyses": 12,
+            "templates_skipped_by_index": 30,
+            "instances_skipped_by_index": 44,
+            "extra_queries": 3,
+            "hits": 9,
+        }
+
+    def test_single_node_snapshot_renders_all_counters(self):
+        from repro.harness.reporting import (
+            PROTOCOL_COUNTERS,
+            render_protocol_counters,
+        )
+
+        text = render_protocol_counters("Protocol", self.snapshot())
+        for counter in PROTOCOL_COUNTERS:
+            assert counter in text
+        assert "12" in text and "44" in text
+        # writes_deduped is bus-level; absent from a cache snapshot.
+        assert "writes_deduped" in text
+
+    def test_cluster_snapshot_pulls_bus_counters(self):
+        from repro.harness.reporting import render_protocol_counters
+
+        cluster = {
+            "cluster": self.snapshot(),
+            "nodes": [],
+            "bus": {"writes_deduped": 7, "seq": 5},
+        }
+        text = render_protocol_counters("Protocol", cluster)
+        lines = [l for l in text.splitlines() if l.startswith("writes_deduped")]
+        assert lines and "7" in lines[0]
+
+
+class TestHistogramSummary:
+    def test_renders_percentile_columns(self):
+        from repro.harness.reporting import render_histogram_summary
+        from repro.obs import MetricsHub
+
+        hub = MetricsHub()
+        for _ in range(20):
+            hub.observe("servlet", "/view_item", 0.004)
+        hub.observe("servlet", "/view_item", 0.2)
+        text = render_histogram_summary("Latency", hub)
+        assert "p50 ms" in text and "p99 ms" in text
+        assert "servlet" in text and "/view_item" in text
+        assert "21" in text  # count column
+
+    def test_empty_hub(self):
+        from repro.harness.reporting import render_histogram_summary
+        from repro.obs import MetricsHub
+
+        assert "no samples" in render_histogram_summary("L", MetricsHub())

@@ -260,3 +260,63 @@ def test_cached_app_served_over_wsgi():
         assert awc.stats.hits == 1
     finally:
         awc.uninstall()
+
+
+class FailingSessions:
+    """A session layer that explodes during resolution (adapter 500 path)."""
+
+    def resolve(self, request, response):
+        raise RuntimeError("session store down")
+
+
+class TestAccessLog:
+    def make_logged_adapter(self, container=None, lines=None):
+        if container is None:
+            container = ServletContainer()
+            container.register("/echo", Echo())
+        lines = lines if lines is not None else []
+        return WsgiAdapter(container, access_log=True, log=lines.append), lines
+
+    def test_off_by_default(self, capsys):
+        result = call(make_adapter(), path="/echo", query="q=1")
+        assert result["status"].startswith("200")
+        assert capsys.readouterr().out == ""
+
+    def test_one_structured_line_per_request(self):
+        adapter, lines = self.make_logged_adapter(lines=[])
+        result = call(adapter, path="/echo", query="q=hi")
+        assert len(lines) == 1
+        line = lines[0]
+        assert "method=GET" in line
+        assert "path=/echo" in line
+        assert "status=200" in line
+        assert f"bytes={len(result['body'])}" in line
+        assert "duration_ms=" in line
+        # The trace id is a 16-hex correlation token.
+        trace = dict(
+            part.split("=", 1) for part in line.split() if "=" in part
+        )["trace"]
+        assert len(trace) == 16
+        int(trace, 16)
+
+    def test_404_path_logged(self):
+        adapter, lines = self.make_logged_adapter(lines=[])
+        call(adapter, path="/ghost")
+        assert "status=404" in lines[0]
+
+    def test_500_path_logs_error_status(self):
+        container = ServletContainer(session_manager=FailingSessions())
+        container.register("/echo", Echo())
+        adapter, lines = self.make_logged_adapter(container, lines=[])
+        result = call(adapter, path="/echo")
+        assert result["status"].startswith("500")
+        assert len(lines) == 1
+        assert "status=500" in lines[0]
+        assert "path=/echo" in lines[0]
+
+    def test_trace_ids_differ_per_request(self):
+        adapter, lines = self.make_logged_adapter(lines=[])
+        call(adapter, path="/echo")
+        call(adapter, path="/echo")
+        traces = {line.rsplit("trace=", 1)[1] for line in lines}
+        assert len(traces) == 2
