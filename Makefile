@@ -1,6 +1,6 @@
 ENV := PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: test stress bench bench-cluster bench-invalidation bench-obs differential results
+.PHONY: test stress stress-lockwatch check bench bench-cluster bench-invalidation bench-obs differential results
 
 # Tier-1: the full unit/integration/property suite (what CI gates on).
 test:
@@ -15,6 +15,21 @@ stress:
 	$(ENV) timeout 600 python -m pytest -q -m concurrency \
 		tests benchmarks/test_concurrency_stress.py \
 		benchmarks/test_cluster_stress.py
+
+# Dynamic lockset mode: the same stress suite with a lock-order
+# recorder woven over NamedRLock (tests/conftest.py gates on the env
+# var); fails if real traffic takes a rank-inverting acquisition edge.
+stress-lockwatch:
+	$(ENV) REPRO_LOCKWATCH=1 timeout 600 python -m pytest -q -m concurrency \
+		tests benchmarks/test_concurrency_stress.py \
+		benchmarks/test_cluster_stress.py
+
+# Whole-program consistency linter (repro.staticcheck): cacheability
+# rules, pointcut coverage, lock-order sanity.  Exit 1 on any finding
+# not justified in staticcheck-baseline.json; also runs its own tests.
+check:
+	$(ENV) python -m repro check --json-out benchmarks/results/staticcheck.json
+	$(ENV) python -m pytest -q -m staticcheck
 
 # Regenerate every paper figure + ablation (writes benchmarks/results/).
 bench:

@@ -80,6 +80,17 @@ class Pointcut:
         stack frame even when none of their own advice is active."""
         return ()
 
+    def explain(self, target: MethodTarget, indent: int = 0) -> str:
+        """Human-readable account of why this pointcut does or does not
+        statically match ``target``, one line per sub-expression.
+
+        Used by the static coverage checker's reports and handy at a
+        REPL when a pointcut unexpectedly matches nothing; the dynamic
+        part (``cflowbelow``) is reported as such, since it cannot be
+        decided without a call stack."""
+        mark = "matches" if self.matches(target) else "no match"
+        return f"{'  ' * indent}{mark}: {self}"
+
     def __and__(self, other: "Pointcut") -> "Pointcut":
         return _And(self, other)
 
@@ -102,18 +113,38 @@ class ExecutionPointcut(Pointcut):
     def matches(self, target: MethodTarget) -> bool:
         if not fnmatch.fnmatchcase(target.method_name, self.method_pattern):
             return False
-        if self.include_subtypes:
-            type_ok = any(
-                fnmatch.fnmatchcase(name, self.type_pattern)
-                for name in target.mro_names
-            )
-        else:
-            type_ok = fnmatch.fnmatchcase(target.cls.__name__, self.type_pattern)
-        if not type_ok:
+        if not self._type_matches(target):
             return False
         if self.arity is None:
             return True
         return _positional_arity(target.function) == self.arity
+
+    def _type_matches(self, target: MethodTarget) -> bool:
+        if self.include_subtypes:
+            return any(
+                fnmatch.fnmatchcase(name, self.type_pattern)
+                for name in target.mro_names
+            )
+        return fnmatch.fnmatchcase(target.cls.__name__, self.type_pattern)
+
+    def explain(self, target: MethodTarget, indent: int = 0) -> str:
+        pad = "  " * indent
+        failures = []
+        if not fnmatch.fnmatchcase(target.method_name, self.method_pattern):
+            failures.append(
+                f"method {target.method_name!r} != pattern {self.method_pattern!r}"
+            )
+        if not self._type_matches(target):
+            scope = "MRO " + repr(list(target.mro_names)) if self.include_subtypes \
+                else f"class {target.cls.__name__!r}"
+            failures.append(f"{scope} != type pattern {self.type_pattern!r}")
+        if self.arity is not None:
+            actual = _positional_arity(target.function)
+            if actual != self.arity:
+                failures.append(f"arity {actual} != declared {self.arity}")
+        if not failures:
+            return f"{pad}matches: {self}"
+        return f"{pad}no match: {self} [{'; '.join(failures)}]"
 
     def __str__(self) -> str:
         plus = "+" if self.include_subtypes else ""
@@ -148,6 +179,13 @@ class Cflowbelow(Pointcut):
     def cflow_observed(self) -> tuple[Pointcut, ...]:
         return (self.inner,) + self.inner.cflow_observed()
 
+    def explain(self, target: MethodTarget, indent: int = 0) -> str:
+        pad = "  " * indent
+        return (
+            f"{pad}matches statically (dynamic): {self} "
+            f"[decided per invocation against the call stack]"
+        )
+
     def __str__(self) -> str:
         return f"cflowbelow({self.inner})"
 
@@ -174,6 +212,20 @@ class _And(Pointcut):
     def cflow_observed(self) -> tuple[Pointcut, ...]:
         return self.left.cflow_observed() + self.right.cflow_observed()
 
+    def explain(self, target: MethodTarget, indent: int = 0) -> str:
+        pad = "  " * indent
+        head = "matches" if self.matches(target) else "no match"
+        return "\n".join(
+            [
+                f"{pad}{head}: &&",
+                self.left.explain(target, indent + 1),
+                self.right.explain(target, indent + 1),
+            ]
+        )
+
+    def __str__(self) -> str:
+        return f"({self.left} && {self.right})"
+
 
 @dataclass(frozen=True)
 class _Or(Pointcut):
@@ -196,6 +248,20 @@ class _Or(Pointcut):
 
     def cflow_observed(self) -> tuple[Pointcut, ...]:
         return self.left.cflow_observed() + self.right.cflow_observed()
+
+    def explain(self, target: MethodTarget, indent: int = 0) -> str:
+        pad = "  " * indent
+        head = "matches" if self.matches(target) else "no match"
+        return "\n".join(
+            [
+                f"{pad}{head}: ||",
+                self.left.explain(target, indent + 1),
+                self.right.explain(target, indent + 1),
+            ]
+        )
+
+    def __str__(self) -> str:
+        return f"({self.left} || {self.right})"
 
 
 @dataclass(frozen=True)
@@ -220,6 +286,16 @@ class _Not(Pointcut):
 
     def cflow_observed(self) -> tuple[Pointcut, ...]:
         return self.inner.cflow_observed()
+
+    def explain(self, target: MethodTarget, indent: int = 0) -> str:
+        pad = "  " * indent
+        head = "matches" if self.matches(target) else "no match"
+        return "\n".join(
+            [f"{pad}{head}: !", self.inner.explain(target, indent + 1)]
+        )
+
+    def __str__(self) -> str:
+        return f"!{self.inner}"
 
 
 def _positional_arity(function: object) -> int:
@@ -252,12 +328,20 @@ _TOKEN_RE = re.compile(
 
 def parse_pointcut(expression: str) -> Pointcut:
     """Parse a pointcut expression string into a matcher tree."""
+    if isinstance(expression, Pointcut):
+        return expression
+    if not isinstance(expression, str):
+        raise PointcutSyntaxError(
+            f"pointcut must be a string expression or a Pointcut instance, "
+            f"got {type(expression).__name__}"
+        )
     parser = _PointcutParser(expression)
     pointcut = parser.parse_or()
     parser.skip_ws()
     if parser.pos != len(expression):
-        raise PointcutSyntaxError(
-            f"trailing input in pointcut at offset {parser.pos}: {expression!r}"
+        parser.fail(
+            "trailing input after a complete pointcut "
+            "(combine expressions with '&&' or '||')"
         )
     return pointcut
 
@@ -265,9 +349,22 @@ def parse_pointcut(expression: str) -> Pointcut:
 class _PointcutParser:
     """Hand-rolled scanner/parser for the grammar above."""
 
+    #: Characters that can never appear inside or directly after a
+    #: name pattern; seeing one means the user reached for regex/glob
+    #: syntax the grammar does not have (e.g. ``do_get[0-9]``).
+    _BAD_NAME_CHARS = set("[]{}?-=@#$%^~`;:'\"\\/<>")
+
     def __init__(self, text: str) -> None:
         self.text = text
         self.pos = 0
+
+    def fail(self, message: str) -> None:
+        """Raise with the offset, the full expression and a caret."""
+        raise PointcutSyntaxError(
+            f"{message} at offset {self.pos}\n"
+            f"    {self.text}\n"
+            f"    {' ' * self.pos}^"
+        )
 
     def skip_ws(self) -> None:
         while self.pos < len(self.text) and self.text[self.pos].isspace():
@@ -283,11 +380,10 @@ class _PointcutParser:
             return True
         return False
 
-    def expect(self, literal: str) -> None:
+    def expect(self, literal: str, context: str = "") -> None:
         if not self.accept(literal):
-            raise PointcutSyntaxError(
-                f"expected {literal!r} at offset {self.pos} in {self.text!r}"
-            )
+            suffix = f" {context}" if context else ""
+            self.fail(f"expected {literal!r}{suffix}")
 
     def parse_or(self) -> Pointcut:
         left = self.parse_and()
@@ -333,9 +429,9 @@ class _PointcutParser:
         include_subtypes = False
         if self.accept("+"):
             include_subtypes = True
-        self.expect(".")
+        self.expect(".", "between type and method patterns (Type[+].method(args))")
         method_pattern = self._parse_name("method pattern")
-        self.expect("(")
+        self.expect("(", "to open the argument list (use '(..)' for any arity)")
         arity: int | None
         if self.accept(".."):
             arity = None
@@ -361,8 +457,22 @@ class _PointcutParser:
         self.skip_ws()
         match = re.match(r"[A-Za-z_*][\w*]*", self.text[self.pos :])
         if match is None:
-            raise PointcutSyntaxError(
-                f"expected {what} at offset {self.pos} in {self.text!r}"
-            )
+            if self.pos < len(self.text) and self.text[self.pos] in self._BAD_NAME_CHARS:
+                self.fail(
+                    f"invalid character {self.text[self.pos]!r} in {what} "
+                    f"(patterns allow letters, digits, '_' and the '*' wildcard "
+                    f"only -- no regex or glob character classes)"
+                )
+            self.fail(f"expected {what}")
         self.pos += match.end()
+        # A name that stops at a forbidden character is a malformed
+        # pattern (e.g. 'do_get[0-9]'), not a name followed by grammar:
+        # point at the character rather than letting a downstream
+        # expect() produce a misleading "expected '('".
+        if self.pos < len(self.text) and self.text[self.pos] in self._BAD_NAME_CHARS:
+            self.fail(
+                f"invalid character {self.text[self.pos]!r} after {what} "
+                f"{match.group(0)!r} (patterns allow letters, digits, '_' and "
+                f"the '*' wildcard only -- no regex or glob character classes)"
+            )
         return match.group(0)

@@ -214,6 +214,31 @@ class Weaver:
         self._woven.clear()
         _CFLOW_OBSERVERS.unregister(id(self))
 
+    @staticmethod
+    def join_point_surface(classes: Iterable[type]) -> list[MethodTarget]:
+        """Read-only view of every join point ``classes`` offer.
+
+        Enumerates exactly the candidates :meth:`weave` would present to
+        pointcut matching (non-dunder callables declared directly on
+        each class), without weaving anything.  Already-woven methods
+        are reported through their *original* functions, so the surface
+        is stable whether or not aspects are currently installed --
+        the static coverage checker relies on that to evaluate
+        pointcuts against a live, possibly woven, process.
+        """
+        surface: list[MethodTarget] = []
+        for cls in classes:
+            for method_name, function in list(vars(cls).items()):
+                if not callable(function) or method_name.startswith("__"):
+                    continue
+                original = getattr(function, _ORIGINAL_ATTR, function)
+                surface.append(
+                    MethodTarget(
+                        cls=cls, method_name=method_name, function=original
+                    )
+                )
+        return surface
+
     def _sorted_advices(self) -> list[BoundAdvice]:
         bound: list[BoundAdvice] = []
         for aspect in self._aspects:

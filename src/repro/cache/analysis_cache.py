@@ -13,7 +13,6 @@ Figure 4 benchmark replays.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 
 from repro.cache.analysis import (
@@ -23,6 +22,7 @@ from repro.cache.analysis import (
     QueryAnalysisEngine,
     build_pruning_plan,
 )
+from repro.locks import NamedRLock
 from repro.sql.template import QueryTemplate
 
 
@@ -60,7 +60,7 @@ class AnalysisCache:
         self.stats = AnalysisCacheStats()
         # One lock covers memo + stats so concurrent invalidators never
         # double-analyse a pair or tear the Figure 4 growth series.
-        self._lock = threading.RLock()
+        self._lock = NamedRLock("analysis-cache")
 
     def analyse(self, read: QueryTemplate, write: QueryTemplate) -> PairAnalysis:
         """Pair analysis with memoisation and statistics."""

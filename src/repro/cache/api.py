@@ -19,7 +19,6 @@ the facade, so the ordering cannot invert.
 
 from __future__ import annotations
 
-import threading
 import time
 from typing import Callable
 
@@ -32,6 +31,7 @@ from repro.cache.page_cache import PageCache
 from repro.cache.replacement import make_policy
 from repro.cache.semantics import SemanticsRegistry
 from repro.cache.stats import CacheStats
+from repro.locks import NamedRLock
 from repro.web.http import HttpRequest
 
 
@@ -78,8 +78,14 @@ class Cache:
             indexed=indexed_invalidation,
         )
         # -- cross-structure coordination (single-flight + staleness window)
-        self._lock = threading.RLock()
+        self._lock = NamedRLock("cache-facade")
         self._flights: dict[str, Flight] = {}
+        #: Non-coalescing staleness windows: solo computations (no
+        #: flight -- coalescing off, or a waiter that gave up on its
+        #: leaders) still need writes-during-computation detected at
+        #: insert time.  Key -> open windows; several solo computations
+        #: of one key may overlap.
+        self._windows: dict[str, list[Flight]] = {}
         #: Monotonic counter bumped per invalidation event; flights
         #: snapshot it to detect writes overlapping their computation.
         self._write_seq = 0
@@ -121,15 +127,18 @@ class Cache:
         body: str,
         reads: list[QueryInstance],
         status: int = 200,
+        window: Flight | None = None,
     ) -> PageEntry:
         """Cache the page generated for ``request`` (cache insert).
 
-        When a single-flight computation is open for the key, the
-        insert is first checked against the writes that were processed
-        while the page was being computed: if any would invalidate it,
-        the entry is *not* stored (the caller still serves the body it
-        computed -- equivalent to a request finishing just before the
-        write) and the flight is marked stale so waiters recompute.
+        When a single-flight computation is open for the key -- or the
+        caller computed solo under a ``window`` from
+        :meth:`begin_window` -- the insert is first checked against the
+        writes that were processed while the page was being computed:
+        if any would invalidate it, the entry is *not* stored (the
+        caller still serves the body it computed -- equivalent to a
+        request finishing just before the write) and the flight is
+        marked stale so waiters recompute.
         """
         now = self.clock()
         ttl = self.semantics.ttl_for(request.uri)
@@ -144,14 +153,17 @@ class Cache:
         )
         with self._lock:
             flight = self._flights.get(entry.key)
-            if flight is not None:
-                if not flight.stale and self._overlapping_write(
-                    flight, list(reads)
-                ):
+            if flight is not None and not flight.stale:
+                if self._overlapping_write(flight, list(reads)):
                     flight.stale = True
-                if flight.stale:
-                    self.stats.record_stale_insert()
-                    return entry
+            if window is not None and not window.stale:
+                if self._overlapping_write(window, list(reads)):
+                    window.stale = True
+            if (flight is not None and flight.stale) or (
+                window is not None and window.stale
+            ):
+                self.stats.record_stale_insert()
+                return entry
             evicted = self.pages.insert(entry)
             self.stats.record_insert(evictions=len(evicted))
             if flight is not None:
@@ -212,10 +224,42 @@ class Cache:
         with self._lock:
             if self._flights.get(flight.key) is flight:
                 del self._flights[flight.key]
-            if not self._flights:
+            if not self._flights and not self._windows:
                 # No open computations: the staleness window is empty.
                 self._recent_writes.clear()
         flight.done.set()
+
+    def begin_window(self, key: str) -> Flight:
+        """Open a non-coalescing staleness window for a solo computation.
+
+        A computation that runs *without* a flight (coalescing disabled,
+        or a waiter that exhausted its flight attempts) is otherwise
+        invisible to the write path: its page has no dependency-table
+        registrations yet, so a write landing between its database reads
+        and its insert dooms nothing -- and the stale page would be
+        stored and served until the *next* write for the same data.  The
+        window closes that hole: writes processed while it is open are
+        buffered and re-checked at insert, exactly as for flights.
+
+        The returned token must be passed to :meth:`insert` and closed
+        with :meth:`end_window` on every exit path.  Unlike a flight it
+        is never published: no other thread joins or waits on it.
+        """
+        with self._lock:
+            window = Flight(key, self._write_seq)
+            self._windows.setdefault(key, []).append(window)
+            return window
+
+    def end_window(self, window: Flight) -> None:
+        """Close a solo-computation window (caller's finally-block)."""
+        with self._lock:
+            open_windows = self._windows.get(window.key)
+            if open_windows is not None and window in open_windows:
+                open_windows.remove(window)
+                if not open_windows:
+                    del self._windows[window.key]
+            if not self._flights and not self._windows:
+                self._recent_writes.clear()
 
     @property
     def open_flights(self) -> int:
@@ -228,10 +272,11 @@ class Cache:
             return self._flights.get(key)
 
     def open_flight_keys(self) -> list[str]:
-        """Keys with an open computation (cluster rebalancing reads
-        these to poison flights whose key is moving to another node)."""
+        """Keys with an open computation -- flights *and* solo windows
+        (cluster rebalancing reads these to poison computations whose
+        key is moving to another node)."""
         with self._lock:
-            return list(self._flights)
+            return list(self._flights.keys() | self._windows.keys())
 
     def poison_flights(self, keys: set[str]) -> None:
         """Mark the given open flights stale so their eventual inserts
@@ -245,6 +290,8 @@ class Cache:
                 flight = self._flights.get(key)
                 if flight is not None:
                     flight.stale = True
+                for window in self._windows.get(key, ()):
+                    window.stale = True
 
     # -- write path -------------------------------------------------------------------
 
@@ -268,7 +315,7 @@ class Cache:
         if not writes:
             return set()
         with self._lock:
-            if self._flights:
+            if self._flights or self._windows:
                 # Buffer the invalidation info for open computations'
                 # insert-time staleness check.
                 self._write_seq += 1
@@ -294,6 +341,8 @@ class Cache:
             flight = self._flights.get(key)
             if flight is not None:
                 flight.stale = True
+            for window in self._windows.get(key, ()):
+                window.stale = True
         removed = self.pages.invalidate(key)
         if removed:
             self.stats.record_invalidated()

@@ -30,6 +30,7 @@ from repro.cache.analysis import InvalidationPolicy
 from repro.cache.api import Cache
 from repro.cache.consistency import ConsistencyCollector
 from repro.cache.entry import QueryInstance
+from repro.cache.flight import Flight
 from repro.sql import ast_nodes as ast
 from repro.sql.template import templateize
 from repro.web.http import HttpRequest, HttpResponse
@@ -93,7 +94,7 @@ class ReadServletAspect(Aspect):
             response.set_status(entry.status)
             return
         if not self.cache.coalesce:
-            self._execute_and_insert(joinpoint, request, response)
+            self._execute_solo(joinpoint, request, response)
             return
         for _attempt in range(self.max_flight_attempts):
             flight, is_leader = self.cache.join_flight(request.cache_key())
@@ -112,13 +113,34 @@ class ReadServletAspect(Aspect):
                 return
             # Leader failed, page uncacheable, or invalidated while in
             # flight: loop -- re-join (a new leader may already exist).
-        self._execute_and_insert(joinpoint, request, response)
+        self._execute_solo(joinpoint, request, response)
+
+    def _execute_solo(
+        self,
+        joinpoint: JoinPoint,
+        request: HttpRequest,
+        response: HttpResponse,
+    ) -> None:
+        """Compute without a flight, under a staleness window.
+
+        Without the window a write landing between this thread's
+        database reads and its insert is invisible -- the page has no
+        dependency registrations yet and no flight buffers the write --
+        so the stale page would be stored and served until the *next*
+        write touching the same data.
+        """
+        window = self.cache.begin_window(request.cache_key())
+        try:
+            self._execute_and_insert(joinpoint, request, response, window)
+        finally:
+            self.cache.end_window(window)
 
     def _execute_and_insert(
         self,
         joinpoint: JoinPoint,
         request: HttpRequest,
         response: HttpResponse,
+        window: Flight | None = None,
     ) -> None:
         """Miss path: execute the servlet, collect dependencies, insert."""
         context = self.collector.begin("read", request.cache_key())
@@ -133,7 +155,9 @@ class ReadServletAspect(Aspect):
             # treat the page as uncacheable for this round.
             self.cache.process_write_request(request.uri, context.writes)
             return
-        self.cache.insert(request, response.body, context.reads, response.status)
+        self.cache.insert(
+            request, response.body, context.reads, response.status, window=window
+        )
 
 
 class WriteServletAspect(Aspect):

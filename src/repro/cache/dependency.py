@@ -39,11 +39,11 @@ reverse (the table calls back into nothing).
 
 from __future__ import annotations
 
-import threading
 from collections import defaultdict
 from typing import Iterable
 
 from repro.cache.entry import QueryInstance
+from repro.locks import NamedRLock
 from repro.sql.template import QueryTemplate
 
 #: One registration as the indexes see it: (page key, value vector).
@@ -70,7 +70,7 @@ class DependencyTable:
         #: Template texts whose value index was abandoned (unhashable
         #: values); lookups on them fall back to the full scan.
         self._unindexable: set[str] = set()
-        self._lock = threading.RLock()
+        self._lock = NamedRLock("dependency-table")
 
     def register(self, page_key: str, instances: tuple[QueryInstance, ...]) -> None:
         """Record that ``page_key`` depends on each read instance."""

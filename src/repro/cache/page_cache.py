@@ -13,11 +13,11 @@ held; lock order is store -> dependency table, never the reverse).
 
 from __future__ import annotations
 
-import threading
 
 from repro.cache.dependency import DependencyTable
 from repro.cache.entry import PageEntry
 from repro.cache.replacement import ReplacementPolicy, UnboundedPolicy
+from repro.locks import NamedRLock
 
 
 class PageCache:
@@ -43,7 +43,7 @@ class PageCache:
         #: key -> reason it is gone ("invalidation"/"capacity"/"expired").
         self._gone: dict[str, str] = {}
         self.eviction_count = 0
-        self._lock = threading.RLock()
+        self._lock = NamedRLock("page-store")
 
     def __len__(self) -> int:
         with self._lock:

@@ -22,12 +22,12 @@ whose pages are uncacheable still enjoy result-set hits).
 
 from __future__ import annotations
 
-import threading
 
 from repro.cache.analysis import InvalidationPolicy, QueryAnalysisEngine
 from repro.cache.analysis_cache import AnalysisCache
 from repro.cache.entry import QueryInstance
 from repro.db.executor import QueryResult
+from repro.locks import NamedRLock
 from repro.sql.template import QueryTemplate
 
 
@@ -74,7 +74,7 @@ class ResultCache:
         # Serialises lookup/insert against write-driven invalidation so
         # concurrent serving threads cannot resurrect a doomed entry or
         # tear the per-template vector maps.
-        self._lock = threading.RLock()
+        self._lock = NamedRLock("result-cache")
 
     def __len__(self) -> int:
         with self._lock:

@@ -18,8 +18,9 @@ misses and servlet executions.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
+
+from repro.locks import NamedRLock
 
 
 @dataclass
@@ -101,8 +102,9 @@ class CacheStats:
     #: page was being computed (the check-then-insert race, detected).
     stale_inserts: int = 0
     by_type: dict[str, RequestTypeStats] = field(default_factory=dict)
-    _lock: threading.RLock = field(
-        default_factory=threading.RLock, init=False, repr=False, compare=False
+    _lock: NamedRLock = field(
+        default_factory=lambda: NamedRLock("stats"),
+        init=False, repr=False, compare=False,
     )
 
     def type_stats(self, uri: str) -> RequestTypeStats:

@@ -28,13 +28,13 @@ Two properties matter for the consistency argument (docs/cluster.md):
 from __future__ import annotations
 
 import contextlib
-import threading
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
 from repro.cache.entry import QueryInstance
 from repro.cache.invalidation import dedupe_writes
 from repro.errors import ClusterError
+from repro.locks import NamedRLock
 
 #: A subscriber: called with each message, returns the page keys it
 #: invalidated locally.
@@ -79,7 +79,7 @@ class InvalidationBus:
     """Sequence-numbered broadcast channel between cache nodes."""
 
     def __init__(self) -> None:
-        self._lock = threading.RLock()
+        self._lock = NamedRLock("invalidation-bus")
         self._seq = 0
         #: name -> subscriber, in subscription order (dicts preserve it).
         self._subscribers: dict[str, Subscriber] = {}

@@ -16,11 +16,11 @@ its entries while lookups still route elsewhere.
 
 from __future__ import annotations
 
-import threading
 
 from repro.cache.api import Cache
 from repro.cluster.bus import BusMessage
 from repro.errors import ClusterError
+from repro.locks import NamedRLock
 
 JOINED = "joined"
 DRAINING = "draining"
@@ -39,7 +39,7 @@ class CacheNode:
         self.last_applied_seq = 0
         #: Entries drained into this node when it joined the ring.
         self.moved_in = 0
-        self._lock = threading.RLock()
+        self._lock = NamedRLock("cache-node")
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -22,7 +22,6 @@ orphaned on a node that no longer owns the key.
 
 from __future__ import annotations
 
-import threading
 import time
 from typing import Callable
 
@@ -35,6 +34,7 @@ from repro.cluster.bus import InvalidationBus
 from repro.cluster.node import CacheNode
 from repro.cluster.ring import DEFAULT_VNODES, HashRing
 from repro.errors import ClusterError
+from repro.locks import NamedRLock
 from repro.web.http import HttpRequest
 
 CacheFactory = Callable[[], Cache]
@@ -164,12 +164,15 @@ class ClusterRouter:
         if len(set(node_names)) != len(node_names):
             raise ClusterError("duplicate node names")
         self._cache_factory = cache_factory
-        self._lock = threading.RLock()
+        self._lock = NamedRLock("cluster-router")
         self.ring = HashRing(vnodes=vnodes)
         self.bus = InvalidationBus()
         self._nodes: dict[str, CacheNode] = {}
         #: key -> node pinned for the duration of an open flight.
         self._flight_nodes: dict[str, CacheNode] = {}
+        #: window -> node pinned for a solo computation (by identity:
+        #: several windows for one key may be open on one node at once).
+        self._window_nodes: dict[Flight, CacheNode] = {}
         self.stats = ClusterStats(self)
         self._template = cache_factory()  # config donor, never serves
         self.semantics = self._template.semantics
@@ -302,11 +305,16 @@ class ClusterRouter:
         body: str,
         reads: list[QueryInstance],
         status: int = 200,
+        window: Flight | None = None,
     ) -> PageEntry:
         key = request.cache_key()
         with self._lock:
-            node = self._flight_nodes.get(key) or self._owner(key)
-        return node.cache.insert(request, body, reads, status)
+            node = (
+                (self._window_nodes.get(window) if window is not None else None)
+                or self._flight_nodes.get(key)
+                or self._owner(key)
+            )
+        return node.cache.insert(request, body, reads, status, window=window)
 
     def record_uncacheable(self, request: HttpRequest) -> None:
         self._owner(request.cache_key()).cache.record_uncacheable(request)
@@ -333,6 +341,26 @@ class ClusterRouter:
                 flight.key
             )
         node.cache.finish_flight(flight)
+
+    def begin_window(self, key: str) -> Flight:
+        """Open a solo-computation staleness window on the owning node.
+
+        Pinned like a flight: the eventual ``insert`` and
+        ``end_window`` must land on the node whose write buffer the
+        window is registered with, even if ring membership changes
+        mid-computation (re-homing poisons the window instead).
+        """
+        with self._lock:
+            node = self._flight_nodes.get(key) or self._owner(key)
+            window = node.cache.begin_window(key)
+            self._window_nodes[window] = node
+            return window
+
+    def end_window(self, window: Flight) -> None:
+        with self._lock:
+            node = self._window_nodes.pop(window, None)
+        if node is not None:
+            node.cache.end_window(window)
 
     @property
     def open_flights(self) -> int:

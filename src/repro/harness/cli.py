@@ -48,6 +48,7 @@ def _cmd_list(_args: argparse.Namespace) -> str:
         ["cluster", "sharded-tier scaling curve (throughput vs nodes)"],
         ["differential", "indexed vs brute-force invalidation equivalence"],
         ["obs", "observability-woven scripted run (metrics + traces)"],
+        ["check", "whole-program consistency linter (staticcheck)"],
         ["run", "one custom cell (see --help)"],
     ]
     return render_table("Available experiments", ["command", "regenerates"], rows)
@@ -276,6 +277,32 @@ def _cmd_obs(args: argparse.Namespace) -> str:
     return "\n\n".join(sections)
 
 
+def _cmd_check(args: argparse.Namespace) -> tuple[str, int]:
+    """Run the whole-program consistency linter over the repository.
+
+    Exit status is 0 iff every finding is baselined (or there are
+    none); CI runs this via ``make check``.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.staticcheck import run_check
+
+    if args.no_baseline:
+        baseline: object = None
+    elif args.baseline:
+        baseline = Path(args.baseline)
+    else:
+        baseline = "auto"
+    report = run_check(baseline_path=baseline)
+    payload = json.dumps(report.to_json(), indent=2)
+    if args.json_out:
+        out = Path(args.json_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(payload + "\n")
+    return (payload if args.json else report.render_text()), report.exit_code
+
+
 def _cmd_run(args: argparse.Namespace) -> str:
     defaults = _defaults(args)
     spec = RunSpec(
@@ -406,6 +433,19 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--view", choices=["summary", "metrics", "traces", "all"],
                      default="summary")
 
+    check = sub.add_parser(
+        "check", help="whole-program consistency linter (staticcheck)"
+    )
+    check.add_argument("--json", action="store_true",
+                       help="print the JSON report instead of text")
+    check.add_argument("--json-out", default=None, metavar="PATH",
+                       help="also write the JSON report to PATH")
+    check.add_argument("--baseline", default=None, metavar="PATH",
+                       help="baseline file (default: "
+                            "staticcheck-baseline.json at the repo root)")
+    check.add_argument("--no-baseline", action="store_true",
+                       help="ignore any baseline; every finding is active")
+
     run = sub.add_parser("run", help="one custom configuration cell")
     add_timing(run, "200")
     run.add_argument("--app", choices=["rubis", "tpcw"], default="rubis")
@@ -443,6 +483,8 @@ def main(argv: list[str] | None = None) -> int:
         output = _cmd_cluster(args)
     elif args.command == "obs":
         output = _cmd_obs(args)
+    elif args.command == "check":
+        output, status = _cmd_check(args)
     elif args.command == "run":
         output = _cmd_run(args)
     else:  # pragma: no cover - argparse guards this

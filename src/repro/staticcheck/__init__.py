@@ -1,0 +1,44 @@
+"""Whole-program consistency linter for the AutoWebCache reproduction.
+
+AutoWebCache's strong-consistency guarantee rests on preconditions the
+runtime never checks: cacheable servlets must be side-effect-free and
+deterministic, every SQL call site must flow through the woven DB-API
+driver, and the fine-grained locks of the caching tier must respect the
+documented acquisition order.  This package checks those preconditions
+*statically* -- the complement to the dynamic SQL analysis the paper
+describes (and the gap its "limitations" section concedes).
+
+Three passes share one diagnostic model (:mod:`~repro.staticcheck.diagnostics`):
+
+- :mod:`~repro.staticcheck.cacheability` -- RC01..RC04 over the servlet
+  classes of ``repro.apps``;
+- :mod:`~repro.staticcheck.coverage` -- PC01..PC03 over the registered
+  pointcuts and the statically discovered join-point surface;
+- :mod:`~repro.staticcheck.lockorder` -- LK01 over nested lock scopes in
+  ``repro.cache`` and ``repro.cluster``; the woven *dynamic* counterpart
+  lives in :mod:`~repro.staticcheck.lockwatch`.
+
+Entry points: ``python -m repro check`` (CLI), :func:`run_check`
+(programmatic), ``make check`` (CI gate).
+"""
+
+from repro.staticcheck.diagnostics import (
+    RULES,
+    BaselineEntry,
+    Diagnostic,
+    Report,
+    load_baseline,
+)
+from repro.staticcheck.runner import run_check
+from repro.staticcheck.target import CheckTarget, default_target
+
+__all__ = [
+    "RULES",
+    "BaselineEntry",
+    "CheckTarget",
+    "Diagnostic",
+    "Report",
+    "default_target",
+    "load_baseline",
+    "run_check",
+]

@@ -1,0 +1,292 @@
+"""Cacheability pass: RC01..RC04 over the servlet classes.
+
+Walks the call graph reachable from each registered handler
+(``do_get``/``do_post``) through ``self.*`` helper methods, extracts the
+SQL string templates flowing into the woven driver, and checks the
+preconditions of the paper's consistency protocol:
+
+- **RC01** -- a *write* reachable from a cacheable ``do_get``: the read
+  aspect would cache a page whose computation mutated the database (the
+  write aspect only invalidates after ``do_post``).
+- **RC02** -- a non-deterministic source (``random``/``time``-style
+  modules, an entropy-holding collaborator such as the TPC-W
+  ``AdRotator``, or session-derived content) feeding a cached body: the
+  paper's hidden-state problem; the page is not a function of its URI.
+- **RC03** -- database access whose receiver is not the woven
+  ``Statement``: the consistency aspect never sees the query, so its
+  dependencies/invalidations are silently lost.
+- **RC04** -- a read template with no equality-bound placeholder
+  position: ``repro.cache.analysis`` cannot index it, so every
+  overlapping write degenerates to a per-template scan of all cached
+  instances.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.sql.template import templateize
+from repro.staticcheck.diagnostics import Diagnostic
+from repro.staticcheck.source import (
+    ENTROPY_MODULES,
+    SESSION_SOURCES,
+    ClassInfo,
+    FunctionSource,
+    relative_to,
+    scan_calls,
+    string_constant,
+)
+from repro.staticcheck.target import CheckTarget
+
+#: Call names that execute SQL when sent to a non-woven receiver.
+_SQL_EXECUTORS = frozenset(
+    {"execute_query", "execute_update", "execute", "query", "execute_statement"}
+)
+_WRITE_EXECUTORS = frozenset({"execute_update"})
+_HANDLERS = ("do_get", "do_post")
+
+
+def check_cacheability(target: CheckTarget) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    for app in target.apps:
+        for uri, servlet_cls, is_write in app.interactions:
+            info = target.registry.info(servlet_cls.__name__)
+            if info is None:
+                continue
+            cacheable = not is_write and uri not in app.uncacheable_uris
+            diagnostics.extend(
+                _check_servlet(target, info, cacheable=cacheable)
+            )
+    return _dedupe(diagnostics)
+
+
+def _check_servlet(
+    target: CheckTarget, info: ClassInfo, cacheable: bool
+) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    for handler in _HANDLERS:
+        entry = info.functions.get(handler)
+        if entry is None or entry.owner.__module__.startswith("repro.web"):
+            continue  # not defined by the app (default 405 handler)
+        for fn in _reachable(info, entry):
+            diagnostics.extend(
+                _check_function(target, info, handler, fn, cacheable)
+            )
+    return diagnostics
+
+
+def _reachable(
+    info: ClassInfo, entry: FunctionSource
+) -> list[FunctionSource]:
+    """``entry`` plus every ``self.*`` method transitively called."""
+    seen: dict[str, FunctionSource] = {entry.name: entry}
+    queue = [entry]
+    while queue:
+        fn = queue.pop()
+        for node in ast.walk(fn.node):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "self"
+            ):
+                callee = info.functions.get(node.func.attr)
+                if callee is not None and callee.name not in seen:
+                    seen[callee.name] = callee
+                    queue.append(callee)
+    return list(seen.values())
+
+
+def _check_function(
+    target: CheckTarget,
+    info: ClassInfo,
+    handler: str,
+    fn: FunctionSource,
+    cacheable: bool,
+) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    file = relative_to(fn.file, target.repo_root)
+    symbol = f"{info.name}.{handler}"
+    scan = scan_calls(info, fn, target.registry)
+    check_reads = cacheable and handler == "do_get"
+
+    for site in scan.sites:
+        # --- RC03: SQL through a non-woven receiver (always checked;
+        # a bypassed *write* breaks every cached page's invalidation,
+        # a bypassed read breaks this page's dependencies).
+        if (
+            site.method in _SQL_EXECUTORS
+            and site.receiver_type is not None
+            and site.receiver_type not in target.woven_sql_types
+        ):
+            diagnostics.append(
+                Diagnostic(
+                    rule="RC03",
+                    file=file,
+                    line=site.line,
+                    symbol=symbol,
+                    message=(
+                        f"{site.receiver_type}.{site.method}(...) reaches "
+                        f"the database without passing through the woven "
+                        f"Statement; the consistency aspect cannot see it"
+                    ),
+                )
+            )
+            continue
+        if site.method in _SQL_EXECUTORS and site.receiver_type is None:
+            # Unresolvable receiver executing SQL-looking calls: only
+            # flag when it carries a SQL string (avoids false positives
+            # on unrelated .execute() APIs).
+            sql = _sql_of(site.node, scan.constants)
+            if sql is not None and site.bare_receiver is not None:
+                diagnostics.append(
+                    Diagnostic(
+                        rule="RC03",
+                        file=file,
+                        line=site.line,
+                        symbol=symbol,
+                        message=(
+                            f"{site.bare_receiver}.{site.method}(...) "
+                            f"executes SQL through an unrecognised "
+                            f"receiver (not the woven Statement)"
+                        ),
+                    )
+                )
+                continue
+
+        woven_sql = (
+            site.method in _SQL_EXECUTORS
+            and site.receiver_type in target.woven_sql_types
+        )
+
+        # --- RC01: writes reachable from a cacheable do_get.
+        if check_reads and woven_sql:
+            sql = _sql_of(site.node, scan.constants)
+            is_write_stmt = site.method in _WRITE_EXECUTORS
+            if not is_write_stmt and sql is not None:
+                template = _try_template(sql)
+                is_write_stmt = template is not None and template.is_write
+            if is_write_stmt:
+                diagnostics.append(
+                    Diagnostic(
+                        rule="RC01",
+                        file=file,
+                        line=site.line,
+                        symbol=symbol,
+                        message=(
+                            "database write reachable from a cacheable "
+                            "do_get; the read aspect would cache a page "
+                            "whose computation mutated the database"
+                        ),
+                    )
+                )
+                continue
+
+        # --- RC04: unindexable read templates.
+        if (
+            check_reads
+            and woven_sql
+            and site.method not in _WRITE_EXECUTORS
+        ):
+            sql = _sql_of(site.node, scan.constants)
+            if sql is not None:
+                template = _try_template(sql)
+                if template is None:
+                    diagnostics.append(
+                        Diagnostic(
+                            rule="RC04",
+                            file=file,
+                            line=site.line,
+                            symbol=symbol,
+                            message=(
+                                "read query cannot be parsed into a "
+                                "template; invalidation falls back to "
+                                "full scans"
+                            ),
+                        )
+                    )
+                elif template.is_read and not template.indexable_positions:
+                    tables = ", ".join(sorted(template.tables)) or "?"
+                    diagnostics.append(
+                        Diagnostic(
+                            rule="RC04",
+                            file=file,
+                            line=site.line,
+                            symbol=symbol,
+                            message=(
+                                f"read template over [{tables}] has no "
+                                f"equality-bound position; the dependency "
+                                f"table cannot index its instances "
+                                f"(per-template scan on every "
+                                f"overlapping write)"
+                            ),
+                        )
+                    )
+
+        # --- RC02: entropy flowing into a cacheable body.
+        if check_reads:
+            entropy = _entropy_source(site, target)
+            if entropy is not None:
+                diagnostics.append(
+                    Diagnostic(
+                        rule="RC02",
+                        file=file,
+                        line=site.line,
+                        symbol=symbol,
+                        message=(
+                            f"non-deterministic source ({entropy}) in a "
+                            f"cacheable do_get: the response is not a "
+                            f"function of the request (hidden state)"
+                        ),
+                    )
+                )
+    return diagnostics
+
+
+def _entropy_source(site, target: CheckTarget) -> str | None:
+    if site.receiver_type in target.entropy_classes:
+        return f"{site.receiver_type}.{site.method}"
+    if site.bare_receiver in ENTROPY_MODULES:
+        return f"{site.bare_receiver}.{site.method}"
+    if site.method in SESSION_SOURCES:
+        return f"session state via .{site.method}"
+    return None
+
+
+def _sql_of(call: ast.Call, constants: dict[str, str]) -> str | None:
+    if not call.args:
+        return None
+    text = string_constant(call.args[0], constants)
+    if text is None:
+        return None
+    head = text.lstrip().split(None, 1)
+    if not head:
+        return None
+    if head[0].upper() in {"SELECT", "INSERT", "UPDATE", "DELETE"}:
+        return text
+    return None
+
+
+def _try_template(sql: str):
+    params = tuple(None for _ in range(sql.count("?")))
+    try:
+        template, _values = templateize(sql, params)
+    except Exception:
+        return None
+    return template
+
+
+def _dedupe(diagnostics: list[Diagnostic]) -> list[Diagnostic]:
+    seen: set[tuple[str, str, int, str]] = set()
+    unique: list[Diagnostic] = []
+    for diagnostic in diagnostics:
+        key = (
+            diagnostic.rule,
+            diagnostic.file,
+            diagnostic.line,
+            diagnostic.symbol,
+        )
+        if key not in seen:
+            seen.add(key)
+            unique.append(diagnostic)
+    return unique

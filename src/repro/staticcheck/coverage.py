@@ -1,0 +1,185 @@
+"""Pointcut-coverage pass: PC01..PC03.
+
+Evaluates every registered pointcut (the advice specs attached by the
+``@around``/``@before`` decorators, read off the aspect *classes* --
+no instantiation needed) against the statically discovered join-point
+surface (:meth:`repro.aop.weaver.Weaver.join_point_surface`):
+
+- **PC01** -- a dead pointcut: its advice matches no join point on the
+  surface, so the concern it implements silently never runs;
+- **PC02** -- a required join point (servlet handler, driver-level SQL
+  or transaction call) matched by *no caching advice*: reads reaching
+  the database outside the woven path break consistency invisibly (the
+  paper's own limitations section);
+- **PC03** -- two aspects of equal precedence advising the same join
+  point: their around-nesting order degrades to declaration order,
+  which is accidental and silently changes under refactoring.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+
+from repro.aop.advice import AdviceKind, AdviceSpec
+from repro.aop.pointcut import MethodTarget
+from repro.aop.weaver import Weaver
+from repro.staticcheck.diagnostics import Diagnostic
+from repro.staticcheck.source import relative_to
+from repro.staticcheck.target import CheckTarget
+
+
+@dataclass(frozen=True)
+class RegisteredAdvice:
+    """One advice declaration, read off its aspect class."""
+
+    aspect_cls: type
+    advice_name: str
+    spec: AdviceSpec
+
+    @property
+    def precedence(self) -> int:
+        return getattr(self.aspect_cls, "precedence", 0)
+
+    @property
+    def label(self) -> str:
+        return f"{self.aspect_cls.__name__}.{self.advice_name}"
+
+
+def registered_advice(aspect_classes: tuple[type, ...]) -> list[RegisteredAdvice]:
+    registered: list[RegisteredAdvice] = []
+    for aspect_cls in aspect_classes:
+        seen: set[str] = set()
+        for klass in aspect_cls.__mro__:
+            for name, attr in vars(klass).items():
+                if name in seen:
+                    continue
+                specs = getattr(attr, "__advice_specs__", None)
+                if specs is None:
+                    continue
+                seen.add(name)
+                for spec in specs:
+                    registered.append(
+                        RegisteredAdvice(
+                            aspect_cls=aspect_cls, advice_name=name, spec=spec
+                        )
+                    )
+    return registered
+
+
+def _advice_location(advice: RegisteredAdvice, target: CheckTarget):
+    """(repo-relative file, line) of the advice function's definition."""
+    function = None
+    for klass in advice.aspect_cls.__mro__:
+        function = vars(klass).get(advice.advice_name)
+        if function is not None:
+            break
+    try:
+        file = inspect.getsourcefile(function)
+        _lines, line = inspect.getsourcelines(function)
+    except (OSError, TypeError):
+        return "?", 0
+    return relative_to(file or "?", target.repo_root), line
+
+
+def _target_location(mt: MethodTarget, target: CheckTarget):
+    try:
+        file = inspect.getsourcefile(mt.function)
+        _lines, line = inspect.getsourcelines(mt.function)
+    except (OSError, TypeError):
+        return "?", 0
+    return relative_to(file or "?", target.repo_root), line
+
+
+def check_coverage(target: CheckTarget) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    surface_classes = tuple(
+        dict.fromkeys(tuple(target.servlet_classes()) + target.surface_classes)
+    )
+    surface = Weaver.join_point_surface(surface_classes)
+    all_advice = registered_advice(target.aspect_classes)
+    caching_classes = set(target.caching_aspect_classes)
+
+    # --- PC01: dead pointcuts.
+    for advice in all_advice:
+        if any(advice.spec.pointcut.matches(mt) for mt in surface):
+            continue
+        file, line = _advice_location(advice, target)
+        diagnostics.append(
+            Diagnostic(
+                rule="PC01",
+                file=file,
+                line=line,
+                symbol=advice.label,
+                message=(
+                    f"pointcut {advice.spec.pointcut} matches no join "
+                    f"point on the {len(surface)}-method surface; the "
+                    f"advice never runs"
+                ),
+            )
+        )
+
+    # --- PC02: required join points with no caching advice.
+    caching_advice = [
+        a for a in all_advice if a.aspect_cls in caching_classes
+    ]
+    required: list[MethodTarget] = []
+    for servlet_cls in target.servlet_classes():
+        for mt in Weaver.join_point_surface([servlet_cls]):
+            if mt.method_name in ("do_get", "do_post"):
+                required.append(mt)
+    for req_cls, method_name in target.required_sql_sites:
+        for mt in Weaver.join_point_surface([req_cls]):
+            if mt.method_name == method_name:
+                required.append(mt)
+    for mt in required:
+        if any(a.spec.pointcut.matches(mt) for a in caching_advice):
+            continue
+        file, line = _target_location(mt, target)
+        diagnostics.append(
+            Diagnostic(
+                rule="PC02",
+                file=file,
+                line=line,
+                symbol=f"{mt.cls.__name__}.{mt.method_name}",
+                message=(
+                    f"{mt.cls.__name__}.{mt.method_name} is a required "
+                    f"join point but no caching advice matches it; "
+                    f"requests served here bypass the cache protocol"
+                ),
+            )
+        )
+
+    # --- PC03: precedence ambiguity among around advice.
+    arounds = [a for a in all_advice if a.spec.kind is AdviceKind.AROUND]
+    reported: set[tuple[str, str, str]] = set()
+    for mt in surface:
+        matched = [a for a in arounds if a.spec.pointcut.matches(mt)]
+        for i, first in enumerate(matched):
+            for second in matched[i + 1 :]:
+                if first.aspect_cls is second.aspect_cls:
+                    continue  # same aspect: declaration order is the contract
+                if first.precedence != second.precedence:
+                    continue
+                key = tuple(
+                    sorted((first.label, second.label))
+                ) + (f"{mt.cls.__name__}.{mt.method_name}",)
+                if key in reported:
+                    continue
+                reported.add(key)
+                file, line = _advice_location(second, target)
+                diagnostics.append(
+                    Diagnostic(
+                        rule="PC03",
+                        file=file,
+                        line=line,
+                        symbol=f"{first.label}|{second.label}",
+                        message=(
+                            f"{first.label} and {second.label} both advise "
+                            f"{mt.cls.__name__}.{mt.method_name} at "
+                            f"precedence {first.precedence}; their nesting "
+                            f"order is accidental declaration order"
+                        ),
+                    )
+                )
+    return diagnostics

@@ -1,0 +1,179 @@
+"""Dynamic lockset mode: the woven complement to the static lock pass.
+
+The static acquisition graph cannot see edges created through
+late-bound callables -- the invalidation bus delivering to subscriber
+closures is the canonical blind spot.  This module dogfoods the repo's
+own AOP layer to close it: a :class:`LockWatchAspect` woven over
+:class:`repro.locks.NamedRLock` records the *real* acquisition edges a
+workload takes (``REPRO_LOCKWATCH=1 make stress-lockwatch`` runs the
+whole stress suite under it) and checks them against the documented
+rank order, then diffs them against the statically derived graph.
+
+``NamedRLock.acquire``/``release`` are ordinary Python methods exactly
+so this weave is possible; ``with lock:`` goes through them too because
+``__enter__`` calls ``self.acquire()`` via the (woven) class attribute.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.aop import Aspect, around
+from repro.aop.joinpoint import JoinPoint
+from repro.aop.weaver import Weaver
+from repro.locks import NamedRLock, lock_rank
+
+
+@dataclass(frozen=True)
+class DynamicViolation:
+    """One rank-inverting (or self-deadlocking) acquisition observed."""
+
+    held: str
+    acquired: str
+    kind: str  # "rank" | "same-name"
+    thread: str
+
+    def describe(self) -> str:
+        if self.kind == "same-name":
+            return (
+                f"[{self.thread}] acquired a second {self.acquired!r} "
+                f"instance while holding one (same-name locks do not "
+                f"share reentrancy: self-deadlock under contention)"
+            )
+        return (
+            f"[{self.thread}] acquired {self.acquired!r} "
+            f"(rank {lock_rank(self.acquired)}) while holding "
+            f"{self.held!r} (rank {lock_rank(self.held)})"
+        )
+
+
+class LockWatchRecorder:
+    """Thread-safe ledger of acquisition edges and violations.
+
+    Per-thread held stacks live in a ``threading.local``; the shared
+    edge/violation sets are guarded by a plain ``threading.Lock`` (NOT a
+    NamedRLock -- the recorder must never recurse into the woven class
+    it is observing).
+    """
+
+    def __init__(self) -> None:
+        self._guard = threading.Lock()
+        self._held = threading.local()
+        self.edges: dict[tuple[str, str], int] = {}
+        self.violations: list[DynamicViolation] = []
+        self.acquisitions = 0
+
+    def _stack(self) -> list[list[object]]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    def on_acquire(self, lock: NamedRLock) -> None:
+        stack = self._stack()
+        for entry in stack:
+            if entry[0] is lock:
+                entry[2] += 1  # reentrant re-acquire: no new edge
+                return
+        new_edges: list[tuple[str, str]] = []
+        new_violations: list[DynamicViolation] = []
+        thread = threading.current_thread().name
+        for entry in stack:
+            held_name = entry[1]
+            new_edges.append((held_name, lock.name))
+            if held_name == lock.name:
+                new_violations.append(
+                    DynamicViolation(
+                        held=held_name,
+                        acquired=lock.name,
+                        kind="same-name",
+                        thread=thread,
+                    )
+                )
+            else:
+                held_rank = lock_rank(held_name)
+                if (
+                    held_rank is not None
+                    and lock.rank is not None
+                    and lock.rank < held_rank
+                ):
+                    new_violations.append(
+                        DynamicViolation(
+                            held=held_name,
+                            acquired=lock.name,
+                            kind="rank",
+                            thread=thread,
+                        )
+                    )
+        stack.append([lock, lock.name, 1])
+        with self._guard:
+            self.acquisitions += 1
+            for edge in new_edges:
+                self.edges[edge] = self.edges.get(edge, 0) + 1
+            self.violations.extend(new_violations)
+
+    def on_release(self, lock: NamedRLock) -> None:
+        stack = self._stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i][0] is lock:
+                stack[i][2] -= 1
+                if stack[i][2] == 0:
+                    del stack[i]
+                return
+
+    def edge_set(self) -> set[tuple[str, str]]:
+        with self._guard:
+            return set(self.edges)
+
+    def snapshot_violations(self) -> list[DynamicViolation]:
+        with self._guard:
+            return list(self.violations)
+
+    def diff_against_static(
+        self, static_edges: set[tuple[str, str]]
+    ) -> set[tuple[str, str]]:
+        """Edges real traffic took that the static graph never saw --
+        the late-binding blind spot, made visible."""
+        return {
+            edge
+            for edge in self.edge_set()
+            if edge[0] != edge[1] and edge not in static_edges
+        }
+
+
+class LockWatchAspect(Aspect):
+    """Records every NamedRLock acquisition edge the workload takes.
+
+    Runs at very low precedence so, were any other aspect ever woven
+    over the lock class, the recorder would sit outermost and observe
+    the true acquisition, not an advised wrapper.
+    """
+
+    precedence = -100
+
+    def __init__(self, recorder: LockWatchRecorder) -> None:
+        self.recorder = recorder
+
+    @around("execution(NamedRLock.acquire(..))")
+    def record_acquire(self, joinpoint: JoinPoint) -> object:
+        result = joinpoint.proceed()
+        if result:
+            # Only successful acquisitions create edges; a failed
+            # non-blocking try-acquire holds nothing.
+            self.recorder.on_acquire(joinpoint.target)
+        return result
+
+    @around("execution(NamedRLock.release(..))")
+    def record_release(self, joinpoint: JoinPoint) -> object:
+        self.recorder.on_release(joinpoint.target)
+        return joinpoint.proceed()
+
+
+def watch_locks(recorder: LockWatchRecorder) -> Weaver:
+    """Weave the recorder over NamedRLock; ``unweave()`` (or use as a
+    context manager) restores the unobserved class."""
+    weaver = Weaver().add_aspect(LockWatchAspect(recorder))
+    weaver.weave([NamedRLock])
+    return weaver

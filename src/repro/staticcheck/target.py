@@ -1,0 +1,198 @@
+"""What the checker runs against.
+
+A :class:`CheckTarget` bundles the applications (servlet classes and
+their cacheability routing), the aspect classes whose pointcuts are
+verified, the join-point surface they are evaluated over, and the
+classes whose lock scopes the lock-order pass walks.  The real repo's
+target comes from :func:`default_target`; the seeded-violation fixture
+under ``tests/fixtures/badapp`` builds its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.staticcheck.source import TypeRegistry
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """One servlet application: URI routing plus cacheability marks."""
+
+    name: str
+    #: (uri, servlet class, is_write) triples.
+    interactions: tuple[tuple[str, type, bool], ...]
+    #: URIs marked uncacheable (hidden state): never cached, so the
+    #: cacheability rules RC01/RC02/RC04 do not apply to them.
+    uncacheable_uris: frozenset[str] = frozenset()
+
+
+@dataclass
+class CheckTarget:
+    """Everything one ``run_check`` invocation analyses."""
+
+    repo_root: Path
+    apps: tuple[AppSpec, ...] = ()
+    #: Aspect classes whose pointcuts are checked for liveness (PC01)
+    #: and precedence ambiguity (PC03).
+    aspect_classes: tuple[type, ...] = ()
+    #: The subset whose advice counts as *caching* coverage (PC02).
+    caching_aspect_classes: tuple[type, ...] = ()
+    #: Classes contributing the join-point surface pointcuts are
+    #: evaluated against (servlets are added automatically from apps).
+    surface_classes: tuple[type, ...] = ()
+    #: Driver-level call sites that must be covered by caching advice.
+    required_sql_sites: tuple[tuple[type, str], ...] = ()
+    #: Classes whose nested lock scopes the lock-order pass analyses.
+    lock_classes: tuple[type, ...] = ()
+    #: Class names whose instances are per-request entropy (RC02), e.g.
+    #: the TPC-W ad rotator.
+    entropy_classes: frozenset[str] = frozenset()
+    #: Receiver type names through which SQL legitimately flows (the
+    #: woven driver); anything else executing SQL is RC03.
+    woven_sql_types: frozenset[str] = frozenset({"Statement"})
+    #: Extra classes the type-inference registry should know about.
+    helper_classes: tuple[type, ...] = ()
+    baseline_path: Path | None = None
+
+    _registry: TypeRegistry | None = field(default=None, repr=False)
+
+    @property
+    def registry(self) -> TypeRegistry:
+        if self._registry is None:
+            classes: list[type] = list(self.helper_classes)
+            classes.extend(self.surface_classes)
+            classes.extend(self.lock_classes)
+            for app in self.apps:
+                for _uri, servlet_cls, _w in app.interactions:
+                    classes.append(servlet_cls)
+                    classes.extend(
+                        base
+                        for base in servlet_cls.__mro__[1:]
+                        if base is not object
+                    )
+            self._registry = TypeRegistry(tuple(classes))
+        return self._registry
+
+    def servlet_classes(self) -> list[type]:
+        seen: set[type] = set()
+        ordered: list[type] = []
+        for app in self.apps:
+            for _uri, servlet_cls, _w in app.interactions:
+                if servlet_cls not in seen:
+                    seen.add(servlet_cls)
+                    ordered.append(servlet_cls)
+        return ordered
+
+
+def repo_root() -> Path:
+    """The checkout root, derived from the installed package location."""
+    import repro
+
+    return Path(repro.__file__).resolve().parents[2]
+
+
+def default_target() -> CheckTarget:
+    """The real repository: both benchmark apps, all woven aspects, the
+    full caching/cluster lock surface."""
+    from repro.apps.rubis import app as rubis_app
+    from repro.apps.rubis.base import RubisServlet
+    from repro.apps.tpcw import app as tpcw_app
+    from repro.apps.tpcw.base import AdRotator, TpcwServlet
+    from repro.cache.analysis_cache import AnalysisCache
+    from repro.cache.api import Cache
+    from repro.cache.aspects import (
+        JdbcConsistencyAspect,
+        ReadServletAspect,
+        WriteServletAspect,
+    )
+    from repro.cache.aspects_result import ResultCacheAspect
+    from repro.cache.dependency import DependencyTable
+    from repro.cache.page_cache import PageCache
+    from repro.cache.result_cache import ResultCache
+    from repro.cache.stats import CacheStats
+    from repro.cluster.bus import InvalidationBus
+    from repro.cluster.node import CacheNode
+    from repro.cluster.router import ClusterRouter
+    from repro.db.dbapi import Connection, ResultSet, Statement
+    from repro.db.engine import Database
+    from repro.locks import NamedRLock
+    from repro.obs.aspects import MetricsAspect, TracingAspect
+    from repro.obs.servlets import MetricsServlet, TracesServlet
+    from repro.web.servlet import HttpServlet
+
+    root = repo_root()
+    rubis = AppSpec(
+        name="rubis",
+        interactions=tuple(
+            (uri, cls, write)
+            for uri, (cls, write) in rubis_app.INTERACTIONS.items()
+        ),
+    )
+    tpcw = AppSpec(
+        name="tpcw",
+        interactions=tuple(
+            (uri, cls, write)
+            for uri, (cls, write) in tpcw_app.INTERACTIONS.items()
+        ),
+        uncacheable_uris=frozenset(tpcw_app.HIDDEN_STATE_URIS),
+    )
+    baseline = root / "staticcheck-baseline.json"
+    return CheckTarget(
+        repo_root=root,
+        apps=(rubis, tpcw),
+        aspect_classes=(
+            ReadServletAspect,
+            WriteServletAspect,
+            JdbcConsistencyAspect,
+            ResultCacheAspect,
+            TracingAspect,
+            MetricsAspect,
+        ),
+        caching_aspect_classes=(
+            ReadServletAspect,
+            WriteServletAspect,
+            JdbcConsistencyAspect,
+        ),
+        surface_classes=(
+            Statement,
+            Connection,
+            Cache,
+            ClusterRouter,
+            InvalidationBus,
+            CacheNode,
+            MetricsServlet,
+            TracesServlet,
+            NamedRLock,
+        ),
+        required_sql_sites=(
+            (Statement, "execute_query"),
+            (Statement, "execute_update"),
+            (Connection, "commit"),
+            (Connection, "rollback"),
+        ),
+        lock_classes=(
+            Cache,
+            PageCache,
+            DependencyTable,
+            AnalysisCache,
+            ResultCache,
+            CacheStats,
+            ClusterRouter,
+            InvalidationBus,
+            CacheNode,
+        ),
+        entropy_classes=frozenset({"AdRotator"}),
+        helper_classes=(
+            Statement,
+            Connection,
+            ResultSet,
+            Database,
+            RubisServlet,
+            TpcwServlet,
+            AdRotator,
+            HttpServlet,
+        ),
+        baseline_path=baseline if baseline.exists() else None,
+    )

@@ -7,6 +7,8 @@ fixture asserts no woven methods leak between tests.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.cache.autowebcache import AutoWebCache
@@ -15,6 +17,30 @@ from repro.db.dbapi import Connection, Statement
 from repro.web.container import ServletContainer
 from repro.web.http import HttpRequest, HttpResponse
 from repro.web.servlet import HttpServlet
+
+
+@pytest.fixture(scope="session", autouse=True)
+def lockwatch_session():
+    """Dynamic lockset mode (``REPRO_LOCKWATCH=1``, see `make
+    stress-lockwatch`): weave the lock-order recorder over NamedRLock
+    for the whole session and fail it if any test's real traffic takes
+    a rank-inverting or same-name-nested acquisition."""
+    if os.environ.get("REPRO_LOCKWATCH") != "1":
+        yield
+        return
+    from repro.staticcheck.lockwatch import LockWatchRecorder, watch_locks
+
+    recorder = LockWatchRecorder()
+    weaver = watch_locks(recorder)
+    try:
+        yield
+    finally:
+        weaver.unweave()
+    violations = recorder.snapshot_violations()
+    assert not violations, (
+        f"dynamic lock-order violations over {recorder.acquisitions} "
+        "acquisitions:\n" + "\n".join(v.describe() for v in violations)
+    )
 
 
 @pytest.fixture(autouse=True)

@@ -1,0 +1,1 @@
+"""Test fixtures that are importable packages (not data files)."""

@@ -1,0 +1,57 @@
+"""The badapp :class:`CheckTarget`: what the golden test runs the
+checker against.  Mirrors :func:`repro.staticcheck.target.default_target`
+in miniature, with no baseline (every finding stays active)."""
+
+from __future__ import annotations
+
+from repro.db.dbapi import Connection, ResultSet, Statement
+from repro.db.engine import Database
+from repro.staticcheck.target import AppSpec, CheckTarget, repo_root
+from repro.web.servlet import HttpServlet
+from tests.fixtures.badapp.aspects import (
+    BadCachingAspect,
+    GhostAspect,
+    RivalAspect,
+)
+from tests.fixtures.badapp.locks import BackwardsIndex, PageMirror, Till, Vault
+from tests.fixtures.badapp.servlets import (
+    AuditedCounter,
+    BackdoorReader,
+    GoodServlet,
+    LuckyNumber,
+    OrphanServlet,
+    ScanHeavy,
+)
+
+
+def badapp_target() -> CheckTarget:
+    interactions = (
+        ("/bad/counter", AuditedCounter, False),
+        ("/bad/lucky", LuckyNumber, False),
+        ("/bad/backdoor", BackdoorReader, False),
+        ("/bad/scan", ScanHeavy, False),
+        ("/bad/good", GoodServlet, False),
+        ("/bad/orphan", OrphanServlet, False),
+    )
+    return CheckTarget(
+        repo_root=repo_root(),
+        apps=(AppSpec(name="badapp", interactions=interactions),),
+        aspect_classes=(BadCachingAspect, GhostAspect, RivalAspect),
+        caching_aspect_classes=(BadCachingAspect,),
+        surface_classes=(Statement, Connection),
+        required_sql_sites=(
+            (Statement, "execute_query"),
+            (Statement, "execute_update"),
+            (Connection, "commit"),
+            (Connection, "rollback"),
+        ),
+        lock_classes=(Till, Vault, BackwardsIndex, PageMirror),
+        helper_classes=(
+            Statement,
+            Connection,
+            ResultSet,
+            Database,
+            HttpServlet,
+        ),
+        baseline_path=None,
+    )

@@ -1,0 +1,61 @@
+"""Seeded pointcut-coverage violations (PC01, PC02, PC03).
+
+- :class:`BadCachingAspect` is badapp's whole caching tier: it covers
+  the driver-level SQL sites and every ``BadServlet`` handler -- but its
+  type pattern deliberately misses ``OrphanServlet`` (PC02).
+- :class:`GhostAspect` advises a servlet that no longer exists (PC01).
+- :class:`RivalAspect` shares precedence 10 with BadCachingAspect and
+  also advises ``GoodServlet.do_get`` (PC03).
+"""
+
+from __future__ import annotations
+
+from repro.aop import Aspect, around
+from repro.aop.joinpoint import JoinPoint
+
+
+class BadCachingAspect(Aspect):
+    """badapp's caching advice; pass-through bodies, the pointcuts are
+    what the checker reads."""
+
+    precedence = 10
+
+    @around("execution(BadServlet+.do_get(..))")
+    def cache_read(self, joinpoint: JoinPoint) -> object:
+        return joinpoint.proceed()
+
+    @around("call(Statement.execute_query(..))")
+    def collect_reads(self, joinpoint: JoinPoint) -> object:
+        return joinpoint.proceed()
+
+    @around("call(Statement.execute_update(..))")
+    def collect_writes(self, joinpoint: JoinPoint) -> object:
+        return joinpoint.proceed()
+
+    @around("call(Connection.commit(..))")
+    def seal_on_commit(self, joinpoint: JoinPoint) -> object:
+        return joinpoint.proceed()
+
+    @around("call(Connection.rollback(..))")
+    def discard_on_rollback(self, joinpoint: JoinPoint) -> object:
+        return joinpoint.proceed()
+
+
+class GhostAspect(Aspect):
+    """PC01: its pointcut names a servlet that was deleted long ago."""
+
+    precedence = 40
+
+    @around("execution(RetiredServlet.do_refresh(..))")
+    def refresh_stale(self, joinpoint: JoinPoint) -> object:
+        return joinpoint.proceed()
+
+
+class RivalAspect(Aspect):
+    """PC03: equal precedence with BadCachingAspect on GoodServlet.do_get."""
+
+    precedence = 10
+
+    @around("execution(GoodServlet.do_get(..))")
+    def shadow_read(self, joinpoint: JoinPoint) -> object:
+        return joinpoint.proceed()

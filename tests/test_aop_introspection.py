@@ -1,0 +1,131 @@
+"""Weaver/pointcut introspection: the surfaces the static checker
+stands on, exercised directly.
+
+- ``Weaver.join_point_surface`` must enumerate the *original* method
+  objects even after weaving (the checker reads source off them);
+- ``Pointcut.explain`` must say why each candidate is accepted or
+  rejected, one line per sub-expression;
+- the pointcut parser must reject malformed patterns with errors that
+  point at the offending character.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aop import Aspect, around
+from repro.aop.joinpoint import JoinPoint
+from repro.aop.pointcut import MethodTarget, parse_pointcut
+from repro.aop.weaver import Weaver
+from repro.errors import PointcutSyntaxError
+
+pytestmark = pytest.mark.staticcheck
+
+
+class Servlet:
+    def do_get(self, request, response):
+        return "page"
+
+    def helper(self):
+        return 1
+
+
+class SubServlet(Servlet):
+    def do_get(self, request, response):
+        return "subpage"
+
+
+def target_of(cls, name: str) -> MethodTarget:
+    return MethodTarget(cls=cls, method_name=name, function=vars(cls)[name])
+
+
+class PassThrough(Aspect):
+    @around("execution(Servlet+.do_get(..))")
+    def advise(self, joinpoint: JoinPoint) -> object:
+        return joinpoint.proceed()
+
+
+def test_join_point_surface_lists_defined_methods():
+    surface = Weaver.join_point_surface([Servlet])
+    names = {mt.method_name for mt in surface}
+    assert names == {"do_get", "helper"}
+    assert all(mt.cls is Servlet for mt in surface)
+
+
+def test_join_point_surface_unwraps_woven_methods():
+    original = vars(SubServlet)["do_get"]
+    weaver = Weaver().add_aspect(PassThrough())
+    weaver.weave([SubServlet])
+    try:
+        woven = vars(SubServlet)["do_get"]
+        assert woven is not original  # precondition: weaving happened
+        surface = Weaver.join_point_surface([SubServlet])
+        functions = {mt.method_name: mt.function for mt in surface}
+        assert functions["do_get"] is original
+    finally:
+        weaver.unweave()
+
+
+def test_explain_reports_match():
+    pointcut = parse_pointcut("execution(Servlet+.do_get(..))")
+    text = pointcut.explain(target_of(SubServlet, "do_get"))
+    assert text == "matches: execution(Servlet+.do_get(..))"
+
+
+def test_explain_reports_each_failure_reason():
+    pointcut = parse_pointcut("execution(Servlet.do_post(..))")
+    text = pointcut.explain(target_of(SubServlet, "do_get"))
+    assert text.startswith("no match:")
+    assert "method 'do_get' != pattern 'do_post'" in text
+    assert "type pattern 'Servlet'" in text  # SubServlet, no '+' marker
+
+
+def test_explain_renders_composite_tree():
+    pointcut = parse_pointcut(
+        "execution(Servlet+.do_get(..)) "
+        "&& !cflowbelow(execution(Servlet+.do_get(..)))"
+    )
+    lines = pointcut.explain(target_of(SubServlet, "do_get")).splitlines()
+    assert len(lines) > 2
+    assert lines[0].startswith("matches:")
+    # Children are indented below the head line.
+    assert all(line.startswith("  ") for line in lines[1:])
+    assert any("dynamic" in line for line in lines)
+
+
+def test_parse_pointcut_passes_through_instances():
+    pointcut = parse_pointcut("execution(Servlet.do_get(..))")
+    assert parse_pointcut(pointcut) is pointcut
+
+
+def test_parse_pointcut_rejects_non_strings():
+    with pytest.raises(PointcutSyntaxError, match="got int"):
+        parse_pointcut(7)
+
+
+def test_parse_error_trailing_input():
+    with pytest.raises(PointcutSyntaxError, match="trailing input") as err:
+        parse_pointcut(
+            "execution(Servlet.do_get(..)) execution(Servlet.do_post(..))"
+        )
+    assert "^" in str(err.value)  # caret points at the offending offset
+
+
+def test_parse_error_character_class_in_method_pattern():
+    with pytest.raises(
+        PointcutSyntaxError, match="invalid character '\\['"
+    ) as err:
+        parse_pointcut("execution(Servlet.do_get[0-9](..))")
+    message = str(err.value)
+    assert "do_get" in message
+    assert "'*' wildcard only" in message
+
+
+def test_parse_error_missing_argument_list():
+    with pytest.raises(PointcutSyntaxError, match="argument list"):
+        parse_pointcut("execution(Servlet.do_get)")
+
+
+def test_parse_accepts_subtype_marker():
+    pointcut = parse_pointcut("execution(Servlet+.do_get(..))")
+    assert pointcut.matches(target_of(SubServlet, "do_get"))

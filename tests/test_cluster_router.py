@@ -7,6 +7,7 @@ from repro.cache.entry import QueryInstance
 from repro.cluster import ClusterAutoWebCache, ClusterRouter, make_cache_factory
 from repro.errors import ClusterError
 from repro.sql.template import templateize
+from repro.web.http import HttpRequest
 
 from tests.conftest import build_notes_app
 
@@ -128,6 +129,59 @@ class TestWriteUnion:
         _db, _container, awc = cluster_notes_app
         assert awc.router.process_write_request("/noop", []) == set()
         assert awc.stats.write_requests == 1  # still recorded
+
+
+class TestSoloWindows:
+    """Solo-computation staleness windows routed through the cluster."""
+
+    @staticmethod
+    def _read_instance(topic: str) -> QueryInstance:
+        template, values = templateize(
+            "SELECT id, topic, body, score FROM notes WHERE topic = ?",
+            (topic,),
+        )
+        return QueryInstance(template, values)
+
+    def test_bus_write_during_window_discards_insert(self, cluster_notes_app):
+        _db, _container, awc = cluster_notes_app
+        router = awc.router
+        request = HttpRequest("GET", "/view_topic", {"topic": "topic-0"})
+        key = request.cache_key()
+        window = router.begin_window(key)
+        try:
+            owner = router.node(router.owner_name(key))
+            assert key in owner.cache.open_flight_keys()
+            # A WHERE-less UPDATE broadcast on the bus intersects the
+            # pending read set; the window must catch it at insert.
+            template, values = templateize("UPDATE notes SET score = ?", (9,))
+            router.process_write_request("/w", [QueryInstance(template, values)])
+            router.insert(
+                request, "<stale>", [self._read_instance("topic-0")], window=window
+            )
+            assert window.stale
+            assert owner.cache.stats.stale_inserts == 1
+            assert len(router) == 0
+        finally:
+            router.end_window(window)
+        assert key not in router.node(router.owner_name(key)).cache.open_flight_keys()
+
+    def test_clean_window_inserts_normally(self, cluster_notes_app):
+        _db, _container, awc = cluster_notes_app
+        router = awc.router
+        request = HttpRequest("GET", "/view_topic", {"topic": "topic-1"})
+        key = request.cache_key()
+        window = router.begin_window(key)
+        try:
+            entry = router.insert(
+                request, "<fresh>", [self._read_instance("topic-1")], window=window
+            )
+            assert not window.stale
+            assert entry.key == key
+            assert len(router) == 1
+        finally:
+            router.end_window(window)
+        assert router.open_flights == 0
+        assert router.check(request) is entry
 
     def test_invalidate_key_routes_to_owner(self, cluster_notes_app):
         _db, container, awc = cluster_notes_app

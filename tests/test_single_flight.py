@@ -174,6 +174,47 @@ def test_invalidation_during_computation_forces_recompute():
         awc.uninstall()
 
 
+def test_write_during_solo_computation_discards_insert():
+    """Coalescing off: computations still run under a staleness window.
+
+    Regression test -- a write landing between a solo computation's
+    database reads and its insert used to be invisible (no flight to
+    buffer it, no dependency registrations to doom), so the stale page
+    was cached and served until the next write touching the same data.
+    """
+    _db, container, view = build_gated_app()
+    awc = AutoWebCache(coalesce=False)
+    awc.install(container.servlet_classes)
+    try:
+        assert awc.cache.coalesce is False
+        results: dict[str, str] = {}
+
+        def solo() -> None:
+            results["solo"] = container.get("/view", {"id": "0"}).body
+
+        thread = threading.Thread(target=solo)
+        thread.start()
+        assert view.entered.wait(timeout=5)  # read score=5, parked
+        assert awc.cache.open_flight_keys() == ["/view?id=0"]
+        # The write lands mid-computation; the parked page is stale.
+        response = container.post("/score", {"id": "0", "score": "6"})
+        assert response.status == 200
+        view.gate.set()
+        thread.join(timeout=10)
+        # The solo reader serves what it computed (equivalent to
+        # finishing just before the write) but must NOT cache it.
+        assert results["solo"] == "<p>x|5</p>"
+        assert awc.stats.stale_inserts == 1
+        assert awc.cache.pages.peek("/view?id=0") is None
+        assert awc.cache.open_flight_keys() == []
+        # The next read recomputes and caches the fresh page.
+        assert container.get("/view", {"id": "0"}).body == "<p>x|6</p>"
+        cached = awc.cache.pages.peek("/view?id=0")
+        assert cached is not None and "|6" in cached.body
+    finally:
+        awc.uninstall()
+
+
 def test_forced_miss_mode_disables_coalescing():
     _db, container, view = build_gated_app()
     view.gate.set()  # no parking needed here

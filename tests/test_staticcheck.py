@@ -1,0 +1,173 @@
+"""The consistency linter: golden run over the seeded badapp fixture,
+clean run over the real repository, baseline semantics, and the CLI.
+
+The golden test computes every expected line anchor by scanning the
+fixture source for the violating construct, so editing the fixture
+cannot silently drift the assertions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness.cli import main
+from repro.staticcheck import (
+    RULES,
+    Diagnostic,
+    Report,
+    default_target,
+    load_baseline,
+    run_check,
+)
+from tests.fixtures.badapp import badapp_target
+
+pytestmark = pytest.mark.staticcheck
+
+ALL_RULES = {"RC01", "RC02", "RC03", "RC04", "PC01", "PC02", "PC03", "LK01"}
+
+_FIXTURE = Path(__file__).parent / "fixtures" / "badapp"
+
+
+def line_of(file: Path, needle: str, occurrence: int = 1) -> int:
+    """1-based line of the Nth line containing ``needle``."""
+    hits = [
+        i
+        for i, text in enumerate(file.read_text().splitlines(), start=1)
+        if needle in text
+    ]
+    assert len(hits) >= occurrence, f"{needle!r} x{occurrence} not in {file}"
+    return hits[occurrence - 1]
+
+
+def test_rule_catalogue_is_complete():
+    assert set(RULES) == ALL_RULES
+    for rule in RULES.values():
+        assert rule.severity in ("error", "warning")
+        assert rule.hint
+
+
+def test_badapp_reports_every_rule_with_correct_anchors():
+    report = run_check(badapp_target(), baseline_path=None)
+    assert report.exit_code == 1
+    assert report.rule_ids() == ALL_RULES
+    assert not report.suppressed and not report.stale_baseline
+
+    servlets = _FIXTURE / "servlets.py"
+    aspects = _FIXTURE / "aspects.py"
+    locks = _FIXTURE / "locks.py"
+    expected = {
+        ("RC01", "AuditedCounter.do_get"):
+            (servlets, "statement.execute_update(", 1),
+        ("RC02", "LuckyNumber.do_get"):
+            (servlets, "random.randrange", 1),
+        ("RC03", "BackdoorReader.do_get"):
+            (servlets, "self._database.query(", 1),
+        # ScanHeavy holds the 2nd execute_query call site in the file
+        # (AuditedCounter has the 1st, GoodServlet/Orphan the 3rd/4th).
+        ("RC04", "ScanHeavy.do_get"):
+            (servlets, "statement.execute_query(", 2),
+        ("PC01", "GhostAspect.refresh_stale"):
+            (aspects, "execution(RetiredServlet.do_refresh(..))", 1),
+        ("PC02", "OrphanServlet.do_get"):
+            (servlets, "def do_get", 6),
+        ("PC03", "BadCachingAspect.cache_read|RivalAspect.shadow_read"):
+            (aspects, "execution(GoodServlet.do_get(..))", 1),
+    }
+    by_key = {(d.rule, d.symbol): d for d in report.active}
+    assert len(report.active) == 9  # one per rule, plus a second LK01
+    assert len(by_key) == 9
+    for (rule, symbol), (file, needle, occurrence) in expected.items():
+        diagnostic = by_key[(rule, symbol)]
+        relative = file.relative_to(Path(__file__).parents[1]).as_posix()
+        assert diagnostic.file == relative
+        assert diagnostic.line == line_of(file, needle, occurrence), (
+            f"{rule} anchored at {diagnostic.file}:{diagnostic.line}, "
+            f"expected the line of {needle!r}"
+        )
+
+    lk = sorted(
+        (d for d in report.active if d.rule == "LK01"),
+        key=lambda d: d.line,
+    )
+    assert [d.symbol for d in lk] == ["Vault.deposit", "BackwardsIndex.rebuild"]
+    assert "badapp-till -> badapp-vault -> badapp-till" in lk[0].message
+    assert lk[0].line == line_of(locks, "self.till.reconcile()")
+    assert "'page-store'" in lk[1].message
+    assert lk[1].line == line_of(locks, "self._mirror.push(")
+
+
+def test_real_repo_is_clean_after_baseline():
+    report = run_check(default_target())
+    assert report.active == []
+    assert report.stale_baseline == []
+    assert report.exit_code == 0
+    # The suppressions are the justified RC04 full-scan templates.
+    assert {d.rule for d, _entry in report.suppressed} == {"RC04"}
+
+
+def test_baseline_suppresses_by_key_and_reports_stale(tmp_path):
+    baseline_file = tmp_path / "baseline.json"
+    baseline_file.write_text(json.dumps({
+        "entries": [
+            {
+                "rule": "RC04",
+                "file": "tests/fixtures/badapp/servlets.py",
+                "symbol": "ScanHeavy.do_get",
+                "justification": "seeded",
+            },
+            {
+                "rule": "RC01",
+                "file": "tests/fixtures/badapp/servlets.py",
+                "symbol": "NoSuchServlet.do_get",
+                "justification": "stale on purpose",
+            },
+        ]
+    }))
+    report = run_check(badapp_target(), baseline_path=baseline_file)
+    assert report.exit_code == 1  # other findings stay active
+    assert {d.rule for d, _entry in report.suppressed} == {"RC04"}
+    assert [e.symbol for e in report.stale_baseline] == ["NoSuchServlet.do_get"]
+    assert "RC04" not in {d.rule for d in report.active}
+
+
+def test_report_build_orders_and_serialises():
+    diagnostics = [
+        Diagnostic(rule="LK01", file="b.py", line=9, symbol="X.y", message="m2"),
+        Diagnostic(rule="RC01", file="a.py", line=3, symbol="A.b", message="m1"),
+    ]
+    report = Report.build(diagnostics, ())
+    assert [d.file for d in report.active] == ["a.py", "b.py"]
+    payload = report.to_json()
+    assert payload["ok"] is False
+    assert len(payload["active"]) == 2
+    assert payload["active"][0]["rule"] == "RC01"
+    assert payload["active"][0]["severity"] == RULES["RC01"].severity
+    text = report.render_text()
+    assert "a.py:3" in text and "b.py:9" in text
+
+
+def test_load_baseline_missing_file(tmp_path):
+    assert load_baseline(tmp_path / "nope.json") == ()
+
+
+def test_cli_check_is_clean_on_repo(capsys):
+    assert main(["check"]) == 0
+    out = capsys.readouterr().out
+    assert "staticcheck: 0 active" in out
+
+
+def test_cli_check_json_and_artifact(tmp_path, capsys):
+    out_file = tmp_path / "nested" / "staticcheck.json"
+    status = main(
+        ["check", "--json", "--no-baseline", "--json-out", str(out_file)]
+    )
+    assert status == 1  # without the baseline the RC04 findings are active
+    printed = json.loads(capsys.readouterr().out)
+    written = json.loads(out_file.read_text())
+    assert printed == written
+    assert {d["rule"] for d in printed["active"]} == {"RC04"}
+    assert len(printed["active"]) == 7
+    assert printed["ok"] is False
