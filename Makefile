@@ -1,6 +1,6 @@
 ENV := PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: test stress stress-lockwatch check bench bench-cluster bench-invalidation bench-obs differential results
+.PHONY: test stress stress-lockwatch check bench bench-cluster bench-invalidation bench-fragments bench-obs differential results
 
 # Tier-1: the full unit/integration/property suite (what CI gates on).
 test:
@@ -44,6 +44,11 @@ bench-cluster:
 # templates (writes benchmarks/results/invalidation_scaling.txt).
 bench-invalidation:
 	$(ENV) timeout 600 python -m pytest -q benchmarks/test_invalidation_scaling.py
+
+# Fragment ablation: whole-page vs fragment caching on TPC-W's
+# hidden-state pages (writes benchmarks/results/fragment_ablation.txt).
+bench-fragments:
+	$(ENV) timeout 600 python -m pytest -q benchmarks/test_fragment_ablation.py
 
 # Observability overhead: baseline vs woven-disabled vs woven-enabled
 # on the hot cache-hit path (writes benchmarks/results/obs_overhead.txt).

@@ -8,9 +8,63 @@ hidden state, e.g. TPC-W ad banners).
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.web.http import HttpResponse
+
+
+class PageComposer:
+    """Fragment/hole boundaries for ESI-style fragment caching.
+
+    Servlets declare the *structure* of a page -- which spans are
+    cacheable fragments and which are per-request holes -- by routing
+    the rendering callables through this class.  Unwoven, both methods
+    are pure pass-throughs: the page renders byte-identically to an
+    inline implementation.  The fragment-caching aspect weaves
+    ``fragment``/``hole`` to add per-fragment cache checks, inserts and
+    hole bookkeeping with zero further application edits (the same
+    obliviousness contract as the servlet-level aspects).
+
+    Methods live on a class (not module functions) because the weaver
+    wraps methods found in ``vars(cls)``; the module-level helpers below
+    delegate to a singleton so application code keeps a functional feel.
+    """
+
+    def fragment(
+        self,
+        response: HttpResponse,
+        name: str,
+        params: dict[str, str],
+        render: Callable[[], None],
+    ) -> None:
+        """Render one cacheable fragment identified by ``name``+``params``."""
+        render()
+
+    def hole(
+        self,
+        response: HttpResponse,
+        name: str,
+        render: Callable[[], None],
+    ) -> None:
+        """Render one uncacheable hole (per-request state, e.g. ad banners)."""
+        render()
+
+
+#: Singleton the module-level helpers (and the weaver) target.
+composer = PageComposer()
+
+
+def fragment(
+    response: HttpResponse,
+    name: str,
+    params: dict[str, str],
+    render: Callable[[], None],
+) -> None:
+    composer.fragment(response, name, params, render)
+
+
+def hole(response: HttpResponse, name: str, render: Callable[[], None]) -> None:
+    composer.hole(response, name, render)
 
 
 def begin_page(response: HttpResponse, title: str) -> None:

@@ -1,9 +1,34 @@
-"""Shared base class for RUBiS servlets."""
+"""Shared base class (and catalogue helper) for RUBiS servlets."""
 
 from __future__ import annotations
 
 from repro.db.dbapi import Connection, Statement
 from repro.web.servlet import HttpServlet
+
+
+class CategoryCatalogue:
+    """The unfiltered category/region listings several pages share.
+
+    BrowseCategories, BrowseCategoriesInRegion and
+    SelectCategoryToSellItem all render the full (unindexable) category
+    scan; hosting the query here gives the pages' fragment declarations
+    one shared data source instead of three copies of the SQL.
+    """
+
+    def __init__(self, connection: Connection) -> None:
+        self._connection = connection
+
+    def categories(self) -> list[dict]:
+        result = self._connection.create_statement().execute_query(
+            "SELECT id, name FROM categories ORDER BY name"
+        )
+        return result.all_dicts()
+
+    def regions(self) -> list[dict]:
+        result = self._connection.create_statement().execute_query(
+            "SELECT id, name FROM regions ORDER BY name"
+        )
+        return result.all_dicts()
 
 
 class RubisServlet(HttpServlet):
@@ -15,6 +40,7 @@ class RubisServlet(HttpServlet):
 
     def __init__(self, connection: Connection) -> None:
         self._connection = connection
+        self._catalogue = CategoryCatalogue(connection)
 
     def statement(self) -> Statement:
         return self._connection.create_statement()

@@ -11,7 +11,7 @@ their low hit rates (Figure 16, footnote 4).
 
 from __future__ import annotations
 
-from repro.apps.html import begin_page, end_page
+from repro.apps.html import begin_page, end_page, fragment
 from repro.apps.rubis.base import RubisServlet
 from repro.errors import ServletError
 from repro.web.http import HttpRequest, HttpResponse
@@ -184,22 +184,29 @@ class Sell(RubisServlet):
 
 
 class SelectCategoryToSellItem(RubisServlet):
-    """Category chooser for sellers."""
+    """Category chooser for sellers.
+
+    The chooser list is a fragment over the shared catalogue scan (the
+    same data as BrowseCategories' table, different markup)."""
 
     def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
-        statement = self.statement()
-        result = statement.execute_query(
-            "SELECT id, name FROM categories ORDER BY name"
-        )
         begin_page(response, "RUBiS: Select a category")
+        fragment(
+            response,
+            "rubis/category_options",
+            {},
+            lambda: self._write_options(response),
+        )
+        end_page(response)
+
+    def _write_options(self, response) -> None:
         response.write("<ul>")
-        for row in result.all_dicts():
+        for row in self._catalogue.categories():
             response.write(
                 f"<li><a href='/rubis/sell_item_form?category={row['id']}'>"
                 f"{row['name']}</a></li>"
             )
         response.write("</ul>")
-        end_page(response)
 
 
 class SellItemForm(RubisServlet):

@@ -65,12 +65,21 @@ class TpcwApplication:
 def build_tpcw(
     dataset: TpcwDataset | None = None, ad_seed: int | None = None
 ) -> TpcwApplication:
-    """Create, populate and route a TPC-W instance."""
+    """Create, populate and route a TPC-W instance.
+
+    The ad rotator is seeded from the dataset seed unless ``ad_seed``
+    overrides it: an unseeded rotator (OS entropy) made differential
+    and stress runs non-reproducible across processes, since the only
+    source of nondeterminism in the whole application was the banner
+    draw.
+    """
     dataset = dataset or TpcwDataset()
     database = Database("tpcw")
     create_tpcw_schema(database)
     populate_tpcw(database, dataset)
     connection = connect(database)
+    if ad_seed is None:
+        ad_seed = dataset.seed
     ads = AdRotator(ad_seed, n_items=dataset.n_items)
     container = ServletContainer()
     for uri, (servlet_class, _is_write) in INTERACTIONS.items():
@@ -87,12 +96,17 @@ def build_tpcw(
 def standard_semantics(use_best_seller_window: bool = False) -> SemanticsRegistry:
     """The paper's TPC-W cache configuration.
 
-    Always marks the hidden-state pages uncacheable; optionally enables
-    the BestSeller 30-second window (the Figure 15 optimisation).
+    Always marks the hidden-state pages whole-page uncacheable;
+    optionally enables the BestSeller 30-second window (the Figure 15
+    optimisation).  The hidden-state pages are marked *fragmented*
+    rather than plainly uncacheable: their servlets declare fragment
+    boundaries, so with the fragment aspect installed their cacheable
+    spans (greeting, item links, search form) are cached per-fragment
+    while the ad banner stays a per-request hole.
     """
     registry = SemanticsRegistry()
     for uri in HIDDEN_STATE_URIS:
-        registry.mark_uncacheable(uri)
+        registry.mark_fragmented(uri)
     if use_best_seller_window:
         registry.set_ttl_window("/tpcw/best_sellers", BEST_SELLER_WINDOW_SECONDS)
     return registry

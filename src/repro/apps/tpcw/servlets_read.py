@@ -7,8 +7,9 @@ AdminRequest.
 
 from __future__ import annotations
 
-from repro.apps.html import begin_page, end_page, write_table
+from repro.apps.html import begin_page, end_page, fragment, hole, write_table
 from repro.apps.tpcw.base import TpcwServlet
+from repro.db.dbapi import Statement
 from repro.errors import ServletError
 from repro.web.http import HttpRequest, HttpResponse
 from repro.web.servlet import require_parameter
@@ -24,34 +25,74 @@ class Home(TpcwServlet):
 
     The banner and the randomly drawn promotional items make this page
     non-reproducible from the request alone: hidden state.  The paper
-    marks HomeInteraction uncacheable for exactly this reason.
+    marks HomeInteraction uncacheable for exactly this reason; the
+    fragment declarations below recover the cacheable spans -- the
+    greeting (pure function of ``c_id``) and each promoted item's link
+    (pure function of ``i_id``) -- while the banner and the random item
+    *selection* stay holes, recomputed per request.
     """
 
     def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
         c_id = request.get_int("c_id")
         statement = self.statement()
         begin_page(response, "TPC-W: Welcome to the online bookstore")
-        response.write(self._ads.next_banner())
+        hole(
+            response,
+            "tpcw/ad",
+            lambda: response.write(self._ads.next_banner()),
+        )
         if c_id is not None:
-            customer = statement.execute_query(
-                "SELECT c_fname, c_lname FROM customer WHERE c_id = ?", (c_id,)
+            fragment(
+                response,
+                "tpcw/greeting",
+                {"c_id": str(c_id)},
+                lambda: self._write_greeting(response, statement, c_id),
             )
-            if customer.next():
-                response.write(
-                    f"<p>Hello {customer.get('c_fname')} "
-                    f"{customer.get('c_lname')}!</p>"
-                )
         response.write("<h2>Today's picks</h2><ul>")
-        for i_id in self._ads.promotional_items():
-            title = statement.execute_query(
-                "SELECT i_title FROM item WHERE i_id = ?", (i_id,)
-            )
-            response.write(
-                f"<li><a href='/tpcw/product_detail?i_id={i_id}'>"
-                f"{title.scalar()}</a></li>"
-            )
+        hole(
+            response,
+            "tpcw/promos",
+            lambda: self._write_promos(response, statement),
+        )
         response.write("</ul>")
         end_page(response)
+
+    def _write_greeting(
+        self, response, statement: Statement, c_id: int
+    ) -> None:
+        customer = statement.execute_query(
+            "SELECT c_fname, c_lname FROM customer WHERE c_id = ?", (c_id,)
+        )
+        if customer.next():
+            response.write(
+                f"<p>Hello {customer.get('c_fname')} "
+                f"{customer.get('c_lname')}!</p>"
+            )
+
+    def _write_promos(self, response, statement: Statement) -> None:
+        # The *selection* is hidden state (a random draw), but each
+        # selected item's link is a pure function of its id: a
+        # cacheable fragment inside the hole.
+        for i_id in self._ads.promotional_items():
+            fragment(
+                response,
+                "tpcw/item_link",
+                {"i_id": str(i_id)},
+                lambda i_id=i_id: self._write_item_link(
+                    response, statement, i_id
+                ),
+            )
+
+    def _write_item_link(
+        self, response, statement: Statement, i_id: int
+    ) -> None:
+        title = statement.execute_query(
+            "SELECT i_title FROM item WHERE i_id = ?", (i_id,)
+        )
+        response.write(
+            f"<li><a href='/tpcw/product_detail?i_id={i_id}'>"
+            f"{title.scalar()}</a></li>"
+        )
 
 
 class NewProducts(TpcwServlet):
@@ -163,18 +204,33 @@ class ProductDetail(TpcwServlet):
 
 
 class SearchRequest(TpcwServlet):
-    """Search form with a *random ad banner* (hidden state, uncacheable)."""
+    """Search form with a *random ad banner* (hidden state).
+
+    The banner is a hole; the (static) form is a cacheable fragment.
+    """
 
     def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
         begin_page(response, "TPC-W: Search")
-        response.write(self._ads.next_banner())
+        hole(
+            response,
+            "tpcw/ad",
+            lambda: response.write(self._ads.next_banner()),
+        )
+        fragment(
+            response,
+            "tpcw/search_form",
+            {},
+            lambda: self._write_form(response),
+        )
+        end_page(response)
+
+    def _write_form(self, response) -> None:
         response.write(
             "<form action='/tpcw/search_results'>"
             "<select name='type'><option>author</option>"
             "<option>title</option><option>subject</option></select>"
             "<input name='search'><input type='submit'></form>"
         )
-        end_page(response)
 
 
 class SearchResults(TpcwServlet):

@@ -26,6 +26,7 @@ from repro.cache.analysis import InvalidationPolicy, QueryAnalysisEngine
 from repro.cache.analysis_cache import AnalysisCache
 from repro.cache.entry import PageEntry, QueryInstance
 from repro.cache.flight import Flight
+from repro.cache.fragments import FragmentContainment
 from repro.cache.invalidation import Invalidator
 from repro.cache.page_cache import PageCache
 from repro.cache.replacement import make_policy
@@ -77,6 +78,9 @@ class Cache:
             invalidation_policy,
             indexed=indexed_invalidation,
         )
+        #: Which cached pages embed which cached fragments: dooming a
+        #: fragment must doom every entry assembled from its text.
+        self.fragments = FragmentContainment()
         # -- cross-structure coordination (single-flight + staleness window)
         self._lock = NamedRLock("cache-facade")
         self._flights: dict[str, Flight] = {}
@@ -108,17 +112,21 @@ class Cache:
         Returns the entry on a hit, None on a miss (with the miss reason
         recorded against the request's URI).
         """
+        return self.check_key(request.cache_key(), request.uri)
+
+    def check_key(self, key: str, stat_uri: str) -> PageEntry | None:
+        """Cache check by key (pages *and* fragments; statistics bucket
+        under ``stat_uri``)."""
         if self.forced_miss:
             # Overhead-measurement mode: pay the lookup, report a miss,
             # execute the request normally (Section 6, TPC-W overhead).
-            self.stats.record_miss(request.uri, "cold")
+            self.stats.record_miss(stat_uri, "cold")
             return None
-        key = request.cache_key()
         entry, reason = self.pages.lookup(key, self.clock())
         if entry is not None:
-            self.stats.record_hit(request.uri, semantic=entry.semantic)
+            self.stats.record_hit(stat_uri, semantic=entry.semantic)
             return entry
-        self.stats.record_miss(request.uri, reason)
+        self.stats.record_miss(stat_uri, reason)
         return None
 
     def insert(
@@ -128,6 +136,8 @@ class Cache:
         reads: list[QueryInstance],
         status: int = 200,
         window: Flight | None = None,
+        fragments: tuple[str, ...] = (),
+        guard_reads: tuple[QueryInstance, ...] = (),
     ) -> PageEntry:
         """Cache the page generated for ``request`` (cache insert).
 
@@ -140,35 +150,76 @@ class Cache:
         request finishing just before the write) and the flight is
         marked stale so waiters recompute.
         """
+        entry, _stored = self.insert_key(
+            request.cache_key(),
+            body,
+            reads,
+            status=status,
+            window=window,
+            ttl_uri=request.uri,
+            fragments=fragments,
+            guard_reads=guard_reads,
+        )
+        return entry
+
+    def insert_key(
+        self,
+        key: str,
+        body: str,
+        reads: list[QueryInstance],
+        status: int = 200,
+        window: Flight | None = None,
+        ttl_uri: str | None = None,
+        fragments: tuple[str, ...] = (),
+        guard_reads: tuple[QueryInstance, ...] = (),
+    ) -> tuple[PageEntry, bool]:
+        """Key-level insert shared by pages and fragments.
+
+        ``ttl_uri`` resolves the semantic TTL window (fragments pass
+        their stat URI so per-fragment windows and the default TTL
+        apply).  ``fragments`` are the containment edges of the entry:
+        cached fragment bodies this body embeds.  ``guard_reads`` extend
+        the insert-time staleness check *without* becoming dependency
+        registrations: an embedded fragment's dependencies are carried
+        by the fragment entry, but a write that doomed the fragment
+        while this body was being computed doomed this body too, so the
+        guard must see them.
+
+        Returns ``(entry, stored)``; ``stored`` is False when the
+        staleness check discarded the insert.
+        """
         now = self.clock()
-        ttl = self.semantics.ttl_for(request.uri)
+        ttl = self.semantics.ttl_for(ttl_uri) if ttl_uri is not None else None
         entry = PageEntry(
-            key=request.cache_key(),
+            key=key,
             body=body,
             status=status,
             dependencies=tuple(reads),
             created_at=now,
             expires_at=(now + ttl) if ttl is not None else None,
             semantic=ttl is not None,
+            fragments=tuple(fragments),
         )
+        guard = list(reads) + list(guard_reads)
         with self._lock:
             flight = self._flights.get(entry.key)
             if flight is not None and not flight.stale:
-                if self._overlapping_write(flight, list(reads)):
+                if self._overlapping_write(flight, guard):
                     flight.stale = True
             if window is not None and not window.stale:
-                if self._overlapping_write(window, list(reads)):
+                if self._overlapping_write(window, guard):
                     window.stale = True
             if (flight is not None and flight.stale) or (
                 window is not None and window.stale
             ):
                 self.stats.record_stale_insert()
-                return entry
+                return entry, False
             evicted = self.pages.insert(entry)
+            self.fragments.register(entry.key, entry.fragments)
             self.stats.record_insert(evictions=len(evicted))
             if flight is not None:
                 flight.entry = entry
-        return entry
+        return entry, True
 
     def _overlapping_write(
         self, flight: Flight, reads: list[QueryInstance]
@@ -323,6 +374,12 @@ class Cache:
                 self._recent_writes.extend((seq, write) for write in writes)
         doomed = self.invalidator.process_writes(writes)
         if doomed:
+            # Containment closure: entries assembled from a doomed
+            # fragment's text are stale copies of it -- doom them too.
+            for key in self.fragments.containing(doomed):
+                if self.pages.invalidate(key):
+                    self.stats.record_invalidated()
+                doomed.add(key)
             # A doomed key with an open flight: the invalidation must
             # win over the in-flight computation's eventual insert.
             self._mark_flights_stale(doomed)
@@ -346,6 +403,13 @@ class Cache:
         removed = self.pages.invalidate(key)
         if removed:
             self.stats.record_invalidated()
+        # A doomed fragment dooms every entry embedding its text.
+        containers = self.fragments.containing({key})
+        if containers:
+            self._mark_flights_stale(containers)
+            for container in containers:
+                if self.pages.invalidate(container):
+                    self.stats.record_invalidated()
         return removed
 
     def clear(self) -> None:

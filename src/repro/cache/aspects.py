@@ -155,8 +155,23 @@ class ReadServletAspect(Aspect):
             # treat the page as uncacheable for this round.
             self.cache.process_write_request(request.uri, context.writes)
             return
+        if context.has_hole:
+            # A declared hole rendered into this body: it embeds
+            # per-request state, so the whole page must never be cached
+            # even if the URI was not marked uncacheable (the
+            # hidden-state trap fragment declarations now close).  The
+            # fragments cached their own spans; only the stitched whole
+            # is discarded.
+            self.cache.stats.record_hole_skip()
+            return
         self.cache.insert(
-            request, response.body, context.reads, response.status, window=window
+            request,
+            response.body,
+            context.reads,
+            response.status,
+            window=window,
+            fragments=tuple(context.fragment_keys),
+            guard_reads=tuple(context.fragment_reads),
         )
 
 

@@ -1,0 +1,204 @@
+"""Fragment-granular caching woven at the template layer.
+
+Whole-page caching loses on pages with hidden per-request state: the
+paper marks TPC-W's Home and SearchRequest uncacheable outright because
+their ad banners change per request (Section 4.3, Figure 17).  Fragment
+caching -- the successor the Mertz & Nunes survey identifies -- splits
+such pages into cacheable *fragments* and uncacheable *holes*:
+
+- servlets declare the structure through
+  :class:`repro.apps.html.PageComposer` (pure pass-through unwoven);
+- :class:`FragmentCacheAspect` advises ``PageComposer.fragment`` with
+  the same check/coalesce/insert protocol
+  :class:`~repro.cache.aspects.ReadServletAspect` applies to pages,
+  keyed by ``frag://name?params``, and advises ``PageComposer.hole`` to
+  mark every enclosing context as hole-bearing (so nothing containing a
+  hole is ever cached whole);
+- assembly is simply the page render: cached fragment text is written
+  into the response at its natural position, holes recompute, and the
+  page body (and its eventual ``Content-Length``, which the WSGI
+  adapter derives from the final body) reflects the substitution.
+
+Dependency granularity: a fragment entry's dependencies are its own
+reads *plus* its embedded fragments' dependencies, so serving a
+fragment hit hands the enclosing computation complete staleness-guard
+information in one lookup.  Page entries stay lean -- their own reads
+only -- with containment edges (``PageEntry.fragments``) closing the
+gap: a write dooms fragments, and the containment closure dooms every
+entry assembled from a doomed fragment's text.
+
+No pointcut here captures servlet handlers, so precedence only has to
+order this aspect among the JDBC/observability layers on the composer
+join points; 15 keeps it between the servlet aspects (10) and the JDBC
+collector (20), and distinct from every registered precedence (PC03).
+"""
+
+from __future__ import annotations
+
+from repro.aop import Aspect, around
+from repro.aop.joinpoint import JoinPoint
+from repro.cache.consistency import ConsistencyCollector, RequestContext
+from repro.cache.entry import PageEntry
+from repro.cache.flight import Flight
+from repro.cache.fragments import fragment_key, fragment_stat_uri
+from repro.web.http import HttpResponse
+
+#: Every fragment render, nested ones included (no ``cflowbelow``
+#: guard: each nesting level is its own cache entry).
+FRAGMENT_POINTCUT = "execution(PageComposer.fragment(..))"
+#: Every hole render.
+HOLE_POINTCUT = "execution(PageComposer.hole(..))"
+
+
+class FragmentCacheAspect(Aspect):
+    """Cache checks and inserts around declared page fragments."""
+
+    precedence = 15
+
+    #: How many failed flights a waiter rides before computing solo
+    #: (same policy as the page-level read aspect).
+    max_flight_attempts = 3
+
+    def __init__(self, cache, collector: ConsistencyCollector) -> None:
+        self.cache = cache
+        self.collector = collector
+
+    @around(FRAGMENT_POINTCUT)
+    def cache_fragment(self, joinpoint: JoinPoint) -> None:
+        response, name, params = _fragment_args(joinpoint)
+        key = fragment_key(name, params)
+        stat_uri = fragment_stat_uri(name)
+        entry = self.cache.check_key(key, stat_uri)
+        if entry is not None:
+            self._serve(response, key, entry)
+            return
+        if not self.cache.coalesce:
+            self._render_solo(joinpoint, response, key, stat_uri)
+            return
+        for _attempt in range(self.max_flight_attempts):
+            flight, is_leader = self.cache.join_flight(key)
+            if is_leader:
+                try:
+                    self._render_and_insert(joinpoint, response, key, stat_uri)
+                finally:
+                    self.cache.finish_flight(flight)
+                return
+            entry = self.cache.wait_flight(flight)
+            if entry is not None:
+                self._serve(response, key, entry)
+                self.cache.stats.record_coalesced(stat_uri)
+                return
+            # Leader failed or the fragment was invalidated in flight:
+            # loop -- re-join (a new leader may already exist).
+        self._render_solo(joinpoint, response, key, stat_uri)
+
+    def _serve(self, response: HttpResponse, key: str, entry: PageEntry) -> None:
+        """Write a cached fragment into the page under construction.
+
+        Body text only -- a cached fragment must never replay response
+        headers or cookies into the assembling response (the PR-1
+        header rule, re-applied at fragment granularity: Set-Cookie or
+        trace headers captured at fill time are per-request state).
+        The enclosing computation absorbs the entry's dependencies --
+        complete by construction, nested fragments included -- as guard
+        information, plus the containment edge.
+        """
+        response.write(entry.body)
+        parent = self.collector.current()
+        if parent is not None and parent.is_read:
+            parent.fragment_keys.append(key)
+            parent.fragment_reads.extend(entry.dependencies)
+
+    def _render_solo(
+        self,
+        joinpoint: JoinPoint,
+        response: HttpResponse,
+        key: str,
+        stat_uri: str,
+    ) -> None:
+        """Compute without a flight, under a staleness window (the same
+        write-racing-computation hole the page path closes)."""
+        window = self.cache.begin_window(key)
+        try:
+            self._render_and_insert(joinpoint, response, key, stat_uri, window)
+        finally:
+            self.cache.end_window(window)
+
+    def _render_and_insert(
+        self,
+        joinpoint: JoinPoint,
+        response: HttpResponse,
+        key: str,
+        stat_uri: str,
+        window: Flight | None = None,
+    ) -> None:
+        """Miss path: render the fragment, collect its reads, insert."""
+        context = self.collector.begin_fragment(key)
+        mark = response.mark()
+        try:
+            joinpoint.proceed()
+        finally:
+            self.collector.end_fragment()
+        stored = False
+        if not (context.aborted or context.has_hole or context.writes):
+            _entry, stored = self.cache.insert_key(
+                key,
+                response.body_since(mark),
+                context.reads + context.fragment_reads,
+                window=window,
+                ttl_uri=stat_uri,
+                fragments=tuple(context.fragment_keys),
+            )
+        elif context.has_hole:
+            self.cache.stats.record_hole_skip()
+        self._merge(context, key, stored)
+
+    def _merge(self, context: RequestContext, key: str, stored: bool) -> None:
+        """Fold a finished fragment computation into its enclosing one.
+
+        Stored: the parent needs the containment edge plus the entry's
+        full dependency set as guard information (a write landing while
+        the parent is still rendering dooms this text, so the parent's
+        insert-time staleness check must see it).
+
+        Not stored (aborted, hole-bearing, wrote, or discarded by the
+        staleness check): the fragment's text is part of the parent's
+        body with no entry of its own backing it, so its reads become
+        the parent's *own* dependencies -- and any nested containment
+        edges climb to the parent.
+        """
+        parent = context.parent
+        if parent is None:
+            if context.writes:
+                # Root fragment (uncacheable page, no enclosing
+                # context) that wrote: invalidation must still run.
+                self.cache.process_write_request(key, context.writes)
+            return
+        if stored:
+            parent.fragment_keys.append(key)
+            parent.fragment_reads.extend(context.reads)
+            parent.fragment_reads.extend(context.fragment_reads)
+        else:
+            parent.reads.extend(context.reads)
+            parent.fragment_reads.extend(context.fragment_reads)
+            parent.fragment_keys.extend(context.fragment_keys)
+        parent.writes.extend(context.writes)
+        if context.aborted:
+            parent.aborted = True
+
+    @around(HOLE_POINTCUT)
+    def mark_hole(self, joinpoint: JoinPoint) -> None:
+        """A hole renders per-request state: poison every enclosing
+        context against whole-body caching, then render normally."""
+        self.collector.mark_hole()
+        joinpoint.proceed()
+
+
+def _fragment_args(joinpoint: JoinPoint) -> tuple[HttpResponse, str, dict]:
+    """Extract (response, name, params) from a fragment() call."""
+    args = joinpoint.args
+    if len(args) < 3:  # pragma: no cover - defensive
+        raise TypeError(
+            f"{joinpoint.signature} does not look like a fragment render"
+        )
+    return args[0], args[1], args[2]

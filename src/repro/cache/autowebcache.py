@@ -28,6 +28,7 @@ from repro.cache.aspects import (
     ReadServletAspect,
     WriteServletAspect,
 )
+from repro.cache.aspects_fragment import FragmentCacheAspect
 from repro.cache.consistency import ConsistencyCollector
 from repro.cache.semantics import SemanticsRegistry
 from repro.db.dbapi import Connection, Statement
@@ -49,6 +50,7 @@ class AutoWebCache:
         coalesce: bool = True,
         flight_timeout: float = 30.0,
         indexed_invalidation: bool = True,
+        fragments: bool = True,
     ) -> None:
         self.cache = Cache(
             invalidation_policy=policy,
@@ -66,6 +68,13 @@ class AutoWebCache:
         self.read_aspect = ReadServletAspect(self.cache, self.collector)
         self.write_aspect = WriteServletAspect(self.cache, self.collector)
         self.jdbc_aspect = JdbcConsistencyAspect(self.cache, self.collector)
+        #: Fragment-granular caching over declared PageComposer
+        #: boundaries; ``fragments=False`` is the whole-page ablation
+        #: (declared boundaries render inline, nothing fragment-cached).
+        self.fragments_enabled = fragments
+        self.fragment_aspect = (
+            FragmentCacheAspect(self.cache, self.collector) if fragments else None
+        )
         self._weaver: Weaver | None = None
         self.weave_report: WeaveReport | None = None
 
@@ -106,9 +115,15 @@ class AutoWebCache:
         weaver.add_aspect(self.read_aspect)
         weaver.add_aspect(self.write_aspect)
         weaver.add_aspect(self.jdbc_aspect)
+        targets = list(servlet_classes) + list(driver_classes)
+        if self.fragment_aspect is not None:
+            from repro.apps.html import PageComposer
+
+            weaver.add_aspect(self.fragment_aspect)
+            if PageComposer not in targets:
+                targets.append(PageComposer)
         for aspect in extra_aspects:
             weaver.add_aspect(aspect)
-        targets = list(servlet_classes) + list(driver_classes)
         self.weave_report = weaver.weave(targets)
         self._weaver = weaver
         return self.weave_report

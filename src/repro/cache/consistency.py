@@ -32,7 +32,7 @@ from repro.errors import ConsistencyError
 class RequestContext:
     """Consistency bookkeeping for one in-flight request."""
 
-    kind: str  # "read" | "write"
+    kind: str  # "read" | "write" | "fragment"
     page_key: str
     reads: list[QueryInstance] = field(default_factory=list)
     writes: list[QueryInstance] = field(default_factory=list)
@@ -43,10 +43,24 @@ class RequestContext:
         default_factory=dict
     )
     aborted: bool = False
+    #: Enclosing context when this is a fragment context (fragments may
+    #: nest); None at page level.
+    parent: "RequestContext | None" = None
+    #: True once a hole rendered inside this context: the corresponding
+    #: entry contains per-request state and must not be cached whole.
+    has_hole: bool = False
+    #: Cache keys of the fragments *stored* while this context was
+    #: rendering (containment edges for the entry's eventual insert).
+    fragment_keys: list[str] = field(default_factory=list)
+    #: Dependencies of embedded fragments: not part of this entry's own
+    #: dependency registrations (the fragment entries carry them), but
+    #: required for the insert-time staleness check -- a write that
+    #: doomed an embedded fragment mid-render doomed this body too.
+    fragment_reads: list[QueryInstance] = field(default_factory=list)
 
     @property
     def is_read(self) -> bool:
-        return self.kind == "read"
+        return self.kind in ("read", "fragment")
 
 
 class ConsistencyCollector:
@@ -86,6 +100,53 @@ class ConsistencyCollector:
 
     def current(self) -> RequestContext | None:
         return self._current.get()
+
+    # -- fragment contexts (nested) ------------------------------------------
+
+    def begin_fragment(self, page_key: str) -> RequestContext:
+        """Open a *nested* context for one fragment render.
+
+        Unlike :meth:`begin`, an enclosing context is allowed (and
+        usual): the fragment's reads must be collected separately from
+        the page's so they register against the fragment entry.  A
+        fragment on an *uncacheable* page has no enclosing context at
+        all -- that is fine; it simply becomes the root.
+        """
+        context = RequestContext(
+            kind="fragment", page_key=page_key, parent=self._current.get()
+        )
+        self._current.set(context)
+        return context
+
+    def end_fragment(self) -> RequestContext:
+        """Close the innermost fragment context and restore its parent.
+
+        Staged writes are promoted conservatively, as in :meth:`end`.
+        The closed context is returned *unmerged*: the fragment aspect
+        decides how its reads/writes/containment flow into the parent
+        (stored fragments contribute containment edges and guard reads;
+        unstored ones contribute their full dependency set).
+        """
+        context = self._current.get()
+        if context is None or context.kind != "fragment":
+            raise ConsistencyError("no open fragment context")
+        for staged in context.staged_writes.values():
+            context.writes.extend(staged)
+        context.staged_writes.clear()
+        self._current.set(context.parent)
+        return context
+
+    def mark_hole(self) -> None:
+        """Record that a hole rendered inside the current context.
+
+        Propagates through every enclosing context: a page (or outer
+        fragment) containing a hole anywhere in its span embeds
+        per-request state and must not be cached whole.
+        """
+        context = self._current.get()
+        while context is not None:
+            context.has_hole = True
+            context = context.parent
 
     def record_read(self, instance: QueryInstance) -> None:
         """Record dependency information for the current read request.

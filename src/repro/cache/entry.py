@@ -41,6 +41,9 @@ class PageEntry:
     expires_at: float | None = None
     #: True when cached under an application-semantics TTL window.
     semantic: bool = False
+    #: Cache keys of the fragments whose cached text this body embeds
+    #: (containment edges: dooming any of them dooms this entry too).
+    fragments: tuple[str, ...] = ()
     hit_count: int = 0
 
     @property

@@ -1,0 +1,97 @@
+"""Fragment identity and fragment->page containment tracking.
+
+ESI-style fragment caching (Mertz & Nunes' successor to whole-page
+caching; ROADMAP "fragments" item) stores page *parts* as first-class
+cache entries.  Two pieces of shared vocabulary live here:
+
+* :func:`fragment_key` -- the canonical cache key for a fragment, in a
+  ``frag://`` scheme so fragment keys can never collide with page keys
+  (which are URIs).
+* :class:`FragmentContainment` -- which cached pages embed which cached
+  fragments.  When invalidation dooms a fragment, every page whose
+  cached body *contains a copy of that fragment's text* is stale too
+  and must be doomed with it; the table answers that closure.
+
+The containment table is a leaf structure: it uses a plain lock, takes
+no other locks, and is only called from the cache facade / cluster
+router (lock order facade -> substructure, as everywhere else).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.web.http import encode_query_string
+
+
+def fragment_key(name: str, params: dict[str, str]) -> str:
+    """Canonical cache key for fragment ``name`` with ``params``.
+
+    Mirrors ``HttpRequest.cache_key`` (name + sorted parameters) in a
+    dedicated ``frag://`` scheme.
+    """
+    query = encode_query_string(params)
+    return f"frag://{name}?{query}" if query else f"frag://{name}"
+
+
+def fragment_stat_uri(name: str) -> str:
+    """The per-"URI" statistics bucket for a fragment (parameters
+    aggregate, exactly as page statistics aggregate per URI)."""
+    return f"frag://{name}"
+
+
+class FragmentContainment:
+    """Bidirectional fragment<->page containment edges.
+
+    ``register`` is called at page-entry insert time with the fragments
+    whose cached text the body embeds; ``containing`` computes the
+    transitive closure of entries doomed by a set of doomed keys
+    (fragments may nest, so a doomed leaf fragment can doom an outer
+    fragment which dooms a page).
+    """
+
+    def __init__(self) -> None:
+        # Leaf lock by design: never acquired while holding another
+        # lock's successor, and nothing is called under it.
+        self._lock = threading.Lock()
+        self._pages_of: dict[str, set[str]] = {}  # fragment -> containers
+        self._fragments_of: dict[str, set[str]] = {}  # container -> fragments
+
+    def register(self, page_key: str, fragment_keys: list[str] | tuple[str, ...]) -> None:
+        """Record that ``page_key``'s cached body embeds ``fragment_keys``.
+
+        Replaces any previous edge set for ``page_key``: a re-insert
+        after invalidation may have assembled from different fragments.
+        """
+        with self._lock:
+            for old in self._fragments_of.pop(page_key, ()):  # drop stale edges
+                pages = self._pages_of.get(old)
+                if pages is not None:
+                    pages.discard(page_key)
+                    if not pages:
+                        del self._pages_of[old]
+            if fragment_keys:
+                self._fragments_of[page_key] = set(fragment_keys)
+                for fragment in fragment_keys:
+                    self._pages_of.setdefault(fragment, set()).add(page_key)
+
+    def forget(self, page_key: str) -> None:
+        """Drop ``page_key``'s containment edges (entry gone)."""
+        self.register(page_key, ())
+
+    def containing(self, keys: set[str]) -> set[str]:
+        """Every container transitively embedding any of ``keys``.
+
+        Returns only the *additional* doomed keys (the input set is
+        excluded).
+        """
+        with self._lock:
+            doomed: set[str] = set()
+            frontier = list(keys)
+            while frontier:
+                key = frontier.pop()
+                for container in self._pages_of.get(key, ()):
+                    if container not in doomed and container not in keys:
+                        doomed.add(container)
+                        frontier.append(container)
+            return doomed

@@ -28,6 +28,7 @@ class SemanticsRegistry:
 
     def __init__(self) -> None:
         self._uncacheable: set[str] = set()
+        self._fragmented: set[str] = set()
         self._predicates: list[Callable[[HttpRequest], bool]] = []
         self._ttl_windows: dict[str, float] = {}
         self._default_ttl: float | None = None
@@ -37,6 +38,17 @@ class SemanticsRegistry:
     def mark_uncacheable(self, uri: str) -> "SemanticsRegistry":
         """Never cache responses for ``uri`` (hidden-state escape hatch)."""
         self._uncacheable.add(uri)
+        return self
+
+    def mark_fragmented(self, uri: str) -> "SemanticsRegistry":
+        """``uri`` is whole-page uncacheable but declares fragment
+        boundaries: the cacheable spans are cached per-fragment, the
+        hidden-state spans stay holes.  For the page-level aspects this
+        behaves exactly like :meth:`mark_uncacheable`; the annotation
+        exists so tooling (staticcheck, reporting) can tell "opted out"
+        from "fragmented"."""
+        self._uncacheable.add(uri)
+        self._fragmented.add(uri)
         return self
 
     def mark_uncacheable_when(
@@ -88,3 +100,7 @@ class SemanticsRegistry:
     @property
     def uncacheable_uris(self) -> frozenset[str]:
         return frozenset(self._uncacheable)
+
+    @property
+    def fragmented_uris(self) -> frozenset[str]:
+        return frozenset(self._fragmented)

@@ -101,6 +101,9 @@ class CacheStats:
     #: Inserts skipped because an invalidating write landed while the
     #: page was being computed (the check-then-insert race, detected).
     stale_inserts: int = 0
+    #: Inserts skipped because the rendered body contained a hole
+    #: (per-request state): the page assembled from fragments instead.
+    hole_skips: int = 0
     by_type: dict[str, RequestTypeStats] = field(default_factory=dict)
     _lock: NamedRLock = field(
         default_factory=lambda: NamedRLock("stats"),
@@ -209,6 +212,10 @@ class CacheStats:
         with self._lock:
             self.stale_inserts += 1
 
+    def record_hole_skip(self) -> None:
+        with self._lock:
+            self.hole_skips += 1
+
     def snapshot(self) -> dict:
         """One atomic read of every counter (plus derived rates).
 
@@ -240,6 +247,7 @@ class CacheStats:
                 "extra_queries": self.extra_queries,
                 "coalesced_hits": self.coalesced_hits,
                 "stale_inserts": self.stale_inserts,
+                "hole_skips": self.hole_skips,
                 "hit_rate": self.hit_rate,
                 "by_type": {
                     uri: {

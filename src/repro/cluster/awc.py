@@ -28,6 +28,7 @@ from repro.cache.aspects import (
     ReadServletAspect,
     WriteServletAspect,
 )
+from repro.cache.aspects_fragment import FragmentCacheAspect
 from repro.cache.consistency import ConsistencyCollector
 from repro.cache.semantics import SemanticsRegistry
 from repro.cluster.ring import DEFAULT_VNODES
@@ -57,6 +58,7 @@ class ClusterAutoWebCache:
         coalesce: bool = True,
         flight_timeout: float = 30.0,
         vnodes: int = DEFAULT_VNODES,
+        fragments: bool = True,
     ) -> None:
         names = node_names if node_names is not None else default_node_names(n_nodes)
         # One shared registry: cacheability and TTL windows are
@@ -78,6 +80,10 @@ class ClusterAutoWebCache:
         self.read_aspect = ReadServletAspect(self.router, self.collector)
         self.write_aspect = WriteServletAspect(self.router, self.collector)
         self.jdbc_aspect = JdbcConsistencyAspect(self.router, self.collector)
+        self.fragments_enabled = fragments
+        self.fragment_aspect = (
+            FragmentCacheAspect(self.router, self.collector) if fragments else None
+        )
         self._weaver: Weaver | None = None
         self.weave_report: WeaveReport | None = None
 
@@ -120,9 +126,15 @@ class ClusterAutoWebCache:
         weaver.add_aspect(self.read_aspect)
         weaver.add_aspect(self.write_aspect)
         weaver.add_aspect(self.jdbc_aspect)
+        targets = list(servlet_classes) + list(driver_classes)
+        if self.fragment_aspect is not None:
+            from repro.apps.html import PageComposer
+
+            weaver.add_aspect(self.fragment_aspect)
+            if PageComposer not in targets:
+                targets.append(PageComposer)
         for aspect in extra_aspects:
             weaver.add_aspect(aspect)
-        targets = list(servlet_classes) + list(driver_classes)
         self.weave_report = weaver.weave(targets)
         self._weaver = weaver
         return self.weave_report

@@ -28,6 +28,7 @@ from typing import Callable
 from repro.cache.api import Cache
 from repro.cache.entry import PageEntry, QueryInstance
 from repro.cache.flight import Flight
+from repro.cache.fragments import FragmentContainment
 from repro.cache.invalidation import dedupe_writes
 from repro.cache.stats import CacheStats
 from repro.cluster.bus import InvalidationBus
@@ -88,6 +89,7 @@ class ClusterStats:
     extra_queries = property(lambda self: self._sum("extra_queries"))
     coalesced_hits = property(lambda self: self._sum("coalesced_hits"))
     stale_inserts = property(lambda self: self._sum("stale_inserts"))
+    hole_skips = property(lambda self: self._sum("hole_skips"))
 
     @property
     def misses(self) -> int:
@@ -117,6 +119,10 @@ class ClusterStats:
         # Pre-image capture happens in the aspect, before any shard is
         # involved: a front-end event like write requests.
         self.frontend.record_extra_query()
+
+    def record_hole_skip(self) -> None:
+        # The hole guard fires in the aspect before any shard insert.
+        self.frontend.record_hole_skip()
 
     def snapshot(self) -> dict:
         """Cluster aggregate plus the per-node snapshots it sums."""
@@ -176,6 +182,11 @@ class ClusterRouter:
         self.stats = ClusterStats(self)
         self._template = cache_factory()  # config donor, never serves
         self.semantics = self._template.semantics
+        #: Cluster-wide containment: a page and the fragments it embeds
+        #: usually hash to *different* nodes, so each node's local
+        #: containment table cannot see the edge.  The router keeps the
+        #: global view and routes closure invalidations to the owners.
+        self.fragments = FragmentContainment()
         for name in node_names:
             self.add_node(name)
 
@@ -299,6 +310,10 @@ class ClusterRouter:
     def check(self, request: HttpRequest) -> PageEntry | None:
         return self._owner(request.cache_key()).cache.check(request)
 
+    def check_key(self, key: str, stat_uri: str) -> PageEntry | None:
+        """Fragment-capable check: route by key to the owning shard."""
+        return self._owner(key).cache.check_key(key, stat_uri)
+
     def insert(
         self,
         request: HttpRequest,
@@ -306,15 +321,56 @@ class ClusterRouter:
         reads: list[QueryInstance],
         status: int = 200,
         window: Flight | None = None,
+        fragments: tuple[str, ...] = (),
+        guard_reads: tuple[QueryInstance, ...] = (),
     ) -> PageEntry:
-        key = request.cache_key()
+        entry, _stored = self.insert_key(
+            request.cache_key(),
+            body,
+            reads,
+            status=status,
+            window=window,
+            ttl_uri=request.uri,
+            fragments=fragments,
+            guard_reads=guard_reads,
+        )
+        return entry
+
+    def insert_key(
+        self,
+        key: str,
+        body: str,
+        reads: list[QueryInstance],
+        status: int = 200,
+        window: Flight | None = None,
+        ttl_uri: str | None = None,
+        fragments: tuple[str, ...] = (),
+        guard_reads: tuple[QueryInstance, ...] = (),
+    ) -> tuple[PageEntry, bool]:
+        """Key-level insert, pinned to the computing node like inserts.
+
+        Containment edges are recorded in the *router's* table: the
+        entry and its fragments typically live on different shards.
+        """
         with self._lock:
             node = (
                 (self._window_nodes.get(window) if window is not None else None)
                 or self._flight_nodes.get(key)
                 or self._owner(key)
             )
-        return node.cache.insert(request, body, reads, status, window=window)
+        entry, stored = node.cache.insert_key(
+            key,
+            body,
+            reads,
+            status=status,
+            window=window,
+            ttl_uri=ttl_uri,
+            fragments=fragments,
+            guard_reads=guard_reads,
+        )
+        if stored:
+            self.fragments.register(key, fragments)
+        return entry, stored
 
     def record_uncacheable(self, request: HttpRequest) -> None:
         self._owner(request.cache_key()).cache.record_uncacheable(request)
@@ -387,11 +443,27 @@ class ClusterRouter:
         # re-analyse each duplicate while the bus publish lock is held,
         # multiplying the redundant work by node count.
         _message, doomed = self.bus.publish("router", uri, dedupe_writes(writes))
-        return doomed
+        return self._doom_containers(doomed)
+
+    def _doom_containers(self, doomed: set[str]) -> set[str]:
+        """Cross-node containment closure over freshly doomed keys.
+
+        Each node already closed over its *local* containment edges; the
+        router's table adds the cross-shard edges (page on node A built
+        from a fragment on node B).  Routed through the owner's
+        ``invalidate_key`` so the container's open flights are marked
+        stale exactly as for a direct invalidation.
+        """
+        extra = self.fragments.containing(doomed)
+        for key in extra:
+            self._owner(key).cache.invalidate_key(key)
+        return doomed | extra
 
     def invalidate_key(self, key: str) -> bool:
         """External single-key invalidation, routed to the owner."""
-        return self._owner(key).cache.invalidate_key(key)
+        removed = self._owner(key).cache.invalidate_key(key)
+        self._doom_containers({key})
+        return removed
 
     # -- management --------------------------------------------------------------------
 

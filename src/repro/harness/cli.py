@@ -165,7 +165,33 @@ def _cmd_differential(args: argparse.Namespace) -> tuple[str, int]:
          "tmpl skipped", "inst skipped", "pair analyses (brute/indexed)"],
         rows,
     )
-    return table, (1 if failures else 0)
+
+    from repro.harness.differential import run_fragment_differential
+
+    fragment_rows = []
+    for n_nodes in (1, 4):
+        for seed in range(args.seed, args.seeds + args.seed):
+            fragment_result = run_fragment_differential(
+                seed=seed, rounds=args.rounds, n_nodes=n_nodes
+            )
+            if not fragment_result.ok:
+                failures += 1
+            fragment_rows.append(
+                [
+                    n_nodes,
+                    seed,
+                    "ok" if fragment_result.ok else "MISMATCH",
+                    fragment_result.writes_tested,
+                    fragment_result.entries_doomed,
+                    fragment_result.closure_doomed,
+                ]
+            )
+    fragment_table = render_table(
+        "Differential: fragment-granular doom vs brute-force closure",
+        ["nodes", "seed", "verdict", "writes", "doomed", "via closure"],
+        fragment_rows,
+    )
+    return table + "\n\n" + fragment_table, (1 if failures else 0)
 
 
 def _cmd_codesize(_args: argparse.Namespace) -> str:

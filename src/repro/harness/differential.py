@@ -195,6 +195,156 @@ def _register_page(
     return entry
 
 
+@dataclass
+class FragmentDifferentialResult:
+    """Outcome of one fragment-granular differential run."""
+
+    seed: int
+    rounds: int
+    n_nodes: int
+    writes_tested: int = 0
+    entries_doomed: int = 0
+    #: Keys doomed purely by containment closure (a page or outer
+    #: fragment whose own dependencies never matched the write).  Must
+    #: be non-zero for the run to have exercised the closure at all.
+    closure_doomed: int = 0
+    mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def run_fragment_differential(
+    seed: int = 0,
+    rounds: int = 40,
+    n_pages: int = 30,
+    n_fragments: int = 20,
+    n_nodes: int = 1,
+    max_mismatches: int = 5,
+) -> FragmentDifferentialResult:
+    """Fragment-granular dooming vs. a brute-force reference.
+
+    Populates a :class:`~repro.cluster.router.ClusterRouter` with
+    fragment entries (``frag://`` keys, their own dependencies, possibly
+    nested in earlier fragments) and page entries (own dependencies plus
+    containment edges onto a random fragment subset), then replays
+    random write batches through :meth:`process_write_request` and
+    checks the returned casualty union against an oracle built from
+    first principles: a brute-force (unindexed) invalidator over a
+    mirror of every entry's dependencies, unioned with a plain BFS up a
+    reference copy of the containment edges.  The router's sharding,
+    bus delivery, node-local closure and cross-shard closure must all
+    be invisible: same entries, same writes, same doomed set.
+
+    Mirrors and reference edges are only updated at registration time,
+    never at doom time -- exactly the router's own contract (a doomed
+    page's edges linger until its replacement re-registers), so a stale
+    edge that re-dooms an absent key is *expected* on both sides.
+    """
+    from repro.cluster.router import ClusterRouter, make_cache_factory
+
+    rng = random.Random(seed)
+    router = ClusterRouter(
+        [f"node-{i}" for i in range(n_nodes)], make_cache_factory()
+    )
+    mirror = PageCache(make_policy("unbounded", None))
+    brute = Invalidator(
+        mirror,
+        AnalysisCache(QueryAnalysisEngine()),
+        CacheStats(),
+        InvalidationPolicy.EXTRA_QUERY,
+        indexed=False,
+    )
+    #: Reference containment: container key -> fragment keys it embeds.
+    edges: dict[str, set[str]] = {}
+    fragment_keys = [f"frag://frag-{i}?v={i}" for i in range(n_fragments)]
+    result = FragmentDifferentialResult(
+        seed=seed, rounds=rounds, n_nodes=n_nodes
+    )
+
+    def register(key: str, embedded: tuple[str, ...]) -> None:
+        # Pages may carry no SQL of their own (every read lives in a
+        # fragment); leaf fragments always depend on something.
+        lo = 0 if embedded else 1
+        reads = [_random_read(rng) for _ in range(rng.randrange(lo, 4))]
+        router.insert_key(key, f"body of {key}", reads, fragments=embedded)
+        mirror.insert(
+            PageEntry(
+                key=key,
+                body=f"body of {key}",
+                dependencies=tuple(reads),
+                fragments=embedded,
+            )
+        )
+        edges[key] = set(embedded)
+
+    def embedded_for(key: str) -> tuple[str, ...]:
+        if key.startswith("frag://"):
+            # Fragments may nest, but only in earlier fragments so the
+            # containment graph stays acyclic.
+            index = fragment_keys.index(key)
+            pool = fragment_keys[:index]
+            if not pool or rng.random() < 0.6:
+                return ()
+            return tuple(rng.sample(pool, rng.randrange(1, min(3, len(pool)) + 1)))
+        if rng.random() < 0.2:
+            return ()
+        return tuple(
+            rng.sample(fragment_keys, rng.randrange(1, 4))
+        )
+
+    def reference_closure(doomed: set[str]) -> set[str]:
+        containers: set[str] = set()
+        frontier = list(doomed)
+        while frontier:
+            key = frontier.pop()
+            for container, embedded in edges.items():
+                if (
+                    key in embedded
+                    and container not in containers
+                    and container not in doomed
+                ):
+                    containers.add(container)
+                    frontier.append(container)
+        return containers
+
+    for key in fragment_keys:
+        register(key, embedded_for(key))
+    for index in range(n_pages):
+        key = f"page-{index}"
+        register(key, embedded_for(key))
+
+    for round_no in range(rounds):
+        batch = [_random_write(rng) for _ in range(rng.randrange(1, 4))]
+        result.writes_tested += len(batch)
+
+        base = brute.affected_pages(batch)
+        closure = reference_closure(base)
+        expected = base | closure
+        actual = router.process_write_request("/differential", batch)
+        if actual != expected:
+            result.mismatches.append(
+                f"round {round_no} ({n_nodes} nodes): doomed sets differ; "
+                f"router-only={sorted(actual - expected)}, "
+                f"reference-only={sorted(expected - actual)}, "
+                f"writes={[str(w.template.text) for w in batch]}"
+            )
+            if len(result.mismatches) >= max_mismatches:
+                break
+        result.entries_doomed += len(actual)
+        result.closure_doomed += len(closure)
+
+        brute.process_writes(batch)
+        for key in closure:
+            mirror.release(key)
+        # Sorted so rng consumption (and therefore the whole run) is
+        # reproducible across processes despite set iteration order.
+        for key in sorted(expected):
+            register(key, embedded_for(key))
+    return result
+
+
 def run_differential(
     seed: int = 0,
     rounds: int = 60,

@@ -19,6 +19,15 @@ preconditions of the paper's consistency protocol:
   position: ``repro.cache.analysis`` cannot index it, so every
   overlapping write degenerates to a per-template scan of all cached
   instances.
+
+Fragmented pages (``AppSpec.fragmented_uris``) are uncacheable whole
+but cached per-fragment, so the read rules apply to them again -- with
+the *hole exemption* for RC02: a site lexically inside a ``hole(...)``
+render thunk (or in a helper reachable only through hole thunks) is
+recomputed on every request and never enters a cached body, so entropy
+there is exactly how hidden state is supposed to be expressed.  A
+``fragment(...)`` thunk re-enters the cacheable surface, including one
+nested inside a hole.
 """
 
 from __future__ import annotations
@@ -45,15 +54,21 @@ _SQL_EXECUTORS = frozenset(
 _WRITE_EXECUTORS = frozenset({"execute_update"})
 _HANDLERS = ("do_get", "do_post")
 
+#: The composer boundary functions (repro.apps.html): called either as
+#: module-level helpers or as PageComposer methods.
+_COMPOSER_CALLS = frozenset({"fragment", "hole"})
+
 
 def check_cacheability(target: CheckTarget) -> list[Diagnostic]:
     diagnostics: list[Diagnostic] = []
     for app in target.apps:
         for uri, servlet_cls, is_write in app.interactions:
-            info = target.registry.info(servlet_cls.__name__)
-            if info is None:
-                continue
-            cacheable = not is_write and uri not in app.uncacheable_uris
+            info = target.registry.info_for(servlet_cls)
+            # Fragmented pages are never cached whole but their
+            # fragments are, so the read rules re-apply to them.
+            cacheable = not is_write and (
+                uri in app.fragmented_uris or uri not in app.uncacheable_uris
+            )
             diagnostics.extend(
                 _check_servlet(target, info, cacheable=cacheable)
             )
@@ -68,21 +83,66 @@ def _check_servlet(
         entry = info.functions.get(handler)
         if entry is None or entry.owner.__module__.startswith("repro.web"):
             continue  # not defined by the app (default 405 handler)
-        for fn in _reachable(info, entry):
+        for fn, confined in _reachable(info, entry):
             diagnostics.extend(
-                _check_function(target, info, handler, fn, cacheable)
+                _check_function(target, info, handler, fn, cacheable, confined)
             )
     return diagnostics
 
 
+def _composer_call_name(node: ast.Call) -> str | None:
+    """``'fragment'``/``'hole'`` if the call is a composer boundary."""
+    func = node.func
+    if isinstance(func, ast.Name) and func.id in _COMPOSER_CALLS:
+        return func.id
+    if isinstance(func, ast.Attribute) and func.attr in _COMPOSER_CALLS:
+        return func.attr
+    return None
+
+
+def _boundary_states(fn: FunctionSource) -> dict[int, str]:
+    """``id(node) -> innermost composer boundary`` for every node that
+    sits inside the arguments of a ``hole(...)``/``fragment(...)`` call.
+
+    The innermost boundary wins: a ``fragment(...)`` thunk nested in a
+    hole re-enters the cacheable surface, and vice versa.
+    """
+    states: dict[int, str] = {}
+
+    def visit(node: ast.AST, state: str | None) -> None:
+        if state is not None:
+            states[id(node)] = state
+        if isinstance(node, ast.Call):
+            boundary = _composer_call_name(node)
+            if boundary is not None:
+                visit(node.func, state)
+                for arg in node.args:
+                    visit(arg, boundary)
+                for keyword in node.keywords:
+                    visit(keyword, boundary)
+                return
+        for child in ast.iter_child_nodes(node):
+            visit(child, state)
+
+    visit(fn.node, None)
+    return states
+
+
 def _reachable(
     info: ClassInfo, entry: FunctionSource
-) -> list[FunctionSource]:
-    """``entry`` plus every ``self.*`` method transitively called."""
+) -> list[tuple[FunctionSource, bool]]:
+    """``entry`` plus every ``self.*`` method transitively called, each
+    with a *confined* flag: True iff every call path from the handler
+    into it passes through a ``hole(...)`` thunk without re-entering
+    through a ``fragment(...)`` one.  A confined helper renders per
+    request and never feeds a cached body.
+    """
     seen: dict[str, FunctionSource] = {entry.name: entry}
+    edges: list[tuple[str, str, str | None]] = []
     queue = [entry]
     while queue:
         fn = queue.pop()
+        states = _boundary_states(fn)
         for node in ast.walk(fn.node):
             if (
                 isinstance(node, ast.Call)
@@ -91,10 +151,31 @@ def _reachable(
                 and node.func.value.id == "self"
             ):
                 callee = info.functions.get(node.func.attr)
-                if callee is not None and callee.name not in seen:
+                if callee is None:
+                    continue
+                edges.append((fn.name, callee.name, states.get(id(node))))
+                if callee.name not in seen:
                     seen[callee.name] = callee
                     queue.append(callee)
-    return list(seen.values())
+    # Fixpoint over the call edges, monotonically True -> False: the
+    # entry is unconfined; an edge confines its callee only if the call
+    # site is in a hole ("fragment" re-enters cacheable; a plain call
+    # inherits the caller's confinement).
+    confined = {name: name != entry.name for name in seen}
+    changed = True
+    while changed:
+        changed = False
+        for caller, callee, state in edges:
+            if state == "hole":
+                edge_confined = True
+            elif state == "fragment":
+                edge_confined = False
+            else:
+                edge_confined = confined[caller]
+            if not edge_confined and confined[callee]:
+                confined[callee] = False
+                changed = True
+    return [(fn, confined[name]) for name, fn in seen.items()]
 
 
 def _check_function(
@@ -103,12 +184,14 @@ def _check_function(
     handler: str,
     fn: FunctionSource,
     cacheable: bool,
+    confined: bool = False,
 ) -> list[Diagnostic]:
     diagnostics: list[Diagnostic] = []
     file = relative_to(fn.file, target.repo_root)
     symbol = f"{info.name}.{handler}"
     scan = scan_calls(info, fn, target.registry)
     check_reads = cacheable and handler == "do_get"
+    states = _boundary_states(fn)
 
     for site in scan.sites:
         # --- RC03: SQL through a non-woven receiver (always checked;
@@ -223,8 +306,14 @@ def _check_function(
                         )
                     )
 
-        # --- RC02: entropy flowing into a cacheable body.
-        if check_reads:
+        # --- RC02: entropy flowing into a cacheable body.  The hole
+        # exemption: a site inside a hole(...) thunk (or in a helper
+        # reachable only through holes) renders per request and never
+        # enters a cached body -- that is the sanctioned place for
+        # hidden state on a fragmented page.
+        state = states.get(id(site.node))
+        in_hole = state == "hole" or (state is None and confined)
+        if check_reads and not in_hole:
             entropy = _entropy_source(site, target)
             if entropy is not None:
                 diagnostics.append(

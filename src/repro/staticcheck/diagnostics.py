@@ -185,6 +185,10 @@ class Report:
         default_factory=list
     )
     stale_baseline: list[BaselineEntry] = field(default_factory=list)
+    #: Fuzzy matches for stale entries: ``entry.key -> file`` where a
+    #: live diagnostic has the same (rule, symbol) but a different
+    #: file -- almost always a file move that orphaned the entry.
+    stale_hints: dict[tuple[str, str, str], str] = field(default_factory=dict)
 
     @classmethod
     def build(
@@ -209,6 +213,20 @@ class Report:
         report.stale_baseline = [
             entry for entry in baseline if entry.key not in matched
         ]
+        # Baseline keys include the file, so moving a file orphans its
+        # entries even though the finding still exists.  Point each
+        # stale entry at a same-(rule, symbol) diagnostic in another
+        # file so the report says "moved" instead of just "stale".
+        by_rule_symbol: dict[tuple[str, str], set[str]] = {}
+        for diagnostic in diagnostics:
+            by_rule_symbol.setdefault(
+                (diagnostic.rule, diagnostic.symbol), set()
+            ).add(diagnostic.file)
+        for entry in report.stale_baseline:
+            moved = by_rule_symbol.get((entry.rule, entry.symbol), set())
+            moved = moved - {entry.file}
+            if moved:
+                report.stale_hints[entry.key] = sorted(moved)[0]
         return report
 
     @property
@@ -236,9 +254,14 @@ class Report:
                     f"({diagnostic.file}) -- {entry.justification}"
                 )
         for entry in self.stale_baseline:
+            hint = self.stale_hints.get(entry.key)
+            suffix = (
+                f" -- moved? the finding now reports at {hint}; "
+                f"update the entry's file" if hint else ""
+            )
             lines.append(
                 f"stale baseline entry (no longer reported): "
-                f"{entry.rule} {entry.symbol} ({entry.file})"
+                f"{entry.rule} {entry.symbol} ({entry.file}){suffix}"
             )
         lines.append(
             f"staticcheck: {len(self.active)} active, "
@@ -257,7 +280,16 @@ class Report:
                 for d, e in self.suppressed
             ],
             "stale_baseline": [
-                {"rule": e.rule, "file": e.file, "symbol": e.symbol}
+                {
+                    "rule": e.rule,
+                    "file": e.file,
+                    "symbol": e.symbol,
+                    **(
+                        {"moved_to": self.stale_hints[e.key]}
+                        if e.key in self.stale_hints
+                        else {}
+                    ),
+                }
                 for e in self.stale_baseline
             ],
         }

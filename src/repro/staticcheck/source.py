@@ -211,6 +211,7 @@ class TypeRegistry:
     def __init__(self, classes: tuple[type, ...] = ()) -> None:
         self._classes: dict[str, type] = {}
         self._infos: dict[str, ClassInfo] = {}
+        self._by_class: dict[type, ClassInfo] = {}
         for klass in classes:
             self.add(klass)
 
@@ -229,6 +230,21 @@ class TypeRegistry:
         info = ClassInfo.from_class(klass)
         self._infos[name] = info
         return info
+
+    def info_for(self, klass: type) -> ClassInfo:
+        """Lookup by class *identity*: names collide across apps (both
+        benchmarks define a ``Home`` servlet), and under name lookup
+        the first registration silently shadowed the second, so one
+        app's servlet was never scanned."""
+        if self._classes.get(klass.__name__) is klass:
+            info = self.info(klass.__name__)
+            assert info is not None
+            return info
+        cached = self._by_class.get(klass)
+        if cached is None:
+            cached = ClassInfo.from_class(klass)
+            self._by_class[klass] = cached
+        return cached
 
 
 class ExprTyper:
@@ -256,7 +272,13 @@ class ExprTyper:
                 return self.cls_info.name
             return self.locals.get(expr.id)
         if isinstance(expr, ast.Attribute):
-            owner = self.registry.info(self.infer(expr.value))
+            if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+                # Resolve self.<attr> against the class actually being
+                # scanned, not a name lookup (which a same-named class
+                # in the other app could shadow).
+                owner: ClassInfo | None = self.cls_info
+            else:
+                owner = self.registry.info(self.infer(expr.value))
             if owner is None:
                 return None
             return owner.attr_types.get(expr.attr) or owner.returns.get(

@@ -26,6 +26,12 @@ class AppSpec:
     #: URIs marked uncacheable (hidden state): never cached, so the
     #: cacheability rules RC01/RC02/RC04 do not apply to them.
     uncacheable_uris: frozenset[str] = frozenset()
+    #: URIs whose servlets declare fragment/hole boundaries.  The page
+    #: stays uncacheable whole, but its fragments are cached, so the
+    #: read rules run again -- with the hole exemption: sites confined
+    #: to ``hole(...)`` render thunks are recomputed per request and
+    #: never enter a cached body.
+    fragmented_uris: frozenset[str] = frozenset()
 
 
 @dataclass
@@ -96,8 +102,9 @@ def repo_root() -> Path:
 def default_target() -> CheckTarget:
     """The real repository: both benchmark apps, all woven aspects, the
     full caching/cluster lock surface."""
+    from repro.apps.html import PageComposer
     from repro.apps.rubis import app as rubis_app
-    from repro.apps.rubis.base import RubisServlet
+    from repro.apps.rubis.base import CategoryCatalogue, RubisServlet
     from repro.apps.tpcw import app as tpcw_app
     from repro.apps.tpcw.base import AdRotator, TpcwServlet
     from repro.cache.analysis_cache import AnalysisCache
@@ -107,6 +114,7 @@ def default_target() -> CheckTarget:
         ReadServletAspect,
         WriteServletAspect,
     )
+    from repro.cache.aspects_fragment import FragmentCacheAspect
     from repro.cache.aspects_result import ResultCacheAspect
     from repro.cache.dependency import DependencyTable
     from repro.cache.page_cache import PageCache
@@ -137,6 +145,7 @@ def default_target() -> CheckTarget:
             for uri, (cls, write) in tpcw_app.INTERACTIONS.items()
         ),
         uncacheable_uris=frozenset(tpcw_app.HIDDEN_STATE_URIS),
+        fragmented_uris=frozenset(tpcw_app.HIDDEN_STATE_URIS),
     )
     baseline = root / "staticcheck-baseline.json"
     return CheckTarget(
@@ -146,6 +155,7 @@ def default_target() -> CheckTarget:
             ReadServletAspect,
             WriteServletAspect,
             JdbcConsistencyAspect,
+            FragmentCacheAspect,
             ResultCacheAspect,
             TracingAspect,
             MetricsAspect,
@@ -154,8 +164,10 @@ def default_target() -> CheckTarget:
             ReadServletAspect,
             WriteServletAspect,
             JdbcConsistencyAspect,
+            FragmentCacheAspect,
         ),
         surface_classes=(
+            PageComposer,
             Statement,
             Connection,
             Cache,
@@ -190,9 +202,11 @@ def default_target() -> CheckTarget:
             ResultSet,
             Database,
             RubisServlet,
+            CategoryCatalogue,
             TpcwServlet,
             AdRotator,
             HttpServlet,
+            PageComposer,
         ),
         baseline_path=baseline if baseline.exists() else None,
     )

@@ -114,6 +114,19 @@ class HttpResponse:
         self._chunks = [f"<html><body><h1>{status}</h1><p>{message}</p></body></html>"]
         self.committed = True
 
+    def mark(self) -> int:
+        """Bookmark the current end of the body.
+
+        The fragment-caching aspect brackets each fragment render with a
+        mark so it can lift exactly the text the fragment produced (and
+        nothing the enclosing page wrote before it).
+        """
+        return len(self._chunks)
+
+    def body_since(self, mark: int) -> str:
+        """The body text written after :meth:`mark` returned ``mark``."""
+        return "".join(self._chunks[mark:])
+
     @property
     def body(self) -> str:
         return "".join(self._chunks)

@@ -1,0 +1,64 @@
+"""Seeded servlets for the fragment/hole cacheability exemption tests.
+
+Each class exercises one edge of the RC02 hole exemption: entropy
+confined to ``hole(...)`` thunks is sanctioned (recomputed per request,
+never cached); entropy in ``fragment(...)`` thunks is not (the fragment
+body IS cached); a fragment nested inside a hole re-enters the
+cacheable surface; a helper reachable outside any hole is unconfined.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.apps.html import fragment, hole
+from repro.web.servlet import HttpServlet
+
+
+class HoleOnly(HttpServlet):
+    """Entropy confined to holes (directly and via a helper): clean."""
+
+    def do_get(self, request, response):
+        hole(response, "ad", lambda: response.write(str(random.random())))
+        hole(response, "picks", lambda: self._picks(response))
+        fragment(response, "body", {}, lambda: self._body(response))
+
+    def _picks(self, response):
+        response.write(str(random.choice("abc")))
+
+    def _body(self, response):
+        response.write("static")
+
+
+class EntropyInFragment(HttpServlet):
+    """Entropy inside a fragment thunk: the fragment body is cached."""
+
+    def do_get(self, request, response):
+        fragment(
+            response, "body", {},
+            lambda: response.write(str(random.random())),
+        )
+
+
+class FragmentInsideHole(HttpServlet):
+    """A fragment nested in a hole re-enters the cacheable surface."""
+
+    def do_get(self, request, response):
+        hole(response, "outer", lambda: self._outer(response))
+
+    def _outer(self, response):
+        fragment(
+            response, "inner", {},
+            lambda: response.write(str(random.random())),
+        )
+
+
+class EscapedHelper(HttpServlet):
+    """A helper reached both through a hole AND directly is unconfined."""
+
+    def do_get(self, request, response):
+        hole(response, "ad", lambda: self._banner(response))
+        self._banner(response)
+
+    def _banner(self, response):
+        response.write(str(random.random()))

@@ -208,3 +208,70 @@ def test_cached_tpcw_admin_invalidates_detail_page():
         assert awc.stats.hits == hits_before + 1  # untouched item survived
     finally:
         awc.uninstall()
+
+
+def test_ad_rotation_seeds_from_dataset_by_default():
+    """Regression: ``build_tpcw()`` fell back to OS entropy for the ad
+    rotator unless ``ad_seed`` was passed explicitly, so two same-seed
+    instances (and any cross-process differential or stress run)
+    disagreed on every hidden-state page."""
+    a = build_tpcw(small_dataset())
+    b = build_tpcw(small_dataset())
+    assert [a.ads.next_banner() for _ in range(8)] == [
+        b.ads.next_banner() for _ in range(8)
+    ]
+    assert (
+        a.container.get("/tpcw/home", {"c_id": "1"}).body
+        == b.container.get("/tpcw/home", {"c_id": "1"}).body
+    )
+
+
+def test_ad_seed_override_still_wins():
+    implicit = build_tpcw(small_dataset())
+    explicit = build_tpcw(small_dataset(), ad_seed=small_dataset().seed)
+    assert [implicit.ads.next_banner() for _ in range(4)] == [
+        explicit.ads.next_banner() for _ in range(4)
+    ]
+    different = build_tpcw(small_dataset(), ad_seed=999)
+    assert [build_tpcw(small_dataset()).ads.next_banner() for _ in range(8)] != [
+        different.ads.next_banner() for _ in range(8)
+    ]
+
+
+def test_fragments_recover_hits_on_hidden_state_pages():
+    """The tentpole win: Home/SearchRequest stay uncacheable whole (the
+    banner rotates) yet their stable spans now serve from the cache."""
+    from repro.cache.fragments import fragment_key
+
+    app = build_tpcw(small_dataset())
+    awc = AutoWebCache(semantics=standard_semantics())
+    awc.install(app.servlet_classes)
+    try:
+        container = app.container
+        first = container.get("/tpcw/home", {"c_id": "1"}).body
+        second = container.get("/tpcw/home", {"c_id": "1"}).body
+        assert first != second  # the banner hole still rotates
+        assert awc.stats.uncacheable == 2  # pages never cached whole
+        assert awc.stats.hits >= 1  # the greeting fragment hit
+        assert fragment_key("tpcw/greeting", {"c_id": "1"}) in awc.cache.pages
+        hits_before = awc.stats.hits
+        container.get("/tpcw/search_request")
+        container.get("/tpcw/search_request")
+        assert awc.stats.hits == hits_before + 1  # the search form
+    finally:
+        awc.uninstall()
+
+
+def test_fragments_flag_disables_fragment_caching():
+    """``AutoWebCache(fragments=False)`` is the whole-page ablation arm:
+    hidden-state pages then cache nothing at all."""
+    app = build_tpcw(small_dataset())
+    awc = AutoWebCache(semantics=standard_semantics(), fragments=False)
+    awc.install(app.servlet_classes)
+    try:
+        app.container.get("/tpcw/home", {"c_id": "1"})
+        app.container.get("/tpcw/home", {"c_id": "1"})
+        assert awc.stats.hits == 0
+        assert len(awc.cache) == 0
+    finally:
+        awc.uninstall()

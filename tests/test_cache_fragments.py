@@ -1,0 +1,483 @@
+"""Fragment (ESI-style) caching: per-fragment entries, dependencies,
+containment dooming, holes, and assembly hygiene.
+
+The servlets below declare fragments/holes over the notes schema
+(tests/conftest.py); the fragment aspect is woven by AutoWebCache with
+zero caching code in the servlets, exactly like the page path.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.cache.autowebcache import AutoWebCache
+from repro.cache.fragments import FragmentContainment, fragment_key
+from repro.cluster import ClusterAutoWebCache
+from repro.apps.html import fragment, hole
+from repro.db import connect
+from repro.web.container import ServletContainer
+from repro.web.http import HttpRequest, HttpResponse
+from repro.web.servlet import HttpServlet
+
+from tests.conftest import AddNoteServlet, ScoreNoteServlet, make_notes_db
+
+TOPIC_FRAGMENT = "notes/topic"
+PAGE_KEY = "/topic_page?topic=a"
+FRAG_KEY = fragment_key(TOPIC_FRAGMENT, {"topic": "a"})
+
+
+class TopicPageServlet(HttpServlet):
+    """A page embedding the topic listing as a declared fragment."""
+
+    def __init__(self, connection) -> None:
+        self._connection = connection
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        topic = request.get_parameter("topic")
+        response.write(f"<h1>{topic}</h1>")
+        fragment(
+            response,
+            TOPIC_FRAGMENT,
+            {"topic": topic},
+            lambda: self._write_notes(response, topic),
+        )
+        response.write("<footer/>")
+
+    def _write_notes(self, response, topic: str) -> None:
+        statement = self._connection.create_statement()
+        result = statement.execute_query(
+            "SELECT id, body, score FROM notes WHERE topic = ? ORDER BY id",
+            (topic,),
+        )
+        while result.next():
+            response.write(f"<p>{result.get('id')}:{result.get('body')}</p>")
+
+
+class StampedTopicServlet(HttpServlet):
+    """Hidden state (a per-request stamp) as a hole beside a fragment."""
+
+    def __init__(self, connection) -> None:
+        self._connection = connection
+        self._ticks = itertools.count()
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        topic = request.get_parameter("topic")
+        hole(
+            response,
+            "stamp",
+            lambda: response.write(f"<stamp>{next(self._ticks)}</stamp>"),
+        )
+        fragment(
+            response,
+            TOPIC_FRAGMENT,
+            {"topic": topic},
+            lambda: self._write_notes(response, topic),
+        )
+
+    def _write_notes(self, response, topic: str) -> None:
+        statement = self._connection.create_statement()
+        result = statement.execute_query(
+            "SELECT id, body, score FROM notes WHERE topic = ? ORDER BY id",
+            (topic,),
+        )
+        while result.next():
+            response.write(f"<p>{result.get('id')}:{result.get('body')}</p>")
+
+
+class CookieFragmentServlet(HttpServlet):
+    """Sets a per-request cookie and header while filling a fragment."""
+
+    def __init__(self, connection) -> None:
+        self._connection = connection
+        self._serial = itertools.count()
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        serial = next(self._serial)
+        hole(
+            response,
+            "visit",
+            lambda: self._stamp_request(response, serial),
+        )
+        fragment(
+            response,
+            "notes/greeting",
+            {},
+            lambda: self._write_greeting(response),
+        )
+
+    def _stamp_request(self, response, serial: int) -> None:
+        response.add_cookie("visit", str(serial))
+        response.set_header("X-Request-Serial", str(serial))
+        response.write(f"<visit>{serial}</visit>")
+
+    def _write_greeting(self, response) -> None:
+        statement = self._connection.create_statement()
+        result = statement.execute_query(
+            "SELECT name FROM topics WHERE id = ?", (1,)
+        )
+        name = result.scalar() if result.next() else "world"
+        response.write(f"<p>hello {name}</p>")
+
+
+class DigestServlet(HttpServlet):
+    """Nested fragments: a digest fragment embedding per-topic ones."""
+
+    def __init__(self, connection) -> None:
+        self._connection = connection
+
+    def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
+        response.write("<digest>")
+        fragment(
+            response, "notes/digest", {}, lambda: self._write_digest(response)
+        )
+        response.write("</digest>")
+
+    def _write_digest(self, response) -> None:
+        for topic in ("a", "b"):
+            fragment(
+                response,
+                TOPIC_FRAGMENT,
+                {"topic": topic},
+                lambda topic=topic: self._write_notes(response, topic),
+            )
+
+    def _write_notes(self, response, topic: str) -> None:
+        statement = self._connection.create_statement()
+        result = statement.execute_query(
+            "SELECT id, body FROM notes WHERE topic = ? ORDER BY id",
+            (topic,),
+        )
+        while result.next():
+            response.write(f"<p>{topic}:{result.get('id')}</p>")
+
+
+def build_fragment_app():
+    db = make_notes_db()
+    connection = connect(db)
+    container = ServletContainer()
+    container.register("/topic_page", TopicPageServlet(connection))
+    container.register("/stamped", StampedTopicServlet(connection))
+    container.register("/cookie_page", CookieFragmentServlet(connection))
+    container.register("/digest", DigestServlet(connection))
+    container.register("/add", AddNoteServlet(connection))
+    container.register("/score", ScoreNoteServlet(connection))
+    return db, container
+
+
+def add(container, note_id, topic, body, score=0):
+    response = container.post(
+        "/add",
+        {"id": str(note_id), "topic": topic, "body": body, "score": str(score)},
+    )
+    assert response.status == 200
+
+
+def install(awc, container):
+    awc.install(container.servlet_classes)
+    return awc
+
+
+class TestFragmentEntries:
+    def test_page_and_fragment_both_cached(self):
+        db, container = build_fragment_app()
+        awc = install(AutoWebCache(), container)
+        try:
+            add(container, 1, "a", "x")
+            container.get("/topic_page", {"topic": "a"})
+            assert PAGE_KEY in awc.cache.pages
+            assert FRAG_KEY in awc.cache.pages
+            page = awc.cache.pages.peek(PAGE_KEY)
+            assert page.fragments == (FRAG_KEY,)
+            # The fragment's dependencies belong to the fragment entry,
+            # not the page's own read set.
+            frag = awc.cache.pages.peek(FRAG_KEY)
+            assert len(frag.dependencies) == 1
+            assert page.dependencies == ()
+        finally:
+            awc.uninstall()
+
+    def test_repeat_request_hits_the_whole_page(self):
+        db, container = build_fragment_app()
+        awc = install(AutoWebCache(), container)
+        try:
+            add(container, 1, "a", "x")
+            first = container.get("/topic_page", {"topic": "a"})
+            second = container.get("/topic_page", {"topic": "a"})
+            assert first.body == second.body
+            assert awc.stats.hits == 1  # the page; fragment untouched
+        finally:
+            awc.uninstall()
+
+    def test_fragment_hit_spares_sql_on_page_rebuild(self):
+        db, container = build_fragment_app()
+        awc = install(AutoWebCache(), container)
+        try:
+            add(container, 1, "a", "x")
+            first = container.get("/topic_page", {"topic": "a"})
+            # Doom only the page: its body is gone but the fragment
+            # entry survives (containment edges point upward only).
+            awc.cache.invalidate_key(PAGE_KEY)
+            assert FRAG_KEY in awc.cache.pages
+            queries_before = db.stats.queries
+            rebuilt = container.get("/topic_page", {"topic": "a"})
+            assert rebuilt.body == first.body
+            assert db.stats.queries == queries_before  # fragment hit
+            # The rebuild re-cached the page with its containment edge.
+            assert awc.cache.pages.peek(PAGE_KEY).fragments == (FRAG_KEY,)
+        finally:
+            awc.uninstall()
+
+    def test_write_dooms_fragment_and_containing_page(self):
+        db, container = build_fragment_app()
+        awc = install(AutoWebCache(), container)
+        try:
+            add(container, 1, "a", "old")
+            container.get("/topic_page", {"topic": "a"})
+            add(container, 2, "a", "new")
+            assert FRAG_KEY not in awc.cache.pages
+            assert PAGE_KEY not in awc.cache.pages
+            page = container.get("/topic_page", {"topic": "a"})
+            assert "new" in page.body
+        finally:
+            awc.uninstall()
+
+    def test_unrelated_write_preserves_fragment_and_page(self):
+        db, container = build_fragment_app()
+        awc = install(AutoWebCache(), container)
+        try:
+            add(container, 1, "a", "x")
+            container.get("/topic_page", {"topic": "a"})
+            add(container, 2, "b", "y")
+            container.get("/topic_page", {"topic": "a"})
+            assert awc.stats.hits == 1
+            assert awc.stats.misses_invalidation == 0
+        finally:
+            awc.uninstall()
+
+
+class TestHoles:
+    def test_hole_page_not_cached_but_fragment_is(self):
+        db, container = build_fragment_app()
+        awc = install(AutoWebCache(), container)
+        try:
+            add(container, 1, "a", "x")
+            first = container.get("/stamped", {"topic": "a"})
+            second = container.get("/stamped", {"topic": "a"})
+            # The hole recomputes: the two bodies differ in the stamp...
+            assert "<stamp>0</stamp>" in first.body
+            assert "<stamp>1</stamp>" in second.body
+            # ...while the fragment text served from cache.
+            assert awc.stats.hits == 1
+            assert awc.stats.hole_skips == 2  # page skipped twice
+            assert "/stamped?topic=a" not in awc.cache.pages
+            assert FRAG_KEY in awc.cache.pages
+        finally:
+            awc.uninstall()
+
+    def test_fragment_shared_between_pages(self):
+        """The same fragment fills once and serves both the cacheable
+        page and the hole-bearing one."""
+        db, container = build_fragment_app()
+        awc = install(AutoWebCache(), container)
+        try:
+            add(container, 1, "a", "x")
+            container.get("/topic_page", {"topic": "a"})
+            queries_before = db.stats.queries
+            response = container.get("/stamped", {"topic": "a"})
+            assert "<p>1:x</p>" in response.body
+            assert db.stats.queries == queries_before
+        finally:
+            awc.uninstall()
+
+
+class TestAssemblyHygiene:
+    def test_cached_fragment_does_not_leak_headers_or_cookies(self):
+        """PR-1's header rule at fragment granularity: per-request
+        cookies/headers set while *filling* a fragment must not replay
+        into later responses assembled from the cached text."""
+        db, container = build_fragment_app()
+        awc = install(AutoWebCache(), container)
+        try:
+            db.update("INSERT INTO topics (id, name) VALUES (?, ?)", (1, "t"))
+            first = container.get("/cookie_page")
+            second = container.get("/cookie_page")
+            assert "hello t" in second.body  # fragment text served
+            assert awc.stats.hits == 1
+            # Each response carries only its *own* request's stamp.
+            assert first.cookies == {"visit": "0"}
+            assert second.cookies == {"visit": "1"}
+            assert first.headers["X-Request-Serial"] == "0"
+            assert second.headers["X-Request-Serial"] == "1"
+        finally:
+            awc.uninstall()
+
+    def test_wsgi_content_length_tracks_assembled_body(self):
+        """Content-Length is derived from the final assembled body, so
+        hole substitution of a different length stays consistent."""
+        from repro.web.wsgi import WsgiAdapter
+
+        db, container = build_fragment_app()
+        awc = install(AutoWebCache(), container)
+        adapter = WsgiAdapter(container)
+        try:
+            add(container, 1, "a", "x")
+            import io
+
+            def call():
+                captured = {}
+
+                def start_response(status, headers):
+                    captured["headers"] = dict(headers)
+
+                chunks = adapter(
+                    {
+                        "REQUEST_METHOD": "GET",
+                        "PATH_INFO": "/stamped",
+                        "QUERY_STRING": "topic=a",
+                        "wsgi.input": io.BytesIO(b""),
+                    },
+                    start_response,
+                )
+                captured["body"] = b"".join(chunks)
+                return captured
+
+            responses = [call() for _ in range(11)]
+            for captured in responses:
+                declared = int(captured["headers"]["Content-Length"])
+                assert declared == len(captured["body"])
+            # The stamp grew from 1 to 2 digits across the run, so the
+            # assertion above covered two distinct assembled lengths.
+            lengths = {len(c["body"]) for c in responses}
+            assert len(lengths) == 2
+        finally:
+            awc.uninstall()
+
+
+class TestNestedFragments:
+    def test_nested_fragments_cache_at_every_level(self):
+        db, container = build_fragment_app()
+        awc = install(AutoWebCache(), container)
+        try:
+            add(container, 1, "a", "x")
+            add(container, 2, "b", "y")
+            container.get("/digest")
+            digest_key = fragment_key("notes/digest", {})
+            leaf_a = fragment_key(TOPIC_FRAGMENT, {"topic": "a"})
+            leaf_b = fragment_key(TOPIC_FRAGMENT, {"topic": "b"})
+            for key in ("/digest", digest_key, leaf_a, leaf_b):
+                assert key in awc.cache.pages, key
+            # The digest entry embeds the leaves; the page embeds the
+            # digest (direct edges only -- the closure walks the rest).
+            assert set(awc.cache.pages.peek(digest_key).fragments) == {
+                leaf_a, leaf_b,
+            }
+            assert awc.cache.pages.peek("/digest").fragments == (digest_key,)
+            # The digest's dependencies absorb the leaves' (a hit must
+            # hand the parent the full transitive guard set)...
+            assert len(awc.cache.pages.peek(digest_key).dependencies) == 2
+            # ...while the page entry stays lean.
+            assert awc.cache.pages.peek("/digest").dependencies == ()
+        finally:
+            awc.uninstall()
+
+    def test_leaf_doom_climbs_the_containment_closure(self):
+        db, container = build_fragment_app()
+        awc = install(AutoWebCache(), container)
+        try:
+            add(container, 1, "a", "x")
+            add(container, 2, "b", "y")
+            container.get("/digest")
+            add(container, 3, "a", "z")  # dooms leaf a transitively
+            digest_key = fragment_key("notes/digest", {})
+            leaf_a = fragment_key(TOPIC_FRAGMENT, {"topic": "a"})
+            leaf_b = fragment_key(TOPIC_FRAGMENT, {"topic": "b"})
+            assert leaf_a not in awc.cache.pages
+            assert digest_key not in awc.cache.pages
+            assert "/digest" not in awc.cache.pages
+            assert leaf_b in awc.cache.pages  # untouched sibling
+            rebuilt = container.get("/digest")
+            assert "<p>a:3</p>" in rebuilt.body
+        finally:
+            awc.uninstall()
+
+
+class TestContainmentTable:
+    def test_register_replaces_previous_edges(self):
+        table = FragmentContainment()
+        table.register("page", ["f1", "f2"])
+        table.register("page", ["f2", "f3"])
+        assert table.containing({"f1"}) == set()
+        assert table.containing({"f3"}) == {"page"}
+
+    def test_containing_is_transitive_and_excludes_inputs(self):
+        table = FragmentContainment()
+        table.register("outer", ["leaf"])
+        table.register("page", ["outer"])
+        assert table.containing({"leaf"}) == {"outer", "page"}
+        assert table.containing({"outer"}) == {"page"}
+
+    def test_forget_drops_edges(self):
+        table = FragmentContainment()
+        table.register("page", ["leaf"])
+        table.forget("page")
+        assert table.containing({"leaf"}) == set()
+
+
+class TestClusterFragments:
+    def test_fragment_doom_crosses_shards(self):
+        """The fragment and its containing page hash to arbitrary
+        nodes; a write must doom both cluster-wide."""
+        db, container = build_fragment_app()
+        awc = ClusterAutoWebCache(n_nodes=4)
+        awc.install(container.servlet_classes)
+        try:
+            add(container, 1, "a", "old")
+            container.get("/topic_page", {"topic": "a"})
+            # Both entries exist somewhere in the cluster, and the
+            # router-level containment table has the edge.
+            assert awc.router.fragments.containing({FRAG_KEY}) == {PAGE_KEY}
+            add(container, 2, "a", "new")
+            for node in awc.router.nodes():
+                assert PAGE_KEY not in node.cache.pages
+                assert FRAG_KEY not in node.cache.pages
+            page = container.get("/topic_page", {"topic": "a"})
+            assert "new" in page.body
+        finally:
+            awc.uninstall()
+
+    def test_cluster_hole_page_fragment_hits(self):
+        db, container = build_fragment_app()
+        awc = ClusterAutoWebCache(n_nodes=4)
+        awc.install(container.servlet_classes)
+        try:
+            add(container, 1, "a", "x")
+            first = container.get("/stamped", {"topic": "a"})
+            second = container.get("/stamped", {"topic": "a"})
+            assert "<stamp>0</stamp>" in first.body
+            assert "<stamp>1</stamp>" in second.body
+            assert awc.stats.hits == 1
+            assert awc.stats.hole_skips == 2
+        finally:
+            awc.uninstall()
+
+    def test_cluster_nested_doom_crosses_shards(self):
+        db, container = build_fragment_app()
+        awc = ClusterAutoWebCache(n_nodes=4)
+        awc.install(container.servlet_classes)
+        try:
+            add(container, 1, "a", "x")
+            add(container, 2, "b", "y")
+            container.get("/digest")
+            add(container, 3, "a", "z")
+            digest_key = fragment_key("notes/digest", {})
+            leaf_b = fragment_key(TOPIC_FRAGMENT, {"topic": "b"})
+            present = set()
+            for node in awc.router.nodes():
+                present.update(node.cache.pages.keys())
+            assert digest_key not in present
+            assert "/digest" not in present
+            assert leaf_b in present
+            rebuilt = container.get("/digest")
+            assert "<p>a:3</p>" in rebuilt.body
+        finally:
+            awc.uninstall()

@@ -22,6 +22,10 @@ from repro.staticcheck import (
     load_baseline,
     run_check,
 )
+from repro.staticcheck.cacheability import check_cacheability
+from repro.staticcheck.diagnostics import BaselineEntry
+from repro.staticcheck.target import AppSpec, CheckTarget, repo_root
+from tests.fixtures import fragapp
 from tests.fixtures.badapp import badapp_target
 
 pytestmark = pytest.mark.staticcheck
@@ -153,6 +157,111 @@ def test_load_baseline_missing_file(tmp_path):
     assert load_baseline(tmp_path / "nope.json") == ()
 
 
+def _fragment_target(classes, uncacheable=(), fragmented=()):
+    interactions = tuple(
+        (f"/frag/{cls.__name__}", cls, False) for cls in classes
+    )
+    return CheckTarget(
+        repo_root=repo_root(),
+        apps=(
+            AppSpec(
+                name="fragapp",
+                interactions=interactions,
+                uncacheable_uris=frozenset(uncacheable),
+                fragmented_uris=frozenset(fragmented),
+            ),
+        ),
+    )
+
+
+def test_rc02_exempts_entropy_confined_to_holes():
+    assert check_cacheability(_fragment_target([fragapp.HoleOnly])) == []
+
+
+def test_rc02_fires_inside_fragment_thunks():
+    diagnostics = check_cacheability(
+        _fragment_target([fragapp.EntropyInFragment])
+    )
+    assert [d.rule for d in diagnostics] == ["RC02"]
+    assert diagnostics[0].symbol == "EntropyInFragment.do_get"
+
+
+def test_rc02_fragment_nested_in_hole_reenters_cacheable():
+    diagnostics = check_cacheability(
+        _fragment_target([fragapp.FragmentInsideHole])
+    )
+    assert [d.rule for d in diagnostics] == ["RC02"]
+
+
+def test_rc02_helper_reached_outside_hole_is_not_confined():
+    diagnostics = check_cacheability(
+        _fragment_target([fragapp.EscapedHelper])
+    )
+    assert [d.rule for d in diagnostics] == ["RC02"]
+
+
+def test_fragmented_uris_reenter_the_cacheable_surface():
+    uri = "/frag/EntropyInFragment"
+    hidden = check_cacheability(
+        _fragment_target([fragapp.EntropyInFragment], uncacheable=[uri])
+    )
+    assert hidden == []  # plainly uncacheable: the read rules skip it
+    fragmented = check_cacheability(
+        _fragment_target(
+            [fragapp.EntropyInFragment],
+            uncacheable=[uri],
+            fragmented=[uri],
+        )
+    )
+    assert [d.rule for d in fragmented] == ["RC02"]
+
+
+def test_registry_resolves_same_named_servlets_by_identity():
+    # Both benchmarks define a ``Home`` servlet; under name lookup the
+    # first registration shadowed the second, so the TPC-W Home was
+    # never scanned at all.
+    from repro.apps.rubis.servlets_browse import Home as RubisHome
+    from repro.apps.tpcw.servlets_read import Home as TpcwHome
+
+    registry = default_target().registry
+    rubis_info = registry.info_for(RubisHome)
+    tpcw_info = registry.info_for(TpcwHome)
+    assert rubis_info.cls is RubisHome
+    assert tpcw_info.cls is TpcwHome
+    assert "rubis" in rubis_info.functions["do_get"].file
+    assert "tpcw" in tpcw_info.functions["do_get"].file
+
+
+def test_stale_baseline_fuzzy_matches_moved_files():
+    diagnostic = Diagnostic(
+        rule="RC04", file="new/place.py", line=5,
+        symbol="X.do_get", message="m",
+    )
+    entry = BaselineEntry(
+        rule="RC04", file="old/place.py",
+        symbol="X.do_get", justification="j",
+    )
+    report = Report.build([diagnostic], (entry,))
+    assert report.active == [diagnostic]
+    assert report.stale_baseline == [entry]
+    assert report.stale_hints[entry.key] == "new/place.py"
+    text = report.render_text()
+    assert "moved?" in text and "new/place.py" in text
+    payload = report.to_json()
+    assert payload["stale_baseline"][0]["moved_to"] == "new/place.py"
+
+
+def test_stale_baseline_without_moved_match_has_no_hint():
+    entry = BaselineEntry(
+        rule="RC04", file="old/place.py",
+        symbol="Gone.do_get", justification="j",
+    )
+    report = Report.build([], (entry,))
+    assert report.stale_hints == {}
+    assert "moved?" not in report.render_text()
+    assert "moved_to" not in report.to_json()["stale_baseline"][0]
+
+
 def test_cli_check_is_clean_on_repo(capsys):
     assert main(["check"]) == 0
     out = capsys.readouterr().out
@@ -169,5 +278,8 @@ def test_cli_check_json_and_artifact(tmp_path, capsys):
     written = json.loads(out_file.read_text())
     assert printed == written
     assert {d["rule"] for d in printed["active"]} == {"RC04"}
-    assert len(printed["active"]) == 7
+    # BestSellers' MAX(o_id) plus SearchResults' two LIKE templates; the
+    # RUBiS catalogue scans moved behind fragment boundaries and no
+    # longer reach the cacheable surface.
+    assert len(printed["active"]) == 3
     assert printed["ok"] is False
