@@ -1,6 +1,6 @@
 ENV := PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: test stress stress-lockwatch check bench bench-cluster bench-invalidation bench-fragments bench-obs differential results
+.PHONY: test stress stress-lockwatch check bench bench-cluster bench-invalidation bench-fragments bench-obs bench-admission differential results
 
 # Tier-1: the full unit/integration/property suite (what CI gates on).
 test:
@@ -55,6 +55,12 @@ bench-fragments:
 # Scale with OBS_BENCH_REQUESTS / OBS_BENCH_TRIALS for CI smoke runs.
 bench-obs:
 	$(ENV) timeout 600 python -m pytest -q benchmarks/test_obs_overhead.py
+
+# Admission ablation: cache-everything vs adaptive vs shadow on a
+# churn-heavy RUBiS write mix + read-heavy control (writes
+# benchmarks/results/admission_ablation.txt).
+bench-admission:
+	$(ENV) timeout 600 python -m pytest -q benchmarks/test_admission_ablation.py
 
 # Equivalence check: indexed and brute-force invalidators must produce
 # identical doomed sets over randomized workloads (exit 1 on mismatch).

@@ -1,0 +1,210 @@
+"""Ablation: cache-everything vs adaptive admission vs shadow mode.
+
+Two deterministic RUBiS mixes through three admission arms:
+
+- **churn mix** -- hot items are bid on between views, so their pages
+  (and bid histories) are doomed about as fast as they are inserted,
+  while the browse pages and the category-catalogue method entries stay
+  stable.  Cache-everything pays insert bytes for entries that never
+  repay them; adaptive admission demotes the churn classes to
+  pass-through and keeps only the classes that earn their keep, so its
+  *db-queries-saved-per-byte-inserted* must beat cache-everything's.
+- **read-heavy control** -- the same interactions, almost no writes:
+  nothing demotes, and adaptive must stay within 2% of cache-everything
+  on database queries (the gate adds verdicts, not misses).
+
+Shadow mode runs the churn mix with denials recorded but not enforced:
+its cache contents must be bit-for-bit identical to cache-everything.
+
+Results land in ``benchmarks/results/admission_ablation.txt``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_DEFAULTS  # noqa: F401  (suite idiom)
+from repro.admission.policy import AdaptiveAdmission, AdmitAll
+from repro.apps.rubis import RubisDataset, build_rubis
+from repro.apps.rubis.base import CategoryCatalogue
+from repro.cache.autowebcache import AutoWebCache
+from repro.harness.reporting import render_table
+
+CHURN_ROUNDS = 120
+CONTROL_ROUNDS = 120
+HOT_ITEMS = 3
+
+
+def _dataset() -> RubisDataset:
+    return RubisDataset(n_users=40, n_items=50, seed=11)
+
+
+def _reads(container, i: int) -> None:
+    """One round of reads: two churn-exposed pages (the hot item and
+    its bid history, doomed by every bid) and three stable pages (the
+    browse pages and a user profile, untouched by ``store_bid``)."""
+    item = str(i % HOT_ITEMS + 1)
+    assert container.get("/rubis/view_item", {"item": item}).status == 200
+    assert (
+        container.get("/rubis/view_bid_history", {"item": item}).status == 200
+    )
+    assert container.get("/rubis/browse_categories", {}).status == 200
+    assert container.get("/rubis/browse_regions", {}).status == 200
+    assert (
+        container.get(
+            "/rubis/view_user_info", {"user": str(i % 10 + 1)}
+        ).status
+        == 200
+    )
+
+
+def _churn_mix(container):
+    """Write-heavy: a bid per round dooms the hot item pages."""
+    for i in range(CHURN_ROUNDS):
+        _reads(container, i)
+        assert (
+            container.post(
+                "/rubis/store_bid",
+                {"item": str(i % HOT_ITEMS + 1), "user": "1",
+                 "bid": str(100.0 + i)},
+            ).status
+            == 200
+        )
+
+
+def _control_mix(container):
+    """Read-heavy: the same pages, two writes total."""
+    for i in range(CONTROL_ROUNDS):
+        _reads(container, i)
+        if i in (40, 80):
+            assert (
+                container.post(
+                    "/rubis/store_bid",
+                    {"item": str(i % HOT_ITEMS + 1), "user": "1",
+                     "bid": str(500.0 + i)},
+                ).status
+                == 200
+            )
+
+
+def _uncached_queries(mix) -> int:
+    """Database queries the mix costs with no cache installed."""
+    app = build_rubis(_dataset())
+    mix(app.container)
+    return app.database.stats.queries
+
+
+def _drive(mix, policy):
+    """Run ``mix`` through one admission arm; returns the measurements."""
+    app = build_rubis(_dataset())
+    awc = AutoWebCache(
+        admission=policy,
+        method_cache_targets=(CategoryCatalogue,),
+    )
+    awc.install(app.container.servlet_classes)
+    try:
+        mix(app.container)
+    finally:
+        awc.uninstall()
+    snapshot = awc.stats.snapshot()
+    inserted_bytes = sum(snapshot["inserted_bytes_by_class"].values())
+    return {
+        "queries": app.database.stats.queries,
+        "hits": snapshot["hits"] + snapshot["semantic_hits"],
+        "inserts": snapshot["inserts"],
+        "inserted_bytes": inserted_bytes,
+        "admitted": snapshot["admitted"],
+        "denied": snapshot["denied"],
+        "shadow_denied": snapshot["shadow_denied"],
+        "entries": {e.key: e.body for e in awc.cache.pages.entries()},
+        "live_bytes": awc.cache.pages.total_bytes,
+    }
+
+
+def _saved_per_kb(cell, uncached: int) -> float:
+    """DB queries saved per KiB of insert traffic (the ablation metric)."""
+    if not cell["inserted_bytes"]:
+        return 0.0
+    return (uncached - cell["queries"]) / (cell["inserted_bytes"] / 1024)
+
+
+def _adaptive() -> AdaptiveAdmission:
+    return AdaptiveAdmission(margin=0.1, min_observations=20)
+
+
+def _run():
+    uncached_churn = _uncached_queries(_churn_mix)
+    uncached_control = _uncached_queries(_control_mix)
+    arms = {
+        ("churn", "cache-everything"): _drive(_churn_mix, AdmitAll()),
+        ("churn", "adaptive"): _drive(_churn_mix, _adaptive()),
+        ("churn", "shadow"): _drive(
+            _churn_mix,
+            AdaptiveAdmission(margin=0.1, min_observations=20, shadow=True),
+        ),
+        ("control", "cache-everything"): _drive(_control_mix, AdmitAll()),
+        ("control", "adaptive"): _drive(_control_mix, _adaptive()),
+    }
+    return uncached_churn, uncached_control, arms
+
+
+def test_admission_ablation(benchmark, figure_report):
+    uncached_churn, uncached_control, arms = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+    uncached = {"churn": uncached_churn, "control": uncached_control}
+    rows = []
+    for (mix, arm), cell in arms.items():
+        rows.append([
+            mix,
+            arm,
+            cell["queries"],
+            uncached[mix] - cell["queries"],
+            cell["hits"],
+            cell["inserted_bytes"],
+            f"{_saved_per_kb(cell, uncached[mix]):.1f}",
+            f"{cell['admitted']}/{cell['denied']}/{cell['shadow_denied']}",
+        ])
+    figure_report(
+        "admission_ablation",
+        render_table(
+            "Ablation: admission policy x RUBiS mix "
+            f"(uncached: churn {uncached_churn}q, "
+            f"control {uncached_control}q)",
+            [
+                "mix", "arm", "db queries", "queries saved", "hits",
+                "bytes inserted", "saved/KiB", "adm/den/shadow",
+            ],
+            rows,
+        ),
+    )
+
+    churn_all = arms[("churn", "cache-everything")]
+    churn_adaptive = arms[("churn", "adaptive")]
+    churn_shadow = arms[("churn", "shadow")]
+    control_all = arms[("control", "cache-everything")]
+    control_adaptive = arms[("control", "adaptive")]
+
+    # The tentpole claim: under churn, adaptive admission saves more
+    # database queries per byte of insert traffic than cache-everything
+    # (it stops paying for entries that are doomed before they hit).
+    assert _saved_per_kb(churn_adaptive, uncached_churn) > _saved_per_kb(
+        churn_all, uncached_churn
+    )
+    assert churn_adaptive["inserted_bytes"] < churn_all["inserted_bytes"]
+    assert churn_adaptive["denied"] > 0
+
+    # Read-heavy control: nothing demotes, and the gate costs at most
+    # 2% in database queries (in practice: identical).
+    assert control_adaptive["denied"] == 0
+    assert control_adaptive["queries"] <= control_all["queries"] * 1.02
+
+    # Shadow mode never changes cache contents: bit-for-bit identical
+    # entries and bytes vs cache-everything, with the verdicts recorded.
+    assert churn_shadow["entries"] == churn_all["entries"]
+    assert churn_shadow["live_bytes"] == churn_all["live_bytes"]
+    assert churn_shadow["queries"] == churn_all["queries"]
+    assert churn_shadow["shadow_denied"] > 0
+    assert churn_shadow["denied"] == 0
+
+    # AdmitAll admits every stored insert, bit-for-bit bookkeeping.
+    assert churn_all["admitted"] == churn_all["inserts"]
+    assert churn_all["denied"] == churn_all["shadow_denied"] == 0

@@ -1,0 +1,60 @@
+"""Adaptive cache admission (the "what deserves caching" decision).
+
+The paper's design caches everything its static analysis deems
+cacheable.  Under churn-heavy write mixes that wastes memory and
+invalidation work on entries doomed before they hit; Mertz & Nunes
+("Automation of Application-level Caching in a Seamless Way",
+PAPERS.md) argue admission should be a *runtime* decision driven by
+observed cost/benefit.  This package supplies:
+
+* :class:`~repro.admission.model.CostModel` -- per cache-key *class*
+  (page URI, ``frag://name``, ``method://qualname``) EWMAs of hit
+  probability, recomputation cost, entry size and invalidation churn,
+  scored as ``hit_prob x recompute_cost - churn_penalty - byte_rent``;
+* :class:`~repro.admission.policy.AdmissionPolicy` -- consulted by
+  :meth:`repro.cache.api.Cache.insert_key` before an entry is stored.
+  :class:`~repro.admission.policy.AdmitAll` (the default) preserves the
+  cache-everything behaviour bit-for-bit;
+  :class:`~repro.admission.policy.AdaptiveAdmission` demotes
+  negative-score classes to pass-through, with hysteresis and an
+  optional shadow mode that records verdicts without enforcing them;
+* :class:`~repro.admission.aspects.MethodCacheAspect` -- a method-level
+  result-cache tier beneath whole pages, woven over designated helper
+  methods via the existing pointcut language, keyed
+  ``method://qualname?args`` and invalidated through the same indexed
+  dependency engine.
+"""
+
+from repro.admission.aspects import (
+    DEFAULT_METHOD_POINTCUT,
+    MethodCacheAspect,
+    method_cache_aspect_class,
+    method_key,
+    method_stat_uri,
+)
+from repro.admission.model import ClassProfile, CostModel, key_class
+from repro.admission.policy import (
+    ADMIT,
+    DENY,
+    SHADOW_DENY,
+    AdaptiveAdmission,
+    AdmissionPolicy,
+    AdmitAll,
+)
+
+__all__ = [
+    "ADMIT",
+    "DENY",
+    "SHADOW_DENY",
+    "AdaptiveAdmission",
+    "AdmissionPolicy",
+    "AdmitAll",
+    "ClassProfile",
+    "CostModel",
+    "DEFAULT_METHOD_POINTCUT",
+    "MethodCacheAspect",
+    "method_cache_aspect_class",
+    "method_key",
+    "method_stat_uri",
+    "key_class",
+]

@@ -1,0 +1,214 @@
+"""The method-level result-cache tier (woven, beneath whole pages).
+
+Meloca & Nunes's method-level caching-recommendation study (PAPERS.md)
+locates the sweet spot of application caching at the *method* boundary:
+a helper that turns arguments into data, called from many pages.  This
+aspect weaves the page cache's own check / coalesce / insert protocol
+around designated helper methods:
+
+- entries are keyed ``method://Class.method?arg0=..&..`` (the
+  ``method://`` scheme keeps them disjoint from page URIs and
+  ``frag://`` keys) and carry their *own* SQL dependencies, collected
+  through a nested consistency context exactly as fragment renders are;
+- invalidation flows through the same indexed dependency engine -- a
+  write dooming the method's reads dooms the ``method://`` entry, and
+  containment edges climb to any page entry built from a cached result;
+- admission applies per method signature: the entry's statistics bucket
+  (and therefore its :mod:`repro.admission.model` class) is
+  ``method://Class.method``, so a churn-heavy method demotes
+  independently of the pages calling it.
+
+The cached value is the method's *return value*, JSON-serialised into
+the entry body (the designated helpers return plain data -- lists of
+row dicts); a value JSON cannot round-trip is treated as uncacheable
+and simply recomputed.  Methods must be safe to key on arguments alone
+-- no request/session state, no entropy; staticcheck rule RC05 vets
+designated candidates statically.
+
+Precedence 25 places the tier between the JDBC collector (20) and the
+backend result cache (30), distinct from every registered precedence
+(PC03): page/fragment aspects wrap it, the SQL collector runs beneath
+it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from repro.aop import Aspect, around
+from repro.aop.joinpoint import JoinPoint
+from repro.web.http import encode_query_string
+
+if TYPE_CHECKING:  # hint-only: keeps admission importable from cache.api
+    from repro.cache.consistency import ConsistencyCollector, RequestContext
+    from repro.cache.entry import PageEntry
+    from repro.cache.flight import Flight
+
+#: The repo's designated helper methods: RUBiS's shared category/region
+#: catalogue scans (full-table reads shared by several browse pages --
+#: pure functions of their SQL, RC05-clean).  Custom deployments weave
+#: other methods via :func:`method_cache_aspect_class`.
+DEFAULT_METHOD_POINTCUT = (
+    "execution(CategoryCatalogue.categories(..))"
+    " || execution(CategoryCatalogue.regions(..))"
+)
+
+
+def method_key(
+    qualname: str, args: tuple = (), kwargs: dict | None = None
+) -> str:
+    """Canonical cache key for one invocation of a designated method.
+
+    Arguments are rendered with ``repr`` (the designated helpers take
+    scalar arguments) and encoded like a query string, mirroring
+    ``HttpRequest.cache_key`` / :func:`~repro.cache.fragments.
+    fragment_key`.
+    """
+    params = {f"arg{i}": repr(value) for i, value in enumerate(args)}
+    if kwargs:
+        params.update({name: repr(value) for name, value in kwargs.items()})
+    query = encode_query_string(params)
+    return f"method://{qualname}?{query}" if query else f"method://{qualname}"
+
+
+def method_stat_uri(qualname: str) -> str:
+    """Statistics bucket (and admission class) for a designated method."""
+    return f"method://{qualname}"
+
+
+class MethodCacheAspect(Aspect):
+    """Result caching around designated app helper methods."""
+
+    precedence = 25
+
+    #: Failed-flight rides before computing solo (page-aspect policy).
+    max_flight_attempts = 3
+
+    def __init__(self, cache, collector: ConsistencyCollector) -> None:
+        self.cache = cache
+        self.collector = collector
+
+    @around(DEFAULT_METHOD_POINTCUT)
+    def cache_method(self, joinpoint: JoinPoint):
+        return self._cache_method(joinpoint)
+
+    def _cache_method(self, joinpoint: JoinPoint):
+        qualname = str(joinpoint.signature)
+        key = method_key(qualname, joinpoint.args, joinpoint.kwargs)
+        stat_uri = method_stat_uri(qualname)
+        entry = self.cache.check_key(key, stat_uri)
+        if entry is not None:
+            return self._serve(key, entry)
+        if not self.cache.coalesce:
+            return self._compute_solo(joinpoint, key, stat_uri)
+        for _attempt in range(self.max_flight_attempts):
+            flight, is_leader = self.cache.join_flight(key)
+            if is_leader:
+                try:
+                    return self._compute_and_insert(joinpoint, key, stat_uri)
+                finally:
+                    self.cache.finish_flight(flight)
+            entry = self.cache.wait_flight(flight)
+            if entry is not None:
+                value = self._serve(key, entry)
+                self.cache.stats.record_coalesced(stat_uri)
+                return value
+            # Leader failed or the entry was invalidated in flight:
+            # re-join (a new leader may already exist).
+        return self._compute_solo(joinpoint, key, stat_uri)
+
+    def _serve(self, key: str, entry: PageEntry):
+        """Decode a cached result and hand the enclosing computation the
+        entry's dependency set (complete by construction) plus the
+        containment edge, exactly as a fragment hit does."""
+        parent = self.collector.current()
+        if parent is not None and parent.is_read:
+            parent.fragment_keys.append(key)
+            parent.fragment_reads.extend(entry.dependencies)
+        return json.loads(entry.body)
+
+    def _compute_solo(self, joinpoint: JoinPoint, key: str, stat_uri: str):
+        window = self.cache.begin_window(key)
+        try:
+            return self._compute_and_insert(joinpoint, key, stat_uri, window)
+        finally:
+            self.cache.end_window(window)
+
+    def _compute_and_insert(
+        self,
+        joinpoint: JoinPoint,
+        key: str,
+        stat_uri: str,
+        window: Flight | None = None,
+    ):
+        """Miss path: run the method under a nested consistency context,
+        serialise its return value, insert, fold into the parent."""
+        context = self.collector.begin_fragment(key)
+        try:
+            value = joinpoint.proceed()
+        finally:
+            self.collector.end_fragment()
+        body = self._encode(value)
+        stored = False
+        if body is not None and not (
+            context.aborted or context.has_hole or context.writes
+        ):
+            _entry, stored = self.cache.insert_key(
+                key,
+                body,
+                context.reads + context.fragment_reads,
+                window=window,
+                ttl_uri=stat_uri,
+                fragments=tuple(context.fragment_keys),
+            )
+        self._merge(context, key, stored)
+        return value
+
+    def _encode(self, value) -> str | None:
+        """JSON body for ``value``, or None when it cannot round-trip
+        (the method result is then simply not cached)."""
+        try:
+            return json.dumps(value, sort_keys=True)
+        except (TypeError, ValueError):
+            return None
+
+    def _merge(self, context: RequestContext, key: str, stored: bool) -> None:
+        """Fragment-aspect merge semantics: stored results contribute a
+        containment edge plus guard reads; unstored results' reads
+        become the parent's own dependencies."""
+        parent = context.parent
+        if parent is None:
+            if context.writes:
+                self.cache.process_write_request(key, context.writes)
+            return
+        if stored:
+            parent.fragment_keys.append(key)
+            parent.fragment_reads.extend(context.reads)
+            parent.fragment_reads.extend(context.fragment_reads)
+        else:
+            parent.reads.extend(context.reads)
+            parent.fragment_reads.extend(context.fragment_reads)
+            parent.fragment_keys.extend(context.fragment_keys)
+        parent.writes.extend(context.writes)
+        if context.aborted:
+            parent.aborted = True
+
+
+def method_cache_aspect_class(pointcut: str) -> type[MethodCacheAspect]:
+    """A :class:`MethodCacheAspect` subclass advising ``pointcut``.
+
+    The advice must be a *fresh* function: re-decorating the base
+    class's method would append a second spec to the shared function
+    object, weaving the default pointcut alongside the custom one.
+    """
+
+    @around(pointcut)
+    def cache_method(self, joinpoint: JoinPoint):
+        return self._cache_method(joinpoint)
+
+    return type(
+        "CustomMethodCacheAspect",
+        (MethodCacheAspect,),
+        {"cache_method": cache_method},
+    )

@@ -1,0 +1,167 @@
+"""Admission policies: the pluggable gate on the cache insert path.
+
+:meth:`repro.cache.api.Cache.insert_key` asks the policy for a verdict
+after the staleness check and *before* the entry touches the page
+store, so a denied insert leaves no bytes, no dependency-table rows and
+no containment edges behind -- the computed body is still served (and
+still satisfies coalesced waiters), the class is simply pass-through.
+
+Three verdicts:
+
+``ADMIT``
+    Store the entry.  :class:`AdmitAll` -- the default policy -- always
+    answers this and observes nothing, preserving the cache-everything
+    behaviour bit-for-bit.
+``DENY``
+    Do not store.  :class:`AdaptiveAdmission` answers this for classes
+    whose :class:`~repro.admission.model.CostModel` score has gone
+    negative (churn outpaces hits).
+``SHADOW_DENY``
+    Store anyway, but record that the policy *would* have denied.
+    Shadow mode (``AdaptiveAdmission(shadow=True)``) lets the model be
+    evaluated offline against live traffic with zero behaviour change.
+
+Hysteresis: a class is demoted when its normalized score drops below
+``-margin`` and re-admitted only once it climbs above ``+margin``, so a
+class oscillating around break-even does not flip-flop between stored
+and pass-through on every insert.  Demotion is sticky by construction
+(a pass-through class shows no hits, so its score cannot recover on its
+own); the optional ``probe_every`` knob re-admits one insert in every N
+denied so a class whose churn has stopped can show hits again and earn
+its way back.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.admission.model import CostModel
+
+#: Verdict strings double as the CacheStats counter names.
+ADMIT = "admitted"
+DENY = "denied"
+SHADOW_DENY = "shadow_denied"
+
+
+class AdmissionPolicy:
+    """Base policy: admit everything, observe nothing.
+
+    The observation hooks are no-ops here so the default path adds a
+    handful of attribute lookups and nothing else; adaptive policies
+    override them to feed their cost model.
+    """
+
+    #: True when denials are recorded but not enforced.
+    shadow = False
+
+    def verdict(self, cls: str, nbytes: int) -> str:
+        """Admission decision for one insert of class ``cls``."""
+        return ADMIT
+
+    # -- observation feeds (no-ops unless a model is attached) -------------------------
+
+    def observe_lookup(self, cls: str, hit: bool) -> None:
+        pass
+
+    def observe_recompute(self, cls: str, seconds: float) -> None:
+        pass
+
+    def observe_doom(self, cls: str, count: int = 1) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        """Reporting view: per-class state (empty for stateless policies)."""
+        return {}
+
+
+class AdmitAll(AdmissionPolicy):
+    """The paper's behaviour: everything cacheable is cached."""
+
+
+class AdaptiveAdmission(AdmissionPolicy):
+    """Cost-model-driven admission with hysteresis and shadow mode.
+
+    ``margin`` is in normalized-score units (fractions of the class's
+    recomputation cost): demote below ``-margin``, re-admit above
+    ``+margin``.  ``min_observations`` is the cold-start gate -- a class
+    is always admitted until the model has seen enough lookups+inserts
+    to judge it.  ``probe_every > 0`` admits one insert per that many
+    consecutive denials of a class, so hit probability can be resampled
+    (0 disables probing: denials are deterministic, which the tests and
+    the stress oracle rely on).
+
+    Thread-safe and shareable across cluster nodes: the demoted-state
+    table has its own lock and the model is a leaf structure.
+    """
+
+    def __init__(
+        self,
+        model: CostModel | None = None,
+        margin: float = 0.1,
+        min_observations: int = 20,
+        shadow: bool = False,
+        probe_every: int = 0,
+    ) -> None:
+        if margin < 0.0:
+            raise ValueError(f"margin must be >= 0, got {margin}")
+        self.model = model if model is not None else CostModel()
+        self.margin = margin
+        self.min_observations = min_observations
+        self.shadow = shadow
+        self.probe_every = probe_every
+        self._lock = threading.Lock()
+        self._demoted: set[str] = set()
+        #: Consecutive denials per demoted class, for probing.
+        self._denied_streak: dict[str, int] = {}
+
+    def verdict(self, cls: str, nbytes: int) -> str:
+        self.model.observe_insert(cls, nbytes)
+        if self.model.observations(cls) < self.min_observations:
+            return ADMIT
+        score = self.model.normalized_score(cls)
+        with self._lock:
+            demoted = cls in self._demoted
+            if demoted and score > self.margin:
+                self._demoted.discard(cls)
+                self._denied_streak.pop(cls, None)
+                demoted = False
+            elif not demoted and score < -self.margin:
+                self._demoted.add(cls)
+                demoted = True
+            if not demoted:
+                return ADMIT
+            if self.probe_every > 0:
+                streak = self._denied_streak.get(cls, 0) + 1
+                if streak >= self.probe_every:
+                    self._denied_streak[cls] = 0
+                    return ADMIT
+                self._denied_streak[cls] = streak
+        return SHADOW_DENY if self.shadow else DENY
+
+    def is_demoted(self, cls: str) -> bool:
+        with self._lock:
+            return cls in self._demoted
+
+    def demoted_classes(self) -> list[str]:
+        with self._lock:
+            return sorted(self._demoted)
+
+    # -- observation feeds -------------------------------------------------------------
+
+    def observe_lookup(self, cls: str, hit: bool) -> None:
+        self.model.observe_lookup(cls, hit)
+
+    def observe_recompute(self, cls: str, seconds: float) -> None:
+        self.model.observe_recompute(cls, seconds)
+
+    def observe_doom(self, cls: str, count: int = 1) -> None:
+        self.model.observe_doom(cls, count)
+
+    def snapshot(self) -> dict:
+        """Per-class model profiles annotated with the admission state."""
+        profiles = self.model.snapshot()
+        with self._lock:
+            demoted = set(self._demoted)
+        for cls, row in profiles.items():
+            row["state"] = "pass-through" if cls in demoted else "admitted"
+        return profiles

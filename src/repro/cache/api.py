@@ -22,6 +22,8 @@ from __future__ import annotations
 import time
 from typing import Callable
 
+from repro.admission.model import key_class
+from repro.admission.policy import DENY, AdmissionPolicy, AdmitAll
 from repro.cache.analysis import InvalidationPolicy, QueryAnalysisEngine
 from repro.cache.analysis_cache import AnalysisCache
 from repro.cache.entry import PageEntry, QueryInstance
@@ -51,9 +53,14 @@ class Cache:
         coalesce: bool = True,
         flight_timeout: float = 30.0,
         indexed_invalidation: bool = True,
+        admission: AdmissionPolicy | None = None,
     ) -> None:
         self.semantics = semantics or SemanticsRegistry()
         self.clock = clock
+        #: Insert-path admission policy (``repro.admission``).  The
+        #: default AdmitAll stores everything and observes nothing --
+        #: the paper's cache-everything behaviour, bit for bit.
+        self.admission = admission if admission is not None else AdmitAll()
         #: When True every lookup misses but all other machinery runs --
         #: the paper's cache-overhead measurement mode (Section 6).
         self.forced_miss = forced_miss
@@ -123,6 +130,7 @@ class Cache:
             self.stats.record_miss(stat_uri, "cold")
             return None
         entry, reason = self.pages.lookup(key, self.clock())
+        self.admission.observe_lookup(stat_uri, hit=entry is not None)
         if entry is not None:
             self.stats.record_hit(stat_uri, semantic=entry.semantic)
             return entry
@@ -214,9 +222,34 @@ class Cache:
             ):
                 self.stats.record_stale_insert()
                 return entry, False
+            # -- admission gate: consulted after the staleness check and
+            # before the entry touches any substructure, so a denied
+            # insert leaves no bytes, dependency rows or containment
+            # edges behind.
+            cls = ttl_uri if ttl_uri is not None else key_class(key)
+            opener = window if window is not None else flight
+            if opener is not None and opener.started_at:
+                self.admission.observe_recompute(
+                    cls, now - opener.started_at
+                )
+            verdict = self.admission.verdict(cls, entry.size)
+            self.stats.record_admission(verdict)
+            if verdict == DENY:
+                if flight is not None:
+                    # Pass-through, not failure: waiters still serve
+                    # the computed body once (no recompute storm).
+                    flight.entry = entry
+                return entry, False
             evicted = self.pages.insert(entry)
             self.fragments.register(entry.key, entry.fragments)
-            self.stats.record_insert(evictions=len(evicted))
+            self.stats.record_insert(
+                evictions=len(evicted),
+                cls=cls,
+                nbytes=entry.size,
+                evicted=tuple(
+                    (key_class(victim.key), victim.size) for victim in evicted
+                ),
+            )
             if flight is not None:
                 flight.entry = entry
         return entry, True
@@ -253,7 +286,7 @@ class Cache:
             if flight is not None:
                 flight.waiters += 1
                 return flight, False
-            flight = Flight(key, self._write_seq)
+            flight = Flight(key, self._write_seq, started_at=self.clock())
             self._flights[key] = flight
             return flight, True
 
@@ -297,7 +330,7 @@ class Cache:
         is never published: no other thread joins or waits on it.
         """
         with self._lock:
-            window = Flight(key, self._write_seq)
+            window = Flight(key, self._write_seq, started_at=self.clock())
             self._windows.setdefault(key, []).append(window)
             return window
 
@@ -372,6 +405,23 @@ class Cache:
                 self._write_seq += 1
                 seq = self._write_seq
                 self._recent_writes.extend((seq, write) for write in writes)
+                # Pass-through flights: an admission-denied insert has
+                # no dependency rows, so the doom pass below cannot see
+                # its published entry -- but waiters will still serve
+                # it.  An overlapping write must mark the flight stale
+                # here, or a waiter could serve a body staler than the
+                # write's commit point.
+                for flight in self._flights.values():
+                    entry = flight.entry
+                    if (
+                        entry is not None
+                        and not flight.stale
+                        and entry.key not in self.pages
+                        and self.invalidator.intersects_any(
+                            list(entry.dependencies), writes
+                        )
+                    ):
+                        flight.stale = True
         doomed = self.invalidator.process_writes(writes)
         if doomed:
             # Containment closure: entries assembled from a doomed
@@ -383,6 +433,9 @@ class Cache:
             # A doomed key with an open flight: the invalidation must
             # win over the in-flight computation's eventual insert.
             self._mark_flights_stale(doomed)
+            # Churn signal for the admission cost model.
+            for key in doomed:
+                self.admission.observe_doom(key_class(key))
         return doomed
 
     # -- management ----------------------------------------------------------------------
@@ -403,6 +456,7 @@ class Cache:
         removed = self.pages.invalidate(key)
         if removed:
             self.stats.record_invalidated()
+            self.admission.observe_doom(key_class(key))
         # A doomed fragment dooms every entry embedding its text.
         containers = self.fragments.containing({key})
         if containers:
@@ -410,6 +464,7 @@ class Cache:
             for container in containers:
                 if self.pages.invalidate(container):
                     self.stats.record_invalidated()
+                    self.admission.observe_doom(key_class(container))
         return removed
 
     def clear(self) -> None:

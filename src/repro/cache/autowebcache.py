@@ -20,6 +20,12 @@ from typing import Callable, Iterable
 
 import time
 
+from repro.admission.aspects import (
+    DEFAULT_METHOD_POINTCUT,
+    MethodCacheAspect,
+    method_cache_aspect_class,
+)
+from repro.admission.policy import AdmissionPolicy
 from repro.aop.weaver import WeaveReport, Weaver
 from repro.cache.analysis import InvalidationPolicy
 from repro.cache.api import Cache
@@ -51,6 +57,9 @@ class AutoWebCache:
         flight_timeout: float = 30.0,
         indexed_invalidation: bool = True,
         fragments: bool = True,
+        admission: AdmissionPolicy | None = None,
+        method_cache_targets: Iterable[type] = (),
+        method_cache_pointcut: str | None = None,
     ) -> None:
         self.cache = Cache(
             invalidation_policy=policy,
@@ -63,6 +72,7 @@ class AutoWebCache:
             coalesce=coalesce,
             flight_timeout=flight_timeout,
             indexed_invalidation=indexed_invalidation,
+            admission=admission,
         )
         self.collector = ConsistencyCollector()
         self.read_aspect = ReadServletAspect(self.cache, self.collector)
@@ -75,6 +85,21 @@ class AutoWebCache:
         self.fragment_aspect = (
             FragmentCacheAspect(self.cache, self.collector) if fragments else None
         )
+        #: Method-level result-cache tier: owner classes whose designated
+        #: helper methods are woven with a MethodCacheAspect (entries
+        #: keyed ``method://Class.method?args``).  Empty disables the
+        #: tier.  A custom pointcut narrows/extends which methods on the
+        #: targets are advised (default: the RUBiS catalogue helpers).
+        self.method_cache_targets = tuple(method_cache_targets)
+        self.method_aspect = None
+        if self.method_cache_targets:
+            aspect_cls = (
+                method_cache_aspect_class(method_cache_pointcut)
+                if method_cache_pointcut is not None
+                and method_cache_pointcut != DEFAULT_METHOD_POINTCUT
+                else MethodCacheAspect
+            )
+            self.method_aspect = aspect_cls(self.cache, self.collector)
         self._weaver: Weaver | None = None
         self.weave_report: WeaveReport | None = None
 
@@ -122,6 +147,11 @@ class AutoWebCache:
             weaver.add_aspect(self.fragment_aspect)
             if PageComposer not in targets:
                 targets.append(PageComposer)
+        if self.method_aspect is not None:
+            weaver.add_aspect(self.method_aspect)
+            for owner in self.method_cache_targets:
+                if owner not in targets:
+                    targets.append(owner)
         for aspect in extra_aspects:
             weaver.add_aspect(aspect)
         self.weave_report = weaver.weave(targets)

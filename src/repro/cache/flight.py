@@ -28,13 +28,22 @@ import threading
 class Flight:
     """One in-flight page computation, shared by leader and waiters."""
 
-    __slots__ = ("key", "start_seq", "entry", "stale", "waiters", "done")
+    __slots__ = (
+        "key", "start_seq", "started_at", "entry", "stale", "waiters", "done",
+    )
 
-    def __init__(self, key: str, start_seq: int) -> None:
+    def __init__(
+        self, key: str, start_seq: int, started_at: float = 0.0
+    ) -> None:
         self.key = key
         #: Cache-wide write sequence number when the computation began;
         #: writes processed after this point overlap the computation.
         self.start_seq = start_seq
+        #: Cache-clock timestamp when the computation began; the insert
+        #: observes ``now - started_at`` as the class's recomputation
+        #: cost (the admission cost model's benefit signal).  0.0 when
+        #: the opener did not stamp one.
+        self.started_at = started_at
         #: The inserted PageEntry, published by the leader on success.
         self.entry = None
         #: Set when an invalidation lands during the computation.

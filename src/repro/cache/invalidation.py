@@ -96,11 +96,29 @@ class Invalidator:
         return self._analysis.engine
 
     def process_writes(self, writes: list[QueryInstance]) -> set[str]:
-        """Invalidate every page affected by ``writes``; returns the keys."""
-        doomed = self.affected_pages(writes)
-        for key in doomed:
-            if self._pages.invalidate(key):
-                self._stats.record_invalidated()
+        """Invalidate every page affected by ``writes``; returns the keys.
+
+        Dooms are attributed to the (first) write template that caused
+        them, feeding the per-template churn counters
+        (``CacheStats.dooms_by_template``); the doomed set is identical
+        to a single :meth:`affected_pages` pass over the batch.
+        """
+        doomed: set[str] = set()
+        for write in dedupe_writes(writes):
+            affected = (
+                self._affected_pages_indexed(write)
+                if self.indexed
+                else self._affected_pages(write)
+            )
+            removed = 0
+            for key in affected - doomed:
+                if self._pages.invalidate(key):
+                    removed += 1
+            if removed:
+                self._stats.record_invalidated(
+                    pages=removed, template=write.template.text
+                )
+            doomed |= affected
         return doomed
 
     def affected_pages(

@@ -92,8 +92,8 @@ class PageCache:
 
     # -- insert / remove --------------------------------------------------------------
 
-    def insert(self, entry: PageEntry) -> list[str]:
-        """Store ``entry`` and return the keys evicted to make room."""
+    def insert(self, entry: PageEntry) -> list[PageEntry]:
+        """Store ``entry`` and return the entries evicted to make room."""
         with self._lock:
             if entry.key in self._entries:
                 # Refresh: replace in place (dependencies re-registered).
@@ -104,14 +104,15 @@ class PageCache:
             self._policy.on_insert(entry.key)
             if not entry.semantic:
                 self.dependencies.register(entry.key, entry.dependencies)
-            evicted: list[str] = []
+            evicted: list[PageEntry] = []
             while self._over_capacity():
                 victim = self._policy.victim()
                 if victim == entry.key and len(self._entries) == 1:
                     break  # never evict the sole, just-inserted entry
+                victim_entry = self._entries[victim]
                 self._remove(victim, reason="capacity")
                 self.eviction_count += 1
-                evicted.append(victim)
+                evicted.append(victim_entry)
             return evicted
 
     def _over_capacity(self) -> bool:

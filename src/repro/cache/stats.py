@@ -104,6 +104,21 @@ class CacheStats:
     #: Inserts skipped because the rendered body contained a hole
     #: (per-request state): the page assembled from fragments instead.
     hole_skips: int = 0
+    #: Admission verdicts on the insert path (``repro.admission``):
+    #: stored, demoted to pass-through, and shadow-mode would-have-denied
+    #: (stored anyway).  Under the default AdmitAll policy every insert
+    #: that passes the staleness check counts as admitted.
+    admitted: int = 0
+    denied: int = 0
+    shadow_denied: int = 0
+    #: Consistency dooms attributed to the write template that caused
+    #: them (which UPDATE/INSERT statements churn the cache).
+    dooms_by_template: dict[str, int] = field(default_factory=dict)
+    #: Body bytes stored / evicted per key class (page URI with the
+    #: query stripped, ``frag://name``, ``method://qualname``): what
+    #: each class costs the store, the admission ablation's denominator.
+    inserted_bytes_by_class: dict[str, int] = field(default_factory=dict)
+    evicted_bytes_by_class: dict[str, int] = field(default_factory=dict)
     by_type: dict[str, RequestTypeStats] = field(default_factory=dict)
     _lock: NamedRLock = field(
         default_factory=lambda: NamedRLock("stats"),
@@ -175,14 +190,45 @@ class CacheStats:
             self.write_requests += 1
             self.type_stats(uri).writes += 1
 
-    def record_insert(self, evictions: int = 0) -> None:
+    def record_insert(
+        self,
+        evictions: int = 0,
+        cls: str | None = None,
+        nbytes: int = 0,
+        evicted: tuple = (),
+    ) -> None:
+        """One stored insert; ``evicted`` is (class, bytes) per victim."""
         with self._lock:
             self.inserts += 1
             self.evictions += evictions
+            if cls is not None:
+                self.inserted_bytes_by_class[cls] = (
+                    self.inserted_bytes_by_class.get(cls, 0) + nbytes
+                )
+            for victim_cls, victim_bytes in evicted:
+                self.evicted_bytes_by_class[victim_cls] = (
+                    self.evicted_bytes_by_class.get(victim_cls, 0)
+                    + victim_bytes
+                )
 
-    def record_invalidated(self, pages: int = 1) -> None:
+    def record_admission(self, verdict: str) -> None:
+        with self._lock:
+            if verdict == "admitted":
+                self.admitted += 1
+            elif verdict == "denied":
+                self.denied += 1
+            elif verdict == "shadow_denied":
+                self.shadow_denied += 1
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown admission verdict {verdict!r}")
+
+    def record_invalidated(self, pages: int = 1, template: str | None = None) -> None:
         with self._lock:
             self.invalidated_pages += pages
+            if template is not None:
+                self.dooms_by_template[template] = (
+                    self.dooms_by_template.get(template, 0) + pages
+                )
 
     def record_intersection_test(self) -> None:
         with self._lock:
@@ -248,6 +294,12 @@ class CacheStats:
                 "coalesced_hits": self.coalesced_hits,
                 "stale_inserts": self.stale_inserts,
                 "hole_skips": self.hole_skips,
+                "admitted": self.admitted,
+                "denied": self.denied,
+                "shadow_denied": self.shadow_denied,
+                "dooms_by_template": dict(self.dooms_by_template),
+                "inserted_bytes_by_class": dict(self.inserted_bytes_by_class),
+                "evicted_bytes_by_class": dict(self.evicted_bytes_by_class),
                 "hit_rate": self.hit_rate,
                 "by_type": {
                     uri: {

@@ -21,6 +21,12 @@ from __future__ import annotations
 import time
 from typing import Callable, Iterable
 
+from repro.admission.aspects import (
+    DEFAULT_METHOD_POINTCUT,
+    MethodCacheAspect,
+    method_cache_aspect_class,
+)
+from repro.admission.policy import AdmissionPolicy
 from repro.aop.weaver import WeaveReport, Weaver
 from repro.cache.analysis import InvalidationPolicy
 from repro.cache.aspects import (
@@ -59,11 +65,17 @@ class ClusterAutoWebCache:
         flight_timeout: float = 30.0,
         vnodes: int = DEFAULT_VNODES,
         fragments: bool = True,
+        admission: AdmissionPolicy | None = None,
+        method_cache_targets: Iterable[type] = (),
+        method_cache_pointcut: str | None = None,
     ) -> None:
         names = node_names if node_names is not None else default_node_names(n_nodes)
         # One shared registry: cacheability and TTL windows are
         # cluster-wide policy, identical on every shard.
         shared_semantics = semantics or SemanticsRegistry()
+        # Likewise one shared admission policy: every shard consults the
+        # same cost model, so a class demoted on one node is demoted
+        # cluster-wide (admission is placement-independent policy).
         factory = make_cache_factory(
             invalidation_policy=policy,
             replacement=replacement,
@@ -74,6 +86,7 @@ class ClusterAutoWebCache:
             forced_miss=forced_miss,
             coalesce=coalesce,
             flight_timeout=flight_timeout,
+            admission=admission,
         )
         self.router = ClusterRouter(names, factory, vnodes=vnodes)
         self.collector = ConsistencyCollector()
@@ -84,6 +97,16 @@ class ClusterAutoWebCache:
         self.fragment_aspect = (
             FragmentCacheAspect(self.router, self.collector) if fragments else None
         )
+        self.method_cache_targets = tuple(method_cache_targets)
+        self.method_aspect = None
+        if self.method_cache_targets:
+            aspect_cls = (
+                method_cache_aspect_class(method_cache_pointcut)
+                if method_cache_pointcut is not None
+                and method_cache_pointcut != DEFAULT_METHOD_POINTCUT
+                else MethodCacheAspect
+            )
+            self.method_aspect = aspect_cls(self.router, self.collector)
         self._weaver: Weaver | None = None
         self.weave_report: WeaveReport | None = None
 
@@ -133,6 +156,11 @@ class ClusterAutoWebCache:
             weaver.add_aspect(self.fragment_aspect)
             if PageComposer not in targets:
                 targets.append(PageComposer)
+        if self.method_aspect is not None:
+            weaver.add_aspect(self.method_aspect)
+            for owner in self.method_cache_targets:
+                if owner not in targets:
+                    targets.append(owner)
         for aspect in extra_aspects:
             weaver.add_aspect(aspect)
         self.weave_report = weaver.weave(targets)

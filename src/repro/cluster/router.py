@@ -90,6 +90,9 @@ class ClusterStats:
     coalesced_hits = property(lambda self: self._sum("coalesced_hits"))
     stale_inserts = property(lambda self: self._sum("stale_inserts"))
     hole_skips = property(lambda self: self._sum("hole_skips"))
+    admitted = property(lambda self: self._sum("admitted"))
+    denied = property(lambda self: self._sum("denied"))
+    shadow_denied = property(lambda self: self._sum("shadow_denied"))
 
     @property
     def misses(self) -> int:
@@ -133,6 +136,13 @@ class ClusterStats:
             stats = node_snapshot["stats"]
             for key, value in stats.items():
                 if key in ("by_type", "hit_rate"):
+                    continue
+                if isinstance(value, dict):
+                    # dict-valued counters (dooms_by_template, per-class
+                    # byte totals): merge by sub-key, never +=.
+                    bucket = aggregate.setdefault(key, {})
+                    for sub_key, count in value.items():
+                        bucket[sub_key] = bucket.get(sub_key, 0) + count
                     continue
                 aggregate[key] += value
         cacheable = (
@@ -203,6 +213,12 @@ class ClusterRouter:
     @property
     def clock(self) -> Callable[[], float]:
         return self._template.clock
+
+    @property
+    def admission(self):
+        """The admission policy (shared by reference across all nodes,
+        like the semantics registry: admission is cluster-wide policy)."""
+        return self._template.admission
 
     # -- membership --------------------------------------------------------------------
 

@@ -48,6 +48,7 @@ def _cmd_list(_args: argparse.Namespace) -> str:
         ["cluster", "sharded-tier scaling curve (throughput vs nodes)"],
         ["differential", "indexed vs brute-force invalidation equivalence"],
         ["obs", "observability-woven scripted run (metrics + traces)"],
+        ["admission", "adaptive-admission scripted run (cost model report)"],
         ["check", "whole-program consistency linter (staticcheck)"],
         ["run", "one custom cell (see --help)"],
     ]
@@ -303,6 +304,68 @@ def _cmd_obs(args: argparse.Namespace) -> str:
     return "\n\n".join(sections)
 
 
+def _cmd_admission(args: argparse.Namespace) -> str:
+    """A scripted run under an admission policy; prints the cost model.
+
+    Drives a churn-heavy RUBiS mix -- a hot item is bid on between
+    views, so its pages are doomed about as fast as they are inserted,
+    while the browse pages stay stable -- through a cache with the
+    method-level result tier woven over the category catalogue.  Then
+    renders the admission verdict counters, the per-class cost-model
+    profiles (demotion candidates first), the per-template doom
+    counters and the per-class byte totals.
+    """
+    from repro.admission import AdaptiveAdmission, AdmitAll
+    from repro.apps.rubis.app import build_rubis
+    from repro.apps.rubis.base import CategoryCatalogue
+    from repro.cache.autowebcache import AutoWebCache
+    from repro.harness.reporting import (
+        render_admission_profiles,
+        render_admission_verdicts,
+        render_class_bytes,
+        render_doom_templates,
+    )
+
+    if args.mode == "admit-all":
+        policy = AdmitAll()
+    else:
+        policy = AdaptiveAdmission(
+            margin=args.margin,
+            min_observations=args.min_observations,
+            shadow=(args.mode == "shadow"),
+        )
+    app = build_rubis()
+    awc = AutoWebCache(
+        admission=policy,
+        method_cache_targets=(CategoryCatalogue,),
+    )
+    awc.install(app.container.servlet_classes)
+    try:
+        for i in range(args.requests):
+            item = str(i % 3 + 1)
+            app.container.get("/rubis/view_item", {"item": item})
+            app.container.get("/rubis/view_bid_history", {"item": item})
+            app.container.get("/rubis/browse_categories", {})
+            app.container.post(
+                "/rubis/store_bid",
+                {"item": item, "user": "1", "bid": str(100.0 + i)},
+            )
+    finally:
+        awc.uninstall()
+    snapshot = awc.stats.snapshot()
+    sections = [
+        render_admission_verdicts(
+            f"Admission verdicts ({args.mode})", snapshot
+        ),
+        render_admission_profiles(
+            "Cost model by class", policy.snapshot()
+        ),
+        render_doom_templates("Invalidation churn by template", snapshot),
+        render_class_bytes("Bytes by class", snapshot),
+    ]
+    return "\n\n".join(sections)
+
+
 def _cmd_check(args: argparse.Namespace) -> tuple[str, int]:
     """Run the whole-program consistency linter over the repository.
 
@@ -459,6 +522,20 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--view", choices=["summary", "metrics", "traces", "all"],
                      default="summary")
 
+    admission = sub.add_parser(
+        "admission",
+        help="adaptive-admission scripted run (cost model report)",
+    )
+    admission.add_argument("--requests", type=int, default=120,
+                           help="scripted request rounds to drive")
+    admission.add_argument("--mode",
+                           choices=["admit-all", "adaptive", "shadow"],
+                           default="adaptive")
+    admission.add_argument("--margin", type=float, default=0.1,
+                           help="hysteresis margin on the normalised score")
+    admission.add_argument("--min-observations", type=int, default=20,
+                           help="cold-start sample count before scoring")
+
     check = sub.add_parser(
         "check", help="whole-program consistency linter (staticcheck)"
     )
@@ -509,6 +586,8 @@ def main(argv: list[str] | None = None) -> int:
         output = _cmd_cluster(args)
     elif args.command == "obs":
         output = _cmd_obs(args)
+    elif args.command == "admission":
+        output = _cmd_admission(args)
     elif args.command == "check":
         output, status = _cmd_check(args)
     elif args.command == "run":

@@ -22,6 +22,7 @@ from repro.obs.trace import Span
 from repro.obs.tracer import Tracer
 
 HISTOGRAM_METRIC = "repro_phase_latency_seconds"
+ADMISSION_METRIC = "repro_admission_verdicts_total"
 
 
 def _format_bound(bound: float) -> str:
@@ -35,8 +36,17 @@ def _escape_label(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
-def render_metrics(hub: MetricsHub, tracer: Tracer | None = None) -> str:
-    """The ``/_metrics`` document: Prometheus text exposition format."""
+def render_metrics(
+    hub: MetricsHub,
+    tracer: Tracer | None = None,
+    cache_snapshot: dict | None = None,
+) -> str:
+    """The ``/_metrics`` document: Prometheus text exposition format.
+
+    ``cache_snapshot`` (a :meth:`~repro.cache.stats.CacheStats.snapshot`
+    dict, or a cluster aggregate carrying the same keys) adds the
+    admission verdict counters as a labelled counter family.
+    """
     lines = [
         f"# HELP {HISTOGRAM_METRIC} Latency of woven phases by request type.",
         f"# TYPE {HISTOGRAM_METRIC} histogram",
@@ -66,6 +76,17 @@ def render_metrics(hub: MetricsHub, tracer: Tracer | None = None) -> str:
             "# TYPE repro_tracer_traces_evicted_total counter",
             f"repro_tracer_traces_evicted_total {tracer.traces_evicted}",
         ]
+    if cache_snapshot is not None:
+        lines += [
+            f"# HELP {ADMISSION_METRIC} Cache insert admission verdicts.",
+            f"# TYPE {ADMISSION_METRIC} counter",
+        ]
+        for verdict in ("admitted", "denied", "shadow_denied"):
+            count = cache_snapshot.get(verdict, 0)
+            lines.append(
+                f'{ADMISSION_METRIC}{{verdict="{_escape_label(verdict)}"}} '
+                f"{count}"
+            )
     return "\n".join(lines) + "\n"
 
 

@@ -141,12 +141,16 @@ class Observability:
 
     # -- exposition --------------------------------------------------------------------
 
-    def mount(self, container, semantics=None) -> dict[str, object]:
-        """Register ``/_metrics`` and ``/_traces`` on ``container``."""
+    def mount(self, container, semantics=None, stats=None) -> dict[str, object]:
+        """Register ``/_metrics`` and ``/_traces`` on ``container``.
+
+        Pass the cache facade's ``stats`` to expose the admission
+        verdict counters alongside the latency histograms.
+        """
         from repro.obs.servlets import mount_observability
 
         return mount_observability(
-            container, self.hub, self.tracer, semantics=semantics
+            container, self.hub, self.tracer, semantics=semantics, stats=stats
         )
 
     def reset(self) -> None:

@@ -21,15 +21,29 @@ TRACES_URI = "/_traces"
 
 
 class MetricsServlet(HttpServlet):
-    """Serves the Prometheus text exposition of the metrics hub."""
+    """Serves the Prometheus text exposition of the metrics hub.
 
-    def __init__(self, hub: MetricsHub, tracer: Tracer | None = None) -> None:
+    ``stats`` (anything with a lock-consistent ``snapshot()`` -- a
+    :class:`~repro.cache.stats.CacheStats` or a cluster aggregate) adds
+    the admission verdict counters, snapshotted at serve time.
+    """
+
+    def __init__(
+        self,
+        hub: MetricsHub,
+        tracer: Tracer | None = None,
+        stats=None,
+    ) -> None:
         self.hub = hub
         self.tracer = tracer
+        self.stats = stats
 
     def do_get(self, request: HttpRequest, response: HttpResponse) -> None:
         response.set_header("Content-Type", "text/plain; version=0.0.4")
-        response.write(render_metrics(self.hub, self.tracer))
+        snapshot = self.stats.snapshot() if self.stats is not None else None
+        response.write(
+            render_metrics(self.hub, self.tracer, cache_snapshot=snapshot)
+        )
 
 
 class TracesServlet(HttpServlet):
@@ -57,16 +71,18 @@ def mount_observability(
     hub: MetricsHub,
     tracer: Tracer,
     semantics=None,
+    stats=None,
 ) -> dict[str, HttpServlet]:
     """Register both exposition servlets on ``container``.
 
     ``semantics`` (a :class:`~repro.cache.semantics.SemanticsRegistry`)
     is optional but recommended whenever a cache is installed: the
     exposition URIs are marked uncacheable so a woven read aspect can
-    never serve yesterday's metrics.
+    never serve yesterday's metrics.  ``stats`` (the installed cache's
+    stats object) adds the admission verdict counters to ``/_metrics``.
     """
     servlets: dict[str, HttpServlet] = {
-        METRICS_URI: MetricsServlet(hub, tracer),
+        METRICS_URI: MetricsServlet(hub, tracer, stats=stats),
         TRACES_URI: TracesServlet(tracer),
     }
     for uri, servlet in servlets.items():

@@ -8,10 +8,12 @@ documented acquisition order.  This package checks those preconditions
 *statically* -- the complement to the dynamic SQL analysis the paper
 describes (and the gap its "limitations" section concedes).
 
-Three passes share one diagnostic model (:mod:`~repro.staticcheck.diagnostics`):
+Four passes share one diagnostic model (:mod:`~repro.staticcheck.diagnostics`):
 
 - :mod:`~repro.staticcheck.cacheability` -- RC01..RC04 over the servlet
   classes of ``repro.apps``;
+- :mod:`~repro.staticcheck.methodcache` -- RC05 over the designated
+  method-cache candidates (bodies must be functions of their arguments);
 - :mod:`~repro.staticcheck.coverage` -- PC01..PC03 over the registered
   pointcuts and the statically discovered join-point surface;
 - :mod:`~repro.staticcheck.lockorder` -- LK01 over nested lock scopes in

@@ -64,6 +64,17 @@ RULES: dict[str, Rule] = {
             "or baseline the finding if the full scan is intended",
         ),
         Rule(
+            "RC05",
+            "error",
+            "method-cache candidate is not a function of its arguments",
+            "a method woven with MethodCacheAspect is keyed on "
+            "method://Class.method?args alone; reading request/session "
+            "state or entropy outside a hole makes the cached result "
+            "wrong for other requests.  Pass the varying value as an "
+            "argument, confine it to a hole, or drop the method from "
+            "the method-cache pointcut",
+        ),
+        Rule(
             "PC01",
             "warning",
             "dead pointcut: advice matches no join point",

@@ -1,0 +1,92 @@
+"""Method-cache candidacy pass: RC05 over the designated helper methods.
+
+A method woven with :class:`~repro.admission.aspects.MethodCacheAspect`
+is cached under ``method://Class.method?args`` -- the *arguments* are
+the whole cache key.  That is only sound when the method is a function
+of its arguments and the database: a body that reads request or session
+state, or draws entropy, produces a result the key cannot distinguish,
+so the first caller's answer is replayed for every other request.
+
+This pass walks each designated ``(owner class, method)`` pair exactly
+as the cacheability pass walks a handler -- through ``self.*`` helpers,
+with the hole exemption (a site confined to ``hole(...)`` render thunks
+is recomputed per request and never enters the cached value) -- and
+flags:
+
+- entropy sources (``random``/``time``-style modules, entropy-holding
+  collaborators such as the TPC-W ``AdRotator``);
+- session state (``session``/``get_session`` access);
+- request state (any call on an ``HttpRequest`` receiver -- request
+  parameters are not part of a ``method://`` key unless the caller
+  passes them in as arguments).
+"""
+
+from __future__ import annotations
+
+from repro.staticcheck.cacheability import (
+    _boundary_states,
+    _entropy_source,
+    _reachable,
+)
+from repro.staticcheck.diagnostics import Diagnostic
+from repro.staticcheck.source import relative_to, scan_calls
+from repro.staticcheck.target import CheckTarget
+
+#: Receiver type names whose reads are per-request state: a candidate
+#: keyed on its arguments must not consult them directly.
+_REQUEST_TYPES = frozenset({"HttpRequest"})
+
+
+def check_method_cache(target: CheckTarget) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    for owner_cls, method_name in target.method_cache_targets:
+        info = target.registry.info_for(owner_cls)
+        entry = info.functions.get(method_name)
+        if entry is None:
+            continue
+        symbol = f"{info.name}.{method_name}"
+        for fn, confined in _reachable(info, entry):
+            diagnostics.extend(
+                _check_candidate(target, info, symbol, fn, confined)
+            )
+    return diagnostics
+
+
+def _check_candidate(
+    target: CheckTarget, info, symbol: str, fn, confined: bool
+) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    file = relative_to(fn.file, target.repo_root)
+    scan = scan_calls(info, fn, target.registry)
+    states = _boundary_states(fn)
+    for site in scan.sites:
+        state = states.get(id(site.node))
+        if state == "hole" or (state is None and confined):
+            continue  # recomputed per request, never enters the value
+        source = _unstable_source(site, target)
+        if source is not None:
+            diagnostics.append(
+                Diagnostic(
+                    rule="RC05",
+                    file=file,
+                    line=site.line,
+                    symbol=symbol,
+                    message=(
+                        f"method-cache candidate reads {source}; the "
+                        f"method:// key carries only the arguments, so "
+                        f"the cached result would be replayed across "
+                        f"requests that differ in this hidden state"
+                    ),
+                )
+            )
+    return diagnostics
+
+
+def _unstable_source(site, target: CheckTarget) -> str | None:
+    """What makes this call site unsafe to key on arguments, if anything."""
+    if site.receiver_type in _REQUEST_TYPES:
+        return f"request state via {site.receiver_type}.{site.method}"
+    entropy = _entropy_source(site, target)
+    if entropy is not None:
+        return entropy
+    return None

@@ -1,4 +1,4 @@
-"""Orchestrates the three passes into one :class:`Report`."""
+"""Orchestrates the four passes into one :class:`Report`."""
 
 from __future__ import annotations
 
@@ -8,6 +8,7 @@ from repro.staticcheck.cacheability import check_cacheability
 from repro.staticcheck.coverage import check_coverage
 from repro.staticcheck.diagnostics import Report, load_baseline
 from repro.staticcheck.lockorder import check_lock_order
+from repro.staticcheck.methodcache import check_method_cache
 from repro.staticcheck.target import CheckTarget, default_target
 
 
@@ -23,6 +24,7 @@ def run_check(
     target = target or default_target()
     diagnostics = (
         check_cacheability(target)
+        + check_method_cache(target)
         + check_coverage(target)
         + check_lock_order(target)
     )

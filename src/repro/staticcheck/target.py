@@ -50,6 +50,11 @@ class CheckTarget:
     surface_classes: tuple[type, ...] = ()
     #: Driver-level call sites that must be covered by caching advice.
     required_sql_sites: tuple[tuple[type, str], ...] = ()
+    #: (owner class, method name) pairs designated for the woven
+    #: method-level result cache; the RC05 pass vets each body for
+    #: request/session/entropy reads that the ``method://`` key cannot
+    #: distinguish.
+    method_cache_targets: tuple[tuple[type, str], ...] = ()
     #: Classes whose nested lock scopes the lock-order pass analyses.
     lock_classes: tuple[type, ...] = ()
     #: Class names whose instances are per-request entropy (RC02), e.g.
@@ -70,6 +75,7 @@ class CheckTarget:
             classes: list[type] = list(self.helper_classes)
             classes.extend(self.surface_classes)
             classes.extend(self.lock_classes)
+            classes.extend(owner for owner, _m in self.method_cache_targets)
             for app in self.apps:
                 for _uri, servlet_cls, _w in app.interactions:
                     classes.append(servlet_cls)
@@ -102,6 +108,7 @@ def repo_root() -> Path:
 def default_target() -> CheckTarget:
     """The real repository: both benchmark apps, all woven aspects, the
     full caching/cluster lock surface."""
+    from repro.admission.aspects import MethodCacheAspect
     from repro.apps.html import PageComposer
     from repro.apps.rubis import app as rubis_app
     from repro.apps.rubis.base import CategoryCatalogue, RubisServlet
@@ -156,6 +163,7 @@ def default_target() -> CheckTarget:
             WriteServletAspect,
             JdbcConsistencyAspect,
             FragmentCacheAspect,
+            MethodCacheAspect,
             ResultCacheAspect,
             TracingAspect,
             MetricsAspect,
@@ -168,6 +176,7 @@ def default_target() -> CheckTarget:
         ),
         surface_classes=(
             PageComposer,
+            CategoryCatalogue,
             Statement,
             Connection,
             Cache,
@@ -183,6 +192,10 @@ def default_target() -> CheckTarget:
             (Statement, "execute_update"),
             (Connection, "commit"),
             (Connection, "rollback"),
+        ),
+        method_cache_targets=(
+            (CategoryCatalogue, "categories"),
+            (CategoryCatalogue, "regions"),
         ),
         lock_classes=(
             Cache,

@@ -20,6 +20,7 @@ from tests.fixtures.badapp.servlets import (
     GoodServlet,
     LuckyNumber,
     OrphanServlet,
+    PersonalisedCatalogue,
     ScanHeavy,
 )
 
@@ -44,6 +45,10 @@ def badapp_target() -> CheckTarget:
             (Statement, "execute_update"),
             (Connection, "commit"),
             (Connection, "rollback"),
+        ),
+        method_cache_targets=(
+            (PersonalisedCatalogue, "recommendations"),
+            (PersonalisedCatalogue, "category_names"),
         ),
         lock_classes=(Till, Vault, BackwardsIndex, PageMirror),
         helper_classes=(

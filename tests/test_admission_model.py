@@ -1,0 +1,310 @@
+"""The admission cost model and policies: edge cases.
+
+The satellite checklist for ``repro.admission``: cold start (no
+observations -> admit), zero-hit classes under sustained churn (must
+demote), hysteresis bounds (no oscillation around break-even), and
+shadow mode never changing cache contents (differential vs AdmitAll).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.admission.model import ClassProfile, CostModel, key_class
+from repro.admission.policy import (
+    ADMIT,
+    DENY,
+    SHADOW_DENY,
+    AdaptiveAdmission,
+    AdmissionPolicy,
+    AdmitAll,
+)
+from repro.cache.autowebcache import AutoWebCache
+from repro.obs.histogram import MetricsHub
+
+from tests.conftest import build_notes_app
+
+
+class TestKeyClass:
+    def test_page_key_strips_query(self):
+        assert key_class("/rubis/view_item?item=3") == "/rubis/view_item"
+
+    def test_fragment_and_method_schemes(self):
+        assert key_class("frag://rubis/category_table?region=1") == (
+            "frag://rubis/category_table"
+        )
+        assert key_class("method://CategoryCatalogue.categories?arg0=1") == (
+            "method://CategoryCatalogue.categories"
+        )
+
+    def test_bare_key_is_its_own_class(self):
+        assert key_class("/plain") == "/plain"
+
+
+class TestCostModel:
+    def test_first_sample_replaces_not_blends(self):
+        model = CostModel(alpha=0.2)
+        model.observe_recompute("/p", 0.5)
+        assert model.snapshot()["/p"]["recompute_seconds"] == 0.5
+
+    def test_later_samples_blend_by_alpha(self):
+        model = CostModel(alpha=0.5)
+        model.observe_recompute("/p", 1.0)
+        model.observe_recompute("/p", 0.0)
+        assert model.snapshot()["/p"]["recompute_seconds"] == pytest.approx(0.5)
+
+    def test_negative_recompute_sample_ignored(self):
+        model = CostModel()
+        model.observe_recompute("/p", -1.0)  # clock ran backwards
+        assert model.snapshot() == {}
+
+    def test_hit_ewma_tracks_lookups(self):
+        model = CostModel(alpha=0.5)
+        model.observe_lookup("/p", hit=False)
+        assert model.snapshot()["/p"]["hit_prob"] == 0.0
+        model.observe_lookup("/p", hit=True)
+        assert model.snapshot()["/p"]["hit_prob"] == pytest.approx(0.5)
+
+    def test_score_arithmetic(self):
+        model = CostModel(alpha=1.0, churn_weight=1.0, byte_rent=0.001)
+        model.observe_lookup("/p", hit=True)      # hit_prob 1.0
+        model.observe_recompute("/p", 0.2)        # recompute 0.2s
+        model.observe_insert("/p", 100)           # size 100 B
+        model.observe_doom("/p")                  # 1 doom / 1 insert
+        # benefit 1.0*0.2 - churn 1.0*1.0*0.2 - rent 0.001*100
+        assert model.score("/p") == pytest.approx(0.2 - 0.2 - 0.1)
+        assert model.normalized_score("/p") == pytest.approx(-0.5)
+
+    def test_normalized_score_zero_without_recompute_signal(self):
+        model = CostModel()
+        model.observe_lookup("/p", hit=True)
+        assert model.normalized_score("/p") == 0.0
+        assert model.score("/unknown") == 0.0
+        assert model.normalized_score("/unknown") == 0.0
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(alpha=0.0)
+        with pytest.raises(ValueError):
+            CostModel(alpha=1.5)
+
+    def test_observations_counts_lookups_and_inserts(self):
+        model = CostModel()
+        model.observe_lookup("/p", hit=False)
+        model.observe_insert("/p", 10)
+        model.observe_doom("/p")  # dooms are not observations
+        assert model.observations("/p") == 2
+
+    def test_snapshot_shape(self):
+        model = CostModel()
+        model.observe_lookup("/p", hit=True)
+        model.observe_insert("/p", 64)
+        row = model.snapshot()["/p"]
+        assert row["class"] == "/p"
+        assert set(row) == {
+            "class", "lookups", "hit_prob", "recompute_seconds",
+            "size_bytes", "inserts", "dooms", "dooms_per_insert",
+            "score", "normalized_score",
+        }
+        assert model.classes() == ["/p"]
+
+    def test_dooms_per_insert_zero_without_inserts(self):
+        profile = ClassProfile("/p")
+        profile.dooms = 5
+        assert profile.dooms_per_insert == 0.0
+
+    def test_sync_from_hub_folds_histogram_means(self):
+        hub = MetricsHub()
+        hub.observe("servlet", "/view_topic?topic=a", 0.3)
+        hub.observe("servlet", "/view_topic?topic=a", 0.1)
+        hub.observe("db", "/view_topic", 9.0)  # wrong phase: skipped
+        model = CostModel()
+        assert model.sync_from_hub(hub) == 1
+        row = model.snapshot()["/view_topic"]
+        assert row["recompute_seconds"] == pytest.approx(0.2)
+
+
+class FixedModel(CostModel):
+    """A model whose normalized score is pinned by the test: isolates
+    the policy's hysteresis state machine from EWMA dynamics."""
+
+    def __init__(self, value: float = 0.0) -> None:
+        super().__init__()
+        self.value = value
+
+    def observations(self, cls: str) -> int:
+        return 10_000  # always past the cold-start gate
+
+    def normalized_score(self, cls: str) -> float:
+        return self.value
+
+
+class TestColdStart:
+    def test_admits_until_min_observations(self):
+        # Terrible score, but the model has not seen enough samples:
+        # the cold-start rule admits unconditionally.
+        policy = AdaptiveAdmission(margin=0.1, min_observations=20)
+        policy.model.observe_doom("/p", count=100)
+        assert policy.verdict("/p", 100) == ADMIT
+        assert not policy.is_demoted("/p")
+
+    def test_brand_new_class_admits(self):
+        policy = AdaptiveAdmission(min_observations=1)
+        # First-ever verdict: the insert itself is the first observation.
+        assert policy.verdict("/never-seen", 10) == ADMIT
+
+
+class TestChurnDemotes:
+    def test_zero_hit_class_under_sustained_churn_demotes(self):
+        policy = AdaptiveAdmission(margin=0.1, min_observations=10)
+        model = policy.model
+        for _ in range(20):  # every lookup misses
+            model.observe_lookup("/churny", hit=False)
+        model.observe_recompute("/churny", 0.05)
+        verdicts = []
+        for _ in range(10):  # every insert doomed before any hit
+            verdicts.append(policy.verdict("/churny", 200))
+            model.observe_doom("/churny")
+        assert verdicts[-1] == DENY
+        assert policy.is_demoted("/churny")
+        assert policy.demoted_classes() == ["/churny"]
+
+    def test_good_class_stays_admitted(self):
+        policy = AdaptiveAdmission(margin=0.1, min_observations=5)
+        model = policy.model
+        for _ in range(20):
+            model.observe_lookup("/stable", hit=True)
+        model.observe_recompute("/stable", 0.05)
+        for _ in range(10):
+            assert policy.verdict("/stable", 200) == ADMIT
+        assert not policy.is_demoted("/stable")
+
+
+class TestHysteresis:
+    def test_small_negative_score_stays_admitted(self):
+        policy = AdaptiveAdmission(model=FixedModel(-0.05), margin=0.1,
+                                   min_observations=0)
+        assert policy.verdict("/p", 10) == ADMIT
+
+    def test_demotes_below_minus_margin(self):
+        model = FixedModel(-0.2)
+        policy = AdaptiveAdmission(model=model, margin=0.1,
+                                   min_observations=0)
+        assert policy.verdict("/p", 10) == DENY
+        # Inside the band while demoted: demotion is sticky.
+        model.value = 0.05
+        assert policy.verdict("/p", 10) == DENY
+        assert policy.is_demoted("/p")
+
+    def test_readmits_above_plus_margin(self):
+        model = FixedModel(-0.2)
+        policy = AdaptiveAdmission(model=model, margin=0.1,
+                                   min_observations=0)
+        assert policy.verdict("/p", 10) == DENY
+        model.value = 0.2
+        assert policy.verdict("/p", 10) == ADMIT
+        assert not policy.is_demoted("/p")
+
+    def test_no_oscillation_inside_the_band(self):
+        # A class jittering between -margin and +margin must never flip
+        # state: admitted stays admitted, demoted stays demoted.
+        model = FixedModel()
+        policy = AdaptiveAdmission(model=model, margin=0.1,
+                                   min_observations=0)
+        for i in range(20):
+            model.value = 0.05 if i % 2 else -0.05
+            assert policy.verdict("/p", 10) == ADMIT
+        model.value = -0.5
+        assert policy.verdict("/p", 10) == DENY
+        for i in range(20):
+            model.value = 0.05 if i % 2 else -0.05
+            assert policy.verdict("/p", 10) == DENY
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveAdmission(margin=-0.1)
+
+    def test_probe_every_readmits_one_in_n(self):
+        policy = AdaptiveAdmission(model=FixedModel(-1.0), margin=0.1,
+                                   min_observations=0, probe_every=3)
+        verdicts = [policy.verdict("/p", 10) for _ in range(6)]
+        assert verdicts == [DENY, DENY, ADMIT, DENY, DENY, ADMIT]
+
+    def test_probing_disabled_by_default(self):
+        policy = AdaptiveAdmission(model=FixedModel(-1.0), margin=0.1,
+                                   min_observations=0)
+        assert [policy.verdict("/p", 10) for _ in range(50)] == [DENY] * 50
+
+    def test_snapshot_annotates_admission_state(self):
+        model = FixedModel(-1.0)
+        policy = AdaptiveAdmission(model=model, margin=0.1,
+                                   min_observations=0)
+        policy.verdict("/bad", 10)
+        model.value = 1.0
+        policy.verdict("/good", 10)
+        snapshot = policy.snapshot()
+        assert snapshot["/bad"]["state"] == "pass-through"
+        assert snapshot["/good"]["state"] == "admitted"
+
+
+class TestShadowMode:
+    def test_shadow_verdict_is_shadow_deny(self):
+        policy = AdaptiveAdmission(model=FixedModel(-1.0), margin=0.1,
+                                   min_observations=0, shadow=True)
+        assert policy.shadow
+        assert policy.verdict("/p", 10) == SHADOW_DENY
+
+    def test_admit_all_is_the_default_and_stateless(self):
+        policy = AdmitAll()
+        assert not policy.shadow
+        assert policy.verdict("/anything", 10**9) == ADMIT
+        policy.observe_lookup("/p", hit=False)
+        policy.observe_recompute("/p", 1.0)
+        policy.observe_doom("/p")
+        assert policy.snapshot() == {}
+        assert isinstance(policy, AdmissionPolicy)
+
+    def test_shadow_mode_never_changes_cache_contents(self):
+        """Differential: the same churn-heavy workload through AdmitAll
+        and through shadow-mode AdaptiveAdmission must leave bit-for-bit
+        identical cache contents -- shadow only counts."""
+
+        def run(policy):
+            db, container = build_notes_app()
+            awc = AutoWebCache(admission=policy)
+            awc.install(container.servlet_classes)
+            try:
+                note_id = 0
+                for round_ in range(30):
+                    # Zero-hit churn on topic pages: every view is
+                    # doomed by the next add before it can hit.
+                    container.get("/view_topic", {"topic": "a"})
+                    note_id += 1
+                    container.post("/add", {
+                        "id": str(note_id), "topic": "a",
+                        "body": f"b{round_}", "score": "0",
+                    })
+                    # A stable page that only ever hits.
+                    container.get("/view_note", {"id": "1"})
+                return awc
+            finally:
+                awc.uninstall()
+
+        baseline = run(AdmitAll())
+        shadow_policy = AdaptiveAdmission(margin=0.1, min_observations=10,
+                                          shadow=True)
+        shadow = run(shadow_policy)
+
+        base_entries = {e.key: e.body for e in baseline.cache.pages.entries()}
+        shadow_entries = {e.key: e.body for e in shadow.cache.pages.entries()}
+        assert shadow_entries == base_entries
+        assert shadow.cache.pages.total_bytes == baseline.cache.pages.total_bytes
+        # The policy did fire -- it just was not enforced.
+        assert shadow.stats.shadow_denied > 0
+        assert shadow.stats.denied == 0
+        assert shadow_policy.is_demoted("/view_topic")
+        # Every insert was stored: admitted + shadow-denied covers them.
+        assert (shadow.stats.admitted + shadow.stats.shadow_denied
+                == shadow.stats.inserts)
+        assert baseline.stats.admitted == baseline.stats.inserts
+        assert baseline.stats.shadow_denied == 0

@@ -27,7 +27,7 @@ class TestBytePageCache:
         cache.insert(entry("/a", 60))
         cache.insert(entry("/b", 30))
         evicted = cache.insert(entry("/c", 50))
-        assert evicted == ["/a"]  # LRU order
+        assert [e.key for e in evicted] == ["/a"]  # LRU order
         assert cache.total_bytes == 80
         _e, reason = cache.lookup("/a", now=0.0)
         assert reason == "capacity"
@@ -38,7 +38,7 @@ class TestBytePageCache:
         cache.insert(entry("/b", 30))
         cache.lookup("/a", now=0.0)  # /a is now most recent
         evicted = cache.insert(entry("/c", 20))  # 110 bytes > 100
-        assert evicted == ["/b"]
+        assert [e.key for e in evicted] == ["/b"]
         assert cache.total_bytes == 80
 
     def test_invalidation_releases_bytes(self):
@@ -63,7 +63,7 @@ class TestBytePageCache:
         cache.insert(entry("/a", 10))
         cache.insert(entry("/b", 10))
         evicted = cache.insert(entry("/c", 10))
-        assert evicted == ["/a"]  # count bound triggered first
+        assert [e.key for e in evicted] == ["/a"]  # count bound triggered first
 
 
 class TestFactoryOrderOnly:

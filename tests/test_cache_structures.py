@@ -120,7 +120,7 @@ class TestPageCache:
         cache.insert(self.entry("/a"))
         cache.insert(self.entry("/b"))
         evicted = cache.insert(self.entry("/c"))
-        assert evicted == ["/a"]
+        assert [e.key for e in evicted] == ["/a"]
         _entry, reason = cache.lookup("/a", now=0.0)
         assert reason == "capacity"
         assert len(cache) == 2

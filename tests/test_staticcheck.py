@@ -30,7 +30,10 @@ from tests.fixtures.badapp import badapp_target
 
 pytestmark = pytest.mark.staticcheck
 
-ALL_RULES = {"RC01", "RC02", "RC03", "RC04", "PC01", "PC02", "PC03", "LK01"}
+ALL_RULES = {
+    "RC01", "RC02", "RC03", "RC04", "RC05",
+    "PC01", "PC02", "PC03", "LK01",
+}
 
 _FIXTURE = Path(__file__).parent / "fixtures" / "badapp"
 
@@ -73,6 +76,8 @@ def test_badapp_reports_every_rule_with_correct_anchors():
         # (AuditedCounter has the 1st, GoodServlet/Orphan the 3rd/4th).
         ("RC04", "ScanHeavy.do_get"):
             (servlets, "statement.execute_query(", 2),
+        ("RC05", "PersonalisedCatalogue.recommendations"):
+            (servlets, "self.get_session(", 1),
         ("PC01", "GhostAspect.refresh_stale"):
             (aspects, "execution(RetiredServlet.do_refresh(..))", 1),
         ("PC02", "OrphanServlet.do_get"):
@@ -81,8 +86,8 @@ def test_badapp_reports_every_rule_with_correct_anchors():
             (aspects, "execution(GoodServlet.do_get(..))", 1),
     }
     by_key = {(d.rule, d.symbol): d for d in report.active}
-    assert len(report.active) == 9  # one per rule, plus a second LK01
-    assert len(by_key) == 9
+    assert len(report.active) == 10  # one per rule, plus a second LK01
+    assert len(by_key) == 10
     for (rule, symbol), (file, needle, occurrence) in expected.items():
         diagnostic = by_key[(rule, symbol)]
         relative = file.relative_to(Path(__file__).parents[1]).as_posix()
