@@ -1,6 +1,6 @@
 ENV := PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: test stress stress-lockwatch check bench bench-cluster bench-invalidation bench-fragments bench-obs bench-admission differential results
+.PHONY: test stress stress-lockwatch check bench bench-cluster bench-invalidation bench-fragments bench-obs bench-admission bench-hitpath differential results
 
 # Tier-1: the full unit/integration/property suite (what CI gates on).
 test:
@@ -55,6 +55,14 @@ bench-fragments:
 # Scale with OBS_BENCH_REQUESTS / OBS_BENCH_TRIALS for CI smoke runs.
 bench-obs:
 	$(ENV) timeout 600 python -m pytest -q benchmarks/test_obs_overhead.py
+
+# Serving-tier comparison: ThreadingMixIn wsgiref baseline vs the
+# asyncio fast path over real sockets on warmed RUBiS item pages
+# (writes benchmarks/results/hitpath_throughput.txt; asserts >= 5x).
+# Scale with HITPATH_CONNECTIONS / HITPATH_ITERATIONS / HITPATH_PAGES /
+# HITPATH_MIN_SPEEDUP for CI smoke runs.
+bench-hitpath:
+	$(ENV) timeout 600 python -m pytest -q benchmarks/test_hitpath_throughput.py
 
 # Admission ablation: cache-everything vs adaptive vs shadow on a
 # churn-heavy RUBiS write mix + read-heavy control (writes

@@ -1,0 +1,56 @@
+"""Hit-path throughput: the asyncio tier's reason to exist, in numbers.
+
+Drives the same warmed, woven RUBiS application through both serving
+tiers over real sockets (``repro.harness.hitpath``) and records the
+comparison in ``benchmarks/results/hitpath_throughput.txt``.  The
+headline acceptance bar: the event-loop fast path must serve at least
+5x the single-node hits/sec of the ``ThreadingMixIn`` wsgiref baseline.
+
+Scale knobs for CI smoke runs (full scale by default):
+
+- ``HITPATH_CONNECTIONS`` -- concurrent keep-alive connections (8)
+- ``HITPATH_ITERATIONS``  -- GETs per connection (200)
+- ``HITPATH_PAGES``       -- distinct warmed item pages (4)
+- ``HITPATH_MIN_SPEEDUP`` -- the asserted floor (5.0)
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness.hitpath import render_hitpath_report, run_hitpath_comparison
+
+CONNECTIONS = int(os.environ.get("HITPATH_CONNECTIONS", "8"))
+ITERATIONS = int(os.environ.get("HITPATH_ITERATIONS", "200"))
+PAGES = int(os.environ.get("HITPATH_PAGES", "4"))
+MIN_SPEEDUP = float(os.environ.get("HITPATH_MIN_SPEEDUP", "5.0"))
+
+
+@pytest.mark.concurrency
+def test_hitpath_throughput(figure_report):
+    comparison = run_hitpath_comparison(
+        n_connections=CONNECTIONS,
+        iterations=ITERATIONS,
+        n_pages=PAGES,
+    )
+    figure_report("hitpath_throughput", render_hitpath_report(comparison))
+
+    total = CONNECTIONS * ITERATIONS
+    for name, result in (
+        ("threaded", comparison.threaded),
+        ("asyncio", comparison.asyncio_tier),
+    ):
+        assert result.errors == [], f"{name}: {result.errors}"
+        assert result.server_errors == 0, f"{name} served 5xx responses"
+        assert result.requests == total
+        assert result.statuses == {200: total}
+    # Every warmed page is served from a pinned wire buffer after its
+    # first request lands; at most one cold render per page can slip
+    # through before the buffer is pinned.
+    assert comparison.fast_hits >= total - PAGES
+    assert comparison.speedup >= MIN_SPEEDUP, (
+        f"asyncio tier {comparison.speedup:.1f}x over threaded baseline, "
+        f"need >= {MIN_SPEEDUP:.1f}x"
+    )

@@ -137,6 +137,26 @@ class Cache:
         self.stats.record_miss(stat_uri, reason)
         return None
 
+    def fast_check(self, request: HttpRequest) -> PageEntry | None:
+        """Hit-or-nothing probe for the event-loop fast path.
+
+        Semantics differ from :meth:`check` in exactly one way: a miss
+        records *nothing*.  The async server falls through to the full
+        woven pipeline on a miss, and the `ReadServletAspect` check
+        there records the lookup once, with the correct miss taxonomy
+        (which :meth:`PageCache.lookup` pops destructively -- so this
+        probe must not consume it).  A hit is terminal on the fast path
+        and is recorded here, identically to :meth:`check`.
+        """
+        if self.forced_miss or not self.semantics.is_cacheable(request):
+            return None
+        entry = self.pages.hit(request.cache_key(), self.clock())
+        if entry is None:
+            return None
+        self.stats.record_hit(request.uri, semantic=entry.semantic)
+        self.admission.observe_lookup(request.uri, hit=True)
+        return entry
+
     def insert(
         self,
         request: HttpRequest,

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.sql.template import QueryTemplate
 
@@ -45,6 +46,14 @@ class PageEntry:
     #: (containment edges: dooming any of them dooms this entry too).
     fragments: tuple[str, ...] = ()
     hit_count: int = 0
+    #: Set by :meth:`doom` when the page store removes this entry for a
+    #: consistency reason (invalidation, expiry, eviction).  Serving
+    #: tiers that pinned the wire buffer check it to fall back to a
+    #: fresh render instead of replaying a dead entry.
+    doomed: bool = False
+    #: Precomputed header+body byte buffer for the event-loop hit path,
+    #: pinned by :meth:`wire` and dropped by :meth:`doom`.
+    _wire: bytes | None = field(default=None, repr=False, compare=False)
 
     @property
     def size(self) -> int:
@@ -52,3 +61,37 @@ class PageEntry:
 
     def expired(self, now: float) -> bool:
         return self.expires_at is not None and now >= self.expires_at
+
+    def wire(self, build: Callable[["PageEntry"], bytes]) -> bytes | None:
+        """The pinned wire-format buffer for this entry, or ``None``.
+
+        The first call renders the buffer with ``build`` (the serving
+        tier owns the wire format; the cache only pins the bytes) and
+        every later call returns the same object, so a hot hit costs a
+        dict lookup and one attribute read -- no re-render, no string
+        encode.  Once the entry is :meth:`doom`-ed the method returns
+        ``None`` and the caller must re-enter the renderer.
+
+        Unsynchronized by design: concurrent first calls build identical
+        buffers (``build`` must be pure in the entry), and a doom racing
+        a ``wire`` can at worst hand out a buffer equivalent to a
+        request that finished just before the invalidation -- the same
+        tolerance the insert-time staleness window already grants.
+        """
+        if self.doomed:
+            return None
+        buffer = self._wire
+        if buffer is None:
+            buffer = build(self)
+            self._wire = buffer
+        return buffer
+
+    def doom(self) -> None:
+        """Kill the pinned buffer along with the entry.
+
+        Called by the page store when the entry is removed for a
+        consistency reason; the flag stops the fast path even for
+        threads that grabbed the entry reference before removal.
+        """
+        self.doomed = True
+        self._wire = None

@@ -77,6 +77,29 @@ class PageCache:
                 return entry, "hit"
             return None, self._gone.pop(key, "cold")
 
+    def hit(self, key: str, now: float) -> PageEntry | None:
+        """Return the live entry for ``key``, or ``None`` -- no taxonomy.
+
+        The event-loop fast path probes with this instead of
+        :meth:`lookup` because ``lookup`` destructively pops the
+        ``_gone`` miss reason: if the fast path consumed it, the woven
+        cache check that follows on the slow path would misreport an
+        invalidation miss as cold.  A miss here leaves the store
+        untouched; a hit updates recency exactly like ``lookup``.
+        Expired entries are removed (with their ``"expired"`` reason
+        preserved for the later woven lookup) and reported as a miss.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            if entry.expired(now):
+                self._remove(key, reason="expired")
+                return None
+            entry.hit_count += 1
+            self._policy.on_access(key)
+            return entry
+
     def peek(self, key: str) -> PageEntry | None:
         """Entry for ``key`` without touching recency or expiry."""
         with self._lock:
@@ -159,4 +182,11 @@ class PageCache:
         if not entry.semantic:
             self.dependencies.unregister(key, entry.dependencies)
         if reason != "refresh":
+            # Consistency removal: kill any pinned wire buffer so the
+            # event-loop fast path stops serving it even through entry
+            # references grabbed before this removal.  "refresh" covers
+            # in-place replacement and cluster rebalancing, where the
+            # entry (or its successor) is still live and must keep its
+            # buffer.
+            entry.doom()
             self._gone[key] = reason

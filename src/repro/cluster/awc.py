@@ -68,6 +68,7 @@ class ClusterAutoWebCache:
         admission: AdmissionPolicy | None = None,
         method_cache_targets: Iterable[type] = (),
         method_cache_pointcut: str | None = None,
+        bus_batching: bool = False,
     ) -> None:
         names = node_names if node_names is not None else default_node_names(n_nodes)
         # One shared registry: cacheability and TTL windows are
@@ -88,7 +89,9 @@ class ClusterAutoWebCache:
             flight_timeout=flight_timeout,
             admission=admission,
         )
-        self.router = ClusterRouter(names, factory, vnodes=vnodes)
+        self.router = ClusterRouter(
+            names, factory, vnodes=vnodes, batched_bus=bus_batching
+        )
         self.collector = ConsistencyCollector()
         self.read_aspect = ReadServletAspect(self.router, self.collector)
         self.write_aspect = WriteServletAspect(self.router, self.collector)

@@ -28,7 +28,8 @@ Two properties matter for the consistency argument (docs/cluster.md):
 from __future__ import annotations
 
 import contextlib
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
 from repro.cache.entry import QueryInstance
@@ -73,12 +74,41 @@ class BusStats:
     #: Duplicate write instances dropped before broadcast (each would
     #: have been re-analysed by every subscriber under the bus lock).
     writes_deduped: int = 0
+    #: Group-commit drain rounds (batched mode only): each is one bus
+    #: lock hold that delivered >= 1 queued publishes.  ``published``
+    #: divided by ``batches`` is the achieved batching factor.
+    batches: int = 0
+
+
+@dataclass
+class _PendingPublish:
+    """One queued publish awaiting a group-commit leader (batched mode)."""
+
+    origin: str
+    uri: str
+    writes: tuple[QueryInstance, ...]
+    dropped: int
+    trace: tuple[str, str] | None
+    done: threading.Event = field(default_factory=threading.Event)
+    message: BusMessage | None = None
+    doomed: set = field(default_factory=set)
 
 
 class InvalidationBus:
-    """Sequence-numbered broadcast channel between cache nodes."""
+    """Sequence-numbered broadcast channel between cache nodes.
 
-    def __init__(self) -> None:
+    With ``batched=True`` publishes group-commit: concurrent callers
+    enqueue their write under a small leaf lock, the first of them
+    becomes *leader* and drains the queue under one bus-lock hold while
+    the rest park on per-item events.  Each queued write still gets its
+    own sequence number, its own :class:`BusMessage` (the caller's
+    trace ids included) and a full synchronous delivery pass, in queue
+    order -- total order and invalidation-before-response are
+    unchanged; only the number of bus-lock handoffs shrinks.  Default
+    off: unbatched behaviour is bit-for-bit the PR-2 bus.
+    """
+
+    def __init__(self, batched: bool = False) -> None:
         self._lock = NamedRLock("invalidation-bus")
         self._seq = 0
         #: name -> subscriber, in subscription order (dicts preserve it).
@@ -87,6 +117,15 @@ class InvalidationBus:
         #: Bounded tail of recent messages (observability/tests).
         self._recent: list[BusMessage] = []
         self._recent_limit = 64
+        #: Group-commit mode (see class docstring).
+        self.batched = batched
+        # Leaf lock guarding only the pending queue + leader flag; it is
+        # never held while the bus lock is being *acquired* (the leader
+        # re-takes it inside the bus lock, a strict bus -> queue order),
+        # so it cannot participate in a cycle with the named locks.
+        self._queue_lock = threading.Lock()
+        self._pending: list[_PendingPublish] = []
+        self._draining = False
 
     @property
     def seq(self) -> int:
@@ -134,27 +173,68 @@ class InvalidationBus:
         publish lock serialises every write in the cluster, so each
         duplicate would add a full per-node invalidation pass to the
         bus hold time for provably identical doomed sets.
+
+        In batched mode the call still blocks until *this* write's
+        delivery pass has run everywhere (the group-commit leader may
+        run it on the caller's behalf); the return value is identical.
         """
-        unique = dedupe_writes(writes)
+        unique = tuple(dedupe_writes(writes))
+        dropped = len(writes) - len(unique)
+        if not self.batched:
+            with self._lock:
+                item = _PendingPublish(origin, uri, unique, dropped, trace)
+                self._deliver(item)
+                return item.message, item.doomed
+        item = _PendingPublish(origin, uri, unique, dropped, trace)
+        with self._queue_lock:
+            self._pending.append(item)
+            lead = not self._draining
+            if lead:
+                self._draining = True
+        if not lead:
+            item.done.wait()
+            return item.message, item.doomed
         with self._lock:
-            self._seq += 1
-            self.stats.writes_deduped += len(writes) - len(unique)
-            message = BusMessage(
-                seq=self._seq,
-                origin=origin,
-                uri=uri,
-                writes=tuple(unique),
-                trace=trace,
-            )
-            self._recent.append(message)
-            del self._recent[: -self._recent_limit]
-            doomed: set = set()
-            self.stats.published += 1
-            for subscriber in self._subscribers.values():
-                self.stats.delivered += 1
-                doomed |= subscriber(message)
-            self.stats.pages_invalidated += len(doomed)
-            return message, doomed
+            while True:
+                with self._queue_lock:
+                    batch = self._pending
+                    if not batch:
+                        self._draining = False
+                        break
+                    self._pending = []
+                self.stats.batches += 1
+                for queued in batch:
+                    self._deliver(queued)
+                    queued.done.set()
+        return item.message, item.doomed
+
+    def _deliver(self, item: _PendingPublish) -> None:
+        """Stamp, broadcast and record one publish (bus lock held)."""
+        self._seq += 1
+        self.stats.writes_deduped += item.dropped
+        message = BusMessage(
+            seq=self._seq,
+            origin=item.origin,
+            uri=item.uri,
+            writes=item.writes,
+            trace=item.trace,
+        )
+        self._recent.append(message)
+        del self._recent[: -self._recent_limit]
+        doomed: set = set()
+        self.stats.published += 1
+        for subscriber in self._subscribers.values():
+            self.stats.delivered += 1
+            doomed |= subscriber(message)
+        self.stats.pages_invalidated += len(doomed)
+        item.message = message
+        item.doomed = doomed
+
+    @property
+    def pending_publishes(self) -> int:
+        """Queued publishes not yet drained (batched mode diagnostics)."""
+        with self._queue_lock:
+            return len(self._pending)
 
     def recent(self) -> list[BusMessage]:
         with self._lock:

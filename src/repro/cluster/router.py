@@ -162,6 +162,7 @@ class ClusterStats:
                 "delivered": self._router.bus.stats.delivered,
                 "writes_deduped": self._router.bus.stats.writes_deduped,
                 "pages_invalidated": self._router.bus.stats.pages_invalidated,
+                "batches": self._router.bus.stats.batches,
             },
         }
 
@@ -174,6 +175,7 @@ class ClusterRouter:
         node_names: list[str],
         cache_factory: CacheFactory,
         vnodes: int = DEFAULT_VNODES,
+        batched_bus: bool = False,
     ) -> None:
         if not node_names:
             raise ClusterError("a cluster needs at least one node")
@@ -182,7 +184,7 @@ class ClusterRouter:
         self._cache_factory = cache_factory
         self._lock = NamedRLock("cluster-router")
         self.ring = HashRing(vnodes=vnodes)
-        self.bus = InvalidationBus()
+        self.bus = InvalidationBus(batched=batched_bus)
         self._nodes: dict[str, CacheNode] = {}
         #: key -> node pinned for the duration of an open flight.
         self._flight_nodes: dict[str, CacheNode] = {}
@@ -329,6 +331,15 @@ class ClusterRouter:
     def check_key(self, key: str, stat_uri: str) -> PageEntry | None:
         """Fragment-capable check: route by key to the owning shard."""
         return self._owner(key).cache.check_key(key, stat_uri)
+
+    def fast_check(self, request: HttpRequest) -> PageEntry | None:
+        """Event-loop fast-path probe, routed to the owning shard.
+
+        Same contract as :meth:`Cache.fast_check`: hit-or-nothing, a
+        miss records no statistics and leaves the shard's miss taxonomy
+        intact for the woven check that follows.
+        """
+        return self._owner(request.cache_key()).cache.fast_check(request)
 
     def insert(
         self,

@@ -49,6 +49,7 @@ def _cmd_list(_args: argparse.Namespace) -> str:
         ["differential", "indexed vs brute-force invalidation equivalence"],
         ["obs", "observability-woven scripted run (metrics + traces)"],
         ["admission", "adaptive-admission scripted run (cost model report)"],
+        ["hitpath", "threaded vs asyncio hit-path throughput comparison"],
         ["check", "whole-program consistency linter (staticcheck)"],
         ["run", "one custom cell (see --help)"],
     ]
@@ -366,6 +367,24 @@ def _cmd_admission(args: argparse.Namespace) -> str:
     return "\n\n".join(sections)
 
 
+def _cmd_hitpath(args: argparse.Namespace) -> str:
+    """Drive both serving tiers over one warmed woven RUBiS app and
+    print the throughput comparison (``benchmarks/results/
+    hitpath_throughput.txt`` is the benchmark-suite rendering of the
+    same report)."""
+    from repro.harness.hitpath import (
+        render_hitpath_report,
+        run_hitpath_comparison,
+    )
+
+    comparison = run_hitpath_comparison(
+        n_connections=args.connections,
+        iterations=args.iterations,
+        n_pages=args.pages,
+    )
+    return render_hitpath_report(comparison)
+
+
 def _cmd_check(args: argparse.Namespace) -> tuple[str, int]:
     """Run the whole-program consistency linter over the repository.
 
@@ -536,6 +555,17 @@ def build_parser() -> argparse.ArgumentParser:
     admission.add_argument("--min-observations", type=int, default=20,
                            help="cold-start sample count before scoring")
 
+    hitpath = sub.add_parser(
+        "hitpath",
+        help="threaded vs asyncio hit-path throughput comparison",
+    )
+    hitpath.add_argument("--connections", type=int, default=8,
+                         help="concurrent client connections")
+    hitpath.add_argument("--iterations", type=int, default=200,
+                         help="GET rounds per connection")
+    hitpath.add_argument("--pages", type=int, default=4,
+                         help="distinct warmed item pages to cycle over")
+
     check = sub.add_parser(
         "check", help="whole-program consistency linter (staticcheck)"
     )
@@ -588,6 +618,8 @@ def main(argv: list[str] | None = None) -> int:
         output = _cmd_obs(args)
     elif args.command == "admission":
         output = _cmd_admission(args)
+    elif args.command == "hitpath":
+        output = _cmd_hitpath(args)
     elif args.command == "check":
         output, status = _cmd_check(args)
     elif args.command == "run":

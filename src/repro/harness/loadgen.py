@@ -17,11 +17,12 @@ non-2xx/404 response so stress tests can assert *zero*.
 
 from __future__ import annotations
 
+import asyncio
 import random
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from typing import Callable, Protocol, Sequence
 
 from repro.web.http import HttpRequest, HttpResponse
 
@@ -211,6 +212,124 @@ class ThreadedLoadDriver:
             )
         result.wall_seconds = time.perf_counter() - started
         return result
+
+
+class AsyncLoadDriver:
+    """Closed-loop HTTP load from N concurrent keep-alive connections.
+
+    The threaded driver above dispatches through ``container.handle``
+    in-process; this one speaks real HTTP, so it can benchmark the
+    *serving tier* itself -- the wsgiref ``ThreadingMixIn`` baseline and
+    the asyncio fast path alike.  Each of ``n_connections`` coroutine
+    workers runs ``iterations`` rounds of send-request / read-response
+    over one socket, reconnecting transparently when the server closes
+    the connection (wsgiref is HTTP/1.0 close-per-request; the async
+    tier keeps the socket alive), and cycling through ``paths``.
+
+    Results merge into the same :class:`LoadResult` shape as the
+    threaded driver (``threads`` = connections), so the reporting
+    helpers work unchanged.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        paths: Sequence[str],
+        n_connections: int = 8,
+        iterations: int = 100,
+    ) -> None:
+        if not paths:
+            raise ValueError("AsyncLoadDriver needs at least one path")
+        self.host = host
+        self.port = port
+        self.paths = list(paths)
+        self.n_connections = n_connections
+        self.iterations = iterations
+
+    def run(self, timeout: float = 120.0) -> LoadResult:
+        return asyncio.run(self._run(timeout))
+
+    async def _run(self, timeout: float) -> LoadResult:
+        result = LoadResult(threads=self.n_connections)
+        started = time.perf_counter()
+        workers = [
+            asyncio.create_task(self._worker(index, result))
+            for index in range(self.n_connections)
+        ]
+        done, pending = await asyncio.wait(workers, timeout=timeout)
+        for task in pending:
+            task.cancel()
+        if pending:
+            result.errors.append(
+                f"{len(pending)} connection worker(s) still running"
+                f" after {timeout}s"
+            )
+        result.wall_seconds = time.perf_counter() - started
+        return result
+
+    async def _worker(self, index: int, result: LoadResult) -> None:
+        reader: asyncio.StreamReader | None = None
+        writer: asyncio.StreamWriter | None = None
+        try:
+            for iteration in range(self.iterations):
+                path = self.paths[(index + iteration) % len(self.paths)]
+                payload = (
+                    f"GET {path} HTTP/1.1\r\n"
+                    f"Host: {self.host}\r\n\r\n"
+                ).encode("latin-1")
+                begun = time.perf_counter()
+                if writer is None:
+                    reader, writer = await asyncio.open_connection(
+                        self.host, self.port
+                    )
+                writer.write(payload)
+                await writer.drain()
+                status, keep_alive = await self._read_response(reader)
+                elapsed = (time.perf_counter() - begun) * 1000.0
+                # Single event loop, no cross-thread mutation: plain
+                # appends are safe here even though LoadResult is shared.
+                result.requests += 1
+                result.latencies_ms.append(elapsed)
+                result.statuses[status] = result.statuses.get(status, 0) + 1
+                if status >= 500:
+                    result.server_errors += 1
+                if not keep_alive:
+                    writer.close()
+                    reader = writer = None
+        except Exception as exc:
+            result.errors.append(
+                f"connection {index}: {type(exc).__name__}: {exc}"
+            )
+        finally:
+            if writer is not None:
+                writer.close()
+
+    @staticmethod
+    async def _read_response(
+        reader: asyncio.StreamReader,
+    ) -> tuple[int, bool]:
+        """Consume one response; returns ``(status, keep_alive)``."""
+        head = await reader.readuntil(b"\r\n\r\n")
+        first, *header_lines = head.decode("latin-1").split("\r\n")
+        version, code, *_ = first.split(" ", 2)
+        headers = {}
+        for line in header_lines:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = headers.get("content-length")
+        if length is not None:
+            await reader.readexactly(int(length))
+            keep_alive = (
+                version == "HTTP/1.1"
+                and headers.get("connection", "").lower() != "close"
+            )
+        else:
+            await reader.read()  # close-delimited body: drain to EOF
+            keep_alive = False
+        return int(code), keep_alive
 
 
 def hot_key_factory(uri: str, params: dict[str, str]) -> RequestFactory:

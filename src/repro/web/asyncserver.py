@@ -1,0 +1,407 @@
+"""The asyncio serving tier: an event-loop front end for the cache.
+
+The threaded server (``repro.web.wsgi``) reproduces the paper's
+deployment shape -- a thread per connection, every request paying
+thread scheduling and lock handoff even when the answer is a cached
+page.  ROADMAP's hot-path item observes that at that point throughput
+is bounded by the serving tier, not the cache.  This module is the
+refactor that fixes it without touching the servlet/WSGI API:
+
+* **Event-loop front end.** One ``asyncio`` loop (on a background
+  thread) owns every connection.  HTTP/1.1 with keep-alive, so a load
+  generator can pump thousands of requests down one socket without
+  per-request connect cost.
+
+* **Precomputed hit path.** A cacheable GET with no cookies probes the
+  cache *on the loop thread* via :meth:`Cache.fast_check` (hit-or-
+  nothing; misses record no statistics and leave the miss taxonomy
+  untouched for the woven check that follows).  On a hit the entry's
+  pinned wire buffer -- status line + headers + body, rendered once by
+  :func:`_serialize` -- is written straight to the transport: no
+  renderer, no thread handoff, no string encode.  Invalidation dooms
+  the buffer along with the entry (:meth:`PageEntry.doom`), so a
+  doomed page can never be replayed from the buffer.
+
+* **Thread-pool offload.** Everything else (misses, writes, sessions,
+  cookies, uncacheable URIs) is dispatched to a ``ThreadPoolExecutor``
+  running the exact same container pipeline the threaded server runs:
+  the woven aspects, single-flight coalescing, and consistency
+  machinery behave identically.  Concurrent offloaded writes group-
+  commit onto the cluster bus when it is constructed with
+  ``batched=True`` (see ``repro.cluster.bus``).
+
+The wire format is shared with the WSGI adapter's serialization rules
+(same status phrases, same header order, Content-Length always last),
+so a page served from the buffer is byte-identical to the same page
+rendered fresh through the async slow path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.errors import RoutingError
+from repro.web.container import ServletContainer
+from repro.web.http import (
+    HttpRequest,
+    HttpResponse,
+    parse_query_string,
+    status_line,
+)
+
+#: Headers every cached (fast-path) page serves -- the PR-6 assembly
+#: hygiene invariant: per-request headers are never cached, hits always
+#: carry the response defaults.
+_HIT_HEADERS = (("Content-Type", "text/html"),)
+
+
+def _serialize(
+    status: int,
+    headers: tuple[tuple[str, str], ...],
+    cookies: tuple[tuple[str, str], ...],
+    body: bytes,
+) -> bytes:
+    """One response in wire format (header order mirrors WsgiAdapter)."""
+    lines = [f"HTTP/1.1 {status_line(status)}"]
+    for name, value in headers:
+        lines.append(f"{name}: {value}")
+    for name, value in cookies:
+        lines.append(f"Set-Cookie: {name}={value}; Path=/")
+    lines.append(f"Content-Length: {len(body)}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    return head.encode("latin-1") + body
+
+
+def serialize_response(response: HttpResponse) -> bytes:
+    """Wire bytes for a completed container response."""
+    return _serialize(
+        response.status,
+        tuple(response.headers.items()),
+        tuple(response.cookies.items()),
+        response.body.encode("utf-8"),
+    )
+
+
+def build_wire(entry) -> bytes:
+    """Wire bytes for a cached page entry (the fast-path buffer).
+
+    Byte-identical to :func:`serialize_response` over the response a
+    woven hit produces: default headers, no cookies, the cached body.
+    """
+    return _serialize(
+        entry.status, _HIT_HEADERS, (), entry.body.encode("utf-8")
+    )
+
+
+class AsyncServerStats:
+    """Serving-tier counters, all mutated on the loop thread only."""
+
+    def __init__(self) -> None:
+        #: Responses served from a pinned wire buffer on the loop.
+        self.fast_hits = 0
+        #: Requests dispatched to the thread pool (misses, writes,
+        #: uncacheable URIs, cookie-carrying requests).
+        self.slow_requests = 0
+        #: Connections accepted over the server's lifetime.
+        self.connections = 0
+        #: Malformed requests answered with a 400.
+        self.bad_requests = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "fast_hits": self.fast_hits,
+            "slow_requests": self.slow_requests,
+            "connections": self.connections,
+            "bad_requests": self.bad_requests,
+        }
+
+
+class _HttpConnection(asyncio.Protocol):
+    """One keep-alive HTTP/1.1 connection on the event loop.
+
+    Requests on a connection are answered strictly in order: parsing
+    pauses while a slow-path response is in flight and resumes when it
+    is written, so pipelined requests cannot interleave responses.
+    """
+
+    def __init__(self, server: "AsyncCachedServer") -> None:
+        self.server = server
+        self.transport: asyncio.Transport | None = None
+        self._buffer = b""
+        self._busy = False
+
+    # -- asyncio.Protocol ---------------------------------------------------------------
+
+    def connection_made(self, transport: asyncio.BaseTransport) -> None:
+        self.transport = transport  # type: ignore[assignment]
+        self.server.stats.connections += 1
+
+    def connection_lost(self, exc: Exception | None) -> None:
+        self.transport = None
+
+    def data_received(self, data: bytes) -> None:
+        self._buffer += data
+        if not self._busy:
+            self._pump()
+
+    # -- request framing ----------------------------------------------------------------
+
+    def _pump(self) -> None:
+        """Parse and dispatch requests until the buffer runs dry (or a
+        slow-path response is in flight)."""
+        while self.transport is not None and not self._busy:
+            head_end = self._buffer.find(b"\r\n\r\n")
+            if head_end < 0:
+                if len(self._buffer) > 65536:
+                    self._bad_request("header block too large")
+                return
+            head = self._buffer[:head_end].decode("latin-1")
+            request_line, _, header_block = head.partition("\r\n")
+            parts = request_line.split(" ")
+            if len(parts) != 3:
+                self._bad_request("malformed request line")
+                return
+            method, target, version = parts
+            headers: dict[str, str] = {}
+            for line in header_block.split("\r\n"):
+                if not line:
+                    continue
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+            try:
+                length = int(headers.get("content-length") or 0)
+            except ValueError:
+                self._bad_request("malformed content-length")
+                return
+            body_start = head_end + 4
+            if len(self._buffer) < body_start + length:
+                return  # body not fully buffered yet
+            body = self._buffer[body_start : body_start + length]
+            self._buffer = self._buffer[body_start + length :]
+            close = (
+                headers.get("connection", "").lower() == "close"
+                or version == "HTTP/1.0"
+                and headers.get("connection", "").lower() != "keep-alive"
+            )
+            self._dispatch(method.upper(), target, headers, body, close)
+
+    def _bad_request(self, reason: str) -> None:
+        self.server.stats.bad_requests += 1
+        body = f"<html><body><h1>400</h1><p>{reason}</p></body></html>"
+        if self.transport is not None:
+            self.transport.write(
+                _serialize(400, _HIT_HEADERS, (), body.encode("utf-8"))
+            )
+            self.transport.close()
+
+    # -- dispatch -----------------------------------------------------------------------
+
+    def _dispatch(
+        self,
+        method: str,
+        target: str,
+        headers: dict[str, str],
+        body: bytes,
+        close: bool,
+    ) -> None:
+        server = self.server
+        if (
+            method == "GET"
+            and server.fast_path_enabled
+            and "cookie" not in headers
+        ):
+            request = HttpRequest("GET", target)
+            entry = server.cache.fast_check(request)
+            if entry is not None:
+                buffer = entry.wire(build_wire)
+                if buffer is not None:
+                    server.stats.fast_hits += 1
+                    self._write(buffer, close)
+                    return
+                # Doomed between probe and pin: treat as a miss.
+        server.stats.slow_requests += 1
+        self._busy = True
+        future = server.loop.run_in_executor(
+            server.executor, server.render, method, target, headers, body
+        )
+        future.add_done_callback(
+            lambda done: self._slow_response(done, close)
+        )
+
+    def _slow_response(self, done: asyncio.Future, close: bool) -> None:
+        self._busy = False
+        if self.transport is None:
+            return
+        try:
+            payload = done.result()
+        except Exception:  # renderer guard failed: drop the connection
+            self.transport.close()
+            return
+        self._write(payload, close)
+        if not close:
+            self._pump()
+
+    def _write(self, payload: bytes, close: bool) -> None:
+        if self.transport is None:
+            return
+        self.transport.write(payload)
+        if close:
+            self.transport.close()
+
+
+class AsyncCachedServer:
+    """The event-loop serving tier around one container (+ cache).
+
+    ``cache`` is anything with the facade's ``fast_check`` --
+    :class:`repro.cache.api.Cache` or a cluster router; ``None``
+    disables the fast path entirely (every request offloads, which is
+    still a working HTTP server).  The fast path is also disabled when
+    the container has sessions enabled: session resolution and
+    Set-Cookie stamping live on the container pipeline, which the fast
+    path skips by construction.
+
+    Start/stop lifecycle::
+
+        with start_async_server(container, cache=awc.cache) as server:
+            ...  # http://127.0.0.1:{server.port}/
+
+    ``shutdown()`` is idempotent: closes the listening socket, drains
+    the executor, stops the loop and joins its thread.
+    """
+
+    def __init__(
+        self,
+        container: ServletContainer,
+        cache=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_workers: int = 16,
+    ) -> None:
+        self.container = container
+        self.cache = cache
+        self.host = host
+        self._requested_port = port
+        self.stats = AsyncServerStats()
+        self.fast_path_enabled = cache is not None and container.sessions is None
+        self.executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-async-worker"
+        )
+        self.loop = asyncio.new_event_loop()
+        self._thread: threading.Thread | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    def start(self) -> "AsyncCachedServer":
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self.loop.run_forever,
+            name="repro-async-server",
+            daemon=True,
+        )
+        self._thread.start()
+        self._server = asyncio.run_coroutine_threadsafe(
+            self.loop.create_server(
+                lambda: _HttpConnection(self),
+                self.host,
+                self._requested_port,
+                backlog=128,
+            ),
+            self.loop,
+        ).result(timeout=10.0)
+        return self
+
+    def shutdown(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            asyncio.run_coroutine_threadsafe(
+                self._server.wait_closed(), self.loop
+            ).result(timeout=10.0)
+        self.executor.shutdown(wait=True)
+        if self._thread is not None:
+            self.loop.call_soon_threadsafe(self.loop.stop)
+            self._thread.join(timeout=10.0)
+        self.loop.close()
+
+    def __enter__(self) -> "AsyncCachedServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    # -- slow path (executor threads) ---------------------------------------------------
+
+    def render(
+        self, method: str, target: str, headers: dict[str, str], body: bytes
+    ) -> bytes:
+        """Run the full container pipeline for one request.
+
+        Mirrors the WSGI adapter's error envelope: unroutable URIs get
+        a 404, any other failure a well-formed 500 -- the connection
+        never sees a traceback or a dropped response.
+        """
+        try:
+            request = self._build_request(method, target, headers, body)
+            response = self.container.handle(request)
+        except RoutingError:
+            page = "<html><body><h1>404</h1></body></html>"
+            return _serialize(404, _HIT_HEADERS, (), page.encode("utf-8"))
+        except Exception as exc:
+            page = (
+                f"<html><body><h1>500</h1>"
+                f"<p>{type(exc).__name__}</p></body></html>"
+            )
+            return _serialize(500, _HIT_HEADERS, (), page.encode("utf-8"))
+        return serialize_response(response)
+
+    def _build_request(
+        self, method: str, target: str, headers: dict[str, str], body: bytes
+    ) -> HttpRequest:
+        request = HttpRequest(method, target)
+        if method == "POST" and body:
+            if "application/x-www-form-urlencoded" in headers.get(
+                "content-type", ""
+            ):
+                request.params.update(
+                    parse_query_string(body.decode("utf-8"))
+                )
+        cookie_header = headers.get("cookie", "")
+        if cookie_header:
+            for part in cookie_header.split(";"):
+                name, _, value = part.strip().partition("=")
+                if name:
+                    request.cookies[name] = value
+        request.headers.update(
+            {
+                name.title(): value
+                for name, value in headers.items()
+                if name != "cookie"
+            }
+        )
+        return request
+
+
+def start_async_server(
+    container: ServletContainer,
+    cache=None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_workers: int = 16,
+) -> AsyncCachedServer:
+    """Bind + serve ``container`` on the event-loop tier (started)."""
+    return AsyncCachedServer(
+        container, cache=cache, host=host, port=port, max_workers=max_workers
+    ).start()

@@ -13,6 +13,23 @@ import urllib.parse
 from dataclasses import dataclass, field
 
 
+#: Reason phrases shared by the serving tiers (wsgi + asyncserver), so
+#: a page served from a precomputed buffer is byte-identical to one
+#: rendered fresh through the adapter.
+STATUS_PHRASES = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+}
+
+
+def status_line(code: int) -> str:
+    """``"200 OK"``-style status line for a response code."""
+    return f"{code} {STATUS_PHRASES.get(code, 'Unknown')}"
+
+
 def parse_query_string(query: str) -> dict[str, str]:
     """Parse ``a=1&b=2`` into a dict (last occurrence wins)."""
     params: dict[str, str] = {}

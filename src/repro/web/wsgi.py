@@ -33,15 +33,7 @@ from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
 from repro.errors import RoutingError
 from repro.obs.trace import deactivate, open_root
 from repro.web.container import ServletContainer
-from repro.web.http import HttpRequest, parse_query_string
-
-_STATUS_PHRASES = {
-    200: "OK",
-    400: "Bad Request",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    500: "Internal Server Error",
-}
+from repro.web.http import HttpRequest, parse_query_string, status_line
 
 #: CGI meta-variables that are HTTP headers without the ``HTTP_`` prefix
 #: (RFC 3875 section 4.1): they must be mapped back into the header dict.
@@ -49,10 +41,6 @@ _UNPREFIXED_HEADERS = {
     "CONTENT_TYPE": "Content-Type",
     "CONTENT_LENGTH": "Content-Length",
 }
-
-
-def _status_line(code: int) -> str:
-    return f"{code} {_STATUS_PHRASES.get(code, 'Unknown')}"
 
 
 def _parse_cookies(header: str) -> dict[str, str]:
@@ -145,7 +133,7 @@ class WsgiAdapter:
             headers.append(("Set-Cookie", f"{name}={value}; Path=/"))
         body = response.body.encode("utf-8")
         headers.append(("Content-Length", str(len(body))))
-        start_response(_status_line(response.status), headers)
+        start_response(status_line(response.status), headers)
         return response.status, [body]
 
     def _build_request(self, environ: dict) -> HttpRequest:
@@ -185,12 +173,17 @@ class ThreadingWsgiServer(ThreadingMixIn, WSGIServer):
     """wsgiref's reference server with a thread per connection.
 
     ``daemon_threads`` keeps worker threads from blocking interpreter
-    shutdown; ``block_on_close=False`` lets ``shutdown()`` return
-    without joining stragglers (they are daemons).
+    shutdown if a caller forgets to close; ``block_on_close=True``
+    makes ``server_close()`` join every worker thread, so a completed
+    ``shutdown()``/close cycle leaks neither threads nor their
+    connection sockets -- repeated bench runs in one process previously
+    accumulated both.  ``request_queue_size`` widens the accept backlog
+    for the load drivers' connection bursts.
     """
 
     daemon_threads = True
-    block_on_close = False
+    block_on_close = True
+    request_queue_size = 64
 
 
 class QuietRequestHandler(WSGIRequestHandler):
@@ -221,15 +214,53 @@ def make_threaded_server(
     )
 
 
+class ThreadedServerHandle:
+    """A running threaded server plus its acceptor thread.
+
+    Iterable as ``(server, thread)`` for the historical tuple-unpacking
+    call sites; new code uses :meth:`shutdown` (idempotent -- stops the
+    accept loop, joins every worker thread via ``block_on_close``,
+    closes the listening socket, joins the acceptor) or the context
+    manager, which shuts down on exit.
+    """
+
+    def __init__(self, server: WSGIServer, thread: threading.Thread) -> None:
+        self.server = server
+        self.thread = thread
+        self._closed = False
+
+    def __iter__(self):
+        return iter((self.server, self.thread))
+
+    @property
+    def port(self) -> int:
+        return self.server.server_port
+
+    def shutdown(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.server.shutdown()
+        self.server.server_close()
+        self.thread.join(timeout=10.0)
+
+    def __enter__(self) -> "ThreadedServerHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+
 def start_threaded_server(
     container: ServletContainer,
     host: str = "127.0.0.1",
     port: int = 0,
-) -> tuple[WSGIServer, threading.Thread]:
+) -> ThreadedServerHandle:
     """Bind + serve ``container`` on a background thread.
 
-    Returns ``(server, thread)``; stop with ``server.shutdown()`` then
-    ``server.server_close()`` and join the thread.
+    Returns a :class:`ThreadedServerHandle` (also unpackable as
+    ``(server, thread)``); stop with ``handle.shutdown()``, which joins
+    the worker threads and closes the listening socket.
     """
     server = make_threaded_server(container, host, port)
     thread = threading.Thread(
@@ -238,7 +269,7 @@ def start_threaded_server(
         daemon=True,
     )
     thread.start()
-    return server, thread
+    return ThreadedServerHandle(server, thread)
 
 
 def serve(
@@ -251,7 +282,10 @@ def serve(
 
     ``threaded=True`` (default) serves each connection on its own
     thread, matching the paper's multi-threaded Tomcat; pass False for
-    the old single-threaded reference behaviour.
+    the old single-threaded reference behaviour.  On exit (including
+    KeyboardInterrupt) the accept loop is stopped, worker threads are
+    joined and the listening socket is closed -- nothing leaks into the
+    caller's process.
     """
     if threaded:
         server = make_threaded_server(container, host, port, quiet=False)
@@ -259,4 +293,9 @@ def serve(
         server = make_server(host, port, WsgiAdapter(container))
     with server:
         print(f"Serving on http://{host}:{port}/ ...")
-        server.serve_forever()
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.shutdown()

@@ -102,3 +102,19 @@ def test_obs_traces_view_cluster(capsys):
 def test_obs_rejects_bad_view(capsys):
     with pytest.raises(SystemExit):
         main(["obs", "--view", "bogus"])
+
+
+def test_hitpath_small(capsys):
+    code, out = run_cli(
+        capsys, "hitpath", "--connections", "2", "--iterations", "10",
+        "--pages", "2",
+    )
+    assert code == 0
+    assert "speedup" in out
+    assert "asyncio" in out and "threaded" in out
+
+
+def test_list_mentions_hitpath(capsys):
+    code, out = run_cli(capsys, "list")
+    assert code == 0
+    assert "hitpath" in out

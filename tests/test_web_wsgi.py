@@ -1,6 +1,7 @@
 """WSGI adapter tests."""
 
 import io
+import socket
 import threading
 import urllib.request
 
@@ -239,6 +240,42 @@ def test_threaded_http_server_serves_concurrent_clients():
             server.shutdown()
             server.server_close()
         awc.uninstall()
+
+
+class TestThreadedServerShutdown:
+    """Regression: shutdown must close the listening socket and join the
+    serving thread -- the old tuple-returning form leaked both."""
+
+    def test_shutdown_releases_port_and_joins_thread(self):
+        db, container = build_notes_app()
+        handle = start_threaded_server(container)
+        port = handle.port
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/view_topic?topic=a", timeout=10
+        ) as response:
+            assert response.status == 200
+        handle.shutdown()
+        server, thread = handle  # tuple-unpack compatibility preserved
+        assert not thread.is_alive()
+        with socket.socket() as probe:
+            assert probe.connect_ex(("127.0.0.1", port)) != 0
+
+    def test_shutdown_is_idempotent(self):
+        db, container = build_notes_app()
+        handle = start_threaded_server(container)
+        handle.shutdown()
+        handle.shutdown()  # second call must be a no-op, not an error
+
+    def test_context_manager_shuts_down(self):
+        db, container = build_notes_app()
+        with start_threaded_server(container) as handle:
+            port = handle.port
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/view_topic?topic=a", timeout=10
+            ) as response:
+                assert response.status == 200
+        with socket.socket() as probe:
+            assert probe.connect_ex(("127.0.0.1", port)) != 0
 
 
 def test_cached_app_served_over_wsgi():
