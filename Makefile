@@ -35,10 +35,12 @@ check:
 bench:
 	$(ENV) python -m pytest benchmarks --benchmark-only -q
 
-# Cluster tier: 4-node consistency stress + the 1/2/4/8-node scaling
-# curve (writes benchmarks/results/cluster_scaling.txt).
+# Cluster tier: consistency + node-kill failover stress, the strong
+# 1/2/4/8 curve and the replicated bounded-staleness 1..64-node curve
+# (writes benchmarks/results/cluster_scaling{,_strong}.txt).  Scale with
+# CLUSTER_BENCH_* env knobs for smoke runs.
 bench-cluster:
-	$(ENV) timeout 600 python -m pytest -q benchmarks/test_cluster_stress.py
+	$(ENV) timeout 900 python -m pytest -q benchmarks/test_cluster_stress.py
 
 # Indexed vs brute-force invalidation cost at 100/1k/10k registered
 # templates (writes benchmarks/results/invalidation_scaling.txt).

@@ -11,16 +11,26 @@ Two checks on the sharded cache tier (``repro.cluster``):
    allowed, and afterwards every node's byte/dependency accounting must
    be exact and every node must have replayed every bus message.
 
-2. **Scaling curve** -- virtual-time throughput at 1/2/4/8 nodes under
-   the calibrated heavy cost model (one node saturates ~500 clients).
-   Throughput must rise monotonically with node count; the hit rate
-   must stay put (sharding splits the key space, it does not lose it).
-   Written to ``benchmarks/results/cluster_scaling.txt``
-   (regenerate via ``make bench-cluster``).
+2. **Node-kill failover stress** -- the same oracle on a replicated
+   (R=2) cluster with a node crashed mid-mix: zero violations, zero
+   lost invalidations, exact accounting on every survivor.
+
+3. **Scaling curves** -- virtual-time throughput vs node count.  The
+   headline curve runs 1/2/4/8/16/32/64 nodes with R=2 replication and
+   the bounded-staleness bus at a fixed per-node client load; the
+   64-node cell must deliver at least 0.7x ideal (64 x the single-node
+   cell) and every cell's measured bus lag must respect the configured
+   staleness bound.  A strong-mode 1/2/4/8 curve is kept as the
+   synchronous baseline.  Written to
+   ``benchmarks/results/cluster_scaling.txt`` and
+   ``cluster_scaling_strong.txt`` (regenerate via ``make
+   bench-cluster``; scale with the ``CLUSTER_BENCH_*`` env knobs for
+   CI smoke runs).
 """
 
 from __future__ import annotations
 
+import os
 import re
 import sys
 import threading
@@ -30,7 +40,11 @@ import pytest
 
 from repro.apps.rubis import RubisDataset, build_rubis
 from repro.cluster import ClusterAutoWebCache
-from repro.harness.experiments import ExperimentDefaults, run_cluster_scaling_curve
+from repro.harness.experiments import (
+    ExperimentDefaults,
+    run_cluster_cell,
+    run_cluster_scaling_curve,
+)
 from repro.harness.loadgen import ClusterTarget
 from repro.harness.reporting import render_table
 from repro.sim.cluster import CLUSTER_SCALING_COST_MODEL
@@ -195,6 +209,172 @@ def test_cluster_mixed_read_write_zero_violations(figure_report):
         awc.uninstall()
 
 
+@pytest.mark.concurrency
+def test_cluster_node_kill_failover_zero_violations(figure_report):
+    """Crash a node mid-mix: replicas absorb its shard, nobody lies.
+
+    A 4-node, R=2 cluster under the same 16-thread floor oracle as the
+    mixed stress; once a third of the writes have committed, the node
+    owning the hottest item is killed (:meth:`ClusterRouter.fail_node`
+    -- crash with immediate detection).  Reads fail over to the
+    surviving replica with zero consistency violations, zero lost
+    invalidations (a final read of every hot item must show *exactly*
+    the committed bid count -- a cached pre-crash page would show
+    fewer), and exact byte/dependency accounting on every survivor.
+    """
+    app = build_rubis(RubisDataset(n_users=50, n_items=60))
+    awc = ClusterAutoWebCache(n_nodes=N_NODES, replication=2)
+    awc.install(app.servlet_classes)
+    target = ClusterTarget(app.container, awc)
+    old_interval = sys.getswitchinterval()
+    sys.setswitchinterval(0.0002)
+    try:
+        n_writers = 4
+        n_readers = N_THREADS - n_writers
+        hot_items = list(range(1, n_writers + 1))
+        floor_lock = threading.Lock()
+        committed: dict[int, int] = {}
+        for item in hot_items:
+            result = app.database.query(
+                "SELECT nb_of_bids FROM items WHERE id = ?", (item,)
+            )
+            committed[item] = int(result.scalar() or 0)
+        baseline = dict(committed)
+        violations: list[str] = []
+        errors: list[str] = []
+        barrier = threading.Barrier(N_THREADS + 1)
+        bids_per_writer = 40
+        reads_per_reader = 80
+        total_writes = n_writers * bids_per_writer
+        kill_after = total_writes // 3
+        victim_key = HttpRequest(
+            "GET", "/rubis/view_item", {"item": str(hot_items[0])}
+        ).cache_key()
+        victim = awc.router.owner_name(victim_key)
+        killed_at_writes = [0]
+
+        def writer(item: int) -> None:
+            try:
+                barrier.wait(timeout=10)
+                for i in range(bids_per_writer):
+                    response = target.handle(
+                        HttpRequest(
+                            "POST",
+                            "/rubis/store_bid",
+                            {
+                                "item": str(item),
+                                "user": str(item + 10),
+                                "bid": str(3000.0 + i),
+                            },
+                        )
+                    )
+                    if response.status != 200:
+                        errors.append(f"writer {item}: {response.status}")
+                        return
+                    with floor_lock:
+                        committed[item] += 1
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(f"writer {item}: {type(exc).__name__}: {exc}")
+
+        def reader(index: int) -> None:
+            try:
+                barrier.wait(timeout=10)
+                for i in range(reads_per_reader):
+                    item = hot_items[(index + i) % len(hot_items)]
+                    with floor_lock:
+                        floor = committed[item]
+                    response = target.handle(
+                        HttpRequest(
+                            "GET", "/rubis/view_item", {"item": str(item)}
+                        )
+                    )
+                    if response.status != 200:
+                        errors.append(f"reader {index}: {response.status}")
+                        return
+                    seen = _nb_of_bids(response.body)
+                    if seen < floor:
+                        violations.append(
+                            f"item {item}: served {seen} bids after "
+                            f"{floor} were committed"
+                        )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(f"reader {index}: {type(exc).__name__}: {exc}")
+
+        def killer() -> None:
+            try:
+                barrier.wait(timeout=10)
+                while True:
+                    with floor_lock:
+                        done = sum(committed.values()) - sum(baseline.values())
+                    if done >= kill_after:
+                        break
+                    time.sleep(0.001)
+                awc.router.fail_node(victim)
+                killed_at_writes[0] = done
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(f"killer: {type(exc).__name__}: {exc}")
+
+        threads = (
+            [threading.Thread(target=writer, args=(item,)) for item in hot_items]
+            + [threading.Thread(target=reader, args=(i,)) for i in range(n_readers)]
+            + [threading.Thread(target=killer)]
+        )
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        wall = time.perf_counter() - started
+
+        assert not any(t.is_alive() for t in threads), "stress run hung"
+        assert errors == []
+        assert violations == [], violations[:5]
+        assert victim not in awc.router.node_names
+        assert len(awc.router.node_names) == N_NODES - 1
+
+        # Zero lost invalidations: a final read of every hot item must
+        # show the exact committed bid count.  Any surviving cached page
+        # predating the last write to its item would under-report.
+        for item in hot_items:
+            response = target.handle(
+                HttpRequest("GET", "/rubis/view_item", {"item": str(item)})
+            )
+            assert response.status == 200
+            assert _nb_of_bids(response.body) == committed[item], item
+
+        assert_cluster_accounting_exact(awc)
+        snapshot = target.snapshot()
+        copies = sum(
+            node["replica_copies"] for node in snapshot["nodes"]
+        )
+        assert copies > 0, "write-through replication never engaged"
+        per_node = "  ".join(
+            f"{node['name']}:{node['pages']}p/{node['replica_copies']}c"
+            for node in snapshot["nodes"]
+        )
+        figure_report(
+            "cluster_stress_node_kill",
+            "\n".join(
+                [
+                    f"Node-kill failover stress: {N_NODES} nodes (R=2), "
+                    f"{n_readers} readers + {n_writers} writers",
+                    f"  killed            {victim} after "
+                    f"{killed_at_writes[0]}/{total_writes} writes",
+                    f"  committed writes  {total_writes} "
+                    f"(bus seq {snapshot['bus']['seq']})",
+                    f"  violations        {len(violations)}",
+                    f"  lost invalidations 0 (final reads exact)",
+                    f"  replica copies    {copies}",
+                    f"  per node          {per_node}",
+                    f"  wall time         {wall:.1f} s",
+                ]
+            ),
+        )
+    finally:
+        sys.setswitchinterval(old_interval)
+        awc.uninstall()
+
+
 NODE_COUNTS = [1, 2, 4, 8]
 SCALING_CLIENTS = 700
 SCALING_DEFAULTS = ExperimentDefaults(warmup=20.0, duration=60.0)
@@ -224,13 +404,13 @@ def test_cluster_scaling_throughput_monotone(figure_report):
             ]
         )
     report = render_table(
-        f"Cluster scaling: RUBiS bidding mix, {SCALING_CLIENTS} clients "
-        "(calibrated heavy app tier)",
+        f"Cluster scaling (strong bus, R=1): RUBiS bidding mix, "
+        f"{SCALING_CLIENTS} clients (calibrated heavy app tier)",
         ["nodes", "thr (r/s)", "speedup", "mean ms", "p95 ms", "hit rate",
          "node util", "db util", "bus msgs"],
         rows,
     )
-    figure_report("cluster_scaling", report)
+    figure_report("cluster_scaling_strong", report)
 
     throughputs = [outcome.throughput for outcome in outcomes]
     for smaller, larger in zip(throughputs, throughputs[1:]):
@@ -239,3 +419,131 @@ def test_cluster_scaling_throughput_monotone(figure_report):
     hit_rates = [outcome.hit_rate for outcome in outcomes]
     assert max(hit_rates) - min(hit_rates) < 0.1, hit_rates
     assert all(outcome.result.errors == 0 for outcome in outcomes)
+
+
+# The headline curve: replicated (R=2) bounded-staleness cluster at a
+# fixed per-node load, out to 64 nodes.  Env knobs scale it down for CI
+# smoke runs (see .github/workflows/ci.yml).
+CURVE_NODE_COUNTS = [
+    int(part)
+    for part in os.environ.get(
+        "CLUSTER_BENCH_NODE_COUNTS", "1,2,4,8,16,32,64"
+    ).split(",")
+]
+CURVE_CLIENTS_PER_NODE = int(os.environ.get("CLUSTER_BENCH_CLIENTS_PER_NODE", "200"))
+CURVE_DEFAULTS = ExperimentDefaults(
+    warmup=float(os.environ.get("CLUSTER_BENCH_WARMUP", "15")),
+    duration=float(os.environ.get("CLUSTER_BENCH_DURATION", "45")),
+)
+CURVE_MIN_EFFICIENCY = float(os.environ.get("CLUSTER_BENCH_MIN_EFFICIENCY", "0.7"))
+CURVE_REPLICATION = 2
+#: 1 s bound: the drain cadence (0.4x the bound, see sim/cluster.py)
+#: sets how often a hot page gets re-doomed and recomputed on its
+#: replica pair, and that recompute stream is what saturates the
+#: hottest pair at 64 nodes.  A sub-second bound is still far tighter
+#: than the multi-second TTLs production caches tolerate, and the
+#: oracle asserts the measured lag stays under it in every cell.
+CURVE_STALENESS_BOUND = 1.0
+#: 192 vnodes: at 64 nodes the default 64-vnode ring's arc skew puts
+#: visibly uneven key shares on the hottest nodes; 192 evens the arcs
+#: without measurable lookup cost.
+CURVE_VNODES = 192
+
+
+def test_cluster_scaling_replicated_to_64_nodes(figure_report):
+    outcomes = []
+    for n in CURVE_NODE_COUNTS:
+        outcomes.append(
+            run_cluster_cell(
+                n,
+                n * CURVE_CLIENTS_PER_NODE,
+                defaults=CURVE_DEFAULTS,
+                cost_model=CLUSTER_SCALING_COST_MODEL,
+                vnodes=CURVE_VNODES,
+                replication=CURVE_REPLICATION,
+                bus_mode="bounded",
+                staleness_bound=CURVE_STALENESS_BOUND,
+                db_workers=n,
+            )
+        )
+
+    base = outcomes[0]
+    rows = []
+    efficiencies = []
+    for outcome in outcomes:
+        result = outcome.result
+        bus = result.cluster_snapshot["bus"]
+        ideal = outcome.n_nodes * base.throughput
+        efficiency = outcome.throughput / ideal if ideal else 0.0
+        efficiencies.append(efficiency)
+        utilisations = sorted(result.node_utilizations.values(), reverse=True)
+        rows.append(
+            [
+                outcome.n_nodes,
+                outcome.n_clients,
+                round(outcome.throughput, 1),
+                round(efficiency, 3),
+                round(outcome.mean_ms, 1),
+                round(result.metrics.overall.percentile(95) * 1000, 1),
+                round(outcome.hit_rate, 3),
+                round(utilisations[0], 3),
+                round(result.db_utilization, 3),
+                bus["published"],
+                bus["sheds"],
+                round(bus["max_staleness"], 4),
+            ]
+        )
+
+    top = outcomes[-1]
+    requests_per_day = top.throughput * 86400
+    # One emulated session issues ~session_duration/think_time requests.
+    requests_per_session = (
+        CURVE_DEFAULTS.session_duration / CURVE_DEFAULTS.think_time_mean
+    )
+    sessions_per_day = requests_per_day / requests_per_session
+    report = "\n".join(
+        [
+            render_table(
+                f"Cluster scaling (bounded bus <= {CURVE_STALENESS_BOUND}s, "
+                f"R={CURVE_REPLICATION}): RUBiS bidding mix, "
+                f"{CURVE_CLIENTS_PER_NODE} clients/node, vnodes={CURVE_VNODES}",
+                ["nodes", "clients", "thr (r/s)", "eff", "mean ms", "p95 ms",
+                 "hit rate", "hot util", "db util", "writes", "sheds",
+                 "max stale s"],
+                rows,
+            ),
+            "",
+            f"At {top.n_nodes} nodes the cluster sustains "
+            f"{top.throughput:.0f} req/s = {requests_per_day / 1e6:.0f}M "
+            f"requests/day (~{sessions_per_day / 1e6:.1f}M user sessions/day "
+            f"at ~{requests_per_session:.0f} requests/session), at "
+            f"{efficiencies[-1]:.2f}x ideal linear scaling with every "
+            f"invalidation delivered within the {CURVE_STALENESS_BOUND}s "
+            "staleness bound.",
+        ]
+    )
+    figure_report("cluster_scaling", report)
+
+    assert all(outcome.result.errors == 0 for outcome in outcomes)
+    throughputs = [outcome.throughput for outcome in outcomes]
+    for smaller, larger in zip(throughputs, throughputs[1:]):
+        assert larger > smaller, throughputs
+    # Unlike the strong curve's flat band, bounded delivery makes the
+    # hit rate drift *up* with ring size: a doomed hot page keeps
+    # serving until the next drain, the per-key write rate is fixed,
+    # and the number of readers landing inside that window grows with
+    # the cluster.  Guard the drift's direction and magnitude instead
+    # of flatness.
+    hit_rates = [outcome.hit_rate for outcome in outcomes]
+    assert max(hit_rates) - min(hit_rates) < 0.2, hit_rates
+    assert hit_rates[-1] >= hit_rates[0] - 0.02, hit_rates
+    # The acceptance bar: the largest cell keeps >= 0.7x ideal scaling.
+    assert efficiencies[-1] >= CURVE_MIN_EFFICIENCY, efficiencies
+    # And the bounded-staleness contract held in every cell: the
+    # measured maximum publish-to-delivery lag stays under the bound.
+    for outcome in outcomes:
+        measured = outcome.result.cluster_snapshot["bus"]["max_staleness"]
+        assert measured <= CURVE_STALENESS_BOUND, (
+            outcome.n_nodes,
+            measured,
+        )

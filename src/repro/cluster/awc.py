@@ -69,6 +69,11 @@ class ClusterAutoWebCache:
         method_cache_targets: Iterable[type] = (),
         method_cache_pointcut: str | None = None,
         bus_batching: bool = False,
+        replication: int = 1,
+        bus_mode: str = "strong",
+        staleness_bound: float = 0.5,
+        bus_queue_capacity: int = 512,
+        bus_pump: bool = True,
     ) -> None:
         names = node_names if node_names is not None else default_node_names(n_nodes)
         # One shared registry: cacheability and TTL windows are
@@ -90,7 +95,15 @@ class ClusterAutoWebCache:
             admission=admission,
         )
         self.router = ClusterRouter(
-            names, factory, vnodes=vnodes, batched_bus=bus_batching
+            names,
+            factory,
+            vnodes=vnodes,
+            batched_bus=bus_batching,
+            replication=replication,
+            bus_mode=bus_mode,
+            staleness_bound=staleness_bound,
+            bus_queue_capacity=bus_queue_capacity,
+            bus_pump=bus_pump,
         )
         self.collector = ConsistencyCollector()
         self.read_aspect = ReadServletAspect(self.router, self.collector)
@@ -175,6 +188,9 @@ class ClusterAutoWebCache:
             return
         self._weaver.unweave()
         self._weaver = None
+        # Stop the bounded-mode bus pump (a daemon thread) and deliver
+        # any queued residue; a no-op for the strong-mode bus.
+        self.router.close()
 
     def __enter__(self) -> "ClusterAutoWebCache":
         return self

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 
 from repro.cache.api import Cache
+from repro.cache.entry import PageEntry
 from repro.cluster.bus import BusMessage
 from repro.errors import ClusterError
 from repro.locks import NamedRLock
@@ -39,6 +40,12 @@ class CacheNode:
         self.last_applied_seq = 0
         #: Entries drained into this node when it joined the ring.
         self.moved_in = 0
+        #: Replica copies written through to this node (it is a
+        #: secondary for their keys), and the entries those copies
+        #: displaced -- kept separate from ``cache.stats.inserts`` so
+        #: a node's insert count still means "pages computed here".
+        self.replica_copies = 0
+        self.replica_evictions = 0
         self._lock = NamedRLock("cache-node")
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -71,6 +78,38 @@ class CacheNode:
         with self._lock:
             self.last_applied_seq = seq
 
+    # -- replication -------------------------------------------------------------------
+
+    def copy_in(self, entry: PageEntry) -> bool:
+        """Store a replica copy of ``entry`` (write-through replication).
+
+        The copy is an **independent** :class:`PageEntry`: replicas
+        sharing one object would let one node's capacity eviction
+        ``doom()`` the wire buffer out from under every other copy.
+        The page store re-registers the clone's dependencies locally,
+        so later bus messages doom the copy through the normal per-node
+        protocol, and byte accounting stays exact per replica.
+        """
+        with self._lock:
+            if self.state != JOINED:
+                return False
+            clone = PageEntry(
+                key=entry.key,
+                body=entry.body,
+                status=entry.status,
+                headers=dict(entry.headers),
+                dependencies=entry.dependencies,
+                created_at=entry.created_at,
+                expires_at=entry.expires_at,
+                semantic=entry.semantic,
+                fragments=entry.fragments,
+            )
+            evicted = self.cache.pages.insert(clone)
+            self.cache.fragments.register(clone.key, clone.fragments)
+            self.replica_copies += 1
+            self.replica_evictions += len(evicted)
+            return True
+
     # -- lifecycle ---------------------------------------------------------------------
 
     def mark_draining(self) -> None:
@@ -97,5 +136,7 @@ class CacheNode:
                 "pages": len(self.cache.pages),
                 "bytes": self.cache.pages.total_bytes,
                 "open_flights": self.cache.open_flights,
+                "replica_copies": self.replica_copies,
+                "replica_evictions": self.replica_evictions,
                 "stats": self.cache.stats.snapshot(),
             }

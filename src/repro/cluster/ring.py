@@ -99,15 +99,38 @@ class HashRing:
 
     def node_for(self, key: str) -> str:
         """The node owning ``key`` (first point clockwise of its hash)."""
+        return self.nodes_for(key, 1)[0]
+
+    def nodes_for(self, key: str, n: int) -> list[str]:
+        """The replica set for ``key``: the first ``n`` *distinct* nodes
+        clockwise from the key's hash (successor placement).
+
+        Element 0 is the primary (identical to :meth:`node_for`); the
+        rest are the replicas in ring order.  With fewer than ``n``
+        nodes on the ring every node is returned, so a caller asking
+        for replication factor R degrades gracefully on tiny rings.
+        Successor placement keeps the classic minimal-remapping
+        property per *set member*: a join or leave only touches replica
+        sets whose clockwise walk crosses the changed node's points.
+        """
         if not self._points:
             raise ClusterError(
                 "the ring is empty: no cache node is available for "
                 f"key {key!r}"
             )
-        index = bisect.bisect(self._points, stable_hash(key))
-        if index == len(self._points):
-            index = 0  # wrap: the first point owns the top arc
-        return self._owners[index]
+        if n <= 0:
+            raise ClusterError("a replica set needs at least one node")
+        start = bisect.bisect(self._points, stable_hash(key))
+        total = len(self._points)
+        want = min(n, len(self._nodes))
+        replicas: list[str] = []
+        for offset in range(total):
+            owner = self._owners[(start + offset) % total]
+            if owner not in replicas:
+                replicas.append(owner)
+                if len(replicas) == want:
+                    break
+        return replicas
 
     def spread(self, keys: Iterable[str]) -> Counter:
         """How many of ``keys`` each node owns (balance diagnostics)."""

@@ -18,6 +18,24 @@ changes mid-flight.  The router therefore pins ``key -> node`` for the
 duration of each flight; membership changes additionally poison flights
 whose key is re-homed, so their inserts are discarded rather than
 orphaned on a node that no longer owns the key.
+
+**Replication** (``replication=R``): each key's entry is written
+through to the first R distinct nodes clockwise on the ring
+(:meth:`HashRing.nodes_for`); reads route to the first *live* member of
+that set, so losing a node degrades the shard to its replicas instead
+of cold-starting it.  Replica copies are independent ``PageEntry``
+objects (one node's eviction must not doom another's wire buffer) with
+their dependencies re-registered locally, so bus-driven invalidation
+dooms every copy through the normal per-node protocol -- the
+consistency argument is per copy, not per key (docs/replication.md).
+
+**Membership** (:class:`~repro.cluster.membership.GossipMembership`):
+join/leave/crash no longer quiesces the bus.  Planned changes migrate
+entries under a sequence-number audit -- if any publish interleaved
+with the move, the moved keys are conservatively invalidated (a miss,
+never staleness).  Crashes are detected by gossip suspicion; a node the
+router's view declares DEAD is evicted from the ring and its keys fail
+over to their surviving replicas.
 """
 
 from __future__ import annotations
@@ -31,8 +49,9 @@ from repro.cache.flight import Flight
 from repro.cache.fragments import FragmentContainment
 from repro.cache.invalidation import dedupe_writes
 from repro.cache.stats import CacheStats
-from repro.cluster.bus import InvalidationBus
-from repro.cluster.node import CacheNode
+from repro.cluster.bus import BOUNDED, STRONG, BusMessage, InvalidationBus
+from repro.cluster.membership import GossipMembership
+from repro.cluster.node import JOINED, CacheNode
 from repro.cluster.ring import DEFAULT_VNODES, HashRing
 from repro.errors import ClusterError
 from repro.locks import NamedRLock
@@ -153,17 +172,25 @@ class ClusterStats:
             if cacheable
             else 0.0
         )
+        bus = self._router.bus
         return {
             "cluster": aggregate,
             "nodes": nodes,
             "bus": {
-                "seq": self._router.bus.seq,
-                "published": self._router.bus.stats.published,
-                "delivered": self._router.bus.stats.delivered,
-                "writes_deduped": self._router.bus.stats.writes_deduped,
-                "pages_invalidated": self._router.bus.stats.pages_invalidated,
-                "batches": self._router.bus.stats.batches,
+                "seq": bus.seq,
+                "mode": bus.mode,
+                "published": bus.stats.published,
+                "delivered": bus.stats.delivered,
+                "writes_deduped": bus.stats.writes_deduped,
+                "pages_invalidated": bus.stats.pages_invalidated,
+                "batches": bus.stats.batches,
+                "enqueued": bus.stats.enqueued,
+                "sheds": bus.stats.sheds,
+                "max_staleness": bus.stats.max_staleness,
+                "queue_depths": bus.queue_depths(),
+                "delivery_lags": bus.delivery_lags(),
             },
+            "membership": self._router.membership.snapshot(),
         }
 
 
@@ -176,24 +203,52 @@ class ClusterRouter:
         cache_factory: CacheFactory,
         vnodes: int = DEFAULT_VNODES,
         batched_bus: bool = False,
+        replication: int = 1,
+        bus_mode: str = STRONG,
+        staleness_bound: float = 0.5,
+        bus_queue_capacity: int = 512,
+        bus_pump: bool = True,
+        membership: GossipMembership | None = None,
     ) -> None:
         if not node_names:
             raise ClusterError("a cluster needs at least one node")
         if len(set(node_names)) != len(node_names):
             raise ClusterError("duplicate node names")
+        if replication < 1:
+            raise ClusterError("replication factor must be at least 1")
         self._cache_factory = cache_factory
         self._lock = NamedRLock("cluster-router")
         self.ring = HashRing(vnodes=vnodes)
-        self.bus = InvalidationBus(batched=batched_bus)
+        self._template = cache_factory()  # config donor, never serves
+        self.semantics = self._template.semantics
+        self.replication = replication
+        self.bus = InvalidationBus(
+            batched=batched_bus,
+            mode=bus_mode,
+            staleness_bound=staleness_bound,
+            queue_capacity=bus_queue_capacity,
+            clock=self._template.clock,
+            pump=bus_pump,
+        )
+        # Bounded mode dooms at delivery, not publish: the router hears
+        # about the casualties through this hook (outside the bus lock)
+        # and runs the cross-shard containment closure then.
+        self.bus.on_delivered = self._on_bus_delivered
+        #: Cumulative keys doomed by asynchronous deliveries, drained by
+        #: :meth:`take_async_doomed` (differential harness, oracles).
+        self._async_doomed: set[str] = set()
+        self.membership = membership or GossipMembership(
+            clock=self._template.clock
+        )
         self._nodes: dict[str, CacheNode] = {}
+        #: Read-balancing cursor over replica sets (see :meth:`_owner`).
+        self._read_rotation = 0
         #: key -> node pinned for the duration of an open flight.
         self._flight_nodes: dict[str, CacheNode] = {}
         #: window -> node pinned for a solo computation (by identity:
         #: several windows for one key may be open on one node at once).
         self._window_nodes: dict[Flight, CacheNode] = {}
         self.stats = ClusterStats(self)
-        self._template = cache_factory()  # config donor, never serves
-        self.semantics = self._template.semantics
         #: Cluster-wide containment: a page and the fragments it embeds
         #: usually hash to *different* nodes, so each node's local
         #: containment table cannot see the edge.  The router keeps the
@@ -248,12 +303,26 @@ class ClusterRouter:
         they are simply dropped (re-fetched on next miss).  Flights
         whose key is re-homed are poisoned either way: their insert no
         longer has a legitimate home.
+
+        The move runs **without quiescing the bus** (writes keep
+        flowing).  Correctness audit: the bus sequence number is
+        snapshotted before the migration; if any publish interleaved, a
+        moved entry may have been in transit (released from its old
+        node, not yet inserted at its new one) when the invalidation
+        pass ran, so every moved key is conservatively invalidated --
+        an extra miss, never a stale page.
         """
         node = CacheNode(name, self._cache_factory())
-        with self._lock, self.bus.quiesced():
+        with self._lock:
             if name in self._nodes:
                 raise ClusterError(f"node {name!r} already joined")
+            # Drain queued deliveries first (bounded mode): a message
+            # queued-but-undelivered at an old node would never reach
+            # the new one (it subscribes after the message's seq).
+            self.bus.flush()
+            seq_before = self.bus.seq
             self.ring.add_node(name)
+            self.membership.register(name)
             # Subscribe through a late-binding callable, not the bound
             # method: a bound method freezes the function at subscribe
             # time, which would bypass any advice woven onto
@@ -264,6 +333,7 @@ class ClusterRouter:
                 )
             )
             moved = 0
+            moved_keys: list[str] = []
             for other in self._nodes.values():
                 remapped = [
                     key
@@ -277,6 +347,7 @@ class ClusterRouter:
                     if drain:
                         node.cache.pages.insert(entry)
                         moved += 1
+                        moved_keys.append(key)
                 poisoned = {
                     key
                     for key in other.cache.open_flight_keys()
@@ -285,6 +356,9 @@ class ClusterRouter:
                 other.cache.poison_flights(poisoned)
             self._nodes[name] = node
             node.moved_in = moved
+            if self.bus.seq != seq_before:
+                for key in moved_keys:
+                    node.cache.invalidate_key(key)
         return node
 
     def remove_node(self, name: str, drain: bool = True) -> CacheNode:
@@ -295,30 +369,169 @@ class ClusterRouter:
         (and are discarded) instead of polluting a live node.  Removing
         the last node empties the ring; subsequent routed operations
         raise :class:`ClusterError`.
+
+        Like :meth:`add_node` the drain runs without bus quiescence,
+        under the same sequence-number audit: an interleaved publish
+        conservatively invalidates the moved keys at their destinations.
         """
-        with self._lock, self.bus.quiesced():
+        with self._lock:
             node = self.node(name)
             node.mark_draining()
+            self.bus.flush()
+            seq_before = self.bus.seq
             self.bus.unsubscribe(name)
             self.ring.remove_node(name)
+            self.membership.forget(name)
             node.cache.poison_flights(set(node.cache.open_flight_keys()))
+            moved: list[tuple[CacheNode, str]] = []
             for key in node.cache.pages.keys():
                 entry = node.cache.pages.release(key)
                 if entry is None or not drain or not len(self.ring):
                     continue
-                self._nodes[self.ring.node_for(key)].cache.pages.insert(entry)
+                target = self._nodes[self.ring.node_for(key)]
+                target.cache.pages.insert(entry)
+                moved.append((target, key))
             node.mark_left()
             del self._nodes[name]
+            if self.bus.seq != seq_before:
+                for target, key in moved:
+                    target.cache.invalidate_key(key)
         return node
+
+    def silence_node(self, name: str) -> CacheNode:
+        """Simulate a crash of ``name``: it stops serving, beating and
+        gossiping, but nothing is *announced* -- detection is the gossip
+        protocol's job.  Reads fail over immediately (the router can see
+        the node is unreachable: ``state != JOINED``); the ring slot and
+        bus subscription linger until :meth:`tick` observes the
+        router-view DEAD verdict and calls :meth:`evict_node`.
+        """
+        with self._lock:
+            node = self.node(name)
+            node.mark_left()
+            self.membership.silence(name)
+        return node
+
+    def evict_node(self, name: str) -> CacheNode | None:
+        """Drop a crashed node from ring, bus and routing -- no drain
+        (its memory is gone; that is what the replicas are for).  Open
+        flights pinned to it stay pinned: their inserts land in the dead
+        cache and are discarded with it, exactly as for a leave."""
+        with self._lock:
+            node = self._nodes.pop(name, None)
+            if node is None:
+                return None
+            node.mark_left()
+            if name in self.bus.subscriber_names:
+                self.bus.unsubscribe(name)
+            if name in self.ring:
+                self.ring.remove_node(name)
+            self.membership.silence(name)
+            node.cache.poison_flights(set(node.cache.open_flight_keys()))
+            # Model the crash faithfully: the node's memory is gone.
+            # This also closes a detection race -- a reader that
+            # resolved this node as owner just before the eviction
+            # would otherwise probe a cache that can no longer hear
+            # the bus (unsubscribed above) and could serve an entry
+            # missing a post-eviction write.  An empty store turns
+            # that probe into a miss.
+            node.cache.clear()
+        return node
+
+    def fail_node(self, name: str) -> CacheNode:
+        """Crash ``name`` with immediate detection (tests, stress
+        oracles): :meth:`silence_node` + :meth:`evict_node` in one step.
+        Gossip-paced detection is the :meth:`silence_node` +
+        :meth:`tick` pair."""
+        node = self.silence_node(name)
+        self.evict_node(name)
+        return node
+
+    def tick(self, now: float | None = None) -> list:
+        """One membership round: heartbeat every serving node, run a
+        gossip step, and act on *this router's* DEAD verdicts by
+        evicting the peer from routing.  Returns the step's transitions
+        (all observers) for tests and observability."""
+        with self._lock:
+            serving = [
+                node.name
+                for node in self._nodes.values()
+                if node.state == JOINED
+            ]
+        for name in serving:
+            self.membership.beat(name)
+        transitions = self.membership.step(now)
+        from repro.cluster.membership import DEAD, ROUTER
+
+        for transition in transitions:
+            if transition.observer == ROUTER and transition.state == DEAD:
+                self.evict_node(transition.peer)
+        return transitions
 
     def _owner(self, key: str) -> CacheNode:
         with self._lock:
-            return self._nodes[self.ring.node_for(key)]
+            for node in self._replica_nodes(key):
+                return node
+            # Every replica is unreachable: walk the rest of the ring
+            # (detection may simply not have caught up; any consistent
+            # stand-in preserves safety -- the bus reaches it too).
+            for name in self.ring.nodes_for(key, len(self._nodes)):
+                node = self._nodes.get(name)
+                if node is not None and node.state == JOINED:
+                    return node
+            raise ClusterError(
+                f"no live cache node is reachable for key {key!r}"
+            )
+
+    def _replica_nodes(self, key: str) -> list[CacheNode]:
+        """The live members of ``key``'s replica set, primary first.
+
+        Caller holds the router lock.  Failover is positional: if the
+        primary is down, its first surviving successor serves the key
+        (and receives its inserts), so a crash degrades a shard to its
+        replicas instead of cold-starting it.
+        """
+        live: list[CacheNode] = []
+        for name in self.ring.nodes_for(key, self.replication):
+            node = self._nodes.get(name)
+            if (
+                node is not None
+                and node.state == JOINED
+                and self.membership.is_alive(name)
+            ):
+                live.append(node)
+        return live
+
+    def _read_target(self, key: str) -> CacheNode:
+        """The node a *read probe* routes to.
+
+        Replication doubles as read load-balancing: every live replica
+        holds the entry (write-through), hears the bus, and passes the
+        same staleness checks, so a hot key's reads rotate over its
+        whole replica set instead of pinning one node at R times the
+        mean load.  Only the probe rotates -- flights, inserts and
+        windows keep their deterministic home (:meth:`_owner`, the
+        first live replica), so one request's miss path never straddles
+        replicas and concurrent misses still coalesce on one node.
+        """
+        with self._lock:
+            live = self._replica_nodes(key)
+            if len(live) > 1:
+                self._read_rotation += 1
+                return live[self._read_rotation % len(live)]
+        return self._owner(key)
 
     def owner_name(self, key: str) -> str:
-        """Which node a key routes to (diagnostics, sim, tests)."""
+        """Which node a key's next read routes to (diagnostics, sim,
+        tests).  With replication this rotates like the read path
+        itself, so virtual-time load charging matches real placement."""
         with self._lock:
-            return self.ring.node_for(key)
+            return self._read_target(key).name
+
+    def replica_names(self, key: str) -> list[str]:
+        """The live replica set for ``key``, read target first."""
+        with self._lock:
+            return [node.name for node in self._replica_nodes(key)]
 
     # -- read path ---------------------------------------------------------------------
 
@@ -326,11 +539,11 @@ class ClusterRouter:
         return self.semantics.is_cacheable(request)
 
     def check(self, request: HttpRequest) -> PageEntry | None:
-        return self._owner(request.cache_key()).cache.check(request)
+        return self._read_target(request.cache_key()).cache.check(request)
 
     def check_key(self, key: str, stat_uri: str) -> PageEntry | None:
-        """Fragment-capable check: route by key to the owning shard."""
-        return self._owner(key).cache.check_key(key, stat_uri)
+        """Fragment-capable check: route by key to a holding shard."""
+        return self._read_target(key).cache.check_key(key, stat_uri)
 
     def fast_check(self, request: HttpRequest) -> PageEntry | None:
         """Event-loop fast-path probe, routed to the owning shard.
@@ -339,7 +552,7 @@ class ClusterRouter:
         miss records no statistics and leaves the shard's miss taxonomy
         intact for the woven check that follows.
         """
-        return self._owner(request.cache_key()).cache.fast_check(request)
+        return self._read_target(request.cache_key()).cache.fast_check(request)
 
     def insert(
         self,
@@ -378,6 +591,15 @@ class ClusterRouter:
 
         Containment edges are recorded in the *router's* table: the
         entry and its fragments typically live on different shards.
+
+        With ``replication > 1`` a stored entry is written through to
+        the other live members of the key's replica set, then the
+        write-through is *audited*: the primary is re-checked after a
+        strong-mode lock barrier (joining any in-flight delivery pass)
+        or a bounded-mode applied-seq watermark comparison -- if an
+        invalidation doomed the primary entry, or reached a secondary
+        ahead of its copy, the copies are doomed too.  See
+        docs/replication.md for the full interleaving argument.
         """
         with self._lock:
             node = (
@@ -397,7 +619,53 @@ class ClusterRouter:
         )
         if stored:
             self.fragments.register(key, fragments)
+            if self.replication > 1:
+                self._replicate(key, entry, node)
         return entry, stored
+
+    def _replicate(
+        self, key: str, entry: PageEntry, primary: CacheNode
+    ) -> None:
+        """Write ``entry`` through to the rest of the replica set."""
+        with self._lock:
+            secondaries = [
+                replica
+                for replica in self._replica_nodes(key)
+                if replica is not primary
+            ]
+        if not secondaries:
+            return
+        # The hazard: a bus message applied at a secondary *before* its
+        # copy landed (but after the primary stored) would miss the
+        # copy forever.  Bounded mode audits with watermarks -- if the
+        # secondary's applied seq has passed the primary's, the copy
+        # may have escaped one of those deliveries, so it is doomed
+        # conservatively (an extra miss, never staleness).  A global
+        # bus.flush() here would also be sound but collapses bounded
+        # staleness into strong delivery: write-throughs happen at the
+        # cluster miss rate, so every queued invalidation would drain
+        # almost immediately and hot pages would be re-doomed at the
+        # full cluster-wide write rate.
+        primary_applied = (
+            self.bus.applied_seq(primary.name)
+            if self.bus.mode == BOUNDED
+            else None
+        )
+        for replica in secondaries:
+            replica.copy_in(entry)
+            if primary_applied is not None and (
+                self.bus.applied_seq(replica.name) > primary_applied
+            ):
+                replica.cache.invalidate_key(entry.key)
+        if self.bus.mode != BOUNDED:
+            # Strong mode: the flush is a pure lock barrier (nothing is
+            # queued) that joins any in-flight delivery pass, so every
+            # message sequenced before it is applied at the primary by
+            # the time the re-check below runs.
+            self.bus.flush()
+        if entry.key not in primary.cache.pages:
+            for replica in secondaries:
+                replica.cache.invalidate_key(entry.key)
 
     def record_uncacheable(self, request: HttpRequest) -> None:
         self._owner(request.cache_key()).cache.record_uncacheable(request)
@@ -460,6 +728,11 @@ class ClusterRouter:
         nodes -- a page for the same logical query can only live on its
         owning node, but callers (and the consistency argument) care
         about every casualty, not just the local shard's.
+
+        In bounded bus mode the returned set is empty by construction:
+        publishes return after durable enqueue, and the casualties are
+        observed at delivery (:meth:`take_async_doomed` drains the
+        ledger after a :meth:`InvalidationBus.flush`).
         """
         self.stats.record_write(uri)
         if not writes:
@@ -472,23 +745,66 @@ class ClusterRouter:
         _message, doomed = self.bus.publish("router", uri, dedupe_writes(writes))
         return self._doom_containers(doomed)
 
+    def _on_bus_delivered(self, message: BusMessage, doomed: set) -> None:
+        """Bounded-mode delivery observer (runs outside the bus lock).
+
+        Closes the cross-shard containment edges over the keys this
+        delivery doomed and records everything in the asynchronous
+        doomed-key ledger.  Closure distributes over set union, so
+        per-delivery calls compute the same closure a strong-mode
+        publish computes over the whole union.
+        """
+        if not doomed:
+            return
+        closed = self._doom_containers(set(doomed))
+        with self._lock:
+            self._async_doomed |= closed
+
+    def take_async_doomed(self) -> set[str]:
+        """Drain the ledger of keys doomed by asynchronous deliveries.
+
+        Meaningful after quiescing/flushing the bus: the differential
+        harness and the staleness oracles compare doomed sets only at
+        points where delivery has provably caught up.
+        """
+        with self._lock:
+            doomed = self._async_doomed
+            self._async_doomed = set()
+            return doomed
+
     def _doom_containers(self, doomed: set[str]) -> set[str]:
         """Cross-node containment closure over freshly doomed keys.
 
         Each node already closed over its *local* containment edges; the
         router's table adds the cross-shard edges (page on node A built
-        from a fragment on node B).  Routed through the owner's
-        ``invalidate_key`` so the container's open flights are marked
-        stale exactly as for a direct invalidation.
+        from a fragment on node B).  Routed through every live replica's
+        ``invalidate_key`` so each copy of the container is doomed and
+        its open flights are marked stale exactly as for a direct
+        invalidation.
         """
         extra = self.fragments.containing(doomed)
         for key in extra:
-            self._owner(key).cache.invalidate_key(key)
+            for node in self._all_holders(key):
+                node.cache.invalidate_key(key)
         return doomed | extra
 
+    def _all_holders(self, key: str) -> list[CacheNode]:
+        """Every node that may hold a copy of ``key`` (replica set plus
+        the failover stand-in reads route to when the set is empty)."""
+        with self._lock:
+            holders = self._replica_nodes(key)
+            if not holders:
+                try:
+                    holders = [self._owner(key)]
+                except ClusterError:
+                    holders = []
+            return holders
+
     def invalidate_key(self, key: str) -> bool:
-        """External single-key invalidation, routed to the owner."""
-        removed = self._owner(key).cache.invalidate_key(key)
+        """External single-key invalidation, routed to every replica."""
+        removed = False
+        for node in self._all_holders(key):
+            removed = node.cache.invalidate_key(key) or removed
         self._doom_containers({key})
         return removed
 
@@ -497,6 +813,10 @@ class ClusterRouter:
     def clear(self) -> None:
         for node in self.nodes():
             node.cache.clear()
+
+    def close(self) -> None:
+        """Stop the bus pump and deliver any queued residue."""
+        self.bus.close()
 
     def __len__(self) -> int:
         return sum(len(node.cache) for node in self.nodes())

@@ -171,16 +171,28 @@ def _cmd_differential(args: argparse.Namespace) -> tuple[str, int]:
     from repro.harness.differential import run_fragment_differential
 
     fragment_rows = []
-    for n_nodes in (1, 4):
+    ring_configs = (
+        (1, 1, "strong"),
+        (4, 1, "strong"),
+        (4, 2, "strong"),
+        (4, 2, "bounded"),
+    )
+    for n_nodes, replication, bus_mode in ring_configs:
         for seed in range(args.seed, args.seeds + args.seed):
             fragment_result = run_fragment_differential(
-                seed=seed, rounds=args.rounds, n_nodes=n_nodes
+                seed=seed,
+                rounds=args.rounds,
+                n_nodes=n_nodes,
+                replication=replication,
+                bus_mode=bus_mode,
             )
             if not fragment_result.ok:
                 failures += 1
             fragment_rows.append(
                 [
                     n_nodes,
+                    replication,
+                    bus_mode,
                     seed,
                     "ok" if fragment_result.ok else "MISMATCH",
                     fragment_result.writes_tested,
@@ -190,7 +202,8 @@ def _cmd_differential(args: argparse.Namespace) -> tuple[str, int]:
             )
     fragment_table = render_table(
         "Differential: fragment-granular doom vs brute-force closure",
-        ["nodes", "seed", "verdict", "writes", "doomed", "via closure"],
+        ["nodes", "R", "bus", "seed", "verdict", "writes", "doomed",
+         "via closure"],
         fragment_rows,
     )
     return table + "\n\n" + fragment_table, (1 if failures else 0)
@@ -260,6 +273,7 @@ def _cmd_obs(args: argparse.Namespace) -> str:
     from repro.cache.autowebcache import AutoWebCache
     from repro.harness.reporting import (
         render_histogram_summary,
+        render_membership,
         render_protocol_counters,
     )
     from repro.obs import Observability, render_metrics, render_traces
@@ -298,8 +312,19 @@ def _cmd_obs(args: argparse.Namespace) -> str:
         sections.append(
             render_protocol_counters("Invalidation protocol work", snapshot)
         )
+        if "membership" in snapshot:
+            sections.append(
+                render_membership(
+                    "Gossip membership (router view)",
+                    snapshot["membership"],
+                )
+            )
     if args.view in ("metrics", "all"):
-        sections.append(render_metrics(obs.hub, obs.tracer).rstrip("\n"))
+        sections.append(
+            render_metrics(
+                obs.hub, obs.tracer, cache_snapshot=snapshot
+            ).rstrip("\n")
+        )
     if args.view in ("traces", "all"):
         sections.append(render_traces(obs.tracer, limit=args.traces).rstrip("\n"))
     return "\n\n".join(sections)

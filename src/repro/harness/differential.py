@@ -202,6 +202,8 @@ class FragmentDifferentialResult:
     seed: int
     rounds: int
     n_nodes: int
+    replication: int = 1
+    bus_mode: str = "strong"
     writes_tested: int = 0
     entries_doomed: int = 0
     #: Keys doomed purely by containment closure (a page or outer
@@ -221,6 +223,9 @@ def run_fragment_differential(
     n_pages: int = 30,
     n_fragments: int = 20,
     n_nodes: int = 1,
+    replication: int = 1,
+    bus_mode: str = "strong",
+    staleness_bound: float = 0.5,
     max_mismatches: int = 5,
 ) -> FragmentDifferentialResult:
     """Fragment-granular dooming vs. a brute-force reference.
@@ -241,12 +246,26 @@ def run_fragment_differential(
     never at doom time -- exactly the router's own contract (a doomed
     page's edges linger until its replacement re-registers), so a stale
     edge that re-dooms an absent key is *expected* on both sides.
+
+    With ``replication > 1`` every entry is written through to its full
+    replica set, so each doom message has several physical casualties
+    per logical key -- the returned *key* union must still match the
+    single-copy oracle exactly.  With ``bus_mode="bounded"`` publishes
+    return an empty doomed set; the harness flushes the bus and drains
+    :meth:`~repro.cluster.router.ClusterRouter.take_async_doomed` to
+    observe the casualties at the convergence point, which must again
+    equal the synchronous oracle's set.
     """
     from repro.cluster.router import ClusterRouter, make_cache_factory
 
     rng = random.Random(seed)
     router = ClusterRouter(
-        [f"node-{i}" for i in range(n_nodes)], make_cache_factory()
+        [f"node-{i}" for i in range(n_nodes)],
+        make_cache_factory(),
+        replication=replication,
+        bus_mode=bus_mode,
+        staleness_bound=staleness_bound,
+        bus_pump=False,
     )
     mirror = PageCache(make_policy("unbounded", None))
     brute = Invalidator(
@@ -260,7 +279,11 @@ def run_fragment_differential(
     edges: dict[str, set[str]] = {}
     fragment_keys = [f"frag://frag-{i}?v={i}" for i in range(n_fragments)]
     result = FragmentDifferentialResult(
-        seed=seed, rounds=rounds, n_nodes=n_nodes
+        seed=seed,
+        rounds=rounds,
+        n_nodes=n_nodes,
+        replication=replication,
+        bus_mode=bus_mode,
     )
 
     def register(key: str, embedded: tuple[str, ...]) -> None:
@@ -323,9 +346,15 @@ def run_fragment_differential(
         closure = reference_closure(base)
         expected = base | closure
         actual = router.process_write_request("/differential", batch)
+        if router.bus.mode == "bounded":
+            # Bounded publishes return before delivery; converge first,
+            # then read the casualties off the asynchronous ledger.
+            router.bus.flush()
+            actual |= router.take_async_doomed()
         if actual != expected:
             result.mismatches.append(
-                f"round {round_no} ({n_nodes} nodes): doomed sets differ; "
+                f"round {round_no} ({n_nodes} nodes, R={replication}, "
+                f"{bus_mode}): doomed sets differ; "
                 f"router-only={sorted(actual - expected)}, "
                 f"reference-only={sorted(expected - actual)}, "
                 f"writes={[str(w.template.text) for w in batch]}"

@@ -231,12 +231,21 @@ def run_cluster_cell(
     defaults: ExperimentDefaults | None = None,
     cost_model: ClusterCostModel | None = None,
     vnodes: int | None = None,
+    replication: int = 1,
+    bus_mode: str = "strong",
+    staleness_bound: float = 0.5,
+    db_workers: int = 1,
 ) -> ClusterOutcome:
     """Simulate one (node count, client count) cluster cell.
 
     Builds a fresh application, weaves :class:`ClusterAutoWebCache`
     over it, and drives the cluster simulator (per-node app resources,
-    shared database, synchronous invalidation bus).
+    a shared database resource with ``db_workers`` servers, and the
+    invalidation bus in ``bus_mode``).  ``replication`` enables R-way
+    write-through; ``db_workers`` models the database tier's width --
+    the 64-node scaling benchmark scales it with node count, because a
+    single-server database saturates long before the app tier does and
+    would flatten any curve into a measurement of the DB, not the bus.
     """
     defaults = defaults or ExperimentDefaults()
     clock = VirtualClock()
@@ -261,7 +270,16 @@ def run_cluster_cell(
         raise ValueError(f"unknown app {app!r}")
     model = cost_model or ClusterCostModel(base=base_model)
     awc_kwargs = dict(
-        n_nodes=n_nodes, semantics=semantics, clock=clock.now
+        n_nodes=n_nodes,
+        semantics=semantics,
+        clock=clock.now,
+        replication=replication,
+        bus_mode=bus_mode,
+        staleness_bound=staleness_bound,
+        # Virtual time: delivery is driven by the simulator's flushes
+        # and the bus's own publish-side shedding, never a wall-clock
+        # pump thread.
+        bus_pump=False,
     )
     if vnodes is not None:
         awc_kwargs["vnodes"] = vnodes
@@ -273,6 +291,7 @@ def run_cluster_cell(
             warmup=defaults.warmup,
             duration=defaults.duration,
             seed=defaults.seed,
+            db_workers=db_workers,
             session=SessionConfig(
                 think_time_mean=defaults.think_time_mean,
                 session_duration=defaults.session_duration,
@@ -299,11 +318,21 @@ def run_cluster_scaling_curve(
     app: str = "rubis",
     defaults: ExperimentDefaults | None = None,
     cost_model: ClusterCostModel | None = None,
+    **cell_kwargs,
 ) -> list[ClusterOutcome]:
-    """Throughput / hit-rate vs node count at a fixed client load."""
+    """Throughput / hit-rate vs node count at a fixed client load.
+
+    Extra keyword arguments (``replication``, ``bus_mode``,
+    ``db_workers``, ...) pass through to :func:`run_cluster_cell`.
+    """
     return [
         run_cluster_cell(
-            n, n_clients, app=app, defaults=defaults, cost_model=cost_model
+            n,
+            n_clients,
+            app=app,
+            defaults=defaults,
+            cost_model=cost_model,
+            **cell_kwargs,
         )
         for n in node_counts
     ]

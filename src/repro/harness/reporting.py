@@ -179,6 +179,28 @@ def render_cluster_snapshot(title: str, snapshot: dict) -> str:
     )
 
 
+def render_membership(title: str, membership: dict) -> str:
+    """Render a ``GossipMembership.snapshot()``: one row per peer.
+
+    The router-view table behind routing decisions: gossip state,
+    heartbeat counter, and how long the counter has been silent.
+    """
+    if not membership:
+        return f"{title}\n(no peers registered)"
+    rows = [
+        [
+            peer,
+            view["state"],
+            view["counter"],
+            round(view["silence_seconds"], 3),
+        ]
+        for peer, view in sorted(membership.items())
+    ]
+    return render_table(
+        title, ["node", "state", "heartbeat", "silent s"], rows
+    )
+
+
 #: The invalidation-protocol work counters folded into experiment
 #: reports: how much pair analysis the dependency index avoided, how
 #: many pre-image extra queries ran, and how many duplicate writes the

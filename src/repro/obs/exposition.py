@@ -23,6 +23,11 @@ from repro.obs.tracer import Tracer
 
 HISTOGRAM_METRIC = "repro_phase_latency_seconds"
 ADMISSION_METRIC = "repro_admission_verdicts_total"
+BUS_DEPTH_METRIC = "repro_bus_queue_depth"
+BUS_LAG_METRIC = "repro_bus_delivery_lag_seconds"
+MEMBERSHIP_METRIC = "repro_membership_state"
+MEMBERSHIP_SILENCE_METRIC = "repro_membership_silence_seconds"
+MEMBERSHIP_STATES = ("alive", "suspect", "dead")
 
 
 def _format_bound(bound: float) -> str:
@@ -45,7 +50,11 @@ def render_metrics(
 
     ``cache_snapshot`` (a :meth:`~repro.cache.stats.CacheStats.snapshot`
     dict, or a cluster aggregate carrying the same keys) adds the
-    admission verdict counters as a labelled counter family.
+    admission verdict counters as a labelled counter family.  A full
+    cluster snapshot (the ``{"cluster": ..., "bus": ..., "membership":
+    ...}`` shape of ``ClusterRouter.snapshot()``) additionally emits the
+    bounded-staleness bus gauges -- per-node undelivered queue depth and
+    delivery lag -- and the router-view membership state set.
     """
     lines = [
         f"# HELP {HISTOGRAM_METRIC} Latency of woven phases by request type.",
@@ -77,17 +86,81 @@ def render_metrics(
             f"repro_tracer_traces_evicted_total {tracer.traces_evicted}",
         ]
     if cache_snapshot is not None:
+        # A cluster snapshot nests the aggregate counters under
+        # "cluster"; a single-node CacheStats snapshot *is* the counters.
+        stats = cache_snapshot.get("cluster", cache_snapshot)
         lines += [
             f"# HELP {ADMISSION_METRIC} Cache insert admission verdicts.",
             f"# TYPE {ADMISSION_METRIC} counter",
         ]
         for verdict in ("admitted", "denied", "shadow_denied"):
-            count = cache_snapshot.get(verdict, 0)
+            count = stats.get(verdict, 0)
             lines.append(
                 f'{ADMISSION_METRIC}{{verdict="{_escape_label(verdict)}"}} '
                 f"{count}"
             )
+        lines += _render_cluster_families(cache_snapshot)
     return "\n".join(lines) + "\n"
+
+
+def _render_cluster_families(snapshot: dict) -> list[str]:
+    """Bus backpressure gauges and the membership state set.
+
+    Empty for single-node snapshots (no ``bus``/``membership`` keys).
+    The membership family follows the Prometheus *state set* idiom: one
+    series per (node, state) pair, valued 1 on the series matching the
+    node's current router-view state and 0 elsewhere, so dashboards can
+    ``max by (state)`` without string-valued labels.
+    """
+    lines: list[str] = []
+    bus = snapshot.get("bus")
+    if bus is not None and "queue_depths" in bus:
+        lines += [
+            f"# HELP {BUS_DEPTH_METRIC} Undelivered invalidation "
+            "messages queued per node (bounded mode).",
+            f"# TYPE {BUS_DEPTH_METRIC} gauge",
+        ]
+        for node, depth in sorted(bus["queue_depths"].items()):
+            lines.append(
+                f'{BUS_DEPTH_METRIC}{{node="{_escape_label(node)}"}} {depth}'
+            )
+        lines += [
+            f"# HELP {BUS_LAG_METRIC} Invalidation delivery lag per "
+            "node: enqueue-to-apply seconds (bounded mode).",
+            f"# TYPE {BUS_LAG_METRIC} gauge",
+        ]
+        for node, lags in sorted(bus.get("delivery_lags", {}).items()):
+            for window in ("last", "max"):
+                lines.append(
+                    f'{BUS_LAG_METRIC}{{node="{_escape_label(node)}",'
+                    f'window="{window}"}} {lags[window]:.6f}'
+                )
+    membership = snapshot.get("membership")
+    if membership:
+        lines += [
+            f"# HELP {MEMBERSHIP_METRIC} Router-view gossip membership "
+            "(1 on the series matching the node's state).",
+            f"# TYPE {MEMBERSHIP_METRIC} gauge",
+        ]
+        for node, view in sorted(membership.items()):
+            for state in MEMBERSHIP_STATES:
+                value = 1 if view["state"] == state else 0
+                lines.append(
+                    f'{MEMBERSHIP_METRIC}{{node="{_escape_label(node)}",'
+                    f'state="{state}"}} {value}'
+                )
+        lines += [
+            f"# HELP {MEMBERSHIP_SILENCE_METRIC} Seconds since the "
+            "router last saw the node's heartbeat counter advance.",
+            f"# TYPE {MEMBERSHIP_SILENCE_METRIC} gauge",
+        ]
+        for node, view in sorted(membership.items()):
+            lines.append(
+                f"{MEMBERSHIP_SILENCE_METRIC}"
+                f'{{node="{_escape_label(node)}"}} '
+                f"{view['silence_seconds']:.6f}"
+            )
+    return lines
 
 
 def _span_line(span: Span, depth: int) -> str:

@@ -1,0 +1,393 @@
+"""R-way replication: write-through, failover, bounded-staleness oracle."""
+
+import pytest
+
+from repro.cache.external import TriggerInvalidationBridge
+from repro.cluster import ClusterAutoWebCache
+from repro.errors import ClusterError
+from repro.web.http import HttpRequest
+
+from tests.conftest import build_notes_app
+
+TOPICS = [f"topic-{i}" for i in range(12)]
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def build_cluster(n_nodes=3, **kwargs):
+    db, container = build_notes_app()
+    kwargs.setdefault("replication", 2)
+    kwargs.setdefault("bus_pump", False)
+    awc = ClusterAutoWebCache(n_nodes=n_nodes, **kwargs)
+    awc.install(container.servlet_classes)
+    return db, container, awc
+
+
+def populate(container, topics=TOPICS):
+    for i, topic in enumerate(topics):
+        response = container.post(
+            "/add",
+            {"id": str(i + 1), "topic": topic, "body": f"b{i}", "score": "0"},
+        )
+        assert response.status == 200
+
+
+def warm(container, topics=TOPICS):
+    for topic in topics:
+        assert container.get("/view_topic", {"topic": topic}).status == 200
+
+
+def topic_key(topic: str) -> str:
+    return HttpRequest("GET", "/view_topic", {"topic": topic}).cache_key()
+
+
+class TestWriteThrough:
+    def test_every_key_lives_on_its_whole_replica_set(self):
+        _db, container, awc = build_cluster()
+        try:
+            populate(container)
+            warm(container)
+            for topic in TOPICS:
+                key = topic_key(topic)
+                holders = [
+                    node.name
+                    for node in awc.router.nodes()
+                    if key in node.cache.pages
+                ]
+                assert sorted(holders) == sorted(awc.router.replica_names(key))
+                assert len(holders) == 2
+        finally:
+            awc.uninstall()
+
+    def test_replica_copies_are_independent_entries(self):
+        _db, container, awc = build_cluster()
+        try:
+            populate(container)
+            warm(container)
+            key = topic_key(TOPICS[0])
+            copies = [
+                node.cache.pages.peek(key)
+                for node in awc.router.nodes()
+                if key in node.cache.pages
+            ]
+            assert len(copies) == 2
+            first, second = copies
+            assert first is not second
+            assert first.body == second.body
+            assert first.dependencies == second.dependencies
+        finally:
+            awc.uninstall()
+
+    def test_copy_counters_and_accounting_exact(self):
+        _db, container, awc = build_cluster()
+        try:
+            populate(container)
+            warm(container)
+            snapshot = awc.cluster_snapshot()
+            copies = sum(n["replica_copies"] for n in snapshot["nodes"])
+            assert copies == len(TOPICS)  # one secondary per stored page
+            for node in awc.router.nodes():
+                pages = node.cache.pages
+                entries = pages.entries()
+                assert pages.total_bytes == sum(e.size for e in entries)
+        finally:
+            awc.uninstall()
+
+    def test_write_dooms_every_copy(self):
+        _db, container, awc = build_cluster()
+        try:
+            populate(container)
+            warm(container)
+            key = topic_key(TOPICS[0])
+            container.post("/score", {"id": "1", "score": "77"})
+            for node in awc.router.nodes():
+                assert key not in node.cache.pages
+            page = container.get("/view_topic", {"topic": TOPICS[0]})
+            assert "(77)" in page.body
+        finally:
+            awc.uninstall()
+
+    def test_replication_one_stores_single_copy(self):
+        _db, container, awc = build_cluster(replication=1)
+        try:
+            populate(container)
+            warm(container)
+            for topic in TOPICS:
+                key = topic_key(topic)
+                holders = [
+                    node.name
+                    for node in awc.router.nodes()
+                    if key in node.cache.pages
+                ]
+                assert len(holders) == 1
+            snapshot = awc.cluster_snapshot()
+            assert sum(n["replica_copies"] for n in snapshot["nodes"]) == 0
+        finally:
+            awc.uninstall()
+
+
+class TestReadPath:
+    def test_hot_key_reads_rotate_over_the_replica_set(self):
+        _db, container, awc = build_cluster()
+        try:
+            populate(container)
+            warm(container)
+            key = topic_key(TOPICS[0])
+            holders = {
+                node.name: node
+                for node in awc.router.nodes()
+                if key in node.cache.pages
+            }
+            before = {
+                name: node.cache.stats.hits for name, node in holders.items()
+            }
+            for _ in range(8):
+                assert container.get(
+                    "/view_topic", {"topic": TOPICS[0]}
+                ).status == 200
+            gained = {
+                name: node.cache.stats.hits - before[name]
+                for name, node in holders.items()
+            }
+            assert sum(gained.values()) == 8
+            assert all(count > 0 for count in gained.values()), gained
+        finally:
+            awc.uninstall()
+
+    def test_failover_serves_the_surviving_copy_as_a_hit(self):
+        _db, container, awc = build_cluster()
+        try:
+            populate(container)
+            warm(container)
+            key = topic_key(TOPICS[0])
+            primary, secondary = awc.router.replica_names(key)
+            awc.router.fail_node(primary)
+            assert primary not in awc.router.node_names
+            # Removing the primary from the ring promotes the next
+            # distinct successor into the replica set: the survivor
+            # plus one cold newcomer.
+            after = awc.router.replica_names(key)
+            assert secondary in after and len(after) == 2
+            survivor = awc.router.node(secondary)
+            hits_before = survivor.cache.stats.hits
+            # Rotation alternates between the warm survivor and the
+            # cold newcomer; two reads guarantee the survivor serves
+            # its copy at least once, and the newcomer warms up.
+            for _ in range(2):
+                page = container.get("/view_topic", {"topic": TOPICS[0]})
+                assert page.status == 200
+            assert survivor.cache.stats.hits >= hits_before + 1
+            holders = [
+                node.name
+                for node in awc.router.nodes()
+                if key in node.cache.pages
+            ]
+            assert sorted(holders) == sorted(after)
+        finally:
+            awc.uninstall()
+
+    def test_failed_over_copy_still_hears_invalidations(self):
+        _db, container, awc = build_cluster()
+        try:
+            populate(container)
+            warm(container)
+            key = topic_key(TOPICS[0])
+            primary, _secondary = awc.router.replica_names(key)
+            awc.router.fail_node(primary)
+            container.post("/score", {"id": "1", "score": "88"})
+            for node in awc.router.nodes():
+                assert key not in node.cache.pages
+            page = container.get("/view_topic", {"topic": TOPICS[0]})
+            assert "(88)" in page.body
+        finally:
+            awc.uninstall()
+
+    def test_losing_every_replica_falls_back_to_the_ring(self):
+        _db, container, awc = build_cluster(n_nodes=3)
+        try:
+            populate(container)
+            warm(container)
+            key = topic_key(TOPICS[0])
+            for name in list(awc.router.replica_names(key)):
+                awc.router.fail_node(name)
+            # One node left; it serves the key (as a recompute).
+            assert awc.router.owner_name(key) == awc.router.node_names[0]
+            assert container.get(
+                "/view_topic", {"topic": TOPICS[0]}
+            ).status == 200
+            awc.router.fail_node(awc.router.node_names[0])
+            with pytest.raises(ClusterError, match="reachable|empty"):
+                awc.router.owner_name(key)
+        finally:
+            awc.uninstall()
+
+
+class TestGossipDrivenEviction:
+    def test_silent_node_is_detected_and_evicted_by_ticks(self):
+        clock = FakeClock()
+        _db, container, awc = build_cluster(clock=clock)
+        try:
+            populate(container)
+            warm(container)
+            victim = awc.router.node_names[0]
+            awc.router.silence_node(victim)
+            # Routing fails over immediately, before any detection.
+            assert all(
+                victim not in awc.router.replica_names(topic_key(t))
+                for t in TOPICS
+            )
+            # Gossip-paced detection: the router's view walks the
+            # silent peer through SUSPECT to DEAD, then evicts it.
+            for _ in range(20):
+                clock.advance(0.5)
+                awc.router.tick()
+                if victim not in awc.router.node_names:
+                    break
+            assert victim not in awc.router.node_names
+            assert awc.router.membership.state(victim) == "dead"
+            assert victim not in awc.bus.subscriber_names
+            warm(container)  # the survivors serve everything
+        finally:
+            awc.uninstall()
+
+    def test_membership_appears_in_cluster_snapshot(self):
+        _db, _container, awc = build_cluster()
+        try:
+            table = awc.cluster_snapshot()["membership"]
+            assert set(table) == set(awc.router.node_names)
+            for view in table.values():
+                assert view["state"] == "alive"
+        finally:
+            awc.uninstall()
+
+
+class TestBoundedStaleness:
+    def test_bounded_publish_defers_delivery_until_flush(self):
+        clock = FakeClock()
+        _db, container, awc = build_cluster(
+            bus_mode="bounded", staleness_bound=1.0, clock=clock
+        )
+        try:
+            populate(container)
+            # Warm twice: the first pass's miss-inserts flush the bus
+            # (the write-through barrier), delivering the queued /add
+            # messages, which conservatively doom the pages warmed
+            # before them.  The second pass re-warms those over empty
+            # queues, leaving a stable fully-replicated working set.
+            warm(container)
+            warm(container)
+            key = topic_key(TOPICS[0])
+            container.post("/score", {"id": "1", "score": "55"})
+            # The write returned after durable enqueue: the copies are
+            # still cached, and the queues hold one message per node.
+            holders = [
+                node for node in awc.router.nodes() if key in node.cache.pages
+            ]
+            assert len(holders) == 2
+            depths = awc.bus.queue_depths()
+            assert all(depth >= 1 for depth in depths.values()), depths
+            awc.bus.flush()
+            for node in awc.router.nodes():
+                assert key not in node.cache.pages
+            assert key in awc.router.take_async_doomed()
+            assert awc.router.take_async_doomed() == set()  # drained
+        finally:
+            awc.uninstall()
+
+    def test_bounded_read_within_window_may_serve_stale_then_converges(self):
+        clock = FakeClock()
+        _db, container, awc = build_cluster(
+            bus_mode="bounded", staleness_bound=1.0, clock=clock
+        )
+        try:
+            populate(container)
+            warm(container)
+            warm(container)  # settle the working set (see above)
+            container.post("/score", {"id": "1", "score": "66"})
+            # Within the window the cached page may still show the old
+            # score -- that is the contract being bought.
+            stale = container.get("/view_topic", {"topic": TOPICS[0]})
+            assert "(0)" in stale.body
+            awc.bus.flush()
+            fresh = container.get("/view_topic", {"topic": TOPICS[0]})
+            assert "(66)" in fresh.body
+        finally:
+            awc.uninstall()
+
+    def test_publish_side_shedding_bounds_queue_age(self):
+        clock = FakeClock()
+        _db, container, awc = build_cluster(
+            bus_mode="bounded", staleness_bound=1.0, clock=clock
+        )
+        try:
+            populate(container)
+            warm(container)
+            container.post("/score", {"id": "1", "score": "11"})
+            clock.advance(0.6)  # past bound/2: next publish must shed
+            container.post("/score", {"id": "2", "score": "22"})
+            assert awc.bus.stats.sheds > 0
+            assert awc.bus.stats.max_staleness <= 1.0
+        finally:
+            awc.uninstall()
+
+
+class TestStalenessOracle:
+    def test_bridge_reports_zero_bound_for_strong_cluster(self):
+        db, _container, awc = build_cluster(bus_mode="strong")
+        try:
+            bridge = TriggerInvalidationBridge(awc.router, awc.collector)
+            bridge.attach(db)
+            assert bridge.staleness_bound == 0.0
+            assert bridge.measured_staleness() == 0.0
+            assert bridge.assert_staleness_bound() == 0.0
+        finally:
+            awc.uninstall()
+
+    def test_external_write_measured_within_bound(self):
+        clock = FakeClock()
+        db, container, awc = build_cluster(
+            bus_mode="bounded", staleness_bound=1.0, clock=clock
+        )
+        try:
+            bridge = TriggerInvalidationBridge(awc.router, awc.collector)
+            bridge.attach(db)
+            populate(container)
+            warm(container)
+            db.update("UPDATE notes SET score = 9 WHERE id = 1")
+            assert bridge.external_writes == 1
+            assert bridge.staleness_bound == 1.0
+            clock.advance(0.4)  # lag accrues while the message queues
+            measured = bridge.assert_staleness_bound()
+            assert measured == pytest.approx(0.4)
+            fresh = container.get("/view_topic", {"topic": TOPICS[0]})
+            assert "(9)" in fresh.body
+        finally:
+            awc.uninstall()
+
+    def test_oracle_raises_when_the_contract_is_broken(self):
+        clock = FakeClock()
+        db, container, awc = build_cluster(
+            bus_mode="bounded", staleness_bound=1.0, clock=clock
+        )
+        try:
+            bridge = TriggerInvalidationBridge(awc.router, awc.collector)
+            bridge.attach(db)
+            populate(container)
+            warm(container)
+            db.update("UPDATE notes SET score = 9 WHERE id = 1")
+            # No pump, no traffic: nothing sheds the queue, so the lag
+            # sails past the bound -- exactly what the oracle is for.
+            clock.advance(2.5)
+            with pytest.raises(AssertionError, match="bounded-staleness"):
+                bridge.assert_staleness_bound()
+        finally:
+            awc.uninstall()

@@ -84,6 +84,82 @@ class TestRemapping:
         assert {key: ring.node_for(key) for key in KEYS} == before
 
 
+class TestReplicaSets:
+    """Successor-placement property tests (replication factor R)."""
+
+    def test_primary_matches_node_for(self):
+        ring = HashRing(["a", "b", "c", "d", "e"])
+        for key in KEYS:
+            assert ring.nodes_for(key, 3)[0] == ring.node_for(key)
+
+    def test_replicas_are_distinct_physical_nodes(self):
+        # Replica sets must never collapse onto one physical node while
+        # the ring has more nodes than the replication factor, no matter
+        # how vnode points interleave.
+        for vnodes in (1, 2, 8, DEFAULT_VNODES):
+            ring = HashRing(["a", "b", "c", "d", "e"], vnodes=vnodes)
+            for r in (2, 3, 4):
+                for key in KEYS:
+                    replicas = ring.nodes_for(key, r)
+                    assert len(replicas) == r
+                    assert len(set(replicas)) == r, (vnodes, r, replicas)
+
+    def test_small_ring_degrades_to_all_nodes(self):
+        ring = HashRing(["a", "b"])
+        for key in KEYS[:50]:
+            replicas = ring.nodes_for(key, 3)
+            assert sorted(replicas) == ["a", "b"]
+
+    def test_replica_sets_deterministic(self):
+        one = HashRing(["a", "b", "c", "d"])
+        two = HashRing(["d", "c", "b", "a"])
+        assert [one.nodes_for(k, 2) for k in KEYS] == [
+            two.nodes_for(k, 2) for k in KEYS
+        ]
+
+    def test_join_moves_minimal_replica_fraction(self):
+        # With R=2 on n nodes, a joining node should enter ~2/(n+1) of
+        # the replica sets; every other set must be untouched, and a
+        # changed set may differ from the old one only by the newcomer
+        # (successor placement: the walk is identical except where the
+        # new node's points intercept it).
+        ring = HashRing(["a", "b", "c", "d", "e"])
+        before = {key: ring.nodes_for(key, 2) for key in KEYS}
+        ring.add_node("f")
+        changed = 0
+        for key in KEYS:
+            after = ring.nodes_for(key, 2)
+            if after == before[key]:
+                continue
+            changed += 1
+            assert "f" in after, (before[key], after)
+            assert set(after) - {"f"} <= set(before[key]), (before[key], after)
+        expected = 2 / 6  # R/(n+1) of sets gain the newcomer, in expectation
+        assert changed < len(KEYS) * expected * 2.0
+        assert changed > len(KEYS) * expected * 0.3
+
+    def test_leave_moves_minimal_replica_fraction(self):
+        ring = HashRing(["a", "b", "c", "d", "e"])
+        before = {key: ring.nodes_for(key, 2) for key in KEYS}
+        ring.remove_node("e")
+        for key in KEYS:
+            after = ring.nodes_for(key, 2)
+            if "e" not in before[key]:
+                # Sets not involving the leaver are bit-for-bit stable.
+                assert after == before[key]
+            else:
+                # The survivor keeps its slot; only the leaver's slot
+                # is refilled by the next distinct successor.
+                survivors = [n for n in before[key] if n != "e"]
+                assert set(survivors) <= set(after)
+                assert "e" not in after
+
+    def test_nonpositive_replica_count_rejected(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ClusterError, match="at least one"):
+            ring.nodes_for("key", 0)
+
+
 class TestErrors:
     def test_empty_ring_raises_cluster_error(self):
         ring = HashRing()

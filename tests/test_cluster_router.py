@@ -347,7 +347,10 @@ class TestClusterStats:
         populate(container)
         warm(container)
         snapshot = awc.cluster_snapshot()
-        assert set(snapshot) == {"cluster", "nodes", "bus"}
+        assert set(snapshot) == {"cluster", "nodes", "bus", "membership"}
+        assert all(
+            view["state"] == "alive" for view in snapshot["membership"].values()
+        )
         assert len(snapshot["nodes"]) == 3
         aggregate = snapshot["cluster"]
         assert aggregate["hits"] == sum(

@@ -110,6 +110,39 @@ def test_fragment_doom_is_topology_invariant():
     assert single.closure_doomed == quad.closure_doomed
 
 
+@pytest.mark.parametrize("bus_mode", ["strong", "bounded"])
+@pytest.mark.parametrize("seed", range(4))
+def test_fragment_doom_matches_oracle_on_replicated_ring(seed, bus_mode):
+    """A 4-node R=2 ring -- every entry written through to two nodes,
+    every doom message with two physical casualties per logical key --
+    must still return exactly the single-copy oracle's key set, in
+    both bus modes.  Bounded mode converges (flush + async ledger
+    drain) before each comparison."""
+    result = run_fragment_differential(
+        seed=seed, rounds=30, n_nodes=4, replication=2, bus_mode=bus_mode
+    )
+    assert result.ok, "\n".join(result.mismatches)
+    assert result.writes_tested > 0 and result.entries_doomed > 0
+    assert result.closure_doomed > 0
+
+
+def test_fragment_doom_is_replication_and_mode_invariant():
+    """R=1 vs R=2 and strong vs bounded must doom identical key sets
+    for the same seed: replication multiplies copies, not casualties,
+    and bounded delivery only moves *when* dooms land, never which."""
+    baseline = run_fragment_differential(seed=9, rounds=25, n_nodes=4)
+    replicated = run_fragment_differential(
+        seed=9, rounds=25, n_nodes=4, replication=2
+    )
+    bounded = run_fragment_differential(
+        seed=9, rounds=25, n_nodes=4, replication=2, bus_mode="bounded"
+    )
+    assert baseline.ok and replicated.ok and bounded.ok
+    assert baseline.entries_doomed == replicated.entries_doomed
+    assert replicated.entries_doomed == bounded.entries_doomed
+    assert baseline.closure_doomed == bounded.closure_doomed
+
+
 def test_cluster_stats_aggregate_pruning_counters():
     rng = random.Random(11)
     router = ClusterRouter(
