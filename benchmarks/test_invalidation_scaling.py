@@ -13,6 +13,16 @@ Acceptance: identical doomed sets at every scale, and >= 5x fewer
 operations per write at 1 000 registered templates (the issue's
 threshold; the reduction grows with scale since the indexed cost is
 O(templates sharing a table), not O(all templates)).
+
+A second section replays a *column* write mix -- half the UPDATEs touch
+only never-read bookkeeping columns (audit stamps, counters), the shape
+of real write amplification -- through the indexed protocol twice: once
+with equality pruning only (``lineage_pruning=False``) and once with
+the column-lineage rule live.  Doomed sets must be identical; the
+lineage leg must spend measurably fewer protocol ops per write
+(>= 1.5x at 1 000+ templates), since every candidate the column rule
+skips is a pair analysis the equality leg pays for just to hear
+``possible=False``.
 """
 
 from __future__ import annotations
@@ -25,12 +35,15 @@ from repro.cache.page_cache import PageCache
 from repro.cache.replacement import make_policy
 from repro.cache.stats import CacheStats
 from repro.harness.reporting import render_table
+from repro.sql.lineage import Catalog
 from repro.sql.template import templateize
 
 N_TABLES = 20
 INSTANCES_PER_TEMPLATE = 4
 N_WRITES = 60
 SCALES = [100, 1_000, 10_000]
+#: Never-read bookkeeping columns every bench table carries.
+NEVER_READ = ("nr_audit", "nr_views")
 
 
 def _populate(n_templates: int) -> PageCache:
@@ -86,6 +99,85 @@ def _protocol_ops(stats: CacheStats) -> int:
     return snapshot["pair_analyses"] + snapshot["intersection_tests"]
 
 
+def _bench_catalog(n_templates: int) -> Catalog:
+    """Schema catalog for the bench tables: key, variants, never-read."""
+    n_variants = max(1, n_templates // N_TABLES)
+    columns = (
+        ("k",)
+        + tuple(f"v{v}" for v in range(n_variants))
+        + NEVER_READ
+    )
+    return Catalog({f"t{i}": columns for i in range(N_TABLES)})
+
+
+def _column_write_batch(n_templates: int) -> list[QueryInstance]:
+    """Column mix: half the writes only touch never-read columns."""
+    n_variants = max(1, n_templates // N_TABLES)
+    writes = []
+    for w in range(N_WRITES):
+        table = f"t{w % N_TABLES}"
+        variant = w % n_variants
+        k = w % INSTANCES_PER_TEMPLATE
+        if w % 2 == 0:
+            nr = NEVER_READ[(w // 2) % len(NEVER_READ)]
+            sql = f"UPDATE {table} SET {nr} = ? WHERE k = ?"
+            params: tuple = (999, k)
+        elif w % 4 == 1:
+            sql = f"UPDATE {table} SET v{variant} = ? WHERE k = ?"
+            params = (999, k)
+        else:
+            sql = f"INSERT INTO {table} (k, v{variant}) VALUES (?, ?)"
+            params = (k, 999)
+        template, values = templateize(sql, params)
+        writes.append(QueryInstance(template, values))
+    return writes
+
+
+def _run_column() -> list[dict]:
+    """Equality-only vs equality+lineage over the column write mix."""
+    results = []
+    for n_templates in SCALES:
+        pages = _populate(n_templates)
+        writes = _column_write_batch(n_templates)
+        catalog = _bench_catalog(n_templates)
+        stats_equality = CacheStats()
+        stats_lineage = CacheStats()
+        equality_only = Invalidator(
+            pages,
+            AnalysisCache(QueryAnalysisEngine(catalog=catalog)),
+            stats_equality,
+            InvalidationPolicy.EXTRA_QUERY,
+            indexed=True,
+            lineage_pruning=False,
+        )
+        lineage = Invalidator(
+            pages,
+            AnalysisCache(QueryAnalysisEngine(catalog=catalog)),
+            stats_lineage,
+            InvalidationPolicy.EXTRA_QUERY,
+            indexed=True,
+            lineage_pruning=True,
+        )
+        doomed_equality = equality_only.affected_pages(writes)
+        doomed_lineage = lineage.affected_pages(writes)
+        assert doomed_lineage == doomed_equality, (
+            f"{n_templates} templates: lineage pruning changed the "
+            f"doomed set"
+        )
+        snapshot = stats_lineage.snapshot()
+        results.append(
+            {
+                "templates": n_templates,
+                "doomed": len(doomed_equality),
+                "equality_ops": _protocol_ops(stats_equality),
+                "lineage_ops": _protocol_ops(stats_lineage),
+                "lineage_skipped": snapshot["templates_skipped_by_lineage"],
+                "plans_built": snapshot["column_plans_built"],
+            }
+        )
+    return results
+
+
 def _run() -> list[dict]:
     results = []
     for n_templates in SCALES:
@@ -128,7 +220,12 @@ def _run() -> list[dict]:
 
 
 def test_invalidation_scaling(benchmark, figure_report):
-    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    def _both() -> tuple[list[dict], list[dict]]:
+        return _run(), _run_column()
+
+    results, column_results = benchmark.pedantic(
+        _both, rounds=1, iterations=1
+    )
     rows = []
     for cell in results:
         brute_per_write = cell["brute_ops"] / N_WRITES
@@ -151,6 +248,27 @@ def test_invalidation_scaling(benchmark, figure_report):
                 f"{cell['templates']} templates: only {reduction:.1f}x "
                 f"reduction in protocol operations"
             )
+    column_rows = []
+    for cell in column_results:
+        equality_per_write = cell["equality_ops"] / N_WRITES
+        lineage_per_write = cell["lineage_ops"] / N_WRITES
+        reduction = cell["equality_ops"] / max(1, cell["lineage_ops"])
+        column_rows.append(
+            [
+                cell["templates"],
+                cell["doomed"],
+                round(equality_per_write, 1),
+                round(lineage_per_write, 1),
+                f"{reduction:.1f}x",
+                cell["lineage_skipped"],
+                cell["plans_built"],
+            ]
+        )
+        if cell["templates"] >= 1_000:
+            assert reduction >= 1.5, (
+                f"{cell['templates']} templates: lineage pruning only "
+                f"{reduction:.2f}x over equality-only"
+            )
     figure_report(
         "invalidation_scaling",
         render_table(
@@ -166,5 +284,20 @@ def test_invalidation_scaling(benchmark, figure_report):
                 "inst skipped",
             ],
             rows,
+        )
+        + "\n\n"
+        + render_table(
+            "Column write mix: equality-only vs equality+lineage "
+            "(indexed path, ops per write)",
+            [
+                "templates",
+                "doomed",
+                "eq-only ops/write",
+                "+lineage ops/write",
+                "reduction",
+                "lineage skipped",
+                "plans built",
+            ],
+            column_rows,
         ),
     )

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 
 from repro.cache.entry import QueryInstance
 from repro.sql.analysis_info import EqualityBinding, StatementInfo, extract_info
+from repro.sql.lineage import Catalog, LineageInfo, compute_lineage
 from repro.sql.template import QueryTemplate
 
 
@@ -78,14 +79,85 @@ class PairAnalysis:
     write_kind: str = ""
 
 
-class QueryAnalysisEngine:
-    """Performs pair analysis and run-time intersection tests."""
+@dataclass(frozen=True)
+class ColumnPruneRule:
+    """The column dimension of pair analysis, packaged for the index path.
 
-    def __init__(self) -> None:
+    ``read_set`` is the template's lineage read set (see
+    :mod:`repro.sql.lineage`): every base-table column the cached result
+    can observe.  :meth:`disjoint` answers, for one write, exactly the
+    question :meth:`QueryAnalysisEngine.analyse_pair` answers with its
+    column check -- so an invalidator that skips a candidate template on
+    ``disjoint(...) == True`` skips precisely the pairs whose analysis
+    would have come back ``possible=False``, keeping the indexed doomed
+    set bit-identical to brute force while avoiding the pair-analysis
+    work entirely.
+    """
+
+    read_set: frozenset[tuple[str, str]]
+    tables: frozenset[str]
+    exact: bool = False
+
+    def disjoint(self, write_info: StatementInfo) -> bool:
+        """Can this write provably not affect the read? (policy-1 dual)
+
+        Mirrors the historical ``_columns_overlap`` table-by-table walk:
+        a ``("?", col)`` spill matches the column on every shared table
+        and a ``"*"`` on either side defeats the proof, so the answer
+        can only be True when disjointness is certain.
+        """
+        for table in self.tables & write_info.tables:
+            read_columns = {
+                column
+                for t, column in self.read_set
+                if t == table or t == "?"
+            }
+            write_columns = {
+                column
+                for t, column in write_info.columns_written
+                if t == table
+            }
+            if not read_columns or not write_columns:
+                continue
+            if "*" in read_columns or "*" in write_columns:
+                return False
+            if read_columns & write_columns:
+                return False
+        return True
+
+
+class QueryAnalysisEngine:
+    """Performs pair analysis and run-time intersection tests.
+
+    ``catalog`` is an optional :class:`~repro.sql.lineage.Catalog`
+    sharpening column lineage (``SELECT *`` expansion, ambiguous-column
+    resolution); without one, lineage degrades to exactly the column
+    facts the engine has always used.  ``catalog_version`` increments on
+    every :meth:`set_catalog` so downstream memos (the analysis cache)
+    can key their entries by the schema knowledge they were computed
+    under.
+    """
+
+    def __init__(self, catalog: Catalog | None = None) -> None:
         self._info_cache: dict[str, StatementInfo] = {}
+        self._lineage_cache: dict[str, LineageInfo] = {}
+        self._column_rule_cache: dict[str, ColumnPruneRule] = {}
+        self._catalog = catalog
+        self.catalog_version = 0 if catalog is None else 1
         self.extra_query_lookups = 0
 
     # -- static info -------------------------------------------------------------
+
+    @property
+    def catalog(self) -> Catalog | None:
+        return self._catalog
+
+    def set_catalog(self, catalog: Catalog | None) -> None:
+        """Swap the schema catalog, invalidating catalog-derived memos."""
+        self._catalog = catalog
+        self.catalog_version += 1
+        self._lineage_cache.clear()
+        self._column_rule_cache.clear()
 
     def info(self, template: QueryTemplate) -> StatementInfo:
         """StatementInfo for ``template`` (memoised per template text)."""
@@ -93,6 +165,27 @@ class QueryAnalysisEngine:
         if cached is None:
             cached = extract_info(template.statement)
             self._info_cache[template.text] = cached
+        return cached
+
+    def lineage(self, template: QueryTemplate) -> LineageInfo:
+        """Column lineage for ``template`` under the current catalog."""
+        cached = self._lineage_cache.get(template.text)
+        if cached is None:
+            cached = compute_lineage(template.statement, self._catalog)
+            self._lineage_cache[template.text] = cached
+        return cached
+
+    def column_rule(self, template: QueryTemplate) -> ColumnPruneRule:
+        """The memoised column-disjointness rule for a read template."""
+        cached = self._column_rule_cache.get(template.text)
+        if cached is None:
+            lineage = self.lineage(template)
+            cached = ColumnPruneRule(
+                read_set=lineage.read_set,
+                tables=lineage.tables,
+                exact=lineage.exact,
+            )
+            self._column_rule_cache[template.text] = cached
         return cached
 
     # -- component 1: template-pair analysis ----------------------------------------
@@ -112,7 +205,10 @@ class QueryAnalysisEngine:
         shared_tables = read_info.tables & write_info.tables
         if not shared_tables:
             return PairAnalysis(possible=False)
-        if not _columns_overlap(read_info, write_info, shared_tables):
+        # The column check is the ColumnPruneRule's disjointness test so
+        # that an invalidator consulting the rule directly (the lineage
+        # skip) and one running the full pair analysis always agree.
+        if self.column_rule(read).disjoint(write_info):
             return PairAnalysis(possible=False)
 
         checks: list[ColumnCheck] = []
@@ -451,30 +547,6 @@ def instance_filter(
 # ---------------------------------------------------------------------------
 # Helpers
 # ---------------------------------------------------------------------------
-
-
-def _columns_overlap(
-    read_info: StatementInfo,
-    write_info: StatementInfo,
-    shared_tables: frozenset[str],
-) -> bool:
-    """Policy-1 column check: written columns vs columns used by the read."""
-    for table in shared_tables:
-        read_columns = {
-            column
-            for t, column in read_info.columns_read
-            if t == table or t == "?"
-        }
-        write_columns = {
-            column for t, column in write_info.columns_written if t == table
-        }
-        if not read_columns or not write_columns:
-            continue
-        if "*" in read_columns or "*" in write_columns:
-            return True
-        if read_columns & write_columns:
-            return True
-    return False
 
 
 def _where_binding(

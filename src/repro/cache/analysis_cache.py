@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cache.analysis import (
+    ColumnPruneRule,
     InvalidationPolicy,
     PairAnalysis,
     PruneRule,
@@ -51,12 +52,17 @@ class AnalysisCache:
 
     def __init__(self, engine: QueryAnalysisEngine) -> None:
         self.engine = engine
-        self._pairs: dict[tuple[str, str], PairAnalysis] = {}
+        # All memos additionally key by the engine's catalog version:
+        # swapping the schema catalog sharpens the column analysis, and
+        # a pair analysed under old schema knowledge must never be mixed
+        # with a column rule built under new knowledge (or vice versa).
+        self._pairs: dict[tuple[str, str, int], PairAnalysis] = {}
         # Pruning plans derived from pair analyses, keyed by (read text,
         # write text, policy).  Plans are pure functions of the pair
         # analysis, so they are memoised alongside it rather than
         # recomputed by every write.
-        self._plans: dict[tuple[str, str, str], tuple[PruneRule, ...]] = {}
+        self._plans: dict[tuple[str, str, str, int], tuple[PruneRule, ...]] = {}
+        self._column_rules: dict[tuple[str, int], ColumnPruneRule] = {}
         self.stats = AnalysisCacheStats()
         # One lock covers memo + stats so concurrent invalidators never
         # double-analyse a pair or tear the Figure 4 growth series.
@@ -64,7 +70,7 @@ class AnalysisCache:
 
     def analyse(self, read: QueryTemplate, write: QueryTemplate) -> PairAnalysis:
         """Pair analysis with memoisation and statistics."""
-        key = (read.text, write.text)
+        key = (read.text, write.text, self.engine.catalog_version)
         with self._lock:
             cached = self._pairs.get(key)
             if cached is not None:
@@ -89,13 +95,31 @@ class AnalysisCache:
         :meth:`analyse` itself) so plan lookups never inflate the
         Figure 4 hit/miss counters.
         """
-        key = (read.text, write.text, policy.value)
+        key = (read.text, write.text, policy.value, self.engine.catalog_version)
         with self._lock:
             plan = self._plans.get(key)
             if plan is None:
                 plan = build_pruning_plan(pair, policy)
                 self._plans[key] = plan
             return plan
+
+    def column_rule_for(
+        self, read: QueryTemplate
+    ) -> tuple[ColumnPruneRule, bool]:
+        """The lineage column rule for ``read``, plus whether it was new.
+
+        The second element is True exactly once per (template, catalog
+        version), letting the invalidator count distinct column plans
+        built without a separate bookkeeping structure.
+        """
+        key = (read.text, self.engine.catalog_version)
+        with self._lock:
+            cached = self._column_rules.get(key)
+            if cached is not None:
+                return cached, False
+            rule = self.engine.column_rule(read)
+            self._column_rules[key] = rule
+            return rule, True
 
     @property
     def entry_count(self) -> int:
@@ -106,3 +130,4 @@ class AnalysisCache:
         with self._lock:
             self._pairs.clear()
             self._plans.clear()
+            self._column_rules.clear()

@@ -54,6 +54,8 @@ class Cache:
         flight_timeout: float = 30.0,
         indexed_invalidation: bool = True,
         admission: AdmissionPolicy | None = None,
+        catalog: object | None = None,
+        lineage_pruning: bool = True,
     ) -> None:
         self.semantics = semantics or SemanticsRegistry()
         self.clock = clock
@@ -75,7 +77,7 @@ class Cache:
             replacement, capacity, order_only=max_bytes is not None
         )
         self.pages = PageCache(policy, max_bytes=max_bytes)
-        self.engine = QueryAnalysisEngine()
+        self.engine = QueryAnalysisEngine(catalog=catalog)
         self.analysis_cache = AnalysisCache(self.engine)
         self.stats = CacheStats()
         self.invalidator = Invalidator(
@@ -84,7 +86,11 @@ class Cache:
             self.stats,
             invalidation_policy,
             indexed=indexed_invalidation,
+            lineage_pruning=lineage_pruning,
         )
+        #: Cheap guard for :meth:`sync_catalog`: the identity and table
+        #: count of the database last mirrored into the engine catalog.
+        self._catalog_source: tuple[int, int] | None = None
         #: Which cached pages embed which cached fragments: dooming a
         #: fragment must doom every entry assembled from its text.
         self.fragments = FragmentContainment()
@@ -106,6 +112,31 @@ class Cache:
     @property
     def invalidation_policy(self) -> InvalidationPolicy:
         return self.invalidator.policy
+
+    def sync_catalog(self, database) -> None:
+        """Mirror ``database``'s schemas into the analysis catalog.
+
+        Called lazily by the JDBC aspect on statement interception (the
+        woven driver is the first place the application's database
+        becomes visible).  Guarded by (database identity, table count)
+        so steady-state traffic pays one tuple comparison; a schema the
+        engine has not seen bumps ``catalog_version``, which retires
+        every catalog-derived memo in the analysis cache.  Sound either
+        way: without a catalog the column analysis simply stays at its
+        conservative wildcard behaviour.
+        """
+        if database is None:
+            return
+        try:
+            source = (id(database), len(database.table_names))
+        except Exception:
+            return
+        if source == self._catalog_source:
+            return
+        from repro.sql.lineage import Catalog
+
+        self.engine.set_catalog(Catalog.from_database(database))
+        self._catalog_source = source
 
     # -- read path -------------------------------------------------------------------
 

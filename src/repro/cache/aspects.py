@@ -227,9 +227,23 @@ class JdbcConsistencyAspect(Aspect):
         """
         return self.cache.stats.extra_queries
 
+    def _sync_catalog(self, joinpoint: JoinPoint) -> None:
+        """Mirror the intercepted statement's database schemas.
+
+        The woven driver is the consistency layer's only sight of the
+        application's database; feeding its schemas to the analysis
+        catalog is what turns ``SELECT *`` wildcards and ambiguous
+        columns into exact lineage.  Cheap after the first call (an
+        identity/size tuple comparison inside ``sync_catalog``).
+        """
+        connection = getattr(joinpoint.target, "connection", None)
+        if connection is not None:
+            self.cache.sync_catalog(getattr(connection, "database", None))
+
     @around(QUERY_POINTCUT)
     def collect_dependency_info(self, joinpoint: JoinPoint) -> object:
         sql, params = _sql_and_params(joinpoint)
+        self._sync_catalog(joinpoint)
         try:
             result = joinpoint.proceed()
         except Exception:
@@ -244,6 +258,7 @@ class JdbcConsistencyAspect(Aspect):
     @around(UPDATE_POINTCUT)
     def collect_invalidation_info(self, joinpoint: JoinPoint) -> object:
         sql, params = _sql_and_params(joinpoint)
+        self._sync_catalog(joinpoint)
         instance: QueryInstance | None = None
         if self.collector.current() is not None:
             template, values = templateize(sql, params)

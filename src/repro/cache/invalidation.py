@@ -19,6 +19,12 @@ doing sub-linear work:
 - the dependency table's inverted table index supplies only the read
   templates sharing a table with the write -- every skipped template is
   one whose pair analysis would have answered ``possible=False``;
+- the memoised column-lineage rule (:class:`~repro.cache.analysis.
+  ColumnPruneRule`, built from :mod:`repro.sql.lineage`) skips the
+  remaining candidates whose written columns are provably disjoint from
+  the template's lineage read set -- again exactly the pairs whose
+  analysis would have answered ``possible=False``, but without paying
+  for the analysis;
 - a pruning plan (:func:`~repro.cache.analysis.build_pruning_plan`)
   derived from the pair analysis converts the write's bound values into
   the set of read-side values it could intersect, and the per-template
@@ -26,9 +32,11 @@ doing sub-linear work:
   every skipped instance is one ``intersects`` would have rejected.
 
 Pruned work is surfaced in :class:`~repro.cache.stats.CacheStats`
-(``templates_skipped_by_index`` / ``instances_skipped_by_index``); the
-brute-force path is kept (``indexed=False``) as the differential-test
-oracle.
+(``templates_skipped_by_index`` / ``instances_skipped_by_index`` /
+``templates_skipped_by_lineage``); the brute-force path is kept
+(``indexed=False``) as the differential-test oracle, and
+``lineage_pruning=False`` restores equality-only pruning for the
+benchmark comparison.
 """
 
 from __future__ import annotations
@@ -82,6 +90,7 @@ class Invalidator:
         stats: CacheStats,
         policy: InvalidationPolicy = InvalidationPolicy.EXTRA_QUERY,
         indexed: bool = True,
+        lineage_pruning: bool = True,
     ) -> None:
         self._pages = page_cache
         self._analysis = analysis_cache
@@ -90,6 +99,12 @@ class Invalidator:
         #: Use the dependency-table indexes; False restores the paper's
         #: full-scan protocol (the differential-test oracle).
         self.indexed = indexed
+        #: Consult the memoised column-lineage rule before pair analysis
+        #: on the indexed path; False measures equality-only pruning
+        #: (the benchmark's comparison leg).  Outcomes are identical
+        #: either way -- the rule skips exactly the candidates whose
+        #: pair analysis would answer ``possible=False``.
+        self.lineage_pruning = lineage_pruning
 
     @property
     def engine(self) -> QueryAnalysisEngine:
@@ -166,7 +181,14 @@ class Invalidator:
         )
         if skipped:
             self._stats.record_index_pruning(templates_skipped=skipped)
+        write_info = (
+            self.engine.info(write.template) if self.lineage_pruning else None
+        )
         for read_template in candidates:
+            if write_info is not None and self._lineage_skip(
+                read_template, write_info
+            ):
+                continue
             self._stats.record_pair_analysis()
             pair = self._analysis.analyse(read_template, write.template)
             if not pair.possible:
@@ -228,9 +250,18 @@ class Invalidator:
         use_index = self.indexed
         for write in dedupe_writes(writes) if use_index else writes:
             write_tables = write.template.tables if use_index else None
+            write_info = (
+                self.engine.info(write.template)
+                if use_index and self.lineage_pruning
+                else None
+            )
             for read in reads:
                 if use_index and not (read.template.tables & write_tables):
                     self._stats.record_index_pruning(templates_skipped=1)
+                    continue
+                if write_info is not None and self._lineage_skip(
+                    read.template, write_info
+                ):
                     continue
                 self._stats.record_pair_analysis()
                 pair = self._analysis.analyse(read.template, write.template)
@@ -243,6 +274,22 @@ class Invalidator:
                     pair, tuple(read.values), write, self.policy
                 ):
                     return True
+        return False
+
+    def _lineage_skip(self, read_template, write_info) -> bool:
+        """Skip a candidate whose pair analysis is doomed to say no.
+
+        The column rule's :meth:`~repro.cache.analysis.ColumnPruneRule.
+        disjoint` is the very predicate ``analyse_pair`` uses for its
+        column check, so skipping here never changes the doomed set --
+        it only avoids the counted pair-analysis protocol op.
+        """
+        rule, built = self._analysis.column_rule_for(read_template)
+        if built:
+            self._stats.record_column_plan()
+        if rule.disjoint(write_info):
+            self._stats.record_lineage_skip()
+            return True
         return False
 
     def _value_filtered(

@@ -92,6 +92,13 @@ class CacheStats:
     #: Registered instances skipped by the per-template value index
     #: (provably disjoint -- no intersection test performed).
     instances_skipped_by_index: int = 0
+    #: Candidate read templates skipped by the column-lineage rule
+    #: (write columns provably disjoint from the template's lineage
+    #: read set -- no pair analysis performed).
+    templates_skipped_by_lineage: int = 0
+    #: Distinct (template, catalog version) column-disjointness rules
+    #: materialised by the analysis cache.
+    column_plans_built: int = 0
     #: Pre-image capture queries issued by the JDBC aspect (the
     #: EXTRA_QUERY policy's extra round-trip to the backend).
     extra_queries: int = 0
@@ -245,6 +252,14 @@ class CacheStats:
             self.templates_skipped_by_index += templates_skipped
             self.instances_skipped_by_index += instances_skipped
 
+    def record_lineage_skip(self, count: int = 1) -> None:
+        with self._lock:
+            self.templates_skipped_by_lineage += count
+
+    def record_column_plan(self, count: int = 1) -> None:
+        with self._lock:
+            self.column_plans_built += count
+
     def record_extra_query(self) -> None:
         with self._lock:
             self.extra_queries += 1
@@ -290,6 +305,8 @@ class CacheStats:
                 "intersection_tests": self.intersection_tests,
                 "templates_skipped_by_index": self.templates_skipped_by_index,
                 "instances_skipped_by_index": self.instances_skipped_by_index,
+                "templates_skipped_by_lineage": self.templates_skipped_by_lineage,
+                "column_plans_built": self.column_plans_built,
                 "extra_queries": self.extra_queries,
                 "coalesced_hits": self.coalesced_hits,
                 "stale_inserts": self.stale_inserts,

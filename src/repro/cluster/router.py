@@ -105,6 +105,12 @@ class ClusterStats:
     instances_skipped_by_index = property(
         lambda self: self._sum("instances_skipped_by_index")
     )
+    templates_skipped_by_lineage = property(
+        lambda self: self._sum("templates_skipped_by_lineage")
+    )
+    column_plans_built = property(
+        lambda self: self._sum("column_plans_built")
+    )
     extra_queries = property(lambda self: self._sum("extra_queries"))
     coalesced_hits = property(lambda self: self._sum("coalesced_hits"))
     stale_inserts = property(lambda self: self._sum("stale_inserts"))
@@ -532,6 +538,18 @@ class ClusterRouter:
         """The live replica set for ``key``, read target first."""
         with self._lock:
             return [node.name for node in self._replica_nodes(key)]
+
+    def sync_catalog(self, database) -> None:
+        """Mirror the schema catalog into every node's analysis engine.
+
+        Nodes analyse invalidation independently, so all of them must
+        share the same schema knowledge or two replicas could disagree
+        on a column-disjointness proof.
+        """
+        with self._lock:
+            nodes = list(self._nodes.values())
+        for node in nodes:
+            node.cache.sync_catalog(database)
 
     # -- read path ---------------------------------------------------------------------
 

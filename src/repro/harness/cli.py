@@ -168,16 +168,62 @@ def _cmd_differential(args: argparse.Namespace) -> tuple[str, int]:
         rows,
     )
 
+    from repro.harness.differential import run_column_differential
+
+    column_rows = []
+    for policy in policies:
+        for seed in range(args.seed, args.seed + args.seeds):
+            column_result = run_column_differential(
+                seed=seed,
+                rounds=args.rounds,
+                n_pages=args.pages,
+                policy=policy,
+            )
+            if not column_result.ok:
+                failures += 1
+            if column_result.templates_skipped_by_lineage == 0:
+                # Vacuity guard: a column-mix run that never exercised
+                # the lineage prune proves nothing.
+                failures += 1
+            column_rows.append(
+                [
+                    policy.value,
+                    seed,
+                    "ok"
+                    if column_result.ok
+                    and column_result.templates_skipped_by_lineage
+                    else "MISMATCH",
+                    column_result.writes_tested,
+                    column_result.pages_doomed,
+                    column_result.templates_skipped_by_lineage,
+                    column_result.column_plans_built,
+                    f"{column_result.never_read_probes}"
+                    f"/{column_result.never_read_doomed}",
+                    f"{column_result.pair_analyses_brute}"
+                    f"/{column_result.pair_analyses_indexed}",
+                ]
+            )
+    column_table = render_table(
+        "Differential: column mix, lineage-pruned vs brute-force",
+        ["policy", "seed", "verdict", "writes", "doomed",
+         "lineage skipped", "plans", "probes (fired/doomed)",
+         "pair analyses (brute/indexed)"],
+        column_rows,
+    )
+
     from repro.harness.differential import run_fragment_differential
 
     fragment_rows = []
     ring_configs = (
-        (1, 1, "strong"),
-        (4, 1, "strong"),
-        (4, 2, "strong"),
-        (4, 2, "bounded"),
+        (1, 1, "strong", "default"),
+        (4, 1, "strong", "default"),
+        (4, 2, "strong", "default"),
+        (4, 2, "bounded", "default"),
+        (1, 1, "strong", "column"),
+        (4, 2, "strong", "column"),
+        (4, 2, "bounded", "column"),
     )
-    for n_nodes, replication, bus_mode in ring_configs:
+    for n_nodes, replication, bus_mode, workload in ring_configs:
         for seed in range(args.seed, args.seeds + args.seed):
             fragment_result = run_fragment_differential(
                 seed=seed,
@@ -185,6 +231,7 @@ def _cmd_differential(args: argparse.Namespace) -> tuple[str, int]:
                 n_nodes=n_nodes,
                 replication=replication,
                 bus_mode=bus_mode,
+                workload=workload,
             )
             if not fragment_result.ok:
                 failures += 1
@@ -193,6 +240,7 @@ def _cmd_differential(args: argparse.Namespace) -> tuple[str, int]:
                     n_nodes,
                     replication,
                     bus_mode,
+                    workload,
                     seed,
                     "ok" if fragment_result.ok else "MISMATCH",
                     fragment_result.writes_tested,
@@ -202,11 +250,14 @@ def _cmd_differential(args: argparse.Namespace) -> tuple[str, int]:
             )
     fragment_table = render_table(
         "Differential: fragment-granular doom vs brute-force closure",
-        ["nodes", "R", "bus", "seed", "verdict", "writes", "doomed",
+        ["nodes", "R", "bus", "mix", "seed", "verdict", "writes", "doomed",
          "via closure"],
         fragment_rows,
     )
-    return table + "\n\n" + fragment_table, (1 if failures else 0)
+    return (
+        table + "\n\n" + column_table + "\n\n" + fragment_table,
+        (1 if failures else 0),
+    )
 
 
 def _cmd_codesize(_args: argparse.Namespace) -> str:

@@ -31,6 +31,7 @@ from repro.cache.invalidation import Invalidator
 from repro.cache.page_cache import PageCache
 from repro.cache.replacement import make_policy
 from repro.cache.stats import CacheStats
+from repro.sql.lineage import Catalog
 from repro.sql.template import templateize
 
 #: Auction/bookstore flavoured schema the random workloads draw from.
@@ -42,6 +43,32 @@ SCHEMA: dict[str, list[str]] = {
     "orders": ["id", "customer_id", "status", "total"],
     "order_line": ["order_id", "item_id", "qty"],
 }
+
+#: Extra columns per table that the column-mix *read* generator never
+#: projects or filters on (bookkeeping fields: audit stamps, counters).
+#: Column-mix writes target them frequently, so a correct lineage prune
+#: skips those (write, template) pairs wholesale -- except against
+#: ``SELECT *`` templates, whose catalog-expanded read set legitimately
+#: covers them.
+NEVER_READ_COLUMNS: dict[str, list[str]] = {
+    "users": ["last_login", "audit_stamp"],
+    "items": ["view_count", "audit_stamp"],
+    "bids": ["placed_at"],
+    "comments": ["flag_count"],
+    "orders": ["ship_addr_id", "audit_stamp"],
+    "order_line": ["picked_at"],
+}
+
+#: The column-mix schema: read-visible columns plus the never-read tail.
+COLUMN_SCHEMA: dict[str, list[str]] = {
+    table: SCHEMA[table] + NEVER_READ_COLUMNS[table] for table in SCHEMA
+}
+
+
+def column_catalog() -> Catalog:
+    """The schema catalog both differential sides share in column mode."""
+    return Catalog({t: tuple(cols) for t, cols in COLUMN_SCHEMA.items()})
+
 
 #: Small value domain so reads and writes collide often enough to
 #: exercise both the "prune" and the "must test" paths.
@@ -71,6 +98,22 @@ class DifferentialResult:
     @property
     def ok(self) -> bool:
         return not self.mismatches
+
+
+@dataclass
+class ColumnDifferentialResult(DifferentialResult):
+    """Outcome of a column-mix differential run (lineage pruning live)."""
+
+    #: Candidate templates skipped by the column-lineage rule on the
+    #: indexed side; zero would make the run vacuous.
+    templates_skipped_by_lineage: int = 0
+    column_plans_built: int = 0
+    #: Never-read probes: synthetic UPDATEs to a (table, column) no
+    #: registered template's lineage read set covers.  Each must doom
+    #: zero pages on both sides; ``never_read_doomed`` counts
+    #: violations (any non-zero value is a mismatch).
+    never_read_probes: int = 0
+    never_read_doomed: int = 0
 
 
 def _random_read(rng: random.Random) -> QueryInstance:
@@ -111,14 +154,14 @@ def _random_read(rng: random.Random) -> QueryInstance:
 
 
 def _random_pre_image(
-    rng: random.Random, table: str
+    rng: random.Random, table: str, schema: dict[str, list[str]] = SCHEMA
 ) -> tuple[dict[str, object], ...] | None:
     """None / complete / incomplete pre-images, all of which must agree
     with the brute protocol's conservative handling."""
     roll = rng.random()
     if roll < 0.30:
         return None
-    columns = SCHEMA[table]
+    columns = schema[table]
     rows = []
     for _ in range(rng.randrange(0, 4)):
         row = {column: rng.choice(VALUE_DOMAIN) for column in columns}
@@ -174,6 +217,155 @@ def _random_write(rng: random.Random) -> QueryInstance:
     return QueryInstance(template, values, _random_pre_image(rng, table))
 
 
+#: Join pairs the column-mix read generator draws from, with their
+#: equi-join condition (qualified, so only the projection/filter side
+#: exercises ambiguous-column resolution).
+_JOIN_PAIRS: tuple[tuple[str, str, str], ...] = (
+    ("items", "bids", "items.id = bids.item_id"),
+    ("items", "order_line", "items.id = order_line.item_id"),
+    ("users", "bids", "users.id = bids.user_id"),
+    ("orders", "order_line", "orders.id = order_line.order_id"),
+    ("users", "comments", "users.id = comments.from_user"),
+)
+
+#: (outer table, outer column, inner table, inner column) shapes for
+#: ``IN (SELECT ...)`` reads.
+_SUBQUERY_SHAPES: tuple[tuple[str, str, str, str], ...] = (
+    ("users", "id", "bids", "user_id"),
+    ("items", "id", "order_line", "item_id"),
+    ("items", "id", "bids", "item_id"),
+    ("orders", "id", "order_line", "order_id"),
+)
+
+
+def _random_column_read(rng: random.Random) -> QueryInstance:
+    """Column-mix reads: projected subsets, ``SELECT *``, joins with
+    ambiguous/unique unqualified columns, aggregates, IN-subqueries.
+
+    Projections and filters only ever touch :data:`SCHEMA` columns, so
+    the :data:`NEVER_READ_COLUMNS` tail stays write-only -- except via
+    ``SELECT *``, whose catalog expansion legitimately reads it.
+    """
+    roll = rng.random()
+    if roll < 0.18:
+        table = rng.choice(sorted(SCHEMA))
+        column = rng.choice(SCHEMA[table])
+        if rng.random() < 0.5:
+            sql = f"SELECT * FROM {table} WHERE {column} = ?"
+            params: tuple = (rng.choice(VALUE_DOMAIN),)
+        else:
+            sql = f"SELECT * FROM {table}"
+            params = ()
+    elif roll < 0.45:
+        table = rng.choice(sorted(SCHEMA))
+        columns = SCHEMA[table]
+        projected = rng.sample(columns, rng.randrange(1, len(columns)))
+        where = rng.choice(columns)
+        sql = (
+            f"SELECT {', '.join(projected)} FROM {table} "
+            f"WHERE {where} = ?"
+        )
+        params = (rng.choice(VALUE_DOMAIN),)
+    elif roll < 0.65:
+        left, right, condition = rng.choice(_JOIN_PAIRS)
+        pool = sorted(set(SCHEMA[left]) | set(SCHEMA[right]))
+        projected = rng.choice(pool)
+        if rng.random() < 0.5:
+            # Qualify explicitly; otherwise leave the reference for the
+            # schema-aware resolver (unique owner or "?" spill).
+            owner = left if projected in SCHEMA[left] else right
+            projected = f"{owner}.{projected}"
+        filter_table = rng.choice((left, right))
+        filter_column = rng.choice(SCHEMA[filter_table])
+        sql = (
+            f"SELECT {projected} FROM {left}, {right} "
+            f"WHERE {condition} AND {filter_table}.{filter_column} = ?"
+        )
+        params = (rng.choice(VALUE_DOMAIN),)
+    elif roll < 0.85:
+        table = rng.choice(sorted(SCHEMA))
+        columns = SCHEMA[table]
+        key = rng.choice(columns)
+        if rng.random() < 0.5:
+            sql = f"SELECT COUNT(*) FROM {table} WHERE {key} = ?"
+            params = (rng.choice(VALUE_DOMAIN),)
+        else:
+            target = rng.choice(columns)
+            sql = (
+                f"SELECT {key}, MAX({target}) FROM {table} "
+                f"GROUP BY {key} ORDER BY {key}"
+            )
+            params = ()
+    else:
+        outer, outer_col, inner, inner_col = rng.choice(_SUBQUERY_SHAPES)
+        projected = rng.choice(SCHEMA[outer])
+        inner_filter = rng.choice(SCHEMA[inner])
+        negated = "NOT IN" if rng.random() < 0.25 else "IN"
+        sql = (
+            f"SELECT {projected} FROM {outer} WHERE {outer_col} {negated} "
+            f"(SELECT {inner_col} FROM {inner} WHERE {inner_filter} = ?)"
+        )
+        params = (rng.choice(VALUE_DOMAIN),)
+    template, values = templateize(sql, params)
+    return QueryInstance(template, values)
+
+
+def _random_column_write(rng: random.Random) -> QueryInstance:
+    """Column-mix writes over the *full* schema, biased towards UPDATEs
+    that touch the never-read tail (the lineage prune's bread and
+    butter) but with plenty of read-column and mixed SET lists."""
+    table = rng.choice(sorted(COLUMN_SCHEMA))
+    columns = COLUMN_SCHEMA[table]
+    never_read = NEVER_READ_COLUMNS[table]
+    kind = rng.random()
+    if kind < 0.20:
+        chosen = rng.sample(columns, rng.randrange(1, len(columns) + 1))
+        placeholders = ", ".join("?" for _ in chosen)
+        sql = (
+            f"INSERT INTO {table} ({', '.join(chosen)}) "
+            f"VALUES ({placeholders})"
+        )
+        params = tuple(rng.choice(VALUE_DOMAIN) for _ in chosen)
+        template, values = templateize(sql, params)
+        return QueryInstance(template, values)
+    if kind < 0.85:
+        set_roll = rng.random()
+        if set_roll < 0.45:
+            # Only never-read columns: prunable against everything but
+            # the SELECT * templates.
+            set_columns = rng.sample(
+                never_read, rng.randrange(1, len(never_read) + 1)
+            )
+        elif set_roll < 0.75:
+            set_columns = rng.sample(
+                SCHEMA[table], rng.randrange(1, min(3, len(SCHEMA[table])) + 1)
+            )
+        else:
+            set_columns = rng.sample(
+                columns, rng.randrange(1, min(4, len(columns)) + 1)
+            )
+        set_sql = ", ".join(f"{column} = ?" for column in set_columns)
+        params_list = [rng.choice(VALUE_DOMAIN) for _ in set_columns]
+        if rng.random() < 0.7:
+            where_column = rng.choice(columns)
+            where_sql = f" WHERE {where_column} = ?"
+            params_list.append(rng.choice(VALUE_DOMAIN))
+        else:
+            where_sql = ""
+        sql = f"UPDATE {table} SET {set_sql}{where_sql}"
+        template, values = templateize(sql, tuple(params_list))
+        return QueryInstance(
+            template, values, _random_pre_image(rng, table, COLUMN_SCHEMA)
+        )
+    column = rng.choice(columns)
+    sql = f"DELETE FROM {table} WHERE {column} = ?"
+    params = (rng.choice(VALUE_DOMAIN),)
+    template, values = templateize(sql, params)
+    return QueryInstance(
+        template, values, _random_pre_image(rng, table, COLUMN_SCHEMA)
+    )
+
+
 #: Public names for the workload generators so the property-style and
 #: cluster differential tests can drive identical random workloads.
 def random_read(rng: random.Random) -> QueryInstance:
@@ -184,11 +376,19 @@ def random_write(rng: random.Random) -> QueryInstance:
     return _random_write(rng)
 
 
+def random_column_read(rng: random.Random) -> QueryInstance:
+    return _random_column_read(rng)
+
+
+def random_column_write(rng: random.Random) -> QueryInstance:
+    return _random_column_write(rng)
+
+
 def _register_page(
-    pages: PageCache, rng: random.Random, key: str
+    pages: PageCache, rng: random.Random, key: str, reader=_random_read
 ) -> PageEntry:
     dependencies = tuple(
-        _random_read(rng) for _ in range(rng.randrange(1, 4))
+        reader(rng) for _ in range(rng.randrange(1, 4))
     )
     entry = PageEntry(key=key, body=f"body of {key}", dependencies=dependencies)
     pages.insert(entry)
@@ -204,6 +404,7 @@ class FragmentDifferentialResult:
     n_nodes: int
     replication: int = 1
     bus_mode: str = "strong"
+    workload: str = "default"
     writes_tested: int = 0
     entries_doomed: int = 0
     #: Keys doomed purely by containment closure (a page or outer
@@ -227,6 +428,7 @@ def run_fragment_differential(
     bus_mode: str = "strong",
     staleness_bound: float = 0.5,
     max_mismatches: int = 5,
+    workload: str = "default",
 ) -> FragmentDifferentialResult:
     """Fragment-granular dooming vs. a brute-force reference.
 
@@ -255,13 +457,23 @@ def run_fragment_differential(
     :meth:`~repro.cluster.router.ClusterRouter.take_async_doomed` to
     observe the casualties at the convergence point, which must again
     equal the synchronous oracle's set.
+
+    With ``workload="column"`` every node's cache and the brute oracle
+    share the :func:`column_catalog`, the workload switches to the
+    column mix, and the routed path runs with lineage pruning live --
+    proving the column plans stay invisible across sharding,
+    replication and both bus modes.
     """
     from repro.cluster.router import ClusterRouter, make_cache_factory
 
+    column = workload == "column"
+    reader = _random_column_read if column else _random_read
+    writer = _random_column_write if column else _random_write
+    catalog = column_catalog() if column else None
     rng = random.Random(seed)
     router = ClusterRouter(
         [f"node-{i}" for i in range(n_nodes)],
-        make_cache_factory(),
+        make_cache_factory(catalog=catalog),
         replication=replication,
         bus_mode=bus_mode,
         staleness_bound=staleness_bound,
@@ -270,7 +482,7 @@ def run_fragment_differential(
     mirror = PageCache(make_policy("unbounded", None))
     brute = Invalidator(
         mirror,
-        AnalysisCache(QueryAnalysisEngine()),
+        AnalysisCache(QueryAnalysisEngine(catalog=catalog)),
         CacheStats(),
         InvalidationPolicy.EXTRA_QUERY,
         indexed=False,
@@ -284,13 +496,14 @@ def run_fragment_differential(
         n_nodes=n_nodes,
         replication=replication,
         bus_mode=bus_mode,
+        workload=workload,
     )
 
     def register(key: str, embedded: tuple[str, ...]) -> None:
         # Pages may carry no SQL of their own (every read lives in a
         # fragment); leaf fragments always depend on something.
         lo = 0 if embedded else 1
-        reads = [_random_read(rng) for _ in range(rng.randrange(lo, 4))]
+        reads = [reader(rng) for _ in range(rng.randrange(lo, 4))]
         router.insert_key(key, f"body of {key}", reads, fragments=embedded)
         mirror.insert(
             PageEntry(
@@ -339,7 +552,7 @@ def run_fragment_differential(
         register(key, embedded_for(key))
 
     for round_no in range(rounds):
-        batch = [_random_write(rng) for _ in range(rng.randrange(1, 4))]
+        batch = [writer(rng) for _ in range(rng.randrange(1, 4))]
         result.writes_tested += len(batch)
 
         base = brute.affected_pages(batch)
@@ -456,4 +669,169 @@ def run_differential(
     result.pair_analyses_brute = snapshot_brute["pair_analyses"]
     result.intersection_tests_indexed = snapshot_indexed["intersection_tests"]
     result.intersection_tests_brute = snapshot_brute["intersection_tests"]
+    return result
+
+
+def _lineage_covers(
+    covered: set[tuple[str, str]], table: str, column: str
+) -> bool:
+    """Does any covered (table, column) pair reach ``table.column``?
+
+    Honors the analysis conventions: ``(t, "*")`` reads every column of
+    ``t`` and ``("?", c)`` may belong to any table.
+    """
+    return any(
+        (t == table or t == "?") and (c == "*" or c == column)
+        for t, c in covered
+    )
+
+
+def _never_read_probe(
+    rng: random.Random, engine: QueryAnalysisEngine, pages: PageCache
+) -> QueryInstance | None:
+    """A write batch that must doom zero pages, or None.
+
+    Unions the lineage read sets of every *currently registered* read
+    template and picks a never-read (table, column) pair outside that
+    union -- dynamic, because a registered ``SELECT *`` template's
+    catalog-expanded read set legitimately covers its table's never-read
+    tail, taking those pairs off the menu for the round.
+    """
+    covered: set[tuple[str, str]] = set()
+    for template in pages.dependencies.read_templates():
+        covered |= engine.lineage(template).read_set
+    candidates = [
+        (table, column)
+        for table in sorted(NEVER_READ_COLUMNS)
+        for column in NEVER_READ_COLUMNS[table]
+        if not _lineage_covers(covered, table, column)
+    ]
+    if not candidates:
+        return None
+    table, column = rng.choice(candidates)
+    where = rng.choice(SCHEMA[table])
+    sql = f"UPDATE {table} SET {column} = ? WHERE {where} = ?"
+    params = (rng.choice(VALUE_DOMAIN), rng.choice(VALUE_DOMAIN))
+    template, values = templateize(sql, params)
+    return QueryInstance(
+        template, values, _random_pre_image(rng, table, COLUMN_SCHEMA)
+    )
+
+
+def run_column_differential(
+    seed: int = 0,
+    rounds: int = 60,
+    n_pages: int = 80,
+    policy: InvalidationPolicy = InvalidationPolicy.EXTRA_QUERY,
+    max_mismatches: int = 5,
+) -> ColumnDifferentialResult:
+    """Column-mix differential: lineage-pruned indexed vs. brute force.
+
+    Same structure as :func:`run_differential`, but the workload is the
+    column mix (``SELECT *``, projected subsets, joins with ambiguous
+    and uniquely-owned unqualified columns, aggregates, IN-subqueries;
+    UPDATEs biased toward the never-read tail), both engines share the
+    :func:`column_catalog`, and the indexed side runs with
+    ``lineage_pruning=True`` -- so any unsound column plan shows up as a
+    doomed-set divergence.  Each round additionally fires a never-read
+    probe (see :func:`_never_read_probe`) asserting that an UPDATE to a
+    column no registered template reads dooms **zero** pages on both
+    sides.
+    """
+    rng = random.Random(seed)
+    pages = PageCache(make_policy("unbounded", None))
+    indexed = Invalidator(
+        pages,
+        AnalysisCache(QueryAnalysisEngine(catalog=column_catalog())),
+        CacheStats(),
+        policy,
+        indexed=True,
+        lineage_pruning=True,
+    )
+    brute = Invalidator(
+        pages,
+        AnalysisCache(QueryAnalysisEngine(catalog=column_catalog())),
+        CacheStats(),
+        policy,
+        indexed=False,
+    )
+    result = ColumnDifferentialResult(
+        seed=seed, rounds=rounds, policy=policy.value
+    )
+    serial = 0
+    for serial in range(n_pages):
+        _register_page(
+            pages, rng, f"page-{serial}", reader=_random_column_read
+        )
+
+    for round_no in range(rounds):
+        batch = [
+            _random_column_write(rng) for _ in range(rng.randrange(1, 4))
+        ]
+        if len(batch) > 1 and rng.random() < 0.4:
+            batch.append(rng.choice(batch))  # duplicate write in batch
+        result.writes_tested += len(batch)
+
+        doomed_indexed = indexed.affected_pages(batch)
+        doomed_brute = brute.affected_pages(batch)
+        if doomed_indexed != doomed_brute:
+            result.mismatches.append(
+                f"round {round_no}: doomed sets differ; "
+                f"indexed-only={sorted(doomed_indexed - doomed_brute)}, "
+                f"brute-only={sorted(doomed_brute - doomed_indexed)}, "
+                f"writes={[str(w.template.text) for w in batch]}"
+            )
+            if len(result.mismatches) >= max_mismatches:
+                break
+
+        prospective = [
+            _random_column_read(rng) for _ in range(rng.randrange(1, 4))
+        ]
+        verdict_indexed = indexed.intersects_any(prospective, batch)
+        verdict_brute = brute.intersects_any(prospective, batch)
+        result.intersects_checks += 1
+        if verdict_indexed != verdict_brute:
+            result.mismatches.append(
+                f"round {round_no}: intersects_any diverged "
+                f"(indexed={verdict_indexed}, brute={verdict_brute})"
+            )
+            if len(result.mismatches) >= max_mismatches:
+                break
+
+        probe = _never_read_probe(rng, indexed.engine, pages)
+        if probe is not None:
+            result.never_read_probes += 1
+            probe_doomed = indexed.affected_pages(
+                [probe]
+            ) | brute.affected_pages([probe])
+            if probe_doomed:
+                result.never_read_doomed += len(probe_doomed)
+                result.mismatches.append(
+                    f"round {round_no}: never-read probe "
+                    f"{probe.template.text!r} doomed "
+                    f"{sorted(probe_doomed)}"
+                )
+                if len(result.mismatches) >= max_mismatches:
+                    break
+
+        doomed = indexed.process_writes(batch)
+        result.pages_doomed += len(doomed)
+        for _ in range(len(doomed)):
+            serial += 1
+            _register_page(
+                pages, rng, f"page-{serial}", reader=_random_column_read
+            )
+
+    snapshot_indexed = indexed._stats.snapshot()
+    snapshot_brute = brute._stats.snapshot()
+    result.templates_skipped = snapshot_indexed["templates_skipped_by_index"]
+    result.instances_skipped = snapshot_indexed["instances_skipped_by_index"]
+    result.pair_analyses_indexed = snapshot_indexed["pair_analyses"]
+    result.pair_analyses_brute = snapshot_brute["pair_analyses"]
+    result.intersection_tests_indexed = snapshot_indexed["intersection_tests"]
+    result.intersection_tests_brute = snapshot_brute["intersection_tests"]
+    result.templates_skipped_by_lineage = snapshot_indexed[
+        "templates_skipped_by_lineage"
+    ]
+    result.column_plans_built = snapshot_indexed["column_plans_built"]
     return result

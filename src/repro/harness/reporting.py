@@ -209,6 +209,8 @@ PROTOCOL_COUNTERS = (
     "pair_analyses",
     "templates_skipped_by_index",
     "instances_skipped_by_index",
+    "templates_skipped_by_lineage",
+    "column_plans_built",
     "extra_queries",
     "writes_deduped",
 )

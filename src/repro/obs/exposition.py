@@ -23,6 +23,7 @@ from repro.obs.tracer import Tracer
 
 HISTOGRAM_METRIC = "repro_phase_latency_seconds"
 ADMISSION_METRIC = "repro_admission_verdicts_total"
+LINEAGE_METRIC = "repro_lineage_prune_total"
 BUS_DEPTH_METRIC = "repro_bus_queue_depth"
 BUS_LAG_METRIC = "repro_bus_delivery_lag_seconds"
 MEMBERSHIP_METRIC = "repro_membership_state"
@@ -98,6 +99,18 @@ def render_metrics(
             lines.append(
                 f'{ADMISSION_METRIC}{{verdict="{_escape_label(verdict)}"}} '
                 f"{count}"
+            )
+        lines += [
+            f"# HELP {LINEAGE_METRIC} Column-lineage pruning: candidate "
+            "templates skipped and prune rules built.",
+            f"# TYPE {LINEAGE_METRIC} counter",
+        ]
+        for key, event in (
+            ("templates_skipped_by_lineage", "template_skipped"),
+            ("column_plans_built", "plan_built"),
+        ):
+            lines.append(
+                f'{LINEAGE_METRIC}{{event="{event}"}} {stats.get(key, 0)}'
             )
         lines += _render_cluster_families(cache_snapshot)
     return "\n".join(lines) + "\n"

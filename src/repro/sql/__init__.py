@@ -18,9 +18,14 @@ from repro.sql.lexer import Token, TokenType, tokenize
 from repro.sql.parser import parse_statement
 from repro.sql.template import QueryTemplate, templateize
 from repro.sql.analysis_info import StatementInfo, extract_info
+from repro.sql.lineage import Catalog, LineageInfo, OutputLineage, compute_lineage
 from repro.sql import ast_nodes
 
 __all__ = [
+    "Catalog",
+    "LineageInfo",
+    "OutputLineage",
+    "compute_lineage",
     "Token",
     "TokenType",
     "tokenize",

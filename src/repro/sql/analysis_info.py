@@ -84,16 +84,27 @@ class StatementInfo:
         return None
 
 
-def extract_info(statement: ast.Statement) -> StatementInfo:
-    """Extract a :class:`StatementInfo` from a parsed statement."""
+def extract_info(
+    statement: ast.Statement, catalog: object | None = None
+) -> StatementInfo:
+    """Extract a :class:`StatementInfo` from a parsed statement.
+
+    ``catalog`` is an optional schema oracle (duck-typed: anything with a
+    ``columns_of(table) -> collection | None`` method, canonically
+    :class:`repro.sql.lineage.Catalog`).  When present it resolves
+    unqualified columns in multi-table reads to their unique owning
+    table; when absent (the default) extraction behaves exactly as the
+    catalog-less analysis always has, spilling ambiguous references to
+    the conservative pseudo-table ``"?"``.
+    """
     if isinstance(statement, ast.Select):
-        return _extract_select(statement)
+        return _extract_select(statement, catalog)
     if isinstance(statement, ast.Insert):
         return _extract_insert(statement)
     if isinstance(statement, ast.Update):
-        return _extract_update(statement)
+        return _extract_update(statement, catalog)
     if isinstance(statement, ast.Delete):
-        return _extract_delete(statement)
+        return _extract_delete(statement, catalog)
     raise TypeError(f"cannot analyse statement of type {type(statement).__name__}")
 
 
@@ -102,33 +113,47 @@ def extract_info(statement: ast.Statement) -> StatementInfo:
 # ---------------------------------------------------------------------------
 
 
-def _extract_select(select: ast.Select) -> StatementInfo:
+def _extract_select(
+    select: ast.Select, catalog: object | None = None
+) -> StatementInfo:
     bindings = _alias_map(select)
     tables = frozenset(table.name.lower() for table in select.tables) | frozenset(
         join.table.name.lower() for join in select.joins
     )
     read: set[tuple[str, str]] = set()
     for item in select.items:
-        read |= _columns_in(item.expression, bindings, tables)
+        read |= _columns_in(item.expression, bindings, tables, catalog)
     for join in select.joins:
-        read |= _columns_in(join.condition, bindings, tables)
+        read |= _columns_in(join.condition, bindings, tables, catalog)
     for expr in select.group_by:
-        read |= _columns_in(expr, bindings, tables)
+        read |= _columns_in(expr, bindings, tables, catalog)
     for order in select.order_by:
-        read |= _columns_in(order.expression, bindings, tables)
+        read |= _columns_in(order.expression, bindings, tables, catalog)
     if select.having is not None:
-        read |= _columns_in(select.having, bindings, tables)
+        read |= _columns_in(select.having, bindings, tables, catalog)
 
     where_cols: set[tuple[str, str]] = set()
     eq_bindings: list[EqualityBinding] = []
     conjunctive = True
     if select.where is not None:
-        where_cols = _columns_in(select.where, bindings, tables)
-        conjunctive = _collect_equalities(select.where, bindings, tables, eq_bindings)
+        where_cols = _columns_in(select.where, bindings, tables, catalog)
+        conjunctive = _collect_equalities(
+            select.where, bindings, tables, eq_bindings, catalog
+        )
         read |= where_cols
+
+    # Fold IN (SELECT ...) subqueries into the outer read footprint: the
+    # outer result depends on every table and column the subquery reads,
+    # so writes there must be able to find this template as a candidate.
+    sub_tables: set[str] = set()
+    for sub in _subquery_selects(select):
+        sub_info = _extract_select(sub, catalog)
+        sub_tables |= sub_info.tables
+        read |= sub_info.columns_read
+        where_cols |= sub_info.columns_read
     return StatementInfo(
         kind="select",
-        tables=tables,
+        tables=tables | frozenset(sub_tables),
         columns_read=frozenset(read),
         columns_written=frozenset(),
         where_columns=frozenset(where_cols),
@@ -163,7 +188,9 @@ def _extract_insert(insert: ast.Insert) -> StatementInfo:
     )
 
 
-def _extract_update(update: ast.Update) -> StatementInfo:
+def _extract_update(
+    update: ast.Update, catalog: object | None = None
+) -> StatementInfo:
     table = update.table.lower()
     tables = frozenset({table})
     bindings = {table: table}
@@ -172,8 +199,10 @@ def _extract_update(update: ast.Update) -> StatementInfo:
     eq_bindings: list[EqualityBinding] = []
     conjunctive = True
     if update.where is not None:
-        where_cols = _columns_in(update.where, bindings, tables)
-        conjunctive = _collect_equalities(update.where, bindings, tables, eq_bindings)
+        where_cols = _columns_in(update.where, bindings, tables, catalog)
+        conjunctive = _collect_equalities(
+            update.where, bindings, tables, eq_bindings, catalog
+        )
     # SET column = value also constrains the post-state of those columns.
     for assignment in update.assignments:
         if isinstance(assignment.value, ast.Placeholder):
@@ -196,7 +225,9 @@ def _extract_update(update: ast.Update) -> StatementInfo:
     )
 
 
-def _extract_delete(delete: ast.Delete) -> StatementInfo:
+def _extract_delete(
+    delete: ast.Delete, catalog: object | None = None
+) -> StatementInfo:
     table = delete.table.lower()
     tables = frozenset({table})
     bindings = {table: table}
@@ -204,8 +235,10 @@ def _extract_delete(delete: ast.Delete) -> StatementInfo:
     eq_bindings: list[EqualityBinding] = []
     conjunctive = True
     if delete.where is not None:
-        where_cols = _columns_in(delete.where, bindings, tables)
-        conjunctive = _collect_equalities(delete.where, bindings, tables, eq_bindings)
+        where_cols = _columns_in(delete.where, bindings, tables, catalog)
+        conjunctive = _collect_equalities(
+            delete.where, bindings, tables, eq_bindings, catalog
+        )
     # A DELETE touches every column of the table: any read on the table
     # may lose rows.
     written = frozenset({(table, "*")})
@@ -237,37 +270,99 @@ def _alias_map(select: ast.Select) -> dict[str, str]:
 
 
 def _resolve(
-    ref: ast.ColumnRef, bindings: dict[str, str], tables: frozenset[str]
+    ref: ast.ColumnRef,
+    bindings: dict[str, str],
+    tables: frozenset[str],
+    catalog: object | None = None,
 ) -> tuple[str, str]:
     """Resolve a column reference to a (table, column) pair.
 
     Unqualified references in single-table statements resolve to that
-    table; in multi-table statements they resolve to the pseudo-table
-    ``"?"`` (unknown), which the analysis treats conservatively.
+    table.  In multi-table statements a ``catalog`` (schema oracle) can
+    prove a unique owning table; when it cannot -- no catalog, a table
+    of unknown schema, or the column lives in several read tables --
+    the reference spills to the pseudo-table ``"?"``, which the
+    analysis treats conservatively (matches any table).
     """
     column = ref.column.lower()
     if ref.table is not None:
         return bindings.get(ref.table.lower(), ref.table.lower()), column
     if len(tables) == 1:
         return next(iter(tables)), column
+    if catalog is not None:
+        owners = []
+        unknown_schema = False
+        for table in sorted(tables):
+            columns = catalog.columns_of(table)
+            if columns is None:
+                unknown_schema = True
+            elif column in columns:
+                owners.append(table)
+        if not unknown_schema and len(owners) == 1:
+            return owners[0], column
     return "?", column
 
 
 def _columns_in(
-    expr: ast.Expression, bindings: dict[str, str], tables: frozenset[str]
+    expr: ast.Expression,
+    bindings: dict[str, str],
+    tables: frozenset[str],
+    catalog: object | None = None,
 ) -> set[tuple[str, str]]:
-    """Collect every (table, column) referenced by ``expr``."""
+    """Collect every (table, column) referenced by ``expr``.
+
+    ``IN (SELECT ...)`` operands are walked but the subquery body is
+    not: subquery footprints are folded in by :func:`_extract_select`,
+    which resolves them against the *subquery's* own tables.
+    """
     found: set[tuple[str, str]] = set()
 
     def walk(node: ast.Expression) -> None:
         if isinstance(node, ast.ColumnRef):
-            found.add(_resolve(node, bindings, tables))
+            found.add(_resolve(node, bindings, tables, catalog))
         elif isinstance(node, ast.Star):
             if node.table is not None:
                 found.add((bindings.get(node.table.lower(), node.table.lower()), "*"))
             else:
                 for table in tables:
                     found.add((table, "*"))
+        elif isinstance(node, ast.BinaryOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, ast.UnaryOp):
+            walk(node.operand)
+        elif isinstance(node, ast.IsNull):
+            walk(node.operand)
+        elif isinstance(node, ast.InList):
+            walk(node.operand)
+            for item in node.items:
+                walk(item)
+        elif isinstance(node, ast.InSubquery):
+            walk(node.operand)
+        elif isinstance(node, ast.Between):
+            walk(node.operand)
+            walk(node.low)
+            walk(node.high)
+        elif isinstance(node, ast.FunctionCall):
+            for arg in node.args:
+                walk(arg)
+
+    walk(expr)
+    return found
+
+
+def _subquery_selects(select: ast.Select) -> list[ast.Select]:
+    """Collect the immediate ``IN (SELECT ...)`` subqueries of ``select``.
+
+    Only the directly nested selects are returned; deeper nesting is
+    handled by the recursive :func:`_extract_select` call on each.
+    """
+    found: list[ast.Select] = []
+
+    def walk(node: ast.Expression) -> None:
+        if isinstance(node, ast.InSubquery):
+            walk(node.operand)
+            found.append(node.select)
         elif isinstance(node, ast.BinaryOp):
             walk(node.left)
             walk(node.right)
@@ -287,7 +382,18 @@ def _columns_in(
             for arg in node.args:
                 walk(arg)
 
-    walk(expr)
+    for item in select.items:
+        walk(item.expression)
+    for join in select.joins:
+        walk(join.condition)
+    if select.where is not None:
+        walk(select.where)
+    for expr in select.group_by:
+        walk(expr)
+    if select.having is not None:
+        walk(select.having)
+    for order in select.order_by:
+        walk(order.expression)
     return found
 
 
@@ -296,6 +402,7 @@ def _collect_equalities(
     bindings: dict[str, str],
     tables: frozenset[str],
     out: list[EqualityBinding],
+    catalog: object | None = None,
 ) -> bool:
     """Collect ``column = value`` bindings from a conjunctive WHERE clause.
 
@@ -306,8 +413,8 @@ def _collect_equalities(
     the engine to fall back to conservative table/column intersection.
     """
     if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
-        left_ok = _collect_equalities(expr.left, bindings, tables, out)
-        right_ok = _collect_equalities(expr.right, bindings, tables, out)
+        left_ok = _collect_equalities(expr.left, bindings, tables, out, catalog)
+        right_ok = _collect_equalities(expr.right, bindings, tables, out, catalog)
         return left_ok and right_ok
     if isinstance(expr, ast.BinaryOp) and expr.op == "=":
         column_side = None
@@ -320,7 +427,7 @@ def _collect_equalities(
             return False
         if isinstance(value_side, ast.ColumnRef):
             return True  # join predicate: no binding, still conjunctive
-        table, column = _resolve(column_side, bindings, tables)
+        table, column = _resolve(column_side, bindings, tables, catalog)
         if isinstance(value_side, ast.Placeholder):
             out.append(
                 EqualityBinding(table=table, column=column, value_index=value_side.index)

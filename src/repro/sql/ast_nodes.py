@@ -130,6 +130,23 @@ class InList(Expression):
 
 
 @dataclass(frozen=True)
+class InSubquery(Expression):
+    """``expr [NOT] IN (SELECT ...)``.
+
+    The inner select is a full :class:`Select` statement; its placeholder
+    indices share the outer statement's left-to-right numbering.
+    """
+
+    operand: Expression
+    select: "Select"
+    negated: bool = False
+
+    def unparse(self) -> str:
+        keyword = "NOT IN" if self.negated else "IN"
+        return f"({self.operand.unparse()} {keyword} ({self.select.unparse()}))"
+
+
+@dataclass(frozen=True)
 class Between(Expression):
     """``expr [NOT] BETWEEN low AND high``."""
 

@@ -326,6 +326,10 @@ class _Parser:
                 negated = True
         if self._accept(TokenType.KEYWORD, "IN"):
             self._expect(TokenType.PUNCT, "(")
+            if self._check(TokenType.KEYWORD, "SELECT"):
+                select = self._parse_select()
+                self._expect(TokenType.PUNCT, ")")
+                return ast.InSubquery(operand=left, select=select, negated=negated)
             items = [self._parse_expression()]
             while self._accept(TokenType.PUNCT, ","):
                 items.append(self._parse_expression())

@@ -211,6 +211,12 @@ class _LiteralLifter:
                 tuple(self._expr(item) for item in node.items),
                 node.negated,
             )
+        if isinstance(node, ast.InSubquery):
+            return ast.InSubquery(
+                self._expr(node.operand),
+                self.transform_statement(node.select),
+                node.negated,
+            )
         if isinstance(node, ast.Between):
             return ast.Between(
                 self._expr(node.operand),

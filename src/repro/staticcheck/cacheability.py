@@ -1,4 +1,4 @@
-"""Cacheability pass: RC01..RC04 over the servlet classes.
+"""Cacheability pass: RC01..RC04 and RC06 over the servlet classes.
 
 Walks the call graph reachable from each registered handler
 (``do_get``/``do_post``) through ``self.*`` helper methods, extracts the
@@ -16,9 +16,18 @@ preconditions of the paper's consistency protocol:
   ``Statement``: the consistency aspect never sees the query, so its
   dependencies/invalidations are silently lost.
 - **RC04** -- a read template with no equality-bound placeholder
-  position: ``repro.cache.analysis`` cannot index it, so every
-  overlapping write degenerates to a per-template scan of all cached
-  instances.
+  position *and* no column-disjointness plan: ``repro.cache.analysis``
+  can neither index it nor (because its lineage is inexact or covers
+  its tables' full width) prune any overlapping write by column
+  disjointness, so every overlapping write degenerates to a
+  per-template scan of all cached instances.
+- **RC06** -- a dead write: a ``do_post`` UPDATE whose SET columns
+  appear in no reachable read template's lineage read set (unioned per
+  app, plus the method-cache targets).  Such a write can never doom a
+  cached entry -- either the column is dead weight or a read that
+  should depend on it bypasses registration.  The union is widened to
+  "everything" by any read the checker cannot resolve (non-constant
+  SQL, parse failure), silencing the rule rather than guessing.
 
 Fragmented pages (``AppSpec.fragmented_uris``) are uncacheable whole
 but cached per-fragment, so the read rules apply to them again -- with
@@ -34,6 +43,7 @@ from __future__ import annotations
 
 import ast
 
+from repro.sql.lineage import compute_lineage
 from repro.sql.template import templateize
 from repro.staticcheck.diagnostics import Diagnostic
 from repro.staticcheck.source import (
@@ -72,6 +82,7 @@ def check_cacheability(target: CheckTarget) -> list[Diagnostic]:
             diagnostics.extend(
                 _check_servlet(target, info, cacheable=cacheable)
             )
+        diagnostics.extend(_check_dead_writes(target, app))
     return _dedupe(diagnostics)
 
 
@@ -288,7 +299,11 @@ def _check_function(
                             ),
                         )
                     )
-                elif template.is_read and not template.indexable_positions:
+                elif (
+                    template.is_read
+                    and not template.indexable_positions
+                    and not _column_plan_exists(template, target.catalog)
+                ):
                     tables = ", ".join(sorted(template.tables)) or "?"
                     diagnostics.append(
                         Diagnostic(
@@ -298,10 +313,12 @@ def _check_function(
                             symbol=symbol,
                             message=(
                                 f"read template over [{tables}] has no "
-                                f"equality-bound position; the dependency "
-                                f"table cannot index its instances "
-                                f"(per-template scan on every "
-                                f"overlapping write)"
+                                f"equality-bound position and no "
+                                f"column-disjointness plan; the "
+                                f"dependency table cannot index its "
+                                f"instances and the lineage prune "
+                                f"cannot skip any overlapping write "
+                                f"(per-template scan on every one)"
                             ),
                         )
                     )
@@ -363,6 +380,211 @@ def _try_template(sql: str):
     except Exception:
         return None
     return template
+
+
+def _column_plan_exists(template, catalog) -> bool:
+    """True when exact lineage proves a column-disjointness plan exists.
+
+    Requires the catalog to know every referenced table, the lineage
+    read set to be exact (no wildcard/spill entries), and at least one
+    table to have a writable column outside the read set -- the
+    condition under which :class:`repro.cache.analysis.ColumnPruneRule`
+    skips some overlapping write without a scan.
+    """
+    if catalog is None:
+        return False
+    lineage = compute_lineage(template.statement, catalog)
+    if not lineage.exact or not lineage.tables:
+        return False
+    narrower = False
+    for table in lineage.tables:
+        width = catalog.columns_of(table)
+        if width is None:
+            return False
+        read = {c for t, c in lineage.read_set if t == table}
+        if read - width:
+            # Reads a column the schema does not declare: the catalog
+            # and the template disagree; make no static claim.
+            return False
+        if width - read:
+            narrower = True
+    return narrower
+
+
+#: The "reads everything" element: unioned in whenever a read cannot be
+#: resolved, so the dead-write rule goes silent instead of guessing.
+_READS_EVERYTHING = ("?", "*")
+
+
+def _handler_sql_sites(target: CheckTarget, info: ClassInfo, handler: str):
+    """Yield ``(fn, site, sql)`` for every SQL-executor call site
+    reachable from ``info.<handler>`` -- ``sql`` is None when the first
+    argument is not a resolvable string constant."""
+    entry = info.functions.get(handler)
+    if entry is None or entry.owner.__module__.startswith("repro.web"):
+        return
+    for fn, _confined in _reachable(info, entry):
+        scan = scan_calls(info, fn, target.registry)
+        for site in scan.sites:
+            if site.method not in _SQL_EXECUTORS:
+                continue
+            yield fn, site, _sql_of(site.node, scan.constants)
+
+
+def _app_read_union(
+    target: CheckTarget, app
+) -> frozenset[tuple[str, str]]:
+    """The lineage read sets of every read template reachable from any
+    of ``app``'s handlers, plus the method-cache targets, unioned.
+
+    Holes and uncacheable pages are included on purpose: the union errs
+    toward "is read somewhere", never toward a false dead-write.  A
+    non-constant or unparseable SQL argument at an executor site widens
+    the union to :data:`_READS_EVERYTHING`.
+    """
+    union: set[tuple[str, str]] = set()
+    sources = [
+        (target.registry.info_for(servlet_cls), handler)
+        for servlet_cls in _app_servlets(app)
+        for handler in _HANDLERS
+    ]
+    sources.extend(
+        (target.registry.info_for(owner), method)
+        for owner, method in target.method_cache_targets
+    )
+    for info, handler in sources:
+        for _fn, site, sql in _handler_sql_sites(target, info, handler):
+            if sql is None:
+                if site.node.args:
+                    # An executor call whose SQL the checker cannot
+                    # read: it may read anything.
+                    union.add(_READS_EVERYTHING)
+                continue
+            template = _try_template(sql)
+            if template is None:
+                union.add(_READS_EVERYTHING)
+                continue
+            if template.is_read:
+                union |= compute_lineage(
+                    template.statement, target.catalog
+                ).read_set
+    return frozenset(union)
+
+
+def _app_servlets(app) -> list[type]:
+    seen: set[type] = set()
+    ordered: list[type] = []
+    for _uri, servlet_cls, _is_write in app.interactions:
+        if servlet_cls not in seen:
+            seen.add(servlet_cls)
+            ordered.append(servlet_cls)
+    return ordered
+
+
+def _covers(
+    union: frozenset[tuple[str, str]], table: str, column: str
+) -> bool:
+    """May any read in ``union`` observe ``table.column``?"""
+    return any(
+        (t == table or t == "?") and (c == "*" or c == column)
+        for t, c in union
+    )
+
+
+def _check_dead_writes(target: CheckTarget, app) -> list[Diagnostic]:
+    """RC06: do_post UPDATEs whose SET columns no registered read uses.
+
+    Restricted to UPDATE statements with fully-resolved SET columns:
+    INSERT/DELETE change row *existence*, which every predicate over
+    the table can observe regardless of columns.  Writes through
+    non-woven receivers are RC03's finding, not a dead write.
+    """
+    union = _app_read_union(target, app)
+    if _READS_EVERYTHING in union:
+        return []
+    diagnostics: list[Diagnostic] = []
+    for servlet_cls in _app_servlets(app):
+        info = target.registry.info_for(servlet_cls)
+        for fn, site, sql in _handler_sql_sites(target, info, "do_post"):
+            if (
+                site.receiver_type is not None
+                and site.receiver_type not in target.woven_sql_types
+            ):
+                continue
+            if sql is None:
+                continue
+            template = _try_template(sql)
+            if template is None or not template.is_write:
+                continue
+            write_info = template.info
+            if write_info.kind != "update":
+                continue
+            written = write_info.columns_written
+            if not written or any(c == "*" for _t, c in written):
+                continue
+            if any(_covers(union, t, c) for t, c in written):
+                continue
+            columns = ", ".join(sorted(c for _t, c in written))
+            tables = ", ".join(sorted(t for t, _c in written))
+            diagnostics.append(
+                Diagnostic(
+                    rule="RC06",
+                    file=relative_to(fn.file, target.repo_root),
+                    line=site.line,
+                    symbol=f"{info.name}.do_post",
+                    message=(
+                        f"UPDATE {tables} sets only [{columns}], which "
+                        f"no reachable read template's lineage read set "
+                        f"contains; this write can never invalidate a "
+                        f"cached entry"
+                    ),
+                )
+            )
+    return diagnostics
+
+
+def lineage_summary(target: CheckTarget) -> dict[str, int]:
+    """Counters for the check report's ``lineage`` section: how many
+    read templates the pass saw, how many have exact lineage, how many
+    earn the RC04 column-disjointness exemption, and the catalog size.
+    """
+    templates = 0
+    exact = 0
+    column_plans = 0
+    seen: set[str] = set()
+    for app in target.apps:
+        for servlet_cls in _app_servlets(app):
+            info = target.registry.info_for(servlet_cls)
+            for handler in _HANDLERS:
+                for _fn, _site, sql in _handler_sql_sites(
+                    target, info, handler
+                ):
+                    if sql is None:
+                        continue
+                    template = _try_template(sql)
+                    if (
+                        template is None
+                        or not template.is_read
+                        or template.text in seen
+                    ):
+                        continue
+                    seen.add(template.text)
+                    templates += 1
+                    lineage = compute_lineage(
+                        template.statement, target.catalog
+                    )
+                    if lineage.exact:
+                        exact += 1
+                    if _column_plan_exists(template, target.catalog):
+                        column_plans += 1
+    return {
+        "read_templates": templates,
+        "exact_lineage": exact,
+        "column_disjointness_plans": column_plans,
+        "catalog_tables": (
+            len(target.catalog) if target.catalog is not None else 0
+        ),
+    }
 
 
 def _dedupe(diagnostics: list[Diagnostic]) -> list[Diagnostic]:

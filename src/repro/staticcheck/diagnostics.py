@@ -57,11 +57,28 @@ RULES: dict[str, Rule] = {
         Rule(
             "RC04",
             "warning",
-            "read template has no indexable (equality-bound) position",
+            "read template has neither an equality-bound position nor "
+            "a column-disjointness plan",
             "the dependency table's value index cannot discriminate "
-            "this template's instances; every overlapping write falls "
-            "back to a per-template scan.  Add an equality predicate, "
-            "or baseline the finding if the full scan is intended",
+            "this template's instances, and its column lineage is not "
+            "exact (or reads its tables' full width), so *every* "
+            "overlapping write scans them.  Add an equality predicate, "
+            "project specific columns of schema-known tables so the "
+            "lineage prune can skip column-disjoint writes, or "
+            "baseline the finding if the full scan is intended",
+        ),
+        Rule(
+            "RC06",
+            "warning",
+            "dead write: updated columns are read by no registered "
+            "template",
+            "no read template reachable from any handler (or "
+            "method-cache target) has these columns in its lineage "
+            "read set, so the write can never invalidate a cached "
+            "entry.  Either the column is dead weight in the write, or "
+            "a read that should register a dependency on it is missing "
+            "(e.g. bypassing the woven driver) -- fix the read, drop "
+            "the column, or baseline with a justification",
         ),
         Rule(
             "RC05",
@@ -200,6 +217,10 @@ class Report:
     #: live diagnostic has the same (rule, symbol) but a different
     #: file -- almost always a file move that orphaned the entry.
     stale_hints: dict[tuple[str, str, str], str] = field(default_factory=dict)
+    #: Column-lineage summary over the target's read templates (see
+    #: :func:`repro.staticcheck.cacheability.lineage_summary`); None
+    #: when the runner did not compute one.
+    lineage: dict[str, int] | None = None
 
     @classmethod
     def build(
@@ -285,6 +306,7 @@ class Report:
     def to_json(self) -> dict[str, object]:
         return {
             "ok": self.ok,
+            **({"lineage": self.lineage} if self.lineage is not None else {}),
             "active": [d.to_json() for d in self.active],
             "suppressed": [
                 {**d.to_json(), "justification": e.justification}

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.staticcheck.cacheability import check_cacheability
+from repro.staticcheck.cacheability import check_cacheability, lineage_summary
 from repro.staticcheck.coverage import check_coverage
 from repro.staticcheck.diagnostics import Report, load_baseline
 from repro.staticcheck.lockorder import check_lock_order
@@ -33,4 +33,6 @@ def run_check(
     else:
         resolved = Path(baseline_path) if baseline_path else None
     baseline = load_baseline(resolved) if resolved else ()
-    return Report.build(diagnostics, baseline)
+    report = Report.build(diagnostics, baseline)
+    report.lineage = lineage_summary(target)
+    return report

@@ -63,6 +63,12 @@ class CheckTarget:
     #: Receiver type names through which SQL legitimately flows (the
     #: woven driver); anything else executing SQL is RC03.
     woven_sql_types: frozenset[str] = frozenset({"Statement"})
+    #: Schema catalog (:class:`repro.sql.lineage.Catalog`) the
+    #: cacheability pass uses to compute exact column lineage: the RC04
+    #: column-disjointness exemption and the RC06 dead-write pass both
+    #: need it; None disables the exemption and weakens RC06 to the
+    #: catalog-free (still conservative) read sets.
+    catalog: object | None = None
     #: Extra classes the type-inference registry should know about.
     helper_classes: tuple[type, ...] = ()
     baseline_path: Path | None = None
@@ -133,11 +139,23 @@ def default_target() -> CheckTarget:
     from repro.db.dbapi import Connection, ResultSet, Statement
     from repro.db.engine import Database
     from repro.locks import NamedRLock
+    from repro.apps.rubis.schema import create_rubis_schema
+    from repro.apps.tpcw.schema import create_tpcw_schema
     from repro.obs.aspects import MetricsAspect, TracingAspect
     from repro.obs.servlets import MetricsServlet, TracesServlet
+    from repro.sql.lineage import Catalog
     from repro.web.servlet import HttpServlet
 
     root = repo_root()
+    # Throwaway databases exist only to read the declared schemas back
+    # out as a lineage catalog (both apps' tables are disjointly named).
+    rubis_db = Database("catalog-rubis")
+    create_rubis_schema(rubis_db)
+    tpcw_db = Database("catalog-tpcw")
+    create_tpcw_schema(tpcw_db)
+    catalog = Catalog.from_database(rubis_db).merge(
+        Catalog.from_database(tpcw_db)
+    )
     rubis = AppSpec(
         name="rubis",
         interactions=tuple(
@@ -209,6 +227,7 @@ def default_target() -> CheckTarget:
             CacheNode,
         ),
         entropy_classes=frozenset({"AdRotator"}),
+        catalog=catalog,
         helper_classes=(
             Statement,
             Connection,

@@ -6,6 +6,7 @@ from __future__ import annotations
 
 from repro.db.dbapi import Connection, ResultSet, Statement
 from repro.db.engine import Database
+from repro.sql.lineage import Catalog
 from repro.staticcheck.target import AppSpec, CheckTarget, repo_root
 from repro.web.servlet import HttpServlet
 from tests.fixtures.badapp.aspects import (
@@ -22,6 +23,20 @@ from tests.fixtures.badapp.servlets import (
     OrphanServlet,
     PersonalisedCatalogue,
     ScanHeavy,
+    StampingWriter,
+)
+
+#: badapp's schema as the lineage catalog.  ``categories`` is declared
+#: at exactly the width ScanHeavy reads, so its full-width scan earns
+#: no column-disjointness plan and RC04 still fires; ``items`` carries
+#: the never-read ``audit_stamp`` column StampingWriter updates (RC06).
+BADAPP_CATALOG = Catalog(
+    {
+        "categories": ("id", "name"),
+        "regions": ("id", "name"),
+        "items": ("id", "name", "seller", "audit_stamp"),
+        "page_hits": ("page", "hits"),
+    }
 )
 
 
@@ -33,6 +48,7 @@ def badapp_target() -> CheckTarget:
         ("/bad/scan", ScanHeavy, False),
         ("/bad/good", GoodServlet, False),
         ("/bad/orphan", OrphanServlet, False),
+        ("/bad/stamp", StampingWriter, True),
     )
     return CheckTarget(
         repo_root=repo_root(),
@@ -51,6 +67,7 @@ def badapp_target() -> CheckTarget:
             (PersonalisedCatalogue, "category_names"),
         ),
         lock_classes=(Till, Vault, BackwardsIndex, PageMirror),
+        catalog=BADAPP_CATALOG,
         helper_classes=(
             Statement,
             Connection,

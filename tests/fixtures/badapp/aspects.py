@@ -24,6 +24,10 @@ class BadCachingAspect(Aspect):
     def cache_read(self, joinpoint: JoinPoint) -> object:
         return joinpoint.proceed()
 
+    @around("execution(BadServlet+.do_post(..))")
+    def invalidate_write(self, joinpoint: JoinPoint) -> object:
+        return joinpoint.proceed()
+
     @around("call(Statement.execute_query(..))")
     def collect_reads(self, joinpoint: JoinPoint) -> object:
         return joinpoint.proceed()

@@ -1,4 +1,4 @@
-"""Seeded cacheability violations (RC01, RC02, RC03, RC04, RC05).
+"""Seeded cacheability violations (RC01..RC06).
 
 Each servlet below carries exactly one deliberate defect; GoodServlet is
 clean and exists as the join point two rival aspects fight over (PC03),
@@ -6,7 +6,9 @@ OrphanServlet is clean but deliberately outside the caching pointcut's
 type pattern (PC02).  PersonalisedCatalogue seeds RC05: of its two
 designated method-cache candidates, ``recommendations`` reads session
 state the ``method://`` key cannot carry, while ``category_names`` is a
-clean function of its SQL.
+clean function of its SQL.  StampingWriter seeds RC06: its do_post
+updates a column (``items.audit_stamp``) that no registered read
+template's lineage read set contains, so the write dooms nothing.
 """
 
 from __future__ import annotations
@@ -127,3 +129,20 @@ class PersonalisedCatalogue(BadServlet):
             "SELECT name FROM categories WHERE region = ?", ("1",)
         )
         return result.all_dicts()
+
+
+class StampingWriter(BadServlet):
+    """RC06: a do_post UPDATE whose SET column no read ever observes.
+
+    ``audit_stamp`` is in the catalog (so lineage is exact about it) but
+    in no registered template's read set -- the write invalidates
+    nothing, which is exactly what the dead-write rule reports.
+    """
+
+    def do_post(self, request: HttpRequest, response: HttpResponse) -> None:
+        statement = self.statement()
+        statement.execute_update(
+            "UPDATE items SET audit_stamp = ? WHERE id = ?",
+            ("now", request.get_parameter("id")),
+        )
+        response.write("<p>stamped</p>")

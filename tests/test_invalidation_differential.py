@@ -19,6 +19,7 @@ from repro.cluster import ClusterRouter, make_cache_factory
 from repro.harness.differential import (
     random_read,
     random_write,
+    run_column_differential,
     run_differential,
     run_fragment_differential,
 )
@@ -49,6 +50,35 @@ def test_differential_run_actually_prunes():
     assert result.templates_skipped > 0
     assert result.instances_skipped > 0
     # Pruning must show up as strictly less protocol work.
+    assert result.pair_analyses_indexed < result.pair_analyses_brute
+
+
+@pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.value)
+@pytest.mark.parametrize("seed", range(3))
+def test_column_lineage_pruning_matches_brute_force(seed, policy):
+    """The column workload (stars, joins, subqueries, aggregates, and
+    writes skewed toward never-read bookkeeping columns) through a
+    lineage-pruning indexed invalidator vs catalog-equipped brute
+    force: identical doomed sets and intersects_any verdicts."""
+    result = run_column_differential(
+        seed=seed, rounds=40, n_pages=60, policy=policy
+    )
+    assert result.ok, "\n".join(result.mismatches)
+    assert result.writes_tested > 0 and result.pages_doomed > 0
+
+
+def test_column_differential_actually_prunes_by_lineage():
+    """Vacuity guards: the lineage rule must fire (skips > 0, plans
+    built > 0) and the never-read probes must fire and doom nothing."""
+    result = run_column_differential(
+        seed=0, rounds=50, n_pages=80, policy=InvalidationPolicy.EXTRA_QUERY
+    )
+    assert result.ok, "\n".join(result.mismatches)
+    assert result.templates_skipped_by_lineage > 0
+    assert result.column_plans_built > 0
+    assert result.never_read_probes > 0
+    assert result.never_read_doomed == 0
+    # Lineage pruning is protocol work saved on top of the indexes.
     assert result.pair_analyses_indexed < result.pair_analyses_brute
 
 
@@ -141,6 +171,27 @@ def test_fragment_doom_is_replication_and_mode_invariant():
     assert baseline.entries_doomed == replicated.entries_doomed
     assert replicated.entries_doomed == bounded.entries_doomed
     assert baseline.closure_doomed == bounded.closure_doomed
+
+
+@pytest.mark.parametrize(
+    "n_nodes,replication,bus_mode",
+    [(1, 1, "strong"), (4, 2, "strong"), (4, 2, "bounded")],
+)
+def test_fragment_column_workload_matches_oracle(n_nodes, replication, bus_mode):
+    """The column workload end-to-end through the fragment tier: the
+    catalog-synced, lineage-pruning ring must doom exactly the oracle's
+    key set, including on a replicated ring in bounded mode."""
+    result = run_fragment_differential(
+        seed=3,
+        rounds=25,
+        n_nodes=n_nodes,
+        replication=replication,
+        bus_mode=bus_mode,
+        workload="column",
+    )
+    assert result.ok, "\n".join(result.mismatches)
+    assert result.writes_tested > 0 and result.entries_doomed > 0
+    assert result.closure_doomed > 0
 
 
 def test_cluster_stats_aggregate_pruning_counters():

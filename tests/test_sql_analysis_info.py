@@ -1,13 +1,14 @@
 """StatementInfo extraction tests: read/write sets and bindings."""
 
 from repro.sql.analysis_info import extract_info
+from repro.sql.lineage import Catalog
 from repro.sql.parser import parse_statement
 from repro.sql.template import templateize
 
 
-def info_of(sql, params=None):
+def info_of(sql, params=None, catalog=None):
     template, _values = templateize(sql, params)
-    return extract_info(template.statement)
+    return extract_info(template.statement, catalog)
 
 
 class TestSelectInfo:
@@ -102,3 +103,61 @@ class TestWriteInfo:
         info = info_of("UPDATE t SET a = ? WHERE b = ?", (2, 7))
         binding = info.binding_for("t", "b")
         assert binding.resolve((2, 7)) == 7
+
+
+class TestSchemaAwareResolution:
+    """Unqualified columns in multi-table reads: the catalog attributes
+    a column to its unique owner, and refuses when ownership is shared
+    or any referenced table's schema is unknown."""
+
+    CATALOG = Catalog(
+        {
+            "items": ("id", "name", "price"),
+            "bids": ("id", "item_id", "amount"),
+        }
+    )
+
+    def test_unique_owner_resolves(self):
+        info = info_of(
+            "SELECT amount FROM items, bids WHERE items.id = bids.item_id",
+            catalog=self.CATALOG,
+        )
+        assert ("bids", "amount") in info.columns_read
+        assert ("?", "amount") not in info.columns_read
+
+    def test_shared_column_stays_unknown(self):
+        # "id" exists on both tables: attribution would be a guess.
+        info = info_of(
+            "SELECT id FROM items, bids WHERE items.name = bids.amount",
+            catalog=self.CATALOG,
+        )
+        assert ("?", "id") in info.columns_read
+        assert ("items", "id") not in info.columns_read
+        assert ("bids", "id") not in info.columns_read
+
+    def test_unknown_table_blocks_resolution(self):
+        # "amount" is unique among *known* schemas, but the mystery
+        # table might also have it: no claim without full knowledge.
+        info = info_of(
+            "SELECT amount FROM bids, mystery WHERE bids.id = mystery.bid_id",
+            catalog=self.CATALOG,
+        )
+        assert ("?", "amount") in info.columns_read
+
+    def test_column_on_no_known_table_stays_unknown(self):
+        info = info_of(
+            "SELECT ghost FROM items, bids WHERE items.id = bids.item_id",
+            catalog=self.CATALOG,
+        )
+        assert ("?", "ghost") in info.columns_read
+
+    def test_single_table_needs_no_catalog(self):
+        info = info_of("SELECT amount FROM bids")
+        assert ("bids", "amount") in info.columns_read
+
+    def test_alias_does_not_confuse_resolution(self):
+        info = info_of(
+            "SELECT amount FROM items AS i, bids AS b WHERE i.id = b.item_id",
+            catalog=self.CATALOG,
+        )
+        assert ("bids", "amount") in info.columns_read

@@ -31,7 +31,7 @@ from tests.fixtures.badapp import badapp_target
 pytestmark = pytest.mark.staticcheck
 
 ALL_RULES = {
-    "RC01", "RC02", "RC03", "RC04", "RC05",
+    "RC01", "RC02", "RC03", "RC04", "RC05", "RC06",
     "PC01", "PC02", "PC03", "LK01",
 }
 
@@ -78,6 +78,10 @@ def test_badapp_reports_every_rule_with_correct_anchors():
             (servlets, "statement.execute_query(", 2),
         ("RC05", "PersonalisedCatalogue.recommendations"):
             (servlets, "self.get_session(", 1),
+        # StampingWriter holds the 2nd execute_update site (AuditedCounter
+        # has the 1st).
+        ("RC06", "StampingWriter.do_post"):
+            (servlets, "statement.execute_update(", 2),
         ("PC01", "GhostAspect.refresh_stale"):
             (aspects, "execution(RetiredServlet.do_refresh(..))", 1),
         ("PC02", "OrphanServlet.do_get"):
@@ -86,8 +90,8 @@ def test_badapp_reports_every_rule_with_correct_anchors():
             (aspects, "execution(GoodServlet.do_get(..))", 1),
     }
     by_key = {(d.rule, d.symbol): d for d in report.active}
-    assert len(report.active) == 10  # one per rule, plus a second LK01
-    assert len(by_key) == 10
+    assert len(report.active) == 11  # one per rule, plus a second LK01
+    assert len(by_key) == 11
     for (rule, symbol), (file, needle, occurrence) in expected.items():
         diagnostic = by_key[(rule, symbol)]
         relative = file.relative_to(Path(__file__).parents[1]).as_posix()
@@ -113,8 +117,16 @@ def test_real_repo_is_clean_after_baseline():
     assert report.active == []
     assert report.stale_baseline == []
     assert report.exit_code == 0
-    # The suppressions are the justified RC04 full-scan templates.
-    assert {d.rule for d, _entry in report.suppressed} == {"RC04"}
+    # The suppressions are the justified RC06 TPC-W bookkeeping writes;
+    # the former RC04 entries earned column-disjointness plans and are
+    # no longer findings at all.
+    assert {d.rule for d, _entry in report.suppressed} == {"RC06"}
+    # The lineage summary rides along: the catalog resolves both apps'
+    # schemas and most read templates carry an exact column read set.
+    assert report.lineage is not None
+    assert report.lineage["catalog_tables"] > 0
+    assert report.lineage["exact_lineage"] <= report.lineage["read_templates"]
+    assert report.lineage["column_disjointness_plans"] > 0
 
 
 def test_baseline_suppresses_by_key_and_reports_stale(tmp_path):
@@ -278,13 +290,14 @@ def test_cli_check_json_and_artifact(tmp_path, capsys):
     status = main(
         ["check", "--json", "--no-baseline", "--json-out", str(out_file)]
     )
-    assert status == 1  # without the baseline the RC04 findings are active
+    assert status == 1  # without the baseline the RC06 findings are active
     printed = json.loads(capsys.readouterr().out)
     written = json.loads(out_file.read_text())
     assert printed == written
-    assert {d["rule"] for d in printed["active"]} == {"RC04"}
-    # BestSellers' MAX(o_id) plus SearchResults' two LIKE templates; the
-    # RUBiS catalogue scans moved behind fragment boundaries and no
-    # longer reach the cacheable surface.
-    assert len(printed["active"]) == 3
+    assert {d["rule"] for d in printed["active"]} == {"RC06"}
+    # The two TPC-W shopping-cart bookkeeping writes; the former RC04
+    # templates (BestSellers' MAX(o_id), SearchResults' LIKE pair) now
+    # carry column-disjointness plans and are no longer findings.
+    assert len(printed["active"]) == 2
     assert printed["ok"] is False
+    assert printed["lineage"]["column_disjointness_plans"] > 0
